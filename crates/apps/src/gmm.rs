@@ -1,0 +1,144 @@
+//! Gaussian mixture model estimation through the sync operation (§5.2).
+//!
+//! In the CoSeg pipeline "the parameters for the GMM are maintained using
+//! the sync operation": the sync maps every super-pixel vertex to
+//! belief-weighted sufficient statistics `(Σγ, Σγx, Σγx²)` per label, the
+//! master finalises them into `(weight, mean, variance)` triples published
+//! as the global value `"gmm"`, and the update functions read them back to
+//! recompute node priors — an EM loop running concurrently with LBP.
+
+use graphlab_core::sync::SyncOp;
+use graphlab_graph::VertexId;
+
+use crate::coseg::CosegVertex;
+
+/// Layout of the published `"gmm"` global: `labels × [weight, mean, var]`.
+pub const GMM_GLOBAL: &str = "gmm";
+
+/// Sufficient-statistics sync op for a 1-D Gaussian per label.
+pub struct GmmSync {
+    /// Number of mixture components (= segmentation labels).
+    pub labels: usize,
+    /// Variance floor to keep components from collapsing.
+    pub min_variance: f64,
+}
+
+impl GmmSync {
+    /// Standard configuration for `labels` components.
+    pub fn new(labels: usize) -> Self {
+        GmmSync { labels, min_variance: 1e-3 }
+    }
+
+    /// Unpacks a published global into `(weight, mean, var)` triples.
+    pub fn unpack(global: &[f64]) -> Vec<(f64, f64, f64)> {
+        global.chunks_exact(3).map(|c| (c[0], c[1], c[2])).collect()
+    }
+
+    /// Gaussian density.
+    pub fn density(x: f64, mean: f64, var: f64) -> f64 {
+        let d = x - mean;
+        (-d * d / (2.0 * var)).exp() / (2.0 * std::f64::consts::PI * var).sqrt()
+    }
+}
+
+impl<E> SyncOp<CosegVertex, E> for GmmSync {
+    fn name(&self) -> String {
+        GMM_GLOBAL.to_string()
+    }
+
+    fn init(&self) -> Vec<f64> {
+        // Per label: [Σγ, Σγx, Σγx²]
+        vec![0.0; self.labels * 3]
+    }
+
+    fn map(&self, _vertex: VertexId, data: &CosegVertex) -> Vec<f64> {
+        let mut acc = vec![0.0; self.labels * 3];
+        for (k, &gamma) in data.belief.iter().enumerate() {
+            acc[3 * k] = gamma;
+            acc[3 * k + 1] = gamma * data.feature;
+            acc[3 * k + 2] = gamma * data.feature * data.feature;
+        }
+        acc
+    }
+
+    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]) {
+        for (a, p) in acc.iter_mut().zip(part) {
+            *a += p;
+        }
+    }
+
+    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64> {
+        let mut out = vec![0.0; self.labels * 3];
+        let n = total_vertices.max(1) as f64;
+        for k in 0..self.labels {
+            let (sg, sx, sxx) = (acc[3 * k], acc[3 * k + 1], acc[3 * k + 2]);
+            if sg > 1e-9 {
+                let mean = sx / sg;
+                let var = (sxx / sg - mean * mean).max(self.min_variance);
+                out[3 * k] = sg / n;
+                out[3 * k + 1] = mean;
+                out[3 * k + 2] = var;
+            } else {
+                // Empty component: re-seed spread across the unit interval.
+                out[3 * k] = 1.0 / self.labels as f64;
+                out[3 * k + 1] = (k as f64 + 0.5) / self.labels as f64;
+                out[3 * k + 2] = 1.0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vertex(feature: f64, belief: Vec<f64>) -> CosegVertex {
+        CosegVertex { feature, prior: vec![1.0; belief.len()], belief }
+    }
+
+    #[test]
+    fn map_collects_weighted_stats() {
+        let op = GmmSync::new(2);
+        let acc = SyncOp::<CosegVertex, ()>::map(&op, VertexId(0), &vertex(2.0, vec![0.25, 0.75]));
+        assert_eq!(acc, vec![0.25, 0.5, 1.0, 0.75, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn finalize_recovers_cluster_means() {
+        let op = GmmSync::new(2);
+        let mut acc = SyncOp::<CosegVertex, ()>::init(&op);
+        // Hard-assigned points: label 0 at {1.0, 2.0}, label 1 at {10.0}.
+        for (x, k) in [(1.0, 0usize), (2.0, 0), (10.0, 1)] {
+            let mut belief = vec![0.0, 0.0];
+            belief[k] = 1.0;
+            let part = SyncOp::<CosegVertex, ()>::map(&op, VertexId(0), &vertex(x, belief));
+            SyncOp::<CosegVertex, ()>::combine(&op, &mut acc, &part);
+        }
+        let out = SyncOp::<CosegVertex, ()>::finalize(&op, acc, 3);
+        let comps = GmmSync::unpack(&out);
+        assert!((comps[0].1 - 1.5).abs() < 1e-9, "mean0 {}", comps[0].1);
+        assert!((comps[1].1 - 10.0).abs() < 1e-9, "mean1 {}", comps[1].1);
+        assert!((comps[0].0 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_component_reseeded() {
+        let op = GmmSync::new(3);
+        let acc = SyncOp::<CosegVertex, ()>::init(&op);
+        let out = SyncOp::<CosegVertex, ()>::finalize(&op, acc, 10);
+        let comps = GmmSync::unpack(&out);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.2 >= 1e-3));
+        // Re-seeded means are distinct.
+        assert!(comps[0].1 < comps[1].1 && comps[1].1 < comps[2].1);
+    }
+
+    #[test]
+    fn density_is_a_density() {
+        let d0 = GmmSync::density(0.0, 0.0, 1.0);
+        let d1 = GmmSync::density(1.0, 0.0, 1.0);
+        assert!(d0 > d1);
+        assert!((d0 - 0.398942).abs() < 1e-5);
+    }
+}

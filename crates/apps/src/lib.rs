@@ -1,0 +1,41 @@
+//! # graphlab-apps
+//!
+//! The three state-of-the-art MLDM applications the paper evaluates (§5),
+//! plus the PageRank running example (§3), implemented against the
+//! engine-agnostic `graphlab-core` update-function API:
+//!
+//! - [`pagerank`] — the running example (Alg. 1), static and dynamic.
+//! - [`als`] — alternating least squares collaborative filtering
+//!   (Netflix, §5.1), with the small dense solver in [`linalg`].
+//! - [`lbp`] — loopy belief propagation on pairwise MRFs with residual
+//!   (priority) scheduling (§4.2.2 mesh experiment, CoSeg smoothing).
+//! - [`gmm`] + [`coseg`] — the video co-segmentation pipeline (§5.2):
+//!   LBP + Gaussian mixture likelihoods, EM via the sync operation.
+//! - [`coem`] — CoEM label propagation for named entity recognition
+//!   (§5.3).
+//!
+//! Plus two extensions beyond the paper's evaluation:
+//!
+//! - [`gibbs`] — the chromatic parallel Gibbs sampler the paper cites as
+//!   *requiring* serializability (§2, [12]).
+//! - [`graph_algorithms`] — SSSP and connected components, the canonical
+//!   dynamic-scheduling demonstrations.
+
+pub mod als;
+pub mod coem;
+pub mod coseg;
+pub mod gibbs;
+pub mod gmm;
+pub mod graph_algorithms;
+pub mod lbp;
+pub mod linalg;
+pub mod pagerank;
+
+pub use als::{Als, AlsVertex};
+pub use gibbs::{GibbsSampler, GibbsVertex};
+pub use graph_algorithms::{ConnectedComponents, Sssp};
+pub use coem::{Coem, CoemVertex};
+pub use coseg::{CosegUpdate, CosegVertex};
+pub use gmm::GmmSync;
+pub use lbp::{BpEdge, BpVertex, LoopyBp};
+pub use pagerank::{exact_pagerank, l1_error, PageRank};

@@ -1,0 +1,158 @@
+//! In-memory atom representation.
+//!
+//! An [`Atom`] is one part of the two-phase over-partitioning (§4.1): a set
+//! of *owned* vertices, every edge adjacent to them, and redundant *ghost*
+//! records for boundary vertices owned by other atoms. Atoms serialise
+//! to/from the journal format in [`crate::journal`].
+
+use bytes::Bytes;
+use graphlab_graph::{AtomId, EdgeId, VertexId};
+use graphlab_net::codec::Codec;
+
+use crate::journal::{JournalError, JournalReader, JournalRecord, JournalWriter};
+
+/// An owned vertex record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedVertex<V> {
+    /// Global vertex id.
+    pub gvid: VertexId,
+    /// Atoms holding ghost copies of this vertex.
+    pub mirrors: Vec<AtomId>,
+    /// Initial data.
+    pub data: V,
+}
+
+/// A ghost (boundary) vertex record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GhostVertex<V> {
+    /// Global vertex id.
+    pub gvid: VertexId,
+    /// Atom owning the vertex.
+    pub owner_atom: AtomId,
+    /// Redundant copy of the initial data (avoids a remote fetch at load).
+    pub data: V,
+}
+
+/// An edge record. The *owner* of an edge is the atom owning its target
+/// vertex; atoms also carry non-owned ("ghost") copies of edges adjacent
+/// to their owned vertices so every local scope is complete.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomEdge<E> {
+    /// Global edge id.
+    pub geid: EdgeId,
+    /// Source endpoint (global id).
+    pub src: VertexId,
+    /// Target endpoint (global id).
+    pub dst: VertexId,
+    /// Whether this atom owns the edge.
+    pub owned: bool,
+    /// Initial data.
+    pub data: E,
+}
+
+/// One atom: the unit of graph placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Atom<V, E> {
+    /// This atom's id.
+    pub id: AtomId,
+    /// Vertices owned by this atom.
+    pub owned_vertices: Vec<OwnedVertex<V>>,
+    /// Boundary vertices owned elsewhere.
+    pub ghost_vertices: Vec<GhostVertex<V>>,
+    /// All edges adjacent to owned vertices (owned and ghost copies).
+    pub edges: Vec<AtomEdge<E>>,
+}
+
+impl<V: Codec, E: Codec> Atom<V, E> {
+    /// Creates an empty atom.
+    pub fn new(id: AtomId) -> Self {
+        Atom { id, owned_vertices: Vec::new(), ghost_vertices: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Serialises the atom as a journal.
+    pub fn encode_journal(&self) -> Bytes {
+        let mut w = JournalWriter::new(self.id);
+        for v in &self.owned_vertices {
+            w.add_vertex(v.gvid, &v.mirrors, &v.data);
+        }
+        for g in &self.ghost_vertices {
+            w.add_ghost(g.gvid, g.owner_atom, &g.data);
+        }
+        for e in &self.edges {
+            w.add_edge(e.geid, e.src, e.dst, e.owned, &e.data);
+        }
+        w.finish()
+    }
+
+    /// Plays back a journal into an atom.
+    pub fn decode_journal(bytes: Bytes) -> Result<Self, JournalError> {
+        let mut r = JournalReader::<V, E>::open(bytes)?;
+        let mut atom = Atom::new(r.atom());
+        while let Some(rec) = r.next_record()? {
+            match rec {
+                JournalRecord::Vertex { gvid, mirrors, data } => {
+                    atom.owned_vertices.push(OwnedVertex { gvid, mirrors, data });
+                }
+                JournalRecord::Ghost { gvid, owner_atom, data } => {
+                    atom.ghost_vertices.push(GhostVertex { gvid, owner_atom, data });
+                }
+                JournalRecord::Edge { geid, src, dst, owned, data } => {
+                    atom.edges.push(AtomEdge { geid, src, dst, owned, data });
+                }
+            }
+        }
+        Ok(atom)
+    }
+
+    /// Number of owned vertices.
+    pub fn num_owned(&self) -> usize {
+        self.owned_vertices.len()
+    }
+
+    /// Number of owned edges.
+    pub fn num_owned_edges(&self) -> usize {
+        self.edges.iter().filter(|e| e.owned).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Atom<f64, u32> {
+        Atom {
+            id: AtomId(3),
+            owned_vertices: vec![
+                OwnedVertex { gvid: VertexId(0), mirrors: vec![AtomId(1)], data: 0.5 },
+                OwnedVertex { gvid: VertexId(2), mirrors: vec![], data: 1.5 },
+            ],
+            ghost_vertices: vec![GhostVertex { gvid: VertexId(9), owner_atom: AtomId(1), data: 9.0 }],
+            edges: vec![
+                AtomEdge { geid: EdgeId(0), src: VertexId(9), dst: VertexId(0), owned: true, data: 7 },
+                AtomEdge { geid: EdgeId(1), src: VertexId(0), dst: VertexId(9), owned: false, data: 8 },
+            ],
+        }
+    }
+
+    #[test]
+    fn journal_roundtrip() {
+        let atom = sample();
+        let bytes = atom.encode_journal();
+        let back = Atom::<f64, u32>::decode_journal(bytes).unwrap();
+        assert_eq!(back, atom);
+    }
+
+    #[test]
+    fn counts() {
+        let atom = sample();
+        assert_eq!(atom.num_owned(), 2);
+        assert_eq!(atom.num_owned_edges(), 1);
+    }
+
+    #[test]
+    fn empty_atom_roundtrip() {
+        let atom = Atom::<f64, u32>::new(AtomId(0));
+        let back = Atom::<f64, u32>::decode_journal(atom.encode_journal()).unwrap();
+        assert_eq!(back, atom);
+    }
+}

@@ -1,0 +1,213 @@
+//! Simulated distributed file system.
+//!
+//! Stands in for HDFS / Amazon S3 (§4.1, §4.4): a thread-safe blob store
+//! holding atom journals and snapshot checkpoints. Write accounting
+//! includes a configurable replication factor so the Hadoop comparison can
+//! charge HDFS-style replicated writes (the paper sets Hadoop's
+//! replication factor to 1 in its experiments — our MapReduce baseline
+//! does the same by default).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// DFS error type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DfsError {
+    /// Read of a file that does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::NotFound(name) => write!(f, "dfs file not found: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// Cumulative I/O statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DfsStats {
+    /// Logical bytes written (before replication).
+    pub bytes_written: u64,
+    /// Physical bytes written (logical × replication factor).
+    pub bytes_written_replicated: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Number of files written (including overwrites).
+    pub files_written: u64,
+}
+
+/// In-memory simulated DFS.
+pub struct SimDfs {
+    files: RwLock<BTreeMap<String, Bytes>>,
+    replication: u32,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    files_written: AtomicU64,
+}
+
+impl SimDfs {
+    /// DFS with replication factor 1.
+    pub fn new() -> Self {
+        Self::with_replication(1)
+    }
+
+    /// DFS with an explicit replication factor (HDFS defaults to 3).
+    pub fn with_replication(replication: u32) -> Self {
+        assert!(replication >= 1);
+        SimDfs {
+            files: RwLock::new(BTreeMap::new()),
+            replication,
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            files_written: AtomicU64::new(0),
+        }
+    }
+
+    /// Writes (or overwrites) a file.
+    pub fn write(&self, name: &str, data: Bytes) {
+        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
+        self.files_written.fetch_add(1, Ordering::Relaxed);
+        self.files.write().insert(name.to_string(), data);
+    }
+
+    /// Reads a file.
+    pub fn read(&self, name: &str) -> Result<Bytes, DfsError> {
+        let files = self.files.read();
+        let data = files.get(name).cloned().ok_or_else(|| DfsError::NotFound(name.to_string()))?;
+        self.bytes_read.fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.read().contains_key(name)
+    }
+
+    /// Deletes a file; returns whether it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.files.write().remove(name).is_some()
+    }
+
+    /// Lists file names with the given prefix, sorted.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// I/O statistics snapshot.
+    pub fn stats(&self) -> DfsStats {
+        let w = self.bytes_written.load(Ordering::Relaxed);
+        DfsStats {
+            bytes_written: w,
+            bytes_written_replicated: w * self.replication as u64,
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            files_written: self.files_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total logical size of all stored files.
+    pub fn total_size(&self) -> u64 {
+        self.files.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+impl Default for SimDfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dfs = SimDfs::new();
+        dfs.write("a/b", Bytes::from_static(b"hello"));
+        assert_eq!(dfs.read("a/b").unwrap(), Bytes::from_static(b"hello"));
+        assert!(dfs.exists("a/b"));
+        assert!(!dfs.exists("a/c"));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = SimDfs::new();
+        assert_eq!(dfs.read("nope").unwrap_err(), DfsError::NotFound("nope".into()));
+    }
+
+    #[test]
+    fn list_prefix_sorted() {
+        let dfs = SimDfs::new();
+        dfs.write("g/atom_000002", Bytes::new());
+        dfs.write("g/atom_000000", Bytes::new());
+        dfs.write("g/atom_000001", Bytes::new());
+        dfs.write("other/file", Bytes::new());
+        assert_eq!(
+            dfs.list_prefix("g/"),
+            vec!["g/atom_000000", "g/atom_000001", "g/atom_000002"]
+        );
+    }
+
+    #[test]
+    fn stats_track_replication() {
+        let dfs = SimDfs::with_replication(3);
+        dfs.write("x", Bytes::from(vec![0u8; 100]));
+        let s = dfs.stats();
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_written_replicated, 300);
+        assert_eq!(s.files_written, 1);
+        dfs.read("x").unwrap();
+        assert_eq!(dfs.stats().bytes_read, 100);
+    }
+
+    #[test]
+    fn delete_works() {
+        let dfs = SimDfs::new();
+        dfs.write("x", Bytes::from_static(b"1"));
+        assert!(dfs.delete("x"));
+        assert!(!dfs.delete("x"));
+        assert!(!dfs.exists("x"));
+    }
+
+    #[test]
+    fn overwrite_keeps_latest() {
+        let dfs = SimDfs::new();
+        dfs.write("x", Bytes::from_static(b"old"));
+        dfs.write("x", Bytes::from_static(b"new"));
+        assert_eq!(dfs.read("x").unwrap(), Bytes::from_static(b"new"));
+        assert_eq!(dfs.stats().files_written, 2);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let dfs = Arc::new(SimDfs::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let dfs = Arc::clone(&dfs);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        dfs.write(&format!("t{i}/f{j}"), Bytes::from(vec![i as u8; 10]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(dfs.stats().files_written, 400);
+        assert_eq!(dfs.list_prefix("t3/").len(), 50);
+    }
+}

@@ -1,0 +1,501 @@
+//! Atom construction and distributed loading (§4.1, Fig. 5(a)).
+//!
+//! **Construction** ([`build_atoms`]) cuts a [`DataGraph`] along a
+//! [`VertexPartition`] into [`Atom`]s: each atom receives its owned
+//! vertices (with mirror-atom lists), *every* edge adjacent to an owned
+//! vertex (owned copies where the atom owns the edge's target, ghost
+//! copies otherwise), and redundant ghost-vertex records for boundary
+//! neighbours. The connectivity of the atoms is summarised in an
+//! [`AtomIndex`].
+//!
+//! **Loading** ([`load_machine_part`]) is what each machine does at launch:
+//! fetch the journals of its placed atoms from the DFS, play them back,
+//! deduplicate records that arrive through multiple local atoms, and remap
+//! ghost-ownership through the [`Placement`] (a record that is a ghost at
+//! atom granularity may be owned at machine granularity when sibling atoms
+//! land on the same machine).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use graphlab_graph::{AtomId, DataGraph, EdgeId, MachineId, VertexId};
+use graphlab_net::codec::Codec;
+
+use crate::atom::{Atom, AtomEdge, GhostVertex, OwnedVertex};
+use crate::dfs::{DfsError, SimDfs};
+use crate::index::{AtomIndex, AtomIndexEntry};
+use crate::journal::JournalError;
+use crate::partition::VertexPartition;
+use crate::placement::Placement;
+
+/// One vertex of a machine's local graph part.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitVertex<V> {
+    /// Global vertex id.
+    pub gvid: VertexId,
+    /// Machine owning the vertex (may be this machine).
+    pub owner: MachineId,
+    /// For *owned* vertices: other machines holding a ghost of it. Empty
+    /// for ghosts.
+    pub mirrors: Vec<MachineId>,
+    /// Initial data.
+    pub data: V,
+}
+
+/// One edge of a machine's local graph part.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitEdge<E> {
+    /// Global edge id.
+    pub geid: EdgeId,
+    /// Source endpoint.
+    pub src: VertexId,
+    /// Target endpoint.
+    pub dst: VertexId,
+    /// Machine owning the edge (the machine owning the target's atom).
+    pub owner: MachineId,
+    /// Initial data.
+    pub data: E,
+}
+
+/// Everything a machine needs to instantiate its local portion of the
+/// distributed data graph.
+#[derive(Clone, Debug)]
+pub struct LocalGraphInit<V, E> {
+    /// This machine.
+    pub machine: MachineId,
+    /// Cluster size.
+    pub num_machines: usize,
+    /// Local vertices: owned first is *not* guaranteed; check `owner`.
+    pub vertices: Vec<InitVertex<V>>,
+    /// Local edges (owned and ghost copies), deduplicated.
+    pub edges: Vec<InitEdge<E>>,
+    /// |V| of the full graph.
+    pub total_vertices: u64,
+    /// |E| of the full graph.
+    pub total_edges: u64,
+}
+
+/// Cuts `graph` into atoms along `partition` and builds the atom index.
+///
+/// Edge ownership rule: an edge belongs to the atom owning its **target**
+/// vertex; the source's atom (when different) receives a ghost copy so
+/// scopes on the source side are locally complete.
+pub fn build_atoms<V, E>(
+    graph: &DataGraph<V, E>,
+    partition: &VertexPartition,
+    file_prefix: &str,
+) -> (Vec<Atom<V, E>>, AtomIndex)
+where
+    V: Codec + Clone,
+    E: Codec + Clone,
+{
+    assert_eq!(partition.len(), graph.num_vertices(), "partition covers the graph");
+    let k = partition.num_atoms();
+    let mut atoms: Vec<Atom<V, E>> = (0..k).map(|a| Atom::new(AtomId(a as u32))).collect();
+
+    // Owned vertices + mirror atom lists.
+    let mut mirror_scratch: Vec<AtomId> = Vec::new();
+    for v in graph.vertices() {
+        let a = partition.atom_of(v);
+        mirror_scratch.clear();
+        for e in graph.adj(v) {
+            let na = partition.atom_of(e.nbr);
+            if na != a {
+                mirror_scratch.push(na);
+            }
+        }
+        mirror_scratch.sort_unstable();
+        mirror_scratch.dedup();
+        atoms[a.index()].owned_vertices.push(OwnedVertex {
+            gvid: v,
+            mirrors: mirror_scratch.clone(),
+            data: graph.vertex_data(v).clone(),
+        });
+    }
+
+    // Edges + ghost vertices. `ghost_seen[a]` dedups ghost records per atom.
+    let mut ghost_seen: Vec<HashMap<VertexId, ()>> = vec![HashMap::new(); k];
+    let mut cross: HashMap<(AtomId, AtomId), u64> = HashMap::new();
+    for e in graph.edges() {
+        let (s, d) = graph.edge_endpoints(e);
+        let (sa, da) = (partition.atom_of(s), partition.atom_of(d));
+        let data = graph.edge_data(e).clone();
+        // Owner copy at the target's atom.
+        atoms[da.index()].edges.push(AtomEdge { geid: e, src: s, dst: d, owned: true, data: data.clone() });
+        if sa != da {
+            // Ghost copy at the source's atom.
+            atoms[sa.index()].edges.push(AtomEdge { geid: e, src: s, dst: d, owned: false, data });
+            // Ghost vertex records for the foreign endpoint on both sides.
+            if ghost_seen[da.index()].insert(s, ()).is_none() {
+                atoms[da.index()].ghost_vertices.push(GhostVertex {
+                    gvid: s,
+                    owner_atom: sa,
+                    data: graph.vertex_data(s).clone(),
+                });
+            }
+            if ghost_seen[sa.index()].insert(d, ()).is_none() {
+                atoms[sa.index()].ghost_vertices.push(GhostVertex {
+                    gvid: d,
+                    owner_atom: da,
+                    data: graph.vertex_data(d).clone(),
+                });
+            }
+            let key = if sa < da { (sa, da) } else { (da, sa) };
+            *cross.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    // Meta-graph index.
+    let mut neighbors: Vec<Vec<(AtomId, u64)>> = vec![Vec::new(); k];
+    for (&(a, b), &w) in &cross {
+        neighbors[a.index()].push((b, w));
+        neighbors[b.index()].push((a, w));
+    }
+    let entries = atoms
+        .iter()
+        .enumerate()
+        .map(|(i, atom)| {
+            let mut nbrs = std::mem::take(&mut neighbors[i]);
+            nbrs.sort_unstable();
+            AtomIndexEntry {
+                atom: atom.id,
+                owned_vertices: atom.owned_vertices.len() as u64,
+                owned_edges: atom.edges.iter().filter(|e| e.owned).count() as u64,
+                file: AtomIndex::atom_file_name(file_prefix, atom.id),
+                neighbors: nbrs,
+            }
+        })
+        .collect();
+
+    let index = AtomIndex {
+        entries,
+        total_vertices: graph.num_vertices() as u64,
+        total_edges: graph.num_edges() as u64,
+    };
+    (atoms, index)
+}
+
+/// Writes atom journals plus the index to the DFS under `prefix`.
+pub fn write_atoms<V, E>(dfs: &SimDfs, prefix: &str, atoms: &[Atom<V, E>], index: &AtomIndex)
+where
+    V: Codec,
+    E: Codec,
+{
+    for atom in atoms {
+        dfs.write(&AtomIndex::atom_file_name(prefix, atom.id), atom.encode_journal());
+    }
+    dfs.write(
+        &AtomIndex::index_file_name(prefix),
+        graphlab_net::codec::encode_to_bytes(index),
+    );
+}
+
+/// Reads the atom index back from the DFS.
+pub fn read_index(dfs: &SimDfs, prefix: &str) -> Result<AtomIndex, IngressError> {
+    let bytes = dfs.read(&AtomIndex::index_file_name(prefix))?;
+    graphlab_net::codec::decode_from(bytes).ok_or(IngressError::BadIndex)
+}
+
+/// Errors raised while loading a machine's part.
+#[derive(Debug)]
+pub enum IngressError {
+    /// DFS-level failure.
+    Dfs(DfsError),
+    /// Journal decode failure.
+    Journal(JournalError),
+    /// The atom index failed to decode.
+    BadIndex,
+}
+
+impl From<DfsError> for IngressError {
+    fn from(e: DfsError) -> Self {
+        IngressError::Dfs(e)
+    }
+}
+
+impl From<JournalError> for IngressError {
+    fn from(e: JournalError) -> Self {
+        IngressError::Journal(e)
+    }
+}
+
+impl std::fmt::Display for IngressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngressError::Dfs(e) => write!(f, "ingress dfs error: {e}"),
+            IngressError::Journal(e) => write!(f, "ingress journal error: {e}"),
+            IngressError::BadIndex => write!(f, "atom index failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for IngressError {}
+
+/// Loads and merges the atoms placed on `machine`: journal playback,
+/// deduplication, and atom→machine ownership remapping.
+pub fn load_machine_part<V, E>(
+    dfs: &SimDfs,
+    index: &AtomIndex,
+    placement: &Placement,
+    machine: MachineId,
+) -> Result<LocalGraphInit<V, E>, IngressError>
+where
+    V: Codec,
+    E: Codec,
+{
+    let my_atoms = placement.atoms_of(machine);
+
+    // First pass: decode journals, collect owned vertices and remember each
+    // ghost's owner atom. Owned records win over ghost records (sibling
+    // atoms on the same machine).
+    let mut vertices: HashMap<VertexId, InitVertex<V>> = HashMap::new();
+    let mut vertex_owner_atom: HashMap<VertexId, AtomId> = HashMap::new();
+    let mut decoded: Vec<Atom<V, E>> = Vec::with_capacity(my_atoms.len());
+    for &a in &my_atoms {
+        let bytes = dfs.read(&index.entry(a).file)?;
+        decoded.push(Atom::decode_journal(bytes)?);
+    }
+
+    for atom in &mut decoded {
+        for ov in atom.owned_vertices.drain(..) {
+            let mut mirrors: Vec<MachineId> = ov
+                .mirrors
+                .iter()
+                .map(|&ma| placement.machine_of(ma))
+                .filter(|&m| m != machine)
+                .collect();
+            mirrors.sort_unstable();
+            mirrors.dedup();
+            vertex_owner_atom.insert(ov.gvid, atom.id);
+            vertices.insert(
+                ov.gvid,
+                InitVertex { gvid: ov.gvid, owner: machine, mirrors, data: ov.data },
+            );
+        }
+    }
+    for atom in &mut decoded {
+        for gv in atom.ghost_vertices.drain(..) {
+            vertex_owner_atom.entry(gv.gvid).or_insert(gv.owner_atom);
+            if let Entry::Vacant(slot) = vertices.entry(gv.gvid) {
+                let owner = placement.machine_of(gv.owner_atom);
+                debug_assert_ne!(
+                    owner, machine,
+                    "ghost record for locally-owned vertex must have been shadowed"
+                );
+                slot.insert(InitVertex { gvid: gv.gvid, owner, mirrors: Vec::new(), data: gv.data });
+            }
+        }
+    }
+
+    // Second pass: edges. Owner machine = machine of the owner atom of the
+    // target vertex (always resolvable: the target is locally present).
+    let mut edges: HashMap<EdgeId, InitEdge<E>> = HashMap::new();
+    for atom in &mut decoded {
+        for ae in atom.edges.drain(..) {
+            let owner_atom = *vertex_owner_atom
+                .get(&ae.dst)
+                .expect("edge target present in local vertex set");
+            let owner = placement.machine_of(owner_atom);
+            edges.entry(ae.geid).or_insert(InitEdge {
+                geid: ae.geid,
+                src: ae.src,
+                dst: ae.dst,
+                owner,
+                data: ae.data,
+            });
+        }
+    }
+
+    let mut vertices: Vec<InitVertex<V>> = vertices.into_values().collect();
+    vertices.sort_unstable_by_key(|v| v.gvid);
+    let mut edges: Vec<InitEdge<E>> = edges.into_values().collect();
+    edges.sort_unstable_by_key(|e| e.geid);
+
+    Ok(LocalGraphInit {
+        machine,
+        num_machines: placement.num_machines(),
+        vertices,
+        edges,
+        total_vertices: index.total_vertices,
+        total_edges: index.total_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlab_graph::GraphBuilder;
+
+    /// A ring of `n` weighted vertices.
+    fn ring(n: usize) -> DataGraph<f64, u32> {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(i as f64)).collect();
+        for i in 0..n {
+            b.add_edge(vs[i], vs[(i + 1) % n], i as u32).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn atoms_partition_ownership() {
+        let g = ring(20);
+        let p = VertexPartition::random_hash(20, 4, 1);
+        let (atoms, index) = build_atoms(&g, &p, "t");
+
+        let owned: usize = atoms.iter().map(|a| a.num_owned()).sum();
+        assert_eq!(owned, 20);
+        let owned_edges: usize = atoms.iter().map(|a| a.num_owned_edges()).sum();
+        assert_eq!(owned_edges, 20, "every edge owned exactly once");
+        assert_eq!(index.total_vertices, 20);
+        assert_eq!(index.total_edges, 20);
+    }
+
+    #[test]
+    fn index_neighbors_symmetric() {
+        let g = ring(30);
+        let p = VertexPartition::random_hash(30, 5, 2);
+        let (_, index) = build_atoms(&g, &p, "t");
+        for e in &index.entries {
+            for &(nbr, w) in &e.neighbors {
+                let back = index
+                    .entry(nbr)
+                    .neighbors
+                    .iter()
+                    .find(|&&(a, _)| a == e.atom)
+                    .expect("symmetric meta edge");
+                assert_eq!(back.1, w);
+            }
+        }
+    }
+
+    #[test]
+    fn mirrors_are_neighbor_atoms() {
+        let g = ring(12);
+        let p = VertexPartition::random_hash(12, 3, 7);
+        let (atoms, _) = build_atoms(&g, &p, "t");
+        for atom in &atoms {
+            for ov in &atom.owned_vertices {
+                let expected: std::collections::BTreeSet<AtomId> = g
+                    .adj(ov.gvid)
+                    .iter()
+                    .map(|e| p.atom_of(e.nbr))
+                    .filter(|&a| a != atom.id)
+                    .collect();
+                let got: std::collections::BTreeSet<AtomId> = ov.mirrors.iter().copied().collect();
+                assert_eq!(got, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn full_ingress_covers_graph() {
+        let g = ring(24);
+        let p = VertexPartition::random_hash(24, 6, 3);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &p, "ring");
+        write_atoms(&dfs, "ring", &atoms, &index);
+        let index2 = read_index(&dfs, "ring").unwrap();
+        assert_eq!(index2, index);
+
+        let placement = Placement::compute(&index, 3);
+        let mut owned_seen = vec![false; 24];
+        let mut edge_owner_count = vec![0usize; 24];
+        for m in 0..3 {
+            let part: LocalGraphInit<f64, u32> =
+                load_machine_part(&dfs, &index, &placement, MachineId::from(m)).unwrap();
+            assert_eq!(part.total_vertices, 24);
+            for v in &part.vertices {
+                if v.owner == part.machine {
+                    assert!(!owned_seen[v.gvid.index()], "vertex owned once");
+                    owned_seen[v.gvid.index()] = true;
+                    assert_eq!(*g.vertex_data(v.gvid), v.data);
+                    assert!(!v.mirrors.contains(&part.machine));
+                } else {
+                    assert!(v.mirrors.is_empty());
+                }
+            }
+            for e in &part.edges {
+                if e.owner == part.machine {
+                    edge_owner_count[e.geid.index()] += 1;
+                }
+                assert_eq!(*g.edge_data(e.geid), e.data);
+                assert_eq!(g.edge_endpoints(e.geid), (e.src, e.dst));
+            }
+        }
+        assert!(owned_seen.iter().all(|&s| s), "every vertex owned somewhere");
+        assert!(
+            edge_owner_count.iter().all(|&c| c == 1),
+            "every edge owned exactly once: {edge_owner_count:?}"
+        );
+    }
+
+    #[test]
+    fn local_scopes_are_complete() {
+        // Every owned vertex must see its full global adjacency locally.
+        let g = ring(18);
+        let p = VertexPartition::bfs_grow(&g, 6, 11, 1);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &p, "x");
+        write_atoms(&dfs, "x", &atoms, &index);
+        let placement = Placement::compute(&index, 2);
+        for m in 0..2 {
+            let part: LocalGraphInit<f64, u32> =
+                load_machine_part(&dfs, &index, &placement, MachineId::from(m)).unwrap();
+            let local_vertices: std::collections::BTreeSet<_> =
+                part.vertices.iter().map(|v| v.gvid).collect();
+            let local_edges: std::collections::BTreeSet<_> =
+                part.edges.iter().map(|e| e.geid).collect();
+            for v in part.vertices.iter().filter(|v| v.owner == part.machine) {
+                for adj in g.adj(v.gvid) {
+                    assert!(local_edges.contains(&adj.edge), "edge {} present", adj.edge);
+                    assert!(local_vertices.contains(&adj.nbr), "nbr {} present", adj.nbr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_machines_match_ghosts() {
+        let g = ring(16);
+        let p = VertexPartition::random_hash(16, 8, 5);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &p, "x");
+        write_atoms(&dfs, "x", &atoms, &index);
+        let placement = Placement::compute(&index, 4);
+        let parts: Vec<LocalGraphInit<f64, u32>> = (0..4)
+            .map(|m| load_machine_part(&dfs, &index, &placement, MachineId::from(m)).unwrap())
+            .collect();
+        // ghosts[m] = vertices machine m holds but does not own
+        let ghosts: Vec<std::collections::BTreeSet<VertexId>> = parts
+            .iter()
+            .map(|p| p.vertices.iter().filter(|v| v.owner != p.machine).map(|v| v.gvid).collect())
+            .collect();
+        for part in &parts {
+            for v in part.vertices.iter().filter(|v| v.owner == part.machine) {
+                let expected: std::collections::BTreeSet<MachineId> = (0..4)
+                    .map(MachineId::from)
+                    .filter(|&m| m != part.machine && ghosts[m.index()].contains(&v.gvid))
+                    .collect();
+                let got: std::collections::BTreeSet<MachineId> = v.mirrors.iter().copied().collect();
+                assert_eq!(got, expected, "mirrors of {}", v.gvid);
+            }
+        }
+    }
+
+    #[test]
+    fn single_machine_has_no_ghosts() {
+        let g = ring(10);
+        let p = VertexPartition::random_hash(10, 4, 2);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &p, "s");
+        write_atoms(&dfs, "s", &atoms, &index);
+        let placement = Placement::compute(&index, 1);
+        let part: LocalGraphInit<f64, u32> =
+            load_machine_part(&dfs, &index, &placement, MachineId(0)).unwrap();
+        assert_eq!(part.vertices.len(), 10);
+        assert!(part.vertices.iter().all(|v| v.owner == MachineId(0)));
+        assert!(part.vertices.iter().all(|v| v.mirrors.is_empty()));
+        assert_eq!(part.edges.len(), 10);
+        assert!(part.edges.iter().all(|e| e.owner == MachineId(0)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # graphlab-atoms
+//!
+//! The distributed data-graph representation of Distributed GraphLab
+//! (§4.1): two-phase partitioning, atom journal files, the atom index
+//! meta-graph, and distributed ingress.
+//!
+//! The pipeline is:
+//!
+//! 1. **Over-partition** the data graph into `k` parts ("atoms") with
+//!    `k ≫ #machines`, using either random hashing or a locality-aware
+//!    heuristic ([`partition`]).
+//! 2. **Serialise** each atom as a binary journal of graph-generating
+//!    commands (`AddVertex`, `AddEdge`, ghost records) and store it on a
+//!    distributed file system ([`journal`], [`atom`], [`dfs`]).
+//! 3. **Index**: the connectivity and sizes of the `k` atoms form a
+//!    meta-graph stored in the atom index file ([`index`]).
+//! 4. **Place**: at launch, a fast balanced partition of the meta-graph
+//!    assigns atoms to physical machines ([`placement`]) — the same atom
+//!    set load-balances onto any cluster size without repartitioning.
+//! 5. **Load**: each machine plays back the journals of its atoms,
+//!    instantiating owned data and ghosts ([`ingress`]).
+
+pub mod atom;
+pub mod dfs;
+pub mod index;
+pub mod ingress;
+pub mod journal;
+pub mod partition;
+pub mod placement;
+
+pub use atom::{Atom, AtomEdge, GhostVertex, OwnedVertex};
+pub use dfs::{DfsError, DfsStats, SimDfs};
+pub use index::{AtomIndex, AtomIndexEntry};
+pub use ingress::{build_atoms, load_machine_part, write_atoms, InitEdge, InitVertex, LocalGraphInit};
+pub use journal::{JournalError, JournalReader, JournalWriter};
+pub use partition::VertexPartition;
+pub use placement::Placement;

@@ -1,0 +1,204 @@
+//! Second phase of the two-phase partitioning: a *fast balanced partition
+//! of the meta-graph over the number of physical machines* (§4.1).
+//!
+//! The same `k` atoms can therefore be re-balanced onto any cluster size
+//! without repartitioning the data graph. We use LPT (longest-processing-
+//! time-first) bin packing by owned-vertex count with a connectivity
+//! affinity bonus: among machines within the balance envelope, prefer the
+//! one already holding the most meta-graph neighbours of the atom.
+
+use bytes::{Bytes, BytesMut};
+use graphlab_graph::{AtomId, MachineId};
+use graphlab_net::codec::Codec;
+
+use crate::index::AtomIndex;
+
+/// Assignment of atoms to machines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    machine_of: Vec<MachineId>,
+    num_machines: usize,
+}
+
+impl Placement {
+    /// Computes a placement of `index`'s atoms onto `num_machines`
+    /// machines.
+    pub fn compute(index: &AtomIndex, num_machines: usize) -> Placement {
+        assert!(num_machines > 0);
+        let k = index.num_atoms();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&a| std::cmp::Reverse(index.entries[a].owned_vertices));
+
+        let total: u64 = index.entries.iter().map(|e| e.owned_vertices).sum();
+        // Allow 20% headroom over the perfectly balanced load before
+        // affinity is overruled.
+        let cap = (total as f64 / num_machines as f64 * 1.2).ceil() as u64 + 1;
+
+        let mut machine_of = vec![MachineId(0); k];
+        let mut placed = vec![false; k];
+        let mut load = vec![0u64; num_machines];
+
+        for &a in &order {
+            let entry = &index.entries[a];
+            // Affinity: count already-placed neighbour atoms per machine.
+            let mut affinity = vec![0u64; num_machines];
+            for &(nbr, w) in &entry.neighbors {
+                if placed[nbr.index()] {
+                    affinity[machine_of[nbr.index()].index()] += w;
+                }
+            }
+            // Candidate: max affinity among machines under cap; fall back
+            // to least-loaded.
+            let mut best: Option<usize> = None;
+            for m in 0..num_machines {
+                if load[m] + entry.owned_vertices <= cap {
+                    match best {
+                        None => best = Some(m),
+                        Some(b) => {
+                            let better = (affinity[m], std::cmp::Reverse(load[m]))
+                                > (affinity[b], std::cmp::Reverse(load[b]));
+                            if better {
+                                best = Some(m);
+                            }
+                        }
+                    }
+                }
+            }
+            let m = best.unwrap_or_else(|| {
+                (0..num_machines).min_by_key(|&m| load[m]).expect("num_machines > 0")
+            });
+            machine_of[a] = MachineId::from(m);
+            placed[a] = true;
+            load[m] += entry.owned_vertices;
+        }
+        Placement { machine_of, num_machines }
+    }
+
+    /// Round-robin placement (used by tests and as a degenerate baseline).
+    pub fn round_robin(num_atoms: usize, num_machines: usize) -> Placement {
+        assert!(num_machines > 0);
+        Placement {
+            machine_of: (0..num_atoms).map(|a| MachineId::from(a % num_machines)).collect(),
+            num_machines,
+        }
+    }
+
+    /// Machine that loads `atom`.
+    #[inline]
+    pub fn machine_of(&self, atom: AtomId) -> MachineId {
+        self.machine_of[atom.index()]
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Atoms assigned to `machine`.
+    pub fn atoms_of(&self, machine: MachineId) -> Vec<AtomId> {
+        self.machine_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m == machine)
+            .map(|(a, _)| AtomId(a as u32))
+            .collect()
+    }
+
+    /// Owned-vertex load per machine given the index.
+    pub fn loads(&self, index: &AtomIndex) -> Vec<u64> {
+        let mut loads = vec![0u64; self.num_machines];
+        for (a, &m) in self.machine_of.iter().enumerate() {
+            loads[m.index()] += index.entries[a].owned_vertices;
+        }
+        loads
+    }
+}
+
+impl Codec for Placement {
+    fn encode(&self, buf: &mut BytesMut) {
+        let raw: Vec<u16> = self.machine_of.iter().map(|m| m.0).collect();
+        raw.encode(buf);
+        (self.num_machines as u32).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let raw = Vec::<u16>::decode(buf)?;
+        let num_machines = u32::decode(buf)? as usize;
+        Some(Placement { machine_of: raw.into_iter().map(MachineId).collect(), num_machines })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::AtomIndexEntry;
+
+    fn index(sizes: &[u64], edges: &[(usize, usize, u64)]) -> AtomIndex {
+        let mut entries: Vec<AtomIndexEntry> = sizes
+            .iter()
+            .enumerate()
+            .map(|(a, &s)| AtomIndexEntry {
+                atom: AtomId(a as u32),
+                owned_vertices: s,
+                owned_edges: 0,
+                file: format!("t/atom_{a:06}"),
+                neighbors: vec![],
+            })
+            .collect();
+        for &(a, b, w) in edges {
+            entries[a].neighbors.push((AtomId(b as u32), w));
+            entries[b].neighbors.push((AtomId(a as u32), w));
+        }
+        AtomIndex { entries, total_vertices: sizes.iter().sum(), total_edges: 0 }
+    }
+
+    #[test]
+    fn balances_equal_atoms() {
+        let idx = index(&[10; 8], &[]);
+        let p = Placement::compute(&idx, 4);
+        let loads = p.loads(&idx);
+        assert_eq!(loads, vec![20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn affinity_groups_connected_atoms() {
+        // Two cliques of atoms {0,1} and {2,3} heavily connected inside.
+        let idx = index(&[10, 10, 10, 10], &[(0, 1, 100), (2, 3, 100), (1, 2, 1)]);
+        let p = Placement::compute(&idx, 2);
+        assert_eq!(p.machine_of(AtomId(0)), p.machine_of(AtomId(1)));
+        assert_eq!(p.machine_of(AtomId(2)), p.machine_of(AtomId(3)));
+        assert_ne!(p.machine_of(AtomId(0)), p.machine_of(AtomId(2)));
+    }
+
+    #[test]
+    fn handles_skewed_sizes() {
+        let idx = index(&[100, 1, 1, 1, 1, 1], &[]);
+        let p = Placement::compute(&idx, 2);
+        let loads = p.loads(&idx);
+        // The big atom alone on one machine, the small ones elsewhere.
+        assert_eq!(loads.iter().max(), Some(&100));
+        assert_eq!(loads.iter().sum::<u64>(), 105);
+    }
+
+    #[test]
+    fn round_robin_covers_machines() {
+        let p = Placement::round_robin(10, 3);
+        assert_eq!(p.atoms_of(MachineId(0)).len(), 4);
+        assert_eq!(p.atoms_of(MachineId(1)).len(), 3);
+        assert_eq!(p.atoms_of(MachineId(2)).len(), 3);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let p = Placement::round_robin(5, 2);
+        let bytes = graphlab_net::codec::encode_to_bytes(&p);
+        assert_eq!(graphlab_net::codec::decode_from::<Placement>(bytes), Some(p));
+    }
+
+    #[test]
+    fn more_machines_than_atoms() {
+        let idx = index(&[5, 5], &[]);
+        let p = Placement::compute(&idx, 8);
+        let loads = p.loads(&idx);
+        assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! EC2 cost model for the price/performance study (§5.4, Fig. 9(b)).
+//!
+//! "All costs are computed using fine-grained billing rather than the
+//! hourly billing used by Amazon EC2" — cost is simply
+//! `machines × runtime × hourly rate`.
+
+use std::time::Duration;
+
+/// 2012 hourly price of the cc1.4xlarge HPC instances used in the paper.
+pub const CC1_4XLARGE_HOURLY_USD: f64 = 1.30;
+
+/// Fine-grained-billing cost of a run.
+pub fn ec2_cost_usd(machines: usize, runtime: Duration, hourly_rate: f64) -> f64 {
+    machines as f64 * runtime.as_secs_f64() / 3600.0 * hourly_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_in_machines_and_time() {
+        let one = ec2_cost_usd(1, Duration::from_secs(3600), 1.30);
+        assert!((one - 1.30).abs() < 1e-12);
+        let four = ec2_cost_usd(4, Duration::from_secs(3600), 1.30);
+        assert!((four - 5.20).abs() < 1e-12);
+        let half = ec2_cost_usd(4, Duration::from_secs(1800), 1.30);
+        assert!((half - 2.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fine_grained_billing() {
+        // 90 seconds is billed as 90 seconds, not an hour.
+        let c = ec2_cost_usd(64, Duration::from_secs(90), CC1_4XLARGE_HOURLY_USD);
+        assert!((c - 64.0 * 90.0 / 3600.0 * 1.30).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! # graphlab-baselines
+//!
+//! The comparison systems of the paper's evaluation, built from scratch:
+//!
+//! - [`mapreduce`] — a real (in-process) MapReduce engine with Hadoop-style
+//!   cost accounting: per-job startup, materialised + byte-encoded shuffle,
+//!   replicated HDFS output writes. Hosts the Mahout-style ALS, CoEM and
+//!   PageRank jobs (§5.1, §5.3, Fig. 6(d), Fig. 8(c), Fig. 9(b)).
+//! - [`pregel`] — a bulk-synchronous vertex-centric message-passing engine
+//!   (supersteps, combiner-less messaging, halt voting): the "Sync
+//!   (Pregel)" baselines of Fig. 1(a), 1(c) and 9(a).
+//! - [`mpi`] — a bulk-synchronous collective-communication implementation
+//!   ("roughly equivalent to an optimized Pregel with parallel
+//!   broadcasts", §5.1) of ALS and CoEM.
+//! - [`cost`] — the EC2 fine-grained billing model of Fig. 9(b).
+
+pub mod cost;
+pub mod mapreduce;
+pub mod mpi;
+pub mod pregel;
+
+pub use cost::{ec2_cost_usd, CC1_4XLARGE_HOURLY_USD};
+pub use mapreduce::{MapReduceConfig, MapReduceEngine, MrStats};
+pub use mpi::{als_mpi, coem_mpi, MpiStats};
+pub use pregel::{PregelConfig, PregelEngine, PregelStats, VertexProgram};

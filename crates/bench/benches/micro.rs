@@ -1,0 +1,179 @@
+//! Criterion micro-benchmarks for the performance-critical substrates:
+//! codec, atom journals, colouring, schedulers, the lock table, dense
+//! solves, partitioners and the MapReduce shuffle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use graphlab_apps::linalg::{cholesky_solve, SymMatrix};
+use graphlab_atoms::{build_atoms, VertexPartition};
+use graphlab_core::{Scheduler, SchedulerKind};
+use graphlab_graph::{greedy_coloring, DataGraph, GraphBuilder, VertexId};
+use graphlab_net::codec::{decode_from, encode_to_bytes};
+use graphlab_workloads::web_graph;
+
+fn grid(w: usize, h: usize) -> DataGraph<f64, f64> {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<_> = (0..w * h).map(|i| b.add_vertex(i as f64)).collect();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(ids[y * w + x], ids[y * w + x + 1], 1.0).unwrap();
+            }
+            if y + 1 < h {
+                b.add_edge(ids[y * w + x], ids[(y + 1) * w + x], 1.0).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let v: Vec<f64> = (0..128).map(|i| i as f64 * 0.5).collect();
+    c.bench_function("codec/encode_vec_f64_128", |b| {
+        b.iter(|| encode_to_bytes(black_box(&v)))
+    });
+    let bytes = encode_to_bytes(&v);
+    c.bench_function("codec/decode_vec_f64_128", |b| {
+        b.iter(|| decode_from::<Vec<f64>>(black_box(bytes.clone())).unwrap())
+    });
+}
+
+fn bench_journal(c: &mut Criterion) {
+    let g = grid(40, 40);
+    let part = VertexPartition::random_hash(g.num_vertices(), 16, 1);
+    c.bench_function("atoms/build_atoms_1600v", |b| {
+        b.iter(|| build_atoms(black_box(&g), black_box(&part), "bench"))
+    });
+    let (atoms, _) = build_atoms(&g, &part, "bench");
+    let journal = atoms[0].encode_journal();
+    c.bench_function("atoms/journal_decode", |b| {
+        b.iter(|| graphlab_atoms::Atom::<f64, f64>::decode_journal(black_box(journal.clone())).unwrap())
+    });
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let g = web_graph(5_000, 4, 3);
+    c.bench_function("coloring/greedy_5k_powerlaw", |b| {
+        b.iter(|| greedy_coloring(black_box(&g)))
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/fifo_add_pop_10k", |b| {
+        b.iter_batched(
+            || Scheduler::new(SchedulerKind::Fifo, 10_000),
+            |mut s| {
+                for i in 0..10_000u32 {
+                    s.add(i, 1.0);
+                }
+                while s.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("scheduler/priority_add_pop_10k", |b| {
+        b.iter_batched(
+            || Scheduler::new(SchedulerKind::Priority, 10_000),
+            |mut s| {
+                for i in 0..10_000u32 {
+                    s.add(i, (i % 97) as f64 + 0.5);
+                }
+                while s.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    for d in [8usize, 32] {
+        let mut a = SymMatrix::scaled_identity(d, 1.0);
+        for i in 0..d {
+            let x: Vec<f64> = (0..d).map(|j| ((i * j) % 7) as f64 * 0.1).collect();
+            a.add_outer(&x);
+        }
+        let b_vec: Vec<f64> = (0..d).map(|i| i as f64).collect();
+        c.bench_function(&format!("linalg/cholesky_solve_d{d}"), |bch| {
+            bch.iter_batched(
+                || (a.clone(), b_vec.clone()),
+                |(a, mut b)| cholesky_solve(a, &mut b).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let g = grid(60, 60);
+    c.bench_function("partition/random_hash_3600v", |b| {
+        b.iter(|| VertexPartition::random_hash(g.num_vertices(), 32, 7))
+    });
+    c.bench_function("partition/bfs_grow_3600v", |b| {
+        b.iter(|| VertexPartition::bfs_grow(black_box(&g), 32, 7, 2))
+    });
+}
+
+fn bench_pagerank_engines(c: &mut Criterion) {
+    use graphlab_apps::pagerank::{init_ranks, PageRank};
+    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    let base = web_graph(2_000, 4, 9);
+    c.bench_function("engine/sequential_pagerank_2k", |b| {
+        b.iter_batched(
+            || {
+                let mut g = base.clone();
+                init_ranks(&mut g);
+                g
+            },
+            |mut g| {
+                run_sequential(
+                    &mut g,
+                    &PageRank { alpha: 0.15, epsilon: 1e-6, dynamic: true },
+                    InitialSchedule::AllVertices,
+                    SequentialConfig::default(),
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_locktable(c: &mut Criterion) {
+    // The lock table is crate-private; benchmark through a locking-engine
+    // single-machine run which is dominated by chain machinery.
+    use graphlab_core::{run_locking, EngineConfig, InitialSchedule, PartitionStrategy};
+    use std::sync::Arc;
+    let base = grid(30, 30);
+    c.bench_function("engine/locking_maxdiff_900v_1m", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut g| {
+                let mut cfg = EngineConfig::new(1);
+                cfg.max_updates = 2_000;
+                run_locking(
+                    &mut g,
+                    Arc::new(|ctx: &mut graphlab_core::UpdateContext<'_, f64, f64>| {
+                        let mut best = *ctx.vertex_data();
+                        for i in 0..ctx.num_neighbors() {
+                            best = best.max(*ctx.nbr_data(i));
+                        }
+                        *ctx.vertex_data_mut() = best;
+                    }),
+                    InitialSchedule::AllVertices,
+                    Arc::new(Vec::new()),
+                    &cfg,
+                    &PartitionStrategy::RandomHash,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let _ = VertexId(0);
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_codec, bench_journal, bench_coloring, bench_scheduler, bench_cholesky, bench_partition, bench_pagerank_engines, bench_locktable
+}
+criterion_main!(micro);

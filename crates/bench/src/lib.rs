@@ -1,0 +1,11 @@
+//! # graphlab-bench
+//!
+//! The reproduction harness: `cargo run -p graphlab-bench --release --bin
+//! repro -- <experiment>` regenerates every table and figure of the paper
+//! at laptop scale (see DESIGN.md §5 for the experiment index and
+//! EXPERIMENTS.md for recorded runs). Criterion micro-benchmarks live in
+//! `benches/`.
+
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,66 @@
+//! Minimal fixed-width table printer for harness output.
+
+/// A simple left-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                out.push_str(&format!("{c:<w$}  "));
+            }
+            println!("  {}", out.trim_end());
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_without_panicking() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333333".into(), "4".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,633 @@
+//! The chromatic engine (§4.2.1).
+//!
+//! Given a proper vertex colouring, executing all scheduled vertices of one
+//! colour — a *colour-step* — satisfies the edge consistency model, because
+//! no two adjacent vertices share a colour (full consistency uses a
+//! second-order colouring, vertex consistency a single colour). Changes to
+//! ghost data are communicated **asynchronously while the colour-step
+//! runs**, and a full communication barrier separates colour-steps.
+//!
+//! The barrier is realised as a two-round counting flush: after executing
+//! its part of the step, every machine tells every other machine how many
+//! data messages it sent them (round A); write-backs processed during
+//! round A may trigger forwards to other mirrors, which are accounted in
+//! round B. A machine enters the next colour-step only after receiving
+//! every promised message, so all modifications are visible before the
+//! next colour begins.
+//!
+//! Between colour *cycles* (one pass over all colours) the machines run the
+//! sync operations and the master decides halting ("the entire cycle
+//! executed zero updates and all schedulers are empty") and snapshot
+//! triggers.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+use graphlab_atoms::LocalGraphInit;
+use graphlab_graph::{MachineId, VertexId};
+use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
+use graphlab_net::{Endpoint, Envelope, RecvError};
+
+use crate::driver::{MachineResult, MachineSetup};
+use crate::globals::GlobalRegistry;
+use crate::local::LocalGraph;
+use crate::messages::*;
+use crate::reference::InitialSchedule;
+use crate::snapshot::{snap_file_name, SnapshotFile};
+use crate::sync::local_partial;
+use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn enc<T: Codec>(v: &T) -> Bytes {
+    encode_to_bytes(v)
+}
+
+fn dec<T: Codec>(b: Bytes) -> T {
+    decode_from(b).expect("malformed engine message")
+}
+
+pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
+    lg: LocalGraph<V, E>,
+    ep: Endpoint,
+    setup: MachineSetup<V, E, U>,
+    globals: GlobalRegistry,
+    num_colors: u32,
+
+    // Task queues, one per colour; `queued` dedups.
+    queues: Vec<VecDeque<u32>>,
+    queued: Vec<bool>,
+    pending_total: u64,
+
+    // Step / flush accounting.
+    step: u64,
+    /// Received data-message counts bucketed by (src, step, phase).
+    recv_buckets: HashMap<(u16, u64, u8), u64>,
+    /// Flush promises bucketed by (src, step, phase).
+    flush_promises: HashMap<(u16, u64, u8), FlushMsg>,
+    /// Forward sends per destination accumulated during the current phase-A
+    /// wait (write-back propagation).
+    fwd_counts: Vec<u64>,
+
+    // Bookkeeping.
+    updates_local: u64,
+    cycle_updates: u64,
+    update_counts: Vec<(VertexId, u64)>,
+    update_count_map: HashMap<VertexId, u64>,
+    snapshots_taken: u64,
+    last_snap_updates: u64,
+    straggled: bool,
+    effects: UpdateEffects,
+}
+
+impl<V, E, U> ChromaticMachine<V, E, U>
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E> + ?Sized,
+{
+    pub(crate) fn new(
+        ep: Endpoint,
+        setup: MachineSetup<V, E, U>,
+        init: LocalGraphInit<V, E>,
+    ) -> Self {
+        let lg = LocalGraph::from_init(init, Some(&setup.coloring));
+        let num_colors = setup.coloring.num_colors().max(1);
+        let nv = lg.num_local_vertices();
+        let m = lg.num_machines();
+        ChromaticMachine {
+            queues: (0..num_colors).map(|_| VecDeque::new()).collect(),
+            queued: vec![false; nv],
+            pending_total: 0,
+            step: 0,
+            recv_buckets: HashMap::new(),
+            flush_promises: HashMap::new(),
+            fwd_counts: vec![0; m],
+            updates_local: 0,
+            cycle_updates: 0,
+            update_counts: Vec::new(),
+            update_count_map: HashMap::new(),
+            snapshots_taken: 0,
+            last_snap_updates: 0,
+            straggled: false,
+            effects: UpdateEffects::default(),
+            globals: GlobalRegistry::new(),
+            num_colors,
+            lg,
+            ep,
+            setup,
+        }
+    }
+
+    fn me(&self) -> MachineId {
+        self.lg.machine()
+    }
+
+    fn num_machines(&self) -> usize {
+        self.lg.num_machines()
+    }
+
+    fn enqueue_local(&mut self, l: u32) {
+        if !self.queued[l as usize] {
+            self.queued[l as usize] = true;
+            let c = self.lg.vertex_color(l) as usize;
+            self.queues[c].push_back(l);
+            self.pending_total += 1;
+        }
+    }
+
+    fn initial_schedule(&mut self) {
+        match &*self.setup.initial {
+            InitialSchedule::AllVertices => {
+                for i in 0..self.lg.owned_vertices().len() {
+                    let l = self.lg.owned_vertices()[i];
+                    self.enqueue_local(l);
+                }
+            }
+            InitialSchedule::Vertices(vs) => {
+                let initial = vs.clone();
+                for (v, _) in initial {
+                    if let Some(l) = self.lg.local_vertex(v) {
+                        if self.lg.owns_vertex(l) {
+                            self.enqueue_local(l);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn run(mut self) -> MachineResult<V, E> {
+        self.initial_schedule();
+        let mut cycle = 0u64;
+        loop {
+            self.cycle_updates = 0;
+            for color in 0..self.num_colors {
+                let direct = self.execute_color_step(color);
+                self.flush_round(0, direct);
+                let zeros = vec![0; self.num_machines()];
+                let fwd = std::mem::replace(&mut self.fwd_counts, zeros);
+                self.flush_round(1, fwd);
+                self.step += 1;
+                self.maybe_straggle();
+            }
+            let (halt, snapshot) = self.cycle_end_round(cycle);
+            if let Some(snap) = snapshot {
+                self.write_snapshot(snap);
+            }
+            if halt {
+                break;
+            }
+            cycle += 1;
+        }
+        self.finish(cycle + 1)
+    }
+
+    /// Executes all queued vertices of `color`; returns data-message send
+    /// counts per destination machine.
+    fn execute_color_step(&mut self, color: u32) -> Vec<u64> {
+        let m = self.num_machines();
+        let mut direct = vec![0u64; m];
+        let mut batch: Vec<u32> = Vec::with_capacity(self.queues[color as usize].len());
+        while let Some(l) = self.queues[color as usize].pop_front() {
+            self.queued[l as usize] = false;
+            self.pending_total -= 1;
+            batch.push(l);
+        }
+        for l in batch {
+            self.effects.clear();
+            {
+                let mut ctx = UpdateContext::new(
+                    &mut self.lg,
+                    l,
+                    self.setup.config.consistency,
+                    &self.globals,
+                    &mut self.effects,
+                );
+                self.setup.update.update(&mut ctx);
+            }
+            self.updates_local += 1;
+            self.cycle_updates += 1;
+            self.setup
+                .counters
+                .updates
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if self.setup.config.trace {
+                *self.update_count_map.entry(self.lg.vertex_gvid(l)).or_insert(0) += 1;
+            }
+            self.commit(l, &mut direct);
+            // Respect the global update cap: stop executing this step.
+            let cap = self.setup.config.max_updates;
+            if cap > 0
+                && self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed) >= cap
+            {
+                break;
+            }
+        }
+        direct
+    }
+
+    /// Applies an update's effects: version bumps, ghost pushes,
+    /// write-backs and schedule forwards.
+    fn commit(&mut self, l: u32, direct: &mut [u64]) {
+        let me = self.me();
+        let step = self.step;
+        let effects = std::mem::take(&mut self.effects);
+
+        if effects.dirty_self {
+            let version = self.lg.bump_vertex_version(l);
+            let gvid = self.lg.vertex_gvid(l);
+            if !self.lg.vertex_mirrors(l).is_empty() {
+                let payload = enc(&StepTagged {
+                    step,
+                    phase: 0u8,
+                    inner: VertexRow {
+                        vid: gvid,
+                        version,
+                        snap: 0,
+                        data: enc(self.lg.vertex_data(l)),
+                    },
+                });
+                let mirrors = self.lg.vertex_mirrors(l).to_vec();
+                for mm in mirrors {
+                    self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                    direct[mm.index()] += 1;
+                }
+            }
+        }
+
+        let mut dirty_edges = effects.dirty_edges.clone();
+        dirty_edges.sort_unstable();
+        dirty_edges.dedup();
+        for le in dirty_edges {
+            let geid = self.lg.edge_geid(le);
+            if self.lg.owns_edge(le) {
+                let version = self.lg.bump_edge_version(le);
+                let (s, d) = self.lg.edge_endpoints_local(le);
+                let ms = self.lg.vertex_owner(s);
+                let md = self.lg.vertex_owner(d);
+                let other = if ms == me { md } else { ms };
+                if other != me {
+                    let payload = enc(&StepTagged {
+                        step,
+                        phase: 0u8,
+                        inner: EdgeRow { eid: geid, version, data: enc(self.lg.edge_data(le)) },
+                    });
+                    self.ep.send(other, K_CHROM_EDATA, payload);
+                    direct[other.index()] += 1;
+                }
+            } else {
+                let owner = self.lg.edge_owner(le);
+                let payload = enc(&StepTagged {
+                    step,
+                    phase: 0u8,
+                    inner: EdgeRow { eid: geid, version: 0, data: enc(self.lg.edge_data(le)) },
+                });
+                self.ep.send(owner, K_CHROM_WB_E, payload);
+                direct[owner.index()] += 1;
+            }
+        }
+
+        let mut dirty_nbrs = effects.dirty_nbrs.clone();
+        dirty_nbrs.sort_unstable();
+        dirty_nbrs.dedup();
+        for ln in dirty_nbrs {
+            let gvid = self.lg.vertex_gvid(ln);
+            if self.lg.owns_vertex(ln) {
+                let version = self.lg.bump_vertex_version(ln);
+                if !self.lg.vertex_mirrors(ln).is_empty() {
+                    let payload = enc(&StepTagged {
+                        step,
+                        phase: 0u8,
+                        inner: VertexRow {
+                            vid: gvid,
+                            version,
+                            snap: 0,
+                            data: enc(self.lg.vertex_data(ln)),
+                        },
+                    });
+                    let mirrors = self.lg.vertex_mirrors(ln).to_vec();
+                    for mm in mirrors {
+                        self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                        direct[mm.index()] += 1;
+                    }
+                }
+            } else {
+                let owner = self.lg.vertex_owner(ln);
+                let payload = enc(&StepTagged {
+                    step,
+                    phase: 0u8,
+                    inner: VertexRow { vid: gvid, version: 0, snap: 0, data: enc(self.lg.vertex_data(ln)) },
+                });
+                self.ep.send(owner, K_CHROM_WB_V, payload);
+                direct[owner.index()] += 1;
+            }
+        }
+
+        // Scheduling: local tasks enqueue directly; remote tasks forward to
+        // their owner, grouped into one message per machine.
+        let mut remote: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        for &(gv, prio) in &effects.scheduled {
+            let lv = self.lg.local_vertex(gv).expect("scheduled vertex is in scope");
+            let owner = self.lg.vertex_owner(lv);
+            if owner == me {
+                self.enqueue_local(lv);
+            } else {
+                remote.entry(owner).or_default().push((gv, prio));
+            }
+        }
+        for (mm, tasks) in remote {
+            let payload = enc(&StepTagged { step, phase: 0u8, inner: ScheduleMsg { tasks } });
+            self.ep.send(mm, K_CHROM_SCHED, payload);
+            direct[mm.index()] += 1;
+        }
+
+        self.effects = effects;
+    }
+
+    /// Sends flush markers for (self.step, phase) promising `counts`, then
+    /// blocks until every peer's flush and all promised data arrived.
+    fn flush_round(&mut self, phase: u8, counts: Vec<u64>) {
+        let m = self.num_machines();
+        let me = self.me().index();
+        let step = self.step;
+        for j in 0..m {
+            if j != me {
+                let msg = FlushMsg {
+                    step,
+                    count: counts[j],
+                    updates: self.cycle_updates,
+                    pending: self.pending_total,
+                };
+                let kind = if phase == 0 { K_CHROM_FLUSH_A } else { K_CHROM_FLUSH_B };
+                self.ep.send(MachineId::from(j), kind, enc(&msg));
+            }
+        }
+        loop {
+            let complete = (0..m).filter(|&j| j != me).all(|j| {
+                match self.flush_promises.get(&(j as u16, step, phase)) {
+                    None => false,
+                    Some(f) => {
+                        let got =
+                            self.recv_buckets.get(&(j as u16, step, phase)).copied().unwrap_or(0);
+                        got >= f.count
+                    }
+                }
+            });
+            if complete {
+                break;
+            }
+            match self.ep.recv_timeout(RECV_TIMEOUT) {
+                Ok(env) => self.handle_msg(env),
+                Err(RecvError::Timeout) => {
+                    panic!(
+                        "chromatic flush stalled: machine {} step {} phase {}",
+                        me, step, phase
+                    );
+                }
+                Err(RecvError::Disconnected) => panic!("fabric disconnected"),
+            }
+        }
+        // Prune accounting of completed steps to keep the maps small.
+        if step > 1 {
+            self.recv_buckets.retain(|&(_, s, _), _| s + 1 >= step);
+            self.flush_promises.retain(|&(_, s, _), _| s + 1 >= step);
+        }
+    }
+
+    fn bucket_incr(&mut self, src: MachineId, step: u64, phase: u8) {
+        *self.recv_buckets.entry((src.0, step, phase)).or_insert(0) += 1;
+    }
+
+    fn handle_msg(&mut self, env: Envelope) {
+        match env.kind {
+            K_CHROM_VDATA => {
+                let t: StepTagged<VertexRow> = dec(env.payload);
+                if let Some(l) = self.lg.local_vertex(t.inner.vid) {
+                    self.lg.apply_vertex_update(l, t.inner.version, dec(t.inner.data));
+                }
+                self.bucket_incr(env.src, t.step, t.phase);
+            }
+            K_CHROM_EDATA => {
+                let t: StepTagged<EdgeRow> = dec(env.payload);
+                if let Some(l) = self.lg.local_edge(t.inner.eid) {
+                    self.lg.apply_edge_update(l, t.inner.version, dec(t.inner.data));
+                }
+                self.bucket_incr(env.src, t.step, t.phase);
+            }
+            K_CHROM_WB_V => {
+                let t: StepTagged<VertexRow> = dec(env.payload);
+                let l = self.lg.local_vertex(t.inner.vid).expect("write-back target owned");
+                debug_assert!(self.lg.owns_vertex(l));
+                *self.lg.vertex_data_mut(l) = dec(t.inner.data);
+                let version = self.lg.bump_vertex_version(l);
+                // Forward to the other mirrors (phase 1 accounting).
+                let mirrors: Vec<MachineId> = self
+                    .lg
+                    .vertex_mirrors(l)
+                    .iter()
+                    .copied()
+                    .filter(|&mm| mm != env.src)
+                    .collect();
+                if !mirrors.is_empty() {
+                    let payload = enc(&StepTagged {
+                        step: t.step,
+                        phase: 1u8,
+                        inner: VertexRow {
+                            vid: t.inner.vid,
+                            version,
+                            snap: 0,
+                            data: enc(self.lg.vertex_data(l)),
+                        },
+                    });
+                    for mm in mirrors {
+                        self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                        self.fwd_counts[mm.index()] += 1;
+                    }
+                }
+                self.bucket_incr(env.src, t.step, t.phase);
+            }
+            K_CHROM_WB_E => {
+                let t: StepTagged<EdgeRow> = dec(env.payload);
+                let l = self.lg.local_edge(t.inner.eid).expect("write-back target owned");
+                debug_assert!(self.lg.owns_edge(l));
+                *self.lg.edge_data_mut(l) = dec(t.inner.data);
+                self.lg.bump_edge_version(l);
+                // An edge has exactly two replicas; the write-back came from
+                // the only mirror, so no forward is needed.
+                self.bucket_incr(env.src, t.step, t.phase);
+            }
+            K_CHROM_SCHED => {
+                let t: StepTagged<ScheduleMsg> = dec(env.payload);
+                for (gv, _prio) in &t.inner.tasks {
+                    let l = self.lg.local_vertex(*gv).expect("scheduled vertex is local");
+                    debug_assert!(self.lg.owns_vertex(l));
+                    self.enqueue_local(l);
+                }
+                self.bucket_incr(env.src, t.step, t.phase);
+            }
+            K_CHROM_FLUSH_A => {
+                let f: FlushMsg = dec(env.payload);
+                self.flush_promises.insert((env.src.0, f.step, 0), f);
+            }
+            K_CHROM_FLUSH_B => {
+                let f: FlushMsg = dec(env.payload);
+                self.flush_promises.insert((env.src.0, f.step, 1), f);
+            }
+            other => panic!("unexpected message kind {other} in chromatic engine"),
+        }
+    }
+
+    /// Cycle-end sync + halt + snapshot coordination. Returns
+    /// `(halt, snapshot_id)`.
+    fn cycle_end_round(&mut self, cycle: u64) -> (bool, Option<u64>) {
+        let m = self.num_machines();
+        let partials: Vec<Vec<f64>> =
+            self.setup.syncs.iter().map(|op| local_partial(op.as_ref(), &self.lg)).collect();
+        let my_msg = SyncPartialMsg {
+            cycle,
+            partials,
+            pending: self.pending_total,
+            updates: self.updates_local,
+        };
+        if self.me() == MachineId(0) {
+            // Master: collect, combine, decide, broadcast.
+            let mut pend = my_msg.pending;
+            let mut accs: Vec<Vec<f64>> = my_msg.partials.clone();
+            let mut received = 1usize;
+            while received < m {
+                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                    Ok(env) if env.kind == K_CHROM_SYNC_PART => {
+                        let p: SyncPartialMsg = dec(env.payload);
+                        assert_eq!(p.cycle, cycle, "sync round out of step");
+                        pend += p.pending;
+                        for (i, part) in p.partials.iter().enumerate() {
+                            self.setup.syncs[i].combine(&mut accs[i], part);
+                        }
+                        received += 1;
+                    }
+                    Ok(env) => panic!("unexpected kind {} during sync round", env.kind),
+                    Err(e) => panic!("sync round failed: {e:?}"),
+                }
+            }
+            let total = self.lg.total_vertices();
+            let mut globals_rows = Vec::new();
+            for (i, op) in self.setup.syncs.iter().enumerate() {
+                let value = op.finalize(accs[i].clone(), total);
+                let ver = self.globals.set(&op.name(), value.clone());
+                globals_rows.push((op.name(), ver, value));
+            }
+            let g_updates =
+                self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed);
+            let cap = self.setup.config.max_updates;
+            let halt = pend == 0 || (cap > 0 && g_updates >= cap);
+            let snap_cfg = self.setup.config.snapshot;
+            let snapshot = if !halt
+                && snap_cfg.mode != crate::config::SnapshotMode::None
+                && self.snapshots_taken < snap_cfg.max_snapshots
+                && snap_cfg.every_updates > 0
+                && g_updates - self.last_snap_updates >= snap_cfg.every_updates
+            {
+                self.last_snap_updates = g_updates;
+                Some(self.snapshots_taken)
+            } else {
+                None
+            };
+            let out = SyncGlobalsMsg { cycle, globals: globals_rows, halt, snapshot };
+            let payload = enc(&out);
+            for j in 1..m {
+                self.ep.send(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
+            }
+            (halt, snapshot)
+        } else {
+            self.ep.send(MachineId(0), K_CHROM_SYNC_PART, enc(&my_msg));
+            loop {
+                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                    Ok(env) if env.kind == K_CHROM_SYNC_GLOB => {
+                        let g: SyncGlobalsMsg = dec(env.payload);
+                        assert_eq!(g.cycle, cycle);
+                        for (name, ver, value) in g.globals {
+                            self.globals.apply(&name, ver, value);
+                        }
+                        return (g.halt, g.snapshot);
+                    }
+                    // Faster peers may already be executing the next
+                    // cycle's first colour-step: absorb their (step-tagged)
+                    // data traffic while we wait for our globals.
+                    Ok(env) => self.handle_msg(env),
+                    Err(e) => panic!("globals wait failed: {e:?}"),
+                }
+            }
+        }
+    }
+
+    fn write_snapshot(&mut self, snap: u64) {
+        let file = SnapshotFile::capture(&self.lg);
+        self.setup.dfs.write(
+            &snap_file_name(&self.setup.snap_prefix, snap, self.me()),
+            enc(&file),
+        );
+        self.snapshots_taken = self.snapshots_taken.max(snap + 1);
+        let m = self.num_machines();
+        if self.me() == MachineId(0) {
+            let mut done = 1usize;
+            while done < m {
+                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                    Ok(env) if env.kind == K_CHROM_SNAP_DONE => done += 1,
+                    Ok(env) => panic!("unexpected kind {} during snapshot", env.kind),
+                    Err(e) => panic!("snapshot coordination failed: {e:?}"),
+                }
+            }
+            for j in 1..m {
+                self.ep.send(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
+            }
+        } else {
+            self.ep.send(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
+            loop {
+                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                    Ok(env) if env.kind == K_CHROM_SNAP_RESUME => break,
+                    // Resumed peers may already be racing ahead.
+                    Ok(env) => self.handle_msg(env),
+                    Err(e) => panic!("snapshot resume failed: {e:?}"),
+                }
+            }
+        }
+    }
+
+    fn maybe_straggle(&mut self) {
+        if let Some(s) = self.setup.config.straggler {
+            if !self.straggled
+                && self.me().0 == s.machine
+                && self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed)
+                    >= s.after_updates
+            {
+                self.straggled = true;
+                std::thread::sleep(s.duration);
+            }
+        }
+    }
+
+    fn finish(mut self, cycles: u64) -> MachineResult<V, E> {
+        self.update_counts = self.update_count_map.drain().collect();
+        let globals = self
+            .globals
+            .names()
+            .into_iter()
+            .map(|n| (n.clone(), self.globals.get(&n).unwrap_or(&[]).to_vec()))
+            .collect();
+        let updates = self.updates_local;
+        let update_counts = std::mem::take(&mut self.update_counts);
+        let snapshots = self.snapshots_taken;
+        let (vrows, erows) = self.lg.into_owned_data();
+        MachineResult {
+            vrows,
+            erows,
+            globals,
+            updates,
+            update_counts,
+            steps: cycles * self.num_colors as u64,
+            snapshots,
+        }
+    }
+}

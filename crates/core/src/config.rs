@@ -1,0 +1,134 @@
+//! Engine configuration shared by the chromatic and locking engines.
+
+use std::time::Duration;
+
+use graphlab_graph::ConsistencyModel;
+use graphlab_net::LatencyModel;
+
+use crate::scheduler::SchedulerKind;
+
+/// Snapshotting mode (§4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum SnapshotMode {
+    /// No fault tolerance.
+    #[default]
+    None,
+    /// Synchronous snapshots: suspend, flush, save, resume.
+    Synchronous,
+    /// Asynchronous Chandy-Lamport snapshots expressed as update functions
+    /// (Alg. 5).
+    Asynchronous,
+}
+
+/// Snapshot scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct SnapshotConfig {
+    /// Mode.
+    pub mode: SnapshotMode,
+    /// Trigger a snapshot every this many global updates (0 = never;
+    /// Fig. 8(d) uses every |V| updates).
+    pub every_updates: u64,
+    /// At most this many snapshots per run (Fig. 4 issues exactly one).
+    pub max_snapshots: u64,
+}
+
+/// Fault injection: delays one machine mid-run (Fig. 4(b) halts one
+/// process for 15 s after the snapshot begins).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StragglerConfig {
+    /// Machine to delay.
+    pub machine: u16,
+    /// Delay is injected once this many global updates have completed.
+    pub after_updates: u64,
+    /// Length of the stall.
+    pub duration: Duration,
+}
+
+/// Configuration for a distributed engine run.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Number of simulated machines.
+    pub num_machines: usize,
+    /// Number of atoms for the two-phase partitioning (defaults to
+    /// `8 × num_machines`; must be ≥ `num_machines`).
+    pub num_atoms: usize,
+    /// Consistency model to enforce.
+    pub consistency: ConsistencyModel,
+    /// Scheduler flavour (locking engine; the chromatic engine is
+    /// inherently sweep-within-colour).
+    pub scheduler: SchedulerKind,
+    /// Network latency model.
+    pub latency: LatencyModel,
+    /// Maximum outstanding lock requests per machine (§4.2.2 pipelining).
+    pub max_pipeline: usize,
+    /// Run sync operations every this many local updates (locking engine;
+    /// the chromatic engine syncs between colour cycles). 0 disables.
+    pub sync_interval_updates: u64,
+    /// Snapshot policy.
+    pub snapshot: SnapshotConfig,
+    /// Optional straggler fault injection.
+    pub straggler: Option<StragglerConfig>,
+    /// Collect per-vertex update counts and the updates-vs-time series.
+    pub trace: bool,
+    /// Safety cap on total updates (0 = unlimited). The engine halts once
+    /// the cap is reached even if the schedulers are non-empty.
+    pub max_updates: u64,
+    /// **Deliberately unsafe** (Fig. 1(d)): acquire only the central
+    /// vertex's write lock while still letting the update read neighbour
+    /// data — the "non-serializable (racing)" execution the paper shows is
+    /// unstable for dynamic ALS. Locking engine only.
+    pub racing: bool,
+    /// Ablation (DESIGN.md D4): disable the ghost-cache version filter so
+    /// every lock grant re-sends the full scope data even when unchanged.
+    pub no_version_filter: bool,
+    /// Seed for partitioning and tie-breaking.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A sensible default for `m` machines.
+    pub fn new(num_machines: usize) -> Self {
+        EngineConfig {
+            num_machines,
+            num_atoms: (8 * num_machines).max(1),
+            consistency: ConsistencyModel::Edge,
+            scheduler: SchedulerKind::Fifo,
+            latency: LatencyModel::ZERO,
+            max_pipeline: 64,
+            sync_interval_updates: 0,
+            snapshot: SnapshotConfig::default(),
+            straggler: None,
+            trace: false,
+            max_updates: 0,
+            racing: false,
+            no_version_filter: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let c = EngineConfig::new(4);
+        assert_eq!(c.num_machines, 4);
+        assert_eq!(c.num_atoms, 32);
+        assert_eq!(c.consistency, ConsistencyModel::Edge);
+        assert!(c.num_atoms >= c.num_machines);
+    }
+
+    #[test]
+    fn single_machine_has_one_atom_minimum() {
+        let c = EngineConfig::new(1);
+        assert!(c.num_atoms >= 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Engine drivers: ingress, machine-thread spawning, and result collection
+//! (Fig. 5(a) "System Overview").
+//!
+//! A driver run mirrors the paper's deployment flow: the data graph is
+//! over-partitioned into atoms and written to the DFS (initialisation
+//! phase), atoms are placed onto machines via the atom index, each machine
+//! loads its part in parallel, the engine executes, and final data is
+//! collected. Machines are OS threads communicating exclusively through the
+//! [`SimNet`] fabric; results return through thread join (standing in for
+//! the final gather the real system performs through the DFS).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use graphlab_atoms::{build_atoms, load_machine_part, write_atoms, SimDfs, VertexPartition};
+use graphlab_atoms::placement::Placement;
+use graphlab_graph::{Coloring, DataGraph, EdgeId, MachineId, VertexId};
+use graphlab_net::codec::Codec;
+use graphlab_net::SimNet;
+
+use crate::chromatic::ChromaticMachine;
+use crate::config::EngineConfig;
+use crate::locking::LockingMachine;
+use crate::metrics::{sample_timeline, EngineMetrics, LiveCounters};
+use crate::reference::InitialSchedule;
+use crate::sync::SyncOp;
+use crate::update::UpdateFunction;
+
+/// How to over-partition the data graph into atoms (phase one of §4.1).
+#[derive(Clone)]
+pub enum PartitionStrategy {
+    /// Random hash partitioning (Table 2: Netflix, NER).
+    RandomHash,
+    /// BFS region growing + refinement (stands in for Metis; Table 2:
+    /// CoSeg's locality-aware partition and the §4.2.2 mesh).
+    BfsGrow,
+    /// Caller-supplied assignment (domain-specific partitions such as
+    /// CoSeg frame blocks, or adversarial partitions for Fig. 8(b)).
+    Custom(Arc<VertexPartition>),
+}
+
+impl std::fmt::Debug for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionStrategy::RandomHash => write!(f, "RandomHash"),
+            PartitionStrategy::BfsGrow => write!(f, "BfsGrow"),
+            PartitionStrategy::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// Result of a distributed engine run. The caller's graph data is updated
+/// in place; this carries everything else.
+pub struct EngineOutput {
+    /// Run metrics.
+    pub metrics: EngineMetrics,
+    /// Final global values (name → value), from the master machine.
+    pub globals: Vec<(String, Vec<f64>)>,
+    /// The simulated DFS used for atoms and snapshots (inspect snapshot
+    /// files, restore checkpoints).
+    pub dfs: Arc<SimDfs>,
+}
+
+/// What one machine thread hands back at join time.
+pub(crate) struct MachineResult<V, E> {
+    pub vrows: Vec<(VertexId, V)>,
+    pub erows: Vec<(EdgeId, E)>,
+    pub globals: Vec<(String, Vec<f64>)>,
+    pub updates: u64,
+    pub update_counts: Vec<(VertexId, u64)>,
+    pub steps: u64,
+    pub snapshots: u64,
+}
+
+/// Everything a machine thread needs at spawn (endpoint travels
+/// separately so the machine loop can own it).
+pub(crate) struct MachineSetup<V, E, U: ?Sized> {
+    pub dfs: Arc<SimDfs>,
+    pub index: Arc<graphlab_atoms::AtomIndex>,
+    pub placement: Arc<Placement>,
+    pub coloring: Arc<Coloring>,
+    pub update: Arc<U>,
+    pub syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    pub initial: Arc<InitialSchedule>,
+    pub config: EngineConfig,
+    pub counters: Arc<LiveCounters>,
+    pub snap_prefix: String,
+}
+
+pub(crate) fn make_partition<V, E>(
+    graph: &DataGraph<V, E>,
+    strategy: &PartitionStrategy,
+    num_atoms: usize,
+    seed: u64,
+) -> VertexPartition {
+    match strategy {
+        PartitionStrategy::RandomHash => {
+            VertexPartition::random_hash(graph.num_vertices(), num_atoms, seed)
+        }
+        PartitionStrategy::BfsGrow => VertexPartition::bfs_grow(graph, num_atoms, seed, 2),
+        PartitionStrategy::Custom(p) => (**p).clone(),
+    }
+}
+
+/// Shared driver skeleton: ingress → spawn `run_machine` per machine →
+/// join → write back. `engine` selects which machine loop runs.
+fn run_distributed<V, E, U>(
+    engine: EngineKind,
+    graph: &mut DataGraph<V, E>,
+    coloring: Coloring,
+    update: Arc<U>,
+    initial: InitialSchedule,
+    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    config: &EngineConfig,
+    strategy: &PartitionStrategy,
+) -> EngineOutput
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E>,
+{
+    assert!(config.num_machines >= 1);
+    assert!(
+        config.num_atoms >= config.num_machines,
+        "need at least one atom per machine"
+    );
+
+    // Initialisation phase (Fig. 5(a)): atoms onto the DFS.
+    let prefix = "graph";
+    let partition = make_partition(graph, strategy, config.num_atoms, config.seed);
+    let dfs = Arc::new(SimDfs::new());
+    let (atoms, index) = build_atoms(graph, &partition, prefix);
+    write_atoms(&dfs, prefix, &atoms, &index);
+    drop(atoms);
+    let placement = Arc::new(Placement::compute(&index, config.num_machines));
+    let index = Arc::new(index);
+    let coloring = Arc::new(coloring);
+    let initial = Arc::new(initial);
+    let counters = LiveCounters::new();
+
+    let (net, endpoints) = SimNet::with_seed(config.num_machines, config.latency, config.seed);
+
+    let sampler = if config.trace {
+        Some(sample_timeline(&counters, Duration::from_millis(5)))
+    } else {
+        None
+    };
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.num_machines);
+    for endpoint in endpoints {
+        let setup: MachineSetup<V, E, U> = MachineSetup {
+            dfs: Arc::clone(&dfs),
+            index: Arc::clone(&index),
+            placement: Arc::clone(&placement),
+            coloring: Arc::clone(&coloring),
+            update: Arc::clone(&update),
+            syncs: Arc::clone(&syncs),
+            initial: Arc::clone(&initial),
+            config: config.clone(),
+            counters: Arc::clone(&counters),
+            snap_prefix: "ckpt".to_string(),
+        };
+        let kind = engine;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("machine-{}", endpoint.id()))
+                .spawn(move || run_machine(kind, endpoint, setup))
+                .expect("spawn machine thread"),
+        );
+    }
+
+    let mut results: Vec<MachineResult<V, E>> = Vec::with_capacity(handles.len());
+    for h in handles {
+        results.push(h.join().expect("machine thread panicked"));
+    }
+    let runtime = start.elapsed();
+    counters.done.store(true, std::sync::atomic::Ordering::Relaxed);
+    let updates_timeline = sampler.map(|s| s.join().expect("sampler")).unwrap_or_default();
+
+    // Write final data back into the caller's graph.
+    let mut update_counts =
+        if config.trace { vec![0u64; graph.num_vertices()] } else { Vec::new() };
+    let mut total_updates = 0u64;
+    let mut steps = 0u64;
+    let mut snapshots = 0u64;
+    let mut globals = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        for (v, d) in r.vrows {
+            *graph.vertex_data_mut(v) = d;
+        }
+        for (e, d) in r.erows {
+            *graph.edge_data_mut(e) = d;
+        }
+        for (v, c) in r.update_counts {
+            update_counts[v.index()] += c;
+        }
+        total_updates += r.updates;
+        steps = steps.max(r.steps);
+        snapshots = snapshots.max(r.snapshots);
+        if i == 0 {
+            globals = r.globals;
+        }
+    }
+
+    let stats = net.stats();
+    let metrics = EngineMetrics {
+        updates: total_updates,
+        runtime,
+        update_counts,
+        updates_timeline,
+        bytes_sent_per_machine: stats.all().iter().map(|t| t.bytes_sent).collect(),
+        total_messages: stats.total_msgs(),
+        steps,
+        snapshots,
+    };
+    EngineOutput { metrics, globals, dfs }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EngineKind {
+    Chromatic,
+    Locking,
+}
+
+fn run_machine<V, E, U>(
+    kind: EngineKind,
+    endpoint: graphlab_net::Endpoint,
+    setup: MachineSetup<V, E, U>,
+) -> MachineResult<V, E>
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E>,
+{
+    let machine = endpoint.id();
+    let init = load_machine_part::<V, E>(&setup.dfs, &setup.index, &setup.placement, machine)
+        .expect("ingress");
+    match kind {
+        EngineKind::Chromatic => ChromaticMachine::new(endpoint, setup, init).run(),
+        EngineKind::Locking => LockingMachine::new(endpoint, setup, init).run(),
+    }
+}
+
+/// Runs the **chromatic engine** (§4.2.1) on `graph`, mutating its data in
+/// place.
+///
+/// The colouring must satisfy the configured consistency model's order
+/// (first-order for edge consistency, second-order for full); pass the
+/// output of [`graphlab_graph::greedy_coloring`] /
+/// [`graphlab_graph::second_order_coloring`] or a known colouring (e.g.
+/// bipartite).
+pub fn run_chromatic<V, E, U>(
+    graph: &mut DataGraph<V, E>,
+    coloring: Coloring,
+    update: Arc<U>,
+    initial: InitialSchedule,
+    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    config: &EngineConfig,
+    strategy: &PartitionStrategy,
+) -> EngineOutput
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E>,
+{
+    assert!(
+        graphlab_graph::verify_coloring(graph, &coloring, config.consistency.required_coloring_order()),
+        "colouring does not satisfy the {} consistency model",
+        config.consistency
+    );
+    run_distributed(EngineKind::Chromatic, graph, coloring, update, initial, syncs, config, strategy)
+}
+
+/// Runs the **distributed locking engine** (§4.2.2) on `graph`, mutating
+/// its data in place. Fully asynchronous; supports prioritised dynamic
+/// scheduling and does not require a graph colouring.
+pub fn run_locking<V, E, U>(
+    graph: &mut DataGraph<V, E>,
+    update: Arc<U>,
+    initial: InitialSchedule,
+    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    config: &EngineConfig,
+    strategy: &PartitionStrategy,
+) -> EngineOutput
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E>,
+{
+    let coloring = Coloring::uniform(graph.num_vertices());
+    run_distributed(EngineKind::Locking, graph, coloring, update, initial, syncs, config, strategy)
+}
+
+/// Convenience: a [`DistributedGraph`] bundles the persisted atom
+/// representation for callers that want to reuse one ingress across runs
+/// (e.g. cluster-size sweeps, Fig. 6(a)).
+pub struct DistributedGraph {
+    /// Simulated DFS holding the atom journals.
+    pub dfs: Arc<SimDfs>,
+    /// Atom index (meta-graph).
+    pub index: Arc<graphlab_atoms::AtomIndex>,
+}
+
+impl DistributedGraph {
+    /// Builds atoms for `graph` under `strategy` and persists them.
+    pub fn build<V, E>(
+        graph: &DataGraph<V, E>,
+        strategy: &PartitionStrategy,
+        num_atoms: usize,
+        seed: u64,
+    ) -> Self
+    where
+        V: Codec + Clone,
+        E: Codec + Clone,
+    {
+        let partition = make_partition(graph, strategy, num_atoms, seed);
+        let dfs = Arc::new(SimDfs::new());
+        let (atoms, index) = build_atoms(graph, &partition, "graph");
+        write_atoms(&dfs, "graph", &atoms, &index);
+        DistributedGraph { dfs, index: Arc::new(index) }
+    }
+
+    /// Places the atoms onto `num_machines` machines and loads every
+    /// machine's part (ingress check / inspection).
+    pub fn load_all<V, E>(&self, num_machines: usize) -> Vec<graphlab_atoms::LocalGraphInit<V, E>>
+    where
+        V: Codec,
+        E: Codec,
+    {
+        let placement = Placement::compute(&self.index, num_machines);
+        (0..num_machines)
+            .map(|m| {
+                load_machine_part(&self.dfs, &self.index, &placement, MachineId::from(m))
+                    .expect("ingress")
+            })
+            .collect()
+    }
+}
+

@@ -1,0 +1,93 @@
+//! Global values (§3.5).
+//!
+//! Global values are *read* by update functions and *written* by sync
+//! operations. Each value is a named `f64` vector (sufficient for the
+//! paper's applications: convergence estimators, normalisation constants,
+//! GMM parameter blocks) with a version that increases on every write, so
+//! machines can skip re-broadcasts of unchanged values.
+
+use std::collections::HashMap;
+
+/// Registry of named global values on one machine.
+#[derive(Debug, Default)]
+pub struct GlobalRegistry {
+    values: HashMap<String, (u64, Vec<f64>)>,
+}
+
+impl GlobalRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a global value.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.values.get(name).map(|(_, v)| v.as_slice())
+    }
+
+    /// Version of a value (0 = never set).
+    pub fn version(&self, name: &str) -> u64 {
+        self.values.get(name).map_or(0, |(ver, _)| *ver)
+    }
+
+    /// Writes a value, bumping its version.
+    pub fn set(&mut self, name: &str, value: Vec<f64>) -> u64 {
+        let entry = self.values.entry(name.to_string()).or_insert((0, Vec::new()));
+        entry.0 += 1;
+        entry.1 = value;
+        entry.0
+    }
+
+    /// Applies a replicated value if `version` is newer (machines receiving
+    /// broadcasts from the sync master use this).
+    pub fn apply(&mut self, name: &str, version: u64, value: Vec<f64>) -> bool {
+        let entry = self.values.entry(name.to_string()).or_insert((0, Vec::new()));
+        if version > entry.0 {
+            entry.0 = version;
+            entry.1 = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Names of all registered values, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.values.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut r = GlobalRegistry::new();
+        assert_eq!(r.get("x"), None);
+        assert_eq!(r.set("x", vec![1.0]), 1);
+        assert_eq!(r.get("x"), Some(&[1.0][..]));
+        assert_eq!(r.set("x", vec![2.0]), 2);
+        assert_eq!(r.version("x"), 2);
+    }
+
+    #[test]
+    fn apply_respects_versions() {
+        let mut r = GlobalRegistry::new();
+        assert!(r.apply("g", 5, vec![9.0]));
+        assert!(!r.apply("g", 4, vec![1.0]), "stale rejected");
+        assert_eq!(r.get("g"), Some(&[9.0][..]));
+        assert!(r.apply("g", 6, vec![2.0]));
+        assert_eq!(r.get("g"), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut r = GlobalRegistry::new();
+        r.set("b", vec![]);
+        r.set("a", vec![]);
+        assert_eq!(r.names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

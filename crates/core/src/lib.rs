@@ -1,0 +1,50 @@
+//! # graphlab-core
+//!
+//! The Distributed GraphLab engines (Low et al., VLDB 2012) — the paper's
+//! primary contribution.
+//!
+//! The abstraction has three parts: the *data graph* holding mutable user
+//! data on a static structure (provided by `graphlab-graph` +
+//! `graphlab-atoms`), *update functions* transforming vertex scopes and
+//! scheduling further work ([`update`]), and the *sync operation*
+//! maintaining global aggregates ([`sync`]). Serializable execution is
+//! guaranteed under three consistency models (vertex/edge/full) by two
+//! very different distributed engines:
+//!
+//! - the **chromatic engine** ([`chromatic`]): partially synchronous
+//!   colour-step execution driven by a graph colouring (§4.2.1);
+//! - the **locking engine** ([`locking`]): fully asynchronous pipelined
+//!   distributed locking with prioritised dynamic scheduling (§4.2.2).
+//!
+//! Fault tolerance (§4.3) is provided by synchronous stop-the-world
+//! snapshots and the fully asynchronous Chandy-Lamport variant expressed
+//! as a GraphLab update function ([`snapshot`]).
+//!
+//! A literal sequential implementation of the execution model (Alg. 2)
+//! lives in [`reference`]; it is the serializability oracle for all
+//! distributed runs.
+
+pub mod chromatic;
+pub mod config;
+pub mod driver;
+pub mod globals;
+pub mod local;
+pub mod locking;
+pub mod messages;
+pub mod metrics;
+pub mod reference;
+pub mod scheduler;
+pub mod snapshot;
+pub mod sync;
+pub mod update;
+
+pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
+pub use driver::{run_chromatic, run_locking, DistributedGraph, EngineOutput, PartitionStrategy};
+pub use globals::GlobalRegistry;
+pub use local::{LocalAdjEntry, LocalGraph};
+pub use metrics::EngineMetrics;
+pub use reference::{run_sequential, InitialSchedule, SequentialConfig};
+pub use scheduler::{Scheduler, SchedulerKind};
+pub use snapshot::{optimal_checkpoint_interval_secs, restore_snapshot, snapshot_exists, SnapshotFile};
+pub use sync::{FnSync, SyncOp};
+pub use update::{UpdateContext, UpdateEffects, UpdateFunction};

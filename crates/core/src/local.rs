@@ -1,0 +1,565 @@
+//! Machine-local storage of a partition of the distributed data graph.
+//!
+//! Each machine materialises its [`LocalGraphInit`] (owned vertices/edges
+//! plus ghosts, §4.1) into a [`LocalGraph`]: dense columns indexed by
+//! *local* ids with hash maps back to global ids, a local CSR adjacency,
+//! and a data *version* per datum implementing the ghost cache coherence
+//! scheme ("cache coherence is managed using a simple versioning system,
+//! eliminating the transmission of unchanged or constant data").
+//!
+//! Invariant: every **owned** vertex has its complete global adjacency
+//! locally (guaranteed by atom construction), so update functions always
+//! run against full scopes. Ghost vertices have partial adjacency.
+
+use std::collections::HashMap;
+
+use graphlab_graph::{
+    Coloring, ConsistencyModel, DataGraph, EdgeDir, EdgeId, LockType, MachineId, VertexId,
+};
+use graphlab_atoms::{InitEdge, InitVertex, LocalGraphInit};
+
+/// Entry of a local adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalAdjEntry {
+    /// Local index of the neighbour vertex.
+    pub nbr: u32,
+    /// Local index of the connecting edge.
+    pub edge: u32,
+    /// Direction of the edge relative to the list's owner.
+    pub dir: EdgeDir,
+}
+
+/// One machine's portion of the data graph.
+pub struct LocalGraph<V, E> {
+    machine: MachineId,
+    num_machines: usize,
+    total_vertices: u64,
+    total_edges: u64,
+
+    // Vertex columns (local index).
+    gvid: Vec<VertexId>,
+    vowner: Vec<MachineId>,
+    vdata: Vec<V>,
+    vversion: Vec<u64>,
+    vcolor: Vec<u32>,
+    /// For owned vertices: machines holding a ghost copy.
+    vmirrors: Vec<Vec<MachineId>>,
+
+    // Edge columns (local index).
+    geid: Vec<EdgeId>,
+    esrc: Vec<u32>,
+    edst: Vec<u32>,
+    eowner: Vec<MachineId>,
+    edata: Vec<E>,
+    eversion: Vec<u64>,
+
+    // Local CSR adjacency over local vertices.
+    adj_off: Vec<u32>,
+    adj: Vec<LocalAdjEntry>,
+
+    // Global → local maps.
+    vmap: HashMap<VertexId, u32>,
+    emap: HashMap<EdgeId, u32>,
+
+    /// Local indices of owned vertices, ascending by global id.
+    owned: Vec<u32>,
+}
+
+impl<V, E> LocalGraph<V, E> {
+    /// Materialises an ingress part. `coloring`, when present, attaches a
+    /// colour to every local vertex (chromatic engine).
+    pub fn from_init(init: LocalGraphInit<V, E>, coloring: Option<&Coloring>) -> Self {
+        let LocalGraphInit { machine, num_machines, vertices, edges, total_vertices, total_edges } =
+            init;
+        let nv = vertices.len();
+        let ne = edges.len();
+
+        let mut vmap = HashMap::with_capacity(nv);
+        let mut gvid = Vec::with_capacity(nv);
+        let mut vowner = Vec::with_capacity(nv);
+        let mut vdata = Vec::with_capacity(nv);
+        let mut vmirrors = Vec::with_capacity(nv);
+        let mut vcolor = Vec::with_capacity(nv);
+        for (i, InitVertex { gvid: g, owner, mirrors, data }) in vertices.into_iter().enumerate() {
+            vmap.insert(g, i as u32);
+            gvid.push(g);
+            vowner.push(owner);
+            vdata.push(data);
+            vmirrors.push(mirrors);
+            vcolor.push(coloring.map_or(0, |c| c.color(g)));
+        }
+
+        let mut emap = HashMap::with_capacity(ne);
+        let mut geid = Vec::with_capacity(ne);
+        let mut esrc = Vec::with_capacity(ne);
+        let mut edst = Vec::with_capacity(ne);
+        let mut eowner = Vec::with_capacity(ne);
+        let mut edata = Vec::with_capacity(ne);
+        for (i, InitEdge { geid: g, src, dst, owner, data }) in edges.into_iter().enumerate() {
+            emap.insert(g, i as u32);
+            geid.push(g);
+            esrc.push(*vmap.get(&src).expect("edge src locally present"));
+            edst.push(*vmap.get(&dst).expect("edge dst locally present"));
+            eowner.push(owner);
+            edata.push(data);
+        }
+
+        // CSR over local vertices.
+        let mut counts = vec![0u32; nv + 1];
+        for i in 0..ne {
+            counts[esrc[i] as usize + 1] += 1;
+            counts[edst[i] as usize + 1] += 1;
+        }
+        for i in 0..nv {
+            counts[i + 1] += counts[i];
+        }
+        let adj_off = counts;
+        let mut cursor: Vec<u32> = adj_off[..nv].to_vec();
+        let mut adj = vec![LocalAdjEntry { nbr: 0, edge: 0, dir: EdgeDir::Out }; 2 * ne];
+        for e in 0..ne {
+            let (s, d) = (esrc[e], edst[e]);
+            adj[cursor[s as usize] as usize] =
+                LocalAdjEntry { nbr: d, edge: e as u32, dir: EdgeDir::Out };
+            cursor[s as usize] += 1;
+            adj[cursor[d as usize] as usize] =
+                LocalAdjEntry { nbr: s, edge: e as u32, dir: EdgeDir::In };
+            cursor[d as usize] += 1;
+        }
+        // Deterministic order: sort each slice by (global nbr id, global edge id).
+        for vi in 0..nv {
+            let (lo, hi) = (adj_off[vi] as usize, adj_off[vi + 1] as usize);
+            adj[lo..hi].sort_unstable_by_key(|e| (gvid[e.nbr as usize], geid[e.edge as usize]));
+        }
+
+        let owned: Vec<u32> = (0..nv as u32).filter(|&i| vowner[i as usize] == machine).collect();
+
+        LocalGraph {
+            machine,
+            num_machines,
+            total_vertices,
+            total_edges,
+            gvid,
+            vowner,
+            vdata,
+            vversion: vec![0; nv],
+            vcolor,
+            vmirrors,
+            geid,
+            esrc,
+            edst,
+            eowner,
+            edata,
+            eversion: vec![0; ne],
+            adj_off,
+            adj,
+            vmap,
+            emap,
+            owned,
+        }
+    }
+
+    /// Builds the whole graph as a single machine's local graph (sequential
+    /// reference engine, single-machine runs).
+    pub fn single_machine(graph: &DataGraph<V, E>, coloring: Option<&Coloring>) -> Self
+    where
+        V: Clone,
+        E: Clone,
+    {
+        let init = LocalGraphInit {
+            machine: MachineId(0),
+            num_machines: 1,
+            vertices: graph
+                .vertices()
+                .map(|v| InitVertex {
+                    gvid: v,
+                    owner: MachineId(0),
+                    mirrors: Vec::new(),
+                    data: graph.vertex_data(v).clone(),
+                })
+                .collect(),
+            edges: graph
+                .edges()
+                .map(|e| {
+                    let (src, dst) = graph.edge_endpoints(e);
+                    InitEdge {
+                        geid: e,
+                        src,
+                        dst,
+                        owner: MachineId(0),
+                        data: graph.edge_data(e).clone(),
+                    }
+                })
+                .collect(),
+            total_vertices: graph.num_vertices() as u64,
+            total_edges: graph.num_edges() as u64,
+        };
+        LocalGraph::from_init(init, coloring)
+    }
+
+    // ---- identity & sizes ----
+
+    /// This machine.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// Cluster size.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// |V| of the full distributed graph.
+    pub fn total_vertices(&self) -> u64 {
+        self.total_vertices
+    }
+
+    /// |E| of the full distributed graph.
+    pub fn total_edges(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// Number of local (owned + ghost) vertices.
+    pub fn num_local_vertices(&self) -> usize {
+        self.gvid.len()
+    }
+
+    /// Number of local edges.
+    pub fn num_local_edges(&self) -> usize {
+        self.geid.len()
+    }
+
+    /// Local indices of owned vertices.
+    pub fn owned_vertices(&self) -> &[u32] {
+        &self.owned
+    }
+
+    // ---- id mapping ----
+
+    /// Local index of a global vertex id, if present.
+    #[inline]
+    pub fn local_vertex(&self, g: VertexId) -> Option<u32> {
+        self.vmap.get(&g).copied()
+    }
+
+    /// Local index of a global edge id, if present.
+    #[inline]
+    pub fn local_edge(&self, g: EdgeId) -> Option<u32> {
+        self.emap.get(&g).copied()
+    }
+
+    /// Global id of a local vertex.
+    #[inline]
+    pub fn vertex_gvid(&self, l: u32) -> VertexId {
+        self.gvid[l as usize]
+    }
+
+    /// Global id of a local edge.
+    #[inline]
+    pub fn edge_geid(&self, l: u32) -> EdgeId {
+        self.geid[l as usize]
+    }
+
+    // ---- ownership / coherence ----
+
+    /// Owner machine of a local vertex.
+    #[inline]
+    pub fn vertex_owner(&self, l: u32) -> MachineId {
+        self.vowner[l as usize]
+    }
+
+    /// Whether this machine owns the vertex.
+    #[inline]
+    pub fn owns_vertex(&self, l: u32) -> bool {
+        self.vowner[l as usize] == self.machine
+    }
+
+    /// Owner machine of a local edge.
+    #[inline]
+    pub fn edge_owner(&self, l: u32) -> MachineId {
+        self.eowner[l as usize]
+    }
+
+    /// Whether this machine owns the edge.
+    #[inline]
+    pub fn owns_edge(&self, l: u32) -> bool {
+        self.eowner[l as usize] == self.machine
+    }
+
+    /// Machines holding ghosts of an owned vertex.
+    #[inline]
+    pub fn vertex_mirrors(&self, l: u32) -> &[MachineId] {
+        &self.vmirrors[l as usize]
+    }
+
+    /// Current version of a vertex datum (authoritative on the owner,
+    /// cached elsewhere).
+    #[inline]
+    pub fn vertex_version(&self, l: u32) -> u64 {
+        self.vversion[l as usize]
+    }
+
+    /// Current version of an edge datum.
+    #[inline]
+    pub fn edge_version(&self, l: u32) -> u64 {
+        self.eversion[l as usize]
+    }
+
+    /// Owner-side version bump after a local write; returns the new version.
+    #[inline]
+    pub fn bump_vertex_version(&mut self, l: u32) -> u64 {
+        debug_assert!(self.owns_vertex(l));
+        self.vversion[l as usize] += 1;
+        self.vversion[l as usize]
+    }
+
+    /// Owner-side edge version bump; returns the new version.
+    #[inline]
+    pub fn bump_edge_version(&mut self, l: u32) -> u64 {
+        debug_assert!(self.owns_edge(l));
+        self.eversion[l as usize] += 1;
+        self.eversion[l as usize]
+    }
+
+    /// Applies a ghost-cache update if `version` is newer. Returns whether
+    /// the payload was applied.
+    pub fn apply_vertex_update(&mut self, l: u32, version: u64, data: V) -> bool {
+        if version > self.vversion[l as usize] {
+            self.vversion[l as usize] = version;
+            self.vdata[l as usize] = data;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Edge counterpart of [`LocalGraph::apply_vertex_update`].
+    pub fn apply_edge_update(&mut self, l: u32, version: u64, data: E) -> bool {
+        if version > self.eversion[l as usize] {
+            self.eversion[l as usize] = version;
+            self.edata[l as usize] = data;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ---- colours ----
+
+    /// Colour of a local vertex (0 when no colouring was supplied).
+    #[inline]
+    pub fn vertex_color(&self, l: u32) -> u32 {
+        self.vcolor[l as usize]
+    }
+
+    // ---- data access ----
+
+    /// Vertex data (local index).
+    #[inline]
+    pub fn vertex_data(&self, l: u32) -> &V {
+        &self.vdata[l as usize]
+    }
+
+    /// Mutable vertex data (local index). Engines are responsible for the
+    /// consistency protocol; user code goes through `UpdateContext`.
+    #[inline]
+    pub fn vertex_data_mut(&mut self, l: u32) -> &mut V {
+        &mut self.vdata[l as usize]
+    }
+
+    /// Edge data (local index).
+    #[inline]
+    pub fn edge_data(&self, l: u32) -> &E {
+        &self.edata[l as usize]
+    }
+
+    /// Mutable edge data (local index).
+    #[inline]
+    pub fn edge_data_mut(&mut self, l: u32) -> &mut E {
+        &mut self.edata[l as usize]
+    }
+
+    /// Endpoints of a local edge as local indices `(src, dst)`.
+    #[inline]
+    pub fn edge_endpoints_local(&self, l: u32) -> (u32, u32) {
+        (self.esrc[l as usize], self.edst[l as usize])
+    }
+
+    /// Local adjacency of a local vertex.
+    #[inline]
+    pub fn adj(&self, l: u32) -> &[LocalAdjEntry] {
+        let lo = self.adj_off[l as usize] as usize;
+        let hi = self.adj_off[l as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    // ---- lock planning (§4.2.2) ----
+
+    /// The lock plan of vertex `l`'s scope under `model`: distinct
+    /// `(vertex, lock)` pairs sorted by the canonical deadlock-avoidance
+    /// order `(owner(v), v)`. Returns global vertex ids.
+    pub fn lock_plan(&self, l: u32, model: ConsistencyModel) -> Vec<(VertexId, LockType)> {
+        let mut plan: Vec<(MachineId, VertexId, LockType)> = Vec::with_capacity(self.adj(l).len() + 1);
+        plan.push((self.vowner[l as usize], self.gvid[l as usize], model.central_lock()));
+        if let Some(nbr_lock) = model.neighbor_lock() {
+            for e in self.adj(l) {
+                plan.push((self.vowner[e.nbr as usize], self.gvid[e.nbr as usize], nbr_lock));
+            }
+        }
+        plan.sort_unstable();
+        // Merge duplicates (parallel edges): strongest lock wins.
+        plan.dedup_by(|next, prev| {
+            if prev.1 == next.1 {
+                if next.2 == LockType::Write {
+                    prev.2 = LockType::Write;
+                }
+                true
+            } else {
+                false
+            }
+        });
+        plan.into_iter().map(|(_, v, t)| (v, t)).collect()
+    }
+
+    /// Consumes the local graph, returning the owned data for result
+    /// collection: `(vertex rows, edge rows)` with global ids.
+    pub fn into_owned_data(mut self) -> (Vec<(VertexId, V)>, Vec<(EdgeId, E)>) {
+        let mut vrows = Vec::with_capacity(self.owned.len());
+        // Drain in descending local index so swap_remove-like moves stay valid.
+        let owned = std::mem::take(&mut self.owned);
+        let mut vdata: Vec<Option<V>> = self.vdata.into_iter().map(Some).collect();
+        for &l in &owned {
+            vrows.push((self.gvid[l as usize], vdata[l as usize].take().expect("owned data")));
+        }
+        let mut erows = Vec::new();
+        let mut edata: Vec<Option<E>> = self.edata.into_iter().map(Some).collect();
+        for l in 0..self.geid.len() {
+            if self.eowner[l] == self.machine {
+                erows.push((self.geid[l], edata[l].take().expect("owned edge data")));
+            }
+        }
+        (vrows, erows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlab_graph::GraphBuilder;
+
+    fn path3() -> DataGraph<f64, f64> {
+        // v0 -> v1 -> v2
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..3).map(|i| b.add_vertex(i as f64)).collect();
+        b.add_edge(v[0], v[1], 0.1).unwrap();
+        b.add_edge(v[1], v[2], 0.2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn single_machine_mirrors_graph() {
+        let g = path3();
+        let lg = LocalGraph::single_machine(&g, None);
+        assert_eq!(lg.num_local_vertices(), 3);
+        assert_eq!(lg.num_local_edges(), 2);
+        assert_eq!(lg.owned_vertices().len(), 3);
+        assert_eq!(lg.total_vertices(), 3);
+        let l1 = lg.local_vertex(VertexId(1)).unwrap();
+        assert_eq!(lg.adj(l1).len(), 2);
+        assert!(lg.owns_vertex(l1));
+    }
+
+    #[test]
+    fn lock_plan_edge_consistency_sorted_dedup() {
+        let g = path3();
+        let lg = LocalGraph::single_machine(&g, None);
+        let l1 = lg.local_vertex(VertexId(1)).unwrap();
+        let plan = lg.lock_plan(l1, ConsistencyModel::Edge);
+        assert_eq!(
+            plan,
+            vec![
+                (VertexId(0), LockType::Read),
+                (VertexId(1), LockType::Write),
+                (VertexId(2), LockType::Read),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_plan_vertex_consistency_is_central_only() {
+        let g = path3();
+        let lg = LocalGraph::single_machine(&g, None);
+        let l1 = lg.local_vertex(VertexId(1)).unwrap();
+        assert_eq!(
+            lg.lock_plan(l1, ConsistencyModel::Vertex),
+            vec![(VertexId(1), LockType::Write)]
+        );
+    }
+
+    #[test]
+    fn lock_plan_full_consistency_write_locks_neighbors() {
+        let g = path3();
+        let lg = LocalGraph::single_machine(&g, None);
+        let l0 = lg.local_vertex(VertexId(0)).unwrap();
+        assert_eq!(
+            lg.lock_plan(l0, ConsistencyModel::Full),
+            vec![(VertexId(0), LockType::Write), (VertexId(1), LockType::Write)]
+        );
+    }
+
+    #[test]
+    fn parallel_edges_dedup_to_strongest_lock() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex(0.0f64);
+        let c = b.add_vertex(1.0f64);
+        b.add_edge(a, c, 1.0f64).unwrap();
+        b.add_edge(c, a, 2.0).unwrap();
+        let g = b.build();
+        let lg = LocalGraph::single_machine(&g, None);
+        let la = lg.local_vertex(VertexId(0)).unwrap();
+        let plan = lg.lock_plan(la, ConsistencyModel::Edge);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0], (VertexId(0), LockType::Write));
+        assert_eq!(plan[1], (VertexId(1), LockType::Read));
+    }
+
+    #[test]
+    fn version_updates_apply_monotonically() {
+        let g = path3();
+        let mut lg = LocalGraph::single_machine(&g, None);
+        assert!(lg.apply_vertex_update(0, 3, 99.0));
+        assert_eq!(*lg.vertex_data(0), 99.0);
+        assert!(!lg.apply_vertex_update(0, 2, 11.0), "stale update dropped");
+        assert_eq!(*lg.vertex_data(0), 99.0);
+        assert!(lg.apply_edge_update(1, 1, 0.9));
+        assert_eq!(*lg.edge_data(1), 0.9);
+    }
+
+    #[test]
+    fn bump_versions_increment() {
+        let g = path3();
+        let mut lg = LocalGraph::single_machine(&g, None);
+        assert_eq!(lg.bump_vertex_version(0), 1);
+        assert_eq!(lg.bump_vertex_version(0), 2);
+        assert_eq!(lg.bump_edge_version(0), 1);
+        assert_eq!(lg.vertex_version(0), 2);
+    }
+
+    #[test]
+    fn into_owned_data_returns_everything_single_machine() {
+        let g = path3();
+        let lg = LocalGraph::single_machine(&g, None);
+        let (vs, es) = lg.into_owned_data();
+        assert_eq!(vs.len(), 3);
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn colors_attached() {
+        let g = path3();
+        let coloring = graphlab_graph::greedy_coloring(&g);
+        let lg = LocalGraph::single_machine(&g, Some(&coloring));
+        for l in 0..3u32 {
+            assert_eq!(lg.vertex_color(l), coloring.color(lg.vertex_gvid(l)));
+        }
+    }
+}

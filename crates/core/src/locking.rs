@@ -1,0 +1,1317 @@
+//! The distributed locking engine (§4.2.2).
+//!
+//! Fully asynchronous execution with prioritised dynamic scheduling.
+//! Serializability is enforced by associating a readers-writer lock with
+//! every vertex: vertex consistency write-locks the centre, edge
+//! consistency adds read locks on neighbours, full consistency write-locks
+//! the whole scope. Deadlocks are avoided by acquiring locks sequentially
+//! in the canonical order `(owner(v), v)`, which also lets all locks on one
+//! remote machine be requested in a single message.
+//!
+//! Two latency-hiding techniques from the paper are implemented:
+//!
+//! 1. **Ghost caching with versioning** — each lock-chain hop attaches only
+//!    the scope data whose owner-side version is newer than the
+//!    requester's cached version.
+//! 2. **Pipelining** — every machine keeps up to `max_pipeline` lock
+//!    chains in flight; scopes whose locks and data have arrived are
+//!    executed by the machine loop while the rest of the pipeline fills
+//!    (Alg. 4). The non-blocking lock table below is the "callback"
+//!    readers-writer lock: acquisition never blocks the engine thread,
+//!    parked requests are resumed from release processing.
+//!
+//! Termination uses the marker/token algorithm (Misra [26], Safra
+//! formulation) from `graphlab-net`. Snapshots (§4.3) come in both
+//! flavours: stop-and-flush synchronous, and the asynchronous
+//! Chandy-Lamport variant expressed as a prioritised update function
+//! (Alg. 5).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::time::Duration;
+
+use bytes::Bytes;
+use graphlab_atoms::LocalGraphInit;
+use graphlab_graph::{ConsistencyModel, LockType, MachineId, VertexId};
+use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
+use graphlab_net::termination::{Safra, SafraAction};
+use graphlab_net::{Endpoint, Envelope, RecvError};
+
+use crate::config::SnapshotMode;
+use crate::driver::{MachineResult, MachineSetup};
+use crate::globals::GlobalRegistry;
+use crate::local::LocalGraph;
+use crate::messages::*;
+use crate::reference::InitialSchedule;
+use crate::scheduler::Scheduler;
+use crate::snapshot::{snap_file_name, SnapshotFile};
+use crate::sync::local_partial;
+use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
+
+/// Priority marking a schedule request as a snapshot task (Alg. 5:
+/// "the Snapshot Update is prioritized over other update functions").
+pub const SNAPSHOT_PRIORITY: f64 = f64::INFINITY;
+
+const IDLE_POLL: Duration = Duration::from_millis(2);
+
+/// Identifies a lock chain cluster-wide: `(requester machine, reqid)`.
+type ChainKey = (u16, u64);
+
+// ---------------------------------------------------------------------
+// Non-blocking callback readers-writer lock table
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct LockState {
+    readers: u32,
+    writer: bool,
+    queue: VecDeque<(ChainKey, LockType)>,
+}
+
+impl LockState {
+    fn compatible(&self, t: LockType) -> bool {
+        match t {
+            LockType::Read => !self.writer,
+            LockType::Write => !self.writer && self.readers == 0,
+        }
+    }
+    fn grant(&mut self, t: LockType) {
+        match t {
+            LockType::Read => self.readers += 1,
+            LockType::Write => self.writer = true,
+        }
+    }
+    fn ungrant(&mut self, t: LockType) {
+        match t {
+            LockType::Read => {
+                debug_assert!(self.readers > 0);
+                self.readers -= 1;
+            }
+            LockType::Write => {
+                debug_assert!(self.writer);
+                self.writer = false;
+            }
+        }
+    }
+}
+
+/// Per-machine table of vertex locks. FIFO-fair: a request parks behind
+/// earlier arrivals even when it would be immediately compatible, which
+/// (with ordered acquisition) guarantees liveness.
+#[derive(Debug)]
+pub(crate) struct LockTable {
+    states: Vec<LockState>,
+}
+
+impl LockTable {
+    pub(crate) fn new(n: usize) -> Self {
+        LockTable { states: (0..n).map(|_| LockState::default()).collect() }
+    }
+
+    /// Attempts to acquire; returns `true` when granted immediately,
+    /// otherwise the request is queued and will surface through
+    /// [`LockTable::release`].
+    pub(crate) fn acquire(&mut self, v: u32, t: LockType, key: ChainKey) -> bool {
+        let st = &mut self.states[v as usize];
+        if st.queue.is_empty() && st.compatible(t) {
+            st.grant(t);
+            true
+        } else {
+            st.queue.push_back((key, t));
+            false
+        }
+    }
+
+    /// Releases a held lock; returns the chains whose queued request on
+    /// this vertex just got granted (readers batch).
+    pub(crate) fn release(&mut self, v: u32, t: LockType) -> Vec<ChainKey> {
+        let st = &mut self.states[v as usize];
+        st.ungrant(t);
+        let mut granted = Vec::new();
+        while let Some(&(key, ty)) = st.queue.front() {
+            if st.compatible(ty) {
+                st.grant(ty);
+                st.queue.pop_front();
+                granted.push(key);
+            } else {
+                break;
+            }
+        }
+        granted
+    }
+
+    #[cfg(test)]
+    fn held(&self, v: u32) -> (u32, bool) {
+        (self.states[v as usize].readers, self.states[v as usize].writer)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chain bookkeeping
+// ---------------------------------------------------------------------
+
+/// A lock chain resident at this machine (one hop's view).
+struct HopChain {
+    msg: LockReqMsg,
+    /// Plan entries owned by this machine: (local vertex, lock type), in
+    /// plan (canonical) order.
+    my_locks: Vec<(u32, LockType)>,
+    /// Next lock to acquire (sequential acquisition).
+    next: usize,
+}
+
+/// Requester-side state of an outstanding scope acquisition.
+struct OutScope {
+    center_l: u32,
+    plan: Vec<(VertexId, LockType)>,
+    machines: Vec<MachineId>,
+    remote_needed: usize,
+    data_got: usize,
+    has_local_hop: bool,
+    local_done: bool,
+    is_snapshot: bool,
+    queued_ready: bool,
+}
+
+impl OutScope {
+    /// Becomes true exactly once: when all remote hops delivered their
+    /// scope data and the local hop (if any) completed.
+    fn now_ready(&mut self) -> bool {
+        let ready = self.data_got >= self.remote_needed && (!self.has_local_hop || self.local_done);
+        if ready && !self.queued_ready {
+            self.queued_ready = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn enc<T: Codec>(v: &T) -> Bytes {
+    encode_to_bytes(v)
+}
+
+fn dec<T: Codec>(b: Bytes) -> T {
+    decode_from(b).expect("malformed engine message")
+}
+
+// ---------------------------------------------------------------------
+// The machine loop
+// ---------------------------------------------------------------------
+
+pub(crate) struct LockingMachine<V, E, U: ?Sized> {
+    lg: LocalGraph<V, E>,
+    ep: Endpoint,
+    setup: MachineSetup<V, E, U>,
+    globals: GlobalRegistry,
+    scheduler: Scheduler,
+    locks: LockTable,
+    hop_chains: HashMap<ChainKey, HopChain>,
+    out_scopes: HashMap<u64, OutScope>,
+    ready: VecDeque<u64>,
+    next_reqid: u64,
+    safra: Safra,
+    halted: bool,
+    cap_reached: bool,
+
+    // Counted-work message accounting (snapshot channel flush).
+    sent_counts: Vec<u64>,
+    recv_counts: Vec<u64>,
+
+    // Snapshot state.
+    snap_epoch: Vec<u32>,
+    current_snap: u32,
+    snap_queue: VecDeque<u32>,
+    snap_buffer: SnapshotFile,
+    snap_remaining: usize,
+    snap_paused: bool,
+    snap_ready_sent: bool,
+    snap_flush_target: Option<Vec<u64>>,
+    snap_written: bool,
+    snapshots_written: u64,
+
+    // Master-only coordination state.
+    m_snap_in_progress: bool,
+    m_snap_ready: Vec<Option<Vec<u64>>>,
+    m_snap_done: usize,
+    m_async_done: usize,
+    m_last_snap_updates: u64,
+    m_halt_pending: bool,
+    m_halt_sent: bool,
+    m_halt_acks: usize,
+    m_sync_epoch: u64,
+    m_sync_next_at: u64,
+    m_sync_outstanding: Option<(u64, Vec<Vec<f64>>, usize)>,
+    m_final_sync_done: bool,
+
+    // Misc.
+    updates_local: u64,
+    update_count_map: HashMap<VertexId, u64>,
+    straggled: bool,
+    effects: UpdateEffects,
+}
+
+impl<V, E, U> LockingMachine<V, E, U>
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E> + ?Sized,
+{
+    pub(crate) fn new(
+        ep: Endpoint,
+        setup: MachineSetup<V, E, U>,
+        init: LocalGraphInit<V, E>,
+    ) -> Self {
+        let lg = LocalGraph::from_init(init, None);
+        let nv = lg.num_local_vertices();
+        let m = lg.num_machines();
+        let machine = lg.machine();
+        LockingMachine {
+            scheduler: Scheduler::new(setup.config.scheduler, nv),
+            locks: LockTable::new(nv),
+            hop_chains: HashMap::new(),
+            out_scopes: HashMap::new(),
+            ready: VecDeque::new(),
+            next_reqid: 1,
+            safra: Safra::new(machine, m),
+            halted: false,
+            cap_reached: false,
+            sent_counts: vec![0; m],
+            recv_counts: vec![0; m],
+            snap_epoch: vec![0; nv],
+            current_snap: 0,
+            snap_queue: VecDeque::new(),
+            snap_buffer: SnapshotFile::default(),
+            snap_remaining: 0,
+            snap_paused: false,
+            snap_ready_sent: false,
+            snap_flush_target: None,
+            snap_written: false,
+            snapshots_written: 0,
+            m_snap_in_progress: false,
+            m_snap_ready: vec![None; m],
+            m_snap_done: 0,
+            m_async_done: 0,
+            m_last_snap_updates: 0,
+            m_halt_pending: false,
+            m_halt_sent: false,
+            m_halt_acks: 0,
+            m_sync_epoch: 0,
+            m_sync_next_at: setup.config.sync_interval_updates,
+            m_sync_outstanding: None,
+            m_final_sync_done: false,
+            updates_local: 0,
+            update_count_map: HashMap::new(),
+            straggled: false,
+            effects: UpdateEffects::default(),
+            globals: GlobalRegistry::new(),
+            lg,
+            ep,
+            setup,
+        }
+    }
+
+    fn me(&self) -> MachineId {
+        self.lg.machine()
+    }
+
+    fn is_master(&self) -> bool {
+        self.me() == MachineId(0)
+    }
+
+    fn num_machines(&self) -> usize {
+        self.lg.num_machines()
+    }
+
+    fn global_updates(&self) -> u64 {
+        self.setup.counters.updates.load(AtomicOrdering::Relaxed)
+    }
+
+    fn send_counted(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        debug_assert!(is_counted_work(kind));
+        debug_assert!(dst != self.me());
+        self.safra.on_message_sent(1);
+        self.sent_counts[dst.index()] += 1;
+        self.ep.send(dst, kind, payload);
+    }
+
+    fn initial_schedule(&mut self) {
+        match &*self.setup.initial {
+            InitialSchedule::AllVertices => {
+                for i in 0..self.lg.owned_vertices().len() {
+                    let l = self.lg.owned_vertices()[i];
+                    self.scheduler.add(l, 1.0);
+                }
+            }
+            InitialSchedule::Vertices(vs) => {
+                for (v, p) in vs.clone() {
+                    if let Some(l) = self.lg.local_vertex(v) {
+                        if self.lg.owns_vertex(l) {
+                            self.scheduler.add(l, p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn run(mut self) -> MachineResult<V, E> {
+        self.initial_schedule();
+        let mut iters = 0u64;
+        while !self.halted {
+            iters += 1;
+            if std::env::var_os("GRAPHLAB_DEBUG").is_some() && iters % 500 == 0 {
+                eprintln!(
+                    "[m{}] iter={} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={}",
+                    self.me().0,
+                    iters,
+                    self.scheduler.len(),
+                    self.snap_queue.len(),
+                    self.out_scopes.len(),
+                    self.ready.len(),
+                    self.hop_chains.len(),
+                    self.snap_paused,
+                    self.m_halt_pending,
+                    self.updates_local,
+                );
+            }
+            self.maybe_straggle();
+            if self.is_master() {
+                self.master_triggers();
+            }
+            self.pump();
+            self.execute_ready();
+            self.check_snapshot_progress();
+            self.update_idle();
+            match self.ep.recv_timeout(IDLE_POLL) {
+                Ok(env) => {
+                    self.handle(env);
+                    // Drain the inbox without blocking to amortise the
+                    // pump/execute overhead across message bursts.
+                    for _ in 0..512 {
+                        match self.ep.try_recv() {
+                            Ok(env) => self.handle(env),
+                            Err(_) => break,
+                        }
+                    }
+                }
+                Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => break,
+            }
+        }
+        self.finish()
+    }
+
+    // ---- pipeline ----
+
+    fn pump(&mut self) {
+        if self.snap_paused || self.halted {
+            return;
+        }
+        let cap = self.setup.config.max_updates;
+        if cap > 0 && !self.cap_reached && self.global_updates() >= cap {
+            // Drop remaining tasks so the cluster can quiesce.
+            self.cap_reached = true;
+            self.scheduler = Scheduler::new(self.setup.config.scheduler, self.lg.num_local_vertices());
+        }
+        while self.out_scopes.len() < self.setup.config.max_pipeline.max(1) {
+            // Snapshot tasks first (priority), then the app scheduler.
+            let (l, is_snap) = if let Some(l) = self.pop_snap_task() {
+                (l, true)
+            } else if !self.cap_reached {
+                match self.scheduler.pop() {
+                    Some(l) => (l, false),
+                    None => break,
+                }
+            } else {
+                break;
+            };
+            self.initiate_chain(l, is_snap);
+        }
+    }
+
+    fn pop_snap_task(&mut self) -> Option<u32> {
+        while let Some(l) = self.snap_queue.pop_front() {
+            if self.snap_epoch[l as usize] != self.current_snap {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    fn initiate_chain(&mut self, l: u32, is_snapshot: bool) {
+        let model = if is_snapshot {
+            ConsistencyModel::Edge
+        } else if self.setup.config.racing {
+            // Fig. 1(d): lock only the central vertex; reads of neighbour
+            // ghosts race against concurrent writers.
+            ConsistencyModel::Vertex
+        } else {
+            self.setup.config.consistency
+        };
+        let plan = self.lg.lock_plan(l, model);
+        let mut machines: Vec<MachineId> = Vec::new();
+        for &(v, _) in &plan {
+            let lv = self.lg.local_vertex(v).expect("plan vertex local");
+            let owner = self.lg.vertex_owner(lv);
+            if machines.last() != Some(&owner) {
+                machines.push(owner);
+            }
+        }
+        debug_assert!(machines.windows(2).all(|w| w[0] < w[1]), "plan sorted by owner");
+
+        let vvers: Vec<(VertexId, u64)> = plan
+            .iter()
+            .map(|&(v, _)| {
+                let lv = self.lg.local_vertex(v).expect("plan vertex local");
+                (v, self.lg.vertex_version(lv))
+            })
+            .collect();
+        let evers: Vec<_> = self
+            .lg
+            .adj(l)
+            .iter()
+            .map(|e| (self.lg.edge_geid(e.edge), self.lg.edge_version(e.edge)))
+            .collect();
+
+        let reqid = self.next_reqid;
+        self.next_reqid += 1;
+        let msg = LockReqMsg {
+            requester: self.me(),
+            reqid,
+            scope_v: self.lg.vertex_gvid(l),
+            hop: 0,
+            machines: machines.clone(),
+            plan: plan.iter().map(|&(v, t)| (v, lock_type_to_u8(t))).collect(),
+            vvers,
+            evers,
+        };
+        let remote_needed = machines.iter().filter(|&&m| m != self.me()).count();
+        let has_local_hop = machines.contains(&self.me());
+        self.out_scopes.insert(
+            reqid,
+            OutScope {
+                center_l: l,
+                plan,
+                machines: machines.clone(),
+                remote_needed,
+                data_got: 0,
+                has_local_hop,
+                local_done: false,
+                is_snapshot,
+                queued_ready: false,
+            },
+        );
+        if machines[0] == self.me() {
+            self.start_hop(msg);
+        } else {
+            let dst = machines[0];
+            self.send_counted(dst, K_LOCK_REQ, enc(&msg));
+        }
+    }
+
+    // ---- hop processing ----
+
+    fn start_hop(&mut self, msg: LockReqMsg) {
+        let key: ChainKey = (msg.requester.0, msg.reqid);
+        let my_locks: Vec<(u32, LockType)> = msg
+            .plan
+            .iter()
+            .filter_map(|&(v, t)| {
+                let lv = self.lg.local_vertex(v)?;
+                if self.lg.owns_vertex(lv) {
+                    Some((lv, lock_type_from_u8(t).expect("valid lock type")))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        debug_assert!(!my_locks.is_empty(), "hop visits a machine owning scope vertices");
+        self.hop_chains.insert(key, HopChain { msg, my_locks, next: 0 });
+        self.advance_chain(key);
+    }
+
+    fn advance_chain(&mut self, key: ChainKey) {
+        loop {
+            let Some(chain) = self.hop_chains.get_mut(&key) else { return };
+            if chain.next < chain.my_locks.len() {
+                let (lv, t) = chain.my_locks[chain.next];
+                if self.locks.acquire(lv, t, key) {
+                    let chain = self.hop_chains.get_mut(&key).expect("still present");
+                    chain.next += 1;
+                } else {
+                    return; // parked; resumed through resume_chain
+                }
+            } else {
+                self.complete_hop(key);
+                return;
+            }
+        }
+    }
+
+    /// Resumes a chain whose parked lock was just granted by
+    /// [`LockTable::release`]: the lock at `next` is already held, so step
+    /// past it before continuing sequential acquisition.
+    fn resume_chain(&mut self, key: ChainKey) {
+        let chain = self.hop_chains.get_mut(&key).expect("granted chain present");
+        chain.next += 1;
+        self.advance_chain(key);
+    }
+
+    /// All local locks of `key` granted: send fresh scope data to the
+    /// requester and forward the chain.
+    fn complete_hop(&mut self, key: ChainKey) {
+        let chain = self.hop_chains.get(&key).expect("chain present");
+        let msg = chain.msg.clone();
+        let requester = msg.requester;
+
+        if requester != self.me() {
+            // Version-filtered data sync: "synchronization of locked data is
+            // performed immediately as each machine completes its local
+            // locks".
+            let mut vrows = Vec::new();
+            for &(v, ver) in &msg.vvers {
+                if let Some(lv) = self.lg.local_vertex(v) {
+                    if self.lg.owns_vertex(lv)
+                        && (self.lg.vertex_version(lv) > ver || self.setup.config.no_version_filter)
+                    {
+                        vrows.push(VertexRow {
+                            vid: v,
+                            version: self.lg.vertex_version(lv),
+                            snap: self.snap_epoch[lv as usize],
+                            data: enc(self.lg.vertex_data(lv)),
+                        });
+                    }
+                }
+            }
+            let mut erows = Vec::new();
+            for &(e, ver) in &msg.evers {
+                if let Some(le) = self.lg.local_edge(e) {
+                    if self.lg.owns_edge(le)
+                        && (self.lg.edge_version(le) > ver || self.setup.config.no_version_filter)
+                    {
+                        erows.push(EdgeRow {
+                            eid: e,
+                            version: self.lg.edge_version(le),
+                            data: enc(self.lg.edge_data(le)),
+                        });
+                    }
+                }
+            }
+            let data = ScopeDataMsg { reqid: msg.reqid, vrows, erows };
+            self.send_counted(requester, K_SCOPE_DATA, enc(&data));
+        } else {
+            let out = self.out_scopes.get_mut(&msg.reqid).expect("own scope");
+            out.local_done = true;
+            if out.now_ready() {
+                self.ready.push_back(msg.reqid);
+            }
+        }
+
+        // Continuation passing: forward to the next machine in canonical
+        // order.
+        let next_hop = msg.hop as usize + 1;
+        if next_hop < msg.machines.len() {
+            let dst = msg.machines[next_hop];
+            let mut fwd = msg;
+            fwd.hop = next_hop as u16;
+            if dst == self.me() {
+                self.start_hop(fwd);
+            } else {
+                self.send_counted(dst, K_LOCK_REQ, enc(&fwd));
+            }
+        }
+    }
+
+    // ---- execution ----
+
+    fn execute_ready(&mut self) {
+        while let Some(reqid) = self.ready.pop_front() {
+            let is_snap = self.out_scopes.get(&reqid).expect("ready scope").is_snapshot;
+            if is_snap {
+                self.execute_snapshot_update(reqid);
+            } else {
+                self.execute_update(reqid);
+            }
+        }
+    }
+
+    fn execute_update(&mut self, reqid: u64) {
+        let center = self.out_scopes.get(&reqid).expect("scope").center_l;
+        self.effects.clear();
+        {
+            let mut ctx = UpdateContext::new(
+                &mut self.lg,
+                center,
+                self.setup.config.consistency,
+                &self.globals,
+                &mut self.effects,
+            );
+            self.setup.update.update(&mut ctx);
+        }
+        self.updates_local += 1;
+        self.setup.counters.updates.fetch_add(1, AtomicOrdering::Relaxed);
+        if self.setup.config.trace {
+            *self.update_count_map.entry(self.lg.vertex_gvid(center)).or_insert(0) += 1;
+        }
+        self.commit_and_release(reqid);
+    }
+
+    fn commit_and_release(&mut self, reqid: u64) {
+        let me = self.me();
+        let effects = std::mem::take(&mut self.effects);
+        let out = self.out_scopes.remove(&reqid).expect("scope");
+        let center = out.center_l;
+
+        // Version bumps for locally-owned dirty data; write-back rows for
+        // remotely-owned dirty data, grouped by owner.
+        let mut vwrites: HashMap<MachineId, Vec<(VertexId, u32, Bytes)>> = HashMap::new();
+        let mut ewrites: HashMap<MachineId, Vec<(graphlab_graph::EdgeId, Bytes)>> = HashMap::new();
+
+        if effects.dirty_self {
+            debug_assert!(self.lg.owns_vertex(center));
+            self.lg.bump_vertex_version(center);
+        }
+        let mut dirty_edges = effects.dirty_edges.clone();
+        dirty_edges.sort_unstable();
+        dirty_edges.dedup();
+        for le in dirty_edges {
+            if self.lg.owns_edge(le) {
+                self.lg.bump_edge_version(le);
+            } else {
+                let owner = self.lg.edge_owner(le);
+                ewrites
+                    .entry(owner)
+                    .or_default()
+                    .push((self.lg.edge_geid(le), enc(self.lg.edge_data(le))));
+            }
+        }
+        let mut dirty_nbrs = effects.dirty_nbrs.clone();
+        dirty_nbrs.sort_unstable();
+        dirty_nbrs.dedup();
+        for ln in dirty_nbrs {
+            if self.lg.owns_vertex(ln) {
+                self.lg.bump_vertex_version(ln);
+            } else {
+                let owner = self.lg.vertex_owner(ln);
+                vwrites.entry(owner).or_default().push((
+                    self.lg.vertex_gvid(ln),
+                    self.snap_epoch[ln as usize],
+                    enc(self.lg.vertex_data(ln)),
+                ));
+            }
+        }
+
+        // Scheduling — must happen before the scope is unlocked (snapshot
+        // correctness condition, and per-channel FIFO makes "before" hold
+        // remotely too).
+        let mut remote_sched: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        for &(gv, prio) in &effects.scheduled {
+            let lv = self.lg.local_vertex(gv).expect("scheduled vertex in scope");
+            let owner = self.lg.vertex_owner(lv);
+            if owner == me {
+                if !self.cap_reached {
+                    self.scheduler.add(lv, prio);
+                }
+            } else {
+                remote_sched.entry(owner).or_default().push((gv, prio));
+            }
+        }
+        for (mm, tasks) in remote_sched {
+            self.send_counted(mm, K_LOCK_SCHED, enc(&ScheduleMsg { tasks }));
+        }
+
+        // Release per machine, with piggybacked write-backs.
+        for &mm in &out.machines {
+            let locks: Vec<(VertexId, u8)> = out
+                .plan
+                .iter()
+                .filter(|&&(v, _)| {
+                    let lv = self.lg.local_vertex(v).expect("plan vertex local");
+                    self.lg.vertex_owner(lv) == mm
+                })
+                .map(|&(v, t)| (v, lock_type_to_u8(t)))
+                .collect();
+            if mm == me {
+                for (v, t) in locks {
+                    let lv = self.lg.local_vertex(v).expect("local");
+                    let granted = self.locks.release(lv, lock_type_from_u8(t).expect("valid"));
+                    for key in granted {
+                        self.resume_chain(key);
+                    }
+                }
+                self.hop_chains.remove(&(me.0, reqid));
+            } else {
+                let rel = ReleaseMsg {
+                    reqid,
+                    locks,
+                    vwrites: vwrites.remove(&mm).unwrap_or_default(),
+                    ewrites: ewrites.remove(&mm).unwrap_or_default(),
+                };
+                self.send_counted(mm, K_RELEASE, enc(&rel));
+            }
+        }
+        debug_assert!(vwrites.is_empty(), "write-back owner not in lock plan");
+        debug_assert!(ewrites.is_empty(), "edge write-back owner not in lock plan");
+        self.effects = effects;
+    }
+
+    /// Alg. 5: the snapshot update function.
+    fn execute_snapshot_update(&mut self, reqid: u64) {
+        let center = self.out_scopes.get(&reqid).expect("scope").center_l;
+        let snap = self.current_snap;
+        if self.snap_epoch[center as usize] != snap {
+            // Save D_v.
+            self.snap_buffer
+                .vrows
+                .push((self.lg.vertex_gvid(center), enc(self.lg.vertex_data(center))));
+            // Save edges to not-yet-snapshotted neighbours; schedule them.
+            let adj: Vec<_> = self.lg.adj(center).to_vec();
+            for e in adj {
+                if self.snap_epoch[e.nbr as usize] != snap {
+                    self.snap_buffer
+                        .erows
+                        .push((self.lg.edge_geid(e.edge), enc(self.lg.edge_data(e.edge))));
+                    self.effects.scheduled.push((self.lg.vertex_gvid(e.nbr), SNAPSHOT_PRIORITY));
+                }
+            }
+            // Mark v as snapshotted; bump the version so the marker
+            // propagates with the ordinary scope-data synchronisation.
+            self.snap_epoch[center as usize] = snap;
+            self.snap_remaining -= 1;
+            self.lg.bump_vertex_version(center);
+        }
+        // Route snapshot schedules: owned → snapshot queue, remote → owner.
+        let scheduled = std::mem::take(&mut self.effects.scheduled);
+        let mut remote_sched: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        for (gv, prio) in scheduled {
+            let lv = self.lg.local_vertex(gv).expect("in scope");
+            let owner = self.lg.vertex_owner(lv);
+            if owner == self.me() {
+                if self.snap_epoch[lv as usize] != snap {
+                    self.snap_queue.push_back(lv);
+                }
+            } else {
+                remote_sched.entry(owner).or_default().push((gv, prio));
+            }
+        }
+        for (mm, tasks) in remote_sched {
+            self.send_counted(mm, K_LOCK_SCHED, enc(&ScheduleMsg { tasks }));
+        }
+        self.effects.clear();
+        self.commit_and_release(reqid);
+    }
+
+    // ---- message handling ----
+
+    fn handle(&mut self, env: Envelope) {
+        if is_counted_work(env.kind) {
+            self.safra.on_message_received(1);
+            self.recv_counts[env.src.index()] += 1;
+        }
+        match env.kind {
+            K_LOCK_REQ => {
+                let msg: LockReqMsg = dec(env.payload);
+                self.start_hop(msg);
+            }
+            K_SCOPE_DATA => {
+                let msg: ScopeDataMsg = dec(env.payload);
+                for row in msg.vrows {
+                    if let Some(lv) = self.lg.local_vertex(row.vid) {
+                        self.lg.apply_vertex_update(lv, row.version, dec(row.data));
+                        if row.snap > self.snap_epoch[lv as usize] {
+                            self.snap_epoch[lv as usize] = row.snap;
+                        }
+                    }
+                }
+                for row in msg.erows {
+                    if let Some(le) = self.lg.local_edge(row.eid) {
+                        self.lg.apply_edge_update(le, row.version, dec(row.data));
+                    }
+                }
+                if let Some(out) = self.out_scopes.get_mut(&msg.reqid) {
+                    out.data_got += 1;
+                    if out.now_ready() {
+                        self.ready.push_back(msg.reqid);
+                    }
+                }
+            }
+            K_RELEASE => {
+                let msg: ReleaseMsg = dec(env.payload);
+                for (v, snap, blob) in msg.vwrites {
+                    let lv = self.lg.local_vertex(v).expect("write-back target local");
+                    debug_assert!(self.lg.owns_vertex(lv));
+                    *self.lg.vertex_data_mut(lv) = dec(blob);
+                    self.lg.bump_vertex_version(lv);
+                    if snap > self.snap_epoch[lv as usize] {
+                        self.snap_epoch[lv as usize] = snap;
+                    }
+                }
+                for (e, blob) in msg.ewrites {
+                    let le = self.lg.local_edge(e).expect("write-back target local");
+                    debug_assert!(self.lg.owns_edge(le));
+                    *self.lg.edge_data_mut(le) = dec(blob);
+                    self.lg.bump_edge_version(le);
+                }
+                for (v, t) in msg.locks {
+                    let lv = self.lg.local_vertex(v).expect("lock target local");
+                    let granted = self.locks.release(lv, lock_type_from_u8(t).expect("valid"));
+                    for key in granted {
+                        self.resume_chain(key);
+                    }
+                }
+                self.hop_chains.remove(&(env.src.0, msg.reqid));
+            }
+            K_LOCK_SCHED => {
+                let msg: ScheduleMsg = dec(env.payload);
+                for (gv, prio) in msg.tasks {
+                    if let Some(lv) = self.lg.local_vertex(gv) {
+                        debug_assert!(self.lg.owns_vertex(lv));
+                        if prio == SNAPSHOT_PRIORITY {
+                            if self.current_snap > 0 && self.snap_epoch[lv as usize] != self.current_snap
+                            {
+                                self.snap_queue.push_back(lv);
+                            }
+                        } else if !self.cap_reached {
+                            self.scheduler.add(lv, prio);
+                        }
+                    }
+                }
+            }
+            K_TOKEN => {
+                let tok: TokenMsg = dec(env.payload);
+                let action = self.safra.on_token(tok.0);
+                self.apply_safra(action);
+            }
+            K_HALT => {
+                self.ep.send(MachineId(0), K_HALT_ACK, Bytes::new());
+                self.halted = true;
+            }
+            K_HALT_ACK => {
+                self.m_halt_acks += 1;
+            }
+            K_LSYNC_PART => {
+                let msg: LockSyncPartialMsg = dec(env.payload);
+                self.master_collect_sync(msg);
+            }
+            K_LSYNC_GLOB => {
+                let msg: SyncGlobalsMsg = dec(env.payload);
+                for (name, ver, value) in msg.globals {
+                    self.globals.apply(&name, ver, value);
+                }
+                if msg.halt {
+                    // Final-sync marker: nothing else to do; halt arrives
+                    // separately.
+                }
+            }
+            K_LSYNC_REQ => {
+                let epoch: u64 = dec(env.payload);
+                let partials: Vec<Vec<f64>> = self
+                    .setup
+                    .syncs
+                    .iter()
+                    .map(|op| local_partial(op.as_ref(), &self.lg))
+                    .collect();
+                self.ep.send(
+                    MachineId(0),
+                    K_LSYNC_PART,
+                    enc(&LockSyncPartialMsg { epoch, partials }),
+                );
+            }
+            K_SNAP_SYNC_START => {
+                let _snap: u64 = dec(env.payload);
+                self.begin_sync_snapshot();
+            }
+            K_SNAP_SYNC_READY => {
+                let msg: SnapReadyMsg = dec(env.payload);
+                self.master_collect_snap_ready(env.src, msg);
+            }
+            K_SNAP_SYNC_FLUSH => {
+                let msg: SnapFlushMsg = dec(env.payload);
+                self.snap_flush_target = Some(msg.expect_from);
+            }
+            K_SNAP_DONE => {
+                self.m_snap_done += 1;
+            }
+            K_SNAP_RESUME => {
+                self.snap_paused = false;
+                self.snap_ready_sent = false;
+                self.snap_flush_target = None;
+                self.snap_written = false;
+            }
+            K_SNAP_ASYNC_START => {
+                let snap: u64 = dec(env.payload);
+                self.begin_async_snapshot(snap as u32);
+            }
+            K_SNAP_ASYNC_MDONE => {
+                self.m_async_done += 1;
+            }
+            other => panic!("unexpected message kind {other} in locking engine"),
+        }
+    }
+
+    fn apply_safra(&mut self, action: SafraAction) {
+        match action {
+            SafraAction::None => {}
+            SafraAction::SendToken { to, token } => {
+                self.ep.send(to, K_TOKEN, enc(&TokenMsg(token)));
+            }
+            SafraAction::Terminated => {
+                debug_assert!(self.is_master());
+                self.m_halt_pending = true;
+            }
+        }
+    }
+
+    fn update_idle(&mut self) {
+        let idle = (self.scheduler.is_empty() || self.cap_reached)
+            && self.snap_queue.is_empty()
+            && self.out_scopes.is_empty()
+            && self.ready.is_empty();
+        let action = self.safra.set_idle(idle);
+        self.apply_safra(action);
+    }
+
+    // ---- master coordination ----
+
+    fn master_triggers(&mut self) {
+        debug_assert!(self.is_master());
+        let g_updates = self.global_updates();
+
+        // Background sync epochs.
+        let interval = self.setup.config.sync_interval_updates;
+        if interval > 0
+            && !self.setup.syncs.is_empty()
+            && self.m_sync_outstanding.is_none()
+            && g_updates >= self.m_sync_next_at
+            && !self.m_halt_sent
+        {
+            self.m_sync_next_at = g_updates + interval;
+            self.start_sync_epoch(false);
+        }
+
+        // Snapshot triggers.
+        let snap_cfg = self.setup.config.snapshot;
+        if snap_cfg.mode != SnapshotMode::None
+            && snap_cfg.every_updates > 0
+            && !self.m_snap_in_progress
+            && (self.snapshots_written) < snap_cfg.max_snapshots
+            && g_updates.saturating_sub(self.m_last_snap_updates) >= snap_cfg.every_updates
+            && !self.m_halt_pending
+            && !self.m_halt_sent
+        {
+            self.m_last_snap_updates = g_updates;
+            self.m_snap_in_progress = true;
+            self.m_snap_done = 0;
+            self.m_async_done = 0;
+            self.m_snap_ready = vec![None; self.num_machines()];
+            let id = self.snapshots_written;
+            match snap_cfg.mode {
+                SnapshotMode::Synchronous => {
+                    let payload = enc(&id);
+                    self.ep.broadcast(K_SNAP_SYNC_START, &payload);
+                    self.begin_sync_snapshot();
+                }
+                SnapshotMode::Asynchronous => {
+                    let payload = enc(&(id + 1));
+                    self.ep.broadcast(K_SNAP_ASYNC_START, &payload);
+                    self.begin_async_snapshot((id + 1) as u32);
+                }
+                SnapshotMode::None => unreachable!(),
+            }
+        }
+
+        // Async snapshot completion.
+        if self.m_snap_in_progress
+            && self.setup.config.snapshot.mode == SnapshotMode::Asynchronous
+            && self.m_async_done == self.num_machines()
+        {
+            self.m_snap_in_progress = false;
+        }
+
+        // Halt sequencing: optional final sync, then halt broadcast.
+        if self.m_halt_pending && !self.m_snap_in_progress && !self.m_halt_sent {
+            if !self.setup.syncs.is_empty() && !self.m_final_sync_done {
+                if self.m_sync_outstanding.is_none() {
+                    self.start_sync_epoch(true);
+                }
+            } else {
+                self.m_halt_sent = true;
+                self.m_halt_acks = 1; // self
+                self.ep.broadcast(K_HALT, &Bytes::new());
+            }
+        }
+        if self.m_halt_sent && self.m_halt_acks >= self.num_machines() {
+            self.halted = true;
+        }
+    }
+
+    fn start_sync_epoch(&mut self, fin: bool) {
+        self.m_sync_epoch += 1;
+        let epoch = if fin { u64::MAX } else { self.m_sync_epoch };
+        let payload = enc(&epoch);
+        self.ep.broadcast(K_LSYNC_REQ, &payload);
+        let own: Vec<Vec<f64>> =
+            self.setup.syncs.iter().map(|op| local_partial(op.as_ref(), &self.lg)).collect();
+        self.m_sync_outstanding = Some((epoch, own, 1));
+        if self.num_machines() == 1 {
+            self.finish_sync_epoch();
+        }
+    }
+
+    fn master_collect_sync(&mut self, msg: LockSyncPartialMsg) {
+        let Some((epoch, accs, got)) = self.m_sync_outstanding.as_mut() else {
+            return; // stale partial from an abandoned epoch
+        };
+        if msg.epoch != *epoch {
+            return;
+        }
+        for (i, part) in msg.partials.iter().enumerate() {
+            self.setup.syncs[i].combine(&mut accs[i], part);
+        }
+        *got += 1;
+        if *got == self.num_machines() {
+            self.finish_sync_epoch();
+        }
+    }
+
+    fn finish_sync_epoch(&mut self) {
+        let (epoch, accs, _) = self.m_sync_outstanding.take().expect("epoch active");
+        let total = self.lg.total_vertices();
+        let mut rows = Vec::new();
+        for (i, op) in self.setup.syncs.iter().enumerate() {
+            let value = op.finalize(accs[i].clone(), total);
+            let ver = self.globals.set(&op.name(), value.clone());
+            rows.push((op.name(), ver, value));
+        }
+        let msg = SyncGlobalsMsg { cycle: epoch, globals: rows, halt: false, snapshot: None };
+        let payload = enc(&msg);
+        self.ep.broadcast(K_LSYNC_GLOB, &payload);
+        if epoch == u64::MAX {
+            self.m_final_sync_done = true;
+        }
+    }
+
+    // ---- snapshots ----
+
+    fn begin_sync_snapshot(&mut self) {
+        self.snap_paused = true;
+        self.snap_ready_sent = false;
+        self.snap_flush_target = None;
+        self.snap_written = false;
+    }
+
+    fn begin_async_snapshot(&mut self, snap: u32) {
+        self.current_snap = snap;
+        self.snap_buffer = SnapshotFile::default();
+        self.snap_remaining = self.lg.owned_vertices().len();
+        self.snap_queue.clear();
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            self.snap_queue.push_back(l);
+        }
+        if self.snap_remaining == 0 {
+            // No owned vertices: immediately done.
+            self.finish_async_snapshot();
+        }
+    }
+
+    fn finish_async_snapshot(&mut self) {
+        let file = std::mem::take(&mut self.snap_buffer);
+        self.setup.dfs.write(
+            &snap_file_name(&self.setup.snap_prefix, self.current_snap as u64 - 1, self.me()),
+            enc(&file),
+        );
+        self.snapshots_written += 1;
+        if self.is_master() {
+            self.m_async_done += 1;
+        } else {
+            self.ep.send(MachineId(0), K_SNAP_ASYNC_MDONE, Bytes::new());
+        }
+    }
+
+    fn check_snapshot_progress(&mut self) {
+        // Asynchronous: machine part complete when every owned vertex is
+        // marked.
+        if self.current_snap > 0 && self.snap_remaining == 0 && !self.snap_buffer_is_flushed() {
+            self.finish_async_snapshot();
+        }
+
+        // Synchronous: drained → READY; flush satisfied → write + DONE.
+        if self.snap_paused && !self.snap_ready_sent && self.out_scopes.is_empty() && self.ready.is_empty()
+        {
+            self.snap_ready_sent = true;
+            let msg = SnapReadyMsg { snap: self.snapshots_written, sent_to: self.sent_counts.clone() };
+            if self.is_master() {
+                self.master_collect_snap_ready(MachineId(0), msg);
+            } else {
+                self.ep.send(MachineId(0), K_SNAP_SYNC_READY, enc(&msg));
+            }
+        }
+        if self.snap_paused && !self.snap_written {
+            if let Some(target) = &self.snap_flush_target {
+                let flushed = (0..self.num_machines())
+                    .all(|j| j == self.me().index() || self.recv_counts[j] >= target[j]);
+                if flushed {
+                    self.snap_written = true;
+                    let file = SnapshotFile::capture(&self.lg);
+                    self.setup.dfs.write(
+                        &snap_file_name(&self.setup.snap_prefix, self.snapshots_written, self.me()),
+                        enc(&file),
+                    );
+                    self.snapshots_written += 1;
+                    if self.is_master() {
+                        self.m_snap_done += 1;
+                        self.master_check_snap_done();
+                    } else {
+                        self.ep.send(MachineId(0), K_SNAP_DONE, Bytes::new());
+                    }
+                }
+            }
+        }
+        if self.is_master() {
+            self.master_check_snap_done();
+        }
+    }
+
+    fn snap_buffer_is_flushed(&self) -> bool {
+        // After finish_async_snapshot the buffer is empty *and* remaining is
+        // zero; use the written counter as the definitive latch.
+        self.snap_buffer.vrows.is_empty()
+            && self.snap_buffer.erows.is_empty()
+            && self.snapshots_written as u32 >= self.current_snap
+    }
+
+    fn master_collect_snap_ready(&mut self, src: MachineId, msg: SnapReadyMsg) {
+        if !self.is_master() {
+            return;
+        }
+        self.m_snap_ready[src.index()] = Some(msg.sent_to);
+        if self.m_snap_ready.iter().all(|r| r.is_some()) {
+            // All drained: broadcast per-machine flush targets.
+            let m = self.num_machines();
+            for i in 0..m {
+                let expect_from: Vec<u64> = (0..m)
+                    .map(|j| self.m_snap_ready[j].as_ref().expect("ready")[i])
+                    .collect();
+                let msg = SnapFlushMsg { snap: self.snapshots_written, expect_from };
+                if i == self.me().index() {
+                    self.snap_flush_target = Some(msg.expect_from);
+                } else {
+                    self.ep.send(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
+                }
+            }
+            self.m_snap_ready = vec![None; m];
+        }
+    }
+
+    fn master_check_snap_done(&mut self) {
+        if self.m_snap_in_progress
+            && self.setup.config.snapshot.mode == SnapshotMode::Synchronous
+            && self.m_snap_done == self.num_machines()
+        {
+            self.m_snap_in_progress = false;
+            self.m_snap_done = 0;
+            self.ep.broadcast(K_SNAP_RESUME, &Bytes::new());
+            self.snap_paused = false;
+            self.snap_ready_sent = false;
+            self.snap_flush_target = None;
+            self.snap_written = false;
+        }
+    }
+
+    fn maybe_straggle(&mut self) {
+        if let Some(s) = self.setup.config.straggler {
+            if !self.straggled && self.me().0 == s.machine && self.global_updates() >= s.after_updates
+            {
+                self.straggled = true;
+                std::thread::sleep(s.duration);
+            }
+        }
+    }
+
+    fn finish(mut self) -> MachineResult<V, E> {
+        let update_counts: Vec<(VertexId, u64)> = self.update_count_map.drain().collect();
+        let globals = self
+            .globals
+            .names()
+            .into_iter()
+            .map(|n| (n.clone(), self.globals.get(&n).unwrap_or(&[]).to_vec()))
+            .collect();
+        let updates = self.updates_local;
+        let snapshots = self.snapshots_written;
+        let (vrows, erows) = self.lg.into_owned_data();
+        MachineResult { vrows, erows, globals, updates, update_counts, steps: 0, snapshots }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KA: ChainKey = (0, 1);
+    const KB: ChainKey = (0, 2);
+    const KC: ChainKey = (1, 1);
+
+    #[test]
+    fn read_locks_share() {
+        let mut t = LockTable::new(2);
+        assert!(t.acquire(0, LockType::Read, KA));
+        assert!(t.acquire(0, LockType::Read, KB));
+        assert_eq!(t.held(0), (2, false));
+    }
+
+    #[test]
+    fn write_excludes() {
+        let mut t = LockTable::new(1);
+        assert!(t.acquire(0, LockType::Write, KA));
+        assert!(!t.acquire(0, LockType::Read, KB));
+        assert!(!t.acquire(0, LockType::Write, KC));
+        let granted = t.release(0, LockType::Write);
+        // FIFO: the read parked first is granted; the write must wait.
+        assert_eq!(granted, vec![KB]);
+        assert_eq!(t.held(0), (1, false));
+        let granted = t.release(0, LockType::Read);
+        assert_eq!(granted, vec![KC]);
+        assert_eq!(t.held(0), (0, true));
+    }
+
+    #[test]
+    fn fifo_fairness_blocks_barging_readers() {
+        let mut t = LockTable::new(1);
+        assert!(t.acquire(0, LockType::Read, KA));
+        assert!(!t.acquire(0, LockType::Write, KB)); // queued
+        // A new reader may NOT barge past the queued writer.
+        assert!(!t.acquire(0, LockType::Read, KC));
+        let granted = t.release(0, LockType::Read);
+        assert_eq!(granted, vec![KB]);
+        let granted = t.release(0, LockType::Write);
+        assert_eq!(granted, vec![KC]);
+    }
+
+    #[test]
+    fn reader_batch_grant() {
+        let mut t = LockTable::new(1);
+        assert!(t.acquire(0, LockType::Write, KA));
+        assert!(!t.acquire(0, LockType::Read, KB));
+        assert!(!t.acquire(0, LockType::Read, KC));
+        let granted = t.release(0, LockType::Write);
+        assert_eq!(granted, vec![KB, KC], "consecutive readers granted together");
+        assert_eq!(t.held(0), (2, false));
+    }
+
+    #[test]
+    fn independent_vertices_do_not_interact() {
+        let mut t = LockTable::new(3);
+        assert!(t.acquire(0, LockType::Write, KA));
+        assert!(t.acquire(1, LockType::Write, KB));
+        assert!(t.acquire(2, LockType::Read, KC));
+    }
+
+    #[test]
+    fn release_empty_queue_grants_nothing() {
+        let mut t = LockTable::new(1);
+        assert!(t.acquire(0, LockType::Read, KA));
+        assert!(t.release(0, LockType::Read).is_empty());
+    }
+}

@@ -1,0 +1,599 @@
+//! Wire protocol of the distributed engines.
+//!
+//! Every payload that crosses a machine boundary is defined here with an
+//! explicit binary encoding (DESIGN.md D1). Message kinds are partitioned
+//! by engine:
+//!
+//! - `1..=19` — chromatic engine (§4.2.1): ghost data flushes, write-backs,
+//!   schedule forwards, the two-round step flush, and the per-cycle
+//!   sync/halt round.
+//! - `20..=39` — locking engine (§4.2.2): pipelined lock chains, scope data
+//!   synchronisation, releases with piggybacked write-backs, termination
+//!   tokens and halt control, background sync, and both snapshot protocols.
+//!
+//! User data (`V`/`E`) always travels as pre-encoded [`Bytes`] blobs so the
+//! protocol structs stay monomorphic.
+
+use bytes::{Bytes, BytesMut};
+use graphlab_graph::{EdgeId, LockType, MachineId, VertexId};
+use graphlab_net::codec::Codec;
+use graphlab_net::termination::Token;
+
+// ---- message kinds ----
+
+/// Chromatic: vertex ghost update (owner → mirror).
+pub const K_CHROM_VDATA: u16 = 1;
+/// Chromatic: edge ghost update (owner → mirror).
+pub const K_CHROM_EDATA: u16 = 2;
+/// Chromatic: vertex write-back (mirror → owner; full consistency).
+pub const K_CHROM_WB_V: u16 = 3;
+/// Chromatic: edge write-back (mirror → owner).
+pub const K_CHROM_WB_E: u16 = 4;
+/// Chromatic: remote schedule request.
+pub const K_CHROM_SCHED: u16 = 5;
+/// Chromatic: first-round step flush (promises direct message counts).
+pub const K_CHROM_FLUSH_A: u16 = 6;
+/// Chromatic: second-round step flush (promises forwarded write-backs).
+pub const K_CHROM_FLUSH_B: u16 = 7;
+/// Chromatic: per-cycle sync partial (machine → master).
+pub const K_CHROM_SYNC_PART: u16 = 8;
+/// Chromatic: per-cycle globals + halt decision (master → all).
+pub const K_CHROM_SYNC_GLOB: u16 = 9;
+/// Chromatic: snapshot written acknowledgement (machine → master).
+pub const K_CHROM_SNAP_DONE: u16 = 10;
+/// Chromatic: resume after snapshot (master → all).
+pub const K_CHROM_SNAP_RESUME: u16 = 11;
+
+/// Locking: lock chain request hop.
+pub const K_LOCK_REQ: u16 = 20;
+/// Locking: scope data sync (hop → requester).
+pub const K_SCOPE_DATA: u16 = 21;
+/// Locking: lock release + write-backs (requester → hop).
+pub const K_RELEASE: u16 = 22;
+/// Locking: remote schedule request.
+pub const K_LOCK_SCHED: u16 = 23;
+/// Locking: termination-detection token.
+pub const K_TOKEN: u16 = 24;
+/// Locking: halt broadcast (master → all).
+pub const K_HALT: u16 = 25;
+/// Locking: halt acknowledgement (machine → master).
+pub const K_HALT_ACK: u16 = 26;
+/// Locking: background sync partial (machine → master).
+pub const K_LSYNC_PART: u16 = 27;
+/// Locking: background sync globals (master → all).
+pub const K_LSYNC_GLOB: u16 = 28;
+/// Locking: synchronous snapshot — suspend request (master → all).
+pub const K_SNAP_SYNC_START: u16 = 29;
+/// Locking: synchronous snapshot — machine drained, with cumulative
+/// per-destination send counts (machine → master).
+pub const K_SNAP_SYNC_READY: u16 = 30;
+/// Locking: synchronous snapshot — aggregated flush targets (master → all).
+pub const K_SNAP_SYNC_FLUSH: u16 = 31;
+/// Locking: snapshot file written (machine → master).
+pub const K_SNAP_DONE: u16 = 32;
+/// Locking: resume computation (master → all).
+pub const K_SNAP_RESUME: u16 = 33;
+/// Locking: asynchronous snapshot start (master → all).
+pub const K_SNAP_ASYNC_START: u16 = 34;
+/// Locking: asynchronous snapshot — machine finished all owned vertices.
+pub const K_SNAP_ASYNC_MDONE: u16 = 35;
+/// Locking: background sync request (master → all); payload is the epoch.
+pub const K_LSYNC_REQ: u16 = 37;
+
+/// Returns whether a message kind carries engine *work* and therefore
+/// participates in termination detection counters (Safra).
+pub fn is_counted_work(kind: u16) -> bool {
+    matches!(kind, K_LOCK_REQ | K_SCOPE_DATA | K_RELEASE | K_LOCK_SCHED)
+}
+
+// ---- shared rows ----
+
+/// A versioned vertex datum on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexRow {
+    /// Global vertex id.
+    pub vid: VertexId,
+    /// Owner-side version.
+    pub version: u64,
+    /// Snapshot epoch marker (asynchronous Chandy-Lamport snapshots ride
+    /// with the data; 0 = not snapshotted).
+    pub snap: u32,
+    /// Encoded `V`.
+    pub data: Bytes,
+}
+
+impl Codec for VertexRow {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.vid.encode(buf);
+        self.version.encode(buf);
+        self.snap.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(VertexRow {
+            vid: VertexId::decode(buf)?,
+            version: u64::decode(buf)?,
+            snap: u32::decode(buf)?,
+            data: Bytes::decode(buf)?,
+        })
+    }
+}
+
+/// A versioned edge datum on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EdgeRow {
+    /// Global edge id.
+    pub eid: EdgeId,
+    /// Owner-side version.
+    pub version: u64,
+    /// Encoded `E`.
+    pub data: Bytes,
+}
+
+impl Codec for EdgeRow {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.eid.encode(buf);
+        self.version.encode(buf);
+        self.data.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(EdgeRow {
+            eid: EdgeId::decode(buf)?,
+            version: u64::decode(buf)?,
+            data: Bytes::decode(buf)?,
+        })
+    }
+}
+
+/// Scheduling rows: `(vertex, priority)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScheduleMsg {
+    /// Tasks to enqueue at the receiving owner.
+    pub tasks: Vec<(VertexId, f64)>,
+}
+
+impl Codec for ScheduleMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.tasks.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(ScheduleMsg { tasks: Vec::<(VertexId, f64)>::decode(buf)? })
+    }
+}
+
+// ---- chromatic engine ----
+
+/// Step-tagged data envelope: the chromatic engine's flush accounting
+/// buckets data messages by `(step, phase)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepTagged<T> {
+    /// Global colour-step counter.
+    pub step: u64,
+    /// Flush phase the message belongs to (0 = direct, 1 = forwarded).
+    pub phase: u8,
+    /// Payload.
+    pub inner: T,
+}
+
+impl<T: Codec> Codec for StepTagged<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.step.encode(buf);
+        self.phase.encode(buf);
+        self.inner.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(StepTagged { step: u64::decode(buf)?, phase: u8::decode(buf)?, inner: T::decode(buf)? })
+    }
+}
+
+/// Flush marker: "during (step, phase) I sent you `count` data messages;
+/// I executed `updates` updates this step and have `pending` tasks queued".
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlushMsg {
+    /// Global colour-step counter.
+    pub step: u64,
+    /// Number of data messages the sender addressed to the receiver in
+    /// this step/phase.
+    pub count: u64,
+    /// Updates the sender executed this step (phase A only; diagnostics /
+    /// halt decision input).
+    pub updates: u64,
+    /// Sender's total queued tasks at flush time.
+    pub pending: u64,
+}
+
+impl Codec for FlushMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.step.encode(buf);
+        self.count.encode(buf);
+        self.updates.encode(buf);
+        self.pending.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(FlushMsg {
+            step: u64::decode(buf)?,
+            count: u64::decode(buf)?,
+            updates: u64::decode(buf)?,
+            pending: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Sync partial accumulators for one cycle (machine → master). Also the
+/// cycle-end barrier: sent even when no sync ops are registered.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncPartialMsg {
+    /// Cycle number.
+    pub cycle: u64,
+    /// Partial accumulator per registered sync op, in registration order.
+    pub partials: Vec<Vec<f64>>,
+    /// Sender's pending task count at cycle end.
+    pub pending: u64,
+    /// Sender's executed-update count for the whole cycle.
+    pub updates: u64,
+}
+
+impl Codec for SyncPartialMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cycle.encode(buf);
+        self.partials.encode(buf);
+        self.pending.encode(buf);
+        self.updates.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(SyncPartialMsg {
+            cycle: u64::decode(buf)?,
+            partials: Vec::<Vec<f64>>::decode(buf)?,
+            pending: u64::decode(buf)?,
+            updates: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Master's cycle-end broadcast: finalised globals, halt flag, snapshot
+/// trigger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncGlobalsMsg {
+    /// Cycle number.
+    pub cycle: u64,
+    /// `(name, version, value)` rows to apply.
+    pub globals: Vec<(String, u64, Vec<f64>)>,
+    /// All machines must halt after this cycle.
+    pub halt: bool,
+    /// All machines must write a snapshot (id) before the next cycle.
+    pub snapshot: Option<u64>,
+}
+
+impl Codec for SyncGlobalsMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.cycle.encode(buf);
+        (self.globals.len() as u32).encode(buf);
+        for (name, ver, val) in &self.globals {
+            name.encode(buf);
+            ver.encode(buf);
+            val.encode(buf);
+        }
+        self.halt.encode(buf);
+        self.snapshot.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let cycle = u64::decode(buf)?;
+        let n = u32::decode(buf)? as usize;
+        let mut globals = Vec::with_capacity(n);
+        for _ in 0..n {
+            globals.push((String::decode(buf)?, u64::decode(buf)?, Vec::<f64>::decode(buf)?));
+        }
+        Some(SyncGlobalsMsg {
+            cycle,
+            globals,
+            halt: bool::decode(buf)?,
+            snapshot: Option::<u64>::decode(buf)?,
+        })
+    }
+}
+
+// ---- locking engine ----
+
+/// A pipelined lock-chain request hop (§4.2.2).
+///
+/// The chain visits `machines` in ascending id order; each hop acquires its
+/// local locks sequentially through the callback rwlock, sends fresh
+/// [`ScopeDataMsg`] rows to the requester, and forwards the request to the
+/// next hop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockReqMsg {
+    /// Machine that initiated the chain (owner of the scope's centre).
+    pub requester: MachineId,
+    /// Requester-unique request id.
+    pub reqid: u64,
+    /// Central vertex of the scope.
+    pub scope_v: VertexId,
+    /// Index of the receiving machine in `machines`.
+    pub hop: u16,
+    /// Machines participating, ascending.
+    pub machines: Vec<MachineId>,
+    /// Sorted `(vertex, lock)` plan. Lock encoded as 0 = read, 1 = write.
+    pub plan: Vec<(VertexId, u8)>,
+    /// Requester's cached vertex versions for the scope.
+    pub vvers: Vec<(VertexId, u64)>,
+    /// Requester's cached edge versions for the scope.
+    pub evers: Vec<(EdgeId, u64)>,
+}
+
+/// Encodes a [`LockType`] for the wire.
+pub fn lock_type_to_u8(t: LockType) -> u8 {
+    match t {
+        LockType::Read => 0,
+        LockType::Write => 1,
+    }
+}
+
+/// Decodes a [`LockType`] from the wire.
+pub fn lock_type_from_u8(v: u8) -> Option<LockType> {
+    match v {
+        0 => Some(LockType::Read),
+        1 => Some(LockType::Write),
+        _ => None,
+    }
+}
+
+impl Codec for LockReqMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.requester.encode(buf);
+        self.reqid.encode(buf);
+        self.scope_v.encode(buf);
+        self.hop.encode(buf);
+        self.machines.encode(buf);
+        self.plan.encode(buf);
+        self.vvers.encode(buf);
+        self.evers.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(LockReqMsg {
+            requester: MachineId::decode(buf)?,
+            reqid: u64::decode(buf)?,
+            scope_v: VertexId::decode(buf)?,
+            hop: u16::decode(buf)?,
+            machines: Vec::<MachineId>::decode(buf)?,
+            plan: Vec::<(VertexId, u8)>::decode(buf)?,
+            vvers: Vec::<(VertexId, u64)>::decode(buf)?,
+            evers: Vec::<(EdgeId, u64)>::decode(buf)?,
+        })
+    }
+}
+
+/// Scope data synchronisation (hop → requester): only rows whose owner
+/// version exceeds the requester's cached version are included — the
+/// versioning system "eliminating the transmission of unchanged data".
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScopeDataMsg {
+    /// Request this responds to.
+    pub reqid: u64,
+    /// Fresh vertex rows.
+    pub vrows: Vec<VertexRow>,
+    /// Fresh edge rows.
+    pub erows: Vec<EdgeRow>,
+}
+
+impl Codec for ScopeDataMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.reqid.encode(buf);
+        self.vrows.encode(buf);
+        self.erows.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(ScopeDataMsg {
+            reqid: u64::decode(buf)?,
+            vrows: Vec::<VertexRow>::decode(buf)?,
+            erows: Vec::<EdgeRow>::decode(buf)?,
+        })
+    }
+}
+
+/// Lock release (requester → hop) with piggybacked write-backs of dirty
+/// data owned by the receiving machine. Riding the release guarantees the
+/// owner applies writes before any later conflicting grant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReleaseMsg {
+    /// Request being released.
+    pub reqid: u64,
+    /// Locks held by the receiving machine for this chain.
+    pub locks: Vec<(VertexId, u8)>,
+    /// Dirty vertex data owned by the receiver (snap marker rides along).
+    pub vwrites: Vec<(VertexId, u32, Bytes)>,
+    /// Dirty edge data owned by the receiver.
+    pub ewrites: Vec<(EdgeId, Bytes)>,
+}
+
+impl Codec for ReleaseMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.reqid.encode(buf);
+        self.locks.encode(buf);
+        (self.vwrites.len() as u32).encode(buf);
+        for (v, snap, b) in &self.vwrites {
+            v.encode(buf);
+            snap.encode(buf);
+            b.encode(buf);
+        }
+        (self.ewrites.len() as u32).encode(buf);
+        for (e, b) in &self.ewrites {
+            e.encode(buf);
+            b.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let reqid = u64::decode(buf)?;
+        let locks = Vec::<(VertexId, u8)>::decode(buf)?;
+        let nv = u32::decode(buf)? as usize;
+        let mut vwrites = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vwrites.push((VertexId::decode(buf)?, u32::decode(buf)?, Bytes::decode(buf)?));
+        }
+        let ne = u32::decode(buf)? as usize;
+        let mut ewrites = Vec::with_capacity(ne);
+        for _ in 0..ne {
+            ewrites.push((EdgeId::decode(buf)?, Bytes::decode(buf)?));
+        }
+        Some(ReleaseMsg { reqid, locks, vwrites, ewrites })
+    }
+}
+
+/// Background sync partial (locking engine).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LockSyncPartialMsg {
+    /// Sync epoch.
+    pub epoch: u64,
+    /// Partial accumulator per registered sync op.
+    pub partials: Vec<Vec<f64>>,
+}
+
+impl Codec for LockSyncPartialMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.epoch.encode(buf);
+        self.partials.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(LockSyncPartialMsg {
+            epoch: u64::decode(buf)?,
+            partials: Vec::<Vec<f64>>::decode(buf)?,
+        })
+    }
+}
+
+/// Synchronous-snapshot drain acknowledgement with cumulative engine
+/// message send counts per destination (for channel flushing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapReadyMsg {
+    /// Snapshot id.
+    pub snap: u64,
+    /// Cumulative counted-work messages this machine has sent to each
+    /// destination machine since engine start.
+    pub sent_to: Vec<u64>,
+}
+
+impl Codec for SnapReadyMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.snap.encode(buf);
+        self.sent_to.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(SnapReadyMsg { snap: u64::decode(buf)?, sent_to: Vec::<u64>::decode(buf)? })
+    }
+}
+
+/// Aggregated flush targets: machine `i` must have received
+/// `expect_from[j]` counted messages from each machine `j` before writing
+/// its snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapFlushMsg {
+    /// Snapshot id.
+    pub snap: u64,
+    /// Per-source cumulative receive targets for the *receiving* machine.
+    pub expect_from: Vec<u64>,
+}
+
+impl Codec for SnapFlushMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.snap.encode(buf);
+        self.expect_from.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(SnapFlushMsg { snap: u64::decode(buf)?, expect_from: Vec::<u64>::decode(buf)? })
+    }
+}
+
+/// Wraps a Safra token for the wire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TokenMsg(pub Token);
+
+impl Codec for TokenMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Token::decode(buf).map(TokenMsg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlab_net::codec::{decode_from, encode_to_bytes};
+
+    fn rt<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let b = encode_to_bytes(&v);
+        assert_eq!(decode_from::<T>(b), Some(v));
+    }
+
+    #[test]
+    fn rows_roundtrip() {
+        rt(VertexRow { vid: VertexId(4), version: 9, snap: 1, data: Bytes::from_static(b"xy") });
+        rt(EdgeRow { eid: EdgeId(7), version: 3, data: Bytes::new() });
+        rt(ScheduleMsg { tasks: vec![(VertexId(1), 0.5), (VertexId(2), 2.0)] });
+    }
+
+    #[test]
+    fn chromatic_msgs_roundtrip() {
+        rt(StepTagged {
+            step: 12,
+            phase: 1,
+            inner: VertexRow { vid: VertexId(0), version: 1, snap: 0, data: Bytes::from_static(b"d") },
+        });
+        rt(FlushMsg { step: 3, count: 17, updates: 5, pending: 2 });
+        rt(SyncPartialMsg { cycle: 2, partials: vec![vec![1.0, 2.0], vec![]], pending: 7, updates: 4 });
+        rt(SyncGlobalsMsg {
+            cycle: 2,
+            globals: vec![("err".into(), 3, vec![0.5])],
+            halt: true,
+            snapshot: Some(1),
+        });
+    }
+
+    #[test]
+    fn locking_msgs_roundtrip() {
+        rt(LockReqMsg {
+            requester: MachineId(1),
+            reqid: 42,
+            scope_v: VertexId(5),
+            hop: 0,
+            machines: vec![MachineId(0), MachineId(1)],
+            plan: vec![(VertexId(3), 0), (VertexId(5), 1)],
+            vvers: vec![(VertexId(3), 2)],
+            evers: vec![(EdgeId(9), 1)],
+        });
+        rt(ScopeDataMsg {
+            reqid: 42,
+            vrows: vec![VertexRow { vid: VertexId(3), version: 3, snap: 0, data: Bytes::from_static(b"v") }],
+            erows: vec![EdgeRow { eid: EdgeId(9), version: 2, data: Bytes::from_static(b"e") }],
+        });
+        rt(ReleaseMsg {
+            reqid: 42,
+            locks: vec![(VertexId(3), 0)],
+            vwrites: vec![(VertexId(3), 1, Bytes::from_static(b"w"))],
+            ewrites: vec![(EdgeId(9), Bytes::from_static(b"z"))],
+        });
+        rt(LockSyncPartialMsg { epoch: 1, partials: vec![vec![3.0]] });
+        rt(SnapReadyMsg { snap: 1, sent_to: vec![10, 0, 5] });
+        rt(SnapFlushMsg { snap: 1, expect_from: vec![2, 2, 2] });
+        rt(TokenMsg(Token { count: -2, black: false, round: 4 }));
+    }
+
+    #[test]
+    fn lock_type_wire_mapping() {
+        assert_eq!(lock_type_from_u8(lock_type_to_u8(LockType::Read)), Some(LockType::Read));
+        assert_eq!(lock_type_from_u8(lock_type_to_u8(LockType::Write)), Some(LockType::Write));
+        assert_eq!(lock_type_from_u8(7), None);
+    }
+
+    #[test]
+    fn counted_work_classification() {
+        assert!(is_counted_work(K_LOCK_REQ));
+        assert!(is_counted_work(K_SCOPE_DATA));
+        assert!(is_counted_work(K_RELEASE));
+        assert!(is_counted_work(K_LOCK_SCHED));
+        assert!(!is_counted_work(K_TOKEN));
+        assert!(!is_counted_work(K_HALT));
+        assert!(!is_counted_work(K_CHROM_VDATA));
+        assert!(!is_counted_work(K_LSYNC_PART));
+    }
+}

@@ -1,0 +1,127 @@
+//! Engine instrumentation backing the paper's evaluation figures.
+//!
+//! The counters here are *simulation instrumentation*: shared atomics that
+//! bypass the share-nothing message rule (the real system would aggregate
+//! them post-hoc from per-machine logs). They never influence engine
+//! behaviour.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live counters shared by all machine threads of one engine run.
+#[derive(Debug)]
+pub struct LiveCounters {
+    /// Total update-function executions.
+    pub updates: AtomicU64,
+    /// Set once the engine halts (stops the timeline sampler).
+    pub done: AtomicBool,
+}
+
+impl LiveCounters {
+    /// Fresh counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LiveCounters { updates: AtomicU64::new(0), done: AtomicBool::new(false) })
+    }
+}
+
+/// Samples `(elapsed seconds, cumulative updates)` on a fixed cadence —
+/// the raw series behind Fig. 4(a)/(b).
+pub fn sample_timeline(
+    counters: &Arc<LiveCounters>,
+    period: Duration,
+) -> std::thread::JoinHandle<Vec<(f64, u64)>> {
+    let counters = Arc::clone(counters);
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        let mut series = Vec::new();
+        loop {
+            series.push((start.elapsed().as_secs_f64(), counters.updates.load(Ordering::Relaxed)));
+            if counters.done.load(Ordering::Relaxed) {
+                return series;
+            }
+            std::thread::sleep(period);
+        }
+    })
+}
+
+/// Final metrics of an engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    /// Total update-function executions.
+    pub updates: u64,
+    /// Wall-clock runtime (including snapshotting, excluding ingress).
+    pub runtime: Duration,
+    /// Per-vertex update counts indexed by global vertex id (empty unless
+    /// tracing was enabled) — the histogram source of Fig. 1(b).
+    pub update_counts: Vec<u64>,
+    /// Sampled `(seconds, cumulative updates)` series (empty unless
+    /// tracing) — Fig. 4.
+    pub updates_timeline: Vec<(f64, u64)>,
+    /// Wire bytes sent per machine — Fig. 6(b).
+    pub bytes_sent_per_machine: Vec<u64>,
+    /// Total messages across the cluster.
+    pub total_messages: u64,
+    /// Engine-specific progress unit: colour-steps for the chromatic
+    /// engine, scheduler passes for sweep-style runs, 0 otherwise.
+    pub steps: u64,
+    /// Snapshots completed during the run.
+    pub snapshots: u64,
+}
+
+impl EngineMetrics {
+    /// Aggregate throughput in updates per second.
+    pub fn updates_per_second(&self) -> f64 {
+        let secs = self.runtime.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.updates as f64 / secs
+    }
+
+    /// Mean per-machine bandwidth in MB/s (Fig. 6(b)'s y-axis).
+    pub fn mbps_per_machine(&self) -> f64 {
+        if self.bytes_sent_per_machine.is_empty() || self.runtime.is_zero() {
+            return 0.0;
+        }
+        let mean_bytes = self.bytes_sent_per_machine.iter().sum::<u64>() as f64
+            / self.bytes_sent_per_machine.len() as f64;
+        mean_bytes / 1_000_000.0 / self.runtime.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let m = EngineMetrics {
+            updates: 1000,
+            runtime: Duration::from_secs(2),
+            bytes_sent_per_machine: vec![4_000_000, 8_000_000],
+            ..Default::default()
+        };
+        assert_eq!(m.updates_per_second(), 500.0);
+        assert!((m.mbps_per_machine() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_runtime_is_safe() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.updates_per_second(), 0.0);
+        assert_eq!(m.mbps_per_machine(), 0.0);
+    }
+
+    #[test]
+    fn timeline_sampler_terminates() {
+        let counters = LiveCounters::new();
+        let handle = sample_timeline(&counters, Duration::from_millis(1));
+        counters.updates.store(42, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        counters.done.store(true, Ordering::Relaxed);
+        let series = handle.join().unwrap();
+        assert!(!series.is_empty());
+        assert_eq!(series.last().unwrap().1, 42);
+    }
+}

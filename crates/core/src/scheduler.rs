@@ -1,0 +1,280 @@
+//! Per-machine vertex schedulers maintaining the task set `T` (§3.3).
+//!
+//! "The only requirement imposed by the GraphLab abstraction is that all
+//! vertices in T are eventually executed"; duplicates are ignored. This
+//! paper relaxes the original shared-memory ordering guarantees to enable
+//! efficient distributed FIFO and priority scheduling, which is exactly
+//! what we provide:
+//!
+//! - [`SchedulerKind::Fifo`] — queue order.
+//! - [`SchedulerKind::Priority`] — *approximate* priority: 64 power-of-two
+//!   buckets popped hottest-first (the C++ implementation's approximate
+//!   priority queue; §5.2 uses it for residual BP). Re-scheduling an
+//!   enqueued vertex with a higher priority promotes it.
+//! - [`SchedulerKind::Sweep`] — cyclic scan over local vertices, a cheap
+//!   static order used by sweep-style experiments.
+//!
+//! Vertices are tracked by *local* index; the engine translates remote
+//! schedule requests before insertion.
+
+use std::collections::VecDeque;
+
+/// Scheduler flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// First-in first-out.
+    #[default]
+    Fifo,
+    /// Approximate priority (bucketed, highest first).
+    Priority,
+    /// Cyclic sweep over local vertices.
+    Sweep,
+}
+
+const NUM_BUCKETS: usize = 64;
+/// Bucket for a priority: log2-spaced, clamped. Higher bucket = hotter.
+#[inline]
+fn bucket_of(priority: f64) -> u8 {
+    if priority.is_nan() || priority <= 0.0 {
+        return 0;
+    }
+    if priority.is_infinite() {
+        return (NUM_BUCKETS - 1) as u8;
+    }
+    // log2(priority) in [-32, 31] -> bucket [0, 63]
+    let l = priority.log2().floor();
+    (l.clamp(-32.0, 31.0) as i32 + 32) as u8
+}
+
+/// A per-machine scheduler over `n` local vertices.
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// Dedup flag: vertex currently scheduled.
+    queued: Vec<bool>,
+    /// Current bucket of a queued vertex (priority only; detects stale
+    /// bucket entries after promotion).
+    bucket: Vec<u8>,
+    fifo: VecDeque<u32>,
+    buckets: Vec<VecDeque<u32>>,
+    /// Sweep state.
+    sweep_pos: usize,
+    len: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `n` local vertices.
+    pub fn new(kind: SchedulerKind, n: usize) -> Self {
+        Scheduler {
+            kind,
+            queued: vec![false; n],
+            bucket: vec![0; n],
+            fifo: VecDeque::new(),
+            buckets: match kind {
+                SchedulerKind::Priority => (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
+                _ => Vec::new(),
+            },
+            sweep_pos: 0,
+            len: 0,
+        }
+    }
+
+    /// Scheduler flavour.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Number of distinct scheduled vertices.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the task set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds local vertex `v` with `priority`. Duplicates are ignored
+    /// (priority scheduler: promoted if the new priority is hotter).
+    /// Returns true if the vertex was newly inserted.
+    pub fn add(&mut self, v: u32, priority: f64) -> bool {
+        let vi = v as usize;
+        if self.queued[vi] {
+            if self.kind == SchedulerKind::Priority {
+                let b = bucket_of(priority);
+                if b > self.bucket[vi] {
+                    // Promote: push into the hotter bucket; the stale entry
+                    // is skipped at pop time via the bucket check.
+                    self.bucket[vi] = b;
+                    self.buckets[b as usize].push_back(v);
+                }
+            }
+            return false;
+        }
+        self.queued[vi] = true;
+        self.len += 1;
+        match self.kind {
+            SchedulerKind::Fifo => self.fifo.push_back(v),
+            SchedulerKind::Priority => {
+                let b = bucket_of(priority);
+                self.bucket[vi] = b;
+                self.buckets[b as usize].push_back(v);
+            }
+            SchedulerKind::Sweep => {}
+        }
+        true
+    }
+
+    /// Removes and returns the next vertex, or `None` when empty.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.kind {
+            SchedulerKind::Fifo => {
+                let v = self.fifo.pop_front().expect("len > 0");
+                self.queued[v as usize] = false;
+                self.len -= 1;
+                Some(v)
+            }
+            SchedulerKind::Priority => {
+                for b in (0..NUM_BUCKETS).rev() {
+                    while let Some(v) = self.buckets[b].pop_front() {
+                        let vi = v as usize;
+                        if self.queued[vi] && self.bucket[vi] == b as u8 {
+                            self.queued[vi] = false;
+                            self.len -= 1;
+                            return Some(v);
+                        }
+                        // stale entry (promoted or already popped): skip
+                    }
+                }
+                unreachable!("len > 0 but no live entry found");
+            }
+            SchedulerKind::Sweep => {
+                let n = self.queued.len();
+                for _ in 0..n {
+                    let v = self.sweep_pos;
+                    self.sweep_pos = (self.sweep_pos + 1) % n;
+                    if self.queued[v] {
+                        self.queued[v] = false;
+                        self.len -= 1;
+                        return Some(v as u32);
+                    }
+                }
+                unreachable!("len > 0 but sweep found nothing");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_dedup() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo, 5);
+        assert!(s.add(3, 1.0));
+        assert!(s.add(1, 1.0));
+        assert!(!s.add(3, 9.0), "duplicate ignored");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_pop_allowed() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo, 2);
+        s.add(0, 1.0);
+        assert_eq!(s.pop(), Some(0));
+        assert!(s.add(0, 1.0));
+        assert_eq!(s.pop(), Some(0));
+    }
+
+    #[test]
+    fn priority_pops_hottest_first() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 10);
+        s.add(1, 0.001);
+        s.add(2, 100.0);
+        s.add(3, 1.0);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn priority_promotion() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 10);
+        s.add(1, 0.001);
+        s.add(2, 1.0);
+        // Promote 1 above 2.
+        assert!(!s.add(1, 1000.0));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn priority_demotion_is_ignored() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 4);
+        s.add(0, 100.0);
+        s.add(1, 50.0);
+        s.add(0, 0.0001); // lower: ignored
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn sweep_cycles_in_index_order() {
+        let mut s = Scheduler::new(SchedulerKind::Sweep, 6);
+        s.add(4, 1.0);
+        s.add(1, 1.0);
+        s.add(5, 1.0);
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), Some(4));
+        s.add(0, 1.0);
+        assert_eq!(s.pop(), Some(5));
+        // wrapped around
+        assert_eq!(s.pop(), Some(0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bucket_function_monotone() {
+        assert!(bucket_of(2.0) > bucket_of(1.0));
+        assert!(bucket_of(1.0) > bucket_of(0.25));
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(f64::NAN), 0);
+        assert_eq!(bucket_of(f64::INFINITY), 63);
+        assert_eq!(bucket_of(1e300), 63);
+        assert_eq!(bucket_of(1e-300), 0);
+    }
+
+    #[test]
+    fn zero_priority_still_schedulable() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 2);
+        s.add(0, 0.0);
+        assert_eq!(s.pop(), Some(0));
+    }
+
+    #[test]
+    fn stress_priority_consistency() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 100);
+        let mut expected = 0usize;
+        for i in 0..100u32 {
+            if s.add(i % 50, (i % 7) as f64 + 0.5) {
+                expected += 1;
+            }
+        }
+        let mut popped = 0;
+        while s.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, expected);
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The sync operation (§3.5): associative-commutative aggregation over the
+//! graph producing global values,
+//!
+//! ```text
+//! Z = Finalize( ⊕_{v ∈ V} Map(S_v) )
+//! ```
+//!
+//! The map runs per-vertex on each machine's owned vertices; partial
+//! accumulators are combined up to the master, finalised, and the result is
+//! broadcast back into every machine's [`crate::globals::GlobalRegistry`].
+//! In the chromatic engine syncs run between colour-steps (trivially
+//! consistent); the locking engine interleaves them with computation
+//! ("runs continuously in the background") at a configurable update
+//! cadence, which corresponds to the paper's *inconsistent* sync mode —
+//! adequate for the statistics the applications maintain.
+
+use graphlab_graph::VertexId;
+
+use crate::local::LocalGraph;
+
+/// A sync operation definition.
+///
+/// Accumulators are `f64` vectors; `map` produces one per vertex, `combine`
+/// folds them (must be associative and commutative), and `finalize` turns
+/// the cluster-wide accumulator into the published global value (e.g.
+/// normalisation).
+pub trait SyncOp<V, E>: Send + Sync {
+    /// Name under which the result is published.
+    fn name(&self) -> String;
+    /// Identity accumulator.
+    fn init(&self) -> Vec<f64>;
+    /// Maps one vertex's scope (vertex datum) to an accumulator.
+    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64>;
+    /// Folds `part` into `acc`.
+    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]);
+    /// Finalisation (normalisation etc.); `total_vertices` is |V|.
+    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64>;
+}
+
+/// Computes one machine's partial accumulator over its owned vertices.
+pub fn local_partial<V, E>(op: &dyn SyncOp<V, E>, lg: &LocalGraph<V, E>) -> Vec<f64> {
+    let mut acc = op.init();
+    for &l in lg.owned_vertices() {
+        let part = op.map(lg.vertex_gvid(l), lg.vertex_data(l));
+        op.combine(&mut acc, &part);
+    }
+    acc
+}
+
+/// Element-wise sum sync op: publishes `finalize(Σ map(v))`. The most
+/// common shape (convergence estimators, counters, GMM sufficient
+/// statistics); constructed from plain functions.
+pub struct FnSync<V> {
+    name: String,
+    width: usize,
+    map: Box<dyn Fn(VertexId, &V) -> Vec<f64> + Send + Sync>,
+    finalize: Box<dyn Fn(Vec<f64>, u64) -> Vec<f64> + Send + Sync>,
+}
+
+impl<V> FnSync<V> {
+    /// Builds a sum-combined sync op.
+    pub fn new(
+        name: impl Into<String>,
+        width: usize,
+        map: impl Fn(VertexId, &V) -> Vec<f64> + Send + Sync + 'static,
+        finalize: impl Fn(Vec<f64>, u64) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        FnSync { name: name.into(), width, map: Box::new(map), finalize: Box::new(finalize) }
+    }
+}
+
+impl<V: Send + Sync, E> SyncOp<V, E> for FnSync<V> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn init(&self) -> Vec<f64> {
+        vec![0.0; self.width]
+    }
+    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64> {
+        (self.map)(vertex, data)
+    }
+    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]) {
+        debug_assert_eq!(acc.len(), part.len());
+        for (a, p) in acc.iter_mut().zip(part) {
+            *a += p;
+        }
+    }
+    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64> {
+        (self.finalize)(acc, total_vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlab_graph::{DataGraph, GraphBuilder};
+
+    fn graph() -> DataGraph<f64, ()> {
+        let mut b = GraphBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(i as f64 + 1.0)).collect();
+        b.add_edge(v[0], v[1], ()).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn sum_sync_over_single_machine() {
+        let g = graph();
+        let lg = LocalGraph::single_machine(&g, None);
+        let op: FnSync<f64> = FnSync::new("total", 1, |_, d| vec![*d], |acc, _| acc);
+        let partial = local_partial::<f64, ()>(&op, &lg);
+        assert_eq!(partial, vec![10.0]);
+        let final_val = SyncOp::<f64, ()>::finalize(&op, partial, 4);
+        assert_eq!(final_val, vec![10.0]);
+    }
+
+    #[test]
+    fn finalize_can_normalize() {
+        let g = graph();
+        let lg = LocalGraph::single_machine(&g, None);
+        let op: FnSync<f64> = FnSync::new(
+            "mean",
+            1,
+            |_, d| vec![*d],
+            |acc, n| acc.into_iter().map(|x| x / n as f64).collect(),
+        );
+        let partial = local_partial::<f64, ()>(&op, &lg);
+        assert_eq!(SyncOp::<f64, ()>::finalize(&op, partial, 4), vec![2.5]);
+    }
+
+    #[test]
+    fn combine_is_elementwise_sum() {
+        let op: FnSync<f64> = FnSync::new("s", 2, |_, _| vec![0.0, 0.0], |acc, _| acc);
+        let mut acc = vec![1.0, 2.0];
+        SyncOp::<f64, ()>::combine(&op, &mut acc, &[0.5, 0.5]);
+        assert_eq!(acc, vec![1.5, 2.5]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Graph colouring heuristics for the chromatic engine (§4.2.1).
+//!
+//! A *proper* vertex colouring (no adjacent vertices share a colour) lets
+//! the chromatic engine satisfy the edge consistency model by executing all
+//! vertices of one colour synchronously — a *colour-step* — before moving to
+//! the next colour. Full consistency needs a *second-order* colouring (no
+//! vertex shares a colour with any distance-2 neighbour); vertex consistency
+//! is satisfied by the trivial single-colour assignment.
+//!
+//! Optimal colouring is NP-hard; like the paper we use greedy heuristics.
+//! Many MLDM graphs colour trivially (bipartite graphs are 2-colourable,
+//! grids 2-colourable at distance 1), so [`Coloring::bipartite`] lets
+//! callers supply the known colouring directly.
+
+use crate::graph::DataGraph;
+use crate::ids::VertexId;
+
+/// A colour assignment for every vertex of a graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u32>,
+    num_colors: u32,
+}
+
+impl Coloring {
+    /// Builds a colouring from a raw assignment.
+    ///
+    /// # Panics
+    /// Panics if `colors` is non-empty and some colour ≥ implied palette
+    /// size is missing from `0..num_colors`.
+    pub fn from_assignment(colors: Vec<u32>) -> Self {
+        let num_colors = colors.iter().copied().max().map_or(0, |c| c + 1);
+        Coloring { colors, num_colors }
+    }
+
+    /// The trivial single-colour assignment (satisfies vertex consistency).
+    pub fn uniform(n: usize) -> Self {
+        Coloring { colors: vec![0; n], num_colors: if n == 0 { 0 } else { 1 } }
+    }
+
+    /// Two-colouring from a predicate (`true` ⇒ colour 1). Callers are
+    /// responsible for the predicate actually being a bipartition; use
+    /// [`verify_coloring`] in tests.
+    pub fn bipartite(n: usize, side: impl Fn(VertexId) -> bool) -> Self {
+        let colors = (0..n).map(|i| side(VertexId::from(i)) as u32).collect();
+        Coloring { colors, num_colors: if n == 0 { 0 } else { 2 } }
+    }
+
+    /// Colour of a vertex.
+    #[inline]
+    pub fn color(&self, v: VertexId) -> u32 {
+        self.colors[v.index()]
+    }
+
+    /// Size of the palette.
+    #[inline]
+    pub fn num_colors(&self) -> u32 {
+        self.num_colors
+    }
+
+    /// Number of coloured vertices.
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Whether the colouring covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Raw colour column (index = vertex id).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.colors
+    }
+
+    /// Histogram of vertices per colour.
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_colors as usize];
+        for &c in &self.colors {
+            h[c as usize] += 1;
+        }
+        h
+    }
+}
+
+/// Greedy first-order colouring: scan vertices in descending-degree order
+/// and assign the smallest colour unused by any already-coloured neighbour.
+///
+/// Produces a proper colouring for the edge consistency model. Descending
+/// degree (Welsh–Powell order) keeps the palette small on power-law graphs.
+pub fn greedy_coloring<V, E>(graph: &DataGraph<V, E>) -> Coloring {
+    let n = graph.num_vertices();
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    const UNSET: u32 = u32::MAX;
+    let mut colors = vec![UNSET; n];
+    // `forbidden[c] == v` marks colour c as used by a neighbour of the
+    // vertex currently being coloured; avoids clearing a bitmap per vertex.
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut num_colors = 0u32;
+
+    for (stamp, &v) in order.iter().enumerate() {
+        let stamp = stamp as u32;
+        for e in graph.adj(v) {
+            let c = colors[e.nbr.index()];
+            if c != UNSET {
+                if c as usize >= forbidden.len() {
+                    forbidden.resize(c as usize + 1, u32::MAX);
+                }
+                forbidden[c as usize] = stamp;
+            }
+        }
+        let mut c = 0u32;
+        while (c as usize) < forbidden.len() && forbidden[c as usize] == stamp {
+            c += 1;
+        }
+        colors[v.index()] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+/// Greedy second-order colouring: no vertex shares a colour with any vertex
+/// at distance ≤ 2. Satisfies the *full* consistency model in the chromatic
+/// engine (§4.2.1).
+pub fn second_order_coloring<V, E>(graph: &DataGraph<V, E>) -> Coloring {
+    let n = graph.num_vertices();
+    let mut order: Vec<VertexId> = graph.vertices().collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+
+    const UNSET: u32 = u32::MAX;
+    let mut colors = vec![UNSET; n];
+    let mut forbidden: Vec<u32> = Vec::new();
+    let mut num_colors = 0u32;
+
+    for (stamp, &v) in order.iter().enumerate() {
+        let stamp = stamp as u32;
+        let forbid = |c: u32, forbidden: &mut Vec<u32>| {
+            if c != UNSET {
+                if c as usize >= forbidden.len() {
+                    forbidden.resize(c as usize + 1, u32::MAX);
+                }
+                forbidden[c as usize] = stamp;
+            }
+        };
+        for e in graph.adj(v) {
+            forbid(colors[e.nbr.index()], &mut forbidden);
+            for e2 in graph.adj(e.nbr) {
+                if e2.nbr != v {
+                    forbid(colors[e2.nbr.index()], &mut forbidden);
+                }
+            }
+        }
+        let mut c = 0u32;
+        while (c as usize) < forbidden.len() && forbidden[c as usize] == stamp {
+            c += 1;
+        }
+        colors[v.index()] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+    Coloring { colors, num_colors }
+}
+
+/// Verifies that a colouring is proper at the given `order` (1 = distance-1
+/// neighbours differ, 2 = distance-2 neighbours differ). Order 0 always
+/// verifies.
+pub fn verify_coloring<V, E>(graph: &DataGraph<V, E>, coloring: &Coloring, order: u8) -> bool {
+    if coloring.len() != graph.num_vertices() {
+        return false;
+    }
+    if order == 0 {
+        return true;
+    }
+    for v in graph.vertices() {
+        let cv = coloring.color(v);
+        for e in graph.adj(v) {
+            if coloring.color(e.nbr) == cv {
+                return false;
+            }
+            if order >= 2 {
+                for e2 in graph.adj(e.nbr) {
+                    if e2.nbr != v && coloring.color(e2.nbr) == cv {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn cycle(n: usize) -> DataGraph<(), ()> {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|_| b.add_vertex(())).collect();
+        for i in 0..n {
+            b.add_edge(vs[i], vs[(i + 1) % n], ()).unwrap();
+        }
+        b.build()
+    }
+
+    fn star(leaves: usize) -> DataGraph<(), ()> {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(());
+        for _ in 0..leaves {
+            let l = b.add_vertex(());
+            b.add_edge(hub, l, ()).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn even_cycle_two_colors() {
+        let g = cycle(10);
+        let c = greedy_coloring(&g);
+        assert!(verify_coloring(&g, &c, 1));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn odd_cycle_three_colors() {
+        let g = cycle(9);
+        let c = greedy_coloring(&g);
+        assert!(verify_coloring(&g, &c, 1));
+        assert_eq!(c.num_colors(), 3);
+    }
+
+    #[test]
+    fn star_two_colors() {
+        let g = star(50);
+        let c = greedy_coloring(&g);
+        assert!(verify_coloring(&g, &c, 1));
+        assert_eq!(c.num_colors(), 2);
+    }
+
+    #[test]
+    fn star_second_order_needs_full_palette() {
+        // In a star every leaf is at distance 2 from every other leaf, so
+        // the distance-2 colouring needs leaves+1 colours.
+        let g = star(5);
+        let c = second_order_coloring(&g);
+        assert!(verify_coloring(&g, &c, 2));
+        assert_eq!(c.num_colors(), 6);
+    }
+
+    #[test]
+    fn second_order_verifies_at_order_one_too() {
+        let g = cycle(12);
+        let c = second_order_coloring(&g);
+        assert!(verify_coloring(&g, &c, 2));
+        assert!(verify_coloring(&g, &c, 1));
+    }
+
+    #[test]
+    fn uniform_fails_verification_on_edges() {
+        let g = cycle(4);
+        let c = Coloring::uniform(4);
+        assert!(verify_coloring(&g, &c, 0));
+        assert!(!verify_coloring(&g, &c, 1));
+    }
+
+    #[test]
+    fn bipartite_constructor() {
+        // path 0-1-2-3 coloured by parity
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..4).map(|_| b.add_vertex(())).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], ()).unwrap();
+        }
+        let g = b.build();
+        let c = Coloring::bipartite(4, |v| v.0 % 2 == 1);
+        assert!(verify_coloring(&g, &c, 1));
+        assert_eq!(c.num_colors(), 2);
+        assert_eq!(c.histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DataGraph<(), ()> = GraphBuilder::new().build();
+        let c = greedy_coloring(&g);
+        assert_eq!(c.num_colors(), 0);
+        assert!(c.is_empty());
+        assert!(verify_coloring(&g, &c, 2));
+    }
+
+    #[test]
+    fn wrong_length_fails_verification() {
+        let g = cycle(5);
+        let c = Coloring::uniform(4);
+        assert!(!verify_coloring(&g, &c, 1));
+    }
+}

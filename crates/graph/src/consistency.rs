@@ -1,0 +1,153 @@
+//! Consistency models and the locking requirements they induce (§3.4).
+//!
+//! GraphLab guarantees *serializability*: every parallel execution has an
+//! equivalent sequential schedule of update functions. The three models
+//! trade parallelism for the breadth of data an update function may touch
+//! (Fig. 2):
+//!
+//! | model  | central vertex | adjacent edges | adjacent vertices |
+//! |--------|----------------|----------------|-------------------|
+//! | Vertex | read + write   | —              | —                 |
+//! | Edge   | read + write   | read + write   | read only         |
+//! | Full   | read + write   | read + write   | read + write      |
+
+use std::fmt;
+
+/// The lock mode required on a vertex by a scope acquisition.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LockType {
+    /// Shared reader lock.
+    Read,
+    /// Exclusive writer lock.
+    Write,
+}
+
+impl LockType {
+    /// Whether two lock requests on the same vertex conflict.
+    #[inline]
+    pub fn conflicts_with(self, other: LockType) -> bool {
+        self == LockType::Write || other == LockType::Write
+    }
+}
+
+/// The GraphLab consistency models (§3.4, Fig. 2(b)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ConsistencyModel {
+    /// Exclusive access to the central vertex data only. Maximum
+    /// parallelism: all update functions may run simultaneously.
+    Vertex,
+    /// Exclusive access to the central vertex and adjacent edges, read-only
+    /// access to adjacent vertices. Sufficient for most MLDM algorithms
+    /// (e.g. PageRank, Eq. 1) and the model the chromatic engine's
+    /// first-order colouring satisfies.
+    #[default]
+    Edge,
+    /// Exclusive access to the entire scope. Concurrent updates must be at
+    /// least two vertices apart (Fig. 2(c)).
+    Full,
+}
+
+impl ConsistencyModel {
+    /// Lock required on the central vertex of the scope.
+    ///
+    /// Always a write lock: the central vertex data is writable in every
+    /// model.
+    #[inline]
+    pub fn central_lock(self) -> LockType {
+        LockType::Write
+    }
+
+    /// Lock required on each adjacent vertex, or `None` when neighbours are
+    /// not locked at all (vertex consistency).
+    #[inline]
+    pub fn neighbor_lock(self) -> Option<LockType> {
+        match self {
+            ConsistencyModel::Vertex => None,
+            ConsistencyModel::Edge => Some(LockType::Read),
+            ConsistencyModel::Full => Some(LockType::Write),
+        }
+    }
+
+    /// Whether an update function may *read* data on adjacent vertices.
+    #[inline]
+    pub fn can_read_neighbors(self) -> bool {
+        !matches!(self, ConsistencyModel::Vertex)
+    }
+
+    /// Whether an update function may *write* data on adjacent vertices.
+    #[inline]
+    pub fn can_write_neighbors(self) -> bool {
+        matches!(self, ConsistencyModel::Full)
+    }
+
+    /// Whether an update function may read/write adjacent edge data.
+    #[inline]
+    pub fn can_access_edges(self) -> bool {
+        !matches!(self, ConsistencyModel::Vertex)
+    }
+
+    /// The colouring *order* the chromatic engine needs to satisfy this
+    /// model (§4.2.1): edge consistency needs a proper (distance-1)
+    /// colouring, full consistency a distance-2 colouring, and vertex
+    /// consistency is satisfied by a single colour.
+    #[inline]
+    pub fn required_coloring_order(self) -> u8 {
+        match self {
+            ConsistencyModel::Vertex => 0,
+            ConsistencyModel::Edge => 1,
+            ConsistencyModel::Full => 2,
+        }
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConsistencyModel::Vertex => "vertex",
+            ConsistencyModel::Edge => "edge",
+            ConsistencyModel::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_conflicts() {
+        assert!(LockType::Write.conflicts_with(LockType::Write));
+        assert!(LockType::Write.conflicts_with(LockType::Read));
+        assert!(LockType::Read.conflicts_with(LockType::Write));
+        assert!(!LockType::Read.conflicts_with(LockType::Read));
+    }
+
+    #[test]
+    fn models_match_figure_2b() {
+        use ConsistencyModel::*;
+        assert_eq!(Vertex.neighbor_lock(), None);
+        assert_eq!(Edge.neighbor_lock(), Some(LockType::Read));
+        assert_eq!(Full.neighbor_lock(), Some(LockType::Write));
+        for m in [Vertex, Edge, Full] {
+            assert_eq!(m.central_lock(), LockType::Write);
+        }
+        assert!(!Vertex.can_read_neighbors());
+        assert!(Edge.can_read_neighbors() && !Edge.can_write_neighbors());
+        assert!(Full.can_write_neighbors());
+        assert!(!Vertex.can_access_edges());
+        assert!(Edge.can_access_edges());
+    }
+
+    #[test]
+    fn coloring_order_matches_section_421() {
+        assert_eq!(ConsistencyModel::Vertex.required_coloring_order(), 0);
+        assert_eq!(ConsistencyModel::Edge.required_coloring_order(), 1);
+        assert_eq!(ConsistencyModel::Full.required_coloring_order(), 2);
+    }
+
+    #[test]
+    fn default_is_edge() {
+        assert_eq!(ConsistencyModel::default(), ConsistencyModel::Edge);
+    }
+}

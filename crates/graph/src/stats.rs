@@ -1,0 +1,111 @@
+//! Summary statistics over data graphs, used by the Table 2 reproduction
+//! ("Experiment input sizes") and the workload generators' self-reporting.
+
+use crate::graph::DataGraph;
+
+/// Structural summary of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of directed edges.
+    pub edges: usize,
+    /// Minimum combined (in+out) degree.
+    pub min_degree: usize,
+    /// Maximum combined degree.
+    pub max_degree: usize,
+    /// Mean combined degree.
+    pub mean_degree: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn of<V, E>(graph: &DataGraph<V, E>) -> Self {
+        let n = graph.num_vertices();
+        let mut min_degree = usize::MAX;
+        let mut max_degree = 0usize;
+        let mut total = 0usize;
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            min_degree = min_degree.min(d);
+            max_degree = max_degree.max(d);
+            total += d;
+        }
+        if n == 0 {
+            min_degree = 0;
+        }
+        GraphStats {
+            vertices: n,
+            edges: graph.num_edges(),
+            min_degree,
+            max_degree,
+            mean_degree: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        }
+    }
+
+    /// Degree histogram in power-of-two buckets: entry `i` counts vertices
+    /// with combined degree in `[2^i, 2^(i+1))` (entry 0 also counts degree
+    /// 0). Used to eyeball power-law shape in the workload tests.
+    pub fn degree_histogram_log2<V, E>(graph: &DataGraph<V, E>) -> Vec<usize> {
+        let mut h: Vec<usize> = Vec::new();
+        for v in graph.vertices() {
+            let d = graph.degree(v);
+            let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+            if bucket >= h.len() {
+                h.resize(bucket + 1, 0);
+            }
+            h[bucket] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ids::VertexId;
+
+    #[test]
+    fn stats_of_star() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(());
+        for _ in 0..4 {
+            let l = b.add_vertex(());
+            b.add_edge(hub, l, ()).unwrap();
+        }
+        let g = b.build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.mean_degree - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(g.degree(VertexId(0)), 4);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let g: DataGraph<(), ()> = GraphBuilder::new().build();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn log2_histogram() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex(());
+        for _ in 0..7 {
+            let l = b.add_vertex(());
+            b.add_edge(hub, l, ()).unwrap();
+        }
+        let g = b.build();
+        let h = GraphStats::degree_histogram_log2(&g);
+        // hub has degree 7 -> bucket 2; leaves degree 1 -> bucket 0
+        assert_eq!(h[0], 7);
+        assert_eq!(h[2], 1);
+    }
+}

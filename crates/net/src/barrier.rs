@@ -1,0 +1,130 @@
+//! Distributed epoch barrier.
+//!
+//! The chromatic engine requires "a full communication barrier between
+//! color-steps" (§4.2.1). The barrier is master-coordinated: every machine
+//! sends *arrive(epoch)* to machine 0 once its colour-step work **and**
+//! outbound ghost flushes are complete; the master releases everyone when
+//! the last machine arrives.
+//!
+//! Like [`crate::termination::Safra`] this is a transport-free state
+//! machine driven from the engine event loop, which keeps it independently
+//! testable. Epoch tags make stray duplicate arrivals from earlier epochs
+//! harmless.
+
+use graphlab_graph::MachineId;
+
+/// Master-side barrier bookkeeping (lives on machine 0).
+#[derive(Debug)]
+pub struct BarrierMaster {
+    n: usize,
+    epoch: u64,
+    arrived: Vec<bool>,
+    arrived_count: usize,
+}
+
+impl BarrierMaster {
+    /// Creates the master state for an `n`-machine cluster; the first
+    /// barrier is epoch 0.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        BarrierMaster { n, epoch: 0, arrived: vec![false; n], arrived_count: 0 }
+    }
+
+    /// Current epoch being collected.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records that `machine` arrived at `epoch`.
+    ///
+    /// Returns `true` exactly once per epoch — when the final machine
+    /// arrives — at which point the caller must broadcast the release and
+    /// the master advances to the next epoch. Arrivals for past epochs are
+    /// ignored; arrivals for future epochs are a protocol violation.
+    pub fn arrive(&mut self, machine: MachineId, epoch: u64) -> bool {
+        if epoch < self.epoch {
+            return false; // stale duplicate
+        }
+        assert_eq!(
+            epoch, self.epoch,
+            "machine {machine} arrived at future epoch {epoch} (current {})",
+            self.epoch
+        );
+        let i = machine.index();
+        assert!(i < self.n, "unknown machine {machine}");
+        if self.arrived[i] {
+            return false;
+        }
+        self.arrived[i] = true;
+        self.arrived_count += 1;
+        if self.arrived_count == self.n {
+            self.epoch += 1;
+            self.arrived.iter_mut().for_each(|a| *a = false);
+            self.arrived_count = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_when_all_arrive() {
+        let mut b = BarrierMaster::new(3);
+        assert!(!b.arrive(MachineId(0), 0));
+        assert!(!b.arrive(MachineId(2), 0));
+        assert!(b.arrive(MachineId(1), 0));
+        assert_eq!(b.epoch(), 1);
+    }
+
+    #[test]
+    fn duplicate_arrivals_ignored() {
+        let mut b = BarrierMaster::new(2);
+        assert!(!b.arrive(MachineId(0), 0));
+        assert!(!b.arrive(MachineId(0), 0));
+        assert!(b.arrive(MachineId(1), 0));
+    }
+
+    #[test]
+    fn stale_epoch_ignored() {
+        let mut b = BarrierMaster::new(2);
+        assert!(!b.arrive(MachineId(0), 0));
+        assert!(b.arrive(MachineId(1), 0));
+        // Epoch 0 arrival landing late:
+        assert!(!b.arrive(MachineId(0), 0));
+        // Epoch 1 proceeds normally.
+        assert!(!b.arrive(MachineId(1), 1));
+        assert!(b.arrive(MachineId(0), 1));
+        assert_eq!(b.epoch(), 2);
+    }
+
+    #[test]
+    fn single_machine_barrier_is_immediate() {
+        let mut b = BarrierMaster::new(1);
+        assert!(b.arrive(MachineId(0), 0));
+        assert!(b.arrive(MachineId(0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "future epoch")]
+    fn future_epoch_panics() {
+        let mut b = BarrierMaster::new(2);
+        b.arrive(MachineId(0), 5);
+    }
+
+    #[test]
+    fn many_epochs() {
+        let mut b = BarrierMaster::new(4);
+        for epoch in 0..100 {
+            for m in 0..3 {
+                assert!(!b.arrive(MachineId(m), epoch));
+            }
+            assert!(b.arrive(MachineId(3), epoch));
+        }
+        assert_eq!(b.epoch(), 100);
+    }
+}

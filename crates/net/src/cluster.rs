@@ -1,0 +1,437 @@
+//! The simulated cluster fabric: machine endpoints, message envelopes,
+//! delayed delivery, and traffic accounting.
+//!
+//! A [`SimNet`] wires `n` machine [`Endpoint`]s together. Sending is
+//! non-blocking (channels are unbounded, like the paper's asynchronous RPC
+//! over TCP); receiving blocks with optional timeout. When the
+//! [`LatencyModel`] is non-zero a dedicated delivery thread holds messages
+//! in a deliver-at-ordered heap, preserving per-sender FIFO order for equal
+//! delays (ties broken by send sequence number).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use graphlab_graph::MachineId;
+use parking_lot::Mutex;
+
+use crate::latency::LatencyModel;
+
+/// Framing overhead charged per message on top of the payload, emulating
+/// TCP/IP + RPC headers (src, dst, kind, length, and transport framing).
+pub const HEADER_BYTES: usize = 24;
+
+/// A routed message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending machine.
+    pub src: MachineId,
+    /// Destination machine.
+    pub dst: MachineId,
+    /// Application-defined message kind (each subsystem defines its own
+    /// tag space).
+    pub kind: u16,
+    /// Byte-encoded payload (see [`crate::codec::Codec`]).
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Wire size charged to the traffic counters.
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES + self.payload.len()
+    }
+}
+
+/// Per-machine traffic snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineTraffic {
+    /// Bytes sent by this machine (wire size incl. headers).
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+}
+
+/// Shared atomic traffic counters for a cluster.
+pub struct NetStats {
+    bytes_sent: Vec<AtomicU64>,
+    bytes_received: Vec<AtomicU64>,
+    msgs_sent: Vec<AtomicU64>,
+    msgs_received: Vec<AtomicU64>,
+}
+
+impl NetStats {
+    fn new(n: usize) -> Self {
+        let mk = || (0..n).map(|_| AtomicU64::new(0)).collect();
+        NetStats { bytes_sent: mk(), bytes_received: mk(), msgs_sent: mk(), msgs_received: mk() }
+    }
+
+    /// Snapshot of one machine's counters.
+    pub fn machine(&self, m: MachineId) -> MachineTraffic {
+        let i = m.index();
+        MachineTraffic {
+            bytes_sent: self.bytes_sent[i].load(Ordering::Relaxed),
+            bytes_received: self.bytes_received[i].load(Ordering::Relaxed),
+            msgs_sent: self.msgs_sent[i].load(Ordering::Relaxed),
+            msgs_received: self.msgs_received[i].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of every machine.
+    pub fn all(&self) -> Vec<MachineTraffic> {
+        (0..self.bytes_sent.len()).map(|i| self.machine(MachineId::from(i))).collect()
+    }
+
+    /// Total bytes sent across the cluster.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages sent across the cluster.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Error returned by blocking receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The fabric was shut down (all senders dropped).
+    Disconnected,
+}
+
+struct Delayed {
+    deliver_at: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// One machine's handle on the fabric.
+pub struct Endpoint {
+    id: MachineId,
+    n: usize,
+    direct: Vec<Sender<Envelope>>,
+    rx: Receiver<Envelope>,
+    delay_tx: Option<Sender<Delayed>>,
+    latency: LatencyModel,
+    stats: Arc<NetStats>,
+    // Send-side state; endpoints are owned by exactly one machine thread.
+    jitter_state: Mutex<u64>,
+    seq: AtomicU64,
+}
+
+impl Endpoint {
+    /// This machine's id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.n
+    }
+
+    /// Traffic counters shared by the whole cluster.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Sends `payload` to `dst` with application tag `kind`.
+    ///
+    /// Self-sends are delivered through the same path (useful for uniform
+    /// engine code), but charged zero network bytes.
+    pub fn send(&self, dst: MachineId, kind: u16, payload: Bytes) {
+        let env = Envelope { src: self.id, dst, kind, payload };
+        let wire = env.wire_bytes() as u64;
+        if dst != self.id {
+            self.stats.bytes_sent[self.id.index()].fetch_add(wire, Ordering::Relaxed);
+            self.stats.msgs_sent[self.id.index()].fetch_add(1, Ordering::Relaxed);
+            self.stats.bytes_received[dst.index()].fetch_add(wire, Ordering::Relaxed);
+            self.stats.msgs_received[dst.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        match (&self.delay_tx, dst == self.id) {
+            (Some(delay), false) => {
+                let d = {
+                    let mut st = self.jitter_state.lock();
+                    self.latency.delay(env.wire_bytes(), &mut st)
+                };
+                let delayed = Delayed {
+                    deliver_at: Instant::now() + d,
+                    seq: self.seq.fetch_add(1, Ordering::Relaxed),
+                    env,
+                };
+                // Delivery thread gone => cluster shutting down; drop.
+                let _ = delay.send(delayed);
+            }
+            _ => {
+                let _ = self.direct[dst.index()].send(env);
+            }
+        }
+    }
+
+    /// Broadcasts to every *other* machine.
+    pub fn broadcast(&self, kind: u16, payload: &Bytes) {
+        for i in 0..self.n {
+            let dst = MachineId::from(i);
+            if dst != self.id {
+                self.send(dst, kind, payload.clone());
+            }
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Timeout,
+            TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+}
+
+/// Builder/owner of the cluster fabric.
+pub struct SimNet {
+    stats: Arc<NetStats>,
+    delivery: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SimNet {
+    /// Creates a fabric of `n` machines with the given latency model and
+    /// returns one endpoint per machine.
+    pub fn new(n: usize, latency: LatencyModel) -> (SimNet, Vec<Endpoint>) {
+        Self::with_seed(n, latency, 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// As [`SimNet::new`] with an explicit jitter seed.
+    pub fn with_seed(n: usize, latency: LatencyModel, seed: u64) -> (SimNet, Vec<Endpoint>) {
+        assert!(n > 0, "cluster needs at least one machine");
+        let stats = Arc::new(NetStats::new(n));
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel::unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+
+        let (delay_tx, delivery) = if latency.is_zero() {
+            (None, None)
+        } else {
+            let (dtx, drx) = channel::unbounded::<Delayed>();
+            let inboxes = txs.clone();
+            let handle = std::thread::Builder::new()
+                .name("simnet-delivery".into())
+                .spawn(move || delivery_loop(drx, inboxes))
+                .expect("spawn delivery thread");
+            (Some(dtx), Some(handle))
+        };
+
+        let endpoints = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| Endpoint {
+                id: MachineId::from(i),
+                n,
+                direct: txs.clone(),
+                rx,
+                delay_tx: delay_tx.clone(),
+                latency,
+                stats: Arc::clone(&stats),
+                jitter_state: Mutex::new(seed ^ (i as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
+                seq: AtomicU64::new(0),
+            })
+            .collect();
+
+        (SimNet { stats, delivery }, endpoints)
+    }
+
+    /// Traffic counters for the cluster.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+}
+
+impl Drop for SimNet {
+    fn drop(&mut self) {
+        // The delivery thread exits once all endpoints (and their delay_tx
+        // clones) are dropped; join if it already can be.
+        if let Some(h) = self.delivery.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>) {
+    let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while let Some(top) = heap.peek() {
+            if top.deliver_at <= now {
+                let d = heap.pop().expect("peeked");
+                let _ = inboxes[d.env.dst.index()].send(d.env);
+            } else {
+                break;
+            }
+        }
+        // Wait for the next due time or a new message.
+        let wait = heap
+            .peek()
+            .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(d) => heap.push(d),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // Flush remaining messages in order, then exit.
+                while let Some(d) = heap.pop() {
+                    let remaining = d.deliver_at.saturating_duration_since(Instant::now());
+                    if !remaining.is_zero() {
+                        std::thread::sleep(remaining);
+                    }
+                    let _ = inboxes[d.env.dst.index()].send(d.env);
+                }
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_delivery() {
+        let (_net, eps) = SimNet::new(2, LatencyModel::ZERO);
+        eps[0].send(MachineId(1), 7, Bytes::from_static(b"hi"));
+        let env = eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, MachineId(0));
+        assert_eq!(env.kind, 7);
+        assert_eq!(&env.payload[..], b"hi");
+    }
+
+    #[test]
+    fn self_send_works_and_is_free() {
+        let (net, eps) = SimNet::new(1, LatencyModel::ZERO);
+        eps[0].send(MachineId(0), 1, Bytes::from_static(b"loop"));
+        let env = eps[0].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.kind, 1);
+        assert_eq!(net.stats().total_bytes(), 0);
+        assert_eq!(net.stats().total_msgs(), 0);
+    }
+
+    #[test]
+    fn stats_count_wire_bytes() {
+        let (net, eps) = SimNet::new(3, LatencyModel::ZERO);
+        eps[0].send(MachineId(1), 0, Bytes::from(vec![0u8; 100]));
+        eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        let t0 = net.stats().machine(MachineId(0));
+        let t1 = net.stats().machine(MachineId(1));
+        assert_eq!(t0.bytes_sent, (100 + HEADER_BYTES) as u64);
+        assert_eq!(t0.msgs_sent, 1);
+        assert_eq!(t1.bytes_received, (100 + HEADER_BYTES) as u64);
+        assert_eq!(t1.msgs_received, 1);
+        assert_eq!(net.stats().machine(MachineId(2)), MachineTraffic::default());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_others() {
+        let (_net, eps) = SimNet::new(4, LatencyModel::ZERO);
+        eps[2].broadcast(9, &Bytes::from_static(b"x"));
+        for (i, ep) in eps.iter().enumerate() {
+            if i == 2 {
+                assert_eq!(ep.try_recv().unwrap_err(), RecvError::Timeout);
+            } else {
+                let env = ep.recv_timeout(Duration::from_secs(1)).unwrap();
+                assert_eq!(env.kind, 9);
+                assert_eq!(env.src, MachineId(2));
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_delivery_takes_time_and_keeps_order() {
+        let model = LatencyModel::fixed(Duration::from_millis(20));
+        let (_net, eps) = SimNet::new(2, model);
+        let start = Instant::now();
+        for i in 0..5u8 {
+            eps[0].send(MachineId(1), i as u16, Bytes::from(vec![i]));
+        }
+        for i in 0..5u16 {
+            let env = eps[1].recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(env.kind, i, "FIFO preserved under equal latency");
+        }
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn timeout_when_no_message() {
+        let (_net, eps) = SimNet::new(2, LatencyModel::ZERO);
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn threads_can_converse() {
+        let (_net, mut eps) = SimNet::new(2, LatencyModel::fixed(Duration::from_millis(1)));
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        let h = std::thread::spawn(move || {
+            // Echo server on machine 1.
+            for _ in 0..10 {
+                let env = e1.recv_timeout(Duration::from_secs(5)).unwrap();
+                e1.send(env.src, env.kind + 1, env.payload);
+            }
+        });
+        for i in 0..10u16 {
+            e0.send(MachineId(1), i, Bytes::from_static(b"ping"));
+            let reply = e0.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(reply.kind, i + 1);
+        }
+        h.join().unwrap();
+    }
+}

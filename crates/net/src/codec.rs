@@ -1,0 +1,295 @@
+//! Binary encoding of everything that crosses a machine boundary.
+//!
+//! All cross-machine payloads — lock chain requests, ghost synchronisation
+//! deltas, scheduling forwards, sync-operation partials, snapshot records —
+//! are encoded through this trait into [`bytes::Bytes`] buffers. This is
+//! deliberate (DESIGN.md D1): it forces the engines to behave like a real
+//! distributed system and makes the byte counters truthful.
+//!
+//! The format is little-endian and fixed-width for scalars; collections are
+//! a `u32` length prefix followed by elements. (The atom journal in
+//! `graphlab-atoms` uses a separate varint format tuned for on-disk size.)
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graphlab_graph::{AtomId, EdgeId, MachineId, VertexId};
+
+/// A type that can serialise itself to bytes and back.
+///
+/// Implementations must roundtrip: `decode(encode(x)) == x`.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decodes a value from the front of `buf`, consuming its bytes.
+    ///
+    /// Returns `None` when the buffer does not hold a valid encoding (short
+    /// reads included).
+    fn decode(buf: &mut Bytes) -> Option<Self>;
+}
+
+/// Encodes a value into a fresh buffer.
+pub fn encode_to_bytes<T: Codec>(value: &T) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    buf.freeze()
+}
+
+/// Decodes a value from a buffer, requiring full consumption.
+pub fn decode_from<T: Codec>(bytes: Bytes) -> Option<T> {
+    let mut bytes = bytes;
+    let v = T::decode(&mut bytes)?;
+    if bytes.has_remaining() {
+        return None;
+    }
+    Some(v)
+}
+
+macro_rules! impl_codec_scalar {
+    ($t:ty, $put:ident, $get:ident, $len:expr) => {
+        impl Codec for $t {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Option<Self> {
+                if buf.remaining() < $len {
+                    return None;
+                }
+                Some(buf.$get())
+            }
+        }
+    };
+}
+
+impl_codec_scalar!(u8, put_u8, get_u8, 1);
+impl_codec_scalar!(u16, put_u16_le, get_u16_le, 2);
+impl_codec_scalar!(u32, put_u32_le, get_u32_le, 4);
+impl_codec_scalar!(u64, put_u64_le, get_u64_le, 8);
+impl_codec_scalar!(i64, put_i64_le, get_i64_le, 8);
+impl_codec_scalar!(f32, put_f32_le, get_f32_le, 4);
+impl_codec_scalar!(f64, put_f64_le, get_f64_le, 8);
+
+impl Codec for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self as u8);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        debug_assert!(*self <= u64::MAX as usize);
+        buf.put_u64_le(*self as u64);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u64::decode(buf).map(|v| v as usize)
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _buf: &mut BytesMut) {}
+    fn decode(_buf: &mut Bytes) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Codec for VertexId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u32::decode(buf).map(VertexId)
+    }
+}
+
+impl Codec for EdgeId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u32::decode(buf).map(EdgeId)
+    }
+}
+
+impl Codec for AtomId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u32::decode(buf).map(AtomId)
+    }
+}
+
+impl Codec for MachineId {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        u16::decode(buf).map(MachineId)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        let raw = buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        match u8::decode(buf)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+impl Codec for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u32).encode(buf);
+        buf.put_slice(self);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        let len = u32::decode(buf)? as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        Some(buf.copy_to_bytes(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = encode_to_bytes(&v);
+        let dec: T = decode_from(enc).expect("decode");
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(65535u16);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.25f32);
+        roundtrip(f64::MIN_POSITIVE);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(12345usize);
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        roundtrip(VertexId(7));
+        roundtrip(EdgeId(u32::MAX));
+        roundtrip(AtomId(3));
+        roundtrip(MachineId(12));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(Some(9.5f64));
+        roundtrip(Option::<u32>::None);
+        roundtrip((VertexId(1), 2.5f64));
+        roundtrip((MachineId(1), VertexId(2), 3u64));
+        roundtrip("hello GraphLab".to_string());
+        roundtrip(String::new());
+        roundtrip(Bytes::from_static(b"raw"));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        1u32.encode(&mut buf);
+        0u8.encode(&mut buf);
+        assert!(decode_from::<u32>(buf.freeze()).is_none());
+    }
+
+    #[test]
+    fn short_read_rejected() {
+        let enc = encode_to_bytes(&1u64);
+        let short = enc.slice(0..4);
+        assert!(decode_from::<u64>(short).is_none());
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let bytes = Bytes::from_static(&[2]);
+        assert!(decode_from::<bool>(bytes).is_none());
+    }
+
+    #[test]
+    fn nested_vec_roundtrip() {
+        roundtrip(vec![vec![1u16, 2], vec![], vec![3]]);
+    }
+}

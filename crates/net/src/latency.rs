@@ -1,0 +1,144 @@
+//! Network latency model.
+//!
+//! §4.2.2 is entirely about hiding the latency of remote lock acquisition
+//! and data synchronisation, so the simulator must actually impose latency
+//! for the pipelining experiments (Fig. 3(b), Fig. 8(b)) to be meaningful.
+//!
+//! The model charges each message `fixed + per_kib × ⌈size⌉ ± jitter`.
+//! Jitter is drawn from a deterministic xorshift stream so runs are
+//! reproducible without pulling a RNG dependency into the hot send path.
+
+use std::time::Duration;
+
+/// Per-message delivery delay model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed one-way latency applied to every message.
+    pub fixed: Duration,
+    /// Additional delay per KiB of payload (bandwidth term).
+    pub per_kib: Duration,
+    /// Maximum symmetric jitter (uniform in `[0, jitter]`, added).
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// Zero latency: messages are delivered directly (fast path used by
+    /// most tests).
+    pub const ZERO: LatencyModel = LatencyModel {
+        fixed: Duration::ZERO,
+        per_kib: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// A model loosely calibrated to the paper's environment: 10 GbE
+    /// between EC2 cc1.4xlarge nodes — ~100 µs one-way RPC latency and
+    /// ~1 GiB/s effective per-link bandwidth (≈1 µs per KiB).
+    pub fn ec2_like() -> LatencyModel {
+        LatencyModel {
+            fixed: Duration::from_micros(100),
+            per_kib: Duration::from_micros(1),
+            jitter: Duration::from_micros(20),
+        }
+    }
+
+    /// Uniform fixed latency, no bandwidth or jitter terms.
+    pub fn fixed(latency: Duration) -> LatencyModel {
+        LatencyModel { fixed: latency, per_kib: Duration::ZERO, jitter: Duration::ZERO }
+    }
+
+    /// Whether this model never delays any message.
+    pub fn is_zero(&self) -> bool {
+        self.fixed.is_zero() && self.per_kib.is_zero() && self.jitter.is_zero()
+    }
+
+    /// Delay for a message of `bytes` bytes. `rng_state` is the caller's
+    /// xorshift state (mutated).
+    pub fn delay(&self, bytes: usize, rng_state: &mut u64) -> Duration {
+        let kib = bytes.div_ceil(1024) as u32;
+        let mut d = self.fixed + self.per_kib * kib;
+        if !self.jitter.is_zero() {
+            let r = xorshift64(rng_state);
+            let frac = (r >> 11) as f64 / (1u64 << 53) as f64;
+            d += Duration::from_nanos((self.jitter.as_nanos() as f64 * frac) as u64);
+        }
+        d
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::ZERO
+    }
+}
+
+/// Minimal xorshift64 PRNG step (Marsaglia); good enough for jitter.
+#[inline]
+pub(crate) fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    debug_assert!(x != 0, "xorshift state must be non-zero");
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_zero() {
+        assert!(LatencyModel::ZERO.is_zero());
+        let mut s = 1u64;
+        assert_eq!(LatencyModel::ZERO.delay(10_000, &mut s), Duration::ZERO);
+    }
+
+    #[test]
+    fn fixed_plus_bandwidth() {
+        let m = LatencyModel {
+            fixed: Duration::from_micros(100),
+            per_kib: Duration::from_micros(10),
+            jitter: Duration::ZERO,
+        };
+        let mut s = 1u64;
+        assert_eq!(m.delay(0, &mut s), Duration::from_micros(100));
+        assert_eq!(m.delay(1, &mut s), Duration::from_micros(110));
+        assert_eq!(m.delay(1024, &mut s), Duration::from_micros(110));
+        assert_eq!(m.delay(1025, &mut s), Duration::from_micros(120));
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let m = LatencyModel {
+            fixed: Duration::from_micros(50),
+            per_kib: Duration::ZERO,
+            jitter: Duration::from_micros(10),
+        };
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        for _ in 0..100 {
+            let d1 = m.delay(100, &mut s1);
+            let d2 = m.delay(100, &mut s2);
+            assert_eq!(d1, d2);
+            assert!(d1 >= Duration::from_micros(50));
+            assert!(d1 <= Duration::from_micros(60));
+        }
+    }
+
+    #[test]
+    fn xorshift_covers_range() {
+        let mut s = 7u64;
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..1000 {
+            let v = xorshift64(&mut s);
+            if v > u64::MAX / 2 {
+                seen_high = true;
+            } else {
+                seen_low = true;
+            }
+        }
+        assert!(seen_high && seen_low);
+    }
+}

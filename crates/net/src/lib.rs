@@ -1,0 +1,37 @@
+//! # graphlab-net
+//!
+//! The simulated cluster runtime underlying the distributed GraphLab
+//! reproduction (§4.4 "System Design").
+//!
+//! The paper runs one symmetric GraphLab process per EC2 machine,
+//! communicating through a custom asynchronous RPC protocol over TCP/IP.
+//! Here each *machine* is an OS thread, and the RPC layer is a
+//! message-passing fabric ([`cluster::SimNet`]) with three properties that
+//! keep the simulation honest:
+//!
+//! 1. **Share-nothing**: every payload crossing a machine boundary must be
+//!    encoded to bytes through the [`codec::Codec`] trait. Machines never
+//!    exchange references to each other's state.
+//! 2. **Measured**: per-machine sent/received byte and message counters
+//!    ([`cluster::NetStats`]) feed the bandwidth figures (Fig. 6(b)).
+//! 3. **Latency-aware**: an optional delivery thread imposes a configurable
+//!    per-message latency (fixed + size-proportional + deterministic
+//!    jitter), which is what makes pipelining (§4.2.2) matter.
+//!
+//! The crate also provides the two distributed-coordination state machines
+//! the engines are built from: a marker/token termination detector
+//! ([`termination::Safra`], the algorithm of Misra [26] in its
+//! counter-carrying Safra formulation) and an epoch barrier
+//! ([`barrier::BarrierMaster`]).
+
+pub mod barrier;
+pub mod cluster;
+pub mod codec;
+pub mod latency;
+pub mod termination;
+
+pub use barrier::BarrierMaster;
+pub use cluster::{Endpoint, Envelope, MachineTraffic, NetStats, RecvError, SimNet};
+pub use codec::{decode_from, encode_to_bytes, Codec};
+pub use latency::LatencyModel;
+pub use termination::{Safra, SafraAction, Token};

@@ -1,0 +1,24 @@
+//! # graphlab-workloads
+//!
+//! Synthetic workload generators reproducing the *shape* of the paper's
+//! evaluation datasets (Table 2). The real datasets (Netflix ratings, the
+//! NELL web crawl, 1,740 frames of video, a 25M-vertex web graph) are not
+//! available, so each generator plants a ground-truth model with the same
+//! graph topology, degree distribution and data sizes — see DESIGN.md §1
+//! for the substitution rationale.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod mesh3d;
+pub mod nell;
+pub mod ratings;
+pub mod spam;
+pub mod webgraph;
+pub mod zipf;
+
+pub use mesh3d::{coseg_video, frame_partition, mesh3d_mrf, striped_partition};
+pub use nell::nell_graph;
+pub use ratings::ratings_graph;
+pub use spam::webspam_mrf;
+pub use webgraph::web_graph;
+pub use zipf::Zipf;

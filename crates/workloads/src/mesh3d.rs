@@ -1,0 +1,246 @@
+//! 3D mesh MRFs: the synthetic locking-engine benchmark (§4.2.2, Fig. 3)
+//! and the CoSeg video volume (§5.2, Fig. 8(a)/(b)).
+//!
+//! The §4.2.2 mesh is a `nx × ny × nz` grid with **26-connectivity**
+//! (axis neighbours plus all diagonals) interpreted as a binary MRF.
+//! The CoSeg volume is the same topology (video frames stacked in time)
+//! with super-pixel features drawn from a planted segmentation, plus the
+//! two partitions of Fig. 8(b): *optimal* (contiguous frame blocks) and
+//! *worst-case* (frames striped across machines).
+
+use graphlab_apps::coseg::CosegVertex;
+use graphlab_apps::lbp::{BpEdge, BpVertex};
+use graphlab_atoms::VertexPartition;
+use graphlab_graph::{AtomId, DataGraph, GraphBuilder, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn vid(x: usize, y: usize, z: usize, nx: usize, ny: usize) -> usize {
+    (z * ny + y) * nx + x
+}
+
+/// All 26-connected forward neighbour offsets (13 of the 26, so each
+/// undirected pair is generated exactly once).
+const FORWARD_OFFSETS: [(i64, i64, i64); 13] = [
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, -1, 0),
+    (1, 0, 1),
+    (1, 0, -1),
+    (0, 1, 1),
+    (0, 1, -1),
+    (1, 1, 1),
+    (1, 1, -1),
+    (1, -1, 1),
+    (1, -1, -1),
+];
+
+fn planted_label(x: usize, _y: usize, z: usize, nx: usize, nz: usize, labels: usize) -> usize {
+    // Two (or k) spatial blobs: split along x, shifted per z-slice so the
+    // boundary is non-trivial in time.
+    let shift = (z * nx) / (4 * nz.max(1));
+    ((x + shift) * labels / (nx + nx / 4)).min(labels - 1)
+}
+
+/// Builds the §4.2.2 binary-MRF mesh: noisy observations of a planted
+/// labelling. Returns the graph and the planted ground truth.
+pub fn mesh3d_mrf(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    labels: usize,
+    noise: f64,
+    seed: u64,
+) -> (DataGraph<BpVertex, BpEdge>, Vec<usize>) {
+    let n = nx * ny * nz;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * 13);
+    let mut truth = Vec::with_capacity(n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let label = planted_label(x, y, z, nx, nz, labels);
+                truth.push(label);
+                let mut prior = vec![noise; labels];
+                // Noisy evidence: sometimes points at the wrong label.
+                let observed = if rng.random::<f64>() < noise {
+                    rng.random_range(0..labels)
+                } else {
+                    label
+                };
+                prior[observed] = 1.0;
+                b.add_vertex(BpVertex::with_prior(prior));
+            }
+        }
+    }
+    add_mesh_edges(&mut b, nx, ny, nz, || BpEdge::uniform(labels));
+    (b.build(), truth)
+}
+
+/// Builds the CoSeg video volume: `frames` frames of `w × h` super-pixels,
+/// 26-connected across space and time, features drawn from a planted
+/// segmentation. Returns the graph and ground truth labels.
+pub fn coseg_video(
+    frames: usize,
+    w: usize,
+    h: usize,
+    labels: usize,
+    seed: u64,
+) -> (DataGraph<CosegVertex, BpEdge>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = frames * w * h;
+    let mut b = GraphBuilder::with_capacity(n, n * 13);
+    let mut truth = Vec::with_capacity(n);
+    for z in 0..frames {
+        for y in 0..h {
+            for x in 0..w {
+                let label = planted_label(x, y, z, w, frames, labels);
+                truth.push(label);
+                // Feature: label-dependent mean + observation noise.
+                let mean = (label as f64 + 0.5) / labels as f64;
+                let feature = (mean + 0.08 * (rng.random::<f64>() - 0.5)).clamp(0.0, 1.0);
+                b.add_vertex(CosegVertex::new(feature, labels));
+            }
+        }
+    }
+    add_mesh_edges(&mut b, w, h, frames, || BpEdge::uniform(labels));
+    (b.build(), truth)
+}
+
+fn add_mesh_edges<V, E>(
+    b: &mut GraphBuilder<V, E>,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    mut edge_data: impl FnMut() -> E,
+) {
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let src = vid(x, y, z, nx, ny);
+                for &(dx, dy, dz) in &FORWARD_OFFSETS {
+                    let (tx, ty, tz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if tx < 0 || ty < 0 || tz < 0 {
+                        continue;
+                    }
+                    let (tx, ty, tz) = (tx as usize, ty as usize, tz as usize);
+                    if tx >= nx || ty >= ny || tz >= nz {
+                        continue;
+                    }
+                    let dst = vid(tx, ty, tz, nx, ny);
+                    b.add_edge(VertexId(src as u32), VertexId(dst as u32), edge_data())
+                        .expect("valid mesh edge");
+                }
+            }
+        }
+    }
+}
+
+/// Fig. 8(b) *optimal* partition: contiguous frame blocks per atom
+/// (`atoms` atoms over `frames` frames of `w × h` super-pixels).
+pub fn frame_partition(frames: usize, w: usize, h: usize, atoms: usize) -> VertexPartition {
+    let per = frames.div_ceil(atoms);
+    let assignment = (0..frames * w * h)
+        .map(|v| {
+            let frame = v / (w * h);
+            AtomId((frame / per).min(atoms - 1) as u32)
+        })
+        .collect();
+    VertexPartition::from_assignment(assignment, atoms)
+}
+
+/// Fig. 8(b) *worst-case* partition: frames striped across atoms, forcing
+/// every temporal edge across a boundary.
+pub fn striped_partition(frames: usize, w: usize, h: usize, atoms: usize) -> VertexPartition {
+    let assignment = (0..frames * w * h)
+        .map(|v| {
+            let frame = v / (w * h);
+            AtomId((frame % atoms) as u32)
+        })
+        .collect();
+    VertexPartition::from_assignment(assignment, atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_size_and_connectivity() {
+        let (g, truth) = mesh3d_mrf(4, 4, 4, 2, 0.2, 1);
+        assert_eq!(g.num_vertices(), 64);
+        assert_eq!(truth.len(), 64);
+        // Interior vertex has 26 neighbours.
+        let interior = VertexId(vid(1, 1, 1, 4, 4) as u32);
+        assert_eq!(g.degree(interior), 26);
+        // Corner has 7.
+        let corner = VertexId(0);
+        assert_eq!(g.degree(corner), 7);
+    }
+
+    #[test]
+    fn edge_count_matches_formula() {
+        // Each undirected 26-neighbour pair generated exactly once.
+        let (g, _) = mesh3d_mrf(3, 3, 3, 2, 0.1, 2);
+        let mut expected = 0;
+        for z in 0..3usize {
+            for y in 0..3usize {
+                for x in 0..3usize {
+                    for &(dx, dy, dz) in &FORWARD_OFFSETS {
+                        let (tx, ty, tz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                        if (0..3).contains(&tx) && (0..3).contains(&ty) && (0..3).contains(&tz) {
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn coseg_features_separate_labels() {
+        let (g, truth) = coseg_video(4, 6, 4, 2, 3);
+        let mut means = [0.0f64; 2];
+        let mut counts = [0usize; 2];
+        for v in g.vertices() {
+            means[truth[v.index()]] += g.vertex_data(v).feature;
+            counts[truth[v.index()]] += 1;
+        }
+        assert!(counts[0] > 0 && counts[1] > 0, "both labels planted");
+        let m0 = means[0] / counts[0] as f64;
+        let m1 = means[1] / counts[1] as f64;
+        assert!((m1 - m0).abs() > 0.3, "means {m0} vs {m1}");
+    }
+
+    #[test]
+    fn frame_partition_is_contiguous() {
+        let p = frame_partition(8, 3, 3, 4);
+        // Frames 0-1 -> atom 0, 2-3 -> atom 1, ...
+        assert_eq!(p.atom_of(VertexId(0)), AtomId(0));
+        assert_eq!(p.atom_of(VertexId((2 * 9) as u32)), AtomId(1));
+        assert_eq!(p.atom_of(VertexId((7 * 9) as u32)), AtomId(3));
+    }
+
+    #[test]
+    fn striped_partition_alternates() {
+        let p = striped_partition(8, 3, 3, 4);
+        assert_eq!(p.atom_of(VertexId(0)), AtomId(0));
+        assert_eq!(p.atom_of(VertexId(9)), AtomId(1));
+        assert_eq!(p.atom_of(VertexId(5 * 9)), AtomId(1));
+    }
+
+    #[test]
+    fn striped_cut_is_worse_than_frame_cut() {
+        let (g, _) = coseg_video(8, 4, 4, 2, 4);
+        let opt = frame_partition(8, 4, 4, 4);
+        let bad = striped_partition(8, 4, 4, 4);
+        assert!(
+            bad.cut_edges(&g) > 2 * opt.cut_edges(&g),
+            "striped {} vs frame {}",
+            bad.cut_edges(&g),
+            opt.cut_edges(&g)
+        );
+    }
+}

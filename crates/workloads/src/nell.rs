@@ -1,0 +1,127 @@
+//! NELL-like CoEM graph for named entity recognition (§5.3, Table 2 row 3).
+//!
+//! Bipartite noun-phrase × context graph with planted entity types:
+//! noun-phrases of type `t` co-occur predominantly with contexts of type
+//! `t` (with configurable cross-type noise). Context popularity is
+//! Zipf-distributed, reproducing the dense power-law structure that makes
+//! NER the communication-bound worst case of the evaluation. A small
+//! fraction of noun-phrases per type is seeded (pre-labelled).
+
+use graphlab_apps::coem::CoemVertex;
+use graphlab_graph::{DataGraph, GraphBuilder, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Generated NER problem.
+pub struct NellProblem {
+    /// Bipartite graph: vertices `0..noun_phrases` are NPs, the rest
+    /// contexts.
+    pub graph: DataGraph<CoemVertex, f64>,
+    /// Number of noun-phrase vertices.
+    pub noun_phrases: usize,
+    /// Ground-truth type per vertex.
+    pub truth: Vec<usize>,
+}
+
+/// Generates a NELL-like problem with `types` entity types.
+pub fn nell_graph(
+    noun_phrases: usize,
+    contexts: usize,
+    types: usize,
+    edges_per_np: usize,
+    seed_fraction: f64,
+    seed: u64,
+) -> NellProblem {
+    assert!(types >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(noun_phrases + contexts, noun_phrases * edges_per_np);
+    let mut truth = Vec::with_capacity(noun_phrases + contexts);
+
+    for i in 0..noun_phrases {
+        let t = i * types / noun_phrases;
+        truth.push(t);
+        if rng.random::<f64>() < seed_fraction {
+            b.add_vertex(CoemVertex::seed(types, t));
+        } else {
+            b.add_vertex(CoemVertex::unlabeled(types));
+        }
+    }
+    let ctx_per_type = contexts / types;
+    for c in 0..contexts {
+        truth.push((c / ctx_per_type.max(1)).min(types - 1));
+        b.add_vertex(CoemVertex::unlabeled(types));
+    }
+
+    // Each NP connects to Zipf-popular contexts, mostly of its own type.
+    let zipf = Zipf::new(ctx_per_type.max(1), 0.9);
+    for np in 0..noun_phrases {
+        let t = truth[np];
+        let mut linked: Vec<usize> = Vec::with_capacity(edges_per_np);
+        for _ in 0..edges_per_np {
+            // 85% same-type context, 15% random (noise).
+            let c = if rng.random::<f64>() < 0.85 {
+                t * ctx_per_type + zipf.sample(&mut rng)
+            } else {
+                rng.random_range(0..contexts)
+            };
+            if linked.contains(&c) {
+                continue;
+            }
+            linked.push(c);
+            let count = 1.0 + rng.random_range(0..5) as f64;
+            b.add_edge(VertexId(np as u32), VertexId((noun_phrases + c) as u32), count)
+                .expect("valid edge");
+        }
+    }
+    NellProblem { graph: b.build(), noun_phrases, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_and_sized() {
+        let p = nell_graph(100, 40, 4, 6, 0.1, 1);
+        assert_eq!(p.graph.num_vertices(), 140);
+        assert_eq!(p.truth.len(), 140);
+        for e in p.graph.edges() {
+            let (np, c) = p.graph.edge_endpoints(e);
+            assert!(np.index() < 100);
+            assert!(c.index() >= 100);
+        }
+    }
+
+    #[test]
+    fn some_seeds_exist_per_type() {
+        let p = nell_graph(200, 40, 4, 6, 0.15, 2);
+        let mut seeded = vec![0usize; 4];
+        for v in 0..200u32 {
+            let data = p.graph.vertex_data(VertexId(v));
+            if data.seed {
+                seeded[p.truth[v as usize]] += 1;
+            }
+        }
+        assert!(seeded.iter().all(|&s| s > 0), "{seeded:?}");
+    }
+
+    #[test]
+    fn popular_contexts_have_higher_degree() {
+        let p = nell_graph(500, 100, 4, 8, 0.1, 3);
+        // First context of type 0 is the Zipf head for that type.
+        let head = p.graph.degree(VertexId(500));
+        let tail = p.graph.degree(VertexId(500 + 24));
+        assert!(head > tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn types_partition_noun_phrases_evenly() {
+        let p = nell_graph(100, 40, 4, 5, 0.1, 4);
+        let mut per_type = vec![0usize; 4];
+        for t in &p.truth[..100] {
+            per_type[*t] += 1;
+        }
+        assert_eq!(per_type, vec![25, 25, 25, 25]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic Netflix-style rating graph (§5.1, Table 2 row 1).
+//!
+//! Bipartite users × movies with Zipf-distributed movie popularity and a
+//! planted low-rank model: `r_um = s_u · t_m + noise` where `s, t` are
+//! latent `d_true`-vectors. ALS can therefore measurably recover structure
+//! and the convergence curves (Fig. 1(d), Fig. 9(a)) are meaningful.
+
+use graphlab_apps::als::AlsVertex;
+use graphlab_graph::{DataGraph, GraphBuilder, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Generated ratings problem.
+pub struct RatingsProblem {
+    /// Bipartite graph: vertices `0..users` are users, the rest movies.
+    pub graph: DataGraph<AlsVertex, f64>,
+    /// Number of user vertices (movie ids start here).
+    pub users: usize,
+    /// Held-out `(user, movie, rating)` triples for test error.
+    pub held_out: Vec<(VertexId, VertexId, f64)>,
+}
+
+/// Generates a ratings problem. `d` is the latent dimension the *model*
+/// will use (vertex factor length); the planted generator is rank-2.
+pub fn ratings_graph(
+    users: usize,
+    movies: usize,
+    ratings_per_user: usize,
+    d: usize,
+    seed: u64,
+) -> RatingsProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Planted rank-2 latent structure.
+    let su: Vec<[f64; 2]> =
+        (0..users).map(|_| [0.5 + rng.random::<f64>(), 0.5 + rng.random::<f64>()]).collect();
+    let tm: Vec<[f64; 2]> =
+        (0..movies).map(|_| [0.5 + rng.random::<f64>(), 0.5 + rng.random::<f64>()]).collect();
+
+    let mut b = GraphBuilder::with_capacity(users + movies, users * ratings_per_user);
+    for u in 0..users {
+        b.add_vertex(AlsVertex::seeded(u as u64 ^ seed, d));
+    }
+    for m in 0..movies {
+        b.add_vertex(AlsVertex::seeded((users + m) as u64 ^ seed, d));
+    }
+
+    let zipf = Zipf::new(movies, 0.8);
+    let mut held_out = Vec::new();
+    for u in 0..users {
+        let mut seen: Vec<usize> = Vec::with_capacity(ratings_per_user);
+        for k in 0..ratings_per_user + 1 {
+            let mut m = zipf.sample(&mut rng);
+            let mut tries = 0;
+            while seen.contains(&m) && tries < 10 {
+                m = zipf.sample(&mut rng);
+                tries += 1;
+            }
+            if seen.contains(&m) {
+                continue;
+            }
+            seen.push(m);
+            let rating = su[u][0] * tm[m][0] + su[u][1] * tm[m][1]
+                + 0.05 * (rng.random::<f64>() - 0.5);
+            let (uv, mv) = (VertexId(u as u32), VertexId((users + m) as u32));
+            if k == ratings_per_user {
+                // Last draw becomes held-out test data.
+                held_out.push((uv, mv, rating));
+            } else {
+                b.add_edge(uv, mv, rating).expect("valid rating edge");
+            }
+        }
+    }
+    RatingsProblem { graph: b.build(), users, held_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bipartite_structure() {
+        let p = ratings_graph(50, 30, 6, 4, 1);
+        assert_eq!(p.graph.num_vertices(), 80);
+        for e in p.graph.edges() {
+            let (u, m) = p.graph.edge_endpoints(e);
+            assert!(u.index() < 50, "source is a user");
+            assert!(m.index() >= 50, "target is a movie");
+        }
+    }
+
+    #[test]
+    fn popular_movies_get_more_ratings() {
+        let p = ratings_graph(200, 100, 10, 4, 2);
+        let deg0 = p.graph.degree(VertexId(200)); // most popular movie
+        let deg_tail = p.graph.degree(VertexId(299));
+        assert!(deg0 > deg_tail, "zipf head {deg0} vs tail {deg_tail}");
+    }
+
+    #[test]
+    fn held_out_nonempty_and_disjoint() {
+        let p = ratings_graph(40, 25, 5, 3, 3);
+        assert!(!p.held_out.is_empty());
+        for &(u, m, _) in &p.held_out {
+            assert!(u.index() < 40 && m.index() >= 40);
+        }
+    }
+
+    #[test]
+    fn ratings_follow_planted_model_range() {
+        let p = ratings_graph(30, 20, 5, 3, 4);
+        for e in p.graph.edges() {
+            let r = *p.graph.edge_data(e);
+            // rank-2 planted model with s,t ∈ [0.5, 1.5]: r ∈ [0.5, 4.5] ± noise
+            assert!((0.4..=4.6).contains(&r), "rating {r} out of planted range");
+        }
+    }
+
+    #[test]
+    fn factors_have_requested_dimension() {
+        let p = ratings_graph(10, 10, 3, 7, 5);
+        for v in p.graph.vertices() {
+            assert_eq!(p.graph.vertex_data(v).factors.len(), 7);
+        }
+    }
+}

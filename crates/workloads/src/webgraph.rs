@@ -1,0 +1,112 @@
+//! Power-law web graph generator (the PageRank workload of Fig. 1(a)/(b)).
+//!
+//! Preferential attachment: each new page links to `edges_per_vertex`
+//! existing pages chosen proportionally to their current in-degree (with
+//! uniform mixing), producing the power-law in-degree distribution that
+//! drives the skewed dynamic-update-count histogram of Fig. 1(b). Edge
+//! weights are out-degree-normalised (`w_{u,v} = 1/outdeg(u)`), vertex
+//! data is the uniform initial rank.
+
+use graphlab_graph::{DataGraph, GraphBuilder, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates a directed power-law web graph for PageRank.
+pub fn web_graph(n: usize, edges_per_vertex: usize, seed: u64) -> DataGraph<f64, f64> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Target lists with preferential attachment: keep a repeated-endpoint
+    // pool so sampling ∝ degree is O(1).
+    let mut pool: Vec<u32> = vec![0, 1];
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * edges_per_vertex);
+    let mut outdeg = vec![0u32; n];
+    for v in 1..n as u32 {
+        let mut targets: Vec<u32> = Vec::with_capacity(edges_per_vertex);
+        for _ in 0..edges_per_vertex.min(v as usize) {
+            // 50/50 preferential vs uniform mixing keeps a heavy tail while
+            // avoiding isolated-late-vertex pathologies.
+            let t = if rng.random::<bool>() {
+                pool[rng.random_range(0..pool.len())]
+            } else {
+                rng.random_range(0..v)
+            };
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((v, t));
+            outdeg[v as usize] += 1;
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for _ in 0..n {
+        b.add_vertex(1.0 / n as f64);
+    }
+    for (s, t) in edges {
+        let w = 1.0 / outdeg[s as usize] as f64;
+        b.add_edge(VertexId(s), VertexId(t), w).expect("valid edge");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlab_graph::GraphStats;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = web_graph(500, 4, 7);
+        assert_eq!(g.num_vertices(), 500);
+        assert!(g.num_edges() > 500, "edges: {}", g.num_edges());
+        assert!(g.num_edges() <= 500 * 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = web_graph(100, 3, 1);
+        let b = web_graph(100, 3, 1);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = web_graph(100, 3, 2);
+        // Structures almost surely differ.
+        let same = a.num_edges() == c.num_edges()
+            && a.edges().all(|e| a.edge_endpoints(e) == c.edge_endpoints(e));
+        assert!(!same);
+    }
+
+    #[test]
+    fn in_degrees_are_heavy_tailed() {
+        let g = web_graph(2000, 5, 3);
+        let stats = GraphStats::of(&g);
+        // Power-law: max degree far above mean.
+        assert!(
+            stats.max_degree as f64 > 5.0 * stats.mean_degree,
+            "max {} mean {}",
+            stats.max_degree,
+            stats.mean_degree
+        );
+    }
+
+    #[test]
+    fn out_weights_normalised() {
+        let g = web_graph(300, 4, 5);
+        for v in g.vertices() {
+            let out: Vec<_> = g.out_edges(v).collect();
+            if !out.is_empty() {
+                let total: f64 = out.iter().map(|e| *g.edge_data(e.edge)).sum();
+                assert!((total - 1.0).abs() < 1e-9, "vertex {v} out-weight {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_ranks_uniform() {
+        let g = web_graph(100, 3, 9);
+        for v in g.vertices() {
+            assert_eq!(*g.vertex_data(v), 1.0 / 100.0);
+        }
+    }
+}

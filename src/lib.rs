@@ -1,0 +1,61 @@
+//! # GraphLab-rs
+//!
+//! A from-scratch Rust reproduction of **Distributed GraphLab: A Framework
+//! for Machine Learning and Data Mining in the Cloud** (Low, Gonzalez,
+//! Kyrola, Bickson, Guestrin, Hellerstein — VLDB 2012).
+//!
+//! The GraphLab abstraction expresses asynchronous, dynamic,
+//! graph-parallel computation with strong serializability guarantees:
+//!
+//! - the **data graph** stores mutable user data on a static structure
+//!   ([`graph`]), distributed via two-phase *atom* partitioning
+//!   ([`atoms`]);
+//! - **update functions** transform overlapping vertex scopes and schedule
+//!   future work ([`core::update`]);
+//! - the **sync operation** maintains global aggregates
+//!   ([`core::sync`]);
+//! - two engines provide serializable distributed execution: the
+//!   partially-synchronous **chromatic engine** and the fully-asynchronous
+//!   pipelined **locking engine** ([`core`]);
+//! - fault tolerance comes from synchronous and asynchronous
+//!   (Chandy-Lamport) snapshots ([`core::snapshot`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use graphlab::core::{run_locking, EngineConfig, InitialSchedule, PartitionStrategy};
+//! use graphlab::apps::pagerank::{init_ranks, PageRank};
+//! use graphlab::workloads::web_graph;
+//!
+//! let mut graph = web_graph(1_000, 4, 42);
+//! init_ranks(&mut graph);
+//! let out = run_locking(
+//!     &mut graph,
+//!     Arc::new(PageRank::default()),
+//!     InitialSchedule::AllVertices,
+//!     Arc::new(Vec::new()),
+//!     &EngineConfig::new(2),
+//!     &PartitionStrategy::RandomHash,
+//! );
+//! assert!(out.metrics.updates >= 1_000);
+//! ```
+//!
+//! See `examples/` for full application walkthroughs and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the paper-reproduction index.
+
+/// The data graph, consistency models and colouring (`graphlab-graph`).
+pub use graphlab_graph as graph;
+/// Atom partitioning, journals, placement and the simulated DFS
+/// (`graphlab-atoms`).
+pub use graphlab_atoms as atoms;
+/// The simulated cluster fabric (`graphlab-net`).
+pub use graphlab_net as net;
+/// Engines, schedulers, sync ops and snapshots (`graphlab-core`).
+pub use graphlab_core as core;
+/// PageRank, ALS, LBP, CoEM, CoSeg (`graphlab-apps`).
+pub use graphlab_apps as apps;
+/// Synthetic workload generators (`graphlab-workloads`).
+pub use graphlab_workloads as workloads;
+/// MapReduce / Pregel / MPI baselines (`graphlab-baselines`).
+pub use graphlab_baselines as baselines;

@@ -1,0 +1,263 @@
+//! Workspace-level integration tests: applications × engines × baselines.
+//!
+//! These validate the claims the benchmark harness relies on: all engines
+//! (sequential reference, chromatic, locking) and all baselines
+//! (MapReduce, Pregel, MPI) agree on the *answers*, so the performance
+//! comparisons in EXPERIMENTS.md compare equal work.
+
+use std::sync::Arc;
+
+use graphlab::apps::als::{train_rmse, Als};
+use graphlab::apps::coem::{accuracy, Coem};
+use graphlab::apps::lbp::{total_residual, LoopyBp};
+use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
+use graphlab::baselines::mapreduce::{coem_mapreduce, pagerank_mapreduce, MapReduceConfig};
+use graphlab::baselines::mpi::coem_mpi;
+use graphlab::baselines::pregel::{PregelConfig, PregelEngine, PregelPageRank};
+use graphlab::core::{
+    run_chromatic, run_locking, run_sequential, EngineConfig, InitialSchedule, PartitionStrategy,
+    SchedulerKind, SequentialConfig, SnapshotConfig, SnapshotMode, SyncOp,
+};
+use graphlab::graph::{greedy_coloring, Coloring};
+use graphlab::net::LatencyModel;
+use graphlab::workloads::{nell_graph, ratings_graph, web_graph, webspam_mrf};
+
+fn no_syncs<V, E>() -> Arc<Vec<Box<dyn SyncOp<V, E>>>> {
+    Arc::new(Vec::new())
+}
+
+#[test]
+fn pagerank_all_systems_agree() {
+    let base = web_graph(2_000, 4, 5);
+    let oracle = exact_pagerank(&base, 0.15, 60);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+
+    // Sequential reference.
+    let mut seq = base.clone();
+    init_ranks(&mut seq);
+    run_sequential(&mut seq, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    let seq_ranks: Vec<f64> = seq.vertices().map(|v| *seq.vertex_data(v)).collect();
+    assert!(l1_error(&seq_ranks, &oracle) < 1e-6);
+
+    // Chromatic engine (3 machines).
+    let mut chro = base.clone();
+    init_ranks(&mut chro);
+    let coloring = greedy_coloring(&chro);
+    run_chromatic(
+        &mut chro,
+        coloring,
+        Arc::new(pr.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &EngineConfig::new(3),
+        &PartitionStrategy::RandomHash,
+    );
+    let chro_ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
+    assert!(l1_error(&chro_ranks, &oracle) < 1e-6, "chromatic {}", l1_error(&chro_ranks, &oracle));
+
+    // Locking engine (3 machines).
+    let mut lock = base.clone();
+    init_ranks(&mut lock);
+    run_locking(
+        &mut lock,
+        Arc::new(pr),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &EngineConfig::new(3),
+        &PartitionStrategy::BfsGrow,
+    );
+    let lock_ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
+    assert!(l1_error(&lock_ranks, &oracle) < 1e-6, "locking {}", l1_error(&lock_ranks, &oracle));
+
+    // MapReduce (30 iterations of power iteration).
+    let (mr_ranks, _) = pagerank_mapreduce(
+        &base,
+        0.15,
+        60,
+        MapReduceConfig { job_startup: std::time::Duration::from_millis(1), ..Default::default() },
+    );
+    assert!(l1_error(&mr_ranks, &oracle) < 1e-6, "mapreduce {}", l1_error(&mr_ranks, &oracle));
+
+    // Pregel.
+    let mut pregel = base.clone();
+    init_ranks(&mut pregel);
+    let engine = PregelEngine::new(PregelConfig { workers: 3, max_supersteps: 61 });
+    engine.run(&mut pregel, &PregelPageRank { alpha: 0.15, epsilon: 0.0 }, |_, _| {});
+    let pregel_ranks: Vec<f64> = pregel.vertices().map(|v| *pregel.vertex_data(v)).collect();
+    assert!(l1_error(&pregel_ranks, &oracle) < 1e-6, "pregel {}", l1_error(&pregel_ranks, &oracle));
+}
+
+#[test]
+fn als_engines_reach_comparable_rmse() {
+    let problem = ratings_graph(120, 60, 8, 4, 3);
+    let als = Als { d: 4, lambda: 0.05, epsilon: 1e-5, dynamic: true };
+
+    let mut results = Vec::new();
+    // Sequential.
+    {
+        let mut g = problem.graph.clone();
+        run_sequential(
+            &mut g,
+            &als,
+            InitialSchedule::AllVertices,
+            SequentialConfig { max_updates: 20_000, ..Default::default() },
+        );
+        results.push(("sequential", train_rmse(&g)));
+    }
+    // Chromatic (bipartite colouring).
+    {
+        let mut g = problem.graph.clone();
+        let users = problem.users;
+        let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
+        let mut cfg = EngineConfig::new(3);
+        cfg.max_updates = 20_000;
+        run_chromatic(
+            &mut g,
+            coloring,
+            Arc::new(als.clone()),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        results.push(("chromatic", train_rmse(&g)));
+    }
+    // Locking with priorities.
+    {
+        let mut g = problem.graph.clone();
+        let mut cfg = EngineConfig::new(3);
+        cfg.scheduler = SchedulerKind::Priority;
+        cfg.max_updates = 20_000;
+        run_locking(
+            &mut g,
+            Arc::new(als),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        results.push(("locking", train_rmse(&g)));
+    }
+    // All engines converge to a comparably good fit (λ-regularised floor).
+    for (name, rmse) in &results {
+        assert!(*rmse < 0.12, "{name} rmse {rmse}");
+    }
+    let best = results.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
+    for (name, rmse) in &results {
+        assert!(*rmse < best * 2.0 + 0.02, "{name} rmse {rmse} vs best {best}");
+    }
+}
+
+#[test]
+fn coem_graphlab_matches_baselines() {
+    let problem = nell_graph(120, 40, 2, 6, 0.2, 7);
+
+    let mut g = problem.graph.clone();
+    let nps = problem.noun_phrases;
+    let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
+    run_chromatic(
+        &mut g,
+        coloring,
+        Arc::new(Coem { types: 2, epsilon: 1e-7, dynamic: true }),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &EngineConfig::new(3),
+        &PartitionStrategy::RandomHash,
+    );
+    let gl_acc = accuracy(&g, &problem.truth);
+
+    let (mpi_dists, _) = coem_mpi(&problem.graph, 2, 30, 3);
+    let mut mpi_correct = 0usize;
+    for np in 0..nps {
+        let arg = usize::from(mpi_dists[np][1] > mpi_dists[np][0]);
+        mpi_correct += usize::from(arg == problem.truth[np]);
+    }
+    let mpi_acc = mpi_correct as f64 / nps as f64;
+
+    let (mr_dists, _) = coem_mapreduce(
+        &problem.graph,
+        2,
+        30,
+        MapReduceConfig { job_startup: std::time::Duration::from_millis(1), ..Default::default() },
+    );
+    let mut mr_correct = 0usize;
+    for np in 0..nps {
+        let arg = usize::from(mr_dists[np][1] > mr_dists[np][0]);
+        mr_correct += usize::from(arg == problem.truth[np]);
+    }
+    let mr_acc = mr_correct as f64 / nps as f64;
+
+    assert!(gl_acc > 0.85, "graphlab {gl_acc}");
+    assert!(mpi_acc > 0.85, "mpi {mpi_acc}");
+    assert!(mr_acc > 0.85, "mapreduce {mr_acc}");
+}
+
+#[test]
+fn lbp_distributed_with_latency_converges() {
+    let (mut g, truth) = webspam_mrf(400, 4, 0.3, 0.15, 9);
+    let mut cfg = EngineConfig::new(3);
+    cfg.scheduler = SchedulerKind::Priority;
+    cfg.latency = LatencyModel::fixed(std::time::Duration::from_micros(100));
+    cfg.max_updates = 40 * g.num_vertices() as u64;
+    let bp = LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-4, dynamic: true, damping: 0.3 };
+    run_locking(
+        &mut g,
+        Arc::new(bp.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &cfg,
+        &PartitionStrategy::BfsGrow,
+    );
+    assert!(total_residual(&g, &bp) < 1.0, "residual {}", total_residual(&g, &bp));
+    let acc = graphlab::workloads::spam::spam_accuracy(&g, &truth);
+    assert!(acc > 0.8, "accuracy {acc}");
+}
+
+#[test]
+fn snapshot_recovery_end_to_end() {
+    let base = web_graph(600, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true };
+
+    let mut full = base.clone();
+    init_ranks(&mut full);
+    let mut cfg = EngineConfig::new(2);
+    cfg.snapshot = SnapshotConfig {
+        mode: SnapshotMode::Asynchronous,
+        every_updates: 400,
+        max_snapshots: 1,
+    };
+    let out = run_locking(
+        &mut full,
+        Arc::new(pr.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &cfg,
+        &PartitionStrategy::RandomHash,
+    );
+    assert!(out.metrics.snapshots >= 1);
+
+    let mut restored = base.clone();
+    graphlab::core::restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
+    run_sequential(&mut restored, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    for v in full.vertices() {
+        assert!(
+            (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-9,
+            "divergence at {v}"
+        );
+    }
+}
+
+#[test]
+fn ingress_pipeline_is_usable_standalone() {
+    // DistributedGraph: build atoms once, load for several cluster sizes.
+    let g = web_graph(500, 3, 2);
+    let dg = graphlab::core::DistributedGraph::build(&g, &PartitionStrategy::BfsGrow, 16, 1);
+    for m in [1usize, 2, 5] {
+        let parts = dg.load_all::<f64, f64>(m);
+        let owned: usize = parts
+            .iter()
+            .map(|p| p.vertices.iter().filter(|v| v.owner == p.machine).count())
+            .sum();
+        assert_eq!(owned, 500, "{m} machines");
+    }
+}

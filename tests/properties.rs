@@ -1,0 +1,204 @@
+//! Property-based tests (proptest) over the core data structures and
+//! distributed invariants.
+
+use proptest::prelude::*;
+
+use graphlab::atoms::{build_atoms, load_machine_part, write_atoms, SimDfs, VertexPartition};
+use graphlab::atoms::placement::Placement;
+use graphlab::graph::{
+    greedy_coloring, second_order_coloring, verify_coloring, DataGraph, GraphBuilder, MachineId,
+    VertexId,
+};
+use graphlab::net::codec::{decode_from, encode_to_bytes};
+
+/// Random graph strategy: `n` vertices with arbitrary f64 data, edge list
+/// over them.
+fn arb_graph() -> impl Strategy<Value = DataGraph<f64, f64>> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n, -100.0f64..100.0), 0..120);
+        edges.prop_map(move |edges| {
+            let mut b = GraphBuilder::new();
+            for i in 0..n {
+                b.add_vertex(i as f64 * 0.5);
+            }
+            for (s, d, w) in edges {
+                if s != d {
+                    b.add_edge(VertexId(s as u32), VertexId(d as u32), w).unwrap();
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_roundtrip_vecs(v in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+        let enc = encode_to_bytes(&v);
+        prop_assert_eq!(decode_from::<Vec<f64>>(enc), Some(v));
+    }
+
+    #[test]
+    fn codec_roundtrip_pairs(v in proptest::collection::vec((0u32..u32::MAX, -1e6f64..1e6), 0..32)) {
+        let tagged: Vec<(VertexId, f64)> = v.into_iter().map(|(a, b)| (VertexId(a), b)).collect();
+        let enc = encode_to_bytes(&tagged);
+        prop_assert_eq!(decode_from::<Vec<(VertexId, f64)>>(enc), Some(tagged));
+    }
+
+    #[test]
+    fn greedy_coloring_is_always_proper(g in arb_graph()) {
+        let c = greedy_coloring(&g);
+        prop_assert!(verify_coloring(&g, &c, 1));
+    }
+
+    #[test]
+    fn second_order_coloring_is_distance2_proper(g in arb_graph()) {
+        let c = second_order_coloring(&g);
+        prop_assert!(verify_coloring(&g, &c, 2));
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent(g in arb_graph()) {
+        // Every edge appears exactly once in each endpoint's adjacency.
+        let mut counts = vec![0usize; g.num_edges()];
+        for v in g.vertices() {
+            for e in g.adj(v) {
+                counts[e.edge.index()] += 1;
+            }
+        }
+        prop_assert!(counts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn random_partition_covers_and_balances(n in 1usize..500, k in 1usize..17, seed in 0u64..1000) {
+        let p = VertexPartition::random_hash(n, k, seed);
+        prop_assert_eq!(p.atom_sizes().iter().sum::<usize>(), n);
+        prop_assert_eq!(p.len(), n);
+    }
+
+    #[test]
+    fn refinement_never_increases_cut(g in arb_graph(), k in 2usize..6, seed in 0u64..100) {
+        let mut p = VertexPartition::random_hash(g.num_vertices(), k, seed);
+        let before = p.cut_edges(&g);
+        p.refine(&g, 2, 1.3);
+        prop_assert!(p.cut_edges(&g) <= before);
+        prop_assert_eq!(p.atom_sizes().iter().sum::<usize>(), g.num_vertices());
+    }
+
+    #[test]
+    fn atom_ingress_reconstructs_graph(g in arb_graph(), k in 1usize..8, machines in 1usize..5) {
+        let p = VertexPartition::random_hash(g.num_vertices(), k, 7);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &p, "t");
+        write_atoms(&dfs, "t", &atoms, &index);
+        let placement = Placement::compute(&index, machines);
+
+        let mut vertex_owned = vec![0usize; g.num_vertices()];
+        let mut edge_owned = vec![0usize; g.num_edges()];
+        for m in 0..machines {
+            let part = load_machine_part::<f64, f64>(&dfs, &index, &placement, MachineId::from(m)).unwrap();
+            for v in &part.vertices {
+                if v.owner == part.machine {
+                    vertex_owned[v.gvid.index()] += 1;
+                    // Owned data matches the source graph.
+                    prop_assert_eq!(*g.vertex_data(v.gvid), v.data);
+                }
+            }
+            for e in &part.edges {
+                if e.owner == part.machine {
+                    edge_owned[e.geid.index()] += 1;
+                }
+                prop_assert_eq!(g.edge_endpoints(e.geid), (e.src, e.dst));
+            }
+            // Local scopes complete: every owned vertex sees all its edges.
+            let local_edges: std::collections::HashSet<_> = part.edges.iter().map(|e| e.geid).collect();
+            for v in part.vertices.iter().filter(|v| v.owner == part.machine) {
+                for adj in g.adj(v.gvid) {
+                    prop_assert!(local_edges.contains(&adj.edge));
+                }
+            }
+        }
+        prop_assert!(vertex_owned.iter().all(|&c| c == 1), "each vertex owned exactly once");
+        prop_assert!(edge_owned.iter().all(|&c| c == 1), "each edge owned exactly once");
+    }
+
+    #[test]
+    fn journal_roundtrip_arbitrary_atoms(
+        vdata in proptest::collection::vec((-1e9f64..1e9), 1..20),
+        k in 1usize..5,
+    ) {
+        let mut b = GraphBuilder::new();
+        for &d in &vdata {
+            b.add_vertex(d);
+        }
+        for i in 1..vdata.len() {
+            b.add_edge(VertexId((i - 1) as u32), VertexId(i as u32), i as f64).unwrap();
+        }
+        let g: DataGraph<f64, f64> = b.build();
+        let p = VertexPartition::random_hash(g.num_vertices(), k, 3);
+        let (atoms, _) = build_atoms(&g, &p, "t");
+        for atom in atoms {
+            let bytes = atom.encode_journal();
+            let back = graphlab::atoms::Atom::<f64, f64>::decode_journal(bytes).unwrap();
+            prop_assert_eq!(back, atom);
+        }
+    }
+}
+
+/// Serializability property: the locking engine's fixpoint equals the
+/// sequential engine's fixpoint for a confluent update function
+/// (max-diffusion), on random graphs and cluster sizes.
+mod serializability {
+    use super::*;
+    use graphlab::core::{
+        run_locking, run_sequential, EngineConfig, InitialSchedule, PartitionStrategy,
+        SequentialConfig, SyncOp, UpdateContext, UpdateFunction,
+    };
+    use std::sync::Arc;
+
+    struct MaxDiffusion;
+    impl UpdateFunction<f64, f64> for MaxDiffusion {
+        fn update(&self, ctx: &mut UpdateContext<'_, f64, f64>) {
+            let mut best = *ctx.vertex_data();
+            for i in 0..ctx.num_neighbors() {
+                best = best.max(*ctx.nbr_data(i));
+            }
+            if best > *ctx.vertex_data() {
+                *ctx.vertex_data_mut() = best;
+                for i in 0..ctx.num_neighbors() {
+                    ctx.schedule_nbr(i, 1.0);
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn locking_engine_fixpoint_matches_sequential(g in arb_graph(), machines in 1usize..4) {
+            let mut seq = g.clone();
+            run_sequential(
+                &mut seq,
+                &MaxDiffusion,
+                InitialSchedule::AllVertices,
+                SequentialConfig::default(),
+            );
+            let mut dist = g.clone();
+            let syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(Vec::new());
+            run_locking(
+                &mut dist,
+                Arc::new(MaxDiffusion),
+                InitialSchedule::AllVertices,
+                syncs,
+                &EngineConfig::new(machines),
+                &PartitionStrategy::RandomHash,
+            );
+            for v in g.vertices() {
+                prop_assert_eq!(seq.vertex_data(v), dist.vertex_data(v));
+            }
+        }
+    }
+}
