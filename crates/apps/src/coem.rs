@@ -165,10 +165,10 @@ mod tests {
             truth.push(t);
             ctxs.push(b.add_vertex(CoemVertex::unlabeled(k)));
         }
-        for c in 0..8usize {
+        for (c, &ctx) in ctxs.iter().enumerate().take(8) {
             let cluster = if c < 4 { 0..4 } else { 4..8 };
             for np in cluster {
-                b.add_edge(nps[np], ctxs[c], 1.0 + (np % 3) as f64).unwrap();
+                b.add_edge(nps[np], ctx, 1.0 + (np % 3) as f64).unwrap();
             }
         }
         (b.build(), truth)

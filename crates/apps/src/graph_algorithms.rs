@@ -166,7 +166,7 @@ mod tests {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(4);
         for trial in 0..10 {
-            let n = 30;
+            let n = 30usize;
             let mut b = GraphBuilder::new();
             let vs: Vec<_> = (0..n).map(|_| b.add_vertex(0.0)).collect();
             for _ in 0..80 {

@@ -44,6 +44,7 @@ impl SymMatrix {
     }
 
     /// `self += x xᵀ` (rank-one update).
+    #[allow(clippy::needless_range_loop)]
     pub fn add_outer(&mut self, x: &[f64]) {
         debug_assert_eq!(x.len(), self.n);
         for i in 0..self.n {
@@ -76,6 +77,7 @@ impl std::error::Error for NotPositiveDefinite {}
 
 /// Solves `A x = b` for symmetric positive-definite `A` via Cholesky
 /// (`A = L Lᵀ`), overwriting `b` with `x`. `a` is consumed as scratch.
+#[allow(clippy::needless_range_loop)]
 pub fn cholesky_solve(mut a: SymMatrix, b: &mut [f64]) -> Result<(), NotPositiveDefinite> {
     let n = a.n;
     debug_assert_eq!(b.len(), n);

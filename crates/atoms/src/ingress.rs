@@ -398,7 +398,7 @@ mod tests {
         assert_eq!(index2, index);
 
         let placement = Placement::compute(&index, 3);
-        let mut owned_seen = vec![false; 24];
+        let mut owned_seen = [false; 24];
         let mut edge_owner_count = vec![0usize; 24];
         for m in 0..3 {
             let part: LocalGraphInit<f64, u32> =

@@ -68,14 +68,12 @@ impl VertexPartition {
         let mut frontiers: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         let mut sizes = vec![0usize; k];
         let mut assigned = 0usize;
-        let mut cursor = 0u64;
         for (a, frontier) in frontiers.iter_mut().enumerate() {
             if assigned >= n {
                 break;
             }
             // Probe for an unassigned seed.
-            let mut v = (splitmix64(seed ^ cursor) % n as u64) as usize;
-            cursor += 1;
+            let mut v = (splitmix64(seed ^ a as u64) % n as u64) as usize;
             while atom_of[v] != unassigned {
                 v = (v + 1) % n;
             }

@@ -219,9 +219,9 @@ mod tests {
         let p = nell_graph(60, 20, 2, 5, 0.2, 2);
         let (dists, stats) = coem_mpi(&p.graph, 2, 20, 4);
         let mut correct = 0;
-        for np in 0..60usize {
-            let arg = if dists[np][0] >= dists[np][1] { 0 } else { 1 };
-            correct += usize::from(arg == p.truth[np]);
+        for (d, &t) in dists.iter().zip(&p.truth).take(60) {
+            let arg = usize::from(d[0] < d[1]);
+            correct += usize::from(arg == t);
         }
         assert!(correct >= 54, "accuracy {correct}/60");
         assert!(stats.updates > 0);

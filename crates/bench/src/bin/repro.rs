@@ -705,7 +705,7 @@ fn fig7b() {
     println!("  type accuracy: {:.1}%", 100.0 * accuracy(&g, &problem.truth));
     let names = ["Food", "Religion", "City", "Person"];
     let mut t = Table::new(&["type", "top noun-phrases (confidence)"]);
-    for ty in 0..4usize {
+    for (ty, type_name) in names.iter().enumerate() {
         let mut scored: Vec<(f64, u32)> = (0..nps as u32)
             .filter(|&v| {
                 let d = g.vertex_data(graphlab_graph::VertexId(v));
@@ -715,7 +715,7 @@ fn fig7b() {
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
         t.row(vec![
-            names[ty].into(),
+            (*type_name).into(),
             scored.iter().take(4).map(|(p, v)| format!("np{v}({p:.2})")).collect::<Vec<_>>().join(" "),
         ]);
     }

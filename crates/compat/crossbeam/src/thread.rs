@@ -1,0 +1,66 @@
+//! Scoped threads in the `crossbeam::scope(|s| { s.spawn(move |_| …) })`
+//! shape, implemented over `std::thread::scope`. The spawn closure
+//! receives a `&Scope` (almost always ignored as `|_|`), and `scope`
+//! returns `thread::Result` like crossbeam's.
+
+pub use std::thread::ScopedJoinHandle;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawn_join_and_borrow() {
+        let total = AtomicU64::new(0);
+        let data = [1u64, 2, 3, 4];
+        let out = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| {
+                    let total = &total;
+                    s.spawn(move |_| {
+                        total.fetch_add(chunk.iter().sum::<u64>(), Ordering::SeqCst);
+                        chunk.len()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        });
+        assert!(r.unwrap());
+    }
+}

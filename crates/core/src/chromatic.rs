@@ -352,11 +352,11 @@ where
         let m = self.num_machines();
         let me = self.me().index();
         let step = self.step;
-        for j in 0..m {
+        for (j, &count) in counts.iter().enumerate().take(m) {
             if j != me {
                 let msg = FlushMsg {
                     step,
-                    count: counts[j],
+                    count,
                     updates: self.cycle_updates,
                     pending: self.pending_total,
                 };

@@ -104,6 +104,7 @@ pub(crate) fn make_partition<V, E>(
 
 /// Shared driver skeleton: ingress → spawn `run_machine` per machine →
 /// join → write back. `engine` selects which machine loop runs.
+#[allow(clippy::too_many_arguments)]
 fn run_distributed<V, E, U>(
     engine: EngineKind,
     graph: &mut DataGraph<V, E>,

@@ -422,6 +422,7 @@ impl<V, E> LocalGraph<V, E> {
 
     /// Consumes the local graph, returning the owned data for result
     /// collection: `(vertex rows, edge rows)` with global ids.
+    #[allow(clippy::type_complexity)]
     pub fn into_owned_data(mut self) -> (Vec<(VertexId, V)>, Vec<(EdgeId, E)>) {
         let mut vrows = Vec::with_capacity(self.owned.len());
         // Drain in descending local index so swap_remove-like moves stay valid.
@@ -432,9 +433,9 @@ impl<V, E> LocalGraph<V, E> {
         }
         let mut erows = Vec::new();
         let mut edata: Vec<Option<E>> = self.edata.into_iter().map(Some).collect();
-        for l in 0..self.geid.len() {
+        for (l, &geid) in self.geid.iter().enumerate() {
             if self.eowner[l] == self.machine {
-                erows.push((self.geid[l], edata[l].take().expect("owned edge data")));
+                erows.push((geid, edata[l].take().expect("owned edge data")));
             }
         }
         (vrows, erows)

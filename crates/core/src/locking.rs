@@ -187,6 +187,19 @@ impl OutScope {
     }
 }
 
+fn trace_on() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("GRAPHLAB_TRACE").is_some())
+}
+
+macro_rules! tr {
+    ($($arg:tt)*) => {
+        if trace_on() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
 fn enc<T: Codec>(v: &T) -> Bytes {
     encode_to_bytes(v)
 }
@@ -360,7 +373,7 @@ where
         let mut iters = 0u64;
         while !self.halted {
             iters += 1;
-            if std::env::var_os("GRAPHLAB_DEBUG").is_some() && iters % 500 == 0 {
+            if std::env::var_os("GRAPHLAB_DEBUG").is_some() && iters.is_multiple_of(500) {
                 eprintln!(
                     "[m{}] iter={} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={}",
                     self.me().0,
@@ -476,6 +489,10 @@ where
 
         let reqid = self.next_reqid;
         self.next_reqid += 1;
+        tr!("[m{}] INIT reqid={} center=v{} vvers={:?} machines={:?}",
+            self.me().0, reqid, self.lg.vertex_gvid(l).0,
+            vvers.iter().map(|(v, ver)| (v.0, *ver)).collect::<Vec<_>>(),
+            machines.iter().map(|m| m.0).collect::<Vec<_>>());
         let msg = LockReqMsg {
             requester: self.me(),
             reqid,
@@ -650,6 +667,17 @@ where
             self.setup.update.update(&mut ctx);
         }
         self.updates_local += 1;
+        if trace_on() {
+            let nbrs: Vec<(u32, u64)> = self
+                .lg
+                .adj(center)
+                .iter()
+                .map(|e| (self.lg.vertex_gvid(e.nbr).0, self.lg.vertex_version(e.nbr)))
+                .collect();
+            tr!("[m{}] EXEC reqid={} v{} dirty={} sched={:?} nbr_vers={:?}",
+                self.me().0, reqid, self.lg.vertex_gvid(center).0, self.effects.dirty_self,
+                self.effects.scheduled.iter().map(|(v, _)| v.0).collect::<Vec<_>>(), nbrs);
+        }
         self.setup.counters.updates.fetch_add(1, AtomicOrdering::Relaxed);
         if self.setup.config.trace {
             *self.update_count_map.entry(self.lg.vertex_gvid(center)).or_insert(0) += 1;
@@ -711,13 +739,16 @@ where
             let owner = self.lg.vertex_owner(lv);
             if owner == me {
                 if !self.cap_reached {
-                    self.scheduler.add(lv, prio);
+                    let fresh = self.scheduler.add(lv, prio);
+                    tr!("[m{}] SCHED_LOCAL v{} fresh={}", me.0, gv.0, fresh);
                 }
             } else {
                 remote_sched.entry(owner).or_default().push((gv, prio));
             }
         }
         for (mm, tasks) in remote_sched {
+            tr!("[m{}] SCHED_SEND to=m{} {:?}", me.0, mm.0,
+                tasks.iter().map(|(v, _)| v.0).collect::<Vec<_>>());
             self.send_counted(mm, K_LOCK_SCHED, enc(&ScheduleMsg { tasks }));
         }
 
@@ -818,7 +849,9 @@ where
                 let msg: ScopeDataMsg = dec(env.payload);
                 for row in msg.vrows {
                     if let Some(lv) = self.lg.local_vertex(row.vid) {
-                        self.lg.apply_vertex_update(lv, row.version, dec(row.data));
+                        let applied = self.lg.apply_vertex_update(lv, row.version, dec(row.data));
+                        tr!("[m{}] DATA reqid={} v{} ver={} applied={}", self.me().0,
+                            msg.reqid, row.vid.0, row.version, applied);
                         if row.snap > self.snap_epoch[lv as usize] {
                             self.snap_epoch[lv as usize] = row.snap;
                         }
@@ -873,17 +906,26 @@ where
                                 self.snap_queue.push_back(lv);
                             }
                         } else if !self.cap_reached {
-                            self.scheduler.add(lv, prio);
+                            let fresh = self.scheduler.add(lv, prio);
+                            tr!("[m{}] SCHED_RECV v{} fresh={}", self.me().0, gv.0, fresh);
                         }
                     }
                 }
             }
             K_TOKEN => {
                 let tok: TokenMsg = dec(env.payload);
+                // Re-evaluate idleness *now*: work-bearing messages handled
+                // earlier in this same receive batch may have refilled the
+                // scheduler since the last `update_idle`, and deciding (or
+                // forwarding) on a stale idle flag lets the initiator
+                // declare termination with tasks still queued locally.
+                self.update_idle();
                 let action = self.safra.on_token(tok.0);
                 self.apply_safra(action);
             }
             K_HALT => {
+                tr!("[m{}] HALT sched_len={} out={} ready={}", self.me().0,
+                    self.scheduler.len(), self.out_scopes.len(), self.ready.len());
                 self.ep.send(MachineId(0), K_HALT_ACK, Bytes::new());
                 self.halted = true;
             }
@@ -958,6 +1000,7 @@ where
             }
             SafraAction::Terminated => {
                 debug_assert!(self.is_master());
+                tr!("[m{}] SAFRA_TERMINATED", self.me().0);
                 self.m_halt_pending = true;
             }
         }

@@ -128,7 +128,7 @@ where
             let lv = lg.local_vertex(gv).expect("scheduled vertex is local");
             scheduler.add(lv, prio);
         }
-        if config.sync_interval_updates > 0 && updates % config.sync_interval_updates == 0 {
+        if config.sync_interval_updates > 0 && updates.is_multiple_of(config.sync_interval_updates) {
             run_syncs(&config.syncs, &lg, &mut globals);
         }
         if config.max_updates > 0 && updates >= config.max_updates {

@@ -50,6 +50,7 @@ pub fn local_partial<V, E>(op: &dyn SyncOp<V, E>, lg: &LocalGraph<V, E>) -> Vec<
 /// Element-wise sum sync op: publishes `finalize(Σ map(v))`. The most
 /// common shape (convergence estimators, counters, GMM sufficient
 /// statistics); constructed from plain functions.
+#[allow(clippy::type_complexity)]
 pub struct FnSync<V> {
     name: String,
     width: usize,

@@ -55,8 +55,7 @@ pub fn nell_graph(
 
     // Each NP connects to Zipf-popular contexts, mostly of its own type.
     let zipf = Zipf::new(ctx_per_type.max(1), 0.9);
-    for np in 0..noun_phrases {
-        let t = truth[np];
+    for (np, &t) in truth.iter().enumerate().take(noun_phrases) {
         let mut linked: Vec<usize> = Vec::with_capacity(edges_per_np);
         for _ in 0..edges_per_np {
             // 85% same-type context, 15% random (noise).

@@ -47,7 +47,7 @@ pub fn ratings_graph(
 
     let zipf = Zipf::new(movies, 0.8);
     let mut held_out = Vec::new();
-    for u in 0..users {
+    for (u, su_u) in su.iter().enumerate().take(users) {
         let mut seen: Vec<usize> = Vec::with_capacity(ratings_per_user);
         for k in 0..ratings_per_user + 1 {
             let mut m = zipf.sample(&mut rng);
@@ -60,7 +60,7 @@ pub fn ratings_graph(
                 continue;
             }
             seen.push(m);
-            let rating = su[u][0] * tm[m][0] + su[u][1] * tm[m][1]
+            let rating = su_u[0] * tm[m][0] + su_u[1] * tm[m][1]
                 + 0.05 * (rng.random::<f64>() - 0.5);
             let (uv, mv) = (VertexId(u as u32), VertexId((users + m) as u32));
             if k == ratings_per_user {

@@ -32,10 +32,10 @@ pub fn webspam_mrf(
         b.add_vertex(BpVertex::with_prior(prior));
     }
     // Homophilous links: mostly within the same class.
-    for v in 0..n {
+    for (v, &tv) in truth.iter().enumerate().take(n) {
         for _ in 0..edges_per_vertex {
             let same_class = rng.random::<f64>() < 0.9;
-            let t = if same_class == (truth[v] == 1) {
+            let t = if same_class == (tv == 1) {
                 rng.random_range(0..spam_count.max(1))
             } else {
                 spam_count + rng.random_range(0..(n - spam_count).max(1))

@@ -168,9 +168,8 @@ fn coem_graphlab_matches_baselines() {
 
     let (mpi_dists, _) = coem_mpi(&problem.graph, 2, 30, 3);
     let mut mpi_correct = 0usize;
-    for np in 0..nps {
-        let arg = usize::from(mpi_dists[np][1] > mpi_dists[np][0]);
-        mpi_correct += usize::from(arg == problem.truth[np]);
+    for (d, &t) in mpi_dists.iter().zip(&problem.truth).take(nps) {
+        mpi_correct += usize::from(usize::from(d[1] > d[0]) == t);
     }
     let mpi_acc = mpi_correct as f64 / nps as f64;
 
@@ -181,9 +180,8 @@ fn coem_graphlab_matches_baselines() {
         MapReduceConfig { job_startup: std::time::Duration::from_millis(1), ..Default::default() },
     );
     let mut mr_correct = 0usize;
-    for np in 0..nps {
-        let arg = usize::from(mr_dists[np][1] > mr_dists[np][0]);
-        mr_correct += usize::from(arg == problem.truth[np]);
+    for (d, &t) in mr_dists.iter().zip(&problem.truth).take(nps) {
+        mr_correct += usize::from(usize::from(d[1] > d[0]) == t);
     }
     let mr_acc = mr_correct as f64 / nps as f64;
 

@@ -1,0 +1,98 @@
+//! Facade smoke test: drive the whole public surface end-to-end through
+//! the `graphlab` facade crate — build a graph via `graphlab::graph`,
+//! generate a workload, and run PageRank on both distributed engines,
+//! checking they agree with each other and with the power-iteration
+//! oracle.
+
+use std::sync::Arc;
+
+use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
+use graphlab::core::{
+    run_chromatic, run_locking, EngineConfig, InitialSchedule, PartitionStrategy, SyncOp,
+};
+use graphlab::graph::{greedy_coloring, DataGraph, GraphBuilder, VertexId};
+use graphlab::workloads::web_graph;
+
+fn no_syncs() -> Arc<Vec<Box<dyn SyncOp<f64, f64>>>> {
+    Arc::new(Vec::new())
+}
+
+/// A small ring-with-chords graph built by hand through the facade's
+/// re-exported `GraphBuilder`, with out-weight-normalised links
+/// (PageRank's edge datum is `w_{u,v}` with `Σ_v w_{u,v} = 1`).
+fn small_graph() -> DataGraph<f64, f64> {
+    let n = 24u32;
+    let links: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| {
+            let mut out = vec![(i, (i + 1) % n)];
+            if i % 3 == 0 {
+                out.push((i, (i + 7) % n));
+            }
+            out
+        })
+        .collect();
+    let mut outdeg = vec![0usize; n as usize];
+    for &(s, _) in &links {
+        outdeg[s as usize] += 1;
+    }
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(0.0);
+    }
+    for (s, d) in links {
+        b.add_edge(VertexId(s), VertexId(d), 1.0 / outdeg[s as usize] as f64).unwrap();
+    }
+    b.build()
+}
+
+fn run_both(base: &DataGraph<f64, f64>, machines: usize) -> (Vec<f64>, Vec<f64>) {
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+
+    let mut chro = base.clone();
+    init_ranks(&mut chro);
+    let coloring = greedy_coloring(&chro);
+    run_chromatic(
+        &mut chro,
+        coloring,
+        Arc::new(pr.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &EngineConfig::new(machines),
+        &PartitionStrategy::RandomHash,
+    );
+    let chro_ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
+
+    let mut lock = base.clone();
+    init_ranks(&mut lock);
+    run_locking(
+        &mut lock,
+        Arc::new(pr),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &EngineConfig::new(machines),
+        &PartitionStrategy::RandomHash,
+    );
+    let lock_ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
+
+    (chro_ranks, lock_ranks)
+}
+
+#[test]
+fn pagerank_engines_agree_on_handbuilt_graph() {
+    let base = small_graph();
+    let oracle = exact_pagerank(&base, 0.15, 80);
+    let (chro, lock) = run_both(&base, 2);
+    assert!(l1_error(&chro, &oracle) < 1e-6, "chromatic vs oracle: {}", l1_error(&chro, &oracle));
+    assert!(l1_error(&lock, &oracle) < 1e-6, "locking vs oracle: {}", l1_error(&lock, &oracle));
+    assert!(l1_error(&chro, &lock) < 1e-6, "engines disagree: {}", l1_error(&chro, &lock));
+}
+
+#[test]
+fn pagerank_engines_agree_on_powerlaw_workload() {
+    let base = web_graph(600, 4, 11);
+    let oracle = exact_pagerank(&base, 0.15, 80);
+    let (chro, lock) = run_both(&base, 3);
+    assert!(l1_error(&chro, &oracle) < 1e-6, "chromatic vs oracle: {}", l1_error(&chro, &oracle));
+    assert!(l1_error(&lock, &oracle) < 1e-6, "locking vs oracle: {}", l1_error(&lock, &oracle));
+    assert!(l1_error(&chro, &lock) < 1e-6, "engines disagree: {}", l1_error(&chro, &lock));
+}

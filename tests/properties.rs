@@ -126,7 +126,7 @@ proptest! {
 
     #[test]
     fn journal_roundtrip_arbitrary_atoms(
-        vdata in proptest::collection::vec((-1e9f64..1e9), 1..20),
+        vdata in proptest::collection::vec(-1e9f64..1e9, 1..20),
         k in 1usize..5,
     ) {
         let mut b = GraphBuilder::new();
