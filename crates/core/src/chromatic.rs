@@ -27,7 +27,7 @@ use bytes::Bytes;
 use graphlab_atoms::LocalGraphInit;
 use graphlab_graph::{MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
-use graphlab_net::{Endpoint, Envelope, RecvError};
+use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
@@ -50,7 +50,7 @@ fn dec<T: Codec>(b: Bytes) -> T {
 
 pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     lg: LocalGraph<V, E>,
-    ep: Endpoint,
+    net: Batcher,
     setup: MachineSetup<V, E, U>,
     globals: GlobalRegistry,
     num_colors: u32,
@@ -96,6 +96,7 @@ where
         let num_colors = setup.coloring.num_colors().max(1);
         let nv = lg.num_local_vertices();
         let m = lg.num_machines();
+        let net = Batcher::new(ep, setup.config.batch);
         ChromaticMachine {
             queues: (0..num_colors).map(|_| VecDeque::new()).collect(),
             queued: vec![false; nv],
@@ -115,7 +116,7 @@ where
             globals: GlobalRegistry::new(),
             num_colors,
             lg,
-            ep,
+            net,
             setup,
         }
     }
@@ -181,6 +182,9 @@ where
             }
             cycle += 1;
         }
+        // The master's final globals/halt broadcast may still sit in the
+        // batch queues; peers are blocked waiting for it.
+        self.net.flush_all();
         self.finish(cycle + 1)
     }
 
@@ -251,7 +255,7 @@ where
                 });
                 let mirrors = self.lg.vertex_mirrors(l).to_vec();
                 for mm in mirrors {
-                    self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                    self.net.send(mm, K_CHROM_VDATA, payload.clone());
                     direct[mm.index()] += 1;
                 }
             }
@@ -274,7 +278,7 @@ where
                         phase: 0u8,
                         inner: EdgeRow { eid: geid, version, data: enc(self.lg.edge_data(le)) },
                     });
-                    self.ep.send(other, K_CHROM_EDATA, payload);
+                    self.net.send(other, K_CHROM_EDATA, payload);
                     direct[other.index()] += 1;
                 }
             } else {
@@ -284,7 +288,7 @@ where
                     phase: 0u8,
                     inner: EdgeRow { eid: geid, version: 0, data: enc(self.lg.edge_data(le)) },
                 });
-                self.ep.send(owner, K_CHROM_WB_E, payload);
+                self.net.send(owner, K_CHROM_WB_E, payload);
                 direct[owner.index()] += 1;
             }
         }
@@ -309,7 +313,7 @@ where
                     });
                     let mirrors = self.lg.vertex_mirrors(ln).to_vec();
                     for mm in mirrors {
-                        self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                        self.net.send(mm, K_CHROM_VDATA, payload.clone());
                         direct[mm.index()] += 1;
                     }
                 }
@@ -320,7 +324,7 @@ where
                     phase: 0u8,
                     inner: VertexRow { vid: gvid, version: 0, snap: 0, data: enc(self.lg.vertex_data(ln)) },
                 });
-                self.ep.send(owner, K_CHROM_WB_V, payload);
+                self.net.send(owner, K_CHROM_WB_V, payload);
                 direct[owner.index()] += 1;
             }
         }
@@ -339,7 +343,7 @@ where
         }
         for (mm, tasks) in remote {
             let payload = enc(&StepTagged { step, phase: 0u8, inner: ScheduleMsg { tasks } });
-            self.ep.send(mm, K_CHROM_SCHED, payload);
+            self.net.send(mm, K_CHROM_SCHED, payload);
             direct[mm.index()] += 1;
         }
 
@@ -361,7 +365,7 @@ where
                     pending: self.pending_total,
                 };
                 let kind = if phase == 0 { K_CHROM_FLUSH_A } else { K_CHROM_FLUSH_B };
-                self.ep.send(MachineId::from(j), kind, enc(&msg));
+                self.net.send(MachineId::from(j), kind, enc(&msg));
             }
         }
         loop {
@@ -378,7 +382,7 @@ where
             if complete {
                 break;
             }
-            match self.ep.recv_timeout(RECV_TIMEOUT) {
+            match self.net.recv_timeout(RECV_TIMEOUT) {
                 Ok(env) => self.handle_msg(env),
                 Err(RecvError::Timeout) => {
                     panic!(
@@ -442,7 +446,7 @@ where
                         },
                     });
                     for mm in mirrors {
-                        self.ep.send(mm, K_CHROM_VDATA, payload.clone());
+                        self.net.send(mm, K_CHROM_VDATA, payload.clone());
                         self.fwd_counts[mm.index()] += 1;
                     }
                 }
@@ -497,7 +501,7 @@ where
             let mut accs: Vec<Vec<f64>> = my_msg.partials.clone();
             let mut received = 1usize;
             while received < m {
-                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                match self.net.recv_timeout(RECV_TIMEOUT) {
                     Ok(env) if env.kind == K_CHROM_SYNC_PART => {
                         let p: SyncPartialMsg = dec(env.payload);
                         assert_eq!(p.cycle, cycle, "sync round out of step");
@@ -537,13 +541,13 @@ where
             let out = SyncGlobalsMsg { cycle, globals: globals_rows, halt, snapshot };
             let payload = enc(&out);
             for j in 1..m {
-                self.ep.send(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
+                self.net.send(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
             }
             (halt, snapshot)
         } else {
-            self.ep.send(MachineId(0), K_CHROM_SYNC_PART, enc(&my_msg));
+            self.net.send(MachineId(0), K_CHROM_SYNC_PART, enc(&my_msg));
             loop {
-                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                match self.net.recv_timeout(RECV_TIMEOUT) {
                     Ok(env) if env.kind == K_CHROM_SYNC_GLOB => {
                         let g: SyncGlobalsMsg = dec(env.payload);
                         assert_eq!(g.cycle, cycle);
@@ -573,19 +577,19 @@ where
         if self.me() == MachineId(0) {
             let mut done = 1usize;
             while done < m {
-                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                match self.net.recv_timeout(RECV_TIMEOUT) {
                     Ok(env) if env.kind == K_CHROM_SNAP_DONE => done += 1,
                     Ok(env) => panic!("unexpected kind {} during snapshot", env.kind),
                     Err(e) => panic!("snapshot coordination failed: {e:?}"),
                 }
             }
             for j in 1..m {
-                self.ep.send(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
+                self.net.send(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
             }
         } else {
-            self.ep.send(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
+            self.net.send(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
             loop {
-                match self.ep.recv_timeout(RECV_TIMEOUT) {
+                match self.net.recv_timeout(RECV_TIMEOUT) {
                     Ok(env) if env.kind == K_CHROM_SNAP_RESUME => break,
                     // Resumed peers may already be racing ahead.
                     Ok(env) => self.handle_msg(env),

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use graphlab_graph::ConsistencyModel;
-use graphlab_net::LatencyModel;
+use graphlab_net::{BatchPolicy, LatencyModel};
 
 use crate::scheduler::SchedulerKind;
 
@@ -59,6 +59,12 @@ pub struct EngineConfig {
     pub scheduler: SchedulerKind,
     /// Network latency model.
     pub latency: LatencyModel,
+    /// Message batching/coalescing policy: small control messages (lock
+    /// hops, grants, schedule requests, write-backs) bound for the same
+    /// machine ride one envelope. Flushed by size/count thresholds and
+    /// before every blocking receive. `BatchPolicy::disabled()` sends
+    /// every message individually (ablation baseline).
+    pub batch: BatchPolicy,
     /// Maximum outstanding lock requests per machine (§4.2.2 pipelining).
     pub max_pipeline: usize,
     /// Run sync operations every this many local updates (locking engine;
@@ -94,6 +100,7 @@ impl EngineConfig {
             consistency: ConsistencyModel::Edge,
             scheduler: SchedulerKind::Fifo,
             latency: LatencyModel::ZERO,
+            batch: BatchPolicy::default(),
             max_pipeline: 64,
             sync_interval_updates: 0,
             snapshot: SnapshotConfig::default(),

@@ -39,6 +39,7 @@ pub mod sync;
 pub mod update;
 
 pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
+pub use graphlab_net::BatchPolicy;
 pub use driver::{run_chromatic, run_locking, DistributedGraph, EngineOutput, PartitionStrategy};
 pub use globals::GlobalRegistry;
 pub use local::{LocalAdjEntry, LocalGraph};

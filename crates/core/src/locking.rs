@@ -35,7 +35,7 @@ use graphlab_atoms::LocalGraphInit;
 use graphlab_graph::{ConsistencyModel, LockType, MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
 use graphlab_net::termination::{Safra, SafraAction};
-use graphlab_net::{Endpoint, Envelope, RecvError};
+use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 
 use crate::config::SnapshotMode;
 use crate::driver::{MachineResult, MachineSetup};
@@ -52,7 +52,15 @@ use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 /// "the Snapshot Update is prioritized over other update functions").
 pub const SNAPSHOT_PRIORITY: f64 = f64::INFINITY;
 
-const IDLE_POLL: Duration = Duration::from_millis(2);
+/// Receive deadline while the master is idle: it must still poll the
+/// global update counter for sync/snapshot triggers and halt sequencing.
+const MASTER_POLL: Duration = Duration::from_millis(2);
+
+/// Receive deadline for an idle (or pipeline-full) non-master machine.
+/// Every state change it can act on arrives as a message — which wakes the
+/// blocked `recv_timeout` immediately — so this is a liveness backstop,
+/// not a polling interval (previously a 2 ms busy-poll).
+const IDLE_BLOCK: Duration = Duration::from_millis(25);
 
 /// Identifies a lock chain cluster-wide: `(requester machine, reqid)`.
 type ChainKey = (u16, u64);
@@ -214,7 +222,7 @@ fn dec<T: Codec>(b: Bytes) -> T {
 
 pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     lg: LocalGraph<V, E>,
-    ep: Endpoint,
+    net: Batcher,
     setup: MachineSetup<V, E, U>,
     globals: GlobalRegistry,
     scheduler: Scheduler,
@@ -279,6 +287,7 @@ where
         let nv = lg.num_local_vertices();
         let m = lg.num_machines();
         let machine = lg.machine();
+        let net = Batcher::new(ep, setup.config.batch);
         LockingMachine {
             scheduler: Scheduler::new(setup.config.scheduler, nv),
             locks: LockTable::new(nv),
@@ -319,7 +328,7 @@ where
             effects: UpdateEffects::default(),
             globals: GlobalRegistry::new(),
             lg,
-            ep,
+            net,
             setup,
         }
     }
@@ -345,7 +354,7 @@ where
         debug_assert!(dst != self.me());
         self.safra.on_message_sent(1);
         self.sent_counts[dst.index()] += 1;
-        self.ep.send(dst, kind, payload);
+        self.net.send(dst, kind, payload);
     }
 
     fn initial_schedule(&mut self) {
@@ -396,13 +405,13 @@ where
             self.execute_ready();
             self.check_snapshot_progress();
             self.update_idle();
-            match self.ep.recv_timeout(IDLE_POLL) {
+            match self.net.recv_timeout(self.next_recv_deadline()) {
                 Ok(env) => {
                     self.handle(env);
                     // Drain the inbox without blocking to amortise the
                     // pump/execute overhead across message bursts.
                     for _ in 0..512 {
-                        match self.ep.try_recv() {
+                        match self.net.try_recv() {
                             Ok(env) => self.handle(env),
                             Err(_) => break,
                         }
@@ -412,7 +421,47 @@ where
                 Err(RecvError::Disconnected) => break,
             }
         }
+        // Halt-era messages (acks, final releases) may still sit in the
+        // batch queues; the master is blocked waiting for them.
+        self.net.flush_all();
         self.finish()
+    }
+
+    /// How long the machine loop may block in `recv_timeout`.
+    ///
+    /// With runnable local work the loop must not block at all; otherwise
+    /// progress is message-driven (lock grants, scope data, releases,
+    /// tokens all wake the blocked receive), so idle and pipeline-full
+    /// machines sleep on a real deadline instead of the old 2 ms busy-poll.
+    /// The master keeps a short deadline: its sync/snapshot/halt triggers
+    /// poll the shared update counter, which no message announces.
+    fn next_recv_deadline(&self) -> Duration {
+        if self.has_runnable_work() {
+            return Duration::ZERO;
+        }
+        if self.is_master() {
+            MASTER_POLL
+        } else {
+            IDLE_BLOCK
+        }
+    }
+
+    /// Whether `pump`/`execute_ready` could make progress right now
+    /// without receiving anything.
+    fn has_runnable_work(&self) -> bool {
+        if !self.ready.is_empty() {
+            return true;
+        }
+        if self.snap_paused || self.halted {
+            return false;
+        }
+        if self.out_scopes.len() >= self.setup.config.max_pipeline.max(1) {
+            return false;
+        }
+        if !self.snap_queue.is_empty() {
+            return true;
+        }
+        !self.cap_reached && !self.scheduler.is_empty()
     }
 
     // ---- pipeline ----
@@ -926,7 +975,7 @@ where
             K_HALT => {
                 tr!("[m{}] HALT sched_len={} out={} ready={}", self.me().0,
                     self.scheduler.len(), self.out_scopes.len(), self.ready.len());
-                self.ep.send(MachineId(0), K_HALT_ACK, Bytes::new());
+                self.net.send(MachineId(0), K_HALT_ACK, Bytes::new());
                 self.halted = true;
             }
             K_HALT_ACK => {
@@ -954,7 +1003,7 @@ where
                     .iter()
                     .map(|op| local_partial(op.as_ref(), &self.lg))
                     .collect();
-                self.ep.send(
+                self.net.send(
                     MachineId(0),
                     K_LSYNC_PART,
                     enc(&LockSyncPartialMsg { epoch, partials }),
@@ -996,7 +1045,7 @@ where
         match action {
             SafraAction::None => {}
             SafraAction::SendToken { to, token } => {
-                self.ep.send(to, K_TOKEN, enc(&TokenMsg(token)));
+                self.net.send(to, K_TOKEN, enc(&TokenMsg(token)));
             }
             SafraAction::Terminated => {
                 debug_assert!(self.is_master());
@@ -1052,12 +1101,12 @@ where
             match snap_cfg.mode {
                 SnapshotMode::Synchronous => {
                     let payload = enc(&id);
-                    self.ep.broadcast(K_SNAP_SYNC_START, &payload);
+                    self.net.broadcast(K_SNAP_SYNC_START, &payload);
                     self.begin_sync_snapshot();
                 }
                 SnapshotMode::Asynchronous => {
                     let payload = enc(&(id + 1));
-                    self.ep.broadcast(K_SNAP_ASYNC_START, &payload);
+                    self.net.broadcast(K_SNAP_ASYNC_START, &payload);
                     self.begin_async_snapshot((id + 1) as u32);
                 }
                 SnapshotMode::None => unreachable!(),
@@ -1081,7 +1130,7 @@ where
             } else {
                 self.m_halt_sent = true;
                 self.m_halt_acks = 1; // self
-                self.ep.broadcast(K_HALT, &Bytes::new());
+                self.net.broadcast(K_HALT, &Bytes::new());
             }
         }
         if self.m_halt_sent && self.m_halt_acks >= self.num_machines() {
@@ -1093,7 +1142,7 @@ where
         self.m_sync_epoch += 1;
         let epoch = if fin { u64::MAX } else { self.m_sync_epoch };
         let payload = enc(&epoch);
-        self.ep.broadcast(K_LSYNC_REQ, &payload);
+        self.net.broadcast(K_LSYNC_REQ, &payload);
         let own: Vec<Vec<f64>> =
             self.setup.syncs.iter().map(|op| local_partial(op.as_ref(), &self.lg)).collect();
         self.m_sync_outstanding = Some((epoch, own, 1));
@@ -1129,7 +1178,7 @@ where
         }
         let msg = SyncGlobalsMsg { cycle: epoch, globals: rows, halt: false, snapshot: None };
         let payload = enc(&msg);
-        self.ep.broadcast(K_LSYNC_GLOB, &payload);
+        self.net.broadcast(K_LSYNC_GLOB, &payload);
         if epoch == u64::MAX {
             self.m_final_sync_done = true;
         }
@@ -1169,7 +1218,7 @@ where
         if self.is_master() {
             self.m_async_done += 1;
         } else {
-            self.ep.send(MachineId(0), K_SNAP_ASYNC_MDONE, Bytes::new());
+            self.net.send(MachineId(0), K_SNAP_ASYNC_MDONE, Bytes::new());
         }
     }
 
@@ -1188,7 +1237,7 @@ where
             if self.is_master() {
                 self.master_collect_snap_ready(MachineId(0), msg);
             } else {
-                self.ep.send(MachineId(0), K_SNAP_SYNC_READY, enc(&msg));
+                self.net.send(MachineId(0), K_SNAP_SYNC_READY, enc(&msg));
             }
         }
         if self.snap_paused && !self.snap_written {
@@ -1207,7 +1256,7 @@ where
                         self.m_snap_done += 1;
                         self.master_check_snap_done();
                     } else {
-                        self.ep.send(MachineId(0), K_SNAP_DONE, Bytes::new());
+                        self.net.send(MachineId(0), K_SNAP_DONE, Bytes::new());
                     }
                 }
             }
@@ -1241,7 +1290,7 @@ where
                 if i == self.me().index() {
                     self.snap_flush_target = Some(msg.expect_from);
                 } else {
-                    self.ep.send(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
+                    self.net.send(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
                 }
             }
             self.m_snap_ready = vec![None; m];
@@ -1255,7 +1304,7 @@ where
         {
             self.m_snap_in_progress = false;
             self.m_snap_done = 0;
-            self.ep.broadcast(K_SNAP_RESUME, &Bytes::new());
+            self.net.broadcast(K_SNAP_RESUME, &Bytes::new());
             self.snap_paused = false;
             self.snap_ready_sent = false;
             self.snap_flush_target = None;

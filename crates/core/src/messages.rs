@@ -10,9 +10,19 @@
 //! - `20..=39` — locking engine (§4.2.2): pipelined lock chains, scope data
 //!   synchronisation, releases with piggybacked write-backs, termination
 //!   tokens and halt control, background sync, and both snapshot protocols.
+//! - `u16::MAX` — **reserved by the transport** for batch envelopes
+//!   ([`graphlab_net::batch::K_BATCH`]); the engines never see it because
+//!   the [`graphlab_net::batch::Batcher`] unpacks batches on receive. New
+//!   tags must stay clear of it.
 //!
 //! User data (`V`/`E`) always travels as pre-encoded [`Bytes`] blobs so the
 //! protocol structs stay monomorphic.
+//!
+//! Several protocol invariants assume the fabric's **per-channel FIFO**
+//! delivery guarantee (see `graphlab-net`): a [`ScheduleMsg`] emitted
+//! during commit must reach the owner before the [`ReleaseMsg`] that
+//! unlocks the scope, and the Alg. 5 snapshot markers ride data messages
+//! in channel order.
 
 use bytes::{Bytes, BytesMut};
 use graphlab_graph::{EdgeId, LockType, MachineId, VertexId};

@@ -1,0 +1,360 @@
+//! Message batching/coalescing on top of the fabric (§4.2.2, and the
+//! arXiv version's description of aggregating small lock/schedule RPCs).
+//!
+//! The engines' hot path is dominated by small control messages — lock
+//! chain hops, grants, schedule requests, write-backs — each paying
+//! [`crate::cluster::HEADER_BYTES`] of framing and one trip through the
+//! delivery heap. A [`Batcher`] wraps an [`Endpoint`] and coalesces
+//! messages bound for the same machine into one envelope:
+//!
+//! - `send` appends to a per-destination queue and flushes it when the
+//!   [`BatchPolicy`] thresholds (message count or payload bytes) are hit;
+//! - oversized payloads flush their queue first (order!) and go out
+//!   unbatched;
+//! - every *blocking* receive flushes all queues, so a machine never
+//!   sleeps on replies to requests it has not put on the wire yet —
+//!   batching can therefore never deadlock an engine;
+//! - received [`K_BATCH`] envelopes are transparently unpacked, in order,
+//!   into the individual messages.
+//!
+//! Because each queue is FIFO and the fabric guarantees per-channel FIFO
+//! delivery of the batch envelopes themselves, routing *all* traffic to a
+//! destination through the batcher preserves the exact per-channel order
+//! the unbatched engines relied on.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use graphlab_graph::MachineId;
+
+use crate::cluster::{Endpoint, Envelope, RecvError};
+
+/// Reserved message kind for a batch envelope. Application tag spaces must
+/// not use it (the engines use `1..=39`; see `graphlab-core::messages`).
+pub const K_BATCH: u16 = u16::MAX;
+
+/// Per-submessage framing inside a batch envelope: kind (u16) + len (u32).
+pub const SUB_HEADER_BYTES: usize = 6;
+
+/// Flush policy for a [`Batcher`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Master switch; `false` makes the batcher a transparent pass-through.
+    pub enabled: bool,
+    /// Flush a destination queue once its buffered bytes reach this bound;
+    /// payloads at least this large bypass batching entirely.
+    pub max_bytes: usize,
+    /// Flush a destination queue once it holds this many messages.
+    pub max_msgs: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { enabled: true, max_bytes: 16 * 1024, max_msgs: 64 }
+    }
+}
+
+impl BatchPolicy {
+    /// A pass-through policy: every message goes out individually
+    /// (ablation / traffic-accounting baselines).
+    pub fn disabled() -> Self {
+        BatchPolicy { enabled: false, ..BatchPolicy::default() }
+    }
+}
+
+struct Queue {
+    buf: BytesMut,
+    count: usize,
+}
+
+/// Counters describing what the batcher did (diagnostics; the wire-level
+/// truth lives in [`crate::cluster::NetStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Messages that left the machine inside a multi-message batch
+    /// envelope (a queued message whose flush unwraps it solo moves to
+    /// `unbatched` instead).
+    pub queued: u64,
+    /// Batch envelopes flushed (with ≥ 2 messages inside).
+    pub batches: u64,
+    /// Messages sent individually (pass-through, oversized, self-sends,
+    /// or single-message flushes).
+    pub unbatched: u64,
+}
+
+/// A batching send/receive façade over an [`Endpoint`].
+pub struct Batcher {
+    ep: Endpoint,
+    policy: BatchPolicy,
+    queues: Vec<Queue>,
+    /// Messages unpacked from a received batch, drained before the socket.
+    pending: VecDeque<Envelope>,
+    counters: BatchCounters,
+}
+
+impl Batcher {
+    /// Wraps `ep` with the given flush policy.
+    pub fn new(ep: Endpoint, policy: BatchPolicy) -> Self {
+        let n = ep.num_machines();
+        Batcher {
+            ep,
+            policy,
+            queues: (0..n).map(|_| Queue { buf: BytesMut::new(), count: 0 }).collect(),
+            pending: VecDeque::new(),
+            counters: BatchCounters::default(),
+        }
+    }
+
+    /// The wrapped endpoint's machine id.
+    pub fn id(&self) -> MachineId {
+        self.ep.id()
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.ep.num_machines()
+    }
+
+    /// Batching diagnostics so far.
+    pub fn counters(&self) -> BatchCounters {
+        self.counters
+    }
+
+    /// Queues (or sends) `payload` to `dst`. Messages to one destination
+    /// are delivered in send order regardless of how they are packed.
+    pub fn send(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        debug_assert!(kind != K_BATCH, "K_BATCH is reserved for the transport");
+        if !self.policy.enabled || dst == self.ep.id() {
+            self.counters.unbatched += 1;
+            self.ep.send(dst, kind, payload);
+            return;
+        }
+        if payload.len() >= self.policy.max_bytes {
+            // Oversized: drain everything queued ahead of it, then send
+            // unbatched so the big blob does not get copied again.
+            self.flush(dst);
+            self.counters.unbatched += 1;
+            self.ep.send(dst, kind, payload);
+            return;
+        }
+        let q = &mut self.queues[dst.index()];
+        q.buf.put_u16_le(kind);
+        q.buf.put_u32_le(payload.len() as u32);
+        q.buf.put_slice(&payload);
+        q.count += 1;
+        self.counters.queued += 1;
+        if q.count >= self.policy.max_msgs || q.buf.len() >= self.policy.max_bytes {
+            self.flush(dst);
+        }
+    }
+
+    /// Sends `payload` to every *other* machine (through the queues).
+    pub fn broadcast(&mut self, kind: u16, payload: &Bytes) {
+        for i in 0..self.num_machines() {
+            let dst = MachineId::from(i);
+            if dst != self.ep.id() {
+                self.send(dst, kind, payload.clone());
+            }
+        }
+    }
+
+    /// Puts everything queued for `dst` on the wire.
+    pub fn flush(&mut self, dst: MachineId) {
+        let q = &mut self.queues[dst.index()];
+        if q.count == 0 {
+            return;
+        }
+        let count = q.count;
+        q.count = 0;
+        let mut buf = std::mem::take(&mut q.buf).freeze();
+        // Right-size the replacement up front so the next batch does not
+        // re-grow from zero through repeated doublings.
+        q.buf.reserve(self.policy.max_bytes);
+        if count == 1 {
+            // A batch of one is pure overhead: unwrap it.
+            let kind = buf.get_u16_le();
+            let len = buf.get_u32_le() as usize;
+            let payload = buf.copy_to_bytes(len);
+            self.counters.unbatched += 1;
+            self.counters.queued -= 1;
+            self.ep.send(dst, kind, payload);
+        } else {
+            self.counters.batches += 1;
+            self.ep.send(dst, K_BATCH, buf);
+        }
+    }
+
+    /// Flushes every destination queue.
+    pub fn flush_all(&mut self) {
+        for i in 0..self.queues.len() {
+            self.flush(MachineId::from(i));
+        }
+    }
+
+    /// Blocking receive with timeout. Flushes all queues before actually
+    /// waiting on the socket — a machine about to sleep must have its
+    /// outgoing requests on the wire. Returning an already-available
+    /// message (pending batch contents or a non-empty inbox) does not
+    /// flush, so replies generated across a burst keep coalescing; the
+    /// size/count thresholds bound how long they can sit.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Envelope, RecvError> {
+        if let Some(env) = self.pending.pop_front() {
+            return Ok(env);
+        }
+        match self.ep.try_recv() {
+            Ok(env) => return Ok(self.unpack_first(env)),
+            Err(RecvError::Disconnected) => return Err(RecvError::Disconnected),
+            Err(RecvError::Timeout) => {}
+        }
+        self.flush_all();
+        let env = self.ep.recv_timeout(timeout)?;
+        Ok(self.unpack_first(env))
+    }
+
+    /// Non-blocking receive (does not flush: callers drain bursts between
+    /// blocking receives, which do).
+    pub fn try_recv(&mut self) -> Result<Envelope, RecvError> {
+        if let Some(env) = self.pending.pop_front() {
+            return Ok(env);
+        }
+        let env = self.ep.try_recv()?;
+        Ok(self.unpack_first(env))
+    }
+
+    fn unpack_first(&mut self, env: Envelope) -> Envelope {
+        if env.kind != K_BATCH {
+            return env;
+        }
+        debug_assert!(self.pending.is_empty());
+        let mut buf = env.payload;
+        while buf.has_remaining() {
+            let kind = buf.get_u16_le();
+            let len = buf.get_u32_le() as usize;
+            let payload = buf.copy_to_bytes(len);
+            self.pending.push_back(Envelope { src: env.src, dst: env.dst, kind, payload });
+        }
+        self.pending.pop_front().expect("batch envelope holds at least one message")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::SimNet;
+    use crate::latency::LatencyModel;
+
+    fn pair(policy: BatchPolicy) -> (SimNet, Batcher, Batcher) {
+        let (net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
+        let b1 = Batcher::new(eps.pop().unwrap(), policy);
+        let b0 = Batcher::new(eps.pop().unwrap(), policy);
+        (net, b0, b1)
+    }
+
+    #[test]
+    fn coalesces_and_preserves_order() {
+        let (net, mut b0, mut b1) = pair(BatchPolicy::default());
+        for k in 0..10u16 {
+            b0.send(MachineId(1), k, Bytes::from(vec![k as u8; 8]));
+        }
+        b0.flush_all();
+        for k in 0..10u16 {
+            let env = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.kind, k);
+            assert_eq!(&env.payload[..], &vec![k as u8; 8][..]);
+            assert_eq!(env.src, MachineId(0));
+        }
+        // All ten rode in one envelope.
+        assert_eq!(net.stats().total_msgs(), 1);
+        assert_eq!(b0.counters().batches, 1);
+    }
+
+    #[test]
+    fn count_threshold_triggers_flush() {
+        let policy = BatchPolicy { max_msgs: 3, ..BatchPolicy::default() };
+        let (net, mut b0, _b1) = pair(policy);
+        for k in 0..3u16 {
+            b0.send(MachineId(1), k, Bytes::new());
+        }
+        assert_eq!(net.stats().total_msgs(), 1, "auto-flush at max_msgs");
+    }
+
+    #[test]
+    fn byte_threshold_triggers_flush() {
+        let policy = BatchPolicy { max_bytes: 100, ..BatchPolicy::default() };
+        let (net, mut b0, _b1) = pair(policy);
+        b0.send(MachineId(1), 0, Bytes::from(vec![0u8; 60]));
+        assert_eq!(net.stats().total_msgs(), 0, "still buffered");
+        b0.send(MachineId(1), 1, Bytes::from(vec![0u8; 60]));
+        assert_eq!(net.stats().total_msgs(), 1, "auto-flush at max_bytes");
+    }
+
+    #[test]
+    fn oversized_payload_flushes_queue_first() {
+        let policy = BatchPolicy { max_bytes: 64, ..BatchPolicy::default() };
+        let (_net, mut b0, mut b1) = pair(policy);
+        b0.send(MachineId(1), 0, Bytes::from(vec![1u8; 8]));
+        b0.send(MachineId(1), 1, Bytes::from(vec![2u8; 256])); // oversized
+        b0.flush_all();
+        // Order preserved: queued small message first, then the big one.
+        let a = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+        let b = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!((a.kind, b.kind), (0, 1));
+        assert_eq!(b.payload.len(), 256);
+    }
+
+    #[test]
+    fn single_message_flush_is_unwrapped() {
+        let (net, mut b0, mut b1) = pair(BatchPolicy::default());
+        b0.send(MachineId(1), 7, Bytes::from_static(b"solo"));
+        b0.flush_all();
+        let env = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.kind, 7);
+        // No K_BATCH framing was paid for a lone message.
+        assert_eq!(
+            net.stats().machine(MachineId(0)).bytes_sent,
+            (crate::cluster::HEADER_BYTES + 4) as u64
+        );
+    }
+
+    #[test]
+    fn disabled_policy_is_pass_through() {
+        let (net, mut b0, mut b1) = pair(BatchPolicy::disabled());
+        for k in 0..5u16 {
+            b0.send(MachineId(1), k, Bytes::new());
+        }
+        assert_eq!(net.stats().total_msgs(), 5);
+        for k in 0..5u16 {
+            assert_eq!(b1.recv_timeout(Duration::from_secs(1)).unwrap().kind, k);
+        }
+    }
+
+    #[test]
+    fn self_sends_bypass_queues() {
+        let (_net, mut b0, _b1) = pair(BatchPolicy::default());
+        b0.send(MachineId(0), 9, Bytes::from_static(b"me"));
+        let env = b0.try_recv().unwrap();
+        assert_eq!(env.kind, 9);
+    }
+
+    #[test]
+    fn blocking_recv_flushes_pending_sends() {
+        // Two batchers ping-pong: each send sits in a queue until the
+        // sender blocks in recv_timeout — no explicit flush calls needed.
+        let (_net, mut b0, mut b1) = pair(BatchPolicy::default());
+        let h = std::thread::spawn(move || {
+            for _ in 0..5 {
+                let env = b1.recv_timeout(Duration::from_secs(5)).unwrap();
+                b1.send(env.src, env.kind + 100, env.payload);
+            }
+            // Final replies flush when this side blocks one more time.
+            let _ = b1.recv_timeout(Duration::from_millis(10));
+        });
+        for k in 0..5u16 {
+            b0.send(MachineId(1), k, Bytes::from_static(b"ping"));
+            let reply = b0.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(reply.kind, k + 100);
+        }
+        h.join().unwrap();
+    }
+}

@@ -5,8 +5,29 @@
 //! non-blocking (channels are unbounded, like the paper's asynchronous RPC
 //! over TCP); receiving blocks with optional timeout. When the
 //! [`LatencyModel`] is non-zero a dedicated delivery thread holds messages
-//! in a deliver-at-ordered heap, preserving per-sender FIFO order for equal
-//! delays (ties broken by send sequence number).
+//! in a deliver-at-ordered heap.
+//!
+//! # Delivery guarantees
+//!
+//! 1. **Per-channel FIFO.** Messages from machine A to machine B are
+//!    delivered in send order under *every* latency model. Each (src, dst)
+//!    channel tracks the delivery time of its last-scheduled message and
+//!    clamps successors to be no earlier, so a small message can never
+//!    overtake a large or unluckily-jittered predecessor on the same
+//!    channel — the property TCP gives the paper's RPC layer, and which
+//!    both engines' protocols (schedule-before-release, the Alg. 5
+//!    snapshot marker, the chromatic counting flush) depend on.
+//! 2. **Bandwidth-serialized links.** A channel transmits one message at a
+//!    time: `per_kib` charges *queueing* delay, not just propagation. A
+//!    burst of scope-data transfers occupies the link back-to-back and
+//!    realistically delays the grants queued behind it.
+//! 3. **No cross-channel ordering.** Messages from different senders (or
+//!    to different destinations) may interleave arbitrarily, exactly like
+//!    independent TCP connections.
+//!
+//! Traffic accounting: `*_sent` counters are charged at send time,
+//! `*_received` at actual delivery into the destination inbox — messages
+//! still in flight at shutdown are never counted as received.
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -135,6 +156,24 @@ impl Ord for Delayed {
     }
 }
 
+/// Send-side state of one (src, dst) channel: the link is modelled as a
+/// serial pipe, so each message queues behind the previous one.
+struct ChannelState {
+    /// When the link finishes transmitting the last message queued on it.
+    free_at: Instant,
+    /// Delivery time of the last message scheduled on this channel; every
+    /// successor is clamped to be no earlier (per-channel FIFO).
+    last_deliver_at: Instant,
+}
+
+/// Send-side state shared under one lock: the jitter RNG, the global send
+/// sequence (heap tie-break), and one [`ChannelState`] per destination.
+struct SendState {
+    jitter: u64,
+    seq: u64,
+    channels: Vec<ChannelState>,
+}
+
 /// One machine's handle on the fabric.
 pub struct Endpoint {
     id: MachineId,
@@ -145,8 +184,7 @@ pub struct Endpoint {
     latency: LatencyModel,
     stats: Arc<NetStats>,
     // Send-side state; endpoints are owned by exactly one machine thread.
-    jitter_state: Mutex<u64>,
-    seq: AtomicU64,
+    send_state: Mutex<SendState>,
 }
 
 impl Endpoint {
@@ -175,25 +213,40 @@ impl Endpoint {
         if dst != self.id {
             self.stats.bytes_sent[self.id.index()].fetch_add(wire, Ordering::Relaxed);
             self.stats.msgs_sent[self.id.index()].fetch_add(1, Ordering::Relaxed);
-            self.stats.bytes_received[dst.index()].fetch_add(wire, Ordering::Relaxed);
-            self.stats.msgs_received[dst.index()].fetch_add(1, Ordering::Relaxed);
         }
         match (&self.delay_tx, dst == self.id) {
             (Some(delay), false) => {
-                let d = {
-                    let mut st = self.jitter_state.lock();
-                    self.latency.delay(env.wire_bytes(), &mut st)
-                };
-                let delayed = Delayed {
-                    deliver_at: Instant::now() + d,
-                    seq: self.seq.fetch_add(1, Ordering::Relaxed),
-                    env,
-                };
-                // Delivery thread gone => cluster shutting down; drop.
-                let _ = delay.send(delayed);
+                let mut st = self.send_state.lock();
+                let now = Instant::now();
+                let tx = self.latency.transmit_time(env.wire_bytes());
+                let prop = self.latency.propagation_delay(&mut st.jitter);
+                let seq = st.seq;
+                st.seq += 1;
+                let ch = &mut st.channels[dst.index()];
+                // Link serialization: transmission starts when the channel
+                // is free, charging queueing delay behind earlier
+                // (possibly large) messages.
+                let start = ch.free_at.max(now);
+                ch.free_at = start + tx;
+                // FIFO clamp: jitter must not let this message arrive
+                // before its channel predecessor.
+                let deliver_at = (ch.free_at + prop).max(ch.last_deliver_at);
+                ch.last_deliver_at = deliver_at;
+                // The push to the delivery thread stays under the lock:
+                // heap-insertion order must match schedule order, or a
+                // concurrent sender on the same channel could get its
+                // later message delivered while this one is in transit to
+                // the heap. Delivery thread gone => shutting down; drop.
+                let _ = delay.send(Delayed { deliver_at, seq, env });
             }
             _ => {
-                let _ = self.direct[dst.index()].send(env);
+                if dst == self.id {
+                    // Self-sends are free and always deliverable (we hold
+                    // the receiver); skip the counters entirely.
+                    let _ = self.direct[dst.index()].send(env);
+                } else {
+                    deliver(&self.direct, &self.stats, env);
+                }
             }
         }
     }
@@ -260,13 +313,15 @@ impl SimNet {
         } else {
             let (dtx, drx) = channel::unbounded::<Delayed>();
             let inboxes = txs.clone();
+            let dstats = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name("simnet-delivery".into())
-                .spawn(move || delivery_loop(drx, inboxes))
+                .spawn(move || delivery_loop(drx, inboxes, dstats))
                 .expect("spawn delivery thread");
             (Some(dtx), Some(handle))
         };
 
+        let epoch = Instant::now();
         let endpoints = rxs
             .into_iter()
             .enumerate()
@@ -278,8 +333,13 @@ impl SimNet {
                 delay_tx: delay_tx.clone(),
                 latency,
                 stats: Arc::clone(&stats),
-                jitter_state: Mutex::new(seed ^ (i as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
-                seq: AtomicU64::new(0),
+                send_state: Mutex::new(SendState {
+                    jitter: seed ^ (i as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407),
+                    seq: 0,
+                    channels: (0..n)
+                        .map(|_| ChannelState { free_at: epoch, last_deliver_at: epoch })
+                        .collect(),
+                }),
             })
             .collect();
 
@@ -302,7 +362,23 @@ impl Drop for SimNet {
     }
 }
 
-fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>) {
+/// Hands `env` to its destination inbox and charges the receive counters.
+/// Receives are counted here — at actual delivery — not at send time, so
+/// undeliverable messages (receiver already gone) never inflate the stats.
+/// The counters are bumped *before* the handoff (so a receiver that has the
+/// message always observes them) and rolled back if the inbox is gone.
+fn deliver(inboxes: &[Sender<Envelope>], stats: &NetStats, env: Envelope) {
+    let dst = env.dst.index();
+    let wire = env.wire_bytes() as u64;
+    stats.bytes_received[dst].fetch_add(wire, Ordering::Relaxed);
+    stats.msgs_received[dst].fetch_add(1, Ordering::Relaxed);
+    if inboxes[dst].send(env).is_err() {
+        stats.bytes_received[dst].fetch_sub(wire, Ordering::Relaxed);
+        stats.msgs_received[dst].fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>, stats: Arc<NetStats>) {
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     loop {
         // Deliver everything due.
@@ -310,7 +386,7 @@ fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>) {
         while let Some(top) = heap.peek() {
             if top.deliver_at <= now {
                 let d = heap.pop().expect("peeked");
-                let _ = inboxes[d.env.dst.index()].send(d.env);
+                deliver(&inboxes, &stats, d.env);
             } else {
                 break;
             }
@@ -324,14 +400,9 @@ fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>) {
             Ok(d) => heap.push(d),
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
-                // Flush remaining messages in order, then exit.
-                while let Some(d) = heap.pop() {
-                    let remaining = d.deliver_at.saturating_duration_since(Instant::now());
-                    if !remaining.is_zero() {
-                        std::thread::sleep(remaining);
-                    }
-                    let _ = inboxes[d.env.dst.index()].send(d.env);
-                }
+                // Every endpoint (and with it every inbox receiver) is
+                // gone, so nothing in the heap can be received: drop the
+                // backlog without counting it as delivered.
                 return;
             }
         }
@@ -404,6 +475,107 @@ mod tests {
             assert_eq!(env.kind, i, "FIFO preserved under equal latency");
         }
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn small_message_cannot_overtake_large_one() {
+        // Regression for the headline ISSUE 2 bug: with a bandwidth term
+        // (and jitter), a 64 KiB message used to get a much later
+        // deliver-at than the tiny messages sent right after it, so the
+        // heap reordered the channel. The FIFO clamp forbids that.
+        let model = LatencyModel {
+            fixed: Duration::from_micros(100),
+            per_kib: Duration::from_micros(50),
+            jitter: Duration::from_micros(30),
+        };
+        let (_net, eps) = SimNet::new(2, model);
+        eps[0].send(MachineId(1), 0, Bytes::from(vec![0u8; 64 * 1024]));
+        for k in 1..=8u16 {
+            eps[0].send(MachineId(1), k, Bytes::new());
+        }
+        for k in 0..=8u16 {
+            let env = eps[1].recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(env.kind, k, "per-channel FIFO violated");
+        }
+    }
+
+    #[test]
+    fn link_serialization_charges_queueing_delay() {
+        // Two 8 KiB messages back-to-back on a 1 ms/KiB link: the second
+        // transmission starts only when the first ends, so it cannot be
+        // delivered before ~16 ms even though its own tx time is 8 ms.
+        let model = LatencyModel {
+            fixed: Duration::ZERO,
+            per_kib: Duration::from_millis(1),
+            jitter: Duration::ZERO,
+        };
+        let (_net, eps) = SimNet::new(2, model);
+        let payload = vec![0u8; 8 * 1024 - HEADER_BYTES];
+        let start = Instant::now();
+        eps[0].send(MachineId(1), 0, Bytes::from(payload.clone()));
+        eps[0].send(MachineId(1), 1, Bytes::from(payload));
+        let first = eps[1].recv_timeout(Duration::from_secs(10)).unwrap();
+        let t_first = start.elapsed();
+        let second = eps[1].recv_timeout(Duration::from_secs(10)).unwrap();
+        let t_second = start.elapsed();
+        assert_eq!((first.kind, second.kind), (0, 1));
+        assert!(t_first >= Duration::from_millis(8), "first tx takes 8 ms, got {t_first:?}");
+        assert!(t_second >= Duration::from_millis(16), "second queues behind first, got {t_second:?}");
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        // Serialization is per-channel: a huge transfer to machine 1 must
+        // not delay a tiny message to machine 2. Deterministic check (no
+        // wall-clock upper bound): the tiny message arrives while the big
+        // one — whose transmission takes ~2 s of simulated link time — is
+        // still undelivered.
+        let model = LatencyModel {
+            fixed: Duration::ZERO,
+            per_kib: Duration::from_millis(2),
+            jitter: Duration::ZERO,
+        };
+        let (_net, eps) = SimNet::new(3, model);
+        eps[0].send(MachineId(1), 0, Bytes::from(vec![0u8; 1024 * 1024])); // ~2 s tx
+        eps[0].send(MachineId(2), 1, Bytes::new());
+        let env = eps[2].recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(env.kind, 1);
+        assert_eq!(
+            eps[1].try_recv().unwrap_err(),
+            RecvError::Timeout,
+            "big transfer should still be in flight: cross-channel head-of-line blocking"
+        );
+    }
+
+    #[test]
+    fn undelivered_messages_are_not_counted_received() {
+        // ISSUE 2 satellite: receive counters are charged at delivery, so
+        // a message still in the delay heap when the cluster shuts down
+        // must not show up as received.
+        let (net, mut eps) = SimNet::new(2, LatencyModel::fixed(Duration::from_millis(250)));
+        let stats = Arc::clone(net.stats());
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e0.send(MachineId(1), 3, Bytes::from(vec![0u8; 64]));
+        assert_eq!(stats.machine(MachineId(0)).msgs_sent, 1);
+        drop(e1); // receiver gone before the 250 ms delivery fires
+        drop(e0);
+        drop(net); // joins the delivery thread
+        let t1 = stats.machine(MachineId(1));
+        assert_eq!(t1.msgs_received, 0, "in-flight message counted as received");
+        assert_eq!(t1.bytes_received, 0);
+    }
+
+    #[test]
+    fn delayed_receive_counters_match_after_delivery() {
+        let (net, eps) = SimNet::new(2, LatencyModel::fixed(Duration::from_millis(1)));
+        eps[0].send(MachineId(1), 0, Bytes::from(vec![0u8; 100]));
+        eps[1].recv_timeout(Duration::from_secs(5)).unwrap();
+        // The delivery thread bumps the counters before the inbox handoff,
+        // so they are visible once recv returns.
+        let t1 = net.stats().machine(MachineId(1));
+        assert_eq!(t1.msgs_received, 1);
+        assert_eq!(t1.bytes_received, (100 + HEADER_BYTES) as u64);
     }
 
     #[test]

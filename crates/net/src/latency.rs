@@ -4,9 +4,14 @@
 //! and data synchronisation, so the simulator must actually impose latency
 //! for the pipelining experiments (Fig. 3(b), Fig. 8(b)) to be meaningful.
 //!
-//! The model charges each message `fixed + per_kib × ⌈size⌉ ± jitter`.
-//! Jitter is drawn from a deterministic xorshift stream so runs are
-//! reproducible without pulling a RNG dependency into the hot send path.
+//! The model charges each message a *transmission* term `per_kib × ⌈size⌉`
+//! (the link is occupied for that long — see
+//! [`LatencyModel::transmit_time`]) plus a *propagation* term
+//! `fixed + jitter` ([`LatencyModel::propagation_delay`]). Jitter is
+//! one-sided — drawn uniformly from `[0, jitter]` and **added**; it never
+//! delivers a message early — from a deterministic xorshift stream so runs
+//! are reproducible without pulling a RNG dependency into the hot send
+//! path.
 
 use std::time::Duration;
 
@@ -15,9 +20,12 @@ use std::time::Duration;
 pub struct LatencyModel {
     /// Fixed one-way latency applied to every message.
     pub fixed: Duration,
-    /// Additional delay per KiB of payload (bandwidth term).
+    /// Additional delay per KiB of payload (bandwidth term). This is
+    /// *transmission* time: the link is busy for this long, so queued
+    /// messages behind a large one are charged its serialization delay.
     pub per_kib: Duration,
-    /// Maximum symmetric jitter (uniform in `[0, jitter]`, added).
+    /// Maximum jitter: a one-sided uniform draw from `[0, jitter]` that is
+    /// **added** to the propagation delay (delivery is never early).
     pub jitter: Duration,
 }
 
@@ -51,17 +59,33 @@ impl LatencyModel {
         self.fixed.is_zero() && self.per_kib.is_zero() && self.jitter.is_zero()
     }
 
-    /// Delay for a message of `bytes` bytes. `rng_state` is the caller's
-    /// xorshift state (mutated).
-    pub fn delay(&self, bytes: usize, rng_state: &mut u64) -> Duration {
+    /// Time the link is *occupied* transmitting a message of `bytes`
+    /// bytes (the bandwidth term). The fabric serializes a channel's
+    /// messages, so this also charges queueing delay to whatever is sent
+    /// behind it.
+    pub fn transmit_time(&self, bytes: usize) -> Duration {
         let kib = bytes.div_ceil(1024) as u32;
-        let mut d = self.fixed + self.per_kib * kib;
+        self.per_kib * kib
+    }
+
+    /// Propagation delay for one message: `fixed` plus a one-sided jitter
+    /// draw from `[0, jitter]`. `rng_state` is the caller's xorshift state
+    /// (mutated). Independent of message size.
+    pub fn propagation_delay(&self, rng_state: &mut u64) -> Duration {
+        let mut d = self.fixed;
         if !self.jitter.is_zero() {
             let r = xorshift64(rng_state);
             let frac = (r >> 11) as f64 / (1u64 << 53) as f64;
             d += Duration::from_nanos((self.jitter.as_nanos() as f64 * frac) as u64);
         }
         d
+    }
+
+    /// Total one-message delay on an otherwise idle link: transmission
+    /// plus propagation. (On a busy link the fabric additionally charges
+    /// queueing behind earlier messages.)
+    pub fn delay(&self, bytes: usize, rng_state: &mut u64) -> Duration {
+        self.transmit_time(bytes) + self.propagation_delay(rng_state)
     }
 }
 
@@ -123,6 +147,40 @@ mod tests {
             assert_eq!(d1, d2);
             assert!(d1 >= Duration::from_micros(50));
             assert!(d1 <= Duration::from_micros(60));
+        }
+    }
+
+    #[test]
+    fn transmit_and_propagation_partition_the_delay() {
+        let m = LatencyModel {
+            fixed: Duration::from_micros(100),
+            per_kib: Duration::from_micros(10),
+            jitter: Duration::from_micros(25),
+        };
+        assert_eq!(m.transmit_time(0), Duration::ZERO);
+        assert_eq!(m.transmit_time(2048), Duration::from_micros(20));
+        let mut s1 = 99u64;
+        let mut s2 = 99u64;
+        assert_eq!(
+            m.delay(2048, &mut s1),
+            m.transmit_time(2048) + m.propagation_delay(&mut s2)
+        );
+    }
+
+    #[test]
+    fn jitter_is_one_sided_and_bounded() {
+        // The doc contract: jitter only ever *adds* delay, uniform in
+        // [0, jitter]; propagation never undercuts `fixed`.
+        let m = LatencyModel {
+            fixed: Duration::from_micros(70),
+            per_kib: Duration::ZERO,
+            jitter: Duration::from_micros(15),
+        };
+        let mut s = 1234u64;
+        for _ in 0..500 {
+            let d = m.propagation_delay(&mut s);
+            assert!(d >= m.fixed, "jitter must never deliver early: {d:?}");
+            assert!(d <= m.fixed + m.jitter, "jitter exceeds bound: {d:?}");
         }
     }
 

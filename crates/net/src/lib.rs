@@ -18,6 +18,30 @@
 //!    per-message latency (fixed + size-proportional + deterministic
 //!    jitter), which is what makes pipelining (§4.2.2) matter.
 //!
+//! ## Delivery guarantees
+//!
+//! The fabric models each (src, dst) pair as an independent TCP-like
+//! channel and guarantees, under **every** latency model:
+//!
+//! - **Per-channel FIFO**: messages from A to B arrive in send order. A
+//!   channel's messages are clamped so no successor is scheduled to
+//!   deliver before its predecessor, even when bandwidth or jitter terms
+//!   would say otherwise.
+//! - **Bandwidth serialization**: a channel transmits one message at a
+//!   time; `per_kib` charges queueing delay behind earlier messages, not
+//!   just propagation.
+//! - **No cross-channel ordering**: distinct channels interleave freely.
+//!
+//! Engine protocols may (and do) rely on per-channel ordering: the
+//! locking engine's schedule-before-release invariant, the asynchronous
+//! Chandy-Lamport snapshot marker (Alg. 5), and the chromatic engine's
+//! counting flush all assume it. See [`cluster`] for details.
+//!
+//! A batching layer ([`batch::Batcher`]) coalesces small control messages
+//! bound for the same machine into one envelope (flushed by size/count
+//! thresholds and before every blocking receive), preserving per-channel
+//! order; the kind [`batch::K_BATCH`] is reserved for it.
+//!
 //! The crate also provides the two distributed-coordination state machines
 //! the engines are built from: a marker/token termination detector
 //! ([`termination::Safra`], the algorithm of Misra [26] in its
@@ -25,12 +49,14 @@
 //! ([`barrier::BarrierMaster`]).
 
 pub mod barrier;
+pub mod batch;
 pub mod cluster;
 pub mod codec;
 pub mod latency;
 pub mod termination;
 
 pub use barrier::BarrierMaster;
+pub use batch::{BatchCounters, BatchPolicy, Batcher, K_BATCH};
 pub use cluster::{Endpoint, Envelope, MachineTraffic, NetStats, RecvError, SimNet};
 pub use codec::{decode_from, encode_to_bytes, Codec};
 pub use latency::LatencyModel;
