@@ -31,7 +31,7 @@ use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
-use crate::local::LocalGraph;
+use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
 use crate::reference::InitialSchedule;
 use crate::snapshot::{snap_file_name, SnapshotFile};
@@ -54,6 +54,17 @@ pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     setup: MachineSetup<V, E, U>,
     globals: GlobalRegistry,
     num_colors: u32,
+    /// Owner-side ghost version table over the exchange path.
+    ///
+    /// The chromatic exchange is *push-based*: every ghost push follows a
+    /// strictly newer version bump, so — unlike the locking engine's
+    /// pull-based scope sync — direct pushes are already version-minimal
+    /// by construction and carry no guard here. The table earns its keep
+    /// on the **write-back fan-out**: a write-back source is noted at the
+    /// bumped version, and forwards go only to mirrors whose known version
+    /// is older, which is the version-aware generalisation of "do not
+    /// bounce the data back to its writer".
+    cache: RemoteCacheTable,
 
     // Task queues, one per colour; `queued` dedups.
     queues: Vec<VecDeque<u32>>,
@@ -98,6 +109,9 @@ where
         let m = lg.num_machines();
         let net = Batcher::new(ep, setup.config.batch);
         ChromaticMachine {
+            // Edge slots unused: edges have exactly two replicas, so an
+            // edge write-back never fans out.
+            cache: RemoteCacheTable::new(m, nv, 0),
             queues: (0..num_colors).map(|_| VecDeque::new()).collect(),
             queued: vec![false; nv],
             pending_total: 0,
@@ -426,13 +440,17 @@ where
                 debug_assert!(self.lg.owns_vertex(l));
                 *self.lg.vertex_data_mut(l) = dec(t.inner.data);
                 let version = self.lg.bump_vertex_version(l);
-                // Forward to the other mirrors (phase 1 accounting).
+                // The writer holds exactly the data it sent us.
+                self.cache.note_v(env.src.index(), l, version);
+                // Forward to every mirror whose known version is older
+                // (phase 1 accounting) — version-aware exclusion of the
+                // writer itself.
                 let mirrors: Vec<MachineId> = self
                     .lg
                     .vertex_mirrors(l)
                     .iter()
                     .copied()
-                    .filter(|&mm| mm != env.src)
+                    .filter(|&mm| self.cache.v_known(mm.index(), l) < version)
                     .collect();
                 if !mirrors.is_empty() {
                     let payload = enc(&StepTagged {
@@ -446,6 +464,7 @@ where
                         },
                     });
                     for mm in mirrors {
+                        self.cache.note_v(mm.index(), l, version);
                         self.net.send(mm, K_CHROM_VDATA, payload.clone());
                         self.fwd_counts[mm.index()] += 1;
                     }

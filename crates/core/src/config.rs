@@ -62,8 +62,11 @@ pub struct EngineConfig {
     /// Message batching/coalescing policy: small control messages (lock
     /// hops, grants, schedule requests, write-backs) bound for the same
     /// machine ride one envelope. Flushed by size/count thresholds and
-    /// before every blocking receive. `BatchPolicy::disabled()` sends
-    /// every message individually (ablation baseline).
+    /// before every blocking receive. `BatchPolicy::compress` additionally
+    /// LZ-compresses envelopes above `compress_min` bytes (on by default);
+    /// `BatchPolicy::uncompressed()` keeps batching but ships raw bytes,
+    /// `BatchPolicy::disabled()` sends every message individually and raw
+    /// (ablation baselines).
     pub batch: BatchPolicy,
     /// Maximum outstanding lock requests per machine (§4.2.2 pipelining).
     pub max_pipeline: usize,
@@ -84,7 +87,8 @@ pub struct EngineConfig {
     /// data — the "non-serializable (racing)" execution the paper shows is
     /// unstable for dynamic ALS. Locking engine only.
     pub racing: bool,
-    /// Ablation (DESIGN.md D4): disable the ghost-cache version filter so
+    /// Ablation (DESIGN.md D4): disable the version-aware delta scope sync
+    /// (the owner-side remote-cache table and its "unchanged" markers) so
     /// every lock grant re-sends the full scope data even when unchanged.
     pub no_version_filter: bool,
     /// Seed for partitioning and tie-breaking.

@@ -212,6 +212,7 @@ where
         updates_timeline,
         bytes_sent_per_machine: stats.all().iter().map(|t| t.bytes_sent).collect(),
         total_messages: stats.total_msgs(),
+        bytes_by_kind: stats.by_kind(),
         steps,
         snapshots,
     };

@@ -42,7 +42,7 @@ pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
 pub use graphlab_net::BatchPolicy;
 pub use driver::{run_chromatic, run_locking, DistributedGraph, EngineOutput, PartitionStrategy};
 pub use globals::GlobalRegistry;
-pub use local::{LocalAdjEntry, LocalGraph};
+pub use local::{LocalAdjEntry, LocalGraph, RemoteCacheTable};
 pub use metrics::EngineMetrics;
 pub use reference::{run_sequential, InitialSchedule, SequentialConfig};
 pub use scheduler::{Scheduler, SchedulerKind};

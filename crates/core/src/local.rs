@@ -442,6 +442,81 @@ impl<V, E> LocalGraph<V, E> {
     }
 }
 
+/// Owner-side table of the highest data version each remote machine is
+/// known to hold for each locally-stored datum — the responder half of the
+/// §4.2.2 ghost-cache versioning scheme ("eliminating the transmission of
+/// unchanged or constant data").
+///
+/// Entries are advanced on exactly two events, both of which ride FIFO
+/// channels so the remote copy is guaranteed current by the time any later
+/// message from this machine is processed there:
+///
+/// 1. a scope-data row is shipped to machine `m` (it will apply it before
+///    executing the scope that requested it), and
+/// 2. a write-back from machine `m` is applied (the writer holds exactly
+///    the data it wrote).
+///
+/// **Invalidation**: local writes bump the datum's version, which makes
+/// every machine's entry stale automatically (entry < current ⇒ resend);
+/// [`RemoteCacheTable::invalidate_all`] additionally drops every
+/// assumption, used conservatively at snapshot boundaries so a checkpoint
+/// cut never depends on residency bookkeeping. Entries start at 0, which
+/// is *valid* knowledge: version-0 data is the ingress-loaded initial
+/// value every machine already holds.
+#[derive(Debug)]
+pub struct RemoteCacheTable {
+    nv: usize,
+    ne: usize,
+    v: Vec<u64>,
+    e: Vec<u64>,
+}
+
+impl RemoteCacheTable {
+    /// A table for `machines` peers over `nv` local vertices and `ne`
+    /// local edges, all initialised to version 0.
+    pub fn new(machines: usize, nv: usize, ne: usize) -> Self {
+        RemoteCacheTable { nv, ne, v: vec![0; machines * nv], e: vec![0; machines * ne] }
+    }
+
+    /// Highest vertex version machine `m` is known to hold for local
+    /// vertex `lv`.
+    #[inline]
+    pub fn v_known(&self, m: usize, lv: u32) -> u64 {
+        self.v[m * self.nv + lv as usize]
+    }
+
+    /// Records that machine `m` holds at least version `ver` of `lv`.
+    #[inline]
+    pub fn note_v(&mut self, m: usize, lv: u32, ver: u64) {
+        let slot = &mut self.v[m * self.nv + lv as usize];
+        if ver > *slot {
+            *slot = ver;
+        }
+    }
+
+    /// Highest edge version machine `m` is known to hold for local edge
+    /// `le`.
+    #[inline]
+    pub fn e_known(&self, m: usize, le: u32) -> u64 {
+        self.e[m * self.ne + le as usize]
+    }
+
+    /// Records that machine `m` holds at least version `ver` of `le`.
+    #[inline]
+    pub fn note_e(&mut self, m: usize, le: u32, ver: u64) {
+        let slot = &mut self.e[m * self.ne + le as usize];
+        if ver > *slot {
+            *slot = ver;
+        }
+    }
+
+    /// Forgets everything: every subsequent sync re-sends ground truth.
+    pub fn invalidate_all(&mut self) {
+        self.v.fill(0);
+        self.e.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +627,27 @@ mod tests {
         let (vs, es) = lg.into_owned_data();
         assert_eq!(vs.len(), 3);
         assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn remote_cache_table_notes_are_monotone() {
+        let mut t = RemoteCacheTable::new(3, 4, 2);
+        assert_eq!(t.v_known(1, 2), 0);
+        t.note_v(1, 2, 5);
+        assert_eq!(t.v_known(1, 2), 5);
+        t.note_v(1, 2, 3); // stale note ignored
+        assert_eq!(t.v_known(1, 2), 5);
+        t.note_v(1, 2, 9);
+        assert_eq!(t.v_known(1, 2), 9);
+        // Other machines and other vertices are independent.
+        assert_eq!(t.v_known(0, 2), 0);
+        assert_eq!(t.v_known(1, 3), 0);
+        t.note_e(2, 1, 7);
+        assert_eq!(t.e_known(2, 1), 7);
+        assert_eq!(t.e_known(2, 0), 0);
+        t.invalidate_all();
+        assert_eq!(t.v_known(1, 2), 0);
+        assert_eq!(t.e_known(2, 1), 0);
     }
 
     #[test]

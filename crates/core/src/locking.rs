@@ -11,8 +11,13 @@
 //! Two latency-hiding techniques from the paper are implemented:
 //!
 //! 1. **Ghost caching with versioning** — each lock-chain hop attaches only
-//!    the scope data whose owner-side version is newer than the
-//!    requester's cached version.
+//!    the scope data whose owner-side version is newer than what the hop's
+//!    [`RemoteCacheTable`] says the requester already caches; skipped data
+//!    is acknowledged with compact "unchanged" markers. The table advances
+//!    on every row shipped and every write-back applied (both FIFO), so a
+//!    skipped row is always already resident at the requester by the time
+//!    its scope executes. It is conservatively invalidated at snapshot
+//!    boundaries.
 //! 2. **Pipelining** — every machine keeps up to `max_pipeline` lock
 //!    chains in flight; scopes whose locks and data have arrived are
 //!    executed by the machine loop while the rest of the pipeline fills
@@ -40,7 +45,7 @@ use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 use crate::config::SnapshotMode;
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
-use crate::local::LocalGraph;
+use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
 use crate::reference::InitialSchedule;
 use crate::scheduler::Scheduler;
@@ -227,6 +232,9 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     globals: GlobalRegistry,
     scheduler: Scheduler,
     locks: LockTable,
+    /// Owner-side ghost-cache version table: what every peer already holds
+    /// of this machine's data (delta scope sync, §4.2.2 versioning).
+    cache: RemoteCacheTable,
     hop_chains: HashMap<ChainKey, HopChain>,
     out_scopes: HashMap<u64, OutScope>,
     ready: VecDeque<u64>,
@@ -266,6 +274,9 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     m_final_sync_done: bool,
 
     // Misc.
+    /// Scope data confirmed current by an "unchanged" marker instead of a
+    /// full row (diagnostics).
+    rows_unchanged: u64,
     updates_local: u64,
     update_count_map: HashMap<VertexId, u64>,
     straggled: bool,
@@ -285,12 +296,14 @@ where
     ) -> Self {
         let lg = LocalGraph::from_init(init, None);
         let nv = lg.num_local_vertices();
+        let ne = lg.num_local_edges();
         let m = lg.num_machines();
         let machine = lg.machine();
         let net = Batcher::new(ep, setup.config.batch);
         LockingMachine {
             scheduler: Scheduler::new(setup.config.scheduler, nv),
             locks: LockTable::new(nv),
+            cache: RemoteCacheTable::new(m, nv, ne),
             hop_chains: HashMap::new(),
             out_scopes: HashMap::new(),
             ready: VecDeque::new(),
@@ -322,6 +335,7 @@ where
             m_sync_next_at: setup.config.sync_interval_updates,
             m_sync_outstanding: None,
             m_final_sync_done: false,
+            rows_unchanged: 0,
             updates_local: 0,
             update_count_map: HashMap::new(),
             straggled: false,
@@ -384,7 +398,7 @@ where
             iters += 1;
             if std::env::var_os("GRAPHLAB_DEBUG").is_some() && iters.is_multiple_of(500) {
                 eprintln!(
-                    "[m{}] iter={} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={}",
+                    "[m{}] iter={} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={} same_rows={}",
                     self.me().0,
                     iters,
                     self.scheduler.len(),
@@ -395,6 +409,7 @@ where
                     self.snap_paused,
                     self.m_halt_pending,
                     self.updates_local,
+                    self.rows_unchanged,
                 );
             }
             self.maybe_straggle();
@@ -522,35 +537,17 @@ where
         }
         debug_assert!(machines.windows(2).all(|w| w[0] < w[1]), "plan sorted by owner");
 
-        let vvers: Vec<(VertexId, u64)> = plan
-            .iter()
-            .map(|&(v, _)| {
-                let lv = self.lg.local_vertex(v).expect("plan vertex local");
-                (v, self.lg.vertex_version(lv))
-            })
-            .collect();
-        let evers: Vec<_> = self
-            .lg
-            .adj(l)
-            .iter()
-            .map(|e| (self.lg.edge_geid(e.edge), self.lg.edge_version(e.edge)))
-            .collect();
-
         let reqid = self.next_reqid;
         self.next_reqid += 1;
-        tr!("[m{}] INIT reqid={} center=v{} vvers={:?} machines={:?}",
+        tr!("[m{}] INIT reqid={} center=v{} machines={:?}",
             self.me().0, reqid, self.lg.vertex_gvid(l).0,
-            vvers.iter().map(|(v, ver)| (v.0, *ver)).collect::<Vec<_>>(),
             machines.iter().map(|m| m.0).collect::<Vec<_>>());
         let msg = LockReqMsg {
             requester: self.me(),
             reqid,
             scope_v: self.lg.vertex_gvid(l),
-            hop: 0,
             machines: machines.clone(),
-            plan: plan.iter().map(|&(v, t)| (v, lock_type_to_u8(t))).collect(),
-            vvers,
-            evers,
+            model: consistency_to_u8(model),
         };
         let remote_needed = machines.iter().filter(|&&m| m != self.me()).count();
         let has_local_hop = machines.contains(&self.me());
@@ -579,22 +576,54 @@ where
     // ---- hop processing ----
 
     fn start_hop(&mut self, msg: LockReqMsg) {
+        debug_assert_eq!(msg.machines.first(), Some(&self.me()), "chain head is this hop");
         let key: ChainKey = (msg.requester.0, msg.reqid);
-        let my_locks: Vec<(u32, LockType)> = msg
-            .plan
-            .iter()
-            .filter_map(|&(v, t)| {
-                let lv = self.lg.local_vertex(v)?;
-                if self.lg.owns_vertex(lv) {
-                    Some((lv, lock_type_from_u8(t).expect("valid lock type")))
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let my_locks: Vec<(u32, LockType)> = if msg.requester == self.me() {
+            // The requester kept the authoritative plan in its OutScope.
+            let out = self.out_scopes.get(&msg.reqid).expect("own scope");
+            out.plan
+                .iter()
+                .filter_map(|&(v, t)| {
+                    let lv = self.lg.local_vertex(v).expect("plan vertex local");
+                    self.lg.owns_vertex(lv).then_some((lv, t))
+                })
+                .collect()
+        } else {
+            self.derive_local_locks(&msg)
+        };
         debug_assert!(!my_locks.is_empty(), "hop visits a machine owning scope vertices");
         self.hop_chains.insert(key, HopChain { msg, my_locks, next: 0 });
         self.advance_chain(key);
+    }
+
+    /// Reconstructs this machine's share of the scope's lock plan from
+    /// replicated structure — the request ships no plan (derived plans).
+    ///
+    /// Agreement with the requester's [`LocalGraph::lock_plan`] is exact:
+    /// a hop owns a scope vertex only if it is the centre or one of its
+    /// neighbours; every edge incident on an owned vertex is local
+    /// (ownership invariant), so the owned neighbour set is fully visible
+    /// through the ghost centre's local adjacency, and the canonical
+    /// `(owner, v)` order restricted to one machine is just ascending
+    /// vertex id.
+    fn derive_local_locks(&self, msg: &LockReqMsg) -> Vec<(u32, LockType)> {
+        let model = consistency_from_u8(msg.model).expect("valid consistency model");
+        let c = self.lg.local_vertex(msg.scope_v).expect("scope centre replicated at hop");
+        let mut locks: Vec<(u32, LockType)> = Vec::new();
+        if self.lg.owns_vertex(c) {
+            locks.push((c, model.central_lock()));
+        }
+        if let Some(nbr_lock) = model.neighbor_lock() {
+            for e in self.lg.adj(c) {
+                if self.lg.owns_vertex(e.nbr) {
+                    locks.push((e.nbr, nbr_lock));
+                }
+            }
+        }
+        locks.sort_unstable_by_key(|&(lv, _)| self.lg.vertex_gvid(lv));
+        // Parallel edges repeat a neighbour with the same lock type.
+        locks.dedup_by_key(|&mut (lv, _)| lv);
+        locks
     }
 
     fn advance_chain(&mut self, key: ChainKey) {
@@ -629,42 +658,59 @@ where
     fn complete_hop(&mut self, key: ChainKey) {
         let chain = self.hop_chains.get(&key).expect("chain present");
         let msg = chain.msg.clone();
+        let my_locks = chain.my_locks.clone();
         let requester = msg.requester;
 
         if requester != self.me() {
             // Version-filtered data sync: "synchronization of locked data is
             // performed immediately as each machine completes its local
-            // locks".
+            // locks". A row is skipped when the remote-cache table proves
+            // the requester already holds the current version (it was
+            // either shipped to it, or written *by* it, on this same FIFO
+            // channel pair) — a compact marker rides instead. The owned
+            // vertex set is the derived lock set; the owned edge set is
+            // derived from the ghost centre's adjacency the same way.
+            let req = requester.index();
+            let filter = !self.setup.config.no_version_filter;
             let mut vrows = Vec::new();
-            for &(v, ver) in &msg.vvers {
-                if let Some(lv) = self.lg.local_vertex(v) {
-                    if self.lg.owns_vertex(lv)
-                        && (self.lg.vertex_version(lv) > ver || self.setup.config.no_version_filter)
-                    {
-                        vrows.push(VertexRow {
-                            vid: v,
-                            version: self.lg.vertex_version(lv),
-                            snap: self.snap_epoch[lv as usize],
-                            data: enc(self.lg.vertex_data(lv)),
-                        });
-                    }
+            let mut vsame = 0u32;
+            for &(lv, _) in &my_locks {
+                debug_assert!(self.lg.owns_vertex(lv));
+                let cur = self.lg.vertex_version(lv);
+                if filter && self.cache.v_known(req, lv) >= cur {
+                    vsame += 1;
+                } else {
+                    self.cache.note_v(req, lv, cur);
+                    vrows.push(VertexRow {
+                        vid: self.lg.vertex_gvid(lv),
+                        version: cur,
+                        snap: self.snap_epoch[lv as usize],
+                        data: enc(self.lg.vertex_data(lv)),
+                    });
                 }
             }
+            let c = self.lg.local_vertex(msg.scope_v).expect("scope centre replicated at hop");
+            let mut owned_edges: Vec<(graphlab_graph::EdgeId, u32)> = self
+                .lg
+                .adj(c)
+                .iter()
+                .filter(|e| self.lg.owns_edge(e.edge))
+                .map(|e| (self.lg.edge_geid(e.edge), e.edge))
+                .collect();
+            owned_edges.sort_unstable();
+            owned_edges.dedup();
             let mut erows = Vec::new();
-            for &(e, ver) in &msg.evers {
-                if let Some(le) = self.lg.local_edge(e) {
-                    if self.lg.owns_edge(le)
-                        && (self.lg.edge_version(le) > ver || self.setup.config.no_version_filter)
-                    {
-                        erows.push(EdgeRow {
-                            eid: e,
-                            version: self.lg.edge_version(le),
-                            data: enc(self.lg.edge_data(le)),
-                        });
-                    }
+            let mut esame = 0u32;
+            for (ge, le) in owned_edges {
+                let cur = self.lg.edge_version(le);
+                if filter && self.cache.e_known(req, le) >= cur {
+                    esame += 1;
+                } else {
+                    self.cache.note_e(req, le, cur);
+                    erows.push(EdgeRow { eid: ge, version: cur, data: enc(self.lg.edge_data(le)) });
                 }
             }
-            let data = ScopeDataMsg { reqid: msg.reqid, vrows, erows };
+            let data = ScopeDataMsg { reqid: msg.reqid, vrows, erows, vsame, esame };
             self.send_counted(requester, K_SCOPE_DATA, enc(&data));
         } else {
             let out = self.out_scopes.get_mut(&msg.reqid).expect("own scope");
@@ -675,12 +721,12 @@ where
         }
 
         // Continuation passing: forward to the next machine in canonical
-        // order.
-        let next_hop = msg.hop as usize + 1;
-        if next_hop < msg.machines.len() {
-            let dst = msg.machines[next_hop];
+        // order, popping this hop off the chain so visited machines stop
+        // paying wire bytes.
+        if msg.machines.len() > 1 {
             let mut fwd = msg;
-            fwd.hop = next_hop as u16;
+            fwd.machines.remove(0);
+            let dst = fwd.machines[0];
             if dst == self.me() {
                 self.start_hop(fwd);
             } else {
@@ -801,30 +847,21 @@ where
             self.send_counted(mm, K_LOCK_SCHED, enc(&ScheduleMsg { tasks }));
         }
 
-        // Release per machine, with piggybacked write-backs.
+        // Release per machine, with piggybacked write-backs. Remote hops
+        // drop their own derived lock set (the release only names the
+        // chain); the local hop releases through its HopChain directly.
         for &mm in &out.machines {
-            let locks: Vec<(VertexId, u8)> = out
-                .plan
-                .iter()
-                .filter(|&&(v, _)| {
-                    let lv = self.lg.local_vertex(v).expect("plan vertex local");
-                    self.lg.vertex_owner(lv) == mm
-                })
-                .map(|&(v, t)| (v, lock_type_to_u8(t)))
-                .collect();
             if mm == me {
-                for (v, t) in locks {
-                    let lv = self.lg.local_vertex(v).expect("local");
-                    let granted = self.locks.release(lv, lock_type_from_u8(t).expect("valid"));
+                let chain = self.hop_chains.remove(&(me.0, reqid)).expect("local hop chain");
+                for (lv, t) in chain.my_locks {
+                    let granted = self.locks.release(lv, t);
                     for key in granted {
                         self.resume_chain(key);
                     }
                 }
-                self.hop_chains.remove(&(me.0, reqid));
             } else {
                 let rel = ReleaseMsg {
                     reqid,
-                    locks,
                     vwrites: vwrites.remove(&mm).unwrap_or_default(),
                     ewrites: ewrites.remove(&mm).unwrap_or_default(),
                 };
@@ -896,6 +933,26 @@ where
             }
             K_SCOPE_DATA => {
                 let msg: ScopeDataMsg = dec(env.payload);
+                self.rows_unchanged += (msg.vsame + msg.esame) as u64;
+                tr!("[m{}] DATA reqid={} rows={}v/{}e same={}v/{}e", self.me().0, msg.reqid,
+                    msg.vrows.len(), msg.erows.len(), msg.vsame, msg.esame);
+                // Rows + unchanged markers must cover the hop's whole share
+                // of the scope's vertices (the requester knows exactly
+                // which plan vertices env.src owns).
+                debug_assert!(
+                    self.out_scopes.get(&msg.reqid).is_none_or(|out| {
+                        let owned = out
+                            .plan
+                            .iter()
+                            .filter(|&&(v, _)| {
+                                let lv = self.lg.local_vertex(v).expect("plan vertex local");
+                                self.lg.vertex_owner(lv) == env.src
+                            })
+                            .count();
+                        msg.vrows.len() + msg.vsame as usize == owned
+                    }),
+                    "scope response does not cover the hop's owned vertices"
+                );
                 for row in msg.vrows {
                     if let Some(lv) = self.lg.local_vertex(row.vid) {
                         let applied = self.lg.apply_vertex_update(lv, row.version, dec(row.data));
@@ -924,7 +981,10 @@ where
                     let lv = self.lg.local_vertex(v).expect("write-back target local");
                     debug_assert!(self.lg.owns_vertex(lv));
                     *self.lg.vertex_data_mut(lv) = dec(blob);
-                    self.lg.bump_vertex_version(lv);
+                    let ver = self.lg.bump_vertex_version(lv);
+                    // The bump invalidates every peer's cache entry; the
+                    // writer itself holds exactly the data it wrote.
+                    self.cache.note_v(env.src.index(), lv, ver);
                     if snap > self.snap_epoch[lv as usize] {
                         self.snap_epoch[lv as usize] = snap;
                     }
@@ -933,16 +993,19 @@ where
                     let le = self.lg.local_edge(e).expect("write-back target local");
                     debug_assert!(self.lg.owns_edge(le));
                     *self.lg.edge_data_mut(le) = dec(blob);
-                    self.lg.bump_edge_version(le);
+                    let ver = self.lg.bump_edge_version(le);
+                    self.cache.note_e(env.src.index(), le, ver);
                 }
-                for (v, t) in msg.locks {
-                    let lv = self.lg.local_vertex(v).expect("lock target local");
-                    let granted = self.locks.release(lv, lock_type_from_u8(t).expect("valid"));
+                let chain = self
+                    .hop_chains
+                    .remove(&(env.src.0, msg.reqid))
+                    .expect("release for a chain this hop holds");
+                for (lv, t) in chain.my_locks {
+                    let granted = self.locks.release(lv, t);
                     for key in granted {
                         self.resume_chain(key);
                     }
                 }
-                self.hop_chains.remove(&(env.src.0, msg.reqid));
             }
             K_LOCK_SCHED => {
                 let msg: ScheduleMsg = dec(env.payload);
@@ -1029,6 +1092,10 @@ where
                 self.snap_ready_sent = false;
                 self.snap_flush_target = None;
                 self.snap_written = false;
+                // Conservative: the checkpoint just cut may be restored
+                // into a fresh cluster later; drop residency assumptions so
+                // the table never spans a snapshot boundary.
+                self.cache.invalidate_all();
             }
             K_SNAP_ASYNC_START => {
                 let snap: u64 = dec(env.payload);
@@ -1194,6 +1261,10 @@ where
     }
 
     fn begin_async_snapshot(&mut self, snap: u32) {
+        // Snapshot boundary: drop all residency assumptions (see the
+        // K_SNAP_RESUME note). Alg. 5's marker propagation additionally
+        // relies on version bumps, which this makes unconditionally safe.
+        self.cache.invalidate_all();
         self.current_snap = snap;
         self.snap_buffer = SnapshotFile::default();
         self.snap_remaining = self.lg.owned_vertices().len();
@@ -1309,6 +1380,9 @@ where
             self.snap_ready_sent = false;
             self.snap_flush_target = None;
             self.snap_written = false;
+            // The master resumes inline (it never receives its own
+            // broadcast): same conservative invalidation as K_SNAP_RESUME.
+            self.cache.invalidate_all();
         }
     }
 

@@ -10,10 +10,11 @@
 //! - `20..=39` — locking engine (§4.2.2): pipelined lock chains, scope data
 //!   synchronisation, releases with piggybacked write-backs, termination
 //!   tokens and halt control, background sync, and both snapshot protocols.
-//! - `u16::MAX` — **reserved by the transport** for batch envelopes
-//!   ([`graphlab_net::batch::K_BATCH`]); the engines never see it because
-//!   the [`graphlab_net::batch::Batcher`] unpacks batches on receive. New
-//!   tags must stay clear of it.
+//! - `u16::MAX` and `u16::MAX - 1` — **reserved by the transport** for
+//!   batch envelopes ([`graphlab_net::batch::K_BATCH`]) and compressed
+//!   envelopes ([`graphlab_net::batch::K_ZIP`]); the engines never see
+//!   either because the [`graphlab_net::batch::Batcher`] decompresses and
+//!   unpacks on receive. New tags must stay clear of both.
 //!
 //! User data (`V`/`E`) always travels as pre-encoded [`Bytes`] blobs so the
 //! protocol structs stay monomorphic.
@@ -25,8 +26,8 @@
 //! in channel order.
 
 use bytes::{Bytes, BytesMut};
-use graphlab_graph::{EdgeId, LockType, MachineId, VertexId};
-use graphlab_net::codec::Codec;
+use graphlab_graph::{ConsistencyModel, EdgeId, LockType, MachineId, VertexId};
+use graphlab_net::codec::{get_uvarint, put_uvarint, Codec};
 use graphlab_net::termination::Token;
 
 // ---- message kinds ----
@@ -96,6 +97,44 @@ pub fn is_counted_work(kind: u16) -> bool {
     matches!(kind, K_LOCK_REQ | K_SCOPE_DATA | K_RELEASE | K_LOCK_SCHED)
 }
 
+/// Human-readable name of a message kind, for traffic tables
+/// (`repro -- abl-bytes` and the per-kind [`graphlab_net::NetStats`] rows).
+pub fn kind_name(kind: u16) -> &'static str {
+    match kind {
+        K_CHROM_VDATA => "chrom/vdata",
+        K_CHROM_EDATA => "chrom/edata",
+        K_CHROM_WB_V => "chrom/wb-v",
+        K_CHROM_WB_E => "chrom/wb-e",
+        K_CHROM_SCHED => "chrom/sched",
+        K_CHROM_FLUSH_A => "chrom/flush-a",
+        K_CHROM_FLUSH_B => "chrom/flush-b",
+        K_CHROM_SYNC_PART => "chrom/sync-part",
+        K_CHROM_SYNC_GLOB => "chrom/sync-glob",
+        K_CHROM_SNAP_DONE => "chrom/snap-done",
+        K_CHROM_SNAP_RESUME => "chrom/snap-resume",
+        K_LOCK_REQ => "lock/req",
+        K_SCOPE_DATA => "lock/scope-data",
+        K_RELEASE => "lock/release",
+        K_LOCK_SCHED => "lock/sched",
+        K_TOKEN => "lock/token",
+        K_HALT => "lock/halt",
+        K_HALT_ACK => "lock/halt-ack",
+        K_LSYNC_PART => "lock/sync-part",
+        K_LSYNC_GLOB => "lock/sync-glob",
+        K_LSYNC_REQ => "lock/sync-req",
+        K_SNAP_SYNC_START => "snap/sync-start",
+        K_SNAP_SYNC_READY => "snap/sync-ready",
+        K_SNAP_SYNC_FLUSH => "snap/sync-flush",
+        K_SNAP_DONE => "snap/done",
+        K_SNAP_RESUME => "snap/resume",
+        K_SNAP_ASYNC_START => "snap/async-start",
+        K_SNAP_ASYNC_MDONE => "snap/async-mdone",
+        graphlab_net::K_BATCH => "net/batch",
+        graphlab_net::K_ZIP => "net/zip",
+        _ => "unknown",
+    }
+}
+
 // ---- shared rows ----
 
 /// A versioned vertex datum on the wire.
@@ -156,18 +195,45 @@ impl Codec for EdgeRow {
 }
 
 /// Scheduling rows: `(vertex, priority)`.
+///
+/// Priorities travel as `f32`: they are only a scheduling hint (the FIFO
+/// scheduler ignores them entirely, the priority scheduler buckets them by
+/// power of two), so half the bytes lose nothing that affects results.
+/// `f64::INFINITY` (the snapshot priority, a *sentinel* at the receiver)
+/// survives the round-trip; finite priorities are clamped to the finite
+/// `f32` range so no legal priority can alias into the sentinel.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScheduleMsg {
     /// Tasks to enqueue at the receiving owner.
     pub tasks: Vec<(VertexId, f64)>,
 }
 
+/// Narrows a scheduling priority for the wire without letting a finite
+/// value overflow into `±inf` (infinity is reserved as the snapshot-task
+/// sentinel).
+fn wire_priority(p: f64) -> f32 {
+    if p.is_finite() {
+        p.clamp(f32::MIN as f64, f32::MAX as f64) as f32
+    } else {
+        p as f32
+    }
+}
+
 impl Codec for ScheduleMsg {
     fn encode(&self, buf: &mut BytesMut) {
-        self.tasks.encode(buf);
+        put_uvarint(buf, self.tasks.len() as u64);
+        for &(v, prio) in &self.tasks {
+            v.encode(buf);
+            wire_priority(prio).encode(buf);
+        }
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
-        Some(ScheduleMsg { tasks: Vec::<(VertexId, f64)>::decode(buf)? })
+        let n = get_uvarint(buf)? as usize;
+        let mut tasks = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            tasks.push((VertexId::decode(buf)?, f32::decode(buf)? as f64));
+        }
+        Some(ScheduleMsg { tasks })
     }
 }
 
@@ -310,6 +376,22 @@ impl Codec for SyncGlobalsMsg {
 /// local locks sequentially through the callback rwlock, sends fresh
 /// [`ScopeDataMsg`] rows to the requester, and forwards the request to the
 /// next hop.
+///
+/// The request names only the scope **centre** and the consistency
+/// `model`; it does not ship a lock plan. Earlier revisions forwarded the
+/// full plan plus the requester's cached versions on every hop (~80+ bytes
+/// per hop per update — the single largest traffic kind). Both are
+/// redundant against replicated state:
+///
+/// - every participating machine owns a scope vertex, hence holds the
+///   centre (at least as a ghost) together with every scope edge incident
+///   on its owned vertices, so it can **derive its local lock set** from
+///   the model exactly as the requester did (same canonical `(owner, v)`
+///   order restricted to one machine = ascending vertex id);
+/// - version filtering is done by the **owner-side remote-cache table**
+///   (`RemoteCacheTable`): each owner remembers the highest version every
+///   peer holds (advanced on every row shipped and write-back applied,
+///   both FIFO), so requester versions need not travel at all.
 #[derive(Clone, Debug, PartialEq)]
 pub struct LockReqMsg {
     /// Machine that initiated the chain (owner of the scope's centre).
@@ -318,16 +400,34 @@ pub struct LockReqMsg {
     pub reqid: u64,
     /// Central vertex of the scope.
     pub scope_v: VertexId,
-    /// Index of the receiving machine in `machines`.
-    pub hop: u16,
-    /// Machines participating, ascending.
+    /// Remaining chain, ascending: the receiving machine at the head,
+    /// machines still to visit behind it. Each hop pops itself off before
+    /// forwarding, so visited hops stop paying wire bytes.
     pub machines: Vec<MachineId>,
-    /// Sorted `(vertex, lock)` plan. Lock encoded as 0 = read, 1 = write.
-    pub plan: Vec<(VertexId, u8)>,
-    /// Requester's cached vertex versions for the scope.
-    pub vvers: Vec<(VertexId, u64)>,
-    /// Requester's cached edge versions for the scope.
-    pub evers: Vec<(EdgeId, u64)>,
+    /// Consistency model the scope is locked under (0 = vertex, 1 = edge,
+    /// 2 = full; see [`consistency_to_u8`]). Snapshot chains lock under
+    /// edge consistency regardless of the engine default, so the model
+    /// must ride with the request.
+    pub model: u8,
+}
+
+/// Encodes a [`ConsistencyModel`] for the wire.
+pub fn consistency_to_u8(m: ConsistencyModel) -> u8 {
+    match m {
+        ConsistencyModel::Vertex => 0,
+        ConsistencyModel::Edge => 1,
+        ConsistencyModel::Full => 2,
+    }
+}
+
+/// Decodes a [`ConsistencyModel`] from the wire.
+pub fn consistency_from_u8(v: u8) -> Option<ConsistencyModel> {
+    match v {
+        0 => Some(ConsistencyModel::Vertex),
+        1 => Some(ConsistencyModel::Edge),
+        2 => Some(ConsistencyModel::Full),
+        _ => None,
+    }
 }
 
 /// Encodes a [`LockType`] for the wire.
@@ -352,29 +452,28 @@ impl Codec for LockReqMsg {
         self.requester.encode(buf);
         self.reqid.encode(buf);
         self.scope_v.encode(buf);
-        self.hop.encode(buf);
         self.machines.encode(buf);
-        self.plan.encode(buf);
-        self.vvers.encode(buf);
-        self.evers.encode(buf);
+        self.model.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
         Some(LockReqMsg {
             requester: MachineId::decode(buf)?,
             reqid: u64::decode(buf)?,
             scope_v: VertexId::decode(buf)?,
-            hop: u16::decode(buf)?,
             machines: Vec::<MachineId>::decode(buf)?,
-            plan: Vec::<(VertexId, u8)>::decode(buf)?,
-            vvers: Vec::<(VertexId, u64)>::decode(buf)?,
-            evers: Vec::<(EdgeId, u64)>::decode(buf)?,
+            model: u8::decode(buf)?,
         })
     }
 }
 
 /// Scope data synchronisation (hop → requester): only rows whose owner
-/// version exceeds the requester's cached version are included — the
-/// versioning system "eliminating the transmission of unchanged data".
+/// version exceeds what the owner's remote-cache table says the requester
+/// already holds are included — the versioning system "eliminating the
+/// transmission of unchanged data". Skipped data is acknowledged by the
+/// compact `vsame`/`esame` **unchanged markers** (one varint count each,
+/// typically a single byte): the requester knows exactly which scope data
+/// each hop owns, so a count pins the skipped set and lets it verify that
+/// rows + markers cover the hop's whole share of the scope.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScopeDataMsg {
     /// Request this responds to.
@@ -383,6 +482,12 @@ pub struct ScopeDataMsg {
     pub vrows: Vec<VertexRow>,
     /// Fresh edge rows.
     pub erows: Vec<EdgeRow>,
+    /// Owned scope vertices skipped because the requester's cached copy is
+    /// already current.
+    pub vsame: u32,
+    /// Owned scope edges skipped because the requester's cached copy is
+    /// already current.
+    pub esame: u32,
 }
 
 impl Codec for ScopeDataMsg {
@@ -390,12 +495,16 @@ impl Codec for ScopeDataMsg {
         self.reqid.encode(buf);
         self.vrows.encode(buf);
         self.erows.encode(buf);
+        self.vsame.encode(buf);
+        self.esame.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
         Some(ScopeDataMsg {
             reqid: u64::decode(buf)?,
             vrows: Vec::<VertexRow>::decode(buf)?,
             erows: Vec::<EdgeRow>::decode(buf)?,
+            vsame: u32::decode(buf)?,
+            esame: u32::decode(buf)?,
         })
     }
 }
@@ -403,12 +512,14 @@ impl Codec for ScopeDataMsg {
 /// Lock release (requester → hop) with piggybacked write-backs of dirty
 /// data owned by the receiving machine. Riding the release guarantees the
 /// owner applies writes before any later conflicting grant.
+///
+/// The message does not name the locks to drop: the receiving hop still
+/// holds its `HopChain` for `(src, reqid)`, whose derived lock set is
+/// exactly what the requester would have listed.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReleaseMsg {
     /// Request being released.
     pub reqid: u64,
-    /// Locks held by the receiving machine for this chain.
-    pub locks: Vec<(VertexId, u8)>,
     /// Dirty vertex data owned by the receiver (snap marker rides along).
     pub vwrites: Vec<(VertexId, u32, Bytes)>,
     /// Dirty edge data owned by the receiver.
@@ -418,7 +529,6 @@ pub struct ReleaseMsg {
 impl Codec for ReleaseMsg {
     fn encode(&self, buf: &mut BytesMut) {
         self.reqid.encode(buf);
-        self.locks.encode(buf);
         (self.vwrites.len() as u32).encode(buf);
         for (v, snap, b) in &self.vwrites {
             v.encode(buf);
@@ -433,7 +543,6 @@ impl Codec for ReleaseMsg {
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
         let reqid = u64::decode(buf)?;
-        let locks = Vec::<(VertexId, u8)>::decode(buf)?;
         let nv = u32::decode(buf)? as usize;
         let mut vwrites = Vec::with_capacity(nv);
         for _ in 0..nv {
@@ -444,7 +553,7 @@ impl Codec for ReleaseMsg {
         for _ in 0..ne {
             ewrites.push((EdgeId::decode(buf)?, Bytes::decode(buf)?));
         }
-        Some(ReleaseMsg { reqid, locks, vwrites, ewrites })
+        Some(ReleaseMsg { reqid, vwrites, ewrites })
     }
 }
 
@@ -565,20 +674,18 @@ mod tests {
             requester: MachineId(1),
             reqid: 42,
             scope_v: VertexId(5),
-            hop: 0,
             machines: vec![MachineId(0), MachineId(1)],
-            plan: vec![(VertexId(3), 0), (VertexId(5), 1)],
-            vvers: vec![(VertexId(3), 2)],
-            evers: vec![(EdgeId(9), 1)],
+            model: 1,
         });
         rt(ScopeDataMsg {
             reqid: 42,
             vrows: vec![VertexRow { vid: VertexId(3), version: 3, snap: 0, data: Bytes::from_static(b"v") }],
             erows: vec![EdgeRow { eid: EdgeId(9), version: 2, data: Bytes::from_static(b"e") }],
+            vsame: 2,
+            esame: 1,
         });
         rt(ReleaseMsg {
             reqid: 42,
-            locks: vec![(VertexId(3), 0)],
             vwrites: vec![(VertexId(3), 1, Bytes::from_static(b"w"))],
             ewrites: vec![(EdgeId(9), Bytes::from_static(b"z"))],
         });
@@ -605,5 +712,54 @@ mod tests {
         assert!(!is_counted_work(K_HALT));
         assert!(!is_counted_work(K_CHROM_VDATA));
         assert!(!is_counted_work(K_LSYNC_PART));
+    }
+
+    #[test]
+    fn every_engine_kind_has_a_name() {
+        for k in (1..=11).chain(20..=35).chain([37]) {
+            assert_ne!(kind_name(k), "unknown", "kind {k} unnamed");
+        }
+        assert_eq!(kind_name(graphlab_net::K_BATCH), "net/batch");
+        assert_eq!(kind_name(graphlab_net::K_ZIP), "net/zip");
+        assert_eq!(kind_name(12345), "unknown");
+    }
+
+    #[test]
+    fn lock_req_wire_size_is_compact() {
+        // A typical 8-neighbour scope request: the v2 format (varints,
+        // derived plans — only centre/routing/model travel) must stay far
+        // under the old plan-carrying encoding (~250 bytes fixed-width).
+        let msg = LockReqMsg {
+            requester: MachineId(3),
+            reqid: 1000,
+            scope_v: VertexId(4321),
+            machines: (0..5).map(MachineId).collect(),
+            model: 1,
+        };
+        let bytes = encode_to_bytes(&msg);
+        assert!(bytes.len() <= 16, "LockReqMsg encodes to {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn huge_finite_priority_does_not_alias_into_snapshot_sentinel() {
+        // 1e39 overflows f32; a naive cast would turn it into +inf, which
+        // the locking engine treats as "this is a snapshot task" and drops
+        // when no snapshot is active. It must clamp to a finite value.
+        let msg = ScheduleMsg { tasks: vec![(VertexId(1), 1e39), (VertexId(2), -1e39)] };
+        let dec = decode_from::<ScheduleMsg>(encode_to_bytes(&msg)).expect("decode");
+        assert!(dec.tasks[0].1.is_finite() && dec.tasks[0].1 > 0.0);
+        assert!(dec.tasks[1].1.is_finite() && dec.tasks[1].1 < 0.0);
+        // The real sentinel still travels as infinity.
+        let msg = ScheduleMsg { tasks: vec![(VertexId(1), f64::INFINITY)] };
+        let dec = decode_from::<ScheduleMsg>(encode_to_bytes(&msg)).expect("decode");
+        assert_eq!(dec.tasks[0].1, f64::INFINITY);
+    }
+
+    #[test]
+    fn consistency_wire_mapping() {
+        for m in [ConsistencyModel::Vertex, ConsistencyModel::Edge, ConsistencyModel::Full] {
+            assert_eq!(consistency_from_u8(consistency_to_u8(m)), Some(m));
+        }
+        assert_eq!(consistency_from_u8(9), None);
     }
 }

@@ -62,6 +62,10 @@ pub struct EngineMetrics {
     pub bytes_sent_per_machine: Vec<u64>,
     /// Total messages across the cluster.
     pub total_messages: u64,
+    /// Delivered traffic by message kind (`(kind, traffic)` sorted by
+    /// kind; batch sub-messages attributed to their real kinds, compressed
+    /// envelopes to `K_ZIP`) — the `repro -- abl-bytes` breakdown.
+    pub bytes_by_kind: Vec<(u16, graphlab_net::KindTraffic)>,
     /// Engine-specific progress unit: colour-steps for the chromatic
     /// engine, scheduler passes for sweep-style runs, 0 otherwise.
     pub steps: u64,

@@ -154,6 +154,7 @@ where
         updates_timeline: Vec::new(),
         bytes_sent_per_machine: vec![0],
         total_messages: 0,
+        bytes_by_kind: Vec::new(),
         steps: 0,
         snapshots: 0,
     }

@@ -261,6 +261,116 @@ mod tests {
         assert_eq!(s.pop(), Some(0));
     }
 
+    // ---- contract pins (ISSUE 3 satellite): the exact add/pop semantics a
+    // pairing-heap / lazy-delete replacement must preserve ----
+
+    #[test]
+    fn fifo_duplicate_add_keeps_original_position() {
+        let mut s = Scheduler::new(SchedulerKind::Fifo, 4);
+        s.add(0, 1.0);
+        s.add(1, 1.0);
+        assert!(!s.add(0, 1.0), "re-add of a queued vertex is a no-op");
+        assert_eq!(s.len(), 2);
+        // Vertex 0 pops first: the duplicate did not move it to the back.
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn priority_same_bucket_is_fifo() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 8);
+        // 1.0 and 1.5 land in the same power-of-two bucket: insertion order
+        // breaks the tie.
+        s.add(3, 1.0);
+        s.add(5, 1.5);
+        s.add(1, 1.2);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(5));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn priority_same_bucket_readd_does_not_promote() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 4);
+        s.add(0, 1.0);
+        s.add(1, 1.0);
+        // 1.9 is hotter than 1.0 but stays in the same log2 bucket: the
+        // approximate priority queue must not reorder.
+        assert!(!s.add(1, 1.9));
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+    }
+
+    #[test]
+    fn priority_promotion_leaves_no_ghost_entry() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 4);
+        s.add(0, 1.0);
+        assert!(!s.add(0, 1000.0), "promotion is not an insertion");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some(0));
+        // The stale low-bucket entry must not resurface as a second pop.
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.len(), 0);
+        // Re-adding afterwards works and pops exactly once again.
+        assert!(s.add(0, 2.0));
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn pop_then_readd_cycles_indefinitely() {
+        for kind in [SchedulerKind::Fifo, SchedulerKind::Priority, SchedulerKind::Sweep] {
+            let mut s = Scheduler::new(kind, 3);
+            for round in 0..5 {
+                assert!(s.add(2, 1.0), "round {round}: fresh insert after pop ({kind:?})");
+                assert_eq!(s.len(), 1);
+                assert_eq!(s.pop(), Some(2));
+                assert!(s.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_model_check_all_kinds() {
+        // Model: a scheduler is exactly a set with kind-specific pop order;
+        // add returns whether the vertex was newly inserted. Drive every
+        // kind through a deterministic interleaving of adds and pops and
+        // check set semantics (dedup, len, total pops) against the model.
+        for kind in [SchedulerKind::Fifo, SchedulerKind::Priority, SchedulerKind::Sweep] {
+            let n = 16u32;
+            let mut s = Scheduler::new(kind, n as usize);
+            let mut queued = vec![false; n as usize];
+            let mut popped = 0usize;
+            let mut x = 0x5EEDu64;
+            for step in 0..500 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                if !x.is_multiple_of(3) {
+                    let v = (x >> 8) as u32 % n;
+                    let prio = ((x >> 16) % 1000) as f64 / 10.0;
+                    let fresh = s.add(v, prio);
+                    assert_eq!(fresh, !queued[v as usize], "step {step} ({kind:?})");
+                    queued[v as usize] = true;
+                } else if let Some(v) = s.pop() {
+                    assert!(queued[v as usize], "popped unqueued vertex ({kind:?})");
+                    queued[v as usize] = false;
+                    popped += 1;
+                }
+                assert_eq!(s.len(), queued.iter().filter(|&&q| q).count(), "({kind:?})");
+                assert_eq!(s.is_empty(), queued.iter().all(|&q| !q));
+            }
+            // Drain: every queued vertex pops exactly once.
+            while let Some(v) = s.pop() {
+                assert!(queued[v as usize]);
+                queued[v as usize] = false;
+                popped += 1;
+            }
+            assert!(queued.iter().all(|&q| !q), "({kind:?})");
+            assert!(popped > 0);
+        }
+    }
+
     #[test]
     fn stress_priority_consistency() {
         let mut s = Scheduler::new(SchedulerKind::Priority, 100);

@@ -15,12 +15,18 @@
 //!   sleeps on replies to requests it has not put on the wire yet —
 //!   batching can therefore never deadlock an engine;
 //! - received [`K_BATCH`] envelopes are transparently unpacked, in order,
-//!   into the individual messages.
+//!   into the individual messages;
+//! - when [`BatchPolicy::compress`] is on, outgoing wire payloads at least
+//!   [`BatchPolicy::compress_min`] bytes long are run through the LZSS pass
+//!   in [`crate::compress`] and shipped under the reserved [`K_ZIP`] kind
+//!   (original kind + compressed body), kept only when it actually
+//!   shrinks; receivers decompress transparently before unpacking.
 //!
 //! Because each queue is FIFO and the fabric guarantees per-channel FIFO
 //! delivery of the batch envelopes themselves, routing *all* traffic to a
 //! destination through the batcher preserves the exact per-channel order
-//! the unbatched engines relied on.
+//! the unbatched engines relied on. Compression wraps whole envelopes and
+//! so cannot reorder anything either.
 
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -29,13 +35,21 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graphlab_graph::MachineId;
 
 use crate::cluster::{Endpoint, Envelope, RecvError};
+use crate::codec::{get_uvarint, put_uvarint};
+use crate::compress;
 
 /// Reserved message kind for a batch envelope. Application tag spaces must
 /// not use it (the engines use `1..=39`; see `graphlab-core::messages`).
 pub const K_BATCH: u16 = u16::MAX;
 
-/// Per-submessage framing inside a batch envelope: kind (u16) + len (u32).
-pub const SUB_HEADER_BYTES: usize = 6;
+/// Reserved message kind for a compressed envelope: payload is the
+/// original kind (`u16` LE) followed by an LZSS stream
+/// ([`crate::compress`]) of the original payload.
+pub const K_ZIP: u16 = u16::MAX - 1;
+
+/// Per-submessage framing inside a batch envelope: varint kind + varint
+/// length (2 bytes for typical engine messages, up to this bound).
+pub const SUB_HEADER_MAX_BYTES: usize = 3 + 5;
 
 /// Flush policy for a [`Batcher`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,19 +61,36 @@ pub struct BatchPolicy {
     pub max_bytes: usize,
     /// Flush a destination queue once it holds this many messages.
     pub max_msgs: usize,
+    /// Compress outgoing wire payloads (batch envelopes and oversized
+    /// singles) with the LZSS pass when they reach `compress_min` bytes.
+    pub compress: bool,
+    /// Minimum wire payload size worth compressing.
+    pub compress_min: usize,
 }
 
 impl Default for BatchPolicy {
     fn default() -> Self {
-        BatchPolicy { enabled: true, max_bytes: 16 * 1024, max_msgs: 64 }
+        BatchPolicy {
+            enabled: true,
+            max_bytes: 16 * 1024,
+            max_msgs: 64,
+            compress: true,
+            compress_min: 96,
+        }
     }
 }
 
 impl BatchPolicy {
-    /// A pass-through policy: every message goes out individually
+    /// A pass-through policy: every message goes out individually and raw
     /// (ablation / traffic-accounting baselines).
     pub fn disabled() -> Self {
-        BatchPolicy { enabled: false, ..BatchPolicy::default() }
+        BatchPolicy { enabled: false, compress: false, ..BatchPolicy::default() }
+    }
+
+    /// Default batching thresholds without the compression pass (wire
+    /// format ablation arm).
+    pub fn uncompressed() -> Self {
+        BatchPolicy { compress: false, ..BatchPolicy::default() }
     }
 }
 
@@ -81,6 +112,12 @@ pub struct BatchCounters {
     /// Messages sent individually (pass-through, oversized, self-sends,
     /// or single-message flushes).
     pub unbatched: u64,
+    /// Wire envelopes that went out compressed ([`K_ZIP`]).
+    pub compressed: u64,
+    /// Payload bytes fed into the compressor for envelopes it won on.
+    pub compress_in: u64,
+    /// Wire payload bytes after compression (incl. the 2-byte kind tag).
+    pub compress_out: u64,
 }
 
 /// A batching send/receive façade over an [`Endpoint`].
@@ -124,10 +161,13 @@ impl Batcher {
     /// Queues (or sends) `payload` to `dst`. Messages to one destination
     /// are delivered in send order regardless of how they are packed.
     pub fn send(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
-        debug_assert!(kind != K_BATCH, "K_BATCH is reserved for the transport");
+        debug_assert!(
+            kind != K_BATCH && kind != K_ZIP,
+            "K_BATCH/K_ZIP are reserved for the transport"
+        );
         if !self.policy.enabled || dst == self.ep.id() {
             self.counters.unbatched += 1;
-            self.ep.send(dst, kind, payload);
+            self.put_wire(dst, kind, payload);
             return;
         }
         if payload.len() >= self.policy.max_bytes {
@@ -135,12 +175,12 @@ impl Batcher {
             // unbatched so the big blob does not get copied again.
             self.flush(dst);
             self.counters.unbatched += 1;
-            self.ep.send(dst, kind, payload);
+            self.put_wire(dst, kind, payload);
             return;
         }
         let q = &mut self.queues[dst.index()];
-        q.buf.put_u16_le(kind);
-        q.buf.put_u32_le(payload.len() as u32);
+        put_uvarint(&mut q.buf, kind as u64);
+        put_uvarint(&mut q.buf, payload.len() as u64);
         q.buf.put_slice(&payload);
         q.count += 1;
         self.counters.queued += 1;
@@ -173,16 +213,37 @@ impl Batcher {
         q.buf.reserve(self.policy.max_bytes);
         if count == 1 {
             // A batch of one is pure overhead: unwrap it.
-            let kind = buf.get_u16_le();
-            let len = buf.get_u32_le() as usize;
+            let kind = get_uvarint(&mut buf).expect("own framing") as u16;
+            let len = get_uvarint(&mut buf).expect("own framing") as usize;
             let payload = buf.copy_to_bytes(len);
             self.counters.unbatched += 1;
             self.counters.queued -= 1;
-            self.ep.send(dst, kind, payload);
+            self.put_wire(dst, kind, payload);
         } else {
             self.counters.batches += 1;
-            self.ep.send(dst, K_BATCH, buf);
+            self.put_wire(dst, K_BATCH, buf);
         }
+    }
+
+    /// Final wire hop: compresses the envelope when the policy asks for it
+    /// and it pays off, otherwise ships it raw. Self-sends never compress
+    /// (they are free and never touch the wire).
+    fn put_wire(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        if self.policy.compress && dst != self.ep.id() && payload.len() >= self.policy.compress_min
+        {
+            let packed = compress::compress(&payload);
+            if packed.len() + 2 < payload.len() {
+                self.counters.compressed += 1;
+                self.counters.compress_in += payload.len() as u64;
+                self.counters.compress_out += (packed.len() + 2) as u64;
+                let mut buf = BytesMut::with_capacity(packed.len() + 2);
+                buf.put_u16_le(kind);
+                buf.put_slice(&packed);
+                self.ep.send(dst, K_ZIP, buf.freeze());
+                return;
+            }
+        }
+        self.ep.send(dst, kind, payload);
     }
 
     /// Flushes every destination queue.
@@ -223,14 +284,23 @@ impl Batcher {
     }
 
     fn unpack_first(&mut self, env: Envelope) -> Envelope {
+        let env = if env.kind == K_ZIP {
+            let mut buf = env.payload;
+            let kind = buf.get_u16_le();
+            let payload =
+                Bytes::from(compress::decompress(&buf).expect("corrupt compressed envelope"));
+            Envelope { src: env.src, dst: env.dst, kind, payload }
+        } else {
+            env
+        };
         if env.kind != K_BATCH {
             return env;
         }
         debug_assert!(self.pending.is_empty());
         let mut buf = env.payload;
         while buf.has_remaining() {
-            let kind = buf.get_u16_le();
-            let len = buf.get_u32_le() as usize;
+            let kind = get_uvarint(&mut buf).expect("batch framing") as u16;
+            let len = get_uvarint(&mut buf).expect("batch framing") as usize;
             let payload = buf.copy_to_bytes(len);
             self.pending.push_back(Envelope { src: env.src, dst: env.dst, kind, payload });
         }
@@ -335,6 +405,69 @@ mod tests {
         b0.send(MachineId(0), 9, Bytes::from_static(b"me"));
         let env = b0.try_recv().unwrap();
         assert_eq!(env.kind, 9);
+    }
+
+    #[test]
+    fn compressible_envelope_shrinks_on_the_wire() {
+        // A compressible batch: many near-identical messages.
+        let (net, mut b0, mut b1) = pair(BatchPolicy::default());
+        let raw_total: usize = (0..40).map(|_| 2 + 64).sum();
+        for k in 0..40u16 {
+            b0.send(MachineId(1), k, Bytes::from(vec![0xAB; 64]));
+        }
+        b0.flush_all();
+        for k in 0..40u16 {
+            let env = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.kind, k);
+            assert_eq!(&env.payload[..], &[0xAB; 64][..]);
+        }
+        let sent = net.stats().machine(MachineId(0)).bytes_sent as usize;
+        assert!(
+            sent < raw_total / 2,
+            "compressed envelope still {sent} bytes of {raw_total} raw"
+        );
+        assert_eq!(b0.counters().compressed, 1);
+        assert!(b0.counters().compress_out < b0.counters().compress_in);
+    }
+
+    #[test]
+    fn incompressible_oversized_payload_ships_raw() {
+        // Pseudo-random oversized blob: the compressor cannot win, so the
+        // wire carries the original kind, not K_ZIP.
+        let (net, mut b0, mut b1) = pair(BatchPolicy::default());
+        let mut x = 99u64;
+        let blob: Vec<u8> = (0..32 * 1024)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        b0.send(MachineId(1), 3, Bytes::from(blob.clone()));
+        let env = b1.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.kind, 3);
+        assert_eq!(env.payload.len(), blob.len());
+        assert_eq!(b0.counters().compressed, 0);
+        assert_eq!(
+            net.stats().machine(MachineId(0)).bytes_sent,
+            (crate::cluster::HEADER_BYTES + blob.len()) as u64
+        );
+    }
+
+    #[test]
+    fn uncompressed_policy_never_zips() {
+        let (net, mut b0, mut b1) = pair(BatchPolicy::uncompressed());
+        for k in 0..40u16 {
+            b0.send(MachineId(1), k, Bytes::from(vec![0u8; 64]));
+        }
+        b0.flush_all();
+        for _ in 0..40 {
+            b1.recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        assert_eq!(b0.counters().compressed, 0);
+        let sent = net.stats().machine(MachineId(0)).bytes_sent as usize;
+        assert!(sent > 40 * 64, "raw envelope must carry full payload bytes");
     }
 
     #[test]

@@ -27,14 +27,19 @@
 //!
 //! Traffic accounting: `*_sent` counters are charged at send time,
 //! `*_received` at actual delivery into the destination inbox — messages
-//! still in flight at shutdown are never counted as received.
+//! still in flight at shutdown are never counted as received. Per-kind
+//! counters ([`NetStats::by_kind`]) follow the same delivery rule; batch
+//! envelopes are attributed to the kinds *inside* them (the envelope row
+//! keeps only the wire header), while compressed envelopes are opaque and
+//! charged to [`crate::batch::K_ZIP`] — run an uncompressed arm when a
+//! per-kind breakdown of the savings is wanted.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bytes::Bytes;
+use bytes::{Buf, Bytes};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use graphlab_graph::MachineId;
 use parking_lot::Mutex;
@@ -79,18 +84,37 @@ pub struct MachineTraffic {
     pub msgs_received: u64,
 }
 
+/// Cluster-wide traffic of one message kind (charged at delivery).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindTraffic {
+    /// Logical messages delivered with this kind (sub-messages of a batch
+    /// envelope count individually).
+    pub msgs: u64,
+    /// Wire bytes attributed to this kind: full wire size for plain
+    /// envelopes, per-submessage framing + payload inside batches, and the
+    /// bare [`HEADER_BYTES`] for the batch envelope row itself.
+    pub bytes: u64,
+}
+
 /// Shared atomic traffic counters for a cluster.
 pub struct NetStats {
     bytes_sent: Vec<AtomicU64>,
     bytes_received: Vec<AtomicU64>,
     msgs_sent: Vec<AtomicU64>,
     msgs_received: Vec<AtomicU64>,
+    by_kind: Mutex<HashMap<u16, KindTraffic>>,
 }
 
 impl NetStats {
     fn new(n: usize) -> Self {
         let mk = || (0..n).map(|_| AtomicU64::new(0)).collect();
-        NetStats { bytes_sent: mk(), bytes_received: mk(), msgs_sent: mk(), msgs_received: mk() }
+        NetStats {
+            bytes_sent: mk(),
+            bytes_received: mk(),
+            msgs_sent: mk(),
+            msgs_received: mk(),
+            by_kind: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Snapshot of one machine's counters.
@@ -118,6 +142,58 @@ impl NetStats {
     pub fn total_msgs(&self) -> u64 {
         self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
+
+    /// Delivered traffic of one message kind.
+    pub fn kind(&self, kind: u16) -> KindTraffic {
+        self.by_kind.lock().get(&kind).copied().unwrap_or_default()
+    }
+
+    /// Delivered traffic broken down by message kind, sorted by kind.
+    pub fn by_kind(&self) -> Vec<(u16, KindTraffic)> {
+        let mut rows: Vec<(u16, KindTraffic)> =
+            self.by_kind.lock().iter().map(|(&k, &t)| (k, t)).collect();
+        rows.sort_unstable_by_key(|&(k, _)| k);
+        rows
+    }
+
+    /// Charges (`sign = 1`) or rolls back (`sign = -1`) one envelope's
+    /// attribution rows under a single lock acquisition. Internal to
+    /// delivery.
+    fn charge_kinds(&self, rows: &[(u16, u64)], sign: i64) {
+        let mut map = self.by_kind.lock();
+        for &(k, b) in rows {
+            let e = map.entry(k).or_default();
+            e.msgs = e.msgs.wrapping_add_signed(sign);
+            e.bytes = e.bytes.wrapping_add_signed(sign * b as i64);
+        }
+    }
+}
+
+/// Per-kind attribution of one delivered envelope: `(kind, bytes)` rows.
+/// Batch envelopes are split into their sub-messages (framing + payload
+/// each), with the transport header on the envelope row.
+fn kind_attribution(env: &Envelope) -> Vec<(u16, u64)> {
+    use crate::batch::K_BATCH;
+    use crate::codec::get_uvarint;
+    if env.kind != K_BATCH {
+        return vec![(env.kind, env.wire_bytes() as u64)];
+    }
+    let mut rows = vec![(K_BATCH, HEADER_BYTES as u64)];
+    let mut buf = env.payload.clone();
+    while buf.has_remaining() {
+        let before = buf.remaining();
+        let (Some(kind), Some(len)) = (get_uvarint(&mut buf), get_uvarint(&mut buf)) else {
+            break; // malformed; charge what parsed
+        };
+        let header = before - buf.remaining();
+        let len = len as usize;
+        if buf.remaining() < len {
+            break;
+        }
+        buf.advance(len);
+        rows.push((kind as u16, (header + len) as u64));
+    }
+    rows
 }
 
 /// Error returned by blocking receives.
@@ -370,11 +446,14 @@ impl Drop for SimNet {
 fn deliver(inboxes: &[Sender<Envelope>], stats: &NetStats, env: Envelope) {
     let dst = env.dst.index();
     let wire = env.wire_bytes() as u64;
+    let kinds = kind_attribution(&env);
     stats.bytes_received[dst].fetch_add(wire, Ordering::Relaxed);
     stats.msgs_received[dst].fetch_add(1, Ordering::Relaxed);
+    stats.charge_kinds(&kinds, 1);
     if inboxes[dst].send(env).is_err() {
         stats.bytes_received[dst].fetch_sub(wire, Ordering::Relaxed);
         stats.msgs_received[dst].fetch_sub(1, Ordering::Relaxed);
+        stats.charge_kinds(&kinds, -1);
     }
 }
 
@@ -576,6 +655,62 @@ mod tests {
         let t1 = net.stats().machine(MachineId(1));
         assert_eq!(t1.msgs_received, 1);
         assert_eq!(t1.bytes_received, (100 + HEADER_BYTES) as u64);
+    }
+
+    #[test]
+    fn per_kind_counters_charged_at_delivery() {
+        let (net, eps) = SimNet::new(2, LatencyModel::ZERO);
+        eps[0].send(MachineId(1), 7, Bytes::from(vec![0u8; 10]));
+        eps[0].send(MachineId(1), 7, Bytes::from(vec![0u8; 20]));
+        eps[0].send(MachineId(1), 9, Bytes::from(vec![0u8; 5]));
+        for _ in 0..3 {
+            eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        }
+        let k7 = net.stats().kind(7);
+        assert_eq!(k7.msgs, 2);
+        assert_eq!(k7.bytes, (2 * HEADER_BYTES + 30) as u64);
+        assert_eq!(net.stats().kind(9).msgs, 1);
+        assert_eq!(net.stats().kind(42), KindTraffic::default());
+        let rows = net.stats().by_kind();
+        assert_eq!(rows.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![7, 9]);
+    }
+
+    #[test]
+    fn batch_envelopes_attribute_inner_kinds() {
+        use crate::batch::K_BATCH;
+        use crate::codec::put_uvarint;
+        // Hand-rolled batch envelope: two sub-messages of kinds 3 and 4
+        // (varint framing: 1-byte kind + 1-byte length each here).
+        let mut buf = bytes::BytesMut::new();
+        use bytes::BufMut;
+        put_uvarint(&mut buf, 3);
+        put_uvarint(&mut buf, 8);
+        buf.put_slice(&[0u8; 8]);
+        put_uvarint(&mut buf, 4);
+        put_uvarint(&mut buf, 2);
+        buf.put_slice(&[0u8; 2]);
+        let (net, eps) = SimNet::new(2, LatencyModel::ZERO);
+        eps[0].send(MachineId(1), K_BATCH, buf.freeze());
+        eps[1].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(net.stats().kind(3).bytes, 2 + 8);
+        assert_eq!(net.stats().kind(4).bytes, 2 + 2);
+        assert_eq!(net.stats().kind(K_BATCH).bytes, HEADER_BYTES as u64);
+        // Sub-message bytes + envelope header account for the whole wire.
+        let total: u64 = net.stats().by_kind().iter().map(|(_, t)| t.bytes).sum();
+        assert_eq!(total, net.stats().machine(MachineId(1)).bytes_received);
+    }
+
+    #[test]
+    fn undelivered_kinds_are_rolled_back() {
+        let (net, mut eps) = SimNet::new(2, LatencyModel::fixed(Duration::from_millis(250)));
+        let stats = Arc::clone(net.stats());
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e0.send(MachineId(1), 3, Bytes::from(vec![0u8; 64]));
+        drop(e1);
+        drop(e0);
+        drop(net);
+        assert_eq!(stats.kind(3), KindTraffic::default());
     }
 
     #[test]

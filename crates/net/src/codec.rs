@@ -6,9 +6,18 @@
 //! deliberate (DESIGN.md D1): it forces the engines to behave like a real
 //! distributed system and makes the byte counters truthful.
 //!
-//! The format is little-endian and fixed-width for scalars; collections are
-//! a `u32` length prefix followed by elements. (The atom journal in
-//! `graphlab-atoms` uses a separate varint format tuned for on-disk size.)
+//! # Wire format (v2, ISSUE 3)
+//!
+//! Integers are **LEB128 varints**: `u16`/`u32`/`u64`/`usize` encode 7 bits
+//! per byte, low group first, continuation in the high bit; `i64` is
+//! zig-zag-mapped first so small magnitudes of either sign stay short.
+//! Message traffic is dominated by small ids, versions and lengths, so this
+//! roughly halves control-message size versus the old fixed-width format.
+//! `u8`, `bool`, `f32` and `f64` remain fixed-width. Collections are a
+//! varint length prefix followed by elements. Sorted id sequences can
+//! additionally be gap-encoded with [`put_id_deltas`]/[`get_id_deltas`].
+//! (The atom journal in `graphlab-atoms` uses a separate varint format
+//! tuned for on-disk size.)
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graphlab_graph::{AtomId, EdgeId, MachineId, VertexId};
@@ -43,7 +52,93 @@ pub fn decode_from<T: Codec>(bytes: Bytes) -> Option<T> {
     Some(v)
 }
 
-macro_rules! impl_codec_scalar {
+// ---- varint primitives ----
+
+/// Appends `v` as an LEB128 varint (1–10 bytes; values < 128 take one).
+#[inline]
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(b);
+            return;
+        }
+        buf.put_u8(b | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from the front of `buf`. Returns `None` on a
+/// short read or a >64-bit overflow.
+#[inline]
+pub fn get_uvarint(buf: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let b = buf.get_u8();
+        if shift == 63 && (b & 0x7f) > 1 {
+            return None; // would overflow the 64th bit
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zig-zag maps a signed value so small magnitudes varint-encode short.
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a **non-decreasing** sequence of `n` u32 ids as varint gaps
+/// from the previous id (first gap is from 0). Sorted scope-vertex and
+/// edge-id lists shrink to ~1 byte per id this way.
+#[inline]
+pub fn put_id_deltas(buf: &mut BytesMut, n: usize, ids: impl Iterator<Item = u32>) {
+    put_uvarint(buf, n as u64);
+    let mut prev = 0u32;
+    for id in ids {
+        debug_assert!(id >= prev, "id sequence must be non-decreasing");
+        put_uvarint(buf, (id - prev) as u64);
+        prev = id;
+    }
+}
+
+/// Decodes a gap-encoded id sequence written by [`put_id_deltas`].
+pub fn get_id_deltas(buf: &mut Bytes) -> Option<Vec<u32>> {
+    let n = get_uvarint(buf)? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let gap = get_uvarint(buf)?;
+        let id = prev + gap;
+        if id > u32::MAX as u64 {
+            return None;
+        }
+        out.push(id as u32);
+        prev = id;
+    }
+    Some(out)
+}
+
+// ---- scalar impls ----
+
+macro_rules! impl_codec_fixed {
     ($t:ty, $put:ident, $get:ident, $len:expr) => {
         impl Codec for $t {
             #[inline]
@@ -61,13 +156,41 @@ macro_rules! impl_codec_scalar {
     };
 }
 
-impl_codec_scalar!(u8, put_u8, get_u8, 1);
-impl_codec_scalar!(u16, put_u16_le, get_u16_le, 2);
-impl_codec_scalar!(u32, put_u32_le, get_u32_le, 4);
-impl_codec_scalar!(u64, put_u64_le, get_u64_le, 8);
-impl_codec_scalar!(i64, put_i64_le, get_i64_le, 8);
-impl_codec_scalar!(f32, put_f32_le, get_f32_le, 4);
-impl_codec_scalar!(f64, put_f64_le, get_f64_le, 8);
+impl_codec_fixed!(u8, put_u8, get_u8, 1);
+impl_codec_fixed!(f32, put_f32_le, get_f32_le, 4);
+impl_codec_fixed!(f64, put_f64_le, get_f64_le, 8);
+
+macro_rules! impl_codec_uvarint {
+    ($t:ty) => {
+        impl Codec for $t {
+            #[inline]
+            fn encode(&self, buf: &mut BytesMut) {
+                put_uvarint(buf, *self as u64);
+            }
+            #[inline]
+            fn decode(buf: &mut Bytes) -> Option<Self> {
+                let v = get_uvarint(buf)?;
+                <$t>::try_from(v).ok()
+            }
+        }
+    };
+}
+
+impl_codec_uvarint!(u16);
+impl_codec_uvarint!(u32);
+impl_codec_uvarint!(u64);
+impl_codec_uvarint!(usize);
+
+impl Codec for i64 {
+    #[inline]
+    fn encode(&self, buf: &mut BytesMut) {
+        put_uvarint(buf, zigzag(*self));
+    }
+    #[inline]
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        get_uvarint(buf).map(unzigzag)
+    }
+}
 
 impl Codec for bool {
     fn encode(&self, buf: &mut BytesMut) {
@@ -79,16 +202,6 @@ impl Codec for bool {
             1 => Some(true),
             _ => None,
         }
-    }
-}
-
-impl Codec for usize {
-    fn encode(&self, buf: &mut BytesMut) {
-        debug_assert!(*self <= u64::MAX as usize);
-        buf.put_u64_le(*self as u64);
-    }
-    fn decode(buf: &mut Bytes) -> Option<Self> {
-        u64::decode(buf).map(|v| v as usize)
     }
 }
 
@@ -137,11 +250,11 @@ impl Codec for MachineId {
 
 impl Codec for String {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        put_uvarint(buf, self.len() as u64);
         buf.put_slice(self.as_bytes());
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
-        let len = u32::decode(buf)? as usize;
+        let len = get_uvarint(buf)? as usize;
         if buf.remaining() < len {
             return None;
         }
@@ -152,13 +265,13 @@ impl Codec for String {
 
 impl<T: Codec> Codec for Vec<T> {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        put_uvarint(buf, self.len() as u64);
         for item in self {
             item.encode(buf);
         }
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
-        let len = u32::decode(buf)? as usize;
+        let len = get_uvarint(buf)? as usize;
         let mut out = Vec::with_capacity(len.min(1 << 20));
         for _ in 0..len {
             out.push(T::decode(buf)?);
@@ -209,11 +322,11 @@ impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
 
 impl Codec for Bytes {
     fn encode(&self, buf: &mut BytesMut) {
-        (self.len() as u32).encode(buf);
+        put_uvarint(buf, self.len() as u64);
         buf.put_slice(self);
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
-        let len = u32::decode(buf)? as usize;
+        let len = get_uvarint(buf)? as usize;
         if buf.remaining() < len {
             return None;
         }
@@ -239,11 +352,80 @@ mod tests {
         roundtrip(u32::MAX);
         roundtrip(u64::MAX);
         roundtrip(-42i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
         roundtrip(3.25f32);
         roundtrip(f64::MIN_POSITIVE);
         roundtrip(true);
         roundtrip(false);
         roundtrip(12345usize);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_uvarint(&mut b), Some(v));
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn varint_lengths_match_leb128() {
+        let cases = [(0u64, 1usize), (127, 1), (128, 2), (16383, 2), (16384, 3), (u64::MAX, 10)];
+        for (v, len) in cases {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            assert_eq!(buf.len(), len, "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let bytes = Bytes::from(vec![0x80u8; 11]);
+        let mut b = bytes;
+        assert_eq!(get_uvarint(&mut b), None);
+        // A 10-byte encoding whose last group sets bits beyond the 64th.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        let mut b = Bytes::from(overflow);
+        assert_eq!(get_uvarint(&mut b), None);
+    }
+
+    #[test]
+    fn zigzag_mapping() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn id_deltas_roundtrip() {
+        for ids in [vec![], vec![0u32], vec![0, 0, 1, 5, 5, 100], vec![7, 8, 1000, u32::MAX]] {
+            let mut buf = BytesMut::new();
+            put_id_deltas(&mut buf, ids.len(), ids.iter().copied());
+            let mut b = buf.freeze();
+            assert_eq!(get_id_deltas(&mut b), Some(ids));
+            assert!(!b.has_remaining());
+        }
+    }
+
+    #[test]
+    fn id_deltas_overflow_rejected() {
+        // Two max gaps exceed u32.
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, 2);
+        put_uvarint(&mut buf, u32::MAX as u64);
+        put_uvarint(&mut buf, 1);
+        let mut b = buf.freeze();
+        assert_eq!(get_id_deltas(&mut b), None);
     }
 
     #[test]
@@ -277,9 +459,18 @@ mod tests {
 
     #[test]
     fn short_read_rejected() {
-        let enc = encode_to_bytes(&1u64);
+        let enc = encode_to_bytes(&u64::MAX);
         let short = enc.slice(0..4);
         assert!(decode_from::<u64>(short).is_none());
+    }
+
+    #[test]
+    fn narrow_type_range_enforced() {
+        // A varint holding a value > u16::MAX must not decode as u16.
+        let enc = encode_to_bytes(&(u16::MAX as u32 + 1));
+        assert!(decode_from::<u16>(enc).is_none());
+        let enc = encode_to_bytes(&(u32::MAX as u64 + 1));
+        assert!(decode_from::<u32>(enc).is_none());
     }
 
     #[test]
@@ -291,5 +482,13 @@ mod tests {
     #[test]
     fn nested_vec_roundtrip() {
         roundtrip(vec![vec![1u16, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn small_ids_are_one_byte() {
+        // The whole point of the v2 format: typical ids/versions are tiny.
+        assert_eq!(encode_to_bytes(&VertexId(90)).len(), 1);
+        assert_eq!(encode_to_bytes(&MachineId(7)).len(), 1);
+        assert_eq!(encode_to_bytes(&5u64).len(), 1);
     }
 }

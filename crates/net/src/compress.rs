@@ -1,0 +1,265 @@
+//! LZ-style envelope compression for the batching layer.
+//!
+//! Scope-data payloads dominate cluster bytes (ISSUE 3): a 16 KiB batch
+//! envelope full of `ScopeDataMsg` rows repeats ids, version patterns and
+//! framing constantly, which a byte-oriented LZSS pass removes cheaply and
+//! without any external dependency.
+//!
+//! Format: `uvarint(raw_len)` followed by token groups — a control byte
+//! whose bits (LSB first) flag the next eight tokens, `1` = one literal
+//! byte, `0` = a back-reference of `u16` little-endian distance (1..=65535,
+//! relative to the current output position) and one length byte encoding
+//! `MIN_MATCH ..= MIN_MATCH + 255` bytes. Overlapping matches are allowed
+//! (distance < length acts as run-length encoding).
+//!
+//! The compressor is greedy with a single-entry hash table over 4-byte
+//! prefixes — no chains, no lazy matching — tuned for "fast and always
+//! correct" rather than maximal ratio. [`compress`] never fails;
+//! [`decompress`] validates every reference and returns `None` on malformed
+//! input. `decompress(compress(x)) == x` for every byte string (pinned by
+//! the workspace proptest suite).
+
+/// Matches shorter than this are emitted as literals.
+pub const MIN_MATCH: usize = 4;
+/// Longest back-reference one token can encode.
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Furthest back a reference can reach.
+pub const MAX_DISTANCE: usize = u16::MAX as usize;
+
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_uvarint_vec(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_uvarint_slice(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *data.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return None;
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Compresses `data`. The output always decompresses back exactly; it is
+/// *not* guaranteed to be smaller (callers keep the raw form when it wins).
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 10);
+    put_uvarint_vec(&mut out, data.len() as u64);
+
+    let mut head = vec![u32::MAX; 1 << HASH_BITS];
+    let mut ctrl_pos = 0usize;
+    let mut ctrl_left = 0u32;
+    let mut i = 0usize;
+
+    macro_rules! begin_token {
+        ($is_literal:expr) => {{
+            if ctrl_left == 0 {
+                ctrl_pos = out.len();
+                out.push(0);
+                ctrl_left = 8;
+            }
+            if $is_literal {
+                out[ctrl_pos] |= 1 << (8 - ctrl_left);
+            }
+            ctrl_left -= 1;
+        }};
+    }
+
+    while i < data.len() {
+        let mut match_len = 0usize;
+        let mut match_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(data, i);
+            let cand = head[h] as usize;
+            head[h] = i as u32;
+            if cand != u32::MAX as usize && i - cand <= MAX_DISTANCE {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0usize;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l >= MIN_MATCH {
+                    match_len = l;
+                    match_dist = i - cand;
+                }
+            }
+        }
+        if match_len > 0 {
+            begin_token!(false);
+            out.extend_from_slice(&(match_dist as u16).to_le_bytes());
+            out.push((match_len - MIN_MATCH) as u8);
+            // Seed the table inside the matched region so later data can
+            // reference it too.
+            let end = i + match_len;
+            i += 1;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    head[hash4(data, i)] = i as u32;
+                }
+                i += 1;
+            }
+        } else {
+            begin_token!(true);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a [`compress`] output. Returns `None` on any malformed
+/// input: bad length header, truncated tokens, out-of-window references or
+/// trailing garbage.
+pub fn decompress(data: &[u8]) -> Option<Vec<u8>> {
+    let mut pos = 0usize;
+    let raw_len = get_uvarint_slice(data, &mut pos)? as usize;
+    // Defensive bound: nothing in this system compresses gigabyte blobs.
+    if raw_len > (1 << 30) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let ctrl = *data.get(pos)?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == raw_len {
+                break;
+            }
+            if ctrl >> bit & 1 == 1 {
+                out.push(*data.get(pos)?);
+                pos += 1;
+            } else {
+                let lo = *data.get(pos)?;
+                let hi = *data.get(pos + 1)?;
+                let len = *data.get(pos + 2)? as usize + MIN_MATCH;
+                pos += 3;
+                let dist = u16::from_le_bytes([lo, hi]) as usize;
+                if dist == 0 || dist > out.len() || out.len() + len > raw_len {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if pos != data.len() {
+        return None; // trailing garbage
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed).as_deref(), Some(data), "roundtrip failed");
+        packed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn incompressible_random_bytes() {
+        // Deterministic pseudo-random stream: no 4-byte repeats likely.
+        let mut x = 0x1234_5678u64;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn runs_compress_well() {
+        let data = vec![0u8; 10_000];
+        let n = roundtrip(&data);
+        assert!(n < 200, "run of zeros compressed to {n} bytes");
+    }
+
+    #[test]
+    fn repeated_structure_compresses() {
+        // Simulates a batch of similar rows: id, version, 8-byte payload.
+        let mut data = Vec::new();
+        for i in 0..500u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(&[1, 0]);
+            data.extend_from_slice(&1.0f64.to_le_bytes());
+        }
+        let n = roundtrip(&data);
+        assert!(n < data.len() / 2, "structured rows: {n} of {}", data.len());
+    }
+
+    #[test]
+    fn overlapping_matches() {
+        let data = b"abababababababababababab";
+        roundtrip(data);
+        let data: Vec<u8> = std::iter::repeat_n(b"xyz".iter().copied(), 100).flatten().collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(decompress(&[]), None);
+        // Length says 4 bytes but no tokens follow.
+        assert_eq!(decompress(&[4]), None);
+        // Back-reference before the start of output.
+        // raw_len=4, ctrl=0 (match), dist=9 len_code=0 -> dist > produced.
+        assert_eq!(decompress(&[4, 0x00, 9, 0, 0]), None);
+        // Zero distance is invalid.
+        assert_eq!(decompress(&[4, 0x00, 0, 0, 0]), None);
+        // Trailing garbage after a complete stream.
+        let mut ok = compress(b"hello world hello world");
+        assert!(decompress(&ok).is_some());
+        ok.push(0);
+        assert_eq!(decompress(&ok), None);
+    }
+
+    #[test]
+    fn match_length_bounds() {
+        // A run exactly at MAX_MATCH and one over.
+        for n in [MAX_MATCH, MAX_MATCH + 1, 3 * MAX_MATCH + 7] {
+            roundtrip(&vec![7u8; n]);
+        }
+    }
+}

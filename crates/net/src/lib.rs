@@ -37,10 +37,31 @@
 //! Chandy-Lamport snapshot marker (Alg. 5), and the chromatic engine's
 //! counting flush all assume it. See [`cluster`] for details.
 //!
-//! A batching layer ([`batch::Batcher`]) coalesces small control messages
-//! bound for the same machine into one envelope (flushed by size/count
-//! thresholds and before every blocking receive), preserving per-channel
-//! order; the kind [`batch::K_BATCH`] is reserved for it.
+//! ## Wire format
+//!
+//! Everything crossing a machine boundary is byte-encoded through the
+//! [`codec::Codec`] trait. Since ISSUE 3 the scalar encoding is
+//! **varint-based**: `u16`/`u32`/`u64`/`usize` are LEB128, `i64` is
+//! zig-zag + LEB128, collection lengths are varints, and sorted id lists
+//! can be gap-encoded ([`codec::put_id_deltas`]). Floats and single bytes
+//! stay fixed-width. Engine traffic is dominated by small ids, versions
+//! and lengths, so this roughly halves control-message payloads.
+//!
+//! On top of the codec, a batching layer ([`batch::Batcher`]) coalesces
+//! small control messages bound for the same machine into one envelope
+//! (flushed by size/count thresholds and before every blocking receive),
+//! preserving per-channel order. Outgoing envelopes at least
+//! [`batch::BatchPolicy::compress_min`] bytes long are additionally run
+//! through a dependency-free LZSS pass ([`compress`]) and shipped under a
+//! reserved kind when that shrinks them. Two transport kinds are reserved:
+//! [`batch::K_BATCH`] (`u16::MAX`, batch envelope) and [`batch::K_ZIP`]
+//! (`u16::MAX - 1`, compressed envelope); application tag spaces must stay
+//! clear of both.
+//!
+//! Traffic is measured by [`cluster::NetStats`]: per-machine send/receive
+//! counters plus a per-message-kind breakdown charged at delivery
+//! ([`cluster::NetStats::by_kind`]) that attributes batch sub-messages to
+//! their real kinds — the instrumentation behind `repro -- abl-bytes`.
 //!
 //! The crate also provides the two distributed-coordination state machines
 //! the engines are built from: a marker/token termination detector
@@ -52,12 +73,13 @@ pub mod barrier;
 pub mod batch;
 pub mod cluster;
 pub mod codec;
+pub mod compress;
 pub mod latency;
 pub mod termination;
 
 pub use barrier::BarrierMaster;
-pub use batch::{BatchCounters, BatchPolicy, Batcher, K_BATCH};
-pub use cluster::{Endpoint, Envelope, MachineTraffic, NetStats, RecvError, SimNet};
+pub use batch::{BatchCounters, BatchPolicy, Batcher, K_BATCH, K_ZIP};
+pub use cluster::{Endpoint, Envelope, KindTraffic, MachineTraffic, NetStats, RecvError, SimNet};
 pub use codec::{decode_from, encode_to_bytes, Codec};
 pub use latency::LatencyModel;
 pub use termination::{Safra, SafraAction, Token};

@@ -325,6 +325,164 @@ fn batching_reduces_messages_and_preserves_ranks() {
     );
 }
 
+/// ISSUE 3 regression: version-aware delta scope sync + envelope
+/// compression must not change what either engine computes under real
+/// (`ec2_like`) latency — 8 machines, delta+compression on vs off.
+#[test]
+fn delta_sync_and_compression_preserve_pagerank_both_engines_under_latency() {
+    let base = web_graph(1_200, 4, 19);
+    let oracle = exact_pagerank(&base, 0.15, 150);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+
+    for (arm, no_filter, policy) in [
+        ("off", true, graphlab::core::BatchPolicy::uncompressed()),
+        ("on", false, graphlab::core::BatchPolicy::default()),
+    ] {
+        let mut cfg = EngineConfig::new(8);
+        cfg.latency = LatencyModel::ec2_like();
+        cfg.no_version_filter = no_filter;
+        cfg.batch = policy;
+
+        let mut lock = base.clone();
+        init_ranks(&mut lock);
+        run_locking(
+            &mut lock,
+            Arc::new(pr.clone()),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        let ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
+        let l1 = l1_error(&ranks, &oracle);
+        assert!(l1 < 1e-6, "locking delta/compress {arm}: L1 {l1}");
+
+        let mut chro = base.clone();
+        init_ranks(&mut chro);
+        let coloring = greedy_coloring(&chro);
+        run_chromatic(
+            &mut chro,
+            coloring,
+            Arc::new(pr.clone()),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        let ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
+        let l1 = l1_error(&ranks, &oracle);
+        assert!(l1 < 1e-6, "chromatic delta/compress {arm}: L1 {l1}");
+    }
+}
+
+/// ISSUE 3 regression: same on/off comparison for ALS (both engines,
+/// `ec2_like`, 8 machines) — converged quality must be unaffected.
+#[test]
+fn delta_sync_and_compression_preserve_als_under_latency() {
+    let problem = ratings_graph(240, 80, 10, 4, 3);
+    let als = Als { d: 4, lambda: 0.05, epsilon: 1e-5, dynamic: true };
+    let mut rmses: Vec<f64> = Vec::new();
+
+    for (no_filter, policy) in [
+        (true, graphlab::core::BatchPolicy::uncompressed()),
+        (false, graphlab::core::BatchPolicy::default()),
+    ] {
+        let mut cfg = EngineConfig::new(8);
+        cfg.latency = LatencyModel::ec2_like();
+        cfg.no_version_filter = no_filter;
+        cfg.batch = policy;
+        cfg.scheduler = SchedulerKind::Priority;
+        cfg.max_updates = 15_000;
+
+        let mut g = problem.graph.clone();
+        run_locking(
+            &mut g,
+            Arc::new(als.clone()),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        rmses.push(train_rmse(&g));
+
+        let mut g = problem.graph.clone();
+        let users = problem.users;
+        let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
+        let mut cfg = cfg.clone();
+        cfg.scheduler = SchedulerKind::Fifo;
+        run_chromatic(
+            &mut g,
+            coloring,
+            Arc::new(als.clone()),
+            InitialSchedule::AllVertices,
+            no_syncs(),
+            &cfg,
+            &PartitionStrategy::RandomHash,
+        );
+        rmses.push(train_rmse(&g));
+    }
+    for (i, rmse) in rmses.iter().enumerate() {
+        assert!(*rmse < 0.12, "arm {i} rmse {rmse}");
+    }
+    // Locking off vs on and chromatic off vs on each land on comparable
+    // fits (execution order differs, the answers must not).
+    assert!((rmses[0] - rmses[2]).abs() < 0.03, "locking arms diverged: {rmses:?}");
+    assert!((rmses[1] - rmses[3]).abs() < 0.03, "chromatic arms diverged: {rmses:?}");
+}
+
+/// ISSUE 3 regression: an asynchronous snapshot cut **mid-run with delta
+/// sync + compression on**, restored and re-converged on a fresh cluster
+/// (again with delta sync on), must reach the uninterrupted run's
+/// fixpoint. A remote-cache invalidation bug would skip a row carrying
+/// the Alg. 5 snapshot marker or resume a restored cluster against stale
+/// residency assumptions — either tears the cut.
+#[test]
+fn delta_sync_snapshot_restore_mid_run_is_consistent() {
+    let base = web_graph(500, 4, 29);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true };
+    let mut cfg = EngineConfig::new(4);
+    cfg.latency = LatencyModel::ec2_like();
+    cfg.snapshot = SnapshotConfig {
+        mode: SnapshotMode::Asynchronous,
+        every_updates: 400,
+        max_snapshots: 1,
+    };
+
+    let mut full = base.clone();
+    init_ranks(&mut full);
+    let out = run_locking(
+        &mut full,
+        Arc::new(pr.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &cfg,
+        &PartitionStrategy::RandomHash,
+    );
+    assert!(out.metrics.snapshots >= 1);
+
+    // Restore the mid-run checkpoint and converge it on a *distributed*
+    // cluster with delta sync still on (fresh remote-cache tables are the
+    // restore-side invalidation).
+    let mut restored = base.clone();
+    graphlab::core::restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
+    let mut cfg2 = EngineConfig::new(4);
+    cfg2.latency = LatencyModel::ec2_like();
+    run_locking(
+        &mut restored,
+        Arc::new(pr.clone()),
+        InitialSchedule::AllVertices,
+        no_syncs(),
+        &cfg2,
+        &PartitionStrategy::RandomHash,
+    );
+    for v in full.vertices() {
+        assert!(
+            (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-7,
+            "divergence at {v}"
+        );
+    }
+}
+
 #[test]
 fn ingress_pipeline_is_usable_standalone() {
     // DistributedGraph: build atoms once, load for several cluster sizes.

@@ -207,6 +207,297 @@ mod fabric {
     }
 }
 
+/// ISSUE 3: exhaustive wire-codec property suite. Every `Codec` impl in
+/// `graphlab_core::messages` round-trips on arbitrary payloads, versions
+/// and `Bytes` lengths, as do the varint/zigzag/gap-encoding primitives
+/// they are built from.
+mod wire_codec {
+    use super::*;
+    use bytes::{Bytes, BytesMut};
+    use graphlab::core::messages::*;
+    use graphlab::graph::{EdgeId, MachineId};
+    use graphlab::net::codec::{
+        get_id_deltas, get_uvarint, put_id_deltas, put_uvarint, unzigzag, zigzag,
+    };
+    use graphlab::net::termination::Token;
+    use graphlab::net::Codec;
+
+    fn rt<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = encode_to_bytes(&v);
+        let dec = decode_from::<T>(enc);
+        assert_eq!(dec.as_ref(), Some(&v), "roundtrip failed");
+    }
+
+    fn arb_bytes() -> impl Strategy<Value = Bytes> {
+        proptest::collection::vec(0u32..256, 0..48)
+            .prop_map(|v| Bytes::from(v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()))
+    }
+
+    fn arb_vrow() -> impl Strategy<Value = VertexRow> {
+        (0u32..u32::MAX, 0u64..u64::MAX, 0u32..u32::MAX, arb_bytes()).prop_map(
+            |(vid, version, snap, data)| VertexRow { vid: VertexId(vid), version, snap, data },
+        )
+    }
+
+    fn arb_erow() -> impl Strategy<Value = EdgeRow> {
+        (0u32..u32::MAX, 0u64..u64::MAX, arb_bytes())
+            .prop_map(|(eid, version, data)| EdgeRow { eid: EdgeId(eid), version, data })
+    }
+
+    /// Schedule priorities travel as f32 by design; generate exactly
+    /// f32-representable values so equality round-trips.
+    fn arb_sched() -> impl Strategy<Value = ScheduleMsg> {
+        proptest::collection::vec((0u32..u32::MAX, -1e30f32..1e30), 0..16).prop_map(|tasks| {
+            ScheduleMsg {
+                tasks: tasks.into_iter().map(|(v, p)| (VertexId(v), p as f64)).collect(),
+            }
+        })
+    }
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0u32..26, 0..10)
+            .prop_map(|v| v.into_iter().map(|c| (b'a' + c as u8) as char).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn uvarint_roundtrips(v in 0u64..u64::MAX) {
+            let mut buf = BytesMut::new();
+            put_uvarint(&mut buf, v);
+            prop_assert!(buf.len() <= 10);
+            let mut b = buf.freeze();
+            prop_assert_eq!(get_uvarint(&mut b), Some(v));
+            prop_assert!(b.is_empty());
+        }
+
+        #[test]
+        fn zigzag_roundtrips(v in i64::MIN..i64::MAX) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+            let enc = encode_to_bytes(&v);
+            prop_assert_eq!(decode_from::<i64>(enc), Some(v));
+        }
+
+        #[test]
+        fn scalar_codecs_roundtrip(
+            a in 0u32..u32::MAX,
+            b in 0u64..u64::MAX,
+            c in 0u32..65536,
+            f in -1e300f64..1e300,
+        ) {
+            let enc = encode_to_bytes(&a);
+            prop_assert_eq!(decode_from::<u32>(enc), Some(a));
+            let enc = encode_to_bytes(&b);
+            prop_assert_eq!(decode_from::<u64>(enc), Some(b));
+            let c = c as u16;
+            let enc = encode_to_bytes(&c);
+            prop_assert_eq!(decode_from::<u16>(enc), Some(c));
+            let enc = encode_to_bytes(&f);
+            prop_assert_eq!(decode_from::<f64>(enc), Some(f));
+        }
+
+        #[test]
+        fn id_deltas_roundtrip_sorted(ids in proptest::collection::vec(0u32..u32::MAX, 0..64)) {
+            let mut ids = ids;
+            ids.sort_unstable();
+            let mut buf = BytesMut::new();
+            put_id_deltas(&mut buf, ids.len(), ids.iter().copied());
+            // Gap encoding beats one varint per id on dense sorted runs and
+            // never exceeds ~5 bytes per id.
+            prop_assert!(buf.len() <= 5 + ids.len() * 5);
+            let mut b = buf.freeze();
+            prop_assert_eq!(get_id_deltas(&mut b), Some(ids));
+            prop_assert!(b.is_empty());
+        }
+
+        #[test]
+        fn vertex_rows_roundtrip(row in arb_vrow()) { rt(row); }
+
+        #[test]
+        fn edge_rows_roundtrip(row in arb_erow()) { rt(row); }
+
+        #[test]
+        fn schedule_msgs_roundtrip(msg in arb_sched()) { rt(msg); }
+
+        #[test]
+        fn step_tagged_roundtrip(
+            step in 0u64..u64::MAX,
+            phase in 0u32..2,
+            row in arb_vrow(),
+            erow in arb_erow(),
+            sched in arb_sched(),
+        ) {
+            rt(StepTagged { step, phase: phase as u8, inner: row });
+            rt(StepTagged { step, phase: phase as u8, inner: erow });
+            rt(StepTagged { step, phase: phase as u8, inner: sched });
+        }
+
+        #[test]
+        fn flush_msgs_roundtrip(
+            step in 0u64..u64::MAX,
+            count in 0u64..u64::MAX,
+            updates in 0u64..u64::MAX,
+            pending in 0u64..u64::MAX,
+        ) {
+            rt(FlushMsg { step, count, updates, pending });
+        }
+
+        #[test]
+        fn sync_partial_msgs_roundtrip(
+            cycle in 0u64..u64::MAX,
+            partials in proptest::collection::vec(proptest::collection::vec(-1e12f64..1e12, 0..6), 0..5),
+            pending in 0u64..u64::MAX,
+            updates in 0u64..u64::MAX,
+        ) {
+            rt(SyncPartialMsg { cycle, partials: partials.clone(), pending, updates });
+            rt(LockSyncPartialMsg { epoch: cycle, partials });
+        }
+
+        #[test]
+        fn sync_globals_msgs_roundtrip(
+            cycle in 0u64..u64::MAX,
+            rows in proptest::collection::vec(
+                (arb_name(), 0u64..u64::MAX, proptest::collection::vec(-1e12f64..1e12, 0..5)),
+                0..5,
+            ),
+            halt in 0u32..2,
+            snapshot in 0u64..u64::MAX,
+        ) {
+            rt(SyncGlobalsMsg {
+                cycle,
+                globals: rows.clone(),
+                halt: halt == 1,
+                snapshot: if halt == 1 { Some(snapshot) } else { None },
+            });
+        }
+
+        #[test]
+        fn lock_req_msgs_roundtrip(
+            requester in 0u32..u32::MAX,
+            reqid in 0u64..u64::MAX,
+            scope_v in 0u32..u32::MAX,
+            machines in proptest::collection::vec(0u32..u32::MAX, 0..10),
+            model in 0u32..3,
+        ) {
+            rt(LockReqMsg {
+                requester: MachineId(requester as u16),
+                reqid,
+                scope_v: VertexId(scope_v),
+                machines: machines.into_iter().map(|m| MachineId(m as u16)).collect(),
+                model: model as u8,
+            });
+        }
+
+        #[test]
+        fn scope_data_msgs_roundtrip(
+            reqid in 0u64..u64::MAX,
+            vrows in proptest::collection::vec(arb_vrow(), 0..8),
+            erows in proptest::collection::vec(arb_erow(), 0..8),
+            vsame in 0u32..u32::MAX,
+            esame in 0u32..u32::MAX,
+        ) {
+            rt(ScopeDataMsg { reqid, vrows, erows, vsame, esame });
+        }
+
+        #[test]
+        fn release_msgs_roundtrip(
+            reqid in 0u64..u64::MAX,
+            vwrites in proptest::collection::vec((0u32..u32::MAX, 0u32..u32::MAX, arb_bytes()), 0..8),
+            ewrites in proptest::collection::vec((0u32..u32::MAX, arb_bytes()), 0..8),
+        ) {
+            rt(ReleaseMsg {
+                reqid,
+                vwrites: vwrites.into_iter().map(|(v, s, b)| (VertexId(v), s, b)).collect(),
+                ewrites: ewrites.into_iter().map(|(e, b)| (EdgeId(e), b)).collect(),
+            });
+        }
+
+        #[test]
+        fn snapshot_msgs_roundtrip(
+            snap in 0u64..u64::MAX,
+            counts in proptest::collection::vec(0u64..u64::MAX, 0..10),
+        ) {
+            rt(SnapReadyMsg { snap, sent_to: counts.clone() });
+            rt(SnapFlushMsg { snap, expect_from: counts });
+        }
+
+        #[test]
+        fn token_msgs_roundtrip(
+            count in i64::MIN..i64::MAX,
+            black in 0u32..2,
+            round in 0u32..u32::MAX,
+        ) {
+            rt(TokenMsg(Token { count, black: black == 1, round }));
+        }
+    }
+
+    #[test]
+    fn schedule_priority_infinity_survives_f32_wire() {
+        // The snapshot priority must survive the f32 wire representation.
+        rt(ScheduleMsg { tasks: vec![(VertexId(1), f64::INFINITY)] });
+    }
+}
+
+/// ISSUE 3: the LZSS pass under the batch envelopes decompresses to
+/// exactly what was compressed, for every byte string, and the batcher's
+/// compressed envelopes deliver the original messages in order.
+mod compression {
+    use super::*;
+    use bytes::Bytes;
+    use graphlab::graph::MachineId;
+    use graphlab::net::compress::{compress, decompress};
+    use graphlab::net::{BatchPolicy, Batcher, LatencyModel, SimNet};
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn compress_roundtrips_arbitrary_bytes(data in proptest::collection::vec(0u32..256, 0..2000)) {
+            let data: Vec<u8> = data.into_iter().map(|b| b as u8).collect();
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).as_deref(), Some(&data[..]));
+        }
+
+        #[test]
+        fn compress_roundtrips_repetitive_structures(
+            unit in proptest::collection::vec(0u32..256, 1..24),
+            reps in 1usize..200,
+        ) {
+            // Highly repetitive input exercises the match/overlap paths.
+            let unit: Vec<u8> = unit.into_iter().map(|b| b as u8).collect();
+            let data: Vec<u8> = std::iter::repeat_n(unit.iter().copied(), reps).flatten().collect();
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).as_deref(), Some(&data[..]));
+            if data.len() > 256 {
+                prop_assert!(packed.len() < data.len(), "repetitive data must shrink");
+            }
+        }
+
+        #[test]
+        fn batcher_delivers_compressed_envelopes_intact(
+            payloads in proptest::collection::vec((0u32..256, 0usize..900), 1..40),
+        ) {
+            // Mixed compressible (constant-fill) payload sizes through a
+            // compressing batcher: contents and order must be preserved.
+            let (_net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
+            let mut b1 = Batcher::new(eps.pop().unwrap(), BatchPolicy::default());
+            let mut b0 = Batcher::new(eps.pop().unwrap(), BatchPolicy::default());
+            for (k, (fill, size)) in payloads.iter().enumerate() {
+                b0.send(MachineId(1), k as u16, Bytes::from(vec![*fill as u8; *size]));
+            }
+            b0.flush_all();
+            for (k, (fill, size)) in payloads.iter().enumerate() {
+                let env = b1.recv_timeout(Duration::from_secs(5)).expect("delivery");
+                prop_assert_eq!(env.kind, k as u16);
+                prop_assert_eq!(env.payload.len(), *size);
+                prop_assert!(env.payload.iter().all(|&b| b == *fill as u8));
+            }
+        }
+    }
+}
+
 /// Serializability property: the locking engine's fixpoint equals the
 /// sequential engine's fixpoint for a confluent update function
 /// (max-diffusion), on random graphs and cluster sizes.
