@@ -145,7 +145,7 @@ pub fn test_rmse(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::GraphLab;
     use graphlab_graph::GraphBuilder;
 
     /// Tiny planted rank-1 rating matrix: r_uv = s_u * t_v.
@@ -187,14 +187,9 @@ mod tests {
         let mut g = planted(6, 5, 2);
         let before = train_rmse(&g);
         let als = Als { d: 2, lambda: 0.01, epsilon: 1e-6, dynamic: true };
-        let m = run_sequential(
-            &mut g,
-            &als,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 5000, ..Default::default() },
-        );
+        let out = GraphLab::on(&mut g).max_updates(5000).run(als);
         let after = train_rmse(&g);
-        assert!(m.updates >= 11);
+        assert!(out.metrics.updates >= 11);
         assert!(after < before * 0.05, "rmse {before} -> {after}");
         assert!(after < 0.05, "planted rank-1 should be recovered, rmse {after}");
     }
@@ -206,7 +201,7 @@ mod tests {
         let mut g: DataGraph<AlsVertex, f64> = b.build();
         let als = Als { d: 3, ..Default::default() };
         let before = g.vertex_data(graphlab_graph::VertexId(0)).clone();
-        run_sequential(&mut g, &als, InitialSchedule::AllVertices, SequentialConfig::default());
+        GraphLab::on(&mut g).run(als);
         assert_eq!(*g.vertex_data(graphlab_graph::VertexId(0)), before);
     }
 
@@ -214,12 +209,7 @@ mod tests {
     fn test_rmse_on_held_out() {
         let mut g = planted(6, 5, 2);
         let als = Als { d: 2, lambda: 0.01, epsilon: 1e-6, dynamic: true };
-        run_sequential(
-            &mut g,
-            &als,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 5000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(5000).run(als);
         // Held-out entries follow the same rank-1 model.
         let held: Vec<_> = (0..3)
             .map(|i| {

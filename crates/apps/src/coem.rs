@@ -137,7 +137,7 @@ pub fn accuracy(graph: &DataGraph<CoemVertex, f64>, truth: &[usize]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::GraphLab;
     use graphlab_graph::GraphBuilder;
 
     /// Two planted clusters: NPs 0..3 of type 0 (seeded at 0), NPs 4..7 of
@@ -185,12 +185,7 @@ mod tests {
     fn seeds_propagate_to_clusters() {
         let (mut g, truth) = planted();
         let coem = Coem { types: 2, epsilon: 1e-8, dynamic: true };
-        run_sequential(
-            &mut g,
-            &coem,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 50_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(50_000).run(coem);
         assert_eq!(accuracy(&g, &truth), 1.0);
     }
 
@@ -198,12 +193,7 @@ mod tests {
     fn seed_vertices_never_change() {
         let (mut g, _) = planted();
         let coem = Coem { types: 2, epsilon: 1e-8, dynamic: true };
-        run_sequential(
-            &mut g,
-            &coem,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 50_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(50_000).run(coem);
         assert_eq!(g.vertex_data(graphlab_graph::VertexId(0)).dist, vec![1.0, 0.0]);
         assert_eq!(g.vertex_data(graphlab_graph::VertexId(4)).dist, vec![0.0, 1.0]);
     }
@@ -212,12 +202,7 @@ mod tests {
     fn distributions_stay_normalized() {
         let (mut g, _) = planted();
         let coem = Coem { types: 2, epsilon: 1e-8, dynamic: true };
-        run_sequential(
-            &mut g,
-            &coem,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 50_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(50_000).run(coem);
         for v in g.vertices() {
             let s: f64 = g.vertex_data(v).dist.iter().sum();
             assert!((s - 1.0).abs() < 1e-9, "vertex {v} sums to {s}");

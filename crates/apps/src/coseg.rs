@@ -117,7 +117,7 @@ impl UpdateFunction<CosegVertex, BpEdge> for CosegUpdate {
 
         // (a) refresh the node prior from the GMM globals, if published.
         if let Some(global) = ctx.global(GMM_GLOBAL) {
-            let comps = GmmSync::unpack(global);
+            let comps = GmmSync::unpack(global.as_slice());
             let feature = ctx.vertex_data().feature;
             let mut prior: Vec<f64> = comps
                 .iter()
@@ -182,8 +182,8 @@ impl UpdateFunction<CosegVertex, BpEdge> for CosegUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gmm::GmmSync;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use crate::gmm::{GmmSync, GMM_GLOBAL};
+    use graphlab_core::{GraphLab, SyncCadence};
     use graphlab_graph::{DataGraph, GraphBuilder};
 
     /// A 1-D "video": features near 0.2 (label 0) then near 0.8 (label 1).
@@ -212,14 +212,10 @@ mod tests {
     fn em_plus_bp_segments_the_strip() {
         let mut g = strip(16);
         let update = CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-6 };
-        let sync = GmmSync::new(2);
-        let cfg = SequentialConfig {
-            syncs: vec![&sync],
-            sync_interval_updates: 8,
-            max_updates: 20_000,
-            ..Default::default()
-        };
-        run_sequential(&mut g, &update, InitialSchedule::AllVertices, cfg);
+        GraphLab::on(&mut g)
+            .sync(GMM_GLOBAL, GmmSync::new(2), SyncCadence::Updates(8))
+            .max_updates(20_000)
+            .run(update);
         // All left vertices share a label, all right vertices the other.
         let left = g.vertex_data(graphlab_graph::VertexId(0)).map_label();
         let right = g.vertex_data(graphlab_graph::VertexId(15)).map_label();
@@ -236,14 +232,10 @@ mod tests {
     fn prior_refresh_uses_globals() {
         let mut g = strip(4);
         let update = CosegUpdate::default();
-        let sync = GmmSync::new(2);
-        let cfg = SequentialConfig {
-            syncs: vec![&sync],
-            sync_interval_updates: 2,
-            max_updates: 100,
-            ..Default::default()
-        };
-        run_sequential(&mut g, &update, InitialSchedule::AllVertices, cfg);
+        GraphLab::on(&mut g)
+            .sync(GMM_GLOBAL, GmmSync::new(2), SyncCadence::Updates(2))
+            .max_updates(100)
+            .run(update);
         // Priors should no longer be the uninformative all-ones.
         let p = &g.vertex_data(graphlab_graph::VertexId(0)).prior;
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "normalised prior");

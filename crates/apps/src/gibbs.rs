@@ -5,7 +5,7 @@
 //! must never resample simultaneously. Under the GraphLab abstraction that
 //! is exactly the edge consistency model, and the chromatic engine executes
 //! it as the classic *chromatic Gibbs sampler* (Gonzalez et al., AISTATS
-//! 2011 [12]): all variables of one colour resample in parallel, colours
+//! 2011 \[12\]): all variables of one colour resample in parallel, colours
 //! sweep sequentially.
 //!
 //! Each update draws a new label for its vertex from the conditional
@@ -160,7 +160,7 @@ pub fn marginal_distance(g: &DataGraph<GibbsVertex, ()>, other: &DataGraph<Gibbs
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::GraphLab;
     use graphlab_graph::GraphBuilder;
 
     fn chain(n: usize, biased_ends: bool) -> DataGraph<GibbsVertex, ()> {
@@ -192,8 +192,8 @@ mod tests {
     fn runs_exactly_sweeps_samples_per_vertex() {
         let mut g = chain(10, false);
         let sampler = GibbsSampler { sweeps: 50, ..Default::default() };
-        let m = run_sequential(&mut g, &sampler, InitialSchedule::AllVertices, SequentialConfig::default());
-        assert_eq!(m.updates, 10 * 50);
+        let out = GraphLab::on(&mut g).run(sampler);
+        assert_eq!(out.metrics.updates, 10 * 50);
         for v in g.vertices() {
             assert_eq!(g.vertex_data(v).samples, 50);
             assert_eq!(g.vertex_data(v).counts.iter().sum::<u64>(), 50);
@@ -204,7 +204,7 @@ mod tests {
     fn biased_unaries_pull_marginals() {
         let mut g = chain(8, true);
         let sampler = GibbsSampler { sweeps: 400, coupling: 0.8, ..Default::default() };
-        run_sequential(&mut g, &sampler, InitialSchedule::AllVertices, SequentialConfig::default());
+        GraphLab::on(&mut g).run(sampler);
         // End vertices are strongly biased to label 0; coupling drags the
         // middle along.
         let m0 = g.vertex_data(graphlab_graph::VertexId(0)).marginal();
@@ -218,7 +218,7 @@ mod tests {
         let run = || {
             let mut g = chain(6, true);
             let sampler = GibbsSampler { sweeps: 100, ..Default::default() };
-            run_sequential(&mut g, &sampler, InitialSchedule::AllVertices, SequentialConfig::default());
+            GraphLab::on(&mut g).run(sampler);
             g.vertices().map(|v| g.vertex_data(v).counts.clone()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

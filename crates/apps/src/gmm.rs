@@ -4,16 +4,19 @@
 //! the sync operation": the sync maps every super-pixel vertex to
 //! belief-weighted sufficient statistics `(Σγ, Σγx, Σγx²)` per label, the
 //! master finalises them into `(weight, mean, variance)` triples published
-//! as the global value `"gmm"`, and the update functions read them back to
-//! recompute node priors — an EM loop running concurrently with LBP.
+//! under the [`GMM_GLOBAL`] handle, and the update functions read them
+//! back to recompute node priors — an EM loop running concurrently with
+//! LBP.
 
-use graphlab_core::sync::SyncOp;
-use graphlab_graph::VertexId;
+use graphlab_core::{Aggregate, GlobalHandle, SyncScope};
 
 use crate::coseg::CosegVertex;
 
-/// Layout of the published `"gmm"` global: `labels × [weight, mean, var]`.
-pub const GMM_GLOBAL: &str = "gmm";
+/// Handle of the published GMM global: `labels × [weight, mean, var]`.
+/// (`graphlab-apps` handles live in the `100..` range reserved for
+/// library aggregates — see [`GlobalHandle`]; ids below 100 are free for
+/// application code.)
+pub const GMM_GLOBAL: GlobalHandle<Vec<f64>> = GlobalHandle::new(101);
 
 /// Sufficient-statistics sync op for a 1-D Gaussian per label.
 pub struct GmmSync {
@@ -39,19 +42,8 @@ impl GmmSync {
         let d = x - mean;
         (-d * d / (2.0 * var)).exp() / (2.0 * std::f64::consts::PI * var).sqrt()
     }
-}
 
-impl<E> SyncOp<CosegVertex, E> for GmmSync {
-    fn name(&self) -> String {
-        GMM_GLOBAL.to_string()
-    }
-
-    fn init(&self) -> Vec<f64> {
-        // Per label: [Σγ, Σγx, Σγx²]
-        vec![0.0; self.labels * 3]
-    }
-
-    fn map(&self, _vertex: VertexId, data: &CosegVertex) -> Vec<f64> {
+    fn map_vertex(&self, data: &CosegVertex) -> Vec<f64> {
         let mut acc = vec![0.0; self.labels * 3];
         for (k, &gamma) in data.belief.iter().enumerate() {
             acc[3 * k] = gamma;
@@ -60,8 +52,22 @@ impl<E> SyncOp<CosegVertex, E> for GmmSync {
         }
         acc
     }
+}
 
-    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]) {
+impl<E: 'static> Aggregate<CosegVertex, E> for GmmSync {
+    type Acc = Vec<f64>;
+    type Out = Vec<f64>;
+
+    fn init(&self) -> Vec<f64> {
+        // Per label: [Σγ, Σγx, Σγx²]
+        vec![0.0; self.labels * 3]
+    }
+
+    fn map(&self, scope: &SyncScope<'_, CosegVertex, E>) -> Vec<f64> {
+        self.map_vertex(scope.vertex_data())
+    }
+
+    fn combine(&self, acc: &mut Vec<f64>, part: Vec<f64>) {
         for (a, p) in acc.iter_mut().zip(part) {
             *a += p;
         }
@@ -100,22 +106,22 @@ mod tests {
     #[test]
     fn map_collects_weighted_stats() {
         let op = GmmSync::new(2);
-        let acc = SyncOp::<CosegVertex, ()>::map(&op, VertexId(0), &vertex(2.0, vec![0.25, 0.75]));
+        let acc = op.map_vertex(&vertex(2.0, vec![0.25, 0.75]));
         assert_eq!(acc, vec![0.25, 0.5, 1.0, 0.75, 1.5, 3.0]);
     }
 
     #[test]
     fn finalize_recovers_cluster_means() {
         let op = GmmSync::new(2);
-        let mut acc = SyncOp::<CosegVertex, ()>::init(&op);
+        let mut acc = Aggregate::<CosegVertex, ()>::init(&op);
         // Hard-assigned points: label 0 at {1.0, 2.0}, label 1 at {10.0}.
         for (x, k) in [(1.0, 0usize), (2.0, 0), (10.0, 1)] {
             let mut belief = vec![0.0, 0.0];
             belief[k] = 1.0;
-            let part = SyncOp::<CosegVertex, ()>::map(&op, VertexId(0), &vertex(x, belief));
-            SyncOp::<CosegVertex, ()>::combine(&op, &mut acc, &part);
+            let part = op.map_vertex(&vertex(x, belief));
+            Aggregate::<CosegVertex, ()>::combine(&op, &mut acc, part);
         }
-        let out = SyncOp::<CosegVertex, ()>::finalize(&op, acc, 3);
+        let out = Aggregate::<CosegVertex, ()>::finalize(&op, acc, 3);
         let comps = GmmSync::unpack(&out);
         assert!((comps[0].1 - 1.5).abs() < 1e-9, "mean0 {}", comps[0].1);
         assert!((comps[1].1 - 10.0).abs() < 1e-9, "mean1 {}", comps[1].1);
@@ -125,8 +131,8 @@ mod tests {
     #[test]
     fn empty_component_reseeded() {
         let op = GmmSync::new(3);
-        let acc = SyncOp::<CosegVertex, ()>::init(&op);
-        let out = SyncOp::<CosegVertex, ()>::finalize(&op, acc, 10);
+        let acc = Aggregate::<CosegVertex, ()>::init(&op);
+        let out = Aggregate::<CosegVertex, ()>::finalize(&op, acc, 10);
         let comps = GmmSync::unpack(&out);
         assert_eq!(comps.len(), 3);
         assert!(comps.iter().all(|c| c.2 >= 1e-3));

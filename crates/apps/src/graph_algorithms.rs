@@ -128,9 +128,7 @@ pub fn init_components(graph: &mut DataGraph<f64, f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{
-        run_sequential, InitialSchedule, SchedulerKind, SequentialConfig,
-    };
+    use graphlab_core::{GraphLab, InitialSchedule, SchedulerKind};
     use graphlab_graph::GraphBuilder;
 
     fn weighted_graph() -> DataGraph<f64, f64> {
@@ -149,12 +147,10 @@ mod tests {
         let mut g = weighted_graph();
         init_sssp(&mut g, VertexId(0));
         let oracle = dijkstra(&g, VertexId(0), false);
-        run_sequential(
-            &mut g,
-            &Sssp { undirected: false },
-            InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]),
-            SequentialConfig { scheduler: SchedulerKind::Priority, ..Default::default() },
-        );
+        GraphLab::on(&mut g)
+            .scheduler(SchedulerKind::Priority)
+            .initial(InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]))
+            .run(Sssp { undirected: false });
         for v in g.vertices() {
             assert_eq!(*g.vertex_data(v), oracle[v.index()], "vertex {v}");
         }
@@ -179,12 +175,9 @@ mod tests {
             let mut g = b.build();
             init_sssp(&mut g, VertexId(0));
             let oracle = dijkstra(&g, VertexId(0), true);
-            run_sequential(
-                &mut g,
-                &Sssp { undirected: true },
-                InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]),
-                SequentialConfig::default(),
-            );
+            GraphLab::on(&mut g)
+                .initial(InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]))
+                .run(Sssp { undirected: true });
             for v in g.vertices() {
                 assert_eq!(*g.vertex_data(v), oracle[v.index()], "trial {trial} vertex {v}");
             }
@@ -200,12 +193,7 @@ mod tests {
         b.add_edge(a, c, 2.0).unwrap();
         let mut g = b.build();
         init_sssp(&mut g, VertexId(0));
-        run_sequential(
-            &mut g,
-            &Sssp { undirected: false },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        GraphLab::on(&mut g).run(Sssp { undirected: false });
         assert_eq!(*g.vertex_data(VertexId(1)), f64::INFINITY);
         assert_eq!(*g.vertex_data(VertexId(2)), 2.0);
     }
@@ -221,12 +209,7 @@ mod tests {
         b.add_edge(vs[4], vs[5], 0.0).unwrap();
         let mut g = b.build();
         init_components(&mut g);
-        run_sequential(
-            &mut g,
-            &ConnectedComponents,
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        GraphLab::on(&mut g).run(ConnectedComponents);
         for i in 0..3u32 {
             assert_eq!(*g.vertex_data(VertexId(i)), 0.0);
         }

@@ -269,7 +269,7 @@ pub fn chain_exact_marginals(priors: &[Vec<f64>], smoothing: f64) -> Vec<Vec<f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{run_sequential, InitialSchedule, SchedulerKind, SequentialConfig};
+    use graphlab_core::{GraphLab, SchedulerKind};
     use graphlab_graph::GraphBuilder;
 
     fn chain(priors: &[Vec<f64>]) -> DataGraph<BpVertex, BpEdge> {
@@ -305,12 +305,7 @@ mod tests {
         let exact = chain_exact_marginals(&priors, 2.0);
         let mut g = chain(&priors);
         let bp = LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-10, dynamic: true, damping: 0.0 };
-        run_sequential(
-            &mut g,
-            &bp,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 10_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(10_000).run(bp);
         for (i, v) in g.vertices().enumerate() {
             let belief = &g.vertex_data(v).belief;
             for (a, b) in belief.iter().zip(&exact[i]) {
@@ -326,12 +321,7 @@ mod tests {
         let mut g = chain(&priors);
         let bp = LoopyBp { labels: 2, smoothing: 1.5, epsilon: 1e-9, dynamic: true, damping: 0.0 };
         let before = total_residual(&g, &bp);
-        run_sequential(
-            &mut g,
-            &bp,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 10_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(10_000).run(bp.clone());
         let after = total_residual(&g, &bp);
         assert!(before > 1e-3);
         assert!(after < 1e-7, "residual after convergence: {after}");
@@ -348,16 +338,10 @@ mod tests {
         let priors: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0 + i as f64 * 0.1, 1.0]).collect();
         let mut g = chain(&priors);
         let bp = LoopyBp::default();
-        run_sequential(
-            &mut g,
-            &bp,
-            InitialSchedule::AllVertices,
-            SequentialConfig {
-                scheduler: SchedulerKind::Priority,
-                max_updates: 10_000,
-                ..Default::default()
-            },
-        );
+        GraphLab::on(&mut g)
+            .scheduler(SchedulerKind::Priority)
+            .max_updates(10_000)
+            .run(bp.clone());
         assert!(total_residual(&g, &bp) < 1e-4);
     }
 
@@ -368,12 +352,7 @@ mod tests {
         priors.extend((0..4).map(|_| vec![1.0, 1.0]));
         let mut g = chain(&priors);
         let bp = LoopyBp { labels: 2, smoothing: 3.0, epsilon: 1e-10, dynamic: true, damping: 0.0 };
-        run_sequential(
-            &mut g,
-            &bp,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 10_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(10_000).run(bp);
         for v in g.vertices() {
             assert_eq!(g.vertex_data(v).map_label(), 0, "label at {v}");
         }

@@ -17,7 +17,7 @@
 //! Plus two extensions beyond the paper's evaluation:
 //!
 //! - [`gibbs`] — the chromatic parallel Gibbs sampler the paper cites as
-//!   *requiring* serializability (§2, [12]).
+//!   *requiring* serializability (§2, \[12\]).
 //! - [`graph_algorithms`] — SSSP and connected components, the canonical
 //!   dynamic-scheduling demonstrations.
 

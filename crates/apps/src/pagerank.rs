@@ -10,7 +10,7 @@
 //! and, when *dynamic*, schedules out-neighbours only if the rank moved by
 //! more than `ε` — the adaptive pull model Pregel cannot express (§3.2).
 
-use graphlab_core::{UpdateContext, UpdateFunction};
+use graphlab_core::{Aggregate, GlobalHandle, SyncScope, UpdateContext, UpdateFunction};
 use graphlab_graph::{DataGraph, EdgeDir};
 
 /// The PageRank update function.
@@ -57,6 +57,49 @@ impl UpdateFunction<f64, f64> for PageRank {
     }
 }
 
+/// Handle of the global maintained by [`RankResidual`]: the summed
+/// PageRank-equation residual over all vertices. (`graphlab-apps`
+/// handles live in the `100..` range reserved for library aggregates —
+/// see [`GlobalHandle`]; ids below 100 are free for application code.)
+pub const PAGERANK_RESIDUAL: GlobalHandle<f64> = GlobalHandle::new(100);
+
+/// Sync operation measuring distance to the PageRank fixpoint (§3.5's
+/// aggregate-driven convergence check): each scope contributes
+/// `|R(v) − (α/n + (1−α) Σ_in w·R(u))|`, summed cluster-wide. Register it
+/// with [`graphlab_core::GraphLab::sync`] under [`PAGERANK_RESIDUAL`] and
+/// pair with `stop_when(|g| g.get(PAGERANK_RESIDUAL) < tol)` to terminate
+/// on convergence instead of a fixed update cap.
+#[derive(Clone, Debug)]
+pub struct RankResidual {
+    /// Random-jump probability α (must match the update function's).
+    pub alpha: f64,
+}
+
+impl Aggregate<f64, f64> for RankResidual {
+    type Acc = f64;
+    type Out = f64;
+
+    fn init(&self) -> f64 {
+        0.0
+    }
+    fn map(&self, scope: &SyncScope<'_, f64, f64>) -> f64 {
+        let n = scope.num_vertices() as f64;
+        let mut rank = self.alpha / n;
+        for i in 0..scope.num_neighbors() {
+            if scope.nbr_dir(i) == EdgeDir::In {
+                rank += (1.0 - self.alpha) * scope.edge_data(i) * scope.nbr_data(i);
+            }
+        }
+        (rank - scope.vertex_data()).abs()
+    }
+    fn combine(&self, acc: &mut f64, part: f64) {
+        *acc += part;
+    }
+    fn finalize(&self, acc: f64, _total_vertices: u64) -> f64 {
+        acc
+    }
+}
+
 /// Reference power iteration on the full graph (test oracle and the
 /// synchronous/BSP baseline curve of Fig. 1(a)).
 ///
@@ -96,7 +139,7 @@ pub fn init_ranks(graph: &mut DataGraph<f64, f64>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::{GraphLab, SyncCadence};
     use graphlab_graph::{GraphBuilder, VertexId};
 
     /// Small web graph with out-weight normalisation.
@@ -120,8 +163,8 @@ mod tests {
         let oracle = exact_pagerank(&g, 0.15, 200);
         init_ranks(&mut g);
         let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
-        let m = run_sequential(&mut g, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
-        assert!(m.updates > 5);
+        let out = GraphLab::on(&mut g).run(pr);
+        assert!(out.metrics.updates > 5);
         let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
         assert!(l1_error(&got, &oracle) < 1e-8, "err {}", l1_error(&got, &oracle));
     }
@@ -130,33 +173,20 @@ mod tests {
     fn loose_epsilon_converges_in_fewer_updates() {
         let mut g1 = web();
         init_ranks(&mut g1);
-        let tight = run_sequential(
-            &mut g1,
-            &PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        let tight =
+            GraphLab::on(&mut g1).run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true });
         let mut g2 = web();
         init_ranks(&mut g2);
-        let loose = run_sequential(
-            &mut g2,
-            &PageRank { alpha: 0.15, epsilon: 1e-3, dynamic: true },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
-        assert!(loose.updates < tight.updates);
+        let loose =
+            GraphLab::on(&mut g2).run(PageRank { alpha: 0.15, epsilon: 1e-3, dynamic: true });
+        assert!(loose.metrics.updates < tight.metrics.updates);
     }
 
     #[test]
     fn ranks_sum_to_one() {
         let mut g = web();
         init_ranks(&mut g);
-        run_sequential(
-            &mut g,
-            &PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        GraphLab::on(&mut g).run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true });
         let total: f64 = g.vertices().map(|v| *g.vertex_data(v)).sum();
         assert!((total - 1.0).abs() < 1e-6, "total {total}");
     }
@@ -165,13 +195,9 @@ mod tests {
     fn static_variant_runs_once_per_vertex() {
         let mut g = web();
         init_ranks(&mut g);
-        let m = run_sequential(
-            &mut g,
-            &PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: false },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
-        assert_eq!(m.updates, 5);
+        let out =
+            GraphLab::on(&mut g).run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: false });
+        assert_eq!(out.metrics.updates, 5);
     }
 
     #[test]
@@ -182,13 +208,36 @@ mod tests {
         let c = b.add_vertex(0.5);
         b.add_edge(a, c, 1.0).unwrap();
         let mut g = b.build();
-        run_sequential(
-            &mut g,
-            &PageRank::default(),
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        GraphLab::on(&mut g).run(PageRank::default());
         assert!(*g.vertex_data(VertexId(0)) > 0.0);
         assert!(*g.vertex_data(VertexId(1)) > *g.vertex_data(VertexId(0)));
+    }
+
+    #[test]
+    fn residual_aggregate_vanishes_at_fixpoint() {
+        let mut g = web();
+        init_ranks(&mut g);
+        // Converge tightly, syncing the residual as we go; at termination
+        // the published residual must be ~0.
+        let out = GraphLab::on(&mut g)
+            .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(5))
+            .run(PageRank { alpha: 0.15, epsilon: 1e-14, dynamic: true });
+        let residual = *out.globals.get(PAGERANK_RESIDUAL).expect("published");
+        assert!(residual < 1e-10, "residual {residual}");
+    }
+
+    #[test]
+    fn stop_when_residual_halts_before_cap() {
+        let mut g = web();
+        init_ranks(&mut g);
+        // BSP-style: always reschedule (epsilon below any delta), capped at
+        // 200 sweeps; the residual stop fires long before the cap.
+        let out = GraphLab::on(&mut g)
+            .max_updates(200 * 5)
+            .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(5))
+            .stop_when(|g| g.get(PAGERANK_RESIDUAL).is_some_and(|r| *r < 1e-9))
+            .run(PageRank { alpha: 0.15, epsilon: -1.0, dynamic: true });
+        assert!(out.metrics.updates < 200 * 5, "halted at {}", out.metrics.updates);
+        assert!(*out.globals.get(PAGERANK_RESIDUAL).unwrap() < 1e-9);
     }
 }

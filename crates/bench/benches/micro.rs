@@ -84,6 +84,45 @@ fn bench_scheduler(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // ISSUE 4 satellite: the old pop walked all 64 buckets top-down on
+    // every call, so cold work parked in low buckets (tiny residuals)
+    // paid a ~60-empty-bucket scan per pop. The occupancy-mask
+    // lazy-delete queue finds the hottest bucket in O(1); this bench is
+    // the scan's worst case.
+    c.bench_function("scheduler/priority_sparse_cold_10k", |b| {
+        b.iter_batched(
+            || Scheduler::new(SchedulerKind::Priority, 10_000),
+            |mut s| {
+                for i in 0..10_000u32 {
+                    s.add(i, 1e-9); // bucket ~2 of 64: maximal top-down scan
+                }
+                while s.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Interleaved add/pop with promotions: the engine hot path shape
+    // (residual scheduling re-adds vertices at hotter priorities).
+    c.bench_function("scheduler/priority_interleaved_promote_10k", |b| {
+        b.iter_batched(
+            || Scheduler::new(SchedulerKind::Priority, 1_024),
+            |mut s| {
+                let mut x = 0x5EEDu64;
+                for _ in 0..10_000 {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let v = (x >> 8) as u32 % 1_024;
+                    s.add(v, ((x >> 16) % 1_000) as f64 * 1e-6);
+                    if x.is_multiple_of(3) {
+                        s.pop();
+                    }
+                }
+                while s.pop().is_some() {}
+            },
+            BatchSize::SmallInput,
+        )
+    });
 }
 
 fn bench_cholesky(c: &mut Criterion) {
@@ -116,7 +155,7 @@ fn bench_partition(c: &mut Criterion) {
 
 fn bench_pagerank_engines(c: &mut Criterion) {
     use graphlab_apps::pagerank::{init_ranks, PageRank};
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::GraphLab;
     let base = web_graph(2_000, 4, 9);
     c.bench_function("engine/sequential_pagerank_2k", |b| {
         b.iter_batched(
@@ -126,12 +165,7 @@ fn bench_pagerank_engines(c: &mut Criterion) {
                 g
             },
             |mut g| {
-                run_sequential(
-                    &mut g,
-                    &PageRank { alpha: 0.15, epsilon: 1e-6, dynamic: true },
-                    InitialSchedule::AllVertices,
-                    SequentialConfig::default(),
-                )
+                GraphLab::on(&mut g).run(PageRank { alpha: 0.15, epsilon: 1e-6, dynamic: true })
             },
             BatchSize::LargeInput,
         )
@@ -141,29 +175,23 @@ fn bench_pagerank_engines(c: &mut Criterion) {
 fn bench_locktable(c: &mut Criterion) {
     // The lock table is crate-private; benchmark through a locking-engine
     // single-machine run which is dominated by chain machinery.
-    use graphlab_core::{run_locking, EngineConfig, InitialSchedule, PartitionStrategy};
-    use std::sync::Arc;
+    use graphlab_core::{EngineKind, GraphLab};
     let base = grid(30, 30);
     c.bench_function("engine/locking_maxdiff_900v_1m", |b| {
         b.iter_batched(
             || base.clone(),
             |mut g| {
-                let mut cfg = EngineConfig::new(1);
-                cfg.max_updates = 2_000;
-                run_locking(
-                    &mut g,
-                    Arc::new(|ctx: &mut graphlab_core::UpdateContext<'_, f64, f64>| {
+                GraphLab::on(&mut g)
+                    .engine(EngineKind::Locking)
+                    .machines(1)
+                    .max_updates(2_000)
+                    .run(|ctx: &mut graphlab_core::UpdateContext<'_, f64, f64>| {
                         let mut best = *ctx.vertex_data();
                         for i in 0..ctx.num_neighbors() {
                             best = best.max(*ctx.nbr_data(i));
                         }
                         *ctx.vertex_data_mut() = best;
-                    }),
-                    InitialSchedule::AllVertices,
-                    Arc::new(Vec::new()),
-                    &cfg,
-                    &PartitionStrategy::RandomHash,
-                )
+                    })
             },
             BatchSize::LargeInput,
         )

@@ -15,9 +15,9 @@ use std::time::Duration;
 
 use graphlab_apps::als::{test_rmse, train_rmse, Als};
 use graphlab_apps::coem::{accuracy, Coem};
-use graphlab_apps::coseg::{CosegUpdate, CosegVertex};
-use graphlab_apps::gmm::GmmSync;
-use graphlab_apps::lbp::{total_residual, BpEdge, LoopyBp};
+use graphlab_apps::coseg::CosegUpdate;
+use graphlab_apps::gmm::{GmmSync, GMM_GLOBAL};
+use graphlab_apps::lbp::{total_residual, LoopyBp};
 use graphlab_apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
 use graphlab_baselines::mapreduce::{
     als_mapreduce, coem_mapreduce, factors_rmse, MapReduceConfig,
@@ -28,9 +28,8 @@ use graphlab_baselines::{ec2_cost_usd, CC1_4XLARGE_HOURLY_USD};
 use graphlab_atoms::VertexPartition;
 use graphlab_bench::Table;
 use graphlab_core::{
-    optimal_checkpoint_interval_secs, run_chromatic, run_locking, run_sequential, EngineConfig,
-    InitialSchedule, PartitionStrategy, SchedulerKind, SequentialConfig, SnapshotConfig,
-    SnapshotMode, StragglerConfig, SyncOp,
+    optimal_checkpoint_interval_secs, EngineConfig, EngineKind, GraphLab, PartitionStrategy,
+    SchedulerKind, SnapshotConfig, SnapshotMode, StragglerConfig, SyncCadence,
 };
 use graphlab_graph::Coloring;
 use graphlab_net::codec::encode_to_bytes;
@@ -43,10 +42,6 @@ use graphlab_workloads::{
 fn banner(id: &str, what: &str, paper: &str) {
     println!("\n=== {id}: {what} ===");
     println!("  paper: {paper}");
-}
-
-fn no_syncs<V, E>() -> Arc<Vec<Box<dyn SyncOp<V, E>>>> {
-    Arc::new(Vec::new())
 }
 
 // ---------------------------------------------------------------- fig 1a
@@ -79,15 +74,14 @@ fn fig1a() {
         // GraphLab dynamic: run with epsilon tuned to the target.
         let mut g = base.clone();
         init_ranks(&mut g);
-        let m = run_sequential(
-            &mut g,
-            &PageRank { alpha: 0.15, epsilon: target / base.num_vertices() as f64, dynamic: true },
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
+        let m = GraphLab::on(&mut g).run(PageRank {
+            alpha: 0.15,
+            epsilon: target / base.num_vertices() as f64,
+            dynamic: true,
+        });
         let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
         let gl_err = l1_error(&got, &oracle);
-        let gl_updates = m.updates;
+        let gl_updates = m.metrics.updates;
         let pregel_updates = pregel_curve
             .iter()
             .find(|(_, e)| *e <= gl_err)
@@ -120,12 +114,10 @@ fn fig1b() {
     // ε is relative to typical rank magnitude (1/n), like the paper's
     // convergence threshold.
     let eps = 0.03 / g.num_vertices() as f64;
-    let m = run_sequential(
-        &mut g,
-        &PageRank { alpha: 0.15, epsilon: eps, dynamic: true },
-        InitialSchedule::AllVertices,
-        SequentialConfig { trace: true, ..Default::default() },
-    );
+    let m = GraphLab::on(&mut g)
+        .trace(true)
+        .run(PageRank { alpha: 0.15, epsilon: eps, dynamic: true })
+        .metrics;
     let n = g.num_vertices() as f64;
     let mut buckets = [0usize; 5]; // 1, 2, 3-5, 6-10, >10
     for &c in &m.update_counts {
@@ -164,12 +156,7 @@ fn fig1c() {
         let sweep = LoopyBp { dynamic: false, ..params.clone() };
         let mut curve = Vec::new();
         for s in 1..=40u64 {
-            run_sequential(
-                &mut g,
-                &sweep,
-                InitialSchedule::AllVertices,
-                SequentialConfig { scheduler: SchedulerKind::Sweep, ..Default::default() },
-            );
+            GraphLab::on(&mut g).scheduler(SchedulerKind::Sweep).run(sweep.clone());
             curve.push((s as f64, total_residual(&g, &params)));
         }
         curve
@@ -177,17 +164,11 @@ fn fig1c() {
     let run_async = |kind: SchedulerKind, eps: f64| {
         let mut g = base.clone();
         let p = LoopyBp { epsilon: eps, ..params.clone() };
-        let m = run_sequential(
-            &mut g,
-            &p,
-            InitialSchedule::AllVertices,
-            SequentialConfig {
-                scheduler: kind,
-                max_updates: 80 * base.num_vertices() as u64,
-                ..Default::default()
-            },
-        );
-        (m.updates as f64 / n, total_residual(&g, &params))
+        let m = GraphLab::on(&mut g)
+            .scheduler(kind)
+            .max_updates(80 * base.num_vertices() as u64)
+            .run(p);
+        (m.metrics.updates as f64 / n, total_residual(&g, &params))
     };
 
     let mut t = Table::new(&["schedule", "sweeps (updates/|V|)", "residual"]);
@@ -222,18 +203,13 @@ fn fig1d() {
         let mut rmse = [0.0f64; 2];
         for (i, racing) in [false, true].into_iter().enumerate() {
             let mut g = problem.graph.clone();
-            let mut cfg = EngineConfig::new(4);
-            cfg.racing = racing;
-            cfg.max_updates = mult * n;
-            cfg.scheduler = SchedulerKind::Priority;
-            run_locking(
-                &mut g,
-                Arc::new(Als { d: 16, lambda: 0.06, epsilon: 1e-6, dynamic: true }),
-                InitialSchedule::AllVertices,
-                no_syncs(),
-                &cfg,
-                &PartitionStrategy::RandomHash,
-            );
+            GraphLab::on(&mut g)
+                .engine(EngineKind::Locking)
+                .machines(4)
+                .scheduler(SchedulerKind::Priority)
+                .max_updates(mult * n)
+                .configure(|c| c.racing = racing)
+                .run(Als { d: 16, lambda: 0.06, epsilon: 1e-6, dynamic: true });
             rmse[i] = train_rmse(&g);
         }
         t.row(vec![format!("{mult}x|V|"), format!("{:.4}", rmse[0]), format!("{:.4}", rmse[1])]);
@@ -274,18 +250,14 @@ fn table1() {
 fn mesh_lbp_run(machines: usize, pipeline: usize, latency: LatencyModel) -> (Duration, u64) {
     let (mut g, _) = mesh3d_mrf(16, 16, 8, 2, 0.2, 11);
     let n = g.num_vertices() as u64;
-    let mut cfg = EngineConfig::new(machines);
-    cfg.max_pipeline = pipeline;
-    cfg.latency = latency;
-    cfg.max_updates = 10 * n; // "10 iterations of loopy BP"
-    let out = run_locking(
-        &mut g,
-        Arc::new(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::BfsGrow,
-    );
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(machines)
+        .latency(latency)
+        .max_updates(10 * n) // "10 iterations of loopy BP"
+        .partition(PartitionStrategy::BfsGrow)
+        .configure(|c| c.max_pipeline = pipeline)
+        .run(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 });
     (out.metrics.runtime, out.metrics.updates)
 }
 
@@ -329,19 +301,15 @@ fn snapshot_run(
 ) -> (Duration, Vec<(f64, u64)>, u64) {
     let (mut g, _) = mesh3d_mrf(12, 12, 6, 2, 0.2, 13);
     let n = g.num_vertices() as u64;
-    let mut cfg = EngineConfig::new(4);
-    cfg.trace = true;
-    cfg.max_updates = 10 * n;
-    cfg.snapshot = SnapshotConfig { mode, every_updates: 3 * n, max_snapshots: 1 };
-    cfg.straggler = straggler;
-    let out = run_locking(
-        &mut g,
-        Arc::new(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::BfsGrow,
-    );
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .trace(true)
+        .max_updates(10 * n)
+        .snapshot(SnapshotConfig { mode, every_updates: 3 * n, max_snapshots: 1 })
+        .partition(PartitionStrategy::BfsGrow)
+        .configure(|c| c.straggler = straggler)
+        .run(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 });
     (out.metrics.runtime, out.metrics.updates_timeline, out.metrics.snapshots)
 }
 
@@ -442,17 +410,13 @@ fn netflix_run(machines: usize, d: usize, sweeps: u64) -> AppRun {
     let mut g = problem.graph.clone();
     let users = problem.users;
     let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
-    let mut cfg = EngineConfig::new(machines);
-    cfg.max_updates = sweeps * g.num_vertices() as u64;
-    let out = run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Als { d, lambda: 0.06, epsilon: 1e-9, dynamic: true }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let cap = sweeps * g.num_vertices() as u64;
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(machines)
+        .coloring(coloring)
+        .max_updates(cap)
+        .run(Als { d, lambda: 0.06, epsilon: 1e-9, dynamic: true });
     AppRun {
         runtime: out.metrics.runtime,
         mbps: out.metrics.mbps_per_machine(),
@@ -463,22 +427,16 @@ fn netflix_run(machines: usize, d: usize, sweeps: u64) -> AppRun {
 fn coseg_run(machines: usize, frames: usize, sweeps: u64) -> AppRun {
     let (mut g, _) = coseg_video(frames, 12, 8, 2, 2);
     let n = g.num_vertices() as u64;
-    let mut cfg = EngineConfig::new(machines);
-    cfg.scheduler = SchedulerKind::Priority;
-    cfg.sync_interval_updates = n / 2;
-    cfg.max_updates = sweeps * n;
-    let atoms = cfg.num_atoms;
+    let atoms = EngineConfig::new(machines).num_atoms;
     let strategy = PartitionStrategy::Custom(Arc::new(frame_partition(frames, 12, 8, atoms)));
-    let syncs: Arc<Vec<Box<dyn SyncOp<CosegVertex, BpEdge>>>> =
-        Arc::new(vec![Box::new(GmmSync::new(2))]);
-    let out = run_locking(
-        &mut g,
-        Arc::new(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 }),
-        InitialSchedule::AllVertices,
-        syncs,
-        &cfg,
-        &strategy,
-    );
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(machines)
+        .scheduler(SchedulerKind::Priority)
+        .max_updates(sweeps * n)
+        .partition(strategy)
+        .sync(GMM_GLOBAL, GmmSync::new(2), SyncCadence::Updates((n / 2).max(1)))
+        .run(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 });
     AppRun {
         runtime: out.metrics.runtime,
         mbps: out.metrics.mbps_per_machine(),
@@ -491,17 +449,13 @@ fn ner_run(machines: usize, sweeps: u64) -> AppRun {
     let mut g = problem.graph.clone();
     let nps = problem.noun_phrases;
     let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
-    let mut cfg = EngineConfig::new(machines);
-    cfg.max_updates = sweeps * g.num_vertices() as u64;
-    let out = run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Coem { types: 4, epsilon: 1e-9, dynamic: true }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let cap = sweeps * g.num_vertices() as u64;
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(machines)
+        .coloring(coloring)
+        .max_updates(cap)
+        .run(Coem { types: 4, epsilon: 1e-9, dynamic: true });
     AppRun {
         runtime: out.metrics.runtime,
         mbps: out.metrics.mbps_per_machine(),
@@ -575,17 +529,13 @@ fn fig6d() {
     let mut g = problem.graph.clone();
     let users = problem.users;
     let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
-    let mut cfg = EngineConfig::new(4);
-    cfg.max_updates = 2 * iters as u64 * g.num_vertices() as u64;
-    let out = run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Als { d: 8, lambda: 0.06, epsilon: 1e-9, dynamic: true }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let cap = 2 * iters as u64 * g.num_vertices() as u64;
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(4)
+        .coloring(coloring)
+        .max_updates(cap)
+        .run(Als { d: 8, lambda: 0.06, epsilon: 1e-9, dynamic: true });
     let gls = out.metrics.runtime.as_secs_f64();
     let gl_rmse = train_rmse(&g);
 
@@ -693,15 +643,11 @@ fn fig7b() {
     let mut g = problem.graph.clone();
     let nps = problem.noun_phrases;
     let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
-    run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Coem { types: 4, epsilon: 1e-6, dynamic: true }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(4),
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(4)
+        .coloring(coloring)
+        .run(Coem { types: 4, epsilon: 1e-6, dynamic: true });
     println!("  type accuracy: {:.1}%", 100.0 * accuracy(&g, &problem.truth));
     let names = ["Food", "Religion", "City", "Person"];
     let mut t = Table::new(&["type", "top noun-phrases (confidence)"]);
@@ -764,21 +710,19 @@ fn fig8b() {
     ] {
         for pipeline in [1usize, 16, 100, 1000] {
             let mut g = base_graph.clone();
-            let mut cfg = EngineConfig::new(4);
-            cfg.num_atoms = 16;
-            cfg.max_pipeline = pipeline;
-            cfg.latency = lat;
-            cfg.max_updates = 5 * n;
-            cfg.scheduler = SchedulerKind::Priority;
             let strategy = PartitionStrategy::Custom(Arc::new(part.clone()));
-            let out = run_locking(
-                &mut g,
-                Arc::new(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 }),
-                InitialSchedule::AllVertices,
-                no_syncs(),
-                &cfg,
-                &strategy,
-            );
+            let out = GraphLab::on(&mut g)
+                .engine(EngineKind::Locking)
+                .machines(4)
+                .scheduler(SchedulerKind::Priority)
+                .latency(lat)
+                .max_updates(5 * n)
+                .partition(strategy)
+                .configure(|c| {
+                    c.num_atoms = 16;
+                    c.max_pipeline = pipeline;
+                })
+                .run(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 });
             t.row(vec![name.into(), format!("{pipeline}"), format!("{:.2?}", out.metrics.runtime)]);
         }
     }
@@ -810,55 +754,41 @@ fn fig8d() {
         let problem = ratings_graph(1_000, 300, 12, 8, 1);
         let mut g = problem.graph.clone();
         let n = g.num_vertices() as u64;
-        let mut cfg = EngineConfig::new(4);
-        cfg.max_updates = 6 * n;
-        cfg.snapshot = SnapshotConfig { mode, every_updates: n, max_snapshots: 3 };
-        run_locking(
-            &mut g,
-            Arc::new(Als { d: 8, lambda: 0.06, epsilon: 1e-9, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        )
-        .metrics
-        .runtime
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .max_updates(6 * n)
+            .snapshot(SnapshotConfig { mode, every_updates: n, max_snapshots: 3 })
+            .run(Als { d: 8, lambda: 0.06, epsilon: 1e-9, dynamic: true })
+            .metrics
+            .runtime
     });
     run_pair("CoSeg (LBP)", &|mode| {
         let (mut g, _) = coseg_video(12, 10, 6, 2, 2);
         let n = g.num_vertices() as u64;
-        let mut cfg = EngineConfig::new(4);
-        cfg.max_updates = 6 * n;
-        cfg.scheduler = SchedulerKind::Priority;
-        cfg.snapshot = SnapshotConfig { mode, every_updates: n, max_snapshots: 3 };
-        run_locking(
-            &mut g,
-            Arc::new(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::BfsGrow,
-        )
-        .metrics
-        .runtime
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .scheduler(SchedulerKind::Priority)
+            .max_updates(6 * n)
+            .snapshot(SnapshotConfig { mode, every_updates: n, max_snapshots: 3 })
+            .partition(PartitionStrategy::BfsGrow)
+            .run(CosegUpdate { labels: 2, smoothing: 2.0, epsilon: 1e-9 })
+            .metrics
+            .runtime
     });
     run_pair("NER (CoEM)", &|mode| {
         let problem = nell_graph(2_000, 400, 4, 8, 0.05, 3);
         let mut g = problem.graph.clone();
         let n = g.num_vertices() as u64;
-        let mut cfg = EngineConfig::new(4);
-        cfg.max_updates = 6 * n;
-        cfg.snapshot = SnapshotConfig { mode, every_updates: n, max_snapshots: 3 };
-        run_locking(
-            &mut g,
-            Arc::new(Coem { types: 4, epsilon: 1e-9, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        )
-        .metrics
-        .runtime
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .max_updates(6 * n)
+            .snapshot(SnapshotConfig { mode, every_updates: n, max_snapshots: 3 })
+            .run(Coem { types: 4, epsilon: 1e-9, dynamic: true })
+            .metrics
+            .runtime
     });
     t.print();
 }
@@ -880,17 +810,12 @@ fn fig9a() {
         let mut g = problem.graph.clone();
         let users = problem.users;
         let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
-        let mut cfg = EngineConfig::new(4);
-        cfg.max_updates = cap;
-        let out = run_chromatic(
-            &mut g,
-            coloring,
-            Arc::new(Als { d: 8, lambda: 0.06, epsilon: eps, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Chromatic)
+            .machines(4)
+            .coloring(coloring)
+            .max_updates(cap)
+            .run(Als { d: 8, lambda: 0.06, epsilon: eps, dynamic: true });
         (out.metrics.updates, test_rmse(&g, &problem.held_out))
     };
 
@@ -944,17 +869,13 @@ fn abl_versioning() {
     for (name, off) in [("on (default)", false), ("off (always resend)", true)] {
         let mut g = base.clone();
         init_ranks(&mut g);
-        let mut cfg = EngineConfig::new(4);
-        cfg.no_version_filter = off;
-        cfg.max_updates = 3 * g.num_vertices() as u64;
-        let out = run_locking(
-            &mut g,
-            Arc::new(PageRank { alpha: 0.15, epsilon: 1e-9, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let cap = 3 * g.num_vertices() as u64;
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .max_updates(cap)
+            .configure(|c| c.no_version_filter = off)
+            .run(PageRank { alpha: 0.15, epsilon: 1e-9, dynamic: true });
         t.row(vec![
             name.into(),
             format!("{:.1} MB", out.metrics.bytes_sent_per_machine.iter().sum::<u64>() as f64 / 1e6),
@@ -983,16 +904,11 @@ fn abl_batching() {
     {
         let mut g = base.clone();
         init_ranks(&mut g);
-        let mut cfg = EngineConfig::new(8);
-        cfg.batch = policy;
-        let out = run_locking(
-            &mut g,
-            Arc::new(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .configure(|c| c.batch = policy)
+            .run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true });
         msgs[i] = out.metrics.total_messages;
         let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
         t.row(vec![
@@ -1054,17 +970,14 @@ fn abl_bytes() {
     for (i, (name, no_filter, policy)) in arms.iter().enumerate() {
         let mut g = base.clone();
         init_ranks(&mut g);
-        let mut cfg = EngineConfig::new(8);
-        cfg.no_version_filter = *no_filter;
-        cfg.batch = *policy;
-        let out = run_locking(
-            &mut g,
-            Arc::new(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .configure(|c| {
+                c.no_version_filter = *no_filter;
+                c.batch = *policy;
+            })
+            .run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true });
         bytes[i] = out.metrics.bytes_sent_per_machine.iter().sum();
         kind_rows.push(out.metrics.bytes_by_kind.clone());
         let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
@@ -1120,17 +1033,14 @@ fn abl_bytes() {
     let mut fixpoints: Vec<Vec<f64>> = Vec::new();
     for (_, no_filter, policy) in &arms {
         let mut g = seeded.clone();
-        let mut cfg = EngineConfig::new(8);
-        cfg.no_version_filter = *no_filter;
-        cfg.batch = *policy;
-        run_locking(
-            &mut g,
-            Arc::new(MaxDiffusion),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .configure(|c| {
+                c.no_version_filter = *no_filter;
+                c.batch = *policy;
+            })
+            .run(MaxDiffusion);
         fixpoints.push(g.vertices().map(|v| *g.vertex_data(v)).collect());
     }
     for (i, fp) in fixpoints.iter().enumerate().skip(1) {
@@ -1166,17 +1076,15 @@ fn abl_priority() {
     for (name, kind) in [("FIFO", SchedulerKind::Fifo), ("priority", SchedulerKind::Priority)] {
         let mut g = base.clone();
         let p = LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-5, dynamic: true, damping: 0.3 };
-        let m = run_sequential(
-            &mut g,
-            &p,
-            InitialSchedule::AllVertices,
-            SequentialConfig {
-                scheduler: kind,
-                max_updates: 100 * base.num_vertices() as u64,
-                ..Default::default()
-            },
-        );
-        t.row(vec![name.into(), format!("{}", m.updates), format!("{:.2e}", total_residual(&g, &p))]);
+        let m = GraphLab::on(&mut g)
+            .scheduler(kind)
+            .max_updates(100 * base.num_vertices() as u64)
+            .run(p.clone());
+        t.row(vec![
+            name.into(),
+            format!("{}", m.metrics.updates),
+            format!("{:.2e}", total_residual(&g, &p)),
+        ]);
     }
     t.print();
 }
@@ -1201,18 +1109,15 @@ fn abl_partition() {
         };
         let cut = part.cut_edges(&base);
         let mut g = base.clone();
-        let mut cfg = EngineConfig::new(4);
-        cfg.num_atoms = 32;
-        cfg.seed = 99;
-        cfg.max_updates = 5 * g.num_vertices() as u64;
-        let out = run_locking(
-            &mut g,
-            Arc::new(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 }),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &strategy,
-        );
+        let cap = 5 * g.num_vertices() as u64;
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .seed(99)
+            .max_updates(cap)
+            .partition(strategy.clone())
+            .configure(|c| c.num_atoms = 32)
+            .run(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-9, dynamic: true, damping: 0.0 });
         t.row(vec![
             name.into(),
             format!("{cut}"),

@@ -35,7 +35,6 @@ use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
 use crate::reference::InitialSchedule;
 use crate::snapshot::{snap_file_name, SnapshotFile};
-use crate::sync::local_partial;
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
@@ -506,8 +505,12 @@ where
     /// `(halt, snapshot_id)`.
     fn cycle_end_round(&mut self, cycle: u64) -> (bool, Option<u64>) {
         let m = self.num_machines();
-        let partials: Vec<Vec<f64>> =
-            self.setup.syncs.iter().map(|op| local_partial(op.as_ref(), &self.lg)).collect();
+        let partials: Vec<(u32, Bytes)> = self
+            .setup
+            .syncs
+            .iter()
+            .map(|op| (op.id(), op.local_partial(&self.lg)))
+            .collect();
         let my_msg = SyncPartialMsg {
             cycle,
             partials,
@@ -517,7 +520,11 @@ where
         if self.me() == MachineId(0) {
             // Master: collect, combine, decide, broadcast.
             let mut pend = my_msg.pending;
-            let mut accs: Vec<Vec<f64>> = my_msg.partials.clone();
+            let mut accs: Vec<Box<dyn std::any::Any + Send>> =
+                self.setup.syncs.iter().map(|op| op.init_acc()).collect();
+            for (i, (_, part)) in my_msg.partials.iter().enumerate() {
+                self.setup.syncs[i].combine(accs[i].as_mut(), part);
+            }
             let mut received = 1usize;
             while received < m {
                 match self.net.recv_timeout(RECV_TIMEOUT) {
@@ -525,8 +532,9 @@ where
                         let p: SyncPartialMsg = dec(env.payload);
                         assert_eq!(p.cycle, cycle, "sync round out of step");
                         pend += p.pending;
-                        for (i, part) in p.partials.iter().enumerate() {
-                            self.setup.syncs[i].combine(&mut accs[i], part);
+                        for (i, (id, part)) in p.partials.iter().enumerate() {
+                            debug_assert_eq!(*id, self.setup.syncs[i].id());
+                            self.setup.syncs[i].combine(accs[i].as_mut(), part);
                         }
                         received += 1;
                     }
@@ -536,15 +544,19 @@ where
             }
             let total = self.lg.total_vertices();
             let mut globals_rows = Vec::new();
-            for (i, op) in self.setup.syncs.iter().enumerate() {
-                let value = op.finalize(accs[i].clone(), total);
-                let ver = self.globals.set(&op.name(), value.clone());
-                globals_rows.push((op.name(), ver, value));
+            for (op, acc) in self.setup.syncs.iter().zip(accs) {
+                let (bytes, typed) = op.finalize(acc, total);
+                let ver = self.globals.set(op.id(), typed);
+                globals_rows.push((op.id(), ver, bytes));
             }
             let g_updates =
                 self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed);
             let cap = self.setup.config.max_updates;
-            let halt = pend == 0 || (cap > 0 && g_updates >= cap);
+            // Aggregate-driven termination (§3.5): the stop predicate runs
+            // over the just-finalized globals, composing with the cap and
+            // the natural no-pending-work halt.
+            let stop_hit = self.setup.stop.as_ref().is_some_and(|f| f(&self.globals));
+            let halt = pend == 0 || (cap > 0 && g_updates >= cap) || stop_hit;
             let snap_cfg = self.setup.config.snapshot;
             let snapshot = if !halt
                 && snap_cfg.mode != crate::config::SnapshotMode::None
@@ -570,8 +582,15 @@ where
                     Ok(env) if env.kind == K_CHROM_SYNC_GLOB => {
                         let g: SyncGlobalsMsg = dec(env.payload);
                         assert_eq!(g.cycle, cycle);
-                        for (name, ver, value) in g.globals {
-                            self.globals.apply(&name, ver, value);
+                        for (id, ver, bytes) in g.globals {
+                            let op = self
+                                .setup
+                                .syncs
+                                .iter()
+                                .find(|s| s.id() == id)
+                                .expect("broadcast global matches a registered sync");
+                            let typed = op.decode_out(bytes).expect("malformed global value");
+                            self.globals.apply(id, ver, typed);
                         }
                         return (g.halt, g.snapshot);
                     }
@@ -633,12 +652,7 @@ where
 
     fn finish(mut self, cycles: u64) -> MachineResult<V, E> {
         self.update_counts = self.update_count_map.drain().collect();
-        let globals = self
-            .globals
-            .names()
-            .into_iter()
-            .map(|n| (n.clone(), self.globals.get(&n).unwrap_or(&[]).to_vec()))
-            .collect();
+        let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let update_counts = std::mem::take(&mut self.update_counts);
         let snapshots = self.snapshots_taken;

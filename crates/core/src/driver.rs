@@ -1,13 +1,16 @@
 //! Engine drivers: ingress, machine-thread spawning, and result collection
 //! (Fig. 5(a) "System Overview").
 //!
-//! A driver run mirrors the paper's deployment flow: the data graph is
-//! over-partitioned into atoms and written to the DFS (initialisation
-//! phase), atoms are placed onto machines via the atom index, each machine
-//! loads its part in parallel, the engine executes, and final data is
-//! collected. Machines are OS threads communicating exclusively through the
-//! [`SimNet`] fabric; results return through thread join (standing in for
-//! the final gather the real system performs through the DFS).
+//! The single public entry point is the [`crate::GraphLab`] program builder
+//! (`crate::program`); this module holds the distributed skeleton it
+//! drives. A distributed run mirrors the paper's deployment flow: the data
+//! graph is over-partitioned into atoms and written to the DFS
+//! (initialisation phase), atoms are placed onto machines via the atom
+//! index, each machine loads its part in parallel, the engine executes,
+//! and final data is collected. Machines are OS threads communicating
+//! exclusively through the [`SimNet`] fabric; results return through
+//! thread join (standing in for the final gather the real system performs
+//! through the DFS).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,11 +23,35 @@ use graphlab_net::SimNet;
 
 use crate::chromatic::ChromaticMachine;
 use crate::config::EngineConfig;
+use crate::globals::GlobalRegistry;
 use crate::locking::LockingMachine;
 use crate::metrics::{sample_timeline, EngineMetrics, LiveCounters};
 use crate::reference::InitialSchedule;
-use crate::sync::SyncOp;
+use crate::sync::SyncList;
 use crate::update::UpdateFunction;
+
+/// Which engine executes the program (§3.4 execution model; §4.2 engines).
+///
+/// All three run the same GraphLab abstraction — data graph + update
+/// function + sync + consistency — interchangeably; pick through
+/// [`crate::GraphLab::engine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// The literal sequential execution model (Alg. 2): single-threaded,
+    /// the serializability oracle for the distributed engines.
+    Sequential,
+    /// The chromatic engine (§4.2.1): partially synchronous colour-step
+    /// execution driven by a graph colouring (auto-computed from the
+    /// consistency model unless one is supplied).
+    Chromatic,
+    /// The distributed locking engine (§4.2.2): fully asynchronous
+    /// pipelined locking with prioritised dynamic scheduling.
+    Locking,
+}
+
+/// Convergence predicate over finalized globals, evaluated by the sync
+/// master at sync boundaries (§3.5 aggregate-driven termination).
+pub(crate) type StopFn = Arc<dyn Fn(&GlobalRegistry) -> bool + Send + Sync>;
 
 /// How to over-partition the data graph into atoms (phase one of §4.1).
 #[derive(Clone)]
@@ -49,15 +76,16 @@ impl std::fmt::Debug for PartitionStrategy {
     }
 }
 
-/// Result of a distributed engine run. The caller's graph data is updated
-/// in place; this carries everything else.
+/// Result of an engine run. The caller's graph data is updated in place;
+/// this carries everything else.
 pub struct EngineOutput {
     /// Run metrics.
     pub metrics: EngineMetrics,
-    /// Final global values (name → value), from the master machine.
-    pub globals: Vec<(String, Vec<f64>)>,
+    /// Final global values (typed, keyed by [`crate::GlobalHandle`]), from
+    /// the sync master.
+    pub globals: GlobalRegistry,
     /// The simulated DFS used for atoms and snapshots (inspect snapshot
-    /// files, restore checkpoints).
+    /// files, restore checkpoints). Fresh and empty for sequential runs.
     pub dfs: Arc<SimDfs>,
 }
 
@@ -65,7 +93,7 @@ pub struct EngineOutput {
 pub(crate) struct MachineResult<V, E> {
     pub vrows: Vec<(VertexId, V)>,
     pub erows: Vec<(EdgeId, E)>,
-    pub globals: Vec<(String, Vec<f64>)>,
+    pub globals: GlobalRegistry,
     pub updates: u64,
     pub update_counts: Vec<(VertexId, u64)>,
     pub steps: u64,
@@ -80,7 +108,8 @@ pub(crate) struct MachineSetup<V, E, U: ?Sized> {
     pub placement: Arc<Placement>,
     pub coloring: Arc<Coloring>,
     pub update: Arc<U>,
-    pub syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    pub syncs: SyncList<V, E>,
+    pub stop: Option<StopFn>,
     pub initial: Arc<InitialSchedule>,
     pub config: EngineConfig,
     pub counters: Arc<LiveCounters>,
@@ -102,16 +131,18 @@ pub(crate) fn make_partition<V, E>(
     }
 }
 
-/// Shared driver skeleton: ingress → spawn `run_machine` per machine →
-/// join → write back. `engine` selects which machine loop runs.
+/// Shared distributed skeleton: ingress → spawn `run_machine` per machine
+/// → join → write back. `engine` selects which machine loop runs; the
+/// sequential engine never enters here.
 #[allow(clippy::too_many_arguments)]
-fn run_distributed<V, E, U>(
+pub(crate) fn run_distributed<V, E, U>(
     engine: EngineKind,
     graph: &mut DataGraph<V, E>,
     coloring: Coloring,
     update: Arc<U>,
     initial: InitialSchedule,
-    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    syncs: SyncList<V, E>,
+    stop: Option<StopFn>,
     config: &EngineConfig,
     strategy: &PartitionStrategy,
 ) -> EngineOutput
@@ -120,6 +151,7 @@ where
     E: Codec + Clone + Send + Sync + 'static,
     U: UpdateFunction<V, E>,
 {
+    assert!(engine != EngineKind::Sequential, "sequential runs bypass the distributed skeleton");
     assert!(config.num_machines >= 1);
     assert!(
         config.num_atoms >= config.num_machines,
@@ -157,6 +189,7 @@ where
             coloring: Arc::clone(&coloring),
             update: Arc::clone(&update),
             syncs: Arc::clone(&syncs),
+            stop: stop.clone(),
             initial: Arc::clone(&initial),
             config: config.clone(),
             counters: Arc::clone(&counters),
@@ -185,7 +218,7 @@ where
     let mut total_updates = 0u64;
     let mut steps = 0u64;
     let mut snapshots = 0u64;
-    let mut globals = Vec::new();
+    let mut globals = GlobalRegistry::new();
     for (i, r) in results.into_iter().enumerate() {
         for (v, d) in r.vrows {
             *graph.vertex_data_mut(v) = d;
@@ -219,12 +252,6 @@ where
     EngineOutput { metrics, globals, dfs }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum EngineKind {
-    Chromatic,
-    Locking,
-}
-
 fn run_machine<V, E, U>(
     kind: EngineKind,
     endpoint: graphlab_net::Endpoint,
@@ -241,58 +268,98 @@ where
     match kind {
         EngineKind::Chromatic => ChromaticMachine::new(endpoint, setup, init).run(),
         EngineKind::Locking => LockingMachine::new(endpoint, setup, init).run(),
+        EngineKind::Sequential => unreachable!("sequential runs bypass the machine loop"),
     }
 }
 
-/// Runs the **chromatic engine** (§4.2.1) on `graph`, mutating its data in
-/// place.
-///
-/// The colouring must satisfy the configured consistency model's order
-/// (first-order for edge consistency, second-order for full); pass the
-/// output of [`graphlab_graph::greedy_coloring`] /
-/// [`graphlab_graph::second_order_coloring`] or a known colouring (e.g.
-/// bipartite).
-pub fn run_chromatic<V, E, U>(
-    graph: &mut DataGraph<V, E>,
-    coloring: Coloring,
-    update: Arc<U>,
-    initial: InitialSchedule,
-    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-    config: &EngineConfig,
-    strategy: &PartitionStrategy,
-) -> EngineOutput
-where
-    V: Codec + Clone + Send + Sync + 'static,
-    E: Codec + Clone + Send + Sync + 'static,
-    U: UpdateFunction<V, E>,
-{
-    assert!(
-        graphlab_graph::verify_coloring(graph, &coloring, config.consistency.required_coloring_order()),
-        "colouring does not satisfy the {} consistency model",
-        config.consistency
-    );
-    run_distributed(EngineKind::Chromatic, graph, coloring, update, initial, syncs, config, strategy)
+// ---------------------------------------------------------------------
+// Deprecated pre-builder entry points
+// ---------------------------------------------------------------------
+
+#[allow(deprecated)]
+mod shims {
+    use super::*;
+    use crate::program::{GraphLab, SyncCadence};
+    use crate::sync::{SyncOp, SyncOpAt};
+
+    fn legacy_syncs<'g, V, E>(
+        mut b: GraphLab<'g, V, E>,
+        syncs: &Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    ) -> GraphLab<'g, V, E>
+    where
+        V: Codec + Clone + Send + Sync + 'static,
+        E: Codec + Clone + Send + Sync + 'static,
+    {
+        for i in 0..syncs.len() {
+            b = b.sync(
+                crate::globals::GlobalHandle::<Vec<f64>>::new(i as u32),
+                SyncOpAt { list: Arc::clone(syncs), index: i },
+                SyncCadence::Final,
+            );
+        }
+        b
+    }
+
+    /// Runs the **chromatic engine** (§4.2.1) on `graph`, mutating its
+    /// data in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GraphLab::on(graph).engine(EngineKind::Chromatic)` — the builder \
+                auto-computes and verifies the colouring from the consistency model"
+    )]
+    pub fn run_chromatic<V, E, U>(
+        graph: &mut DataGraph<V, E>,
+        coloring: Coloring,
+        update: Arc<U>,
+        initial: InitialSchedule,
+        syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+        config: &EngineConfig,
+        strategy: &PartitionStrategy,
+    ) -> EngineOutput
+    where
+        V: Codec + Clone + Send + Sync + 'static,
+        E: Codec + Clone + Send + Sync + 'static,
+        U: UpdateFunction<V, E>,
+    {
+        let b = GraphLab::on(graph)
+            .engine(EngineKind::Chromatic)
+            .with_config(config.clone())
+            .coloring(coloring)
+            .initial(initial)
+            .partition(strategy.clone());
+        legacy_syncs(b, &syncs).run(update)
+    }
+
+    /// Runs the **distributed locking engine** (§4.2.2) on `graph`,
+    /// mutating its data in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GraphLab::on(graph).engine(EngineKind::Locking)`"
+    )]
+    pub fn run_locking<V, E, U>(
+        graph: &mut DataGraph<V, E>,
+        update: Arc<U>,
+        initial: InitialSchedule,
+        syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+        config: &EngineConfig,
+        strategy: &PartitionStrategy,
+    ) -> EngineOutput
+    where
+        V: Codec + Clone + Send + Sync + 'static,
+        E: Codec + Clone + Send + Sync + 'static,
+        U: UpdateFunction<V, E>,
+    {
+        let b = GraphLab::on(graph)
+            .engine(EngineKind::Locking)
+            .with_config(config.clone())
+            .initial(initial)
+            .partition(strategy.clone());
+        legacy_syncs(b, &syncs).run(update)
+    }
 }
 
-/// Runs the **distributed locking engine** (§4.2.2) on `graph`, mutating
-/// its data in place. Fully asynchronous; supports prioritised dynamic
-/// scheduling and does not require a graph colouring.
-pub fn run_locking<V, E, U>(
-    graph: &mut DataGraph<V, E>,
-    update: Arc<U>,
-    initial: InitialSchedule,
-    syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-    config: &EngineConfig,
-    strategy: &PartitionStrategy,
-) -> EngineOutput
-where
-    V: Codec + Clone + Send + Sync + 'static,
-    E: Codec + Clone + Send + Sync + 'static,
-    U: UpdateFunction<V, E>,
-{
-    let coloring = Coloring::uniform(graph.num_vertices());
-    run_distributed(EngineKind::Locking, graph, coloring, update, initial, syncs, config, strategy)
-}
+#[allow(deprecated)]
+pub use shims::{run_chromatic, run_locking};
 
 /// Convenience: a [`DistributedGraph`] bundles the persisted atom
 /// representation for callers that want to reuse one ingress across runs
@@ -339,4 +406,3 @@ impl DistributedGraph {
             .collect()
     }
 }
-

@@ -7,22 +7,24 @@
 //! data on a static structure (provided by `graphlab-graph` +
 //! `graphlab-atoms`), *update functions* transforming vertex scopes and
 //! scheduling further work ([`update`]), and the *sync operation*
-//! maintaining global aggregates ([`sync`]). Serializable execution is
-//! guaranteed under three consistency models (vertex/edge/full) by two
-//! very different distributed engines:
+//! maintaining typed global aggregates ([`sync`]). A program is assembled
+//! and run through the [`GraphLab`] builder ([`program`]) — the single
+//! entry point selecting one of three engines behind the same seam:
 //!
+//! - the **sequential reference** ([`mod@reference`]): the literal execution
+//!   model (Alg. 2), the serializability oracle for all distributed runs;
 //! - the **chromatic engine** ([`chromatic`]): partially synchronous
-//!   colour-step execution driven by a graph colouring (§4.2.1);
+//!   colour-step execution driven by a graph colouring (§4.2.1), which
+//!   the builder auto-computes from the consistency model;
 //! - the **locking engine** ([`locking`]): fully asynchronous pipelined
 //!   distributed locking with prioritised dynamic scheduling (§4.2.2).
 //!
-//! Fault tolerance (§4.3) is provided by synchronous stop-the-world
-//! snapshots and the fully asynchronous Chandy-Lamport variant expressed
-//! as a GraphLab update function ([`snapshot`]).
-//!
-//! A literal sequential implementation of the execution model (Alg. 2)
-//! lives in [`reference`]; it is the serializability oracle for all
-//! distributed runs.
+//! Termination is first-class: [`GraphLab::stop_when`] predicates over
+//! finalized globals run at sync boundaries (the paper's aggregate-driven
+//! convergence checks), composing with update caps. Fault tolerance
+//! (§4.3) is provided by synchronous stop-the-world snapshots and the
+//! fully asynchronous Chandy-Lamport variant expressed as a GraphLab
+//! update function ([`snapshot`]).
 
 pub mod chromatic;
 pub mod config;
@@ -32,6 +34,7 @@ pub mod local;
 pub mod locking;
 pub mod messages;
 pub mod metrics;
+pub mod program;
 pub mod reference;
 pub mod scheduler;
 pub mod snapshot;
@@ -40,12 +43,24 @@ pub mod update;
 
 pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
 pub use graphlab_net::BatchPolicy;
-pub use driver::{run_chromatic, run_locking, DistributedGraph, EngineOutput, PartitionStrategy};
-pub use globals::GlobalRegistry;
+pub use driver::{DistributedGraph, EngineKind, EngineOutput, PartitionStrategy};
+/// `Engine` is an alias for [`EngineKind`], matching the builder-chain
+/// spelling `GraphLab::on(..).engine(Engine::Locking)`.
+pub use driver::EngineKind as Engine;
+pub use globals::{GlobalHandle, GlobalRegistry};
 pub use local::{LocalAdjEntry, LocalGraph, RemoteCacheTable};
 pub use metrics::EngineMetrics;
-pub use reference::{run_sequential, InitialSchedule, SequentialConfig};
+pub use program::{GraphLab, SyncCadence};
+pub use reference::InitialSchedule;
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use snapshot::{optimal_checkpoint_interval_secs, restore_snapshot, snapshot_exists, SnapshotFile};
-pub use sync::{FnSync, SyncOp};
+pub use sync::{local_partial, Aggregate, FnSync, SyncScope};
 pub use update::{UpdateContext, UpdateEffects, UpdateFunction};
+
+// Deprecated pre-builder surface, kept as thin shims.
+#[allow(deprecated)]
+pub use driver::{run_chromatic, run_locking};
+#[allow(deprecated)]
+pub use reference::{run_sequential, SequentialConfig};
+#[allow(deprecated)]
+pub use sync::SyncOp;

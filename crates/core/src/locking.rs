@@ -25,7 +25,7 @@
 //!    readers-writer lock: acquisition never blocks the engine thread,
 //!    parked requests are resumed from release processing.
 //!
-//! Termination uses the marker/token algorithm (Misra [26], Safra
+//! Termination uses the marker/token algorithm (Misra \[26\], Safra
 //! formulation) from `graphlab-net`. Snapshots (§4.3) come in both
 //! flavours: stop-and-flush synchronous, and the asynchronous
 //! Chandy-Lamport variant expressed as a prioritised update function
@@ -50,7 +50,6 @@ use crate::messages::*;
 use crate::reference::InitialSchedule;
 use crate::scheduler::Scheduler;
 use crate::snapshot::{snap_file_name, SnapshotFile};
-use crate::sync::local_partial;
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 /// Priority marking a schedule request as a snapshot task (Alg. 5:
@@ -69,6 +68,9 @@ const IDLE_BLOCK: Duration = Duration::from_millis(25);
 
 /// Identifies a lock chain cluster-wide: `(requester machine, reqid)`.
 type ChainKey = (u16, u64);
+
+/// Master-side in-flight sync epoch: `(epoch, accumulators, partials got)`.
+type SyncEpoch = (u64, Vec<Box<dyn std::any::Any + Send>>, usize);
 
 // ---------------------------------------------------------------------
 // Non-blocking callback readers-writer lock table
@@ -270,7 +272,7 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     m_halt_acks: usize,
     m_sync_epoch: u64,
     m_sync_next_at: u64,
-    m_sync_outstanding: Option<(u64, Vec<Vec<f64>>, usize)>,
+    m_sync_outstanding: Option<SyncEpoch>,
     m_final_sync_done: bool,
 
     // Misc.
@@ -1050,21 +1052,24 @@ where
             }
             K_LSYNC_GLOB => {
                 let msg: SyncGlobalsMsg = dec(env.payload);
-                for (name, ver, value) in msg.globals {
-                    self.globals.apply(&name, ver, value);
-                }
-                if msg.halt {
-                    // Final-sync marker: nothing else to do; halt arrives
-                    // separately.
+                for (id, ver, bytes) in msg.globals {
+                    let op = self
+                        .setup
+                        .syncs
+                        .iter()
+                        .find(|s| s.id() == id)
+                        .expect("broadcast global matches a registered sync");
+                    let typed = op.decode_out(bytes).expect("malformed global value");
+                    self.globals.apply(id, ver, typed);
                 }
             }
             K_LSYNC_REQ => {
                 let epoch: u64 = dec(env.payload);
-                let partials: Vec<Vec<f64>> = self
+                let partials: Vec<(u32, Bytes)> = self
                     .setup
                     .syncs
                     .iter()
-                    .map(|op| local_partial(op.as_ref(), &self.lg))
+                    .map(|op| (op.id(), op.local_partial(&self.lg)))
                     .collect();
                 self.net.send(
                     MachineId(0),
@@ -1210,9 +1215,13 @@ where
         let epoch = if fin { u64::MAX } else { self.m_sync_epoch };
         let payload = enc(&epoch);
         self.net.broadcast(K_LSYNC_REQ, &payload);
-        let own: Vec<Vec<f64>> =
-            self.setup.syncs.iter().map(|op| local_partial(op.as_ref(), &self.lg)).collect();
-        self.m_sync_outstanding = Some((epoch, own, 1));
+        let mut accs: Vec<Box<dyn std::any::Any + Send>> =
+            self.setup.syncs.iter().map(|op| op.init_acc()).collect();
+        for (i, op) in self.setup.syncs.iter().enumerate() {
+            let part = op.local_partial(&self.lg);
+            op.combine(accs[i].as_mut(), &part);
+        }
+        self.m_sync_outstanding = Some((epoch, accs, 1));
         if self.num_machines() == 1 {
             self.finish_sync_epoch();
         }
@@ -1225,8 +1234,9 @@ where
         if msg.epoch != *epoch {
             return;
         }
-        for (i, part) in msg.partials.iter().enumerate() {
-            self.setup.syncs[i].combine(&mut accs[i], part);
+        for (i, (id, part)) in msg.partials.iter().enumerate() {
+            debug_assert_eq!(*id, self.setup.syncs[i].id());
+            self.setup.syncs[i].combine(accs[i].as_mut(), part);
         }
         *got += 1;
         if *got == self.num_machines() {
@@ -1238,15 +1248,23 @@ where
         let (epoch, accs, _) = self.m_sync_outstanding.take().expect("epoch active");
         let total = self.lg.total_vertices();
         let mut rows = Vec::new();
-        for (i, op) in self.setup.syncs.iter().enumerate() {
-            let value = op.finalize(accs[i].clone(), total);
-            let ver = self.globals.set(&op.name(), value.clone());
-            rows.push((op.name(), ver, value));
+        for (op, acc) in self.setup.syncs.iter().zip(accs) {
+            let (bytes, typed) = op.finalize(acc, total);
+            let ver = self.globals.set(op.id(), typed);
+            rows.push((op.id(), ver, bytes));
         }
         let msg = SyncGlobalsMsg { cycle: epoch, globals: rows, halt: false, snapshot: None };
         let payload = enc(&msg);
         self.net.broadcast(K_LSYNC_GLOB, &payload);
         if epoch == u64::MAX {
+            self.m_final_sync_done = true;
+        }
+        // Aggregate-driven termination (§3.5): evaluate the stop predicate
+        // over the just-finalized globals. The epoch that tripped it doubles
+        // as the final sync — everyone already holds these values.
+        if !self.m_halt_pending && self.setup.stop.as_ref().is_some_and(|f| f(&self.globals)) {
+            tr!("[m{}] STOP_WHEN fired at epoch {}", self.me().0, epoch);
+            self.m_halt_pending = true;
             self.m_final_sync_done = true;
         }
     }
@@ -1398,12 +1416,7 @@ where
 
     fn finish(mut self) -> MachineResult<V, E> {
         let update_counts: Vec<(VertexId, u64)> = self.update_count_map.drain().collect();
-        let globals = self
-            .globals
-            .names()
-            .into_iter()
-            .map(|n| (n.clone(), self.globals.get(&n).unwrap_or(&[]).to_vec()))
-            .collect();
+        let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let snapshots = self.snapshots_written;
         let (vrows, erows) = self.lg.into_owned_data();

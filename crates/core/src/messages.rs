@@ -297,12 +297,17 @@ impl Codec for FlushMsg {
 
 /// Sync partial accumulators for one cycle (machine → master). Also the
 /// cycle-end barrier: sent even when no sync ops are registered.
+///
+/// Partials are `(handle id, codec bytes)` rows: each registered
+/// [`crate::Aggregate`]'s typed accumulator travels pre-encoded, tagged by
+/// its `Copy` [`crate::GlobalHandle`] id — no names on the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SyncPartialMsg {
     /// Cycle number.
     pub cycle: u64,
-    /// Partial accumulator per registered sync op, in registration order.
-    pub partials: Vec<Vec<f64>>,
+    /// `(handle id, encoded accumulator)` per registered sync op, in
+    /// registration order.
+    pub partials: Vec<(u32, Bytes)>,
     /// Sender's pending task count at cycle end.
     pub pending: u64,
     /// Sender's executed-update count for the whole cycle.
@@ -319,7 +324,7 @@ impl Codec for SyncPartialMsg {
     fn decode(buf: &mut Bytes) -> Option<Self> {
         Some(SyncPartialMsg {
             cycle: u64::decode(buf)?,
-            partials: Vec::<Vec<f64>>::decode(buf)?,
+            partials: Vec::<(u32, Bytes)>::decode(buf)?,
             pending: u64::decode(buf)?,
             updates: u64::decode(buf)?,
         })
@@ -332,8 +337,8 @@ impl Codec for SyncPartialMsg {
 pub struct SyncGlobalsMsg {
     /// Cycle number.
     pub cycle: u64,
-    /// `(name, version, value)` rows to apply.
-    pub globals: Vec<(String, u64, Vec<f64>)>,
+    /// `(handle id, version, encoded finalized value)` rows to apply.
+    pub globals: Vec<(u32, u64, Bytes)>,
     /// All machines must halt after this cycle.
     pub halt: bool,
     /// All machines must write a snapshot (id) before the next cycle.
@@ -343,25 +348,14 @@ pub struct SyncGlobalsMsg {
 impl Codec for SyncGlobalsMsg {
     fn encode(&self, buf: &mut BytesMut) {
         self.cycle.encode(buf);
-        (self.globals.len() as u32).encode(buf);
-        for (name, ver, val) in &self.globals {
-            name.encode(buf);
-            ver.encode(buf);
-            val.encode(buf);
-        }
+        self.globals.encode(buf);
         self.halt.encode(buf);
         self.snapshot.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Option<Self> {
-        let cycle = u64::decode(buf)?;
-        let n = u32::decode(buf)? as usize;
-        let mut globals = Vec::with_capacity(n);
-        for _ in 0..n {
-            globals.push((String::decode(buf)?, u64::decode(buf)?, Vec::<f64>::decode(buf)?));
-        }
         Some(SyncGlobalsMsg {
-            cycle,
-            globals,
+            cycle: u64::decode(buf)?,
+            globals: Vec::<(u32, u64, Bytes)>::decode(buf)?,
             halt: bool::decode(buf)?,
             snapshot: Option::<u64>::decode(buf)?,
         })
@@ -562,8 +556,8 @@ impl Codec for ReleaseMsg {
 pub struct LockSyncPartialMsg {
     /// Sync epoch.
     pub epoch: u64,
-    /// Partial accumulator per registered sync op.
-    pub partials: Vec<Vec<f64>>,
+    /// `(handle id, encoded accumulator)` per registered sync op.
+    pub partials: Vec<(u32, Bytes)>,
 }
 
 impl Codec for LockSyncPartialMsg {
@@ -574,7 +568,7 @@ impl Codec for LockSyncPartialMsg {
     fn decode(buf: &mut Bytes) -> Option<Self> {
         Some(LockSyncPartialMsg {
             epoch: u64::decode(buf)?,
-            partials: Vec::<Vec<f64>>::decode(buf)?,
+            partials: Vec::<(u32, Bytes)>::decode(buf)?,
         })
     }
 }
@@ -659,10 +653,15 @@ mod tests {
             inner: VertexRow { vid: VertexId(0), version: 1, snap: 0, data: Bytes::from_static(b"d") },
         });
         rt(FlushMsg { step: 3, count: 17, updates: 5, pending: 2 });
-        rt(SyncPartialMsg { cycle: 2, partials: vec![vec![1.0, 2.0], vec![]], pending: 7, updates: 4 });
+        rt(SyncPartialMsg {
+            cycle: 2,
+            partials: vec![(0, Bytes::from_static(b"acc")), (7, Bytes::new())],
+            pending: 7,
+            updates: 4,
+        });
         rt(SyncGlobalsMsg {
             cycle: 2,
-            globals: vec![("err".into(), 3, vec![0.5])],
+            globals: vec![(4, 3, Bytes::from_static(b"out"))],
             halt: true,
             snapshot: Some(1),
         });
@@ -689,7 +688,7 @@ mod tests {
             vwrites: vec![(VertexId(3), 1, Bytes::from_static(b"w"))],
             ewrites: vec![(EdgeId(9), Bytes::from_static(b"z"))],
         });
-        rt(LockSyncPartialMsg { epoch: 1, partials: vec![vec![3.0]] });
+        rt(LockSyncPartialMsg { epoch: 1, partials: vec![(2, Bytes::from_static(b"p"))] });
         rt(SnapReadyMsg { snap: 1, sent_to: vec![10, 0, 5] });
         rt(SnapFlushMsg { snap: 1, expect_from: vec![2, 2, 2] });
         rt(TokenMsg(Token { count: -2, black: false, round: 4 }));

@@ -1,0 +1,461 @@
+//! The `GraphLab` program builder — the single typed entry point for
+//! running a GraphLab program (§3: data graph + update function + sync +
+//! consistency) on any engine.
+//!
+//! ```
+//! use graphlab_core::{EngineKind, GraphLab};
+//! use graphlab_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let v0 = b.add_vertex(1.0f64);
+//! let v1 = b.add_vertex(2.0f64);
+//! b.add_edge(v0, v1, ()).unwrap();
+//! let mut graph = b.build();
+//!
+//! let out = GraphLab::on(&mut graph)
+//!     .engine(EngineKind::Sequential)
+//!     .run(|ctx: &mut graphlab_core::UpdateContext<'_, f64, ()>| {
+//!         *ctx.vertex_data_mut() += 1.0;
+//!     });
+//! assert_eq!(out.metrics.updates, 2);
+//! ```
+//!
+//! The same program runs unchanged on the distributed engines by swapping
+//! [`GraphLab::engine`]; the chromatic engine's colouring is auto-computed
+//! from the consistency model (first-order for edge consistency,
+//! second-order for full, single-colour for vertex) and verified, or a
+//! known colouring (e.g. bipartite) can be supplied with
+//! [`GraphLab::coloring`]. Sync operations register typed [`Aggregate`]s
+//! under [`GlobalHandle`]s, and [`GraphLab::stop_when`] makes termination
+//! first-class: a predicate over the finalized globals, evaluated at sync
+//! boundaries — the paper's aggregate-driven convergence checks — composing
+//! with `max_updates`.
+
+use std::sync::Arc;
+
+use graphlab_graph::{
+    greedy_coloring, second_order_coloring, verify_coloring, Coloring, ConsistencyModel,
+    DataGraph,
+};
+use graphlab_net::codec::Codec;
+use graphlab_net::LatencyModel;
+
+use crate::config::{EngineConfig, SnapshotConfig};
+use crate::driver::{run_distributed, EngineKind, EngineOutput, PartitionStrategy, StopFn};
+use crate::globals::{GlobalHandle, GlobalRegistry};
+use crate::reference::{run_sequential_program, InitialSchedule};
+use crate::scheduler::SchedulerKind;
+use crate::sync::{Aggregate, ErasedSync, RegisteredSync, SyncList};
+use crate::update::UpdateFunction;
+
+/// How often a registered sync operation must be re-evaluated.
+///
+/// Engines may evaluate *more* often at their natural boundaries: the
+/// chromatic engine runs every registered sync between colour cycles
+/// regardless of cadence (its cycle barrier makes them free and
+/// consistent), and every engine runs a final sync at termination so
+/// [`EngineOutput::globals`] is always current.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncCadence {
+    /// Only at the engines' natural boundaries (chromatic colour cycles,
+    /// run termination) — no background cadence.
+    Final,
+    /// At least once every `n` cluster-wide updates (`n > 0`). On the
+    /// locking engine this drives the paper's background sync; the
+    /// finest registered cadence sets the epoch interval and every
+    /// registered sync evaluates each epoch.
+    Updates(u64),
+}
+
+/// Builder for one GraphLab program run. See the [module docs](self).
+///
+/// Construct with [`GraphLab::on`], chain configuration, finish with
+/// [`GraphLab::run`] — which executes the program on the selected engine,
+/// mutates the graph's data in place and returns the [`EngineOutput`].
+pub struct GraphLab<'g, V, E> {
+    graph: &'g mut DataGraph<V, E>,
+    engine: EngineKind,
+    config: EngineConfig,
+    coloring: Option<Coloring>,
+    strategy: PartitionStrategy,
+    initial: InitialSchedule,
+    syncs: Vec<Box<dyn ErasedSync<V, E>>>,
+    cadences: Vec<SyncCadence>,
+    sync_ids: Vec<u32>,
+    stop: Option<StopFn>,
+}
+
+impl<'g, V, E> GraphLab<'g, V, E>
+where
+    V: Codec + Clone + Send + Sync + 'static,
+    E: Codec + Clone + Send + Sync + 'static,
+{
+    /// Starts a program on `graph`. Defaults: sequential engine, one
+    /// machine, edge consistency, FIFO scheduler, random-hash
+    /// partitioning, all vertices initially scheduled.
+    pub fn on(graph: &'g mut DataGraph<V, E>) -> Self {
+        GraphLab {
+            graph,
+            engine: EngineKind::Sequential,
+            config: EngineConfig::new(1),
+            coloring: None,
+            strategy: PartitionStrategy::RandomHash,
+            initial: InitialSchedule::AllVertices,
+            syncs: Vec::new(),
+            cadences: Vec::new(),
+            sync_ids: Vec::new(),
+            stop: None,
+        }
+    }
+
+    /// Selects the engine (default: [`EngineKind::Sequential`]).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Number of simulated machines for the distributed engines. Resets
+    /// the atom count to the default `8 × machines`; call
+    /// [`GraphLab::configure`] *after* this to customise `num_atoms`.
+    pub fn machines(mut self, machines: usize) -> Self {
+        self.config.num_machines = machines;
+        self.config.num_atoms = (8 * machines).max(1);
+        self
+    }
+
+    /// Consistency model to enforce (default: edge consistency). For the
+    /// chromatic engine this also selects the auto-computed colouring
+    /// order: single-colour for vertex, first-order (greedy) for edge,
+    /// second-order for full.
+    pub fn consistency(mut self, model: ConsistencyModel) -> Self {
+        self.config.consistency = model;
+        self
+    }
+
+    /// Scheduler flavour (default: FIFO). The chromatic engine is
+    /// inherently sweep-within-colour and ignores this.
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.config.scheduler = kind;
+        self
+    }
+
+    /// Atom partitioning strategy (default: random hash).
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Supplies a known colouring for the chromatic engine (e.g. the free
+    /// bipartite 2-colouring of ALS/CoEM graphs) instead of auto-computing
+    /// one. It is still verified against the consistency model's required
+    /// order at [`GraphLab::run`].
+    pub fn coloring(mut self, coloring: Coloring) -> Self {
+        self.coloring = Some(coloring);
+        self
+    }
+
+    /// Initial task set (default: all vertices at uniform priority).
+    pub fn initial(mut self, initial: InitialSchedule) -> Self {
+        self.initial = initial;
+        self
+    }
+
+    /// Safety cap on total updates (0 = unlimited). Composes with
+    /// [`GraphLab::stop_when`]: the run halts at whichever fires first.
+    pub fn max_updates(mut self, cap: u64) -> Self {
+        self.config.max_updates = cap;
+        self
+    }
+
+    /// Network latency model for the simulated fabric.
+    pub fn latency(mut self, model: LatencyModel) -> Self {
+        self.config.latency = model;
+        self
+    }
+
+    /// Snapshot policy (§4.3).
+    pub fn snapshot(mut self, snapshot: SnapshotConfig) -> Self {
+        self.config.snapshot = snapshot;
+        self
+    }
+
+    /// Collect per-vertex update counts and the updates-vs-time series.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.config.trace = on;
+        self
+    }
+
+    /// Seed for partitioning and tie-breaking.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Escape hatch for the remaining [`EngineConfig`] knobs (batching,
+    /// pipelining depth, stragglers, ablation switches, …).
+    pub fn configure(mut self, f: impl FnOnce(&mut EngineConfig)) -> Self {
+        f(&mut self.config);
+        self
+    }
+
+    /// Replaces the whole [`EngineConfig`] (callers that already carry
+    /// one, e.g. across sweep arms). Builder methods called afterwards
+    /// still apply on top.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a sync operation (§3.5): `op` maintains the global value
+    /// read back through `ctx.global(handle)`, re-evaluated per `cadence`.
+    ///
+    /// # Panics
+    /// If `handle`'s id collides with an earlier registration.
+    pub fn sync<A>(mut self, handle: GlobalHandle<A::Out>, op: A, cadence: SyncCadence) -> Self
+    where
+        A: Aggregate<V, E>,
+    {
+        assert!(
+            !self.sync_ids.contains(&handle.id()),
+            "duplicate global handle id {} — every sync needs a distinct handle",
+            handle.id()
+        );
+        if let SyncCadence::Updates(n) = cadence {
+            assert!(n > 0, "SyncCadence::Updates cadence must be positive");
+        }
+        self.sync_ids.push(handle.id());
+        self.syncs.push(Box::new(RegisteredSync { id: handle.id(), op }));
+        self.cadences.push(cadence);
+        self
+    }
+
+    /// First-class termination (§3.5): halt when `stop` returns true over
+    /// the finalized globals. Evaluated by the sync master at every sync
+    /// boundary (chromatic: each colour cycle; locking/sequential: each
+    /// sync epoch), so it requires at least one registered [`sync`] — and,
+    /// on the locking/sequential engines, one with a
+    /// [`SyncCadence::Updates`] cadence. Composes with
+    /// [`GraphLab::max_updates`].
+    ///
+    /// [`sync`]: GraphLab::sync
+    pub fn stop_when(mut self, stop: impl Fn(&GlobalRegistry) -> bool + Send + Sync + 'static) -> Self {
+        self.stop = Some(Arc::new(stop));
+        self
+    }
+
+    /// Executes the program, mutating the graph's data in place.
+    ///
+    /// # Panics
+    /// On an invalid configuration: a supplied colouring that violates the
+    /// consistency model's order, a `stop_when` without syncs to drive it,
+    /// or fewer atoms than machines.
+    pub fn run<U>(self, update: U) -> EngineOutput
+    where
+        U: UpdateFunction<V, E>,
+    {
+        let GraphLab {
+            graph,
+            engine,
+            mut config,
+            coloring,
+            strategy,
+            initial,
+            syncs,
+            cadences,
+            stop,
+            ..
+        } = self;
+
+        // The finest registered Updates cadence drives the background sync
+        // interval. Cadences are "at least every n", so an explicitly
+        // configured finer interval is kept (min, not overwrite);
+        // Final-only registrations leave the configured interval untouched.
+        if let Some(n) = cadences
+            .iter()
+            .filter_map(|c| match c {
+                SyncCadence::Updates(n) => Some(*n),
+                SyncCadence::Final => None,
+            })
+            .min()
+        {
+            config.sync_interval_updates = if config.sync_interval_updates == 0 {
+                n
+            } else {
+                config.sync_interval_updates.min(n)
+            };
+        }
+
+        if stop.is_some() {
+            assert!(
+                !syncs.is_empty(),
+                "stop_when requires at least one sync(...): the predicate is evaluated \
+                 over finalized globals at sync boundaries"
+            );
+            if engine != EngineKind::Chromatic {
+                assert!(
+                    config.sync_interval_updates > 0,
+                    "stop_when on the {engine:?} engine requires a SyncCadence::Updates \
+                     cadence (the chromatic engine evaluates every colour cycle)"
+                );
+            }
+        }
+
+        let update = Arc::new(update);
+        let syncs: SyncList<V, E> = Arc::new(syncs);
+        match engine {
+            EngineKind::Sequential => {
+                run_sequential_program(graph, &*update, initial, &syncs, stop, &config)
+            }
+            EngineKind::Chromatic => {
+                let coloring = resolve_coloring(graph, coloring, config.consistency);
+                run_distributed(
+                    EngineKind::Chromatic,
+                    graph,
+                    coloring,
+                    update,
+                    initial,
+                    syncs,
+                    stop,
+                    &config,
+                    &strategy,
+                )
+            }
+            EngineKind::Locking => {
+                let uniform = Coloring::uniform(graph.num_vertices());
+                run_distributed(
+                    EngineKind::Locking,
+                    graph,
+                    uniform,
+                    update,
+                    initial,
+                    syncs,
+                    stop,
+                    &config,
+                    &strategy,
+                )
+            }
+        }
+    }
+}
+
+/// Chromatic colouring resolution: a caller-supplied colouring is
+/// verified; otherwise one is computed at the order the consistency model
+/// requires (§4.2.1) — and verified too, pinning the generators.
+fn resolve_coloring<V, E>(
+    graph: &DataGraph<V, E>,
+    user: Option<Coloring>,
+    model: ConsistencyModel,
+) -> Coloring {
+    let order = model.required_coloring_order();
+    let coloring = user.unwrap_or_else(|| match order {
+        0 => Coloring::uniform(graph.num_vertices()),
+        1 => greedy_coloring(graph),
+        _ => second_order_coloring(graph),
+    });
+    assert!(
+        verify_coloring(graph, &coloring, order),
+        "colouring does not satisfy the {model} consistency model"
+    );
+    coloring
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::UpdateContext;
+    use graphlab_graph::GraphBuilder;
+
+    fn ring(n: usize) -> DataGraph<f64, f64> {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(i as f64)).collect();
+        for i in 0..n {
+            b.add_edge(vs[i], vs[(i + 1) % n], 0.0).unwrap();
+        }
+        b.build()
+    }
+
+    struct MaxDiffusion;
+    impl UpdateFunction<f64, f64> for MaxDiffusion {
+        fn update(&self, ctx: &mut UpdateContext<'_, f64, f64>) {
+            let mut best = *ctx.vertex_data();
+            for i in 0..ctx.num_neighbors() {
+                best = best.max(*ctx.nbr_data(i));
+            }
+            if best > *ctx.vertex_data() {
+                *ctx.vertex_data_mut() = best;
+                for i in 0..ctx.num_neighbors() {
+                    ctx.schedule_nbr(i, 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_engines_reach_the_fixpoint() {
+        for engine in [EngineKind::Sequential, EngineKind::Chromatic, EngineKind::Locking] {
+            let mut g = ring(16);
+            let out = GraphLab::on(&mut g).engine(engine).machines(2).run(MaxDiffusion);
+            assert!(out.metrics.updates >= 16, "{engine:?}");
+            for v in g.vertices() {
+                assert_eq!(*g.vertex_data(v), 15.0, "{engine:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn chromatic_autocomputes_coloring() {
+        // No .coloring(..) call: the builder computes a first-order
+        // colouring for edge consistency on its own.
+        let mut g = ring(12);
+        let out = GraphLab::on(&mut g).engine(EngineKind::Chromatic).machines(2).run(MaxDiffusion);
+        assert!(out.metrics.updates >= 12);
+        for v in g.vertices() {
+            assert_eq!(*g.vertex_data(v), 11.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy")]
+    fn improper_supplied_coloring_rejected() {
+        let mut g = ring(6);
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Chromatic)
+            .coloring(Coloring::uniform(6))
+            .run(MaxDiffusion);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate global handle")]
+    fn duplicate_handles_rejected() {
+        const A: GlobalHandle<Vec<f64>> = GlobalHandle::new(1);
+        const B: GlobalHandle<Vec<f64>> = GlobalHandle::new(1);
+        let mut g = ring(4);
+        let _ = GraphLab::on(&mut g)
+            .sync(A, crate::FnSync::new(1, |_, d: &f64| vec![*d], |a, _| a), SyncCadence::Final)
+            .sync(B, crate::FnSync::new(1, |_, d: &f64| vec![*d], |a, _| a), SyncCadence::Final);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires at least one sync")]
+    fn stop_when_without_syncs_rejected() {
+        let mut g = ring(4);
+        GraphLab::on(&mut g).stop_when(|_| true).run(MaxDiffusion);
+    }
+
+    #[test]
+    fn sequential_stop_when_halts_early() {
+        const SUM: GlobalHandle<Vec<f64>> = GlobalHandle::new(0);
+        let mut g = ring(32);
+        let out = GraphLab::on(&mut g)
+            .sync(
+                SUM,
+                crate::FnSync::new(1, |_, d: &f64| vec![*d], |a, _| a),
+                SyncCadence::Updates(1),
+            )
+            // The running sum only grows; stop as soon as any progress shows.
+            .stop_when(|globals| globals.get(SUM).is_some_and(|s| s[0] > 0.0))
+            .run(MaxDiffusion);
+        assert!(out.metrics.updates < 32, "halted after {} updates", out.metrics.updates);
+        assert!(out.globals.get(SUM).is_some());
+    }
+}

@@ -11,17 +11,24 @@
 //! Every distributed execution must be *serializable*: equivalent to some
 //! run of this loop (§3.4). The integration tests use this engine both as
 //! the correctness oracle for the distributed engines and as the
-//! single-threaded baseline for convergence studies (Fig. 1).
+//! single-threaded baseline for convergence studies (Fig. 1). It runs
+//! behind the same program seam as the distributed engines
+//! ([`crate::EngineKind::Sequential`] via [`crate::GraphLab`]): same
+//! update functions, same typed syncs, same `stop_when` termination.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use graphlab_graph::{ConsistencyModel, DataGraph, VertexId};
+use graphlab_atoms::SimDfs;
+use graphlab_graph::{DataGraph, VertexId};
 
+use crate::config::EngineConfig;
+use crate::driver::{EngineOutput, StopFn};
 use crate::globals::GlobalRegistry;
 use crate::local::LocalGraph;
 use crate::metrics::EngineMetrics;
-use crate::scheduler::{Scheduler, SchedulerKind};
-use crate::sync::{local_partial, SyncOp};
+use crate::scheduler::Scheduler;
+use crate::sync::{run_local_syncs, ErasedSync};
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 /// Initial task set.
@@ -33,60 +40,21 @@ pub enum InitialSchedule {
     Vertices(Vec<(VertexId, f64)>),
 }
 
-/// Options for a sequential run.
-pub struct SequentialConfig<'a, V, E> {
-    /// Consistency model to *enforce on scope accesses* (execution is
-    /// sequential, so every model is trivially serializable — the model
-    /// only gates the access checks).
-    pub consistency: ConsistencyModel,
-    /// Scheduler flavour for `RemoveNext(T)`.
-    pub scheduler: SchedulerKind,
-    /// Stop after this many updates (0 = run to empty scheduler).
-    pub max_updates: u64,
-    /// Sync operations, run every `sync_interval_updates`.
-    pub syncs: Vec<&'a dyn SyncOp<V, E>>,
-    /// Cadence of sync operations in updates (0 = only once at start).
-    pub sync_interval_updates: u64,
-    /// Record per-vertex update counts.
-    pub trace: bool,
-}
-
-impl<V, E> Default for SequentialConfig<'_, V, E> {
-    fn default() -> Self {
-        SequentialConfig {
-            consistency: ConsistencyModel::Edge,
-            scheduler: SchedulerKind::Fifo,
-            max_updates: 0,
-            syncs: Vec::new(),
-            sync_interval_updates: 0,
-            trace: false,
-        }
-    }
-}
-
-fn run_syncs<V, E>(
-    syncs: &[&dyn SyncOp<V, E>],
-    lg: &LocalGraph<V, E>,
-    globals: &mut GlobalRegistry,
-) {
-    for op in syncs {
-        let partial = local_partial(*op, lg);
-        let value = op.finalize(partial, lg.total_vertices());
-        globals.set(&op.name(), value);
-    }
-}
-
 /// Runs Alg. 2 to completion on `graph`, mutating its data in place.
-pub fn run_sequential<V, E, U>(
+/// Entered exclusively through [`crate::GraphLab::run`] (and the
+/// deprecated [`run_sequential`] shim).
+pub(crate) fn run_sequential_program<V, E, U>(
     graph: &mut DataGraph<V, E>,
     update: &U,
     initial: InitialSchedule,
-    config: SequentialConfig<'_, V, E>,
-) -> EngineMetrics
+    syncs: &[Box<dyn ErasedSync<V, E>>],
+    stop: Option<StopFn>,
+    config: &EngineConfig,
+) -> EngineOutput
 where
     V: Clone + Send + Sync + 'static,
     E: Clone + Send + Sync + 'static,
-    U: UpdateFunction<V, E>,
+    U: UpdateFunction<V, E> + ?Sized,
 {
     let start = Instant::now();
     let mut lg = LocalGraph::single_machine(graph, None);
@@ -107,7 +75,7 @@ where
         }
     }
 
-    run_syncs(&config.syncs, &lg, &mut globals);
+    run_local_syncs(syncs, &lg, &mut globals);
 
     let mut updates = 0u64;
     let mut update_counts =
@@ -128,15 +96,22 @@ where
             let lv = lg.local_vertex(gv).expect("scheduled vertex is local");
             scheduler.add(lv, prio);
         }
-        if config.sync_interval_updates > 0 && updates.is_multiple_of(config.sync_interval_updates) {
-            run_syncs(&config.syncs, &lg, &mut globals);
+        if config.sync_interval_updates > 0
+            && updates.is_multiple_of(config.sync_interval_updates)
+        {
+            run_local_syncs(syncs, &lg, &mut globals);
+            // Aggregate-driven convergence check (§3.5) at the sync
+            // boundary, composing with the update cap below.
+            if stop.as_ref().is_some_and(|f| f(&globals)) {
+                break;
+            }
         }
         if config.max_updates > 0 && updates >= config.max_updates {
             break;
         }
     }
 
-    run_syncs(&config.syncs, &lg, &mut globals);
+    run_local_syncs(syncs, &lg, &mut globals);
 
     // Write results back into the caller's graph.
     let (vrows, erows) = lg.into_owned_data();
@@ -147,22 +122,104 @@ where
         *graph.edge_data_mut(ge) = data;
     }
 
-    EngineMetrics {
-        updates,
-        runtime: start.elapsed(),
-        update_counts,
-        updates_timeline: Vec::new(),
-        bytes_sent_per_machine: vec![0],
-        total_messages: 0,
-        bytes_by_kind: Vec::new(),
-        steps: 0,
-        snapshots: 0,
+    EngineOutput {
+        metrics: EngineMetrics {
+            updates,
+            runtime: start.elapsed(),
+            update_counts,
+            updates_timeline: Vec::new(),
+            bytes_sent_per_machine: vec![0],
+            total_messages: 0,
+            bytes_by_kind: Vec::new(),
+            steps: 0,
+            snapshots: 0,
+        },
+        globals,
+        dfs: Arc::new(SimDfs::new()),
     }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated pre-builder entry point
+// ---------------------------------------------------------------------
+
+/// Options for a [`run_sequential`] shim run.
+#[deprecated(since = "0.1.0", note = "configure the run through `GraphLab::on(graph)` instead")]
+pub struct SequentialConfig<V, E> {
+    /// Consistency model to *enforce on scope accesses*.
+    pub consistency: graphlab_graph::ConsistencyModel,
+    /// Scheduler flavour for `RemoveNext(T)`.
+    pub scheduler: crate::scheduler::SchedulerKind,
+    /// Stop after this many updates (0 = run to empty scheduler).
+    pub max_updates: u64,
+    /// Sync operations, run every `sync_interval_updates`.
+    #[allow(deprecated)]
+    pub syncs: Vec<Box<dyn crate::sync::SyncOp<V, E>>>,
+    /// Cadence of sync operations in updates (0 = only at start/end).
+    pub sync_interval_updates: u64,
+    /// Record per-vertex update counts.
+    pub trace: bool,
+}
+
+#[allow(deprecated)]
+impl<V, E> Default for SequentialConfig<V, E> {
+    fn default() -> Self {
+        SequentialConfig {
+            consistency: graphlab_graph::ConsistencyModel::Edge,
+            scheduler: crate::scheduler::SchedulerKind::Fifo,
+            max_updates: 0,
+            syncs: Vec::new(),
+            sync_interval_updates: 0,
+            trace: false,
+        }
+    }
+}
+
+/// Runs Alg. 2 to completion on `graph`, mutating its data in place.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `GraphLab::on(graph)` — the sequential engine is the builder's default"
+)]
+#[allow(deprecated)]
+pub fn run_sequential<V, E, U>(
+    graph: &mut DataGraph<V, E>,
+    update: &U,
+    initial: InitialSchedule,
+    config: SequentialConfig<V, E>,
+) -> EngineMetrics
+where
+    V: Clone + Send + Sync + 'static,
+    E: Clone + Send + Sync + 'static,
+    U: UpdateFunction<V, E>,
+{
+    use crate::sync::{RegisteredSync, SyncOpAt};
+
+    let legacy = Arc::new(config.syncs);
+    let syncs: Vec<Box<dyn ErasedSync<V, E>>> = (0..legacy.len())
+        .map(|i| {
+            Box::new(RegisteredSync {
+                id: i as u32,
+                op: SyncOpAt { list: Arc::clone(&legacy), index: i },
+            }) as Box<dyn ErasedSync<V, E>>
+        })
+        .collect();
+    let engine_config = EngineConfig {
+        consistency: config.consistency,
+        scheduler: config.scheduler,
+        max_updates: config.max_updates,
+        sync_interval_updates: config.sync_interval_updates,
+        trace: config.trace,
+        ..EngineConfig::new(1)
+    };
+    run_sequential_program(graph, update, initial, &syncs, None, &engine_config).metrics
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{GraphLab, SyncCadence};
+    use crate::scheduler::SchedulerKind;
+    use crate::EngineKind;
     use graphlab_graph::GraphBuilder;
 
     /// Toy diffusion: v takes the max of its neighbours; schedules
@@ -195,13 +252,8 @@ mod tests {
     #[test]
     fn max_diffusion_converges() {
         let mut g = path(20);
-        let m = run_sequential(
-            &mut g,
-            &MaxDiffusion,
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
-        assert!(m.updates >= 20);
+        let out = GraphLab::on(&mut g).run(MaxDiffusion);
+        assert!(out.metrics.updates >= 20);
         for v in g.vertices() {
             assert_eq!(*g.vertex_data(v), 19.0);
         }
@@ -210,63 +262,46 @@ mod tests {
     #[test]
     fn initial_subset_only_touches_reachable_work() {
         let mut g = path(5);
-        // Only vertex 0 scheduled: its value (0) is not the max, nothing
-        // propagates, but the single update still runs.
-        let m = run_sequential(
-            &mut g,
-            &MaxDiffusion,
-            InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]),
-            SequentialConfig::default(),
-        );
+        let out = GraphLab::on(&mut g)
+            .initial(InitialSchedule::Vertices(vec![(VertexId(0), 1.0)]))
+            .run(MaxDiffusion);
         // v0 pulls max(v1)=1.0 and schedules neighbours, cascade follows.
-        assert!(m.updates >= 1);
+        assert!(out.metrics.updates >= 1);
         assert_eq!(*g.vertex_data(VertexId(0)), 4.0);
     }
 
     #[test]
     fn max_updates_caps_execution() {
         let mut g = path(50);
-        let m = run_sequential(
-            &mut g,
-            &MaxDiffusion,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 10, ..Default::default() },
-        );
-        assert_eq!(m.updates, 10);
+        let out = GraphLab::on(&mut g).max_updates(10).run(MaxDiffusion);
+        assert_eq!(out.metrics.updates, 10);
     }
 
     #[test]
     fn trace_counts_updates_per_vertex() {
         let mut g = path(4);
-        let m = run_sequential(
-            &mut g,
-            &MaxDiffusion,
-            InitialSchedule::AllVertices,
-            SequentialConfig { trace: true, ..Default::default() },
-        );
-        assert_eq!(m.update_counts.len(), 4);
-        assert_eq!(m.update_counts.iter().sum::<u64>(), m.updates);
+        let out = GraphLab::on(&mut g).trace(true).run(MaxDiffusion);
+        assert_eq!(out.metrics.update_counts.len(), 4);
+        assert_eq!(out.metrics.update_counts.iter().sum::<u64>(), out.metrics.updates);
     }
 
     #[test]
     fn syncs_publish_globals() {
+        use crate::globals::GlobalHandle;
         use crate::sync::FnSync;
+        const SUM: GlobalHandle<Vec<f64>> = GlobalHandle::new(0);
         let mut g = path(3);
-        let total: FnSync<f64> = FnSync::new("sum", 1, |_, d| vec![*d], |acc, _| acc);
-        let cfg = SequentialConfig {
-            syncs: vec![&total],
-            sync_interval_updates: 1,
-            ..Default::default()
-        };
-        // We cannot easily read globals back out (they live in the run), but
-        // the update can: check it observes a value.
+        // The sync runs before the first update, so every update observes it.
         struct CheckGlobal;
         impl UpdateFunction<f64, ()> for CheckGlobal {
             fn update(&self, ctx: &mut UpdateContext<'_, f64, ()>) {
-                assert!(ctx.global("sum").is_some(), "sync ran before updates");
+                assert!(ctx.global(SUM).is_some(), "sync ran before updates");
             }
         }
-        run_sequential(&mut g, &CheckGlobal, InitialSchedule::AllVertices, cfg);
+        let out = GraphLab::on(&mut g)
+            .sync(SUM, FnSync::new(1, |_, d: &f64| vec![*d], |acc, _| acc), SyncCadence::Updates(1))
+            .run(CheckGlobal);
+        assert_eq!(out.globals.get(SUM), Some(&vec![3.0]));
     }
 
     #[test]
@@ -279,24 +314,45 @@ mod tests {
         let mut g: DataGraph<f64, ()> = b.build();
 
         use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::Arc;
         let order = Arc::new(AtomicU64::new(1));
         let order2 = Arc::clone(&order);
         let f = move |ctx: &mut UpdateContext<'_, f64, ()>| {
             *ctx.vertex_data_mut() = order2.fetch_add(1, Ordering::Relaxed) as f64;
         };
-        run_sequential(
-            &mut g,
-            &f,
-            InitialSchedule::Vertices(vec![
+        GraphLab::on(&mut g)
+            .scheduler(SchedulerKind::Priority)
+            .initial(InitialSchedule::Vertices(vec![
                 (VertexId(0), 1.0),
                 (VertexId(1), 100.0),
                 (VertexId(2), 10.0),
-            ]),
-            SequentialConfig { scheduler: SchedulerKind::Priority, ..Default::default() },
-        );
+            ]))
+            .run(f);
         assert_eq!(*g.vertex_data(VertexId(1)), 1.0);
         assert_eq!(*g.vertex_data(VertexId(2)), 2.0);
         assert_eq!(*g.vertex_data(VertexId(0)), 3.0);
+    }
+
+    #[test]
+    fn sequential_engine_kind_is_explicit() {
+        let mut g = path(8);
+        let out = GraphLab::on(&mut g).engine(EngineKind::Sequential).run(MaxDiffusion);
+        assert!(out.metrics.updates >= 8);
+        assert_eq!(out.metrics.total_messages, 0, "no fabric traffic sequentially");
+    }
+
+    /// The deprecated shim still drives the same engine (kept honest until
+    /// removal).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_sequential_shim_works() {
+        let mut g = path(10);
+        let m = run_sequential(
+            &mut g,
+            &MaxDiffusion,
+            InitialSchedule::AllVertices,
+            SequentialConfig::default(),
+        );
+        assert!(m.updates >= 10);
+        assert_eq!(*g.vertex_data(VertexId(0)), 9.0);
     }
 }

@@ -14,6 +14,14 @@
 //! - [`SchedulerKind::Sweep`] — cyclic scan over local vertices, a cheap
 //!   static order used by sweep-style experiments.
 //!
+//! The priority queue is a **lazy-delete bucket queue**: promotion pushes
+//! a second entry into the hotter bucket and the stale one is skipped at
+//! pop time, and a 64-bit occupancy mask over the buckets makes finding
+//! the hottest non-empty bucket one `leading_zeros` instead of a scan —
+//! the pop hot path is O(1) + amortised stale-skips, where the previous
+//! implementation walked all 64 buckets top-down on every pop (the
+//! scheduler churn visible in high-fan-in profiles; see ROADMAP).
+//!
 //! Vertices are tracked by *local* index; the engine translates remote
 //! schedule requests before insertion.
 
@@ -57,6 +65,9 @@ pub struct Scheduler {
     bucket: Vec<u8>,
     fifo: VecDeque<u32>,
     buckets: Vec<VecDeque<u32>>,
+    /// Occupancy mask: bit `b` set ⇔ `buckets[b]` is non-empty (stale
+    /// entries count — they are discovered and discarded at pop time).
+    occupied: u64,
     /// Sweep state.
     sweep_pos: usize,
     len: usize,
@@ -74,6 +85,7 @@ impl Scheduler {
                 SchedulerKind::Priority => (0..NUM_BUCKETS).map(|_| VecDeque::new()).collect(),
                 _ => Vec::new(),
             },
+            occupied: 0,
             sweep_pos: 0,
             len: 0,
         }
@@ -107,6 +119,7 @@ impl Scheduler {
                     // is skipped at pop time via the bucket check.
                     self.bucket[vi] = b;
                     self.buckets[b as usize].push_back(v);
+                    self.occupied |= 1 << b;
                 }
             }
             return false;
@@ -119,6 +132,7 @@ impl Scheduler {
                 let b = bucket_of(priority);
                 self.bucket[vi] = b;
                 self.buckets[b as usize].push_back(v);
+                self.occupied |= 1 << b;
             }
             SchedulerKind::Sweep => {}
         }
@@ -138,9 +152,15 @@ impl Scheduler {
                 Some(v)
             }
             SchedulerKind::Priority => {
-                for b in (0..NUM_BUCKETS).rev() {
+                // Hottest occupied bucket in O(1) via the occupancy mask;
+                // stale (promoted/popped) entries are lazily discarded.
+                while self.occupied != 0 {
+                    let b = 63 - self.occupied.leading_zeros() as usize;
                     while let Some(v) = self.buckets[b].pop_front() {
                         let vi = v as usize;
+                        if self.buckets[b].is_empty() {
+                            self.occupied &= !(1 << b);
+                        }
                         if self.queued[vi] && self.bucket[vi] == b as u8 {
                             self.queued[vi] = false;
                             self.len -= 1;
@@ -148,6 +168,7 @@ impl Scheduler {
                         }
                         // stale entry (promoted or already popped): skip
                     }
+                    self.occupied &= !(1 << b);
                 }
                 unreachable!("len > 0 but no live entry found");
             }
@@ -369,6 +390,28 @@ mod tests {
             assert!(queued.iter().all(|&q| !q), "({kind:?})");
             assert!(popped > 0);
         }
+    }
+
+    #[test]
+    fn occupancy_mask_tracks_buckets() {
+        let mut s = Scheduler::new(SchedulerKind::Priority, 8);
+        assert_eq!(s.occupied, 0);
+        s.add(0, 1.0); // bucket 32
+        s.add(1, 4.0); // bucket 34
+        assert_eq!(s.occupied, (1 << 32) | (1 << 34));
+        // Promotion leaves a stale entry in bucket 32 and sets bucket 40.
+        s.add(0, 256.0);
+        assert_eq!(s.occupied, (1 << 32) | (1 << 34) | (1 << 40));
+        assert_eq!(s.pop(), Some(0));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        // Lazy delete: vertex 0's stale bucket-32 entry may outlive the
+        // drain (len hit 0 before it was visited) — it must be skipped,
+        // not resurfaced, once live work arrives below it.
+        s.add(2, 0.25); // bucket 30, colder than the stale entry
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.occupied & !(1 << 32), 0, "only the stale bucket may stay flagged");
     }
 
     #[test]

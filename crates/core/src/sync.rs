@@ -5,82 +5,162 @@
 //! Z = Finalize( ⊕_{v ∈ V} Map(S_v) )
 //! ```
 //!
-//! The map runs per-vertex on each machine's owned vertices; partial
-//! accumulators are combined up to the master, finalised, and the result is
-//! broadcast back into every machine's [`crate::globals::GlobalRegistry`].
-//! In the chromatic engine syncs run between colour-steps (trivially
-//! consistent); the locking engine interleaves them with computation
-//! ("runs continuously in the background") at a configurable update
-//! cadence, which corresponds to the paper's *inconsistent* sync mode —
-//! adequate for the statistics the applications maintain.
+//! An [`Aggregate`] maps every vertex **scope** to a typed, codec-encodable
+//! accumulator; partial accumulators are combined up to the master,
+//! finalised, and the result is broadcast back into every machine's
+//! [`crate::GlobalRegistry`] under the [`crate::GlobalHandle`] the program
+//! registered it with. Update functions read it back with
+//! [`crate::UpdateContext::global`] — a typed read keyed by a `Copy` id, so
+//! no names travel on the wire and nothing allocates per evaluation.
+//!
+//! In the chromatic engine syncs run between colour cycles (trivially
+//! consistent); the locking engine interleaves them with computation ("runs
+//! continuously in the background") at the program's update cadence, which
+//! corresponds to the paper's *inconsistent* sync mode — adequate for the
+//! statistics the applications maintain. The map sees the full scope
+//! `S_v` (centre, adjacent edges, adjacent vertices), exactly as §3.5
+//! defines it; under the locking engine's background mode those neighbour
+//! reads may observe slightly stale ghosts.
 
-use graphlab_graph::VertexId;
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use graphlab_graph::{EdgeDir, VertexId};
+use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
 
 use crate::local::LocalGraph;
 
-/// A sync operation definition.
+// ---------------------------------------------------------------------
+// Scope view
+// ---------------------------------------------------------------------
+
+/// Read-only view of one vertex scope `S_v` handed to [`Aggregate::map`].
 ///
-/// Accumulators are `f64` vectors; `map` produces one per vertex, `combine`
-/// folds them (must be associative and commutative), and `finalize` turns
-/// the cluster-wide accumulator into the published global value (e.g.
-/// normalisation).
-pub trait SyncOp<V, E>: Send + Sync {
-    /// Name under which the result is published.
-    fn name(&self) -> String;
-    /// Identity accumulator.
-    fn init(&self) -> Vec<f64>;
-    /// Maps one vertex's scope (vertex datum) to an accumulator.
-    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64>;
-    /// Folds `part` into `acc`.
-    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]);
-    /// Finalisation (normalisation etc.); `total_vertices` is |V|.
-    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64>;
+/// Unlike [`crate::UpdateContext`] this view enforces no consistency model:
+/// the sync operation reads whatever is resident (the paper's background
+/// sync mode); between chromatic colour cycles that is fully consistent.
+pub struct SyncScope<'a, V, E> {
+    lg: &'a LocalGraph<V, E>,
+    v: u32,
 }
 
-/// Computes one machine's partial accumulator over its owned vertices.
-pub fn local_partial<V, E>(op: &dyn SyncOp<V, E>, lg: &LocalGraph<V, E>) -> Vec<f64> {
-    let mut acc = op.init();
-    for &l in lg.owned_vertices() {
-        let part = op.map(lg.vertex_gvid(l), lg.vertex_data(l));
-        op.combine(&mut acc, &part);
+impl<'a, V, E> SyncScope<'a, V, E> {
+    pub(crate) fn new(lg: &'a LocalGraph<V, E>, v: u32) -> Self {
+        SyncScope { lg, v }
     }
-    acc
+
+    /// Global id of the scope's central vertex.
+    #[inline]
+    pub fn vertex(&self) -> VertexId {
+        self.lg.vertex_gvid(self.v)
+    }
+
+    /// The central vertex datum.
+    #[inline]
+    pub fn vertex_data(&self) -> &V {
+        self.lg.vertex_data(self.v)
+    }
+
+    /// Number of vertices in the global graph.
+    #[inline]
+    pub fn num_vertices(&self) -> u64 {
+        self.lg.total_vertices()
+    }
+
+    /// Number of adjacent edges (parallel edges counted individually).
+    #[inline]
+    pub fn num_neighbors(&self) -> usize {
+        self.lg.adj(self.v).len()
+    }
+
+    /// Global id of the `i`-th neighbour.
+    #[inline]
+    pub fn nbr(&self, i: usize) -> VertexId {
+        self.lg.vertex_gvid(self.lg.adj(self.v)[i].nbr)
+    }
+
+    /// Direction of the `i`-th adjacent edge relative to the centre.
+    #[inline]
+    pub fn nbr_dir(&self, i: usize) -> EdgeDir {
+        self.lg.adj(self.v)[i].dir
+    }
+
+    /// The `i`-th neighbour's vertex datum.
+    #[inline]
+    pub fn nbr_data(&self, i: usize) -> &V {
+        self.lg.vertex_data(self.lg.adj(self.v)[i].nbr)
+    }
+
+    /// The `i`-th adjacent edge's datum.
+    #[inline]
+    pub fn edge_data(&self, i: usize) -> &E {
+        self.lg.edge_data(self.lg.adj(self.v)[i].edge)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The typed aggregate
+// ---------------------------------------------------------------------
+
+/// A typed sync operation: Fold/Apply aggregation over vertex scopes.
+///
+/// `map` produces one accumulator per vertex scope, `combine` folds them
+/// (must be associative and commutative — partials combine in machine
+/// order, not vertex order), and `finalize` turns the cluster-wide
+/// accumulator into the published global value (e.g. normalisation). Both
+/// the accumulator and the output are [`Codec`]-encodable: partials and
+/// finalized values travel as codec bytes tagged with the handle id.
+pub trait Aggregate<V, E>: Send + Sync + 'static {
+    /// Partial accumulator exchanged between machines.
+    type Acc: Codec + Clone + Send + Sync + 'static;
+    /// Finalized global value, readable through
+    /// [`crate::UpdateContext::global`].
+    type Out: Codec + Clone + Send + Sync + 'static;
+
+    /// Identity accumulator.
+    fn init(&self) -> Self::Acc;
+    /// Maps one vertex scope to an accumulator.
+    fn map(&self, scope: &SyncScope<'_, V, E>) -> Self::Acc;
+    /// Folds `part` into `acc` (associative, commutative).
+    fn combine(&self, acc: &mut Self::Acc, part: Self::Acc);
+    /// Finalisation (normalisation etc.); `total_vertices` is |V|.
+    fn finalize(&self, acc: Self::Acc, total_vertices: u64) -> Self::Out;
 }
 
 /// Element-wise sum sync op: publishes `finalize(Σ map(v))`. The most
 /// common shape (convergence estimators, counters, GMM sufficient
-/// statistics); constructed from plain functions.
+/// statistics); constructed from plain functions over the central vertex
+/// datum.
 #[allow(clippy::type_complexity)]
 pub struct FnSync<V> {
-    name: String,
     width: usize,
     map: Box<dyn Fn(VertexId, &V) -> Vec<f64> + Send + Sync>,
     finalize: Box<dyn Fn(Vec<f64>, u64) -> Vec<f64> + Send + Sync>,
 }
 
 impl<V> FnSync<V> {
-    /// Builds a sum-combined sync op.
+    /// Builds a sum-combined sync op over `width`-wide accumulators.
     pub fn new(
-        name: impl Into<String>,
         width: usize,
         map: impl Fn(VertexId, &V) -> Vec<f64> + Send + Sync + 'static,
         finalize: impl Fn(Vec<f64>, u64) -> Vec<f64> + Send + Sync + 'static,
     ) -> Self {
-        FnSync { name: name.into(), width, map: Box::new(map), finalize: Box::new(finalize) }
+        FnSync { width, map: Box::new(map), finalize: Box::new(finalize) }
     }
 }
 
-impl<V: Send + Sync, E> SyncOp<V, E> for FnSync<V> {
-    fn name(&self) -> String {
-        self.name.clone()
-    }
+impl<V: Send + Sync + 'static, E: 'static> Aggregate<V, E> for FnSync<V> {
+    type Acc = Vec<f64>;
+    type Out = Vec<f64>;
+
     fn init(&self) -> Vec<f64> {
         vec![0.0; self.width]
     }
-    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64> {
-        (self.map)(vertex, data)
+    fn map(&self, scope: &SyncScope<'_, V, E>) -> Vec<f64> {
+        (self.map)(scope.vertex(), scope.vertex_data())
     }
-    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]) {
+    fn combine(&self, acc: &mut Vec<f64>, part: Vec<f64>) {
         debug_assert_eq!(acc.len(), part.len());
         for (a, p) in acc.iter_mut().zip(part) {
             *a += p;
@@ -88,6 +168,151 @@ impl<V: Send + Sync, E> SyncOp<V, E> for FnSync<V> {
     }
     fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64> {
         (self.finalize)(acc, total_vertices)
+    }
+}
+
+/// Computes one machine's typed partial accumulator over its owned
+/// vertices.
+pub fn local_partial<V, E, A: Aggregate<V, E>>(op: &A, lg: &LocalGraph<V, E>) -> A::Acc {
+    let mut acc = op.init();
+    for &l in lg.owned_vertices() {
+        let part = op.map(&SyncScope::new(lg, l));
+        op.combine(&mut acc, part);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Type-erased plumbing (engine side)
+// ---------------------------------------------------------------------
+
+/// Object-safe seam between the engines and the typed [`Aggregate`]s the
+/// program registered: accumulators cross it as codec [`Bytes`] (the wire
+/// shape) or `dyn Any` (the master's in-flight fold), tagged by the `Copy`
+/// handle id.
+pub(crate) trait ErasedSync<V, E>: Send + Sync {
+    /// Handle id the finalized value publishes under.
+    fn id(&self) -> u32;
+    /// One machine's encoded partial over its owned vertices.
+    fn local_partial(&self, lg: &LocalGraph<V, E>) -> Bytes;
+    /// Fresh identity accumulator for the master-side fold.
+    fn init_acc(&self) -> Box<dyn Any + Send>;
+    /// Decodes `part` and folds it into `acc`.
+    fn combine(&self, acc: &mut dyn Any, part: &Bytes);
+    /// Finalizes: returns the encoded value (for broadcast) and the typed
+    /// value (for the master's own registry).
+    fn finalize(&self, acc: Box<dyn Any + Send>, total_vertices: u64)
+        -> (Bytes, Arc<dyn Any + Send + Sync>);
+    /// Decodes a broadcast finalized value into its typed form.
+    fn decode_out(&self, bytes: Bytes) -> Option<Arc<dyn Any + Send + Sync>>;
+    /// Single-machine evaluation: typed map → combine → finalize with no
+    /// codec roundtrip (the `Bytes` shape is only needed on the wire).
+    fn run_local(&self, lg: &LocalGraph<V, E>) -> Arc<dyn Any + Send + Sync>;
+}
+
+/// An [`Aggregate`] registered under a handle id.
+pub(crate) struct RegisteredSync<A> {
+    pub(crate) id: u32,
+    pub(crate) op: A,
+}
+
+impl<V, E, A> ErasedSync<V, E> for RegisteredSync<A>
+where
+    A: Aggregate<V, E>,
+{
+    fn id(&self) -> u32 {
+        self.id
+    }
+    fn local_partial(&self, lg: &LocalGraph<V, E>) -> Bytes {
+        encode_to_bytes(&local_partial(&self.op, lg))
+    }
+    fn init_acc(&self) -> Box<dyn Any + Send> {
+        Box::new(self.op.init())
+    }
+    fn combine(&self, acc: &mut dyn Any, part: &Bytes) {
+        let acc = acc.downcast_mut::<A::Acc>().expect("accumulator type");
+        let part = decode_from::<A::Acc>(part.clone()).expect("malformed sync partial");
+        self.op.combine(acc, part);
+    }
+    fn finalize(
+        &self,
+        acc: Box<dyn Any + Send>,
+        total_vertices: u64,
+    ) -> (Bytes, Arc<dyn Any + Send + Sync>) {
+        let acc = *acc.downcast::<A::Acc>().expect("accumulator type");
+        let out = self.op.finalize(acc, total_vertices);
+        (encode_to_bytes(&out), Arc::new(out))
+    }
+    fn decode_out(&self, bytes: Bytes) -> Option<Arc<dyn Any + Send + Sync>> {
+        decode_from::<A::Out>(bytes).map(|v| Arc::new(v) as Arc<dyn Any + Send + Sync>)
+    }
+    fn run_local(&self, lg: &LocalGraph<V, E>) -> Arc<dyn Any + Send + Sync> {
+        let acc = local_partial(&self.op, lg);
+        Arc::new(self.op.finalize(acc, lg.total_vertices()))
+    }
+}
+
+/// The engines' shared sync list.
+pub(crate) type SyncList<V, E> = Arc<Vec<Box<dyn ErasedSync<V, E>>>>;
+
+/// Runs every registered sync locally (single-machine path: the
+/// sequential engine), staying typed end to end — no codec roundtrip.
+pub(crate) fn run_local_syncs<V, E>(
+    syncs: &[Box<dyn ErasedSync<V, E>>],
+    lg: &LocalGraph<V, E>,
+    globals: &mut crate::globals::GlobalRegistry,
+) {
+    for op in syncs {
+        let typed = op.run_local(lg);
+        globals.set(op.id(), typed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deprecated string-named sync op (kept for the deprecated shims)
+// ---------------------------------------------------------------------
+
+/// The pre-builder sync definition over `f64` vectors.
+#[deprecated(
+    since = "0.1.0",
+    note = "implement `Aggregate` and register it with `GraphLab::sync(handle, op, cadence)`"
+)]
+pub trait SyncOp<V, E>: Send + Sync {
+    /// Identity accumulator.
+    fn init(&self) -> Vec<f64>;
+    /// Maps one vertex's datum to an accumulator.
+    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64>;
+    /// Folds `part` into `acc`.
+    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]);
+    /// Finalisation; `total_vertices` is |V|.
+    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64>;
+}
+
+/// Adapter: one entry of a legacy `Arc<Vec<Box<dyn SyncOp>>>` list viewed
+/// as an [`Aggregate`] (the deprecated `run_*` shims register these under
+/// their list index as handle id).
+#[allow(deprecated)]
+pub(crate) struct SyncOpAt<V, E> {
+    pub(crate) list: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
+    pub(crate) index: usize,
+}
+
+#[allow(deprecated)]
+impl<V: Send + Sync + 'static, E: Send + Sync + 'static> Aggregate<V, E> for SyncOpAt<V, E> {
+    type Acc = Vec<f64>;
+    type Out = Vec<f64>;
+
+    fn init(&self) -> Vec<f64> {
+        self.list[self.index].init()
+    }
+    fn map(&self, scope: &SyncScope<'_, V, E>) -> Vec<f64> {
+        self.list[self.index].map(scope.vertex(), scope.vertex_data())
+    }
+    fn combine(&self, acc: &mut Vec<f64>, part: Vec<f64>) {
+        self.list[self.index].combine(acc, &part);
+    }
+    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64> {
+        self.list[self.index].finalize(acc, total_vertices)
     }
 }
 
@@ -107,10 +332,10 @@ mod tests {
     fn sum_sync_over_single_machine() {
         let g = graph();
         let lg = LocalGraph::single_machine(&g, None);
-        let op: FnSync<f64> = FnSync::new("total", 1, |_, d| vec![*d], |acc, _| acc);
-        let partial = local_partial::<f64, ()>(&op, &lg);
+        let op: FnSync<f64> = FnSync::new(1, |_, d| vec![*d], |acc, _| acc);
+        let partial = local_partial::<f64, (), _>(&op, &lg);
         assert_eq!(partial, vec![10.0]);
-        let final_val = SyncOp::<f64, ()>::finalize(&op, partial, 4);
+        let final_val = Aggregate::<f64, ()>::finalize(&op, partial, 4);
         assert_eq!(final_val, vec![10.0]);
     }
 
@@ -119,20 +344,82 @@ mod tests {
         let g = graph();
         let lg = LocalGraph::single_machine(&g, None);
         let op: FnSync<f64> = FnSync::new(
-            "mean",
             1,
             |_, d| vec![*d],
             |acc, n| acc.into_iter().map(|x| x / n as f64).collect(),
         );
-        let partial = local_partial::<f64, ()>(&op, &lg);
-        assert_eq!(SyncOp::<f64, ()>::finalize(&op, partial, 4), vec![2.5]);
+        let partial = local_partial::<f64, (), _>(&op, &lg);
+        assert_eq!(Aggregate::<f64, ()>::finalize(&op, partial, 4), vec![2.5]);
     }
 
     #[test]
     fn combine_is_elementwise_sum() {
-        let op: FnSync<f64> = FnSync::new("s", 2, |_, _| vec![0.0, 0.0], |acc, _| acc);
+        let op: FnSync<f64> = FnSync::new(2, |_, _| vec![0.0, 0.0], |acc, _| acc);
         let mut acc = vec![1.0, 2.0];
-        SyncOp::<f64, ()>::combine(&op, &mut acc, &[0.5, 0.5]);
+        Aggregate::<f64, ()>::combine(&op, &mut acc, vec![0.5, 0.5]);
         assert_eq!(acc, vec![1.5, 2.5]);
+    }
+
+    /// A scope-reading aggregate: sums |v - mean(neighbours)| — exercises
+    /// the neighbour access path of `SyncScope`.
+    struct NbrGap;
+    impl Aggregate<f64, ()> for NbrGap {
+        type Acc = f64;
+        type Out = f64;
+        fn init(&self) -> f64 {
+            0.0
+        }
+        fn map(&self, s: &SyncScope<'_, f64, ()>) -> f64 {
+            let deg = s.num_neighbors();
+            if deg == 0 {
+                return 0.0;
+            }
+            let mean: f64 = (0..deg).map(|i| *s.nbr_data(i)).sum::<f64>() / deg as f64;
+            (s.vertex_data() - mean).abs()
+        }
+        fn combine(&self, acc: &mut f64, part: f64) {
+            *acc += part;
+        }
+        fn finalize(&self, acc: f64, _: u64) -> f64 {
+            acc
+        }
+    }
+
+    #[test]
+    fn scope_map_reads_neighbours() {
+        let g = graph(); // v0=1, v1=2 connected; v2, v3 isolated
+        let lg = LocalGraph::single_machine(&g, None);
+        let total = local_partial(&NbrGap, &lg);
+        // |1-2| + |2-1| = 2
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn erased_path_matches_typed_path() {
+        let g = graph();
+        let lg = LocalGraph::single_machine(&g, None);
+        let erased: Box<dyn ErasedSync<f64, ()>> = Box::new(RegisteredSync {
+            id: 3,
+            op: FnSync::new(1, |_, d: &f64| vec![*d], |acc, n| vec![acc[0] / n as f64]),
+        });
+        let mut globals = crate::globals::GlobalRegistry::new();
+        run_local_syncs(std::slice::from_ref(&erased), &lg, &mut globals);
+        let h: crate::globals::GlobalHandle<Vec<f64>> = crate::globals::GlobalHandle::new(3);
+        assert_eq!(globals.get(h), Some(&vec![2.5]));
+        assert_eq!(globals.version(3), 1);
+    }
+
+    #[test]
+    fn erased_combine_decodes_partials() {
+        let erased: Box<dyn ErasedSync<f64, ()>> = Box::new(RegisteredSync {
+            id: 0,
+            op: FnSync::new(2, |_, _: &f64| vec![0.0, 0.0], |acc, _| acc),
+        });
+        let mut acc = erased.init_acc();
+        erased.combine(acc.as_mut(), &encode_to_bytes(&vec![1.0f64, 2.0]));
+        erased.combine(acc.as_mut(), &encode_to_bytes(&vec![0.5f64, 0.5]));
+        let (bytes, typed) = erased.finalize(acc, 4);
+        assert_eq!(decode_from::<Vec<f64>>(bytes), Some(vec![1.5, 2.5]));
+        assert_eq!(typed.downcast_ref::<Vec<f64>>(), Some(&vec![1.5, 2.5]));
     }
 }

@@ -14,7 +14,7 @@
 
 use graphlab_graph::{ConsistencyModel, EdgeDir, VertexId};
 
-use crate::globals::GlobalRegistry;
+use crate::globals::{GlobalHandle, GlobalRegistry};
 use crate::local::LocalGraph;
 
 /// User computation: the GraphLab update function.
@@ -31,6 +31,17 @@ where
 {
     fn update(&self, ctx: &mut UpdateContext<'_, V, E>) {
         self(ctx)
+    }
+}
+
+/// Shared update functions are update functions: callers that reuse one
+/// across runs can hand [`crate::GraphLab::run`] an `Arc` clone directly.
+impl<V, E, U> UpdateFunction<V, E> for std::sync::Arc<U>
+where
+    U: UpdateFunction<V, E> + ?Sized,
+{
+    fn update(&self, ctx: &mut UpdateContext<'_, V, E>) {
+        (**self).update(ctx)
     }
 }
 
@@ -229,9 +240,11 @@ impl<'a, V, E> UpdateContext<'a, V, E> {
 
     // ---- globals (§3.5) ----
 
-    /// Reads a global value maintained by a sync operation.
-    pub fn global(&self, name: &str) -> Option<&[f64]> {
-        self.globals.get(name)
+    /// Typed read of a global value maintained by a sync operation,
+    /// keyed by the [`GlobalHandle`] it was registered under
+    /// ([`crate::GraphLab::sync`]). `None` until the sync first runs.
+    pub fn global<T: 'static>(&self, handle: GlobalHandle<T>) -> Option<&T> {
+        self.globals.get(handle)
     }
 }
 
@@ -332,14 +345,16 @@ mod tests {
 
     #[test]
     fn globals_visible() {
+        const NORM: GlobalHandle<Vec<f64>> = GlobalHandle::new(1);
+        const MISSING: GlobalHandle<f64> = GlobalHandle::new(2);
         let g = tri();
         let mut lg = LocalGraph::single_machine(&g, None);
         let mut globals = GlobalRegistry::new();
-        globals.set("norm", vec![2.5, 3.5]);
+        globals.set(NORM.id(), std::sync::Arc::new(vec![2.5, 3.5]));
         let mut fx = UpdateEffects::default();
         ctx_fixture(&mut lg, 0, ConsistencyModel::Edge, &globals, &mut fx, |ctx| {
-            assert_eq!(ctx.global("norm"), Some(&[2.5, 3.5][..]));
-            assert_eq!(ctx.global("missing"), None);
+            assert_eq!(ctx.global(NORM), Some(&vec![2.5, 3.5]));
+            assert_eq!(ctx.global(MISSING), None);
         });
     }
 

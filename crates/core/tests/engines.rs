@@ -1,13 +1,13 @@
 //! Integration tests: the distributed engines against the sequential
-//! reference (serializability oracle) and against each other.
+//! reference (serializability oracle) and against each other, all driven
+//! through the [`GraphLab`] program builder.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use graphlab_core::*;
-use graphlab_core::driver::PartitionStrategy;
-use graphlab_graph::{greedy_coloring, Coloring, ConsistencyModel, DataGraph, GraphBuilder, VertexId};
+use graphlab_graph::{Coloring, ConsistencyModel, DataGraph, GraphBuilder, VertexId};
 use graphlab_net::LatencyModel;
 
 /// Max-diffusion: every vertex converges to the global maximum of its
@@ -82,10 +82,6 @@ fn grid(w: usize, h: usize) -> DataGraph<f64, f64> {
     b.build()
 }
 
-fn no_syncs() -> Arc<Vec<Box<dyn SyncOp<f64, f64>>>> {
-    Arc::new(Vec::new())
-}
-
 fn expect_all_vertices(g: &DataGraph<f64, f64>, value: f64) {
     for v in g.vertices() {
         assert_eq!(*g.vertex_data(v), value, "vertex {v}");
@@ -95,20 +91,13 @@ fn expect_all_vertices(g: &DataGraph<f64, f64>, value: f64) {
 #[test]
 fn chromatic_matches_sequential_on_ring() {
     let mut seq = ring(40);
-    run_sequential(&mut seq, &MaxDiffusion, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut seq).run(MaxDiffusion);
 
     let mut dist = ring(40);
-    let coloring = greedy_coloring(&dist);
-    let cfg = EngineConfig::new(3);
-    let out = run_chromatic(
-        &mut dist,
-        coloring,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Chromatic)
+        .machines(3)
+        .run(MaxDiffusion);
     assert!(out.metrics.updates >= 40);
     for v in dist.vertices() {
         assert_eq!(dist.vertex_data(v), seq.vertex_data(v));
@@ -118,18 +107,11 @@ fn chromatic_matches_sequential_on_ring() {
 #[test]
 fn locking_matches_sequential_on_ring() {
     let mut seq = ring(40);
-    run_sequential(&mut seq, &MaxDiffusion, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut seq).run(MaxDiffusion);
 
     let mut dist = ring(40);
-    let cfg = EngineConfig::new(3);
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out =
+        GraphLab::on(&mut dist).engine(EngineKind::Locking).machines(3).run(MaxDiffusion);
     assert!(out.metrics.updates >= 40);
     for v in dist.vertices() {
         assert_eq!(dist.vertex_data(v), seq.vertex_data(v));
@@ -139,17 +121,13 @@ fn locking_matches_sequential_on_ring() {
 #[test]
 fn locking_with_latency_and_small_pipeline() {
     let mut dist = grid(8, 8);
-    let mut cfg = EngineConfig::new(4);
-    cfg.latency = LatencyModel::fixed(Duration::from_micros(200));
-    cfg.max_pipeline = 4;
-    run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::BfsGrow,
-    );
+    GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .latency(LatencyModel::fixed(Duration::from_micros(200)))
+        .partition(PartitionStrategy::BfsGrow)
+        .configure(|c| c.max_pipeline = 4)
+        .run(MaxDiffusion);
     let expected = (0..64).map(|i| ((i * 31) % 97) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, expected);
 }
@@ -157,16 +135,11 @@ fn locking_with_latency_and_small_pipeline() {
 #[test]
 fn locking_priority_scheduler() {
     let mut dist = ring(30);
-    let mut cfg = EngineConfig::new(2);
-    cfg.scheduler = SchedulerKind::Priority;
-    run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .scheduler(SchedulerKind::Priority)
+        .run(MaxDiffusion);
     let max = (0..30).map(|i| ((i * 7919) % 30) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, max);
 }
@@ -174,19 +147,11 @@ fn locking_priority_scheduler() {
 #[test]
 fn edge_writes_propagate_across_machines() {
     let mut seq = ring(24);
-    run_sequential(&mut seq, &EdgeStamp, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut seq).run(EdgeStamp);
 
     for m in [1usize, 2, 4] {
         let mut dist = ring(24);
-        let cfg = EngineConfig::new(m);
-        run_locking(
-            &mut dist,
-            Arc::new(EdgeStamp),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        GraphLab::on(&mut dist).engine(EngineKind::Locking).machines(m).run(EdgeStamp);
         for e in dist.edges() {
             assert_eq!(dist.edge_data(e), seq.edge_data(e), "edge {e} with {m} machines");
         }
@@ -196,20 +161,10 @@ fn edge_writes_propagate_across_machines() {
 #[test]
 fn chromatic_edge_writes() {
     let mut seq = ring(24);
-    run_sequential(&mut seq, &EdgeStamp, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut seq).run(EdgeStamp);
 
     let mut dist = ring(24);
-    let coloring = greedy_coloring(&dist);
-    let cfg = EngineConfig::new(3);
-    run_chromatic(
-        &mut dist,
-        coloring,
-        Arc::new(EdgeStamp),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist).engine(EngineKind::Chromatic).machines(3).run(EdgeStamp);
     for e in dist.edges() {
         assert_eq!(dist.edge_data(e), seq.edge_data(e), "edge {e}");
     }
@@ -233,35 +188,25 @@ impl UpdateFunction<f64, f64> for PushMax {
 #[test]
 fn locking_full_consistency_neighbor_writes() {
     let mut dist = ring(20);
-    let mut cfg = EngineConfig::new(3);
-    cfg.consistency = ConsistencyModel::Full;
-    run_locking(
-        &mut dist,
-        Arc::new(PushMax),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .consistency(ConsistencyModel::Full)
+        .run(PushMax);
     let max = (0..20).map(|i| ((i * 7919) % 20) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, max);
 }
 
 #[test]
-fn chromatic_full_consistency_needs_second_order_coloring() {
+fn chromatic_full_consistency_autocomputes_second_order_coloring() {
+    // No explicit colouring: full consistency selects the second-order
+    // generator inside the builder.
     let mut dist = ring(20);
-    let coloring = graphlab_graph::second_order_coloring(&dist);
-    let mut cfg = EngineConfig::new(2);
-    cfg.consistency = ConsistencyModel::Full;
-    run_chromatic(
-        &mut dist,
-        coloring,
-        Arc::new(PushMax),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist)
+        .engine(EngineKind::Chromatic)
+        .machines(2)
+        .consistency(ConsistencyModel::Full)
+        .run(PushMax);
     let max = (0..20).map(|i| ((i * 7919) % 20) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, max);
 }
@@ -283,102 +228,98 @@ fn vertex_consistency_self_counters() {
     for i in 0..dist.num_vertices() {
         *dist.vertex_data_mut(VertexId::from(i)) = 0.0;
     }
-    let mut cfg = EngineConfig::new(2);
-    cfg.consistency = ConsistencyModel::Vertex;
-    let out = run_locking(
-        &mut dist,
-        Arc::new(SelfCount),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .consistency(ConsistencyModel::Vertex)
+        .run(SelfCount);
     expect_all_vertices(&dist, 5.0);
     assert_eq!(out.metrics.updates, 16 * 6); // 5 increments + 1 no-op each
 }
 
+const SUM: GlobalHandle<Vec<f64>> = GlobalHandle::new(0);
+const COUNT: GlobalHandle<Vec<f64>> = GlobalHandle::new(1);
+
 #[test]
 fn sync_op_publishes_globals_chromatic() {
     let mut dist = ring(10);
-    let coloring = greedy_coloring(&dist);
-    let cfg = EngineConfig::new(2);
-    let syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(vec![Box::new(FnSync::new(
-        "sum",
-        1,
-        |_, d: &f64| vec![*d],
-        |acc, _| acc,
-    ))]);
-    let out = run_chromatic(
-        &mut dist,
-        coloring,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        syncs,
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
-    let sum = out.globals.iter().find(|(n, _)| n == "sum").expect("sum global");
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Chromatic)
+        .machines(2)
+        .sync(SUM, FnSync::new(1, |_, d: &f64| vec![*d], |acc, _| acc), SyncCadence::Final)
+        .run(MaxDiffusion);
     let max = (0..10).map(|i| ((i * 7919) % 10) as f64).fold(f64::MIN, f64::max);
-    assert_eq!(sum.1, vec![max * 10.0]);
+    assert_eq!(out.globals.get(SUM), Some(&vec![max * 10.0]));
 }
 
 #[test]
 fn sync_op_background_locking() {
     let mut dist = ring(10);
-    let mut cfg = EngineConfig::new(2);
-    cfg.sync_interval_updates = 5;
-    let syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(vec![Box::new(FnSync::new(
-        "count",
-        1,
-        |_, _d: &f64| vec![1.0],
-        |acc, _| acc,
-    ))]);
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        syncs,
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
-    let count = out.globals.iter().find(|(n, _)| n == "count").expect("count global");
-    assert_eq!(count.1, vec![10.0]);
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .sync(COUNT, FnSync::new(1, |_, _: &f64| vec![1.0], |acc, _| acc), SyncCadence::Updates(5))
+        .run(MaxDiffusion);
+    assert_eq!(out.globals.get(COUNT), Some(&vec![10.0]));
+}
+
+#[test]
+fn typed_aggregate_roundtrips_distributed() {
+    // A non-Vec<f64> accumulator: (count, sum) as a (u64, f64) tuple,
+    // finalized to the mean — exercises the codec-bytes sync path with a
+    // custom Acc/Out shape on a real cluster.
+    struct Mean;
+    impl Aggregate<f64, f64> for Mean {
+        type Acc = (u64, f64);
+        type Out = f64;
+        fn init(&self) -> (u64, f64) {
+            (0, 0.0)
+        }
+        fn map(&self, s: &SyncScope<'_, f64, f64>) -> (u64, f64) {
+            (1, *s.vertex_data())
+        }
+        fn combine(&self, acc: &mut (u64, f64), part: (u64, f64)) {
+            acc.0 += part.0;
+            acc.1 += part.1;
+        }
+        fn finalize(&self, acc: (u64, f64), _: u64) -> f64 {
+            if acc.0 == 0 { 0.0 } else { acc.1 / acc.0 as f64 }
+        }
+    }
+    const MEAN: GlobalHandle<f64> = GlobalHandle::new(9);
+    let mut dist = ring(10);
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .sync(MEAN, Mean, SyncCadence::Updates(4))
+        .run(MaxDiffusion);
+    let max = (0..10).map(|i| ((i * 7919) % 10) as f64).fold(f64::MIN, f64::max);
+    assert_eq!(out.globals.get(MEAN), Some(&max), "final sync sees the fixpoint");
 }
 
 #[test]
 fn max_updates_caps_distributed_run() {
     let mut dist = ring(50);
-    let mut cfg = EngineConfig::new(2);
-    cfg.max_updates = 20;
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let max_pipeline = EngineConfig::new(2).max_pipeline;
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .max_updates(20)
+        .run(MaxDiffusion);
     // The cap is approximate (pipelined scopes in flight complete), but the
     // engine must stop well short of convergence-scale work.
     assert!(out.metrics.updates >= 20);
-    assert!(out.metrics.updates < 50 + 2 * cfg.max_pipeline as u64);
+    assert!(out.metrics.updates < 50 + 2 * max_pipeline as u64);
 }
 
 #[test]
 fn initial_subset_scheduling() {
     let mut dist = ring(30);
-    // Only the vertex holding the max is scheduled: it pulls nothing, so a
-    // single wave of updates runs. Use PushMax-style seeds instead: pick a
-    // few vertices; fixpoint still the global max everywhere reachable.
-    let cfg = EngineConfig::new(2);
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::Vertices(vec![(VertexId(0), 1.0), (VertexId(15), 1.0)]),
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .initial(InitialSchedule::Vertices(vec![(VertexId(0), 1.0), (VertexId(15), 1.0)]))
+        .run(MaxDiffusion);
     // Max diffusion from any seed set that includes schedule cascades still
     // converges everywhere: v0/v15 pull neighbours' values, change, and
     // re-schedule the wave.
@@ -390,16 +331,11 @@ fn initial_subset_scheduling() {
 #[test]
 fn trace_collects_update_counts() {
     let mut dist = ring(12);
-    let mut cfg = EngineConfig::new(2);
-    cfg.trace = true;
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .trace(true)
+        .run(MaxDiffusion);
     assert_eq!(out.metrics.update_counts.len(), 12);
     assert_eq!(out.metrics.update_counts.iter().sum::<u64>(), out.metrics.updates);
     assert!(!out.metrics.updates_timeline.is_empty());
@@ -408,15 +344,8 @@ fn trace_collects_update_counts() {
 #[test]
 fn network_traffic_is_measured() {
     let mut dist = grid(6, 6);
-    let cfg = EngineConfig::new(4);
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out =
+        GraphLab::on(&mut dist).engine(EngineKind::Locking).machines(4).run(MaxDiffusion);
     assert_eq!(out.metrics.bytes_sent_per_machine.len(), 4);
     assert!(out.metrics.bytes_sent_per_machine.iter().sum::<u64>() > 0);
     assert!(out.metrics.total_messages > 0);
@@ -425,15 +354,7 @@ fn network_traffic_is_measured() {
 #[test]
 fn single_machine_locking_works() {
     let mut dist = ring(20);
-    let cfg = EngineConfig::new(1);
-    run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist).engine(EngineKind::Locking).machines(1).run(MaxDiffusion);
     let max = (0..20).map(|i| ((i * 7919) % 20) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, max);
 }
@@ -441,20 +362,15 @@ fn single_machine_locking_works() {
 #[test]
 fn sync_snapshot_writes_restorable_checkpoint() {
     let mut dist = grid(6, 6);
-    let mut cfg = EngineConfig::new(2);
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Synchronous,
-        every_updates: 30,
-        max_snapshots: 1,
-    };
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Synchronous,
+            every_updates: 30,
+            max_snapshots: 1,
+        })
+        .run(MaxDiffusion);
     assert!(out.metrics.snapshots >= 1, "snapshot was taken");
     assert!(snapshot_exists(&out.dfs, "ckpt", 0));
 
@@ -462,7 +378,7 @@ fn sync_snapshot_writes_restorable_checkpoint() {
     // fixpoint must be reached.
     let mut restored = grid(6, 6);
     restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).unwrap();
-    run_sequential(&mut restored, &MaxDiffusion, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut restored).run(MaxDiffusion);
     for v in restored.vertices() {
         assert_eq!(restored.vertex_data(v), dist.vertex_data(v));
     }
@@ -471,27 +387,23 @@ fn sync_snapshot_writes_restorable_checkpoint() {
 #[test]
 fn async_snapshot_is_consistent_cut() {
     let mut dist = grid(6, 6);
-    let mut cfg = EngineConfig::new(3);
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Asynchronous,
-        every_updates: 30,
-        max_snapshots: 1,
-    };
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::BfsGrow,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .partition(PartitionStrategy::BfsGrow)
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Asynchronous,
+            every_updates: 30,
+            max_snapshots: 1,
+        })
+        .run(MaxDiffusion);
     assert!(out.metrics.snapshots >= 1);
     assert!(snapshot_exists(&out.dfs, "ckpt", 0));
 
     let mut restored = grid(6, 6);
     let (nv, _ne) = restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).unwrap();
     assert_eq!(nv, 36, "every vertex captured");
-    run_sequential(&mut restored, &MaxDiffusion, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut restored).run(MaxDiffusion);
     for v in restored.vertices() {
         assert_eq!(restored.vertex_data(v), dist.vertex_data(v));
     }
@@ -500,20 +412,17 @@ fn async_snapshot_is_consistent_cut() {
 #[test]
 fn straggler_injection_slows_but_completes() {
     let mut dist = ring(20);
-    let mut cfg = EngineConfig::new(2);
-    cfg.straggler = Some(StragglerConfig {
-        machine: 1,
-        after_updates: 5,
-        duration: Duration::from_millis(50),
-    });
-    let out = run_locking(
-        &mut dist,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .configure(|c| {
+            c.straggler = Some(StragglerConfig {
+                machine: 1,
+                after_updates: 5,
+                duration: Duration::from_millis(50),
+            })
+        })
+        .run(MaxDiffusion);
     assert!(out.metrics.runtime >= Duration::from_millis(50));
     let max = (0..20).map(|i| ((i * 7919) % 20) as f64).fold(f64::MIN, f64::max);
     expect_all_vertices(&dist, max);
@@ -533,15 +442,10 @@ fn every_initial_vertex_executes_exactly_once() {
     for m in [1usize, 2, 3] {
         let counter = Arc::new(AtomicU64::new(0));
         let mut dist = ring(25);
-        let cfg = EngineConfig::new(m);
-        let out = run_locking(
-            &mut dist,
-            Arc::new(CountOnce(Arc::clone(&counter))),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let out = GraphLab::on(&mut dist)
+            .engine(EngineKind::Locking)
+            .machines(m)
+            .run(CountOnce(Arc::clone(&counter)));
         assert_eq!(counter.load(Ordering::Relaxed), 25, "{m} machines");
         assert_eq!(out.metrics.updates, 25);
     }
@@ -551,35 +455,82 @@ fn every_initial_vertex_executes_exactly_once() {
 fn chromatic_executes_each_scheduled_vertex_once() {
     let counter = Arc::new(AtomicU64::new(0));
     let mut dist = ring(25);
-    let coloring = greedy_coloring(&dist);
-    let cfg = EngineConfig::new(3);
-    run_chromatic(
-        &mut dist,
-        coloring,
-        Arc::new(CountOnce(Arc::clone(&counter))),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut dist)
+        .engine(EngineKind::Chromatic)
+        .machines(3)
+        .run(CountOnce(Arc::clone(&counter)));
     assert_eq!(counter.load(Ordering::Relaxed), 25);
 }
 
 #[test]
 fn uniform_coloring_rejected_for_edge_consistency() {
     let mut dist = ring(6);
-    let cfg = EngineConfig::new(1);
-    let bad = Coloring::uniform(6);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_chromatic(
-            &mut dist,
-            bad,
-            Arc::new(MaxDiffusion),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        )
+        GraphLab::on(&mut dist)
+            .engine(EngineKind::Chromatic)
+            .coloring(Coloring::uniform(6))
+            .run(MaxDiffusion)
     }));
     assert!(result.is_err(), "improper colouring must be rejected");
+}
+
+#[test]
+fn stop_when_halts_locking_engine_mid_run() {
+    // Counter app re-schedules itself forever; only the stop predicate
+    // (updates counted through a sync) can end the run.
+    struct Forever;
+    impl UpdateFunction<f64, f64> for Forever {
+        fn update(&self, ctx: &mut UpdateContext<'_, f64, f64>) {
+            *ctx.vertex_data_mut() += 1.0;
+            ctx.schedule_self(1.0);
+        }
+    }
+    const TOTAL: GlobalHandle<Vec<f64>> = GlobalHandle::new(5);
+    let mut dist = ring(8);
+    for i in 0..8 {
+        *dist.vertex_data_mut(VertexId(i)) = 0.0;
+    }
+    let out = GraphLab::on(&mut dist)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .sync(TOTAL, FnSync::new(1, |_, d: &f64| vec![*d], |a, _| a), SyncCadence::Updates(10))
+        .stop_when(|g| g.get(TOTAL).is_some_and(|t| t[0] >= 40.0))
+        .run(Forever);
+    assert!(out.metrics.updates >= 40, "ran until the stop fired");
+    assert!(out.globals.get(TOTAL).is_some_and(|t| t[0] >= 40.0));
+}
+
+/// The deprecated shims still drive the builder path (kept honest until
+/// removal).
+#[test]
+#[allow(deprecated)]
+fn deprecated_distributed_shims_work() {
+    let mut seq = ring(20);
+    GraphLab::on(&mut seq).run(MaxDiffusion);
+
+    let no_syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(Vec::new());
+    let mut chro = ring(20);
+    let coloring = graphlab_graph::greedy_coloring(&chro);
+    run_chromatic(
+        &mut chro,
+        coloring,
+        Arc::new(MaxDiffusion),
+        InitialSchedule::AllVertices,
+        Arc::clone(&no_syncs),
+        &EngineConfig::new(2),
+        &PartitionStrategy::RandomHash,
+    );
+    let mut lock = ring(20);
+    run_locking(
+        &mut lock,
+        Arc::new(MaxDiffusion),
+        InitialSchedule::AllVertices,
+        no_syncs,
+        &EngineConfig::new(2),
+        &PartitionStrategy::RandomHash,
+    );
+    for v in seq.vertices() {
+        assert_eq!(seq.vertex_data(v), chro.vertex_data(v));
+        assert_eq!(seq.vertex_data(v), lock.vertex_data(v));
+    }
 }

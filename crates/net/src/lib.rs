@@ -65,7 +65,7 @@
 //!
 //! The crate also provides the two distributed-coordination state machines
 //! the engines are built from: a marker/token termination detector
-//! ([`termination::Safra`], the algorithm of Misra [26] in its
+//! ([`termination::Safra`], the algorithm of Misra \[26\] in its
 //! counter-carrying Safra formulation) and an epoch barrier
 //! ([`barrier::BarrierMaster`]).
 

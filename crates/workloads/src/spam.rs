@@ -62,7 +62,7 @@ pub fn spam_accuracy(graph: &DataGraph<BpVertex, BpEdge>, truth: &[usize]) -> f6
 mod tests {
     use super::*;
     use graphlab_apps::lbp::LoopyBp;
-    use graphlab_core::{run_sequential, InitialSchedule, SequentialConfig};
+    use graphlab_core::GraphLab;
 
     #[test]
     fn generates_mixed_labels() {
@@ -78,12 +78,7 @@ mod tests {
         // Accuracy of raw priors (MAP of prior = observed evidence).
         let raw = spam_accuracy(&g, &truth);
         let bp = LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-5, dynamic: true, damping: 0.3 };
-        run_sequential(
-            &mut g,
-            &bp,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 100_000, ..Default::default() },
-        );
+        GraphLab::on(&mut g).max_updates(100_000).run(bp);
         let smoothed = spam_accuracy(&g, &truth);
         assert!(
             smoothed > raw,

@@ -7,14 +7,11 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use std::sync::Arc;
-
 use graphlab::apps::lbp::LoopyBp;
 use graphlab::apps::pagerank::{init_ranks, PageRank};
 use graphlab::core::{
-    optimal_checkpoint_interval_secs, restore_snapshot, run_locking, run_sequential,
-    snapshot_exists, EngineConfig, InitialSchedule, PartitionStrategy, SequentialConfig,
-    SnapshotConfig, SnapshotMode,
+    optimal_checkpoint_interval_secs, restore_snapshot, snapshot_exists, EngineKind, GraphLab,
+    PartitionStrategy, SnapshotConfig, SnapshotMode,
 };
 use graphlab::workloads::{mesh3d_mrf, web_graph};
 
@@ -36,20 +33,13 @@ fn main() {
         [("synchronous", SnapshotMode::Synchronous), ("asynchronous", SnapshotMode::Asynchronous)]
     {
         let mut g = mesh.clone();
-        let mut cfg = EngineConfig::new(4);
-        cfg.snapshot = SnapshotConfig {
-            mode,
-            every_updates: g.num_vertices() as u64,
-            max_snapshots: 1,
-        };
-        let out = run_locking(
-            &mut g,
-            Arc::new(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-4, dynamic: true, damping: 0.0 }),
-            InitialSchedule::AllVertices,
-            Arc::new(Vec::new()),
-            &cfg,
-            &PartitionStrategy::BfsGrow,
-        );
+        let every = g.num_vertices() as u64;
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(4)
+            .partition(PartitionStrategy::BfsGrow)
+            .snapshot(SnapshotConfig { mode, every_updates: every, max_snapshots: 1 })
+            .run(LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-4, dynamic: true, damping: 0.0 });
         println!(
             "  {name:<13}: {} updates in {:?}, snapshots taken: {}, checkpoint on DFS: {}",
             out.metrics.updates,
@@ -66,24 +56,19 @@ fn main() {
 
     let mut full = base.clone();
     init_ranks(&mut full);
-    let mut cfg = EngineConfig::new(3);
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Asynchronous,
-        every_updates: 2_000,
-        max_snapshots: 1,
-    };
-    let out = run_locking(
-        &mut full,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        Arc::new(Vec::new()),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut full)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Asynchronous,
+            every_updates: 2_000,
+            max_snapshots: 1,
+        })
+        .run(pr.clone());
 
     let mut restored = base.clone();
     restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
-    run_sequential(&mut restored, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut restored).run(pr);
 
     let max_diff = full
         .vertices()

@@ -2,18 +2,17 @@
 //!
 //! Builds a synthetic Netflix-style rating graph (bipartite users ×
 //! movies, Zipf popularity, planted low-rank structure), trains latent
-//! factors with the chromatic engine (the graph is two-colourable), and
-//! compares dynamic (residual-scheduled) against BSP-style training —
-//! the Fig. 9(a) experiment in miniature.
+//! factors with the chromatic engine (the graph is two-colourable — the
+//! builder accepts the free bipartite colouring), and compares dynamic
+//! (residual-scheduled) against BSP-style training — the Fig. 9(a)
+//! experiment in miniature.
 //!
 //! ```sh
 //! cargo run --release --example movie_recommendations
 //! ```
 
-use std::sync::Arc;
-
 use graphlab::apps::als::{test_rmse, train_rmse, Als};
-use graphlab::core::{run_chromatic, EngineConfig, InitialSchedule, PartitionStrategy};
+use graphlab::core::{EngineKind, GraphLab};
 use graphlab::graph::Coloring;
 use graphlab::workloads::ratings_graph;
 
@@ -37,19 +36,13 @@ fn main() {
         // BSP mode: epsilon below any residual => every update reschedules
         // its neighbours (full sweeps); the cap meters the rounds.
         let als = Als { d, lambda: 0.06, epsilon: if dynamic { 1e-4 } else { -1.0 }, dynamic: true };
-        let mut cfg = EngineConfig::new(4);
-        if !dynamic {
-            cfg.max_updates = 30 * g.num_vertices() as u64;
-        }
-        let out = run_chromatic(
-            &mut g,
-            coloring,
-            Arc::new(als),
-            InitialSchedule::AllVertices,
-            Arc::new(Vec::new()),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let cap = if dynamic { 0 } else { 30 * g.num_vertices() as u64 };
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Chromatic)
+            .machines(4)
+            .coloring(coloring)
+            .max_updates(cap)
+            .run(als);
         println!(
             "{name:<20}: {:>8} updates in {:>8.1?} → train RMSE {:.4}, test RMSE {:.4}",
             out.metrics.updates,

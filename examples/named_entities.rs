@@ -7,10 +7,8 @@
 //! cargo run --release --example named_entities
 //! ```
 
-use std::sync::Arc;
-
 use graphlab::apps::coem::{accuracy, Coem};
-use graphlab::core::{run_chromatic, EngineConfig, InitialSchedule, PartitionStrategy};
+use graphlab::core::{EngineKind, GraphLab, PartitionStrategy};
 use graphlab::graph::Coloring;
 use graphlab::workloads::nell_graph;
 
@@ -29,16 +27,13 @@ fn main() {
 
     let mut g = problem.graph.clone();
     let nps = problem.noun_phrases;
-    let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
-    let out = run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Coem { types, epsilon: 1e-5, dynamic: true }),
-        InitialSchedule::AllVertices,
-        Arc::new(Vec::new()),
-        &EngineConfig::new(4),
-        &PartitionStrategy::RandomHash, // Table 2: NER uses random cuts
-    );
+    let bipartite = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(4)
+        .coloring(bipartite)
+        .partition(PartitionStrategy::RandomHash) // Table 2: NER uses random cuts
+        .run(Coem { types, epsilon: 1e-5, dynamic: true });
 
     println!(
         "chromatic engine: {} updates in {:?}, {:.1} MB network traffic",

@@ -1,19 +1,16 @@
 //! Quickstart: dynamic PageRank on a power-law web graph, run three ways —
 //! the sequential reference (Alg. 2), the chromatic engine, and the
-//! pipelined locking engine — all from the same update function.
+//! pipelined locking engine — the same program through the one `GraphLab`
+//! builder, only `.engine(..)` changes.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
-
-use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
-use graphlab::core::{
-    run_chromatic, run_locking, run_sequential, EngineConfig, InitialSchedule, PartitionStrategy,
-    SequentialConfig,
+use graphlab::apps::pagerank::{
+    exact_pagerank, init_ranks, l1_error, PageRank, RankResidual, PAGERANK_RESIDUAL,
 };
-use graphlab::graph::greedy_coloring;
+use graphlab::core::{EngineKind, GraphLab, SyncCadence};
 use graphlab::workloads::web_graph;
 
 fn main() {
@@ -23,59 +20,37 @@ fn main() {
     let oracle = exact_pagerank(&base, 0.15, 100);
     let pagerank = PageRank { alpha: 0.15, epsilon: 1e-9, dynamic: true };
 
-    // 1. Sequential reference: the literal execution model of Alg. 2.
-    let mut g = base.clone();
-    init_ranks(&mut g);
-    let m = run_sequential(&mut g, &pagerank, InitialSchedule::AllVertices, SequentialConfig::default());
-    let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
-    println!(
-        "sequential : {:>9} updates, {:>8.1?}, L1 error vs power iteration {:.2e}",
-        m.updates,
-        m.runtime,
-        l1_error(&got, &oracle)
-    );
+    for engine in [EngineKind::Sequential, EngineKind::Chromatic, EngineKind::Locking] {
+        let mut g = base.clone();
+        init_ranks(&mut g);
+        let out = GraphLab::on(&mut g)
+            .engine(engine)
+            .machines(4)
+            .run(pagerank.clone());
+        let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+        println!(
+            "{engine:<10?}: {:>9} updates, {:>8.1?}, L1 error vs power iteration {:.2e}, {:.1} MB traffic",
+            out.metrics.updates,
+            out.metrics.runtime,
+            l1_error(&got, &oracle),
+            out.metrics.bytes_sent_per_machine.iter().sum::<u64>() as f64 / 1e6,
+        );
+    }
 
-    // 2. Chromatic engine on 4 simulated machines (web graphs colour easily).
+    // Termination can also be aggregate-driven (§3.5): register the
+    // PageRank-equation residual as a sync and stop once it drops below
+    // tolerance — no fixed sweep count anywhere.
     let mut g = base.clone();
     init_ranks(&mut g);
-    let coloring = greedy_coloring(&g);
-    println!("greedy colouring used {} colours", coloring.num_colors());
-    let out = run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(pagerank.clone()),
-        InitialSchedule::AllVertices,
-        Arc::new(Vec::new()),
-        &EngineConfig::new(4),
-        &PartitionStrategy::RandomHash,
-    );
-    let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(n as u64))
+        .stop_when(|g| g.get(PAGERANK_RESIDUAL).is_some_and(|r| *r < 1e-6))
+        .run(PageRank { alpha: 0.15, epsilon: -1.0, dynamic: true });
     println!(
-        "chromatic  : {:>9} updates, {:>8.1?}, L1 error {:.2e}, {} colour-steps, {:.1} MB traffic",
+        "stop_when(residual<1e-6): {:>6} updates, residual at halt {:.2e}",
         out.metrics.updates,
-        out.metrics.runtime,
-        l1_error(&got, &oracle),
-        out.metrics.steps,
-        out.metrics.bytes_sent_per_machine.iter().sum::<u64>() as f64 / 1e6,
-    );
-
-    // 3. Locking engine: fully asynchronous, no colouring needed.
-    let mut g = base.clone();
-    init_ranks(&mut g);
-    let out = run_locking(
-        &mut g,
-        Arc::new(pagerank),
-        InitialSchedule::AllVertices,
-        Arc::new(Vec::new()),
-        &EngineConfig::new(4),
-        &PartitionStrategy::RandomHash,
-    );
-    let got: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
-    println!(
-        "locking    : {:>9} updates, {:>8.1?}, L1 error {:.2e}, {:.1} MB traffic",
-        out.metrics.updates,
-        out.metrics.runtime,
-        l1_error(&got, &oracle),
-        out.metrics.bytes_sent_per_machine.iter().sum::<u64>() as f64 / 1e6,
+        out.globals.get(PAGERANK_RESIDUAL).copied().unwrap_or(f64::NAN),
     );
 }

@@ -1,7 +1,9 @@
 //! Video co-segmentation (§5.2): LBP + GMM with EM via the sync operation,
 //! on the fully asynchronous locking engine with the approximate priority
 //! scheduler — "the only distributed graph abstraction that allows dynamic
-//! prioritized scheduling" with sync, per the paper.
+//! prioritized scheduling" with sync, per the paper. The GMM parameters
+//! live under a typed [`GlobalHandle`] and are read back through
+//! `ctx.global(GMM_GLOBAL)`.
 //!
 //! ```sh
 //! cargo run --release --example video_cosegmentation
@@ -9,12 +11,9 @@
 
 use std::sync::Arc;
 
-use graphlab::apps::coseg::{CosegUpdate, CosegVertex};
-use graphlab::apps::gmm::GmmSync;
-use graphlab::apps::lbp::BpEdge;
-use graphlab::core::{
-    run_locking, EngineConfig, InitialSchedule, PartitionStrategy, SchedulerKind, SyncOp,
-};
+use graphlab::apps::coseg::CosegUpdate;
+use graphlab::apps::gmm::{GmmSync, GMM_GLOBAL};
+use graphlab::core::{EngineKind, GraphLab, PartitionStrategy, SchedulerKind, SyncCadence};
 use graphlab::workloads::{coseg_video, frame_partition};
 
 fn main() {
@@ -26,27 +25,27 @@ fn main() {
         g.num_edges()
     );
 
-    let update = CosegUpdate { labels, smoothing: 2.0, epsilon: 1e-4 };
-    let syncs: Arc<Vec<Box<dyn SyncOp<CosegVertex, BpEdge>>>> =
-        Arc::new(vec![Box::new(GmmSync::new(labels))]);
-
-    let mut cfg = EngineConfig::new(4);
-    cfg.scheduler = SchedulerKind::Priority; // residual BP priority
-    cfg.sync_interval_updates = 2_000; // background EM refresh cadence
-    cfg.max_updates = 40 * g.num_vertices() as u64;
-
+    let n = g.num_vertices() as u64;
     // The paper's optimal partition: contiguous frame blocks per atom.
-    let atoms = cfg.num_atoms;
+    let atoms = 32usize;
     let strategy = PartitionStrategy::Custom(Arc::new(frame_partition(frames, w, h, atoms)));
 
-    let out = run_locking(&mut g, Arc::new(update), InitialSchedule::AllVertices, syncs, &cfg, &strategy);
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .scheduler(SchedulerKind::Priority) // residual BP priority
+        .partition(strategy)
+        .configure(|c| c.num_atoms = atoms)
+        .sync(GMM_GLOBAL, GmmSync::new(labels), SyncCadence::Updates(2_000)) // background EM refresh
+        .max_updates(40 * n)
+        .run(CosegUpdate { labels, smoothing: 2.0, epsilon: 1e-4 });
 
     let correct = g
         .vertices()
         .filter(|&v| g.vertex_data(v).map_label() == truth[v.index()])
         .count();
     println!(
-        "locking engine: {} updates in {:?}, {} sync epochs published",
+        "locking engine: {} updates in {:?}, {} globals published",
         out.metrics.updates,
         out.metrics.runtime,
         out.globals.len()
@@ -57,7 +56,7 @@ fn main() {
         correct,
         g.num_vertices()
     );
-    if let Some((_, gmm)) = out.globals.iter().find(|(n, _)| n == "gmm") {
+    if let Some(gmm) = out.globals.get(GMM_GLOBAL) {
         for (k, c) in GmmSync::unpack(gmm).iter().enumerate() {
             println!("  GMM component {k}: weight {:.2}, mean {:.3}, var {:.4}", c.0, c.1, c.2);
         }

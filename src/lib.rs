@@ -12,34 +12,41 @@
 //!   ([`atoms`]);
 //! - **update functions** transform overlapping vertex scopes and schedule
 //!   future work ([`core::update`]);
-//! - the **sync operation** maintains global aggregates
-//!   ([`core::sync`]);
-//! - two engines provide serializable distributed execution: the
-//!   partially-synchronous **chromatic engine** and the fully-asynchronous
-//!   pipelined **locking engine** ([`core`]);
+//! - the **sync operation** maintains typed global aggregates read back
+//!   through `Copy` handles ([`core::sync`]);
+//! - three engines run the same program behind one seam — the sequential
+//!   reference (Alg. 2), the partially-synchronous **chromatic engine**
+//!   and the fully-asynchronous pipelined **locking engine** ([`core`]);
 //! - fault tolerance comes from synchronous and asynchronous
 //!   (Chandy-Lamport) snapshots ([`core::snapshot`]).
 //!
 //! ## Quick start
 //!
+//! A program is assembled through the [`core::GraphLab`] builder: pick an
+//! engine, register typed syncs, and either cap the work or terminate on
+//! an aggregate-driven convergence check (`stop_when`).
+//!
 //! ```
-//! use std::sync::Arc;
-//! use graphlab::core::{run_locking, EngineConfig, InitialSchedule, PartitionStrategy};
-//! use graphlab::apps::pagerank::{init_ranks, PageRank};
+//! use graphlab::core::{EngineKind, GraphLab, SyncCadence};
+//! use graphlab::apps::pagerank::{init_ranks, PageRank, RankResidual, PAGERANK_RESIDUAL};
 //! use graphlab::workloads::web_graph;
 //!
 //! let mut graph = web_graph(1_000, 4, 42);
 //! init_ranks(&mut graph);
-//! let out = run_locking(
-//!     &mut graph,
-//!     Arc::new(PageRank::default()),
-//!     InitialSchedule::AllVertices,
-//!     Arc::new(Vec::new()),
-//!     &EngineConfig::new(2),
-//!     &PartitionStrategy::RandomHash,
-//! );
+//! let out = GraphLab::on(&mut graph)
+//!     .engine(EngineKind::Locking)     // or Chromatic / Sequential
+//!     .machines(2)
+//!     .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(1_000))
+//!     .stop_when(|g| g.get(PAGERANK_RESIDUAL).is_some_and(|r| *r < 1e-3))
+//!     .run(PageRank { alpha: 0.15, epsilon: 1e-9, dynamic: true });
 //! assert!(out.metrics.updates >= 1_000);
+//! assert!(*out.globals.get(PAGERANK_RESIDUAL).unwrap() < 1e-3);
 //! ```
+//!
+//! The chromatic engine needs no caller-supplied colouring: the builder
+//! computes one at the order the consistency model requires (and verifies
+//! it), while a known colouring — e.g. the free bipartite 2-colouring of
+//! ALS — can be passed with `.coloring(..)`.
 //!
 //! See `examples/` for full application walkthroughs and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the paper-reproduction index.

@@ -1,30 +1,27 @@
 //! Workspace-level integration tests: applications × engines × baselines.
 //!
 //! These validate the claims the benchmark harness relies on: all engines
-//! (sequential reference, chromatic, locking) and all baselines
-//! (MapReduce, Pregel, MPI) agree on the *answers*, so the performance
-//! comparisons in EXPERIMENTS.md compare equal work.
-
-use std::sync::Arc;
+//! (sequential reference, chromatic, locking — all behind the [`GraphLab`]
+//! builder) and all baselines (MapReduce, Pregel, MPI) agree on the
+//! *answers*, so the performance comparisons in EXPERIMENTS.md compare
+//! equal work.
 
 use graphlab::apps::als::{train_rmse, Als};
 use graphlab::apps::coem::{accuracy, Coem};
 use graphlab::apps::lbp::{total_residual, LoopyBp};
-use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
+use graphlab::apps::pagerank::{
+    exact_pagerank, init_ranks, l1_error, PageRank, RankResidual, PAGERANK_RESIDUAL,
+};
 use graphlab::baselines::mapreduce::{coem_mapreduce, pagerank_mapreduce, MapReduceConfig};
 use graphlab::baselines::mpi::coem_mpi;
 use graphlab::baselines::pregel::{PregelConfig, PregelEngine, PregelPageRank};
 use graphlab::core::{
-    run_chromatic, run_locking, run_sequential, EngineConfig, InitialSchedule, PartitionStrategy,
-    SchedulerKind, SequentialConfig, SnapshotConfig, SnapshotMode, SyncOp,
+    EngineKind, GraphLab, PartitionStrategy, SchedulerKind, SnapshotConfig, SnapshotMode,
+    SyncCadence,
 };
-use graphlab::graph::{greedy_coloring, Coloring};
+use graphlab::graph::Coloring;
 use graphlab::net::LatencyModel;
 use graphlab::workloads::{nell_graph, ratings_graph, web_graph, webspam_mrf};
-
-fn no_syncs<V, E>() -> Arc<Vec<Box<dyn SyncOp<V, E>>>> {
-    Arc::new(Vec::new())
-}
 
 #[test]
 fn pagerank_all_systems_agree() {
@@ -35,41 +32,29 @@ fn pagerank_all_systems_agree() {
     // Sequential reference.
     let mut seq = base.clone();
     init_ranks(&mut seq);
-    run_sequential(&mut seq, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut seq).run(pr.clone());
     let seq_ranks: Vec<f64> = seq.vertices().map(|v| *seq.vertex_data(v)).collect();
     assert!(l1_error(&seq_ranks, &oracle) < 1e-6);
 
-    // Chromatic engine (3 machines).
+    // Chromatic engine (3 machines, auto-computed colouring).
     let mut chro = base.clone();
     init_ranks(&mut chro);
-    let coloring = greedy_coloring(&chro);
-    run_chromatic(
-        &mut chro,
-        coloring,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(3),
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut chro).engine(EngineKind::Chromatic).machines(3).run(pr.clone());
     let chro_ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
     assert!(l1_error(&chro_ranks, &oracle) < 1e-6, "chromatic {}", l1_error(&chro_ranks, &oracle));
 
     // Locking engine (3 machines).
     let mut lock = base.clone();
     init_ranks(&mut lock);
-    run_locking(
-        &mut lock,
-        Arc::new(pr),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(3),
-        &PartitionStrategy::BfsGrow,
-    );
+    GraphLab::on(&mut lock)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .partition(PartitionStrategy::BfsGrow)
+        .run(pr);
     let lock_ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
     assert!(l1_error(&lock_ranks, &oracle) < 1e-6, "locking {}", l1_error(&lock_ranks, &oracle));
 
-    // MapReduce (30 iterations of power iteration).
+    // MapReduce (power iteration).
     let (mr_ranks, _) = pagerank_mapreduce(
         &base,
         0.15,
@@ -87,64 +72,40 @@ fn pagerank_all_systems_agree() {
     assert!(l1_error(&pregel_ranks, &oracle) < 1e-6, "pregel {}", l1_error(&pregel_ranks, &oracle));
 }
 
+/// Satellite (ISSUE 4): three-engine agreement for ALS through the
+/// builder — the same program (graph, update, cap) on the sequential
+/// reference, the chromatic engine (free bipartite colouring) and the
+/// locking engine (priority scheduler) reaches a comparably good fit.
 #[test]
-fn als_engines_reach_comparable_rmse() {
+fn als_three_engines_reach_comparable_rmse() {
     let problem = ratings_graph(120, 60, 8, 4, 3);
     let als = Als { d: 4, lambda: 0.05, epsilon: 1e-5, dynamic: true };
+    let users = problem.users;
 
     let mut results = Vec::new();
-    // Sequential.
-    {
+    for engine in [EngineKind::Sequential, EngineKind::Chromatic, EngineKind::Locking] {
         let mut g = problem.graph.clone();
-        run_sequential(
-            &mut g,
-            &als,
-            InitialSchedule::AllVertices,
-            SequentialConfig { max_updates: 20_000, ..Default::default() },
-        );
-        results.push(("sequential", train_rmse(&g)));
-    }
-    // Chromatic (bipartite colouring).
-    {
-        let mut g = problem.graph.clone();
-        let users = problem.users;
-        let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
-        let mut cfg = EngineConfig::new(3);
-        cfg.max_updates = 20_000;
-        run_chromatic(
-            &mut g,
-            coloring,
-            Arc::new(als.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
-        results.push(("chromatic", train_rmse(&g)));
-    }
-    // Locking with priorities.
-    {
-        let mut g = problem.graph.clone();
-        let mut cfg = EngineConfig::new(3);
-        cfg.scheduler = SchedulerKind::Priority;
-        cfg.max_updates = 20_000;
-        run_locking(
-            &mut g,
-            Arc::new(als),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
-        results.push(("locking", train_rmse(&g)));
+        let mut b = GraphLab::on(&mut g).engine(engine).max_updates(20_000);
+        b = match engine {
+            // Users/movies form a bipartition: a free 2-colouring.
+            EngineKind::Chromatic => b
+                .machines(3)
+                .coloring(Coloring::bipartite(problem.graph.num_vertices(), |v| {
+                    v.index() >= users
+                })),
+            EngineKind::Locking => b.machines(3).scheduler(SchedulerKind::Priority),
+            EngineKind::Sequential => b,
+        };
+        b.run(als.clone());
+        results.push((engine, train_rmse(&g)));
     }
     // All engines converge to a comparably good fit (λ-regularised floor).
-    for (name, rmse) in &results {
-        assert!(*rmse < 0.12, "{name} rmse {rmse}");
+    for (engine, rmse) in &results {
+        assert!(*rmse < 0.12, "{engine:?} rmse {rmse}");
     }
     let best = results.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
-    for (name, rmse) in &results {
-        assert!(*rmse < best * 2.0 + 0.02, "{name} rmse {rmse} vs best {best}");
+    for (engine, rmse) in &results {
+        assert!(*rmse < best * 2.0 + 0.02, "{engine:?} rmse {rmse} vs best {best}");
     }
 }
 
@@ -154,16 +115,12 @@ fn coem_graphlab_matches_baselines() {
 
     let mut g = problem.graph.clone();
     let nps = problem.noun_phrases;
-    let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
-    run_chromatic(
-        &mut g,
-        coloring,
-        Arc::new(Coem { types: 2, epsilon: 1e-7, dynamic: true }),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(3),
-        &PartitionStrategy::RandomHash,
-    );
+    let bipartite = Coloring::bipartite(g.num_vertices(), |v| v.index() >= nps);
+    GraphLab::on(&mut g)
+        .engine(EngineKind::Chromatic)
+        .machines(3)
+        .coloring(bipartite)
+        .run(Coem { types: 2, epsilon: 1e-7, dynamic: true });
     let gl_acc = accuracy(&g, &problem.truth);
 
     let (mpi_dists, _) = coem_mpi(&problem.graph, 2, 30, 3);
@@ -193,22 +150,78 @@ fn coem_graphlab_matches_baselines() {
 #[test]
 fn lbp_distributed_with_latency_converges() {
     let (mut g, truth) = webspam_mrf(400, 4, 0.3, 0.15, 9);
-    let mut cfg = EngineConfig::new(3);
-    cfg.scheduler = SchedulerKind::Priority;
-    cfg.latency = LatencyModel::fixed(std::time::Duration::from_micros(100));
-    cfg.max_updates = 40 * g.num_vertices() as u64;
+    let n = g.num_vertices() as u64;
     let bp = LoopyBp { labels: 2, smoothing: 2.0, epsilon: 1e-4, dynamic: true, damping: 0.3 };
-    run_locking(
-        &mut g,
-        Arc::new(bp.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::BfsGrow,
-    );
+    GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .scheduler(SchedulerKind::Priority)
+        .latency(LatencyModel::fixed(std::time::Duration::from_micros(100)))
+        .max_updates(40 * n)
+        .partition(PartitionStrategy::BfsGrow)
+        .run(bp.clone());
     assert!(total_residual(&g, &bp) < 1.0, "residual {}", total_residual(&g, &bp));
     let acc = graphlab::workloads::spam::spam_accuracy(&g, &truth);
     assert!(acc > 0.8, "accuracy {acc}");
+}
+
+/// ISSUE 4 acceptance: `stop_when` termination on the residual global —
+/// PageRank halts once the equation residual falls below tolerance, with
+/// **fewer updates** than the fixed-sweep (cap-terminated) baseline and
+/// the **same ranks**, on both distributed engines.
+#[test]
+fn stop_when_converges_with_fewer_updates_than_fixed_sweeps() {
+    let base = web_graph(400, 4, 13);
+    let n = base.num_vertices() as u64;
+    let oracle = exact_pagerank(&base, 0.15, 300);
+    // BSP-style update: epsilon -1 reschedules unconditionally, so only
+    // the terminator (cap or stop_when) ends the run.
+    let pr = PageRank { alpha: 0.15, epsilon: -1.0, dynamic: true };
+    // The residual contracts by ~(1−α) per sweep: 1e-6 needs ~85 Jacobi
+    // sweeps (async in-place updates need fewer), so a 120-sweep cap
+    // leaves the stop predicate a comfortable lead.
+    let sweeps = 120u64;
+    let tol = 1e-6;
+
+    for engine in [EngineKind::Chromatic, EngineKind::Locking] {
+        // Arm 1: fixed-sweep baseline, cap-terminated.
+        let mut cap_g = base.clone();
+        init_ranks(&mut cap_g);
+        let cap_out = GraphLab::on(&mut cap_g)
+            .engine(engine)
+            .machines(3)
+            .max_updates(sweeps * n)
+            .run(pr.clone());
+        let cap_ranks: Vec<f64> = cap_g.vertices().map(|v| *cap_g.vertex_data(v)).collect();
+        assert!(l1_error(&cap_ranks, &oracle) < 1e-5, "{engine:?} cap arm diverged");
+
+        // Arm 2: same program, aggregate-driven termination.
+        let mut stop_g = base.clone();
+        init_ranks(&mut stop_g);
+        let stop_out = GraphLab::on(&mut stop_g)
+            .engine(engine)
+            .machines(3)
+            .max_updates(sweeps * n)
+            .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(n))
+            .stop_when(move |g| g.get(PAGERANK_RESIDUAL).is_some_and(|r| *r < tol))
+            .run(pr.clone());
+        let stop_ranks: Vec<f64> = stop_g.vertices().map(|v| *stop_g.vertex_data(v)).collect();
+
+        assert!(
+            stop_out.metrics.updates < cap_out.metrics.updates,
+            "{engine:?}: stop_when must beat the fixed-sweep baseline \
+             ({} vs {} updates)",
+            stop_out.metrics.updates,
+            cap_out.metrics.updates,
+        );
+        let residual = *stop_out.globals.get(PAGERANK_RESIDUAL).expect("residual published");
+        assert!(residual < tol, "{engine:?}: halted at residual {residual}");
+        // Converges to the same ranks as the cap-terminated run: the L1
+        // gap to the fixpoint is bounded by residual/α ≈ 7e-6 at tol.
+        let gap = l1_error(&stop_ranks, &cap_ranks);
+        assert!(gap < 1e-4, "{engine:?}: stop vs cap ranks L1 {gap}");
+        assert!(l1_error(&stop_ranks, &oracle) < 1e-4, "{engine:?} stop arm vs oracle");
+    }
 }
 
 #[test]
@@ -218,25 +231,20 @@ fn snapshot_recovery_end_to_end() {
 
     let mut full = base.clone();
     init_ranks(&mut full);
-    let mut cfg = EngineConfig::new(2);
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Asynchronous,
-        every_updates: 400,
-        max_snapshots: 1,
-    };
-    let out = run_locking(
-        &mut full,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut full)
+        .engine(EngineKind::Locking)
+        .machines(2)
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Asynchronous,
+            every_updates: 400,
+            max_snapshots: 1,
+        })
+        .run(pr.clone());
     assert!(out.metrics.snapshots >= 1);
 
     let mut restored = base.clone();
     graphlab::core::restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
-    run_sequential(&mut restored, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut restored).run(pr);
     for v in full.vertices() {
         assert!(
             (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-9,
@@ -257,28 +265,23 @@ fn async_snapshot_under_ec2_latency_restores_correctly() {
 
     let mut full = base.clone();
     init_ranks(&mut full);
-    let mut cfg = EngineConfig::new(3);
-    cfg.latency = LatencyModel::ec2_like();
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Asynchronous,
-        every_updates: 300,
-        max_snapshots: 1,
-    };
-    let out = run_locking(
-        &mut full,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut full)
+        .engine(EngineKind::Locking)
+        .machines(3)
+        .latency(LatencyModel::ec2_like())
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Asynchronous,
+            every_updates: 300,
+            max_snapshots: 1,
+        })
+        .run(pr.clone());
     assert!(out.metrics.snapshots >= 1);
 
     // A consistent checkpoint must converge to the same fixpoint as the
     // uninterrupted run.
     let mut restored = base.clone();
     graphlab::core::restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
-    run_sequential(&mut restored, &pr, InitialSchedule::AllVertices, SequentialConfig::default());
+    GraphLab::on(&mut restored).run(pr);
     for v in full.vertices() {
         assert!(
             (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-9,
@@ -303,16 +306,11 @@ fn batching_reduces_messages_and_preserves_ranks() {
     {
         let mut g = base.clone();
         init_ranks(&mut g);
-        let mut cfg = EngineConfig::new(8);
-        cfg.batch = policy;
-        let out = run_locking(
-            &mut g,
-            Arc::new(pr.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .configure(|c| c.batch = policy)
+            .run(pr.clone());
         msgs[i] = out.metrics.total_messages;
         let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
         assert!(l1_error(&ranks, &oracle) < 1e-6, "batch={i} l1 {}", l1_error(&ranks, &oracle));
@@ -338,40 +336,22 @@ fn delta_sync_and_compression_preserve_pagerank_both_engines_under_latency() {
         ("off", true, graphlab::core::BatchPolicy::uncompressed()),
         ("on", false, graphlab::core::BatchPolicy::default()),
     ] {
-        let mut cfg = EngineConfig::new(8);
-        cfg.latency = LatencyModel::ec2_like();
-        cfg.no_version_filter = no_filter;
-        cfg.batch = policy;
-
-        let mut lock = base.clone();
-        init_ranks(&mut lock);
-        run_locking(
-            &mut lock,
-            Arc::new(pr.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
-        let ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
-        let l1 = l1_error(&ranks, &oracle);
-        assert!(l1 < 1e-6, "locking delta/compress {arm}: L1 {l1}");
-
-        let mut chro = base.clone();
-        init_ranks(&mut chro);
-        let coloring = greedy_coloring(&chro);
-        run_chromatic(
-            &mut chro,
-            coloring,
-            Arc::new(pr.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
-        let ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
-        let l1 = l1_error(&ranks, &oracle);
-        assert!(l1 < 1e-6, "chromatic delta/compress {arm}: L1 {l1}");
+        for engine in [EngineKind::Locking, EngineKind::Chromatic] {
+            let mut g = base.clone();
+            init_ranks(&mut g);
+            GraphLab::on(&mut g)
+                .engine(engine)
+                .machines(8)
+                .latency(LatencyModel::ec2_like())
+                .configure(|c| {
+                    c.no_version_filter = no_filter;
+                    c.batch = policy;
+                })
+                .run(pr.clone());
+            let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+            let l1 = l1_error(&ranks, &oracle);
+            assert!(l1 < 1e-6, "{engine:?} delta/compress {arm}: L1 {l1}");
+        }
     }
 }
 
@@ -381,44 +361,39 @@ fn delta_sync_and_compression_preserve_pagerank_both_engines_under_latency() {
 fn delta_sync_and_compression_preserve_als_under_latency() {
     let problem = ratings_graph(240, 80, 10, 4, 3);
     let als = Als { d: 4, lambda: 0.05, epsilon: 1e-5, dynamic: true };
+    let users = problem.users;
     let mut rmses: Vec<f64> = Vec::new();
 
     for (no_filter, policy) in [
         (true, graphlab::core::BatchPolicy::uncompressed()),
         (false, graphlab::core::BatchPolicy::default()),
     ] {
-        let mut cfg = EngineConfig::new(8);
-        cfg.latency = LatencyModel::ec2_like();
-        cfg.no_version_filter = no_filter;
-        cfg.batch = policy;
-        cfg.scheduler = SchedulerKind::Priority;
-        cfg.max_updates = 15_000;
-
         let mut g = problem.graph.clone();
-        run_locking(
-            &mut g,
-            Arc::new(als.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .latency(LatencyModel::ec2_like())
+            .scheduler(SchedulerKind::Priority)
+            .max_updates(15_000)
+            .configure(|c| {
+                c.no_version_filter = no_filter;
+                c.batch = policy;
+            })
+            .run(als.clone());
         rmses.push(train_rmse(&g));
 
         let mut g = problem.graph.clone();
-        let users = problem.users;
-        let coloring = Coloring::bipartite(g.num_vertices(), |v| v.index() >= users);
-        let mut cfg = cfg.clone();
-        cfg.scheduler = SchedulerKind::Fifo;
-        run_chromatic(
-            &mut g,
-            coloring,
-            Arc::new(als.clone()),
-            InitialSchedule::AllVertices,
-            no_syncs(),
-            &cfg,
-            &PartitionStrategy::RandomHash,
-        );
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Chromatic)
+            .machines(8)
+            .latency(LatencyModel::ec2_like())
+            .coloring(Coloring::bipartite(problem.graph.num_vertices(), |v| v.index() >= users))
+            .max_updates(15_000)
+            .configure(|c| {
+                c.no_version_filter = no_filter;
+                c.batch = policy;
+            })
+            .run(als.clone());
         rmses.push(train_rmse(&g));
     }
     for (i, rmse) in rmses.iter().enumerate() {
@@ -440,24 +415,19 @@ fn delta_sync_and_compression_preserve_als_under_latency() {
 fn delta_sync_snapshot_restore_mid_run_is_consistent() {
     let base = web_graph(500, 4, 29);
     let pr = PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true };
-    let mut cfg = EngineConfig::new(4);
-    cfg.latency = LatencyModel::ec2_like();
-    cfg.snapshot = SnapshotConfig {
-        mode: SnapshotMode::Asynchronous,
-        every_updates: 400,
-        max_snapshots: 1,
-    };
 
     let mut full = base.clone();
     init_ranks(&mut full);
-    let out = run_locking(
-        &mut full,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg,
-        &PartitionStrategy::RandomHash,
-    );
+    let out = GraphLab::on(&mut full)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .latency(LatencyModel::ec2_like())
+        .snapshot(SnapshotConfig {
+            mode: SnapshotMode::Asynchronous,
+            every_updates: 400,
+            max_snapshots: 1,
+        })
+        .run(pr.clone());
     assert!(out.metrics.snapshots >= 1);
 
     // Restore the mid-run checkpoint and converge it on a *distributed*
@@ -465,16 +435,11 @@ fn delta_sync_snapshot_restore_mid_run_is_consistent() {
     // restore-side invalidation).
     let mut restored = base.clone();
     graphlab::core::restore_snapshot(&out.dfs, "ckpt", 0, &mut restored).expect("restore");
-    let mut cfg2 = EngineConfig::new(4);
-    cfg2.latency = LatencyModel::ec2_like();
-    run_locking(
-        &mut restored,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &cfg2,
-        &PartitionStrategy::RandomHash,
-    );
+    GraphLab::on(&mut restored)
+        .engine(EngineKind::Locking)
+        .machines(4)
+        .latency(LatencyModel::ec2_like())
+        .run(pr);
     for v in full.vertices() {
         assert!(
             (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-7,

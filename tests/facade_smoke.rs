@@ -1,21 +1,13 @@
 //! Facade smoke test: drive the whole public surface end-to-end through
 //! the `graphlab` facade crate — build a graph via `graphlab::graph`,
-//! generate a workload, and run PageRank on both distributed engines,
-//! checking they agree with each other and with the power-iteration
-//! oracle.
-
-use std::sync::Arc;
+//! generate a workload, and run the same PageRank program on **all three
+//! engines** through the [`GraphLab`] builder, checking they agree with
+//! each other and with the power-iteration oracle.
 
 use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
-use graphlab::core::{
-    run_chromatic, run_locking, EngineConfig, InitialSchedule, PartitionStrategy, SyncOp,
-};
-use graphlab::graph::{greedy_coloring, DataGraph, GraphBuilder, VertexId};
+use graphlab::core::{Engine, EngineKind, GraphLab};
+use graphlab::graph::{DataGraph, GraphBuilder, VertexId};
 use graphlab::workloads::web_graph;
-
-fn no_syncs() -> Arc<Vec<Box<dyn SyncOp<f64, f64>>>> {
-    Arc::new(Vec::new())
-}
 
 /// A small ring-with-chords graph built by hand through the facade's
 /// re-exported `GraphBuilder`, with out-weight-normalised links
@@ -45,54 +37,39 @@ fn small_graph() -> DataGraph<f64, f64> {
     b.build()
 }
 
-fn run_both(base: &DataGraph<f64, f64>, machines: usize) -> (Vec<f64>, Vec<f64>) {
-    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+/// One builder chain per engine — the only thing that changes is
+/// `.engine(..)`.
+fn run_engine(base: &DataGraph<f64, f64>, engine: EngineKind, machines: usize) -> Vec<f64> {
+    let mut g = base.clone();
+    init_ranks(&mut g);
+    GraphLab::on(&mut g)
+        .engine(engine)
+        .machines(machines)
+        .run(PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true });
+    g.vertices().map(|v| *g.vertex_data(v)).collect()
+}
 
-    let mut chro = base.clone();
-    init_ranks(&mut chro);
-    let coloring = greedy_coloring(&chro);
-    run_chromatic(
-        &mut chro,
-        coloring,
-        Arc::new(pr.clone()),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(machines),
-        &PartitionStrategy::RandomHash,
-    );
-    let chro_ranks: Vec<f64> = chro.vertices().map(|v| *chro.vertex_data(v)).collect();
-
-    let mut lock = base.clone();
-    init_ranks(&mut lock);
-    run_locking(
-        &mut lock,
-        Arc::new(pr),
-        InitialSchedule::AllVertices,
-        no_syncs(),
-        &EngineConfig::new(machines),
-        &PartitionStrategy::RandomHash,
-    );
-    let lock_ranks: Vec<f64> = lock.vertices().map(|v| *lock.vertex_data(v)).collect();
-
-    (chro_ranks, lock_ranks)
+fn assert_three_engine_agreement(base: &DataGraph<f64, f64>, machines: usize, oracle: &[f64]) {
+    let seq = run_engine(base, EngineKind::Sequential, 1);
+    let chro = run_engine(base, EngineKind::Chromatic, machines);
+    let lock = run_engine(base, Engine::Locking, machines);
+    assert!(l1_error(&seq, oracle) < 1e-6, "sequential vs oracle: {}", l1_error(&seq, oracle));
+    assert!(l1_error(&chro, oracle) < 1e-6, "chromatic vs oracle: {}", l1_error(&chro, oracle));
+    assert!(l1_error(&lock, oracle) < 1e-6, "locking vs oracle: {}", l1_error(&lock, oracle));
+    assert!(l1_error(&chro, &lock) < 1e-6, "engines disagree: {}", l1_error(&chro, &lock));
+    assert!(l1_error(&seq, &chro) < 1e-6, "seq/chromatic disagree: {}", l1_error(&seq, &chro));
 }
 
 #[test]
-fn pagerank_engines_agree_on_handbuilt_graph() {
+fn pagerank_three_engines_agree_on_handbuilt_graph() {
     let base = small_graph();
     let oracle = exact_pagerank(&base, 0.15, 80);
-    let (chro, lock) = run_both(&base, 2);
-    assert!(l1_error(&chro, &oracle) < 1e-6, "chromatic vs oracle: {}", l1_error(&chro, &oracle));
-    assert!(l1_error(&lock, &oracle) < 1e-6, "locking vs oracle: {}", l1_error(&lock, &oracle));
-    assert!(l1_error(&chro, &lock) < 1e-6, "engines disagree: {}", l1_error(&chro, &lock));
+    assert_three_engine_agreement(&base, 2, &oracle);
 }
 
 #[test]
-fn pagerank_engines_agree_on_powerlaw_workload() {
+fn pagerank_three_engines_agree_on_powerlaw_workload() {
     let base = web_graph(600, 4, 11);
     let oracle = exact_pagerank(&base, 0.15, 80);
-    let (chro, lock) = run_both(&base, 3);
-    assert!(l1_error(&chro, &oracle) < 1e-6, "chromatic vs oracle: {}", l1_error(&chro, &oracle));
-    assert!(l1_error(&lock, &oracle) < 1e-6, "locking vs oracle: {}", l1_error(&lock, &oracle));
-    assert!(l1_error(&chro, &lock) < 1e-6, "engines disagree: {}", l1_error(&chro, &lock));
+    assert_three_engine_agreement(&base, 3, &oracle);
 }

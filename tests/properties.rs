@@ -254,11 +254,6 @@ mod wire_codec {
         })
     }
 
-    fn arb_name() -> impl Strategy<Value = String> {
-        proptest::collection::vec(0u32..26, 0..10)
-            .prop_map(|v| v.into_iter().map(|c| (b'a' + c as u8) as char).collect())
-    }
-
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -346,7 +341,7 @@ mod wire_codec {
         #[test]
         fn sync_partial_msgs_roundtrip(
             cycle in 0u64..u64::MAX,
-            partials in proptest::collection::vec(proptest::collection::vec(-1e12f64..1e12, 0..6), 0..5),
+            partials in proptest::collection::vec((0u32..u32::MAX, arb_bytes()), 0..5),
             pending in 0u64..u64::MAX,
             updates in 0u64..u64::MAX,
         ) {
@@ -358,7 +353,7 @@ mod wire_codec {
         fn sync_globals_msgs_roundtrip(
             cycle in 0u64..u64::MAX,
             rows in proptest::collection::vec(
-                (arb_name(), 0u64..u64::MAX, proptest::collection::vec(-1e12f64..1e12, 0..5)),
+                (0u32..u32::MAX, 0u64..u64::MAX, arb_bytes()),
                 0..5,
             ),
             halt in 0u32..2,
@@ -500,14 +495,11 @@ mod compression {
 
 /// Serializability property: the locking engine's fixpoint equals the
 /// sequential engine's fixpoint for a confluent update function
-/// (max-diffusion), on random graphs and cluster sizes.
+/// (max-diffusion), on random graphs and cluster sizes — both driven
+/// through the builder.
 mod serializability {
     use super::*;
-    use graphlab::core::{
-        run_locking, run_sequential, EngineConfig, InitialSchedule, PartitionStrategy,
-        SequentialConfig, SyncOp, UpdateContext, UpdateFunction,
-    };
-    use std::sync::Arc;
+    use graphlab::core::{EngineKind, GraphLab, UpdateContext, UpdateFunction};
 
     struct MaxDiffusion;
     impl UpdateFunction<f64, f64> for MaxDiffusion {
@@ -531,25 +523,133 @@ mod serializability {
         #[test]
         fn locking_engine_fixpoint_matches_sequential(g in arb_graph(), machines in 1usize..4) {
             let mut seq = g.clone();
-            run_sequential(
-                &mut seq,
-                &MaxDiffusion,
-                InitialSchedule::AllVertices,
-                SequentialConfig::default(),
-            );
+            GraphLab::on(&mut seq).run(MaxDiffusion);
             let mut dist = g.clone();
-            let syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(Vec::new());
-            run_locking(
-                &mut dist,
-                Arc::new(MaxDiffusion),
-                InitialSchedule::AllVertices,
-                syncs,
-                &EngineConfig::new(machines),
-                &PartitionStrategy::RandomHash,
-            );
+            GraphLab::on(&mut dist)
+                .engine(EngineKind::Locking)
+                .machines(machines)
+                .run(MaxDiffusion);
             for v in g.vertices() {
                 prop_assert_eq!(seq.vertex_data(v), dist.vertex_data(v));
             }
+        }
+    }
+}
+
+/// ISSUE 4: typed-aggregate codec roundtrip properties. The sync plumbing
+/// ships accumulators as codec bytes tagged by `Copy` handle ids; these
+/// pin (a) that arbitrary accumulator shapes survive the wire and (b)
+/// that folding encoded partials in any machine order reproduces the
+/// typed fold (associativity/commutativity of the combine over the codec
+/// boundary).
+mod typed_sync {
+    use super::*;
+    use graphlab::core::{Aggregate, EngineKind, FnSync, GlobalHandle, GraphLab, SyncCadence, SyncScope};
+
+    /// The custom accumulator shape used by the distributed mean test:
+    /// (count, sum) pairs, finalized to a scalar.
+    struct Moments;
+    impl Aggregate<f64, f64> for Moments {
+        type Acc = (u64, Vec<f64>);
+        type Out = Vec<f64>;
+        fn init(&self) -> (u64, Vec<f64>) {
+            (0, vec![0.0, 0.0])
+        }
+        fn map(&self, s: &SyncScope<'_, f64, f64>) -> (u64, Vec<f64>) {
+            let x = *s.vertex_data();
+            (1, vec![x, x * x])
+        }
+        fn combine(&self, acc: &mut (u64, Vec<f64>), part: (u64, Vec<f64>)) {
+            acc.0 += part.0;
+            for (a, p) in acc.1.iter_mut().zip(part.1) {
+                *a += p;
+            }
+        }
+        fn finalize(&self, acc: (u64, Vec<f64>), _: u64) -> Vec<f64> {
+            let n = acc.0.max(1) as f64;
+            vec![acc.1[0] / n, acc.1[1] / n]
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn accumulator_shapes_roundtrip(
+            count in 0u64..u64::MAX,
+            moments in proptest::collection::vec(-1e12f64..1e12, 0..8),
+        ) {
+            let acc = (count, moments);
+            let enc = encode_to_bytes(&acc);
+            prop_assert_eq!(decode_from::<(u64, Vec<f64>)>(enc), Some(acc));
+        }
+
+        #[test]
+        fn encoded_partial_fold_is_order_independent(
+            parts in proptest::collection::vec(
+                (1u64..1000, proptest::collection::vec(-1e6f64..1e6, 2..3)),
+                1..6,
+            ),
+            perm_seed in 0u64..1000,
+        ) {
+            let op = Moments;
+            // Typed fold in listed order.
+            let mut direct = op.init();
+            for p in &parts {
+                op.combine(&mut direct, p.clone());
+            }
+            // Fold through the codec boundary in a permuted (machine
+            // arrival) order.
+            let mut order: Vec<usize> = (0..parts.len()).collect();
+            let mut x = perm_seed.wrapping_add(0x9E3779B9);
+            for i in (1..order.len()).rev() {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                order.swap(i, (x % (i as u64 + 1)) as usize);
+            }
+            let mut wired = op.init();
+            for &i in &order {
+                let bytes = encode_to_bytes(&parts[i]);
+                let decoded = decode_from::<(u64, Vec<f64>)>(bytes).expect("roundtrip");
+                op.combine(&mut wired, decoded);
+            }
+            prop_assert_eq!(direct.0, wired.0);
+            for (a, b) in direct.1.iter().zip(&wired.1) {
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+            }
+        }
+
+        /// End to end: the typed mean published by a distributed run equals
+        /// the mean computed directly from the final graph data.
+        #[test]
+        fn distributed_typed_aggregate_matches_direct_computation(
+            g in arb_graph(),
+            machines in 1usize..4,
+        ) {
+            const MOMENTS: GlobalHandle<Vec<f64>> = GlobalHandle::new(3);
+            let mut dist = g.clone();
+            let out = GraphLab::on(&mut dist)
+                .engine(EngineKind::Locking)
+                .machines(machines)
+                .sync(MOMENTS, Moments, SyncCadence::Final)
+                .run(|_ctx: &mut graphlab::core::UpdateContext<'_, f64, f64>| {});
+            let n = dist.num_vertices() as f64;
+            let mean: f64 = dist.vertices().map(|v| *dist.vertex_data(v)).sum::<f64>() / n;
+            let got = out.globals.get(MOMENTS).expect("published");
+            prop_assert!((got[0] - mean).abs() < 1e-9, "mean {} vs {}", got[0], mean);
+        }
+
+        /// FnSync (the sum-shaped adapter) through the erased path equals a
+        /// direct sum.
+        #[test]
+        fn fnsync_sum_matches_direct(g in arb_graph()) {
+            const SUM: GlobalHandle<Vec<f64>> = GlobalHandle::new(0);
+            let mut dist = g.clone();
+            let out = GraphLab::on(&mut dist)
+                .sync(SUM, FnSync::new(1, |_, d: &f64| vec![*d], |a, _| a), SyncCadence::Final)
+                .run(|_ctx: &mut graphlab::core::UpdateContext<'_, f64, f64>| {});
+            let direct: f64 = dist.vertices().map(|v| *dist.vertex_data(v)).sum();
+            let got = out.globals.get(SUM).expect("published");
+            prop_assert!((got[0] - direct).abs() < 1e-9);
         }
     }
 }
