@@ -21,23 +21,39 @@
 //! triggers.
 
 use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use graphlab_atoms::LocalGraphInit;
 use graphlab_graph::{MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
+use graphlab_net::fault::{DownMsg, UpMsg};
 use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
 use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
+use crate::recovery::{pick_rollback, unrecoverable_down, RecoveryTracker, RECOVERY_DEADLINE};
 use crate::reference::InitialSchedule;
-use crate::snapshot::{snap_file_name, SnapshotFile};
+use crate::snapshot::{restore_into_local, snap_file_name, SnapshotFile};
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Receive deadline inside the recovery sub-loops (progress is re-checked
+/// between receives; the overall round is bounded by `RECOVERY_DEADLINE`).
+const RECOVERY_POLL: Duration = Duration::from_millis(25);
+
+/// Why the BSP cycle machinery unwound to the top-level run loop.
+enum Interrupt {
+    /// A peer died — run the drain/rollback/resume recovery round.
+    Recover,
+    /// This machine was killed — wipe volatile state and wait for rebirth.
+    Die,
+    /// Unrecoverable: fail the run cleanly with this reason.
+    Abort(String),
+}
 
 fn enc<T: Codec>(v: &T) -> Bytes {
     encode_to_bytes(v)
@@ -89,6 +105,13 @@ pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     last_snap_updates: u64,
     straggled: bool,
     effects: UpdateEffects,
+
+    // Failure recovery (§4.3; protocol in `crate::snapshot` docs).
+    rec: RecoveryTracker,
+    /// Colour-steps executed across the whole run (unlike `step`, never
+    /// reset by a rollback — the metrics source).
+    steps_total: u64,
+    failure: Option<String>,
 }
 
 impl<V, E, U> ChromaticMachine<V, E, U>
@@ -106,6 +129,7 @@ where
         let num_colors = setup.coloring.num_colors().max(1);
         let nv = lg.num_local_vertices();
         let m = lg.num_machines();
+        let machine = lg.machine();
         let net = Batcher::new(ep, setup.config.batch);
         ChromaticMachine {
             // Edge slots unused: edges have exactly two replicas, so an
@@ -126,6 +150,9 @@ where
             last_snap_updates: 0,
             straggled: false,
             effects: UpdateEffects::default(),
+            rec: RecoveryTracker::new(machine.index(), m),
+            steps_total: 0,
+            failure: None,
             globals: GlobalRegistry::new(),
             num_colors,
             lg,
@@ -174,31 +201,114 @@ where
 
     pub(crate) fn run(mut self) -> MachineResult<V, E> {
         self.initial_schedule();
+        loop {
+            match self.run_cycles() {
+                Ok(()) => break,
+                Err(int) => {
+                    if let Err(reason) = self.handle_interrupt(int) {
+                        self.failure = Some(reason);
+                        break;
+                    }
+                    // Recovered: the BSP machinery restarts at cycle 0.
+                }
+            }
+        }
+        // The master's final globals/halt broadcast may still sit in the
+        // batch queues; peers are blocked waiting for it.
+        self.net.flush_all();
+        self.finish()
+    }
+
+    /// The BSP cycle machinery. Returns `Ok(())` on a normal halt and
+    /// unwinds with an [`Interrupt`] when a failure (ours or a peer's)
+    /// preempts it.
+    fn run_cycles(&mut self) -> Result<(), Interrupt> {
         let mut cycle = 0u64;
         loop {
             self.cycle_updates = 0;
             for color in 0..self.num_colors {
                 let direct = self.execute_color_step(color);
-                self.flush_round(0, direct);
+                self.flush_round(0, direct)?;
                 let zeros = vec![0; self.num_machines()];
                 let fwd = std::mem::replace(&mut self.fwd_counts, zeros);
-                self.flush_round(1, fwd);
+                self.flush_round(1, fwd)?;
                 self.step += 1;
+                self.steps_total += 1;
                 self.maybe_straggle();
             }
-            let (halt, snapshot) = self.cycle_end_round(cycle);
+            let (halt, snapshot) = self.cycle_end_round(cycle)?;
             if let Some(snap) = snapshot {
-                self.write_snapshot(snap);
+                self.write_snapshot(snap)?;
             }
             if halt {
-                break;
+                return Ok(());
             }
             cycle += 1;
         }
-        // The master's final globals/halt broadcast may still sit in the
-        // batch queues; peers are blocked waiting for it.
-        self.net.flush_all();
-        self.finish(cycle + 1)
+    }
+
+    /// Single send point for all engine traffic. Recovery correctness
+    /// depends on a machine sending **no** engine message between its
+    /// drain point and the cluster-wide resume — keeping every send here
+    /// (and recovery control clearly separated) makes that auditable.
+    fn send_msg(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        self.net.send(dst, kind, payload);
+    }
+
+    /// Receives one engine envelope, intercepting the fault/recovery
+    /// control plane: a fresh `K_DOWN` (or `K_UP` on a machine that slept
+    /// through its own dead window) unwinds into recovery, `MachineDown`
+    /// unwinds into the dead wait, a timeout is a stall (clean failure,
+    /// never a hang).
+    fn recv_env(&mut self, timeout: Duration) -> Result<Envelope, Interrupt> {
+        loop {
+            match self.net.recv_timeout(timeout) {
+                Ok(env) => match env.kind {
+                    graphlab_net::K_DOWN => {
+                        let d: DownMsg = dec(env.payload);
+                        if d.machine == self.me().0 {
+                            // The fabric's wakeup for a victim blocked in
+                            // recv when the kill fired: we are the dead one.
+                            return Err(Interrupt::Die);
+                        }
+                        if !d.restart {
+                            return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                        }
+                        if self.rec.observe_era(d.era) {
+                            return Err(Interrupt::Recover);
+                        }
+                    }
+                    graphlab_net::K_UP => {
+                        // Zombie path: the dead window passed while this
+                        // thread was busy on its pre-crash backlog.
+                        let u: UpMsg = dec(env.payload);
+                        self.wipe_volatile();
+                        self.rec.observe_era(u.era);
+                        return Err(Interrupt::Recover);
+                    }
+                    K_RECOVER_ABORT => {
+                        let a: RecoverAbortMsg = dec(env.payload);
+                        return Err(Interrupt::Abort(a.reason));
+                    }
+                    K_RECOVER_READY | K_ROLLBACK | K_RECOVERED | K_RESUME | K_FLUSH_MARK => {
+                        // Stale control from a superseded recovery round.
+                    }
+                    _ => return Ok(env),
+                },
+                Err(RecvError::Timeout) => {
+                    return Err(Interrupt::Abort(format!(
+                        "chromatic engine stalled: machine {} step {} received nothing for {:?}",
+                        self.me().0,
+                        self.step,
+                        timeout
+                    )));
+                }
+                Err(RecvError::MachineDown) => return Err(Interrupt::Die),
+                Err(RecvError::Disconnected) => {
+                    return Err(Interrupt::Abort("fabric disconnected".into()));
+                }
+            }
+        }
     }
 
     /// Executes all queued vertices of `color`; returns data-message send
@@ -268,7 +378,7 @@ where
                 });
                 let mirrors = self.lg.vertex_mirrors(l).to_vec();
                 for mm in mirrors {
-                    self.net.send(mm, K_CHROM_VDATA, payload.clone());
+                    self.send_msg(mm, K_CHROM_VDATA, payload.clone());
                     direct[mm.index()] += 1;
                 }
             }
@@ -291,7 +401,7 @@ where
                         phase: 0u8,
                         inner: EdgeRow { eid: geid, version, data: enc(self.lg.edge_data(le)) },
                     });
-                    self.net.send(other, K_CHROM_EDATA, payload);
+                    self.send_msg(other, K_CHROM_EDATA, payload);
                     direct[other.index()] += 1;
                 }
             } else {
@@ -301,7 +411,7 @@ where
                     phase: 0u8,
                     inner: EdgeRow { eid: geid, version: 0, data: enc(self.lg.edge_data(le)) },
                 });
-                self.net.send(owner, K_CHROM_WB_E, payload);
+                self.send_msg(owner, K_CHROM_WB_E, payload);
                 direct[owner.index()] += 1;
             }
         }
@@ -326,7 +436,7 @@ where
                     });
                     let mirrors = self.lg.vertex_mirrors(ln).to_vec();
                     for mm in mirrors {
-                        self.net.send(mm, K_CHROM_VDATA, payload.clone());
+                        self.send_msg(mm, K_CHROM_VDATA, payload.clone());
                         direct[mm.index()] += 1;
                     }
                 }
@@ -337,7 +447,7 @@ where
                     phase: 0u8,
                     inner: VertexRow { vid: gvid, version: 0, snap: 0, data: enc(self.lg.vertex_data(ln)) },
                 });
-                self.net.send(owner, K_CHROM_WB_V, payload);
+                self.send_msg(owner, K_CHROM_WB_V, payload);
                 direct[owner.index()] += 1;
             }
         }
@@ -356,7 +466,7 @@ where
         }
         for (mm, tasks) in remote {
             let payload = enc(&StepTagged { step, phase: 0u8, inner: ScheduleMsg { tasks } });
-            self.net.send(mm, K_CHROM_SCHED, payload);
+            self.send_msg(mm, K_CHROM_SCHED, payload);
             direct[mm.index()] += 1;
         }
 
@@ -365,7 +475,7 @@ where
 
     /// Sends flush markers for (self.step, phase) promising `counts`, then
     /// blocks until every peer's flush and all promised data arrived.
-    fn flush_round(&mut self, phase: u8, counts: Vec<u64>) {
+    fn flush_round(&mut self, phase: u8, counts: Vec<u64>) -> Result<(), Interrupt> {
         let m = self.num_machines();
         let me = self.me().index();
         let step = self.step;
@@ -378,7 +488,7 @@ where
                     pending: self.pending_total,
                 };
                 let kind = if phase == 0 { K_CHROM_FLUSH_A } else { K_CHROM_FLUSH_B };
-                self.net.send(MachineId::from(j), kind, enc(&msg));
+                self.send_msg(MachineId::from(j), kind, enc(&msg));
             }
         }
         loop {
@@ -395,22 +505,15 @@ where
             if complete {
                 break;
             }
-            match self.net.recv_timeout(RECV_TIMEOUT) {
-                Ok(env) => self.handle_msg(env),
-                Err(RecvError::Timeout) => {
-                    panic!(
-                        "chromatic flush stalled: machine {} step {} phase {}",
-                        me, step, phase
-                    );
-                }
-                Err(RecvError::Disconnected) => panic!("fabric disconnected"),
-            }
+            let env = self.recv_env(RECV_TIMEOUT)?;
+            self.handle_msg(env);
         }
         // Prune accounting of completed steps to keep the maps small.
         if step > 1 {
             self.recv_buckets.retain(|&(_, s, _), _| s + 1 >= step);
             self.flush_promises.retain(|&(_, s, _), _| s + 1 >= step);
         }
+        Ok(())
     }
 
     fn bucket_incr(&mut self, src: MachineId, step: u64, phase: u8) {
@@ -464,7 +567,7 @@ where
                     });
                     for mm in mirrors {
                         self.cache.note_v(mm.index(), l, version);
-                        self.net.send(mm, K_CHROM_VDATA, payload.clone());
+                        self.send_msg(mm, K_CHROM_VDATA, payload.clone());
                         self.fwd_counts[mm.index()] += 1;
                     }
                 }
@@ -503,7 +606,7 @@ where
 
     /// Cycle-end sync + halt + snapshot coordination. Returns
     /// `(halt, snapshot_id)`.
-    fn cycle_end_round(&mut self, cycle: u64) -> (bool, Option<u64>) {
+    fn cycle_end_round(&mut self, cycle: u64) -> Result<(bool, Option<u64>), Interrupt> {
         let m = self.num_machines();
         let partials: Vec<(u32, Bytes)> = self
             .setup
@@ -527,19 +630,21 @@ where
             }
             let mut received = 1usize;
             while received < m {
-                match self.net.recv_timeout(RECV_TIMEOUT) {
-                    Ok(env) if env.kind == K_CHROM_SYNC_PART => {
-                        let p: SyncPartialMsg = dec(env.payload);
-                        assert_eq!(p.cycle, cycle, "sync round out of step");
-                        pend += p.pending;
-                        for (i, (id, part)) in p.partials.iter().enumerate() {
-                            debug_assert_eq!(*id, self.setup.syncs[i].id());
-                            self.setup.syncs[i].combine(accs[i].as_mut(), part);
-                        }
-                        received += 1;
+                let env = self.recv_env(RECV_TIMEOUT)?;
+                if env.kind == K_CHROM_SYNC_PART {
+                    let p: SyncPartialMsg = dec(env.payload);
+                    assert_eq!(p.cycle, cycle, "sync round out of step");
+                    pend += p.pending;
+                    for (i, (id, part)) in p.partials.iter().enumerate() {
+                        debug_assert_eq!(*id, self.setup.syncs[i].id());
+                        self.setup.syncs[i].combine(accs[i].as_mut(), part);
                     }
-                    Ok(env) => panic!("unexpected kind {} during sync round", env.kind),
-                    Err(e) => panic!("sync round failed: {e:?}"),
+                    received += 1;
+                } else {
+                    return Err(Interrupt::Abort(format!(
+                        "unexpected kind {} during sync round",
+                        env.kind
+                    )));
                 }
             }
             let total = self.lg.total_vertices();
@@ -572,39 +677,37 @@ where
             let out = SyncGlobalsMsg { cycle, globals: globals_rows, halt, snapshot };
             let payload = enc(&out);
             for j in 1..m {
-                self.net.send(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
+                self.send_msg(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
             }
-            (halt, snapshot)
+            Ok((halt, snapshot))
         } else {
-            self.net.send(MachineId(0), K_CHROM_SYNC_PART, enc(&my_msg));
+            self.send_msg(MachineId(0), K_CHROM_SYNC_PART, enc(&my_msg));
             loop {
-                match self.net.recv_timeout(RECV_TIMEOUT) {
-                    Ok(env) if env.kind == K_CHROM_SYNC_GLOB => {
-                        let g: SyncGlobalsMsg = dec(env.payload);
-                        assert_eq!(g.cycle, cycle);
-                        for (id, ver, bytes) in g.globals {
-                            let op = self
-                                .setup
-                                .syncs
-                                .iter()
-                                .find(|s| s.id() == id)
-                                .expect("broadcast global matches a registered sync");
-                            let typed = op.decode_out(bytes).expect("malformed global value");
-                            self.globals.apply(id, ver, typed);
-                        }
-                        return (g.halt, g.snapshot);
+                let env = self.recv_env(RECV_TIMEOUT)?;
+                if env.kind == K_CHROM_SYNC_GLOB {
+                    let g: SyncGlobalsMsg = dec(env.payload);
+                    assert_eq!(g.cycle, cycle);
+                    for (id, ver, bytes) in g.globals {
+                        let op = self
+                            .setup
+                            .syncs
+                            .iter()
+                            .find(|s| s.id() == id)
+                            .expect("broadcast global matches a registered sync");
+                        let typed = op.decode_out(bytes).expect("malformed global value");
+                        self.globals.apply(id, ver, typed);
                     }
-                    // Faster peers may already be executing the next
-                    // cycle's first colour-step: absorb their (step-tagged)
-                    // data traffic while we wait for our globals.
-                    Ok(env) => self.handle_msg(env),
-                    Err(e) => panic!("globals wait failed: {e:?}"),
+                    return Ok((g.halt, g.snapshot));
                 }
+                // Faster peers may already be executing the next cycle's
+                // first colour-step: absorb their (step-tagged) data
+                // traffic while we wait for our globals.
+                self.handle_msg(env);
             }
         }
     }
 
-    fn write_snapshot(&mut self, snap: u64) {
+    fn write_snapshot(&mut self, snap: u64) -> Result<(), Interrupt> {
         let file = SnapshotFile::capture(&self.lg);
         self.setup.dfs.write(
             &snap_file_name(&self.setup.snap_prefix, snap, self.me()),
@@ -615,26 +718,367 @@ where
         if self.me() == MachineId(0) {
             let mut done = 1usize;
             while done < m {
-                match self.net.recv_timeout(RECV_TIMEOUT) {
-                    Ok(env) if env.kind == K_CHROM_SNAP_DONE => done += 1,
-                    Ok(env) => panic!("unexpected kind {} during snapshot", env.kind),
-                    Err(e) => panic!("snapshot coordination failed: {e:?}"),
+                let env = self.recv_env(RECV_TIMEOUT)?;
+                if env.kind == K_CHROM_SNAP_DONE {
+                    done += 1;
+                } else {
+                    return Err(Interrupt::Abort(format!(
+                        "unexpected kind {} during snapshot",
+                        env.kind
+                    )));
                 }
             }
             for j in 1..m {
-                self.net.send(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
+                self.send_msg(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
             }
         } else {
-            self.net.send(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
+            self.send_msg(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
             loop {
-                match self.net.recv_timeout(RECV_TIMEOUT) {
-                    Ok(env) if env.kind == K_CHROM_SNAP_RESUME => break,
-                    // Resumed peers may already be racing ahead.
-                    Ok(env) => self.handle_msg(env),
-                    Err(e) => panic!("snapshot resume failed: {e:?}"),
+                let env = self.recv_env(RECV_TIMEOUT)?;
+                if env.kind == K_CHROM_SNAP_RESUME {
+                    break;
+                }
+                // Resumed peers may already be racing ahead.
+                self.handle_msg(env);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- failure recovery (§4.3; protocol in crate::snapshot docs) ----
+
+    /// Drives interrupts to quiescence: a death wait chains into a
+    /// recovery round, overlapping failures restart the round, and only
+    /// a successful resume returns `Ok`.
+    fn handle_interrupt(&mut self, int: Interrupt) -> Result<(), String> {
+        let mut int = int;
+        loop {
+            int = match int {
+                Interrupt::Abort(reason) => return Err(reason),
+                Interrupt::Die => match self.dead_wait() {
+                    Ok(()) => Interrupt::Recover,
+                    Err(i) => i,
+                },
+                Interrupt::Recover => match self.recover() {
+                    Ok(()) => return Ok(()),
+                    Err(i) => i,
+                },
+            };
+        }
+    }
+
+    /// This machine was killed: discard all volatile state and poll until
+    /// the fabric's `K_UP` marks the rebirth (adopting its fault era).
+    fn dead_wait(&mut self) -> Result<(), Interrupt> {
+        self.wipe_volatile();
+        if self.net.self_death() == Some(false) {
+            // No restart scheduled: fail fast instead of stalling the
+            // join for the full recovery deadline (survivors abort on
+            // their K_DOWN{restart: false} in parallel).
+            return Err(Interrupt::Abort(format!(
+                "machine {} killed with no restart scheduled",
+                self.me().0
+            )));
+        }
+        let start = Instant::now();
+        loop {
+            if start.elapsed() > RECOVERY_DEADLINE {
+                return Err(Interrupt::Abort(format!(
+                    "machine {} dead past the recovery deadline with no restart",
+                    self.me().0
+                )));
+            }
+            match self.net.recv_timeout(RECOVERY_POLL) {
+                Ok(env) if env.kind == graphlab_net::K_UP => {
+                    let u: UpMsg = dec(env.payload);
+                    self.rec.observe_era(u.era);
+                    return Ok(());
+                }
+                Ok(_) => {} // pre-crash backlog junk: a crash loses it
+                Err(RecvError::MachineDown) | Err(RecvError::Timeout) => {}
+                Err(RecvError::Disconnected) => {
+                    return Err(Interrupt::Abort("fabric disconnected while dead".into()));
                 }
             }
         }
+    }
+
+    /// Crash semantics: every piece of volatile engine state is gone (the
+    /// rollback that follows restores data and re-seeds work).
+    fn wipe_volatile(&mut self) {
+        self.net.clear();
+        self.reset_engine_state();
+        self.rec = RecoveryTracker::new(self.me().index(), self.num_machines());
+    }
+
+    /// Resets all volatile BSP state: colour queues, step/flush
+    /// accounting, ghost-cache assumptions. Graph data, metrics and the
+    /// recovery tracker are untouched.
+    fn reset_engine_state(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.queued.fill(false);
+        self.pending_total = 0;
+        self.step = 0;
+        self.recv_buckets.clear();
+        self.flush_promises.clear();
+        self.fwd_counts.fill(0);
+        self.cycle_updates = 0;
+        self.cache.invalidate_all();
+        self.effects.clear();
+        self.last_snap_updates =
+            self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// One full recovery round for the current fault era: drain → READY →
+    /// rollback order → channel flush → restore → resume barrier. An
+    /// `Err` escalates (a newer failure restarts the round via
+    /// `handle_interrupt`; an abort fails the run).
+    fn recover(&mut self) -> Result<(), Interrupt> {
+        let me = self.me().index();
+        loop {
+            // ---- drain: report the stopped-traffic point ----
+            self.net.flush_all();
+            let ready_era = self.rec.era;
+            if me == 0 {
+                self.rec.note_ready(0, ready_era);
+            } else {
+                self.send_msg(
+                    MachineId(0),
+                    K_RECOVER_READY,
+                    enc(&RecoverReadyMsg { era: ready_era }),
+                );
+                self.net.flush_all();
+            }
+            let started = Instant::now();
+            let mut rollback: Option<RollbackMsg> = None;
+
+            // ---- collect/flush until the rollback can be applied ----
+            // `Some(order)` = channels flushed, apply it; `None` = the era
+            // was superseded by a further failure, re-drain.
+            let flushed: Option<RollbackMsg> = loop {
+                if self.rec.era > ready_era {
+                    break None;
+                }
+                if started.elapsed() > RECOVERY_DEADLINE {
+                    return Err(Interrupt::Abort(format!(
+                        "recovery stalled at fault era {} (machine {})",
+                        self.rec.era, me
+                    )));
+                }
+                if me == 0 && rollback.is_none() && self.rec.all_ready() {
+                    let order = self.master_order_rollback()?;
+                    self.broadcast_flush_mark(order.era);
+                    rollback = Some(order);
+                }
+                if rollback.is_some() && self.rec.marks_complete() {
+                    break rollback.take();
+                }
+                match self.net.recv_timeout(RECOVERY_POLL) {
+                    Ok(env) => match env.kind {
+                        graphlab_net::K_DOWN => {
+                            let d: DownMsg = dec(env.payload);
+                            if d.machine == self.me().0 {
+                                return Err(Interrupt::Die);
+                            }
+                            if !d.restart {
+                                return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                            }
+                            // A newer era is caught at the top of the loop.
+                            self.rec.observe_era(d.era);
+                        }
+                        graphlab_net::K_UP => {
+                            let u: UpMsg = dec(env.payload);
+                            self.wipe_volatile();
+                            self.rec.observe_era(u.era);
+                            break None; // re-drain as the reborn machine
+                        }
+                        K_RECOVER_READY => {
+                            let msg: RecoverReadyMsg = dec(env.payload);
+                            if me == 0 {
+                                self.rec.note_ready(env.src.index(), msg.era);
+                            }
+                        }
+                        K_ROLLBACK => {
+                            let msg: RollbackMsg = dec(env.payload);
+                            if msg.era >= self.rec.era {
+                                // Reborn machines adopt the rollback era.
+                                self.rec.observe_era(msg.era);
+                                self.broadcast_flush_mark(msg.era);
+                                rollback = Some(msg);
+                            }
+                        }
+                        K_FLUSH_MARK => {
+                            let msg: RecoverEraMsg = dec(env.payload);
+                            self.rec.note_mark(env.src.index(), msg.era);
+                        }
+                        K_RECOVERED => {
+                            let msg: RecoverEraMsg = dec(env.payload);
+                            if me == 0 {
+                                // Early finishers; the barrier releases
+                                // after our own rollback below.
+                                self.rec.note_recovered(msg.era);
+                            }
+                        }
+                        K_RESUME => {} // stale
+                        K_RECOVER_ABORT => {
+                            let a: RecoverAbortMsg = dec(env.payload);
+                            return Err(Interrupt::Abort(a.reason));
+                        }
+                        _ => {
+                            // Pre-rollback engine traffic (it precedes its
+                            // sender's flush marker): discard.
+                        }
+                    },
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::MachineDown) => return Err(Interrupt::Die),
+                    Err(RecvError::Disconnected) => {
+                        return Err(Interrupt::Abort("fabric disconnected".into()));
+                    }
+                }
+            };
+            let Some(flushed) = flushed else {
+                continue; // re-drain for the newer era
+            };
+
+            // ---- restore + reset ----
+            if let Err(e) = restore_into_local(
+                &self.setup.dfs,
+                &self.setup.snap_prefix,
+                flushed.snap,
+                &mut self.lg,
+            ) {
+                return Err(Interrupt::Abort(format!(
+                    "checkpoint {} unreadable during rollback: {e}",
+                    flushed.snap
+                )));
+            }
+            self.reset_engine_state();
+            self.snapshots_taken = flushed.snap + 1;
+            // Conservative re-seeding: schedule every owned vertex.
+            for i in 0..self.lg.owned_vertices().len() {
+                let l = self.lg.owned_vertices()[i];
+                self.enqueue_local(l);
+            }
+            self.rec.after_rollback();
+
+            // ---- resume barrier ----
+            let era = self.rec.era;
+            let mut buffered: Vec<Envelope> = Vec::new();
+            if me == 0 {
+                if self.rec.note_recovered(era) {
+                    let payload = enc(&RecoverEraMsg { era });
+                    for j in 1..self.num_machines() {
+                        self.send_msg(MachineId::from(j), K_RESUME, payload.clone());
+                    }
+                    self.net.flush_all();
+                    return Ok(());
+                }
+            } else {
+                self.send_msg(MachineId(0), K_RECOVERED, enc(&RecoverEraMsg { era }));
+                self.net.flush_all();
+            }
+            let barrier = Instant::now();
+            loop {
+                if barrier.elapsed() > RECOVERY_DEADLINE {
+                    return Err(Interrupt::Abort(format!(
+                        "resume barrier stalled at fault era {era} (machine {me})"
+                    )));
+                }
+                match self.net.recv_timeout(RECOVERY_POLL) {
+                    Ok(env) => match env.kind {
+                        K_RESUME => {
+                            let msg: RecoverEraMsg = dec(env.payload);
+                            if msg.era == era {
+                                // Replay post-rollback traffic from peers
+                                // that resumed before us.
+                                for env in buffered {
+                                    self.handle_msg(env);
+                                }
+                                return Ok(());
+                            }
+                        }
+                        K_RECOVERED => {
+                            let msg: RecoverEraMsg = dec(env.payload);
+                            if me == 0 && self.rec.note_recovered(msg.era) {
+                                let payload = enc(&RecoverEraMsg { era });
+                                for j in 1..self.num_machines() {
+                                    self.send_msg(MachineId::from(j), K_RESUME, payload.clone());
+                                }
+                                self.net.flush_all();
+                                for env in buffered {
+                                    self.handle_msg(env);
+                                }
+                                return Ok(());
+                            }
+                        }
+                        graphlab_net::K_DOWN => {
+                            let d: DownMsg = dec(env.payload);
+                            if d.machine == self.me().0 {
+                                return Err(Interrupt::Die);
+                            }
+                            if !d.restart {
+                                return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                            }
+                            if self.rec.observe_era(d.era) {
+                                return Err(Interrupt::Recover);
+                            }
+                        }
+                        K_RECOVER_ABORT => {
+                            let a: RecoverAbortMsg = dec(env.payload);
+                            return Err(Interrupt::Abort(a.reason));
+                        }
+                        K_RECOVER_READY | K_ROLLBACK | K_FLUSH_MARK | graphlab_net::K_UP => {}
+                        _ => buffered.push(env),
+                    },
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::MachineDown) => return Err(Interrupt::Die),
+                    Err(RecvError::Disconnected) => {
+                        return Err(Interrupt::Abort("fabric disconnected".into()));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Master: all READYs in — prune torn checkpoints, pick the newest
+    /// complete one (shared policy: [`pick_rollback`]), broadcast the
+    /// rollback order, and return our own.
+    fn master_order_rollback(&mut self) -> Result<RollbackMsg, Interrupt> {
+        let n = self.num_machines();
+        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, n, self.rec.era) {
+            Ok(msg) => {
+                let payload = enc(&msg);
+                for i in 1..n {
+                    self.send_msg(MachineId::from(i), K_ROLLBACK, payload.clone());
+                }
+                self.net.flush_all();
+                Ok(msg)
+            }
+            Err(abort) => {
+                let payload = enc(&abort);
+                for j in 1..n {
+                    self.send_msg(MachineId::from(j), K_RECOVER_ABORT, payload.clone());
+                }
+                self.net.flush_all();
+                Err(Interrupt::Abort(abort.reason))
+            }
+        }
+    }
+
+    /// Broadcasts this era's flush marker to every peer (see
+    /// [`K_FLUSH_MARK`]): everything this machine sent before it is
+    /// pre-drain engine traffic, delivered ahead of it by per-channel
+    /// FIFO.
+    fn broadcast_flush_mark(&mut self, era: u32) {
+        let payload = enc(&RecoverEraMsg { era });
+        for j in 0..self.num_machines() {
+            if j != self.me().index() {
+                self.send_msg(MachineId::from(j), K_FLUSH_MARK, payload.clone());
+            }
+        }
+        self.net.flush_all();
     }
 
     fn maybe_straggle(&mut self) {
@@ -650,12 +1094,15 @@ where
         }
     }
 
-    fn finish(mut self, cycles: u64) -> MachineResult<V, E> {
+    fn finish(mut self) -> MachineResult<V, E> {
         self.update_counts = self.update_count_map.drain().collect();
         let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let update_counts = std::mem::take(&mut self.update_counts);
         let snapshots = self.snapshots_taken;
+        let recoveries = self.rec.recoveries;
+        let failed = self.failure.take();
+        let steps = self.steps_total;
         let (vrows, erows) = self.lg.into_owned_data();
         MachineResult {
             vrows,
@@ -663,8 +1110,10 @@ where
             globals,
             updates,
             update_counts,
-            steps: cycles * self.num_colors as u64,
+            steps,
             snapshots,
+            recoveries,
+            failed,
         }
     }
 }

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use graphlab_graph::ConsistencyModel;
-use graphlab_net::{BatchPolicy, LatencyModel};
+use graphlab_net::{BatchPolicy, FaultPlan, LatencyModel};
 
 use crate::scheduler::SchedulerKind;
 
@@ -77,6 +77,13 @@ pub struct EngineConfig {
     pub snapshot: SnapshotConfig,
     /// Optional straggler fault injection.
     pub straggler: Option<StragglerConfig>,
+    /// Optional deterministic crash/partition fault injection
+    /// ([`graphlab_net::fault`]): the fabric kills machines per the plan
+    /// and the engines recover by rolling the cluster back to the latest
+    /// complete checkpoint (so pair it with a [`SnapshotConfig`] unless
+    /// the clean "no complete checkpoint" failure path is the point).
+    /// Machine 0 (the coordination master) must not be a kill target.
+    pub faults: Option<FaultPlan>,
     /// Collect per-vertex update counts and the updates-vs-time series.
     pub trace: bool,
     /// Safety cap on total updates (0 = unlimited). The engine halts once
@@ -109,6 +116,7 @@ impl EngineConfig {
             sync_interval_updates: 0,
             snapshot: SnapshotConfig::default(),
             straggler: None,
+            faults: None,
             trace: false,
             max_updates: 0,
             racing: false,

@@ -87,6 +87,13 @@ pub struct EngineOutput {
     /// The simulated DFS used for atoms and snapshots (inspect snapshot
     /// files, restore checkpoints). Fresh and empty for sequential runs.
     pub dfs: Arc<SimDfs>,
+    /// `Some(reason)` when the run could not complete — an injected
+    /// machine failure proved unrecoverable (no complete checkpoint, a
+    /// permanent kill, or a stalled recovery round). The graph then holds
+    /// whatever state the machines had; do not trust it.
+    /// [`crate::GraphLab::run`] panics on this; [`crate::GraphLab::try_run`]
+    /// surfaces it as an `Err`.
+    pub failure: Option<String>,
 }
 
 /// What one machine thread hands back at join time.
@@ -98,6 +105,8 @@ pub(crate) struct MachineResult<V, E> {
     pub update_counts: Vec<(VertexId, u64)>,
     pub steps: u64,
     pub snapshots: u64,
+    pub recoveries: u64,
+    pub failed: Option<String>,
 }
 
 /// Everything a machine thread needs at spawn (endpoint travels
@@ -171,7 +180,12 @@ where
     let initial = Arc::new(initial);
     let counters = LiveCounters::new();
 
-    let (net, endpoints) = SimNet::with_seed(config.num_machines, config.latency, config.seed);
+    let (net, endpoints) = match &config.faults {
+        Some(plan) if !plan.is_empty() => {
+            SimNet::with_faults(config.num_machines, config.latency, config.seed, plan.clone())
+        }
+        _ => SimNet::with_seed(config.num_machines, config.latency, config.seed),
+    };
 
     let sampler = if config.trace {
         Some(sample_timeline(&counters, Duration::from_millis(5)))
@@ -218,6 +232,8 @@ where
     let mut total_updates = 0u64;
     let mut steps = 0u64;
     let mut snapshots = 0u64;
+    let mut recoveries = 0u64;
+    let mut failure: Option<String> = None;
     let mut globals = GlobalRegistry::new();
     for (i, r) in results.into_iter().enumerate() {
         for (v, d) in r.vrows {
@@ -232,6 +248,10 @@ where
         total_updates += r.updates;
         steps = steps.max(r.steps);
         snapshots = snapshots.max(r.snapshots);
+        recoveries = recoveries.max(r.recoveries);
+        if failure.is_none() {
+            failure = r.failed;
+        }
         if i == 0 {
             globals = r.globals;
         }
@@ -248,8 +268,9 @@ where
         bytes_by_kind: stats.by_kind(),
         steps,
         snapshots,
+        recoveries,
     };
-    EngineOutput { metrics, globals, dfs }
+    EngineOutput { metrics, globals, dfs, failure }
 }
 
 fn run_machine<V, E, U>(

@@ -35,6 +35,7 @@ pub mod locking;
 pub mod messages;
 pub mod metrics;
 pub mod program;
+pub(crate) mod recovery;
 pub mod reference;
 pub mod scheduler;
 pub mod snapshot;
@@ -42,7 +43,7 @@ pub mod sync;
 pub mod update;
 
 pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
-pub use graphlab_net::BatchPolicy;
+pub use graphlab_net::{BatchPolicy, FaultPlan, FaultTrigger};
 pub use driver::{DistributedGraph, EngineKind, EngineOutput, PartitionStrategy};
 /// `Engine` is an alias for [`EngineKind`], matching the builder-chain
 /// spelling `GraphLab::on(..).engine(Engine::Locking)`.
@@ -53,7 +54,10 @@ pub use metrics::EngineMetrics;
 pub use program::{GraphLab, SyncCadence};
 pub use reference::InitialSchedule;
 pub use scheduler::{Scheduler, SchedulerKind};
-pub use snapshot::{optimal_checkpoint_interval_secs, restore_snapshot, snapshot_exists, SnapshotFile};
+pub use snapshot::{
+    latest_complete_snapshot, optimal_checkpoint_interval_secs, restore_snapshot, snapshot_exists,
+    young_interval, SnapshotFile,
+};
 pub use sync::{local_partial, Aggregate, FnSync, SyncScope};
 pub use update::{UpdateContext, UpdateEffects, UpdateFunction};
 

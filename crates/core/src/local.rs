@@ -343,6 +343,15 @@ impl<V, E> LocalGraph<V, E> {
         }
     }
 
+    /// Resets every datum version to 0 — the checkpoint-rollback ground
+    /// state. Valid only when the whole cluster resets together against
+    /// identical restored data (version 0 means "the value every machine
+    /// already holds", the same convention ingress establishes).
+    pub fn reset_versions(&mut self) {
+        self.vversion.fill(0);
+        self.eversion.fill(0);
+    }
+
     // ---- colours ----
 
     /// Colour of a local vertex (0 when no colouring was supplied).

@@ -33,12 +33,13 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering as AtomicOrdering;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use graphlab_atoms::LocalGraphInit;
 use graphlab_graph::{ConsistencyModel, LockType, MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
+use graphlab_net::fault::{DownMsg, UpMsg};
 use graphlab_net::termination::{Safra, SafraAction};
 use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
 
@@ -47,9 +48,12 @@ use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
 use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
+use crate::recovery::{
+    pick_rollback, unrecoverable_down, RecoveryPhase, RecoveryTracker, RECOVERY_DEADLINE,
+};
 use crate::reference::InitialSchedule;
 use crate::scheduler::Scheduler;
-use crate::snapshot::{snap_file_name, SnapshotFile};
+use crate::snapshot::{restore_into_local, snap_file_name, SnapshotFile};
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 /// Priority marking a schedule request as a snapshot task (Alg. 5:
@@ -275,6 +279,18 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     m_sync_outstanding: Option<SyncEpoch>,
     m_final_sync_done: bool,
 
+    // Failure recovery (§4.3; protocol in `crate::snapshot` docs).
+    rec: RecoveryTracker,
+    phase: RecoveryPhase,
+    /// Rollback order being flushed towards (FlushWait).
+    rollback: Option<RollbackMsg>,
+    /// Post-rollback traffic from machines that resumed before us
+    /// (AwaitResume) — replayed after K_RESUME, never dropped.
+    resume_buffer: Vec<Envelope>,
+    /// Entry time of the current recovery phase (stall deadline).
+    phase_since: Instant,
+    failure: Option<String>,
+
     // Misc.
     /// Scope data confirmed current by an "unchanged" marker instead of a
     /// full row (diagnostics).
@@ -337,6 +353,12 @@ where
             m_sync_next_at: setup.config.sync_interval_updates,
             m_sync_outstanding: None,
             m_final_sync_done: false,
+            rec: RecoveryTracker::new(machine.index(), m),
+            phase: RecoveryPhase::Normal,
+            rollback: None,
+            resume_buffer: Vec::new(),
+            phase_since: Instant::now(),
+            failure: None,
             rows_unchanged: 0,
             updates_local: 0,
             update_count_map: HashMap::new(),
@@ -365,12 +387,35 @@ where
         self.setup.counters.updates.load(AtomicOrdering::Relaxed)
     }
 
+    /// Single send point for all engine traffic. Recovery correctness
+    /// depends on a machine sending **no** engine message between its
+    /// drain point and the cluster-wide resume — the flush-marker barrier
+    /// is only a barrier because everything after a machine's drain is
+    /// recovery control; this assert enforces it.
+    fn send_msg(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        debug_assert!(
+            self.phase == RecoveryPhase::Normal || is_recovery_control(kind),
+            "engine message kind {kind} sent during recovery phase {:?}",
+            self.phase
+        );
+        self.net.send(dst, kind, payload);
+    }
+
+    fn broadcast_msg(&mut self, kind: u16, payload: &Bytes) {
+        for i in 0..self.num_machines() {
+            let dst = MachineId::from(i);
+            if dst != self.me() {
+                self.send_msg(dst, kind, payload.clone());
+            }
+        }
+    }
+
     fn send_counted(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
         debug_assert!(is_counted_work(kind));
         debug_assert!(dst != self.me());
         self.safra.on_message_sent(1);
         self.sent_counts[dst.index()] += 1;
-        self.net.send(dst, kind, payload);
+        self.send_msg(dst, kind, payload);
     }
 
     fn initial_schedule(&mut self) {
@@ -396,13 +441,14 @@ where
     pub(crate) fn run(mut self) -> MachineResult<V, E> {
         self.initial_schedule();
         let mut iters = 0u64;
-        while !self.halted {
+        while !self.halted && self.failure.is_none() {
             iters += 1;
             if std::env::var_os("GRAPHLAB_DEBUG").is_some() && iters.is_multiple_of(500) {
                 eprintln!(
-                    "[m{}] iter={} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={} same_rows={}",
+                    "[m{}] iter={} phase={:?} sched={} snapq={} out={} ready={} chains={} paused={} halt_pend={} updates={} same_rows={}",
                     self.me().0,
                     iters,
+                    self.phase,
                     self.scheduler.len(),
                     self.snap_queue.len(),
                     self.out_scopes.len(),
@@ -414,27 +460,40 @@ where
                     self.rows_unchanged,
                 );
             }
-            self.maybe_straggle();
-            if self.is_master() {
-                self.master_triggers();
+            if self.phase == RecoveryPhase::Normal {
+                self.maybe_straggle();
+                if self.is_master() {
+                    self.master_triggers();
+                }
+                self.pump();
+                self.execute_ready();
+                self.check_snapshot_progress();
+                self.update_idle();
+            } else {
+                self.recovery_triggers();
+                if self.halted || self.failure.is_some() {
+                    break;
+                }
             }
-            self.pump();
-            self.execute_ready();
-            self.check_snapshot_progress();
-            self.update_idle();
-            match self.net.recv_timeout(self.next_recv_deadline()) {
+            let deadline = if self.phase == RecoveryPhase::Normal {
+                self.next_recv_deadline()
+            } else {
+                IDLE_BLOCK
+            };
+            match self.net.recv_timeout(deadline) {
                 Ok(env) => {
-                    self.handle(env);
+                    self.dispatch(env);
                     // Drain the inbox without blocking to amortise the
                     // pump/execute overhead across message bursts.
                     for _ in 0..512 {
                         match self.net.try_recv() {
-                            Ok(env) => self.handle(env),
+                            Ok(env) => self.dispatch(env),
                             Err(_) => break,
                         }
                     }
                 }
                 Err(RecvError::Timeout) => {}
+                Err(RecvError::MachineDown) => self.on_self_death(),
                 Err(RecvError::Disconnected) => break,
             }
         }
@@ -442,6 +501,63 @@ where
         // batch queues; the master is blocked waiting for them.
         self.net.flush_all();
         self.finish()
+    }
+
+    /// Routes one envelope: the recovery/fabric control plane is handled
+    /// in every phase; engine traffic is handled (Normal), counted and
+    /// discarded (Drain/FlushWait — it predates the rollback), buffered
+    /// (AwaitResume — it is post-rollback work from early resumers), or
+    /// ignored (Dead).
+    fn dispatch(&mut self, env: Envelope) {
+        match env.kind {
+            graphlab_net::K_DOWN => {
+                let d: DownMsg = dec(env.payload);
+                self.on_peer_down(d);
+            }
+            graphlab_net::K_UP => {
+                let u: UpMsg = dec(env.payload);
+                self.on_self_up(u);
+            }
+            K_RECOVER_READY => {
+                let msg: RecoverReadyMsg = dec(env.payload);
+                if self.is_master() {
+                    self.rec.note_ready(env.src.index(), msg.era);
+                }
+            }
+            K_ROLLBACK => {
+                let msg: RollbackMsg = dec(env.payload);
+                self.on_rollback(msg);
+            }
+            K_RECOVERED => {
+                let msg: RecoverEraMsg = dec(env.payload);
+                if self.is_master() && self.rec.note_recovered(msg.era) {
+                    self.master_release_resume();
+                }
+            }
+            K_RESUME => {
+                let msg: RecoverEraMsg = dec(env.payload);
+                self.on_resume(msg);
+            }
+            K_FLUSH_MARK => {
+                let msg: RecoverEraMsg = dec(env.payload);
+                self.rec.note_mark(env.src.index(), msg.era);
+            }
+            K_RECOVER_ABORT => {
+                let msg: RecoverAbortMsg = dec(env.payload);
+                self.failure = Some(msg.reason);
+            }
+            _ => match self.phase {
+                RecoveryPhase::Normal => self.handle(env),
+                // Pre-rollback traffic (it precedes its sender's flush
+                // marker): discard — the rollback wipes whatever it would
+                // have changed.
+                RecoveryPhase::Drain | RecoveryPhase::FlushWait => {}
+                // Post-rollback work from machines that resumed before
+                // us: replay after K_RESUME, never drop.
+                RecoveryPhase::AwaitResume => self.resume_buffer.push(env),
+                RecoveryPhase::Dead => {}
+            },
+        }
     }
 
     /// How long the machine loop may block in `recv_timeout`.
@@ -1040,7 +1156,7 @@ where
             K_HALT => {
                 tr!("[m{}] HALT sched_len={} out={} ready={}", self.me().0,
                     self.scheduler.len(), self.out_scopes.len(), self.ready.len());
-                self.net.send(MachineId(0), K_HALT_ACK, Bytes::new());
+                self.send_msg(MachineId(0), K_HALT_ACK, Bytes::new());
                 self.halted = true;
             }
             K_HALT_ACK => {
@@ -1071,7 +1187,7 @@ where
                     .iter()
                     .map(|op| (op.id(), op.local_partial(&self.lg)))
                     .collect();
-                self.net.send(
+                self.send_msg(
                     MachineId(0),
                     K_LSYNC_PART,
                     enc(&LockSyncPartialMsg { epoch, partials }),
@@ -1117,7 +1233,7 @@ where
         match action {
             SafraAction::None => {}
             SafraAction::SendToken { to, token } => {
-                self.net.send(to, K_TOKEN, enc(&TokenMsg(token)));
+                self.send_msg(to, K_TOKEN, enc(&TokenMsg(token)));
             }
             SafraAction::Terminated => {
                 debug_assert!(self.is_master());
@@ -1173,12 +1289,12 @@ where
             match snap_cfg.mode {
                 SnapshotMode::Synchronous => {
                     let payload = enc(&id);
-                    self.net.broadcast(K_SNAP_SYNC_START, &payload);
+                    self.broadcast_msg(K_SNAP_SYNC_START, &payload);
                     self.begin_sync_snapshot();
                 }
                 SnapshotMode::Asynchronous => {
                     let payload = enc(&(id + 1));
-                    self.net.broadcast(K_SNAP_ASYNC_START, &payload);
+                    self.broadcast_msg(K_SNAP_ASYNC_START, &payload);
                     self.begin_async_snapshot((id + 1) as u32);
                 }
                 SnapshotMode::None => unreachable!(),
@@ -1202,7 +1318,7 @@ where
             } else {
                 self.m_halt_sent = true;
                 self.m_halt_acks = 1; // self
-                self.net.broadcast(K_HALT, &Bytes::new());
+                self.broadcast_msg(K_HALT, &Bytes::new());
             }
         }
         if self.m_halt_sent && self.m_halt_acks >= self.num_machines() {
@@ -1214,7 +1330,7 @@ where
         self.m_sync_epoch += 1;
         let epoch = if fin { u64::MAX } else { self.m_sync_epoch };
         let payload = enc(&epoch);
-        self.net.broadcast(K_LSYNC_REQ, &payload);
+        self.broadcast_msg(K_LSYNC_REQ, &payload);
         let mut accs: Vec<Box<dyn std::any::Any + Send>> =
             self.setup.syncs.iter().map(|op| op.init_acc()).collect();
         for (i, op) in self.setup.syncs.iter().enumerate() {
@@ -1255,7 +1371,7 @@ where
         }
         let msg = SyncGlobalsMsg { cycle: epoch, globals: rows, halt: false, snapshot: None };
         let payload = enc(&msg);
-        self.net.broadcast(K_LSYNC_GLOB, &payload);
+        self.broadcast_msg(K_LSYNC_GLOB, &payload);
         if epoch == u64::MAX {
             self.m_final_sync_done = true;
         }
@@ -1307,7 +1423,7 @@ where
         if self.is_master() {
             self.m_async_done += 1;
         } else {
-            self.net.send(MachineId(0), K_SNAP_ASYNC_MDONE, Bytes::new());
+            self.send_msg(MachineId(0), K_SNAP_ASYNC_MDONE, Bytes::new());
         }
     }
 
@@ -1326,7 +1442,7 @@ where
             if self.is_master() {
                 self.master_collect_snap_ready(MachineId(0), msg);
             } else {
-                self.net.send(MachineId(0), K_SNAP_SYNC_READY, enc(&msg));
+                self.send_msg(MachineId(0), K_SNAP_SYNC_READY, enc(&msg));
             }
         }
         if self.snap_paused && !self.snap_written {
@@ -1345,7 +1461,7 @@ where
                         self.m_snap_done += 1;
                         self.master_check_snap_done();
                     } else {
-                        self.net.send(MachineId(0), K_SNAP_DONE, Bytes::new());
+                        self.send_msg(MachineId(0), K_SNAP_DONE, Bytes::new());
                     }
                 }
             }
@@ -1379,7 +1495,7 @@ where
                 if i == self.me().index() {
                     self.snap_flush_target = Some(msg.expect_from);
                 } else {
-                    self.net.send(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
+                    self.send_msg(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
                 }
             }
             self.m_snap_ready = vec![None; m];
@@ -1393,7 +1509,7 @@ where
         {
             self.m_snap_in_progress = false;
             self.m_snap_done = 0;
-            self.net.broadcast(K_SNAP_RESUME, &Bytes::new());
+            self.broadcast_msg(K_SNAP_RESUME, &Bytes::new());
             self.snap_paused = false;
             self.snap_ready_sent = false;
             self.snap_flush_target = None;
@@ -1401,6 +1517,263 @@ where
             // The master resumes inline (it never receives its own
             // broadcast): same conservative invalidation as K_SNAP_RESUME.
             self.cache.invalidate_all();
+        }
+    }
+
+    // ---- failure recovery (§4.3; protocol in crate::snapshot docs) ----
+
+    /// Fabric notification: a peer died. Enter (or restart, on a newer
+    /// era) the drain phase. A notification about *ourselves* is the
+    /// fabric's wakeup for a victim that was blocked in `recv` when the
+    /// kill fired — equivalent to observing `MachineDown`.
+    fn on_peer_down(&mut self, d: DownMsg) {
+        if self.phase == RecoveryPhase::Dead {
+            return;
+        }
+        if d.machine == self.me().0 {
+            self.on_self_death();
+            return;
+        }
+        if !d.restart {
+            self.failure = Some(unrecoverable_down(&d));
+            return;
+        }
+        tr!("[m{}] PEER_DOWN m{} era={}", self.me().0, d.machine, d.era);
+        if self.rec.observe_era(d.era) {
+            self.enter_drain();
+        }
+    }
+
+    /// Fabric notification on the reborn machine itself: rejoin the
+    /// recovery round for the current era with empty state.
+    fn on_self_up(&mut self, u: UpMsg) {
+        debug_assert_eq!(u.machine, self.me().0, "K_UP is delivered to the reborn machine only");
+        tr!("[m{}] SELF_UP era={}", self.me().0, u.era);
+        if self.phase != RecoveryPhase::Dead {
+            // The dead window passed without this thread ever observing
+            // MachineDown (it was busy on its pre-crash inbox backlog):
+            // complete the crash now, before rejoining.
+            self.wipe_volatile();
+        }
+        self.rec.observe_era(u.era);
+        self.phase = RecoveryPhase::Drain;
+        self.enter_drain();
+    }
+
+    /// This machine was killed: discard all volatile state and wait for
+    /// the fabric restart (the engine equivalent of a process replacement
+    /// that will reload from the checkpoint).
+    fn on_self_death(&mut self) {
+        if self.phase == RecoveryPhase::Dead {
+            return; // still dead; keep polling for rebirth
+        }
+        if self.net.self_death() == Some(false) {
+            self.failure =
+                Some(format!("machine {} killed with no restart scheduled", self.me().0));
+            return;
+        }
+        tr!("[m{}] SELF_DEATH", self.me().0);
+        self.wipe_volatile();
+        self.phase = RecoveryPhase::Dead;
+        self.phase_since = Instant::now();
+    }
+
+    /// Crash semantics: every piece of volatile engine state is gone.
+    /// Graph data is restored (and work re-seeded) by the rollback that
+    /// must follow.
+    fn wipe_volatile(&mut self) {
+        self.net.clear();
+        self.reset_engine_state();
+        self.rec = RecoveryTracker::new(self.me().index(), self.num_machines());
+        self.rollback = None;
+        self.resume_buffer.clear();
+    }
+
+    /// Stops engine work and reports the drain point to the master.
+    fn enter_drain(&mut self) {
+        self.phase = RecoveryPhase::Drain;
+        self.phase_since = Instant::now();
+        self.rollback = None;
+        self.resume_buffer.clear();
+        // Abort in-progress coordination; recovery rebuilds it.
+        self.m_sync_outstanding = None;
+        self.m_snap_in_progress = false;
+        // Engine sends still sitting in batch queues precede the drain
+        // point and must go out ahead of the (future) flush marker on
+        // each channel: flush, do not clear.
+        self.net.flush_all();
+        let era = self.rec.era;
+        tr!("[m{}] DRAIN era={}", self.me().0, era);
+        if self.is_master() {
+            self.rec.note_ready(0, era);
+        } else {
+            self.send_msg(MachineId(0), K_RECOVER_READY, enc(&RecoverReadyMsg { era }));
+            self.net.flush_all();
+        }
+    }
+
+    /// Per-iteration recovery progress: stall deadline, flush-target
+    /// completion, and the master's READY-collection trigger.
+    fn recovery_triggers(&mut self) {
+        if self.phase_since.elapsed() > RECOVERY_DEADLINE {
+            self.failure = Some(format!(
+                "recovery stalled in {:?} at fault era {} (machine {})",
+                self.phase,
+                self.rec.era,
+                self.me().0
+            ));
+            return;
+        }
+        if self.phase == RecoveryPhase::FlushWait
+            && self.rollback.is_some()
+            && self.rec.marks_complete()
+        {
+            self.do_rollback();
+        }
+        if self.is_master() && self.phase == RecoveryPhase::Drain && self.rec.all_ready() {
+            self.master_order_rollback();
+        }
+    }
+
+    /// Master, all READYs in: prune torn checkpoints, pick the newest
+    /// complete one, and order the cluster-wide rollback — or abort the
+    /// run cleanly when there is nothing to roll back to.
+    fn master_order_rollback(&mut self) {
+        let n = self.num_machines();
+        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, n, self.rec.era) {
+            Ok(msg) => {
+                tr!("[m{}] ROLLBACK_ORDER snap={} era={}", self.me().0, msg.snap, msg.era);
+                let payload = enc(&msg);
+                self.broadcast_msg(K_ROLLBACK, &payload);
+                self.net.flush_all();
+                self.on_rollback(msg);
+            }
+            Err(abort) => {
+                let payload = enc(&abort);
+                self.broadcast_msg(K_RECOVER_ABORT, &payload);
+                self.net.flush_all();
+                self.failure = Some(abort.reason);
+            }
+        }
+    }
+
+    /// Rollback order received: broadcast this era's flush marker, then
+    /// drain inbound channels until every peer's marker arrived.
+    fn on_rollback(&mut self, msg: RollbackMsg) {
+        if msg.era < self.rec.era {
+            return; // superseded round
+        }
+        // A reborn machine may have missed intermediate K_DOWNs; the
+        // rollback's era is authoritative.
+        self.rec.observe_era(msg.era);
+        let payload = enc(&RecoverEraMsg { era: msg.era });
+        self.broadcast_msg(K_FLUSH_MARK, &payload);
+        self.net.flush_all();
+        self.rollback = Some(msg);
+        self.phase = RecoveryPhase::FlushWait;
+        self.phase_since = Instant::now();
+        // Markers may already all be here (recovery_triggers rechecks
+        // after every received batch).
+        self.recovery_triggers();
+    }
+
+    /// Channels flushed: restore the checkpoint, rebuild all volatile
+    /// state, and wait at the resume barrier.
+    fn do_rollback(&mut self) {
+        let msg = self.rollback.take().expect("rollback order");
+        if let Err(e) =
+            restore_into_local(&self.setup.dfs, &self.setup.snap_prefix, msg.snap, &mut self.lg)
+        {
+            self.failure = Some(format!("checkpoint {} unreadable during rollback: {e}", msg.snap));
+            return;
+        }
+        self.reset_engine_state();
+        // The restored checkpoint keeps its id; new snapshots continue
+        // after it (pruning already removed anything newer).
+        self.snapshots_written = msg.snap + 1;
+        // Conservative re-seeding: checkpoints do not capture scheduler
+        // state, so every owned vertex re-runs (self-stabilising update
+        // functions reconverge; cf. §4.3 recovery semantics).
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            self.scheduler.add(l, 1.0);
+        }
+        self.rec.after_rollback();
+        self.phase = RecoveryPhase::AwaitResume;
+        self.phase_since = Instant::now();
+        let era = self.rec.era;
+        tr!("[m{}] ROLLED_BACK snap={} era={}", self.me().0, msg.snap, era);
+        if self.is_master() {
+            if self.rec.note_recovered(era) {
+                self.master_release_resume();
+            }
+        } else {
+            self.send_msg(MachineId(0), K_RECOVERED, enc(&RecoverEraMsg { era }));
+            self.net.flush_all();
+        }
+    }
+
+    /// Resets every piece of volatile engine state (shared by crash wipe
+    /// and rollback). Does not touch graph data, metrics, or the recovery
+    /// tracker.
+    fn reset_engine_state(&mut self) {
+        let n = self.num_machines();
+        let nv = self.lg.num_local_vertices();
+        self.scheduler = Scheduler::new(self.setup.config.scheduler, nv);
+        self.locks = LockTable::new(nv);
+        self.cache.invalidate_all();
+        self.hop_chains.clear();
+        self.out_scopes.clear();
+        self.ready.clear();
+        // The crash may have taken the ring's only token with it; the
+        // cluster-wide reset re-probes from scratch (see
+        // `graphlab_net::termination` § Faults).
+        self.safra.reset();
+        self.cap_reached = false;
+        self.sent_counts = vec![0; n];
+        self.recv_counts = vec![0; n];
+        self.snap_epoch.fill(0);
+        self.current_snap = 0;
+        self.snap_queue.clear();
+        self.snap_buffer = SnapshotFile::default();
+        self.snap_remaining = 0;
+        self.snap_paused = false;
+        self.snap_ready_sent = false;
+        self.snap_flush_target = None;
+        self.snap_written = false;
+        self.m_snap_in_progress = false;
+        self.m_snap_ready = vec![None; n];
+        self.m_snap_done = 0;
+        self.m_async_done = 0;
+        self.m_last_snap_updates = self.global_updates();
+        self.m_halt_pending = false;
+        self.m_halt_sent = false;
+        self.m_halt_acks = 0;
+        self.m_sync_outstanding = None;
+        self.m_sync_next_at = self.global_updates() + self.setup.config.sync_interval_updates;
+        self.m_final_sync_done = false;
+        self.effects.clear();
+    }
+
+    /// Master: the whole cluster rolled back — release the resume barrier.
+    fn master_release_resume(&mut self) {
+        let era = self.rec.era;
+        let payload = enc(&RecoverEraMsg { era });
+        self.broadcast_msg(K_RESUME, &payload);
+        self.net.flush_all();
+        self.on_resume(RecoverEraMsg { era });
+    }
+
+    /// Resume barrier released: replay buffered post-rollback traffic and
+    /// return to normal operation.
+    fn on_resume(&mut self, msg: RecoverEraMsg) {
+        if msg.era != self.rec.era || self.phase != RecoveryPhase::AwaitResume {
+            return;
+        }
+        tr!("[m{}] RESUME era={} buffered={}", self.me().0, msg.era, self.resume_buffer.len());
+        self.phase = RecoveryPhase::Normal;
+        for env in std::mem::take(&mut self.resume_buffer) {
+            self.handle(env);
         }
     }
 
@@ -1419,8 +1792,20 @@ where
         let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let snapshots = self.snapshots_written;
+        let recoveries = self.rec.recoveries;
+        let failed = self.failure.take();
         let (vrows, erows) = self.lg.into_owned_data();
-        MachineResult { vrows, erows, globals, updates, update_counts, steps: 0, snapshots }
+        MachineResult {
+            vrows,
+            erows,
+            globals,
+            updates,
+            update_counts,
+            steps: 0,
+            snapshots,
+            recoveries,
+            failed,
+        }
     }
 }
 

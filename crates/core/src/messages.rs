@@ -91,10 +91,42 @@ pub const K_SNAP_ASYNC_MDONE: u16 = 35;
 /// Locking: background sync request (master → all); payload is the epoch.
 pub const K_LSYNC_REQ: u16 = 37;
 
+/// Recovery (both engines, `40..=45`): machine has stopped sending engine
+/// traffic for the current fault era (machine → master).
+pub const K_RECOVER_READY: u16 = 40;
+/// Recovery: roll back to checkpoint `snap` after the marker flush
+/// (master → all).
+pub const K_ROLLBACK: u16 = 41;
+/// Recovery: rollback applied, ready to resume (machine → master).
+pub const K_RECOVERED: u16 = 42;
+/// Recovery: all machines rolled back — resume computation (master → all).
+pub const K_RESUME: u16 = 43;
+/// Recovery: unrecoverable — fail the run with the attached reason
+/// (master → all).
+pub const K_RECOVER_ABORT: u16 = 44;
+/// Recovery: channel flush marker (all → all, sent on receiving the
+/// rollback order). Per-channel FIFO makes it a barrier: once a machine
+/// holds the current era's marker from every peer, no pre-rollback
+/// message can ever surface on any channel.
+pub const K_FLUSH_MARK: u16 = 45;
+
 /// Returns whether a message kind carries engine *work* and therefore
 /// participates in termination detection counters (Safra).
 pub fn is_counted_work(kind: u16) -> bool {
     matches!(kind, K_LOCK_REQ | K_SCOPE_DATA | K_RELEASE | K_LOCK_SCHED)
+}
+
+/// Returns whether a kind belongs to the recovery/fabric control plane —
+/// the only traffic a machine emits between its drain point and the
+/// cluster-wide resume, which is what makes the [`K_FLUSH_MARK`] barrier
+/// exact: everything a peer sent before its marker is engine traffic from
+/// before its drain.
+pub fn is_recovery_control(kind: u16) -> bool {
+    matches!(
+        kind,
+        K_RECOVER_READY | K_ROLLBACK | K_RECOVERED | K_RESUME | K_RECOVER_ABORT | K_FLUSH_MARK
+    ) || kind == graphlab_net::K_DOWN
+        || kind == graphlab_net::K_UP
 }
 
 /// Human-readable name of a message kind, for traffic tables
@@ -129,8 +161,16 @@ pub fn kind_name(kind: u16) -> &'static str {
         K_SNAP_RESUME => "snap/resume",
         K_SNAP_ASYNC_START => "snap/async-start",
         K_SNAP_ASYNC_MDONE => "snap/async-mdone",
+        K_RECOVER_READY => "recover/ready",
+        K_ROLLBACK => "recover/rollback",
+        K_RECOVERED => "recover/recovered",
+        K_RESUME => "recover/resume",
+        K_RECOVER_ABORT => "recover/abort",
+        K_FLUSH_MARK => "recover/flush-mark",
         graphlab_net::K_BATCH => "net/batch",
         graphlab_net::K_ZIP => "net/zip",
+        graphlab_net::K_DOWN => "fault/down",
+        graphlab_net::K_UP => "fault/up",
         _ => "unknown",
     }
 }
@@ -615,6 +655,87 @@ impl Codec for SnapFlushMsg {
     }
 }
 
+// ---- recovery (both engines) ----
+
+/// Drain acknowledgement: "I have stopped sending engine traffic for
+/// fault era `era`" (machine → master; a reborn machine sends it as soon
+/// as its fabric `K_UP` arrives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverReadyMsg {
+    /// Fabric fault era this drain belongs to.
+    pub era: u32,
+}
+
+impl Codec for RecoverReadyMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(RecoverReadyMsg { era: u32::decode(buf)? })
+    }
+}
+
+/// Master's rollback order: broadcast the era's [`K_FLUSH_MARK`] to every
+/// peer, drain inbound channels until every peer's marker arrived, then
+/// restore checkpoint `snap` and reset all volatile engine state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RollbackMsg {
+    /// Fault era the rollback resolves.
+    pub era: u32,
+    /// Checkpoint to restore (the latest complete one).
+    pub snap: u64,
+}
+
+impl Codec for RollbackMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+        self.snap.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(RollbackMsg { era: u32::decode(buf)?, snap: u64::decode(buf)? })
+    }
+}
+
+/// Rollback-applied acknowledgement (machine → master); the payload is the
+/// fault era. Also used, era-tagged, for the final `K_RESUME` barrier
+/// release (master → all), so late resumers never miss work sent by early
+/// ones — pre-resume arrivals are buffered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoverEraMsg {
+    /// Fault era being acknowledged/released.
+    pub era: u32,
+}
+
+impl Codec for RecoverEraMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(RecoverEraMsg { era: u32::decode(buf)? })
+    }
+}
+
+/// Unrecoverable-failure broadcast: the run fails cleanly with `reason`
+/// (e.g. *"no complete checkpoint"*) instead of hanging or panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverAbortMsg {
+    /// Fault era the abort resolves.
+    pub era: u32,
+    /// Human-readable failure reason, surfaced through
+    /// [`crate::EngineOutput::failure`].
+    pub reason: String,
+}
+
+impl Codec for RecoverAbortMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+        self.reason.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(RecoverAbortMsg { era: u32::decode(buf)?, reason: String::decode(buf)? })
+    }
+}
+
 /// Wraps a Safra token for the wire.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TokenMsg(pub Token);
@@ -692,6 +813,30 @@ mod tests {
         rt(SnapReadyMsg { snap: 1, sent_to: vec![10, 0, 5] });
         rt(SnapFlushMsg { snap: 1, expect_from: vec![2, 2, 2] });
         rt(TokenMsg(Token { count: -2, black: false, round: 4 }));
+    }
+
+    #[test]
+    fn recovery_msgs_roundtrip() {
+        rt(RecoverReadyMsg { era: 2 });
+        rt(RollbackMsg { era: 2, snap: 1 });
+        rt(RecoverEraMsg { era: 3 });
+        rt(RecoverAbortMsg { era: 1, reason: "no complete checkpoint".into() });
+    }
+
+    #[test]
+    fn recovery_control_classification() {
+        for k in
+            [K_RECOVER_READY, K_ROLLBACK, K_RECOVERED, K_RESUME, K_RECOVER_ABORT, K_FLUSH_MARK]
+        {
+            assert!(is_recovery_control(k));
+            assert!(!is_counted_work(k));
+            assert_ne!(kind_name(k), "unknown");
+        }
+        assert!(is_recovery_control(graphlab_net::K_DOWN));
+        assert!(is_recovery_control(graphlab_net::K_UP));
+        assert!(!is_recovery_control(K_LOCK_REQ));
+        assert!(!is_recovery_control(K_TOKEN));
+        assert!(!is_recovery_control(K_CHROM_VDATA));
     }
 
     #[test]

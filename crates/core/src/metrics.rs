@@ -71,6 +71,10 @@ pub struct EngineMetrics {
     pub steps: u64,
     /// Snapshots completed during the run.
     pub snapshots: u64,
+    /// Checkpoint rollbacks completed after injected machine failures
+    /// (§4.3 recovery). Updates executed before a rollback re-execute, so
+    /// `updates` includes the recomputation cost a failure causes.
+    pub recoveries: u64,
 }
 
 impl EngineMetrics {

@@ -38,7 +38,7 @@ use graphlab_graph::{
     DataGraph,
 };
 use graphlab_net::codec::Codec;
-use graphlab_net::LatencyModel;
+use graphlab_net::{FaultPlan, LatencyModel};
 
 use crate::config::{EngineConfig, SnapshotConfig};
 use crate::driver::{run_distributed, EngineKind, EngineOutput, PartitionStrategy, StopFn};
@@ -179,6 +179,19 @@ where
         self
     }
 
+    /// Deterministic fault injection (§4.3 failure model): the fabric
+    /// kills/restarts machines per `plan` and the engines roll the cluster
+    /// back to the latest complete checkpoint (see
+    /// [`crate::snapshot`] for the recovery protocol). Requires a
+    /// distributed engine; machine 0 (the coordination master) must not be
+    /// a kill target. Pair with [`GraphLab::snapshot`] — without a
+    /// completed checkpoint a kill fails the run with a clean
+    /// "no complete checkpoint" error ([`GraphLab::try_run`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.config.faults = Some(plan);
+        self
+    }
+
     /// Collect per-vertex update counts and the updates-vs-time series.
     pub fn trace(mut self, on: bool) -> Self {
         self.config.trace = on;
@@ -246,10 +259,38 @@ where
     /// Executes the program, mutating the graph's data in place.
     ///
     /// # Panics
-    /// On an invalid configuration: a supplied colouring that violates the
+    /// On an invalid configuration (a supplied colouring that violates the
     /// consistency model's order, a `stop_when` without syncs to drive it,
-    /// or fewer atoms than machines.
+    /// fewer atoms than machines), or when an injected fault proves
+    /// unrecoverable — use [`GraphLab::try_run`] when a clean failure is an
+    /// expected outcome.
     pub fn run<U>(self, update: U) -> EngineOutput
+    where
+        U: UpdateFunction<V, E>,
+    {
+        let out = self.run_inner(update);
+        if let Some(reason) = &out.failure {
+            panic!("engine run failed: {reason}");
+        }
+        out
+    }
+
+    /// As [`GraphLab::run`], but an unrecoverable injected fault (e.g. a
+    /// kill with no complete checkpoint to roll back to) returns
+    /// `Err(reason)` instead of panicking. The graph's data is then
+    /// whatever partial state the machines held — treat it as garbage.
+    pub fn try_run<U>(self, update: U) -> Result<EngineOutput, String>
+    where
+        U: UpdateFunction<V, E>,
+    {
+        let out = self.run_inner(update);
+        match &out.failure {
+            Some(reason) => Err(reason.clone()),
+            None => Ok(out),
+        }
+    }
+
+    fn run_inner<U>(self, update: U) -> EngineOutput
     where
         U: UpdateFunction<V, E>,
     {
@@ -283,6 +324,21 @@ where
             } else {
                 config.sync_interval_updates.min(n)
             };
+        }
+
+        if let Some(plan) = &config.faults {
+            if !plan.is_empty() {
+                assert!(
+                    engine != EngineKind::Sequential,
+                    "fault injection requires a distributed engine"
+                );
+                plan.validate(config.num_machines);
+                assert!(
+                    plan.kills.iter().all(|k| k.machine != 0),
+                    "machine 0 is the recovery master and must not be a kill target \
+                     (kill machines 1..)"
+                );
+            }
         }
 
         if stop.is_some() {

@@ -1,0 +1,226 @@
+//! Shared bookkeeping for the engines' checkpoint-rollback recovery
+//! protocol (§4.3; see the [`crate::snapshot`] module docs for the full
+//! protocol walkthrough).
+//!
+//! Both engines drive the same master-coordinated state machine, keyed on
+//! the fabric **fault era** (total kills so far, carried by every
+//! `K_DOWN`/`K_UP` notification):
+//!
+//! ```text
+//! normal --K_DOWN--> drain --K_ROLLBACK--> marker flush --all marks-->
+//!   restore+reset --K_RECOVERED--> await-resume --K_RESUME--> normal
+//! ```
+//!
+//! The **marker flush** is what makes the rollback cut exact without any
+//! global counters: a machine stops sending engine traffic when it enters
+//! the drain (only recovery control flows after), and broadcasts the
+//! era's `K_FLUSH_MARK` when the rollback order arrives. Per-channel FIFO
+//! then guarantees that once a machine holds the current era's marker
+//! from every peer, every pre-drain engine message has already been
+//! delivered (and discarded) — nothing stale can surface after the
+//! restore. Channels touching the dead machine need no flushing at all:
+//! the fabric drops in-flight traffic of dead incarnations, and the
+//! reborn machine starts from an empty inbox.
+//!
+//! The tracker owns the era arithmetic (overlapping failures supersede a
+//! round safely) and the master's READY/RECOVERED collection. All
+//! engine-specific state teardown (schedulers, lock tables, colour
+//! queues) stays in the engines.
+
+use std::time::Duration;
+
+use graphlab_atoms::SimDfs;
+use graphlab_net::fault::DownMsg;
+
+use crate::messages::{RecoverAbortMsg, RollbackMsg};
+use crate::snapshot::{latest_complete_snapshot, prune_snapshots_after};
+
+/// A recovery round that makes no progress for this long fails the run
+/// with a clean error instead of hanging (the chaos suite's "never hangs"
+/// guarantee; generous against CI scheduling noise).
+pub(crate) const RECOVERY_DEADLINE: Duration = Duration::from_secs(60);
+
+/// The clean failure reason for a permanent (restart-less) kill — shared
+/// so every detection site (either engine, survivor or victim) reports
+/// the same thing.
+pub(crate) fn unrecoverable_down(d: &DownMsg) -> String {
+    format!(
+        "machine {} lost at fault era {} with no restart scheduled — its owned partition \
+         cannot be recovered",
+        d.machine, d.era
+    )
+}
+
+/// Master, all READYs in: prunes torn checkpoints and picks the rollback
+/// target. `Ok` is the order to broadcast; `Err` is the abort to
+/// broadcast (no complete checkpoint — nothing to roll back to). Shared
+/// by both engines so the selection policy and the failure wording cannot
+/// diverge.
+pub(crate) fn pick_rollback(
+    dfs: &SimDfs,
+    prefix: &str,
+    machines: usize,
+    era: u32,
+) -> Result<RollbackMsg, RecoverAbortMsg> {
+    let latest = latest_complete_snapshot(dfs, prefix, machines);
+    prune_snapshots_after(dfs, prefix, latest);
+    match latest {
+        Some(snap) => Ok(RollbackMsg { era, snap }),
+        None => Err(RecoverAbortMsg {
+            era,
+            reason: format!(
+                "machine failure at fault era {era} with no complete checkpoint to roll back \
+                 to — configure snapshots (SnapshotConfig) to make runs recoverable"
+            ),
+        }),
+    }
+}
+
+/// Where a machine stands in the recovery protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RecoveryPhase {
+    /// No recovery in progress.
+    Normal,
+    /// This machine is dead (fault plan); waiting for the fabric restart.
+    Dead,
+    /// Drained and READY sent; waiting for the master's rollback order.
+    Drain,
+    /// Rollback received and own marker broadcast; discarding stale
+    /// traffic until every peer's flush marker arrived.
+    FlushWait,
+    /// Rolled back; waiting for the cluster-wide resume barrier.
+    AwaitResume,
+}
+
+/// Per-machine recovery bookkeeping shared by both distributed engines.
+#[derive(Debug)]
+pub(crate) struct RecoveryTracker {
+    me: usize,
+    n: usize,
+    /// Latest fabric fault era seen (0 = no fault yet).
+    pub era: u32,
+    /// Completed rollbacks on this machine.
+    pub recoveries: u64,
+    /// Master: machines whose READY arrived for the current era.
+    ready: Vec<bool>,
+    /// Peers whose flush marker arrived for the current era.
+    marks: Vec<bool>,
+    /// Master: K_RECOVERED acknowledgements for the current era.
+    recovered: usize,
+}
+
+impl RecoveryTracker {
+    pub(crate) fn new(me: usize, n: usize) -> Self {
+        RecoveryTracker {
+            me,
+            n,
+            era: 0,
+            recoveries: 0,
+            ready: vec![false; n],
+            marks: vec![false; n],
+            recovered: 0,
+        }
+    }
+
+    /// Observes a fault era (from `K_DOWN`, `K_UP`, or — on a reborn
+    /// machine — the rollback order itself). Returns `true` when the era
+    /// advanced: the caller must (re-)enter the drain phase and send a
+    /// fresh READY; all collection state restarts.
+    pub(crate) fn observe_era(&mut self, era: u32) -> bool {
+        if era <= self.era {
+            return false;
+        }
+        self.era = era;
+        self.ready.fill(false);
+        self.marks.fill(false);
+        self.recovered = 0;
+        true
+    }
+
+    /// Master: records machine `src`'s READY for `era` (stale ignored).
+    pub(crate) fn note_ready(&mut self, src: usize, era: u32) {
+        if era == self.era {
+            self.ready[src] = true;
+        }
+    }
+
+    /// Master: whether every machine (reborn included) reported READY for
+    /// the current era.
+    pub(crate) fn all_ready(&self) -> bool {
+        self.ready.iter().all(|&r| r)
+    }
+
+    /// Records peer `src`'s flush marker for `era` (stale ignored).
+    pub(crate) fn note_mark(&mut self, src: usize, era: u32) {
+        if era == self.era {
+            self.marks[src] = true;
+        }
+    }
+
+    /// Whether the current era's marker arrived from every peer — the
+    /// FIFO barrier after which no pre-drain engine message can surface.
+    pub(crate) fn marks_complete(&self) -> bool {
+        (0..self.n).all(|j| j == self.me || self.marks[j])
+    }
+
+    /// Called when this machine's rollback is applied.
+    pub(crate) fn after_rollback(&mut self) {
+        self.recoveries += 1;
+    }
+
+    /// Master: counts a K_RECOVERED for `era`; returns whether the whole
+    /// cluster has rolled back and the resume barrier can release.
+    pub(crate) fn note_recovered(&mut self, era: u32) -> bool {
+        if era == self.era {
+            self.recovered += 1;
+        }
+        self.recovered >= self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn era_advance_resets_collection() {
+        let mut t = RecoveryTracker::new(0, 3);
+        assert!(t.observe_era(1));
+        t.note_ready(0, 1);
+        t.note_ready(1, 1);
+        t.note_ready(2, 1);
+        assert!(t.all_ready());
+        t.note_mark(1, 1);
+        t.note_mark(2, 1);
+        assert!(t.marks_complete());
+        // A second failure restarts the round.
+        assert!(t.observe_era(2));
+        assert!(!t.all_ready());
+        assert!(!t.marks_complete());
+        assert!(!t.observe_era(2), "same era observed twice is a no-op");
+        assert!(!t.observe_era(1), "stale era ignored");
+    }
+
+    #[test]
+    fn stale_control_is_ignored() {
+        let mut t = RecoveryTracker::new(1, 2);
+        t.observe_era(3);
+        t.note_ready(0, 2); // stale era
+        assert!(!t.all_ready());
+        t.note_mark(0, 2); // stale era
+        assert!(!t.marks_complete());
+        t.note_mark(0, 3);
+        assert!(t.marks_complete(), "own channel needs no marker");
+    }
+
+    #[test]
+    fn resume_barrier_counts_current_era_only() {
+        let mut t = RecoveryTracker::new(0, 2);
+        t.observe_era(1);
+        assert!(!t.note_recovered(1));
+        assert!(!t.note_recovered(0), "stale era not counted");
+        assert!(t.note_recovered(1));
+        t.after_rollback();
+        assert_eq!(t.recoveries, 1);
+    }
+}

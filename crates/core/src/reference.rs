@@ -133,9 +133,11 @@ where
             bytes_by_kind: Vec::new(),
             steps: 0,
             snapshots: 0,
+            recoveries: 0,
         },
         globals,
         dfs: Arc::new(SimDfs::new()),
+        failure: None,
     }
 }
 

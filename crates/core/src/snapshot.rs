@@ -13,9 +13,58 @@
 //!   the `snapshotted` marker propagates with the ordinary versioned scope
 //!   data synchronisation.
 //!
-//! This module holds what both share: the checkpoint file format on the
-//! DFS, restoration, and Young's first-order optimal checkpoint interval
-//! (Eq. 3).
+//! # Failure model and recovery protocol
+//!
+//! The failure model is **crash-restart of any non-master machine**,
+//! injected deterministically by the fabric's
+//! [`graphlab_net::fault::FaultPlan`]: a killed machine loses all volatile
+//! state (local graph data, scheduler, locks, caches, in-flight traffic),
+//! the fabric drops everything on the wire to or from it, and every
+//! survivor is notified with a fabric `K_DOWN` envelope. The checkpoint
+//! files on the DFS are the only durable state (§4.3: "the failed machine
+//! is restored from the last checkpoint").
+//!
+//! Recovery is a master-coordinated cluster rollback, keyed on the fabric
+//! *fault era* (total kills so far):
+//!
+//! 1. **Drain.** On `K_DOWN` every survivor abandons its in-progress work
+//!    (epochs, snapshots, lock chains), stops sending engine traffic, and
+//!    reports `READY{era}` to the master. A reborn machine reports as
+//!    soon as its fabric `K_UP` (which carries the current era) arrives.
+//! 2. **Rollback.** With all `n` READYs of the current era, the master
+//!    prunes incomplete snapshots from the DFS, picks the **latest
+//!    complete checkpoint** ([`latest_complete_snapshot`]) — or aborts the
+//!    run with a clean *"no complete checkpoint"* error — and broadcasts
+//!    `ROLLBACK{era, snap}`.
+//! 3. **Marker flush + restore.** On the rollback order each machine
+//!    broadcasts the era's `FLUSH_MARK` to every peer, then consumes (and
+//!    discards) incoming traffic until every peer's marker arrived. A
+//!    peer's engine traffic all predates its drain point, and markers ride
+//!    the same per-channel FIFO the engines already rely on — so holding
+//!    all markers proves no stale pre-rollback message can ever surface
+//!    (channels touching the dead machine need no flushing: the fabric
+//!    drops dead incarnations' traffic and the reborn machine starts from
+//!    an empty inbox). The machine then restores owned *and ghost* data
+//!    from the checkpoint ([`restore_into_local`]), resets versions to
+//!    zero, conservatively invalidates its `RemoteCacheTable`, rebuilds
+//!    scheduler/lock/engine state (including the termination detector —
+//!    the crash may have eaten the Safra token), and re-schedules all
+//!    owned vertices (the conservative over-approximation of the lost
+//!    scheduler state).
+//! 4. **Resume.** A final `RECOVERED`/`RESUME` barrier keeps post-rollback
+//!    work from racing ahead of machines still restoring; traffic that
+//!    does arrive early is buffered, not dropped. Overlapping failures
+//!    advance the era and restart the round from step 1.
+//!
+//! Rolled-back updates re-execute, so `EngineMetrics::updates` counts some
+//! work twice after a failure — exactly the recomputation cost Fig. 4
+//! measures. Self-stabilising programs (PageRank, ALS, LBP, anything with
+//! a confluent or contracting fixpoint) reconverge to the fault-free
+//! answer; the chaos suite (`tests/properties.rs::recovery`) pins that.
+//!
+//! This module holds what the engines share: the checkpoint file format on
+//! the DFS, restoration, completeness scanning/pruning, and Young's
+//! first-order optimal checkpoint interval (Eq. 3).
 
 use bytes::{Bytes, BytesMut};
 use graphlab_graph::{DataGraph, EdgeId, MachineId, VertexId};
@@ -92,6 +141,84 @@ pub fn snapshot_exists(dfs: &SimDfs, prefix: &str, id: u64) -> bool {
     !dfs.list_prefix(&format!("{prefix}/snap_{id:04}/")).is_empty()
 }
 
+/// Parses `"<prefix>/snap_XXXX/machine_YYYY"` into its snapshot id.
+fn parse_snap_id(prefix: &str, name: &str) -> Option<u64> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix("/snap_")?;
+    let (id, _machine) = rest.split_once('/')?;
+    id.parse().ok()
+}
+
+/// The newest snapshot id for which **every** machine's file exists — the
+/// only kind of checkpoint recovery may restore (a partial set is a torn
+/// cut: some machine died mid-write).
+pub fn latest_complete_snapshot(dfs: &SimDfs, prefix: &str, machines: usize) -> Option<u64> {
+    let mut counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for name in dfs.list_prefix(&format!("{prefix}/snap_")) {
+        if let Some(id) = parse_snap_id(prefix, &name) {
+            *counts.entry(id).or_default() += 1;
+        }
+    }
+    counts.into_iter().rev().find(|&(_, c)| c >= machines).map(|(id, _)| id)
+}
+
+/// Deletes every snapshot file newer than `keep_through` (all files when
+/// `None`). Recovery runs this before rolling back so a half-written
+/// snapshot from before the failure can never be completed by post-rollback
+/// writes into a mixed-era (corrupt) cut.
+pub fn prune_snapshots_after(dfs: &SimDfs, prefix: &str, keep_through: Option<u64>) -> usize {
+    let mut pruned = 0;
+    for name in dfs.list_prefix(&format!("{prefix}/snap_")) {
+        if let Some(id) = parse_snap_id(prefix, &name) {
+            if keep_through.is_none_or(|k| id > k) && dfs.delete(&name) {
+                pruned += 1;
+            }
+        }
+    }
+    pruned
+}
+
+/// Restores snapshot `id` into one machine's [`LocalGraph`]: reads every
+/// machine's checkpoint file and applies each row that is locally present
+/// (owned **or** ghost — ghosts are restored from their owner's file, so
+/// the whole cluster resumes from one consistent cut), then resets all
+/// data versions to zero, the post-rollback ground state every machine
+/// agrees on. Returns `(vertex rows applied, edge rows applied)`.
+pub fn restore_into_local<V, E>(
+    dfs: &SimDfs,
+    prefix: &str,
+    id: u64,
+    lg: &mut LocalGraph<V, E>,
+) -> Result<(usize, usize), String>
+where
+    V: Codec,
+    E: Codec,
+{
+    let files = dfs.list_prefix(&format!("{prefix}/snap_{id:04}/"));
+    if files.is_empty() {
+        return Err(format!("snapshot {id} not found under {prefix}"));
+    }
+    let mut nv = 0;
+    let mut ne = 0;
+    for name in files {
+        let bytes = dfs.read(&name).map_err(|e| e.to_string())?;
+        let file: SnapshotFile = decode_from(bytes).ok_or("corrupt snapshot file")?;
+        for (v, blob) in file.vrows {
+            if let Some(l) = lg.local_vertex(v) {
+                *lg.vertex_data_mut(l) = decode_from(blob).ok_or("corrupt vertex blob")?;
+                nv += 1;
+            }
+        }
+        for (e, blob) in file.erows {
+            if let Some(l) = lg.local_edge(e) {
+                *lg.edge_data_mut(l) = decode_from(blob).ok_or("corrupt edge blob")?;
+                ne += 1;
+            }
+        }
+    }
+    lg.reset_versions();
+    Ok((nv, ne))
+}
+
 /// Restores snapshot `id` into `graph` (which must share the structure the
 /// snapshot was taken from). Returns the number of vertex and edge records
 /// applied.
@@ -135,16 +262,22 @@ where
 /// Young's first-order approximation of the optimal checkpoint interval
 /// (Eq. 3): `T_interval = sqrt(2 · T_checkpoint · T_mtbf)`.
 ///
-/// `mtbf_per_machine` is the per-machine mean time between failures; the
-/// cluster MTBF is `mtbf_per_machine / machines`.
+/// `mtbf_per_machine_secs` is the per-machine mean time between failures;
+/// the cluster MTBF is `mtbf_per_machine_secs / machines`.
+pub fn young_interval(checkpoint_secs: f64, mtbf_per_machine_secs: f64, machines: u32) -> f64 {
+    assert!(machines >= 1);
+    assert!(checkpoint_secs >= 0.0 && mtbf_per_machine_secs >= 0.0);
+    let cluster_mtbf = mtbf_per_machine_secs / machines as f64;
+    (2.0 * checkpoint_secs * cluster_mtbf).sqrt()
+}
+
+/// Alias of [`young_interval`] under its historical name.
 pub fn optimal_checkpoint_interval_secs(
     checkpoint_secs: f64,
     mtbf_per_machine_secs: f64,
     machines: u32,
 ) -> f64 {
-    assert!(machines >= 1);
-    let cluster_mtbf = mtbf_per_machine_secs / machines as f64;
-    (2.0 * checkpoint_secs * cluster_mtbf).sqrt()
+    young_interval(checkpoint_secs, mtbf_per_machine_secs, machines)
 }
 
 #[cfg(test)]
@@ -215,5 +348,98 @@ mod tests {
         let a = optimal_checkpoint_interval_secs(60.0, 1e6, 8);
         let b = optimal_checkpoint_interval_secs(60.0, 4e6, 8);
         assert!((b / a - 2.0).abs() < 1e-9, "sqrt scaling");
+    }
+
+    #[test]
+    fn young_interval_known_inputs() {
+        // sqrt(2 * 2 s * (100 s / 1 machine)) = sqrt(400) = 20 s.
+        assert!((young_interval(2.0, 100.0, 1) - 20.0).abs() < 1e-12);
+        // 4 machines quarter the cluster MTBF: sqrt(2*2*25) = 10 s.
+        assert!((young_interval(2.0, 100.0, 4) - 10.0).abs() < 1e-12);
+        // Zero checkpoint cost => checkpoint continuously.
+        assert_eq!(young_interval(0.0, 1e9, 16), 0.0);
+        // The historical name is a strict alias.
+        assert_eq!(young_interval(7.0, 1234.0, 3), optimal_checkpoint_interval_secs(7.0, 1234.0, 3));
+    }
+
+    #[test]
+    fn young_interval_is_monotone_in_mtbf_and_checkpoint_cost() {
+        let mut last = 0.0;
+        for mtbf in [1e2, 1e3, 1e4, 1e5, 1e6, 1e7] {
+            let t = young_interval(60.0, mtbf, 8);
+            assert!(t > last, "interval must grow with MTBF ({mtbf})");
+            last = t;
+        }
+        let mut last = 0.0;
+        for ck in [1.0, 10.0, 100.0, 1000.0] {
+            let t = young_interval(ck, 1e6, 8);
+            assert!(t > last, "interval must grow with checkpoint cost ({ck})");
+            last = t;
+        }
+        // ... and shrink as the cluster grows (more machines, more failures).
+        assert!(young_interval(60.0, 1e6, 64) < young_interval(60.0, 1e6, 8));
+    }
+
+    #[test]
+    fn latest_complete_snapshot_ignores_partial_cuts() {
+        let dfs = SimDfs::new();
+        let blob = || encode_to_bytes(&SnapshotFile::default());
+        // Snapshot 0: complete over 3 machines.
+        for m in 0..3 {
+            dfs.write(&snap_file_name("ckpt", 0, MachineId(m)), blob());
+        }
+        // Snapshot 1: torn (machine 2 died mid-write).
+        for m in 0..2 {
+            dfs.write(&snap_file_name("ckpt", 1, MachineId(m)), blob());
+        }
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 3), Some(0));
+        // Completing snapshot 1 moves the answer forward.
+        dfs.write(&snap_file_name("ckpt", 1, MachineId(2)), blob());
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 3), Some(1));
+        // No checkpoint at all.
+        assert_eq!(latest_complete_snapshot(&dfs, "none", 3), None);
+        // A single-machine "cluster" accepts its own lone file.
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 1), Some(1));
+    }
+
+    #[test]
+    fn prune_deletes_only_newer_snapshots() {
+        let dfs = SimDfs::new();
+        let blob = || encode_to_bytes(&SnapshotFile::default());
+        for id in 0..3u64 {
+            for m in 0..2 {
+                dfs.write(&snap_file_name("ckpt", id, MachineId(m)), blob());
+            }
+        }
+        assert_eq!(prune_snapshots_after(&dfs, "ckpt", Some(0)), 4);
+        assert!(snapshot_exists(&dfs, "ckpt", 0));
+        assert!(!snapshot_exists(&dfs, "ckpt", 1));
+        assert!(!snapshot_exists(&dfs, "ckpt", 2));
+        assert_eq!(prune_snapshots_after(&dfs, "ckpt", None), 2);
+        assert!(!snapshot_exists(&dfs, "ckpt", 0));
+    }
+
+    #[test]
+    fn restore_into_local_applies_rows_and_resets_versions() {
+        let mut g = graph();
+        let mut lg = LocalGraph::single_machine(&g, None);
+        *lg.vertex_data_mut(2) = 42.0;
+        lg.bump_vertex_version(2);
+        lg.bump_edge_version(0);
+        let dfs = SimDfs::new();
+        dfs.write(
+            &snap_file_name("ckpt", 0, MachineId(0)),
+            encode_to_bytes(&SnapshotFile::capture(&lg)),
+        );
+        // Wreck the live state, then roll back.
+        *lg.vertex_data_mut(2) = -1.0;
+        let (nv, ne) = restore_into_local(&dfs, "ckpt", 0, &mut lg).unwrap();
+        assert_eq!((nv, ne), (4, 3));
+        assert_eq!(*lg.vertex_data(2), 42.0);
+        assert_eq!(lg.vertex_version(2), 0, "versions reset to the ground state");
+        assert_eq!(lg.edge_version(0), 0);
+        // Missing snapshot errors cleanly.
+        assert!(restore_into_local(&dfs, "ckpt", 9, &mut lg).is_err());
+        let _ = g.vertex_data_mut(VertexId(0));
     }
 }

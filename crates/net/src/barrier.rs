@@ -10,6 +10,24 @@
 //! machine driven from the engine event loop, which keeps it independently
 //! testable. Epoch tags make stray duplicate arrivals from earlier epochs
 //! harmless.
+//!
+//! # Faults
+//!
+//! A dead machine never arrives, so a barrier epoch that includes it
+//! **waits forever** — the algorithm has no internal timeout. A consumer
+//! must pair the wait with a bounded `recv_timeout` and a death check,
+//! and tell the master about deaths via
+//! [`BarrierMaster::on_machine_down`]: the victim is excluded from the
+//! current and later epochs (releasing the epoch if it was the last
+//! straggler) until [`BarrierMaster::on_machine_up`] re-admits it after
+//! recovery. `tests::dead_machine_releases_epoch` pins the wait-forever
+//! path and the fix.
+//!
+//! Note: the engines currently do not build on this type — the chromatic
+//! engine uses its own counting flush, whose fault handling lives in the
+//! engines' recovery protocol (`graphlab-core`). `BarrierMaster` is the
+//! reference barrier for future consumers; its death handling is pinned
+//! here at the unit level.
 
 use graphlab_graph::MachineId;
 
@@ -20,6 +38,8 @@ pub struct BarrierMaster {
     epoch: u64,
     arrived: Vec<bool>,
     arrived_count: usize,
+    dead: Vec<bool>,
+    dead_count: usize,
 }
 
 impl BarrierMaster {
@@ -27,7 +47,14 @@ impl BarrierMaster {
     /// barrier is epoch 0.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
-        BarrierMaster { n, epoch: 0, arrived: vec![false; n], arrived_count: 0 }
+        BarrierMaster {
+            n,
+            epoch: 0,
+            arrived: vec![false; n],
+            arrived_count: 0,
+            dead: vec![false; n],
+            dead_count: 0,
+        }
     }
 
     /// Current epoch being collected.
@@ -52,12 +79,52 @@ impl BarrierMaster {
         );
         let i = machine.index();
         assert!(i < self.n, "unknown machine {machine}");
+        debug_assert!(!self.dead[i], "dead machine {machine} cannot arrive");
         if self.arrived[i] {
             return false;
         }
         self.arrived[i] = true;
         self.arrived_count += 1;
-        if self.arrived_count == self.n {
+        self.maybe_release()
+    }
+
+    /// Excludes a dead machine from the current and subsequent epochs — a
+    /// machine that will never arrive must not wedge the barrier forever.
+    /// Returns `true` when the exclusion releases the current epoch (the
+    /// victim was the last machine everyone was waiting on).
+    pub fn on_machine_down(&mut self, machine: MachineId) -> bool {
+        let i = machine.index();
+        assert!(i < self.n, "unknown machine {machine}");
+        if self.dead[i] {
+            return false;
+        }
+        self.dead[i] = true;
+        self.dead_count += 1;
+        assert!(self.dead_count < self.n, "every machine is dead");
+        if self.arrived[i] {
+            // Its arrival this epoch no longer counts.
+            self.arrived[i] = false;
+            self.arrived_count -= 1;
+        }
+        self.maybe_release()
+    }
+
+    /// Re-admits a recovered machine from the *next* epoch on (it has no
+    /// standing in the current one).
+    pub fn on_machine_up(&mut self, machine: MachineId) {
+        let i = machine.index();
+        assert!(i < self.n, "unknown machine {machine}");
+        if self.dead[i] {
+            self.dead[i] = false;
+            self.dead_count -= 1;
+            // Not arrived in the current epoch: it must arrive like
+            // everyone else from the next epoch it participates in.
+            debug_assert!(!self.arrived[i]);
+        }
+    }
+
+    fn maybe_release(&mut self) -> bool {
+        if self.arrived_count + self.dead_count == self.n {
             self.epoch += 1;
             self.arrived.iter_mut().for_each(|a| *a = false);
             self.arrived_count = 0;
@@ -114,6 +181,37 @@ mod tests {
     fn future_epoch_panics() {
         let mut b = BarrierMaster::new(2);
         b.arrive(MachineId(0), 5);
+    }
+
+    #[test]
+    fn dead_machine_releases_epoch() {
+        // Fault audit: without death exclusion the epoch waits forever on
+        // a machine that will never arrive.
+        let mut b = BarrierMaster::new(3);
+        assert!(!b.arrive(MachineId(0), 0));
+        assert!(!b.arrive(MachineId(1), 0));
+        // Machine 2 dies instead of arriving: that *is* the release.
+        assert!(b.on_machine_down(MachineId(2)));
+        assert_eq!(b.epoch(), 1);
+        // While dead it is excluded from later epochs too.
+        assert!(!b.arrive(MachineId(0), 1));
+        assert!(b.arrive(MachineId(1), 1));
+        // Recovery re-admits it: epoch 2 needs all three again.
+        b.on_machine_up(MachineId(2));
+        assert!(!b.arrive(MachineId(0), 2));
+        assert!(!b.arrive(MachineId(2), 2));
+        assert!(b.arrive(MachineId(1), 2));
+    }
+
+    #[test]
+    fn death_of_an_already_arrived_machine_discards_its_arrival() {
+        let mut b = BarrierMaster::new(2);
+        assert!(!b.arrive(MachineId(1), 0));
+        // It arrived, then died: its arrival must not stand (its state is
+        // gone; it will re-arrive only after recovery).
+        assert!(!b.on_machine_down(MachineId(1)), "survivor still missing");
+        assert!(b.arrive(MachineId(0), 0), "lone survivor releases the epoch");
+        assert!(!b.on_machine_down(MachineId(1)), "duplicate death is a no-op");
     }
 
     #[test]

@@ -253,6 +253,23 @@ impl Batcher {
         }
     }
 
+    /// Drops everything buffered on both sides: queued unsent messages and
+    /// unpacked-but-unread batch contents. Crash-restart semantics — a
+    /// reborn machine must not leak pre-crash traffic into its new life.
+    pub fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.buf.clear();
+            q.count = 0;
+        }
+        self.pending.clear();
+    }
+
+    /// Whether the wrapped machine is currently dead under the fault plan
+    /// (`Some(restart_scheduled)`), see [`Endpoint::self_death`].
+    pub fn self_death(&self) -> Option<bool> {
+        self.ep.self_death()
+    }
+
     /// Blocking receive with timeout. Flushes all queues before actually
     /// waiting on the socket — a machine about to sleep must have its
     /// outgoing requests on the wire. Returning an already-available
@@ -265,8 +282,8 @@ impl Batcher {
         }
         match self.ep.try_recv() {
             Ok(env) => return Ok(self.unpack_first(env)),
-            Err(RecvError::Disconnected) => return Err(RecvError::Disconnected),
             Err(RecvError::Timeout) => {}
+            Err(e) => return Err(e),
         }
         self.flush_all();
         let env = self.ep.recv_timeout(timeout)?;

@@ -44,7 +44,12 @@ use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError}
 use graphlab_graph::MachineId;
 use parking_lot::Mutex;
 
+use crate::fault::{FaultEvent, FaultPlan, FaultState};
 use crate::latency::LatencyModel;
+
+/// Shared, lock-protected fault state (present only when a
+/// [`FaultPlan`] was installed).
+type FaultCtl = Arc<Mutex<FaultState>>;
 
 /// Framing overhead charged per message on top of the payload, emulating
 /// TCP/IP + RPC headers (src, dst, kind, length, and transport framing).
@@ -203,12 +208,19 @@ pub enum RecvError {
     Timeout,
     /// The fabric was shut down (all senders dropped).
     Disconnected,
+    /// This machine has been killed by the fault plan: its inbox is
+    /// drained on the floor and nothing can be sent or received until the
+    /// scheduled restart (if any) marks it alive again.
+    MachineDown,
 }
 
 struct Delayed {
     deliver_at: Instant,
     seq: u64,
     env: Envelope,
+    /// (src, dst) incarnations at send time: a fault-era check at the
+    /// delivery point drops messages from before a crash.
+    incs: (u32, u32),
 }
 
 impl PartialEq for Delayed {
@@ -259,6 +271,7 @@ pub struct Endpoint {
     delay_tx: Option<Sender<Delayed>>,
     latency: LatencyModel,
     stats: Arc<NetStats>,
+    faults: Option<FaultCtl>,
     // Send-side state; endpoints are owned by exactly one machine thread.
     send_state: Mutex<SendState>,
 }
@@ -283,9 +296,23 @@ impl Endpoint {
     ///
     /// Self-sends are delivered through the same path (useful for uniform
     /// engine code), but charged zero network bytes.
+    ///
+    /// Under a fault plan, a dead machine's sends vanish without touching
+    /// any counter (the process is gone), while sends *to* a dead machine
+    /// are still charged as sent and dropped at the delivery point.
     pub fn send(&self, dst: MachineId, kind: u16, payload: Bytes) {
         let env = Envelope { src: self.id, dst, kind, payload };
         let wire = env.wire_bytes() as u64;
+        // Fault gate at the send point.
+        let mut incs = (0u32, 0u32);
+        if let Some(f) = &self.faults {
+            let mut st = f.lock();
+            st.poll(Instant::now());
+            if !st.is_alive(self.id.index()) {
+                return;
+            }
+            incs = st.incarnations(self.id.index(), dst.index());
+        }
         if dst != self.id {
             self.stats.bytes_sent[self.id.index()].fetch_add(wire, Ordering::Relaxed);
             self.stats.msgs_sent[self.id.index()].fetch_add(1, Ordering::Relaxed);
@@ -313,13 +340,15 @@ impl Endpoint {
                 // concurrent sender on the same channel could get its
                 // later message delivered while this one is in transit to
                 // the heap. Delivery thread gone => shutting down; drop.
-                let _ = delay.send(Delayed { deliver_at, seq, env });
+                let _ = delay.send(Delayed { deliver_at, seq, env, incs });
             }
             _ => {
                 if dst == self.id {
                     // Self-sends are free and always deliverable (we hold
                     // the receiver); skip the counters entirely.
                     let _ = self.direct[dst.index()].send(env);
+                } else if let Some(f) = &self.faults {
+                    f.lock().on_deliver(env, incs.0, incs.1, Instant::now());
                 } else {
                     deliver(&self.direct, &self.stats, env);
                 }
@@ -337,13 +366,48 @@ impl Endpoint {
         }
     }
 
+    /// If this machine is currently dead, drains its inbox (a crash loses
+    /// volatile state) and reports whether a restart is scheduled.
+    /// `None` = alive.
+    fn dead_check(&self) -> Option<bool> {
+        let f = self.faults.as_ref()?;
+        let mut st = f.lock();
+        st.poll(Instant::now());
+        if st.is_alive(self.id.index()) {
+            return None;
+        }
+        // Drain under the fault lock: a restart (which injects the K_UP
+        // marker) cannot interleave with the drain, so the marker is never
+        // swept away.
+        while self.rx.try_recv().is_ok() {}
+        Some(st.restart_scheduled(self.id.index()))
+    }
+
+    /// Whether this machine is currently dead, and if so whether the plan
+    /// schedules a restart (`Some(true)` = will come back). An engine that
+    /// sees [`RecvError::MachineDown`] uses this to decide between waiting
+    /// for rebirth and giving up.
+    pub fn self_death(&self) -> Option<bool> {
+        self.dead_check()
+    }
+
     /// Blocking receive.
     pub fn recv(&self) -> Result<Envelope, RecvError> {
+        if self.dead_check().is_some() {
+            return Err(RecvError::MachineDown);
+        }
         self.rx.recv().map_err(|_| RecvError::Disconnected)
     }
 
-    /// Blocking receive with timeout.
+    /// Blocking receive with timeout. When the machine is dead the call
+    /// sleeps briefly (bounded by `timeout`) and returns
+    /// [`RecvError::MachineDown`], so engine loops poll their way through
+    /// the dead window without spinning.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        if self.dead_check().is_some() {
+            std::thread::sleep(timeout.min(Duration::from_millis(5)));
+            return Err(RecvError::MachineDown);
+        }
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => RecvError::Timeout,
             RecvTimeoutError::Disconnected => RecvError::Disconnected,
@@ -352,6 +416,9 @@ impl Endpoint {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<Envelope, RecvError> {
+        if self.dead_check().is_some() {
+            return Err(RecvError::MachineDown);
+        }
         self.rx.try_recv().map_err(|e| match e {
             TryRecvError::Empty => RecvError::Timeout,
             TryRecvError::Disconnected => RecvError::Disconnected,
@@ -362,6 +429,7 @@ impl Endpoint {
 /// Builder/owner of the cluster fabric.
 pub struct SimNet {
     stats: Arc<NetStats>,
+    faults: Option<FaultCtl>,
     delivery: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -374,6 +442,26 @@ impl SimNet {
 
     /// As [`SimNet::new`] with an explicit jitter seed.
     pub fn with_seed(n: usize, latency: LatencyModel, seed: u64) -> (SimNet, Vec<Endpoint>) {
+        Self::build(n, latency, seed, None)
+    }
+
+    /// As [`SimNet::with_seed`], with a [`FaultPlan`] mediating every
+    /// delivery (see [`crate::fault`]).
+    pub fn with_faults(
+        n: usize,
+        latency: LatencyModel,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> (SimNet, Vec<Endpoint>) {
+        Self::build(n, latency, seed, Some(plan))
+    }
+
+    fn build(
+        n: usize,
+        latency: LatencyModel,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) -> (SimNet, Vec<Endpoint>) {
         assert!(n > 0, "cluster needs at least one machine");
         let stats = Arc::new(NetStats::new(n));
         let mut txs = Vec::with_capacity(n);
@@ -384,15 +472,20 @@ impl SimNet {
             rxs.push(rx);
         }
 
+        let faults: Option<FaultCtl> = plan.map(|p| {
+            Arc::new(Mutex::new(FaultState::new(p, n, txs.clone(), Arc::clone(&stats))))
+        });
+
         let (delay_tx, delivery) = if latency.is_zero() {
             (None, None)
         } else {
             let (dtx, drx) = channel::unbounded::<Delayed>();
             let inboxes = txs.clone();
             let dstats = Arc::clone(&stats);
+            let dfaults = faults.clone();
             let handle = std::thread::Builder::new()
                 .name("simnet-delivery".into())
-                .spawn(move || delivery_loop(drx, inboxes, dstats))
+                .spawn(move || delivery_loop(drx, inboxes, dstats, dfaults))
                 .expect("spawn delivery thread");
             (Some(dtx), Some(handle))
         };
@@ -409,6 +502,7 @@ impl SimNet {
                 delay_tx: delay_tx.clone(),
                 latency,
                 stats: Arc::clone(&stats),
+                faults: faults.clone(),
                 send_state: Mutex::new(SendState {
                     jitter: seed ^ (i as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407),
                     seq: 0,
@@ -419,12 +513,18 @@ impl SimNet {
             })
             .collect();
 
-        (SimNet { stats, delivery }, endpoints)
+        (SimNet { stats, faults, delivery }, endpoints)
     }
 
     /// Traffic counters for the cluster.
     pub fn stats(&self) -> &Arc<NetStats> {
         &self.stats
+    }
+
+    /// Drains the recorded fault-layer event log (empty unless the plan
+    /// enabled [`FaultPlan::trace`]).
+    pub fn fault_trace(&self) -> Vec<FaultEvent> {
+        self.faults.as_ref().map(|f| f.lock().take_trace()).unwrap_or_default()
     }
 }
 
@@ -443,7 +543,7 @@ impl Drop for SimNet {
 /// undeliverable messages (receiver already gone) never inflate the stats.
 /// The counters are bumped *before* the handoff (so a receiver that has the
 /// message always observes them) and rolled back if the inbox is gone.
-fn deliver(inboxes: &[Sender<Envelope>], stats: &NetStats, env: Envelope) {
+pub(crate) fn deliver(inboxes: &[Sender<Envelope>], stats: &NetStats, env: Envelope) {
     let dst = env.dst.index();
     let wire = env.wire_bytes() as u64;
     let kinds = kind_attribution(&env);
@@ -457,7 +557,12 @@ fn deliver(inboxes: &[Sender<Envelope>], stats: &NetStats, env: Envelope) {
     }
 }
 
-fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>, stats: Arc<NetStats>) {
+fn delivery_loop(
+    rx: Receiver<Delayed>,
+    inboxes: Vec<Sender<Envelope>>,
+    stats: Arc<NetStats>,
+    faults: Option<FaultCtl>,
+) {
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     loop {
         // Deliver everything due.
@@ -465,7 +570,10 @@ fn delivery_loop(rx: Receiver<Delayed>, inboxes: Vec<Sender<Envelope>>, stats: A
         while let Some(top) = heap.peek() {
             if top.deliver_at <= now {
                 let d = heap.pop().expect("peeked");
-                deliver(&inboxes, &stats, d.env);
+                match &faults {
+                    Some(f) => f.lock().on_deliver(d.env, d.incs.0, d.incs.1, now),
+                    None => deliver(&inboxes, &stats, d.env),
+                }
             } else {
                 break;
             }

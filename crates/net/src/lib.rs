@@ -74,6 +74,7 @@ pub mod batch;
 pub mod cluster;
 pub mod codec;
 pub mod compress;
+pub mod fault;
 pub mod latency;
 pub mod termination;
 
@@ -81,5 +82,6 @@ pub use barrier::BarrierMaster;
 pub use batch::{BatchCounters, BatchPolicy, Batcher, K_BATCH, K_ZIP};
 pub use cluster::{Endpoint, Envelope, KindTraffic, MachineTraffic, NetStats, RecvError, SimNet};
 pub use codec::{decode_from, encode_to_bytes, Codec};
+pub use fault::{DownMsg, FaultEvent, FaultPlan, FaultTrigger, UpMsg, K_DOWN, K_UP};
 pub use latency::LatencyModel;
 pub use termination::{Safra, SafraAction, Token};

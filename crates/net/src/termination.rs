@@ -15,6 +15,18 @@
 //! [`Safra::on_token`], and performs whatever [`SafraAction`] comes back
 //! (forwarding tokens as ordinary engine messages). This makes the
 //! algorithm unit-testable without threads.
+//!
+//! # Faults
+//!
+//! The ring carries exactly one token, so a machine crash can lose it (in
+//! flight to or held by the victim) — after which **no probe ever
+//! completes and every machine waits forever**. The algorithm has no
+//! internal timeout; the engine layer must pair it with a bounded
+//! `recv_timeout` and a death check (the locking engine's fault recovery
+//! does), and call [`Safra::reset`] on every machine when rolling back:
+//! counters restart from zero and the initiator launches a fresh probe.
+//! `tests::lost_token_deadlocks_until_reset` pins the failure mode and
+//! the fix.
 
 use bytes::{Bytes, BytesMut};
 use graphlab_graph::MachineId;
@@ -103,6 +115,16 @@ impl Safra {
     /// only; other machines learn via the engine's own halt broadcast).
     pub fn is_terminated(&self) -> bool {
         self.terminated
+    }
+
+    /// Restores the fresh-start state — the fault-recovery hook. A machine
+    /// crash can lose the ring's only token (held by or in flight to the
+    /// victim), deadlocking every future probe; a cluster rollback must
+    /// reset **every** machine's detector together (message counters
+    /// restart at zero alongside the re-seeded schedulers, and the
+    /// initiator re-probes on its next idle).
+    pub fn reset(&mut self) {
+        *self = Safra::new(self.id, self.n);
     }
 
     fn successor(&self) -> MachineId {
@@ -307,6 +329,47 @@ mod tests {
         // Even so, counts cancel and the blackness washes out after at most
         // two more clean rounds.
         assert!(ring.pump(100));
+    }
+
+    #[test]
+    fn lost_token_deadlocks_until_reset() {
+        // Fault audit: machine 2 dies while holding the token. The ring
+        // deadlocks — no amount of pumping terminates — until recovery
+        // resets every detector and the initiator starts a fresh probe.
+        let mut ring = Ring::new(4);
+        ring.all_idle();
+        let (dst, _tok) = ring.tokens.pop().expect("probe in flight");
+        assert_eq!(dst, MachineId(1));
+        // The token is swallowed (delivered to a machine that crashes with
+        // it): nothing is in flight any more.
+        assert!(ring.tokens.is_empty());
+        assert!(!ring.pump(1_000), "lost token must never terminate the ring");
+        // Recovery: every machine resets together, then goes idle again.
+        for m in &mut ring.machines {
+            m.reset();
+        }
+        ring.all_idle();
+        assert!(ring.pump(1_000), "reset ring re-probes and terminates");
+    }
+
+    #[test]
+    fn reset_clears_counters_and_colour() {
+        let mut s = Safra::new(MachineId(1), 3);
+        s.on_message_sent(7);
+        s.on_message_received(2); // also blackens
+        s.reset();
+        // After the cluster-wide rollback nothing is in flight: a clean
+        // white round with zero counters must succeed immediately.
+        let a = s.set_idle(true);
+        assert_eq!(a, SafraAction::None, "non-initiator holds no token");
+        let out = s.on_token(Token { count: 0, black: false, round: 0 });
+        match out {
+            SafraAction::SendToken { to, token } => {
+                assert_eq!(to, MachineId(2));
+                assert_eq!(token, Token { count: 0, black: false, round: 0 });
+            }
+            other => panic!("expected clean forward, got {other:?}"),
+        }
     }
 
     #[test]

@@ -16,8 +16,8 @@ use graphlab::baselines::mapreduce::{coem_mapreduce, pagerank_mapreduce, MapRedu
 use graphlab::baselines::mpi::coem_mpi;
 use graphlab::baselines::pregel::{PregelConfig, PregelEngine, PregelPageRank};
 use graphlab::core::{
-    EngineKind, GraphLab, PartitionStrategy, SchedulerKind, SnapshotConfig, SnapshotMode,
-    SyncCadence,
+    EngineKind, FaultPlan, FaultTrigger, GraphLab, PartitionStrategy, SchedulerKind,
+    SnapshotConfig, SnapshotMode, SyncCadence,
 };
 use graphlab::graph::Coloring;
 use graphlab::net::LatencyModel;
@@ -444,6 +444,137 @@ fn delta_sync_snapshot_restore_mid_run_is_consistent() {
         assert!(
             (full.vertex_data(v) - restored.vertex_data(v)).abs() < 1e-7,
             "divergence at {v}"
+        );
+    }
+}
+
+/// ISSUE 5 acceptance: kill one machine mid-run under `ec2_like()` for all
+/// four {chromatic, locking} × {sync, async snapshot} cells. Every cell
+/// must detect the death, roll the cluster back to the latest complete
+/// checkpoint, and reconverge to the same fixpoint as the undisturbed run
+/// — deterministically (fixed seeds, delivery-count kill triggers).
+#[test]
+fn kill_mid_run_recovers_all_four_cells() {
+    let base = web_graph(500, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+    let oracle = exact_pagerank(&base, 0.15, 200);
+
+    // Kill points sit comfortably after the first checkpoint completes
+    // (snapshots every 400 updates) and before the run winds down:
+    // fault-free totals are ~8.7k envelopes (locking/sync), ~31k
+    // (locking/async, Alg. 5 traffic included) and ~1.9k (chromatic).
+    for (engine, mode, kill_at) in [
+        (EngineKind::Locking, SnapshotMode::Synchronous, 4_000u64),
+        (EngineKind::Locking, SnapshotMode::Asynchronous, 12_000),
+        (EngineKind::Chromatic, SnapshotMode::Synchronous, 1_000),
+        (EngineKind::Chromatic, SnapshotMode::Asynchronous, 1_000),
+    ] {
+        let snapshot = SnapshotConfig { mode, every_updates: 400, max_snapshots: 64 };
+
+        let mut undisturbed = base.clone();
+        init_ranks(&mut undisturbed);
+        GraphLab::on(&mut undisturbed)
+            .engine(engine)
+            .machines(4)
+            .latency(LatencyModel::ec2_like())
+            .snapshot(snapshot)
+            .run(pr.clone());
+        let base_ranks: Vec<f64> =
+            undisturbed.vertices().map(|v| *undisturbed.vertex_data(v)).collect();
+
+        let mut killed = base.clone();
+        init_ranks(&mut killed);
+        let out = GraphLab::on(&mut killed)
+            .engine(engine)
+            .machines(4)
+            .latency(LatencyModel::ec2_like())
+            .snapshot(snapshot)
+            .faults(FaultPlan::seeded(1).kill_and_restart(
+                2,
+                FaultTrigger::Deliveries(kill_at),
+                FaultTrigger::Elapsed(std::time::Duration::from_millis(30)),
+            ))
+            .run(pr.clone());
+        assert!(
+            out.metrics.recoveries >= 1,
+            "{engine:?}/{mode:?}: the kill at delivery {kill_at} must trigger a rollback"
+        );
+        let killed_ranks: Vec<f64> = killed.vertices().map(|v| *killed.vertex_data(v)).collect();
+        let vs_base = l1_error(&killed_ranks, &base_ranks);
+        assert!(
+            vs_base < 1e-9,
+            "{engine:?}/{mode:?}: recovered fixpoint drifted from the undisturbed run (L1 {vs_base})"
+        );
+        assert!(
+            l1_error(&killed_ranks, &oracle) < 1e-6,
+            "{engine:?}/{mode:?}: recovered run diverged from the oracle"
+        );
+    }
+}
+
+/// ISSUE 5 acceptance: a kill *before* any checkpoint completed cannot be
+/// recovered — the run must fail with the clean "no complete checkpoint"
+/// error through `try_run` (never hang, never panic).
+#[test]
+fn kill_before_first_checkpoint_fails_cleanly() {
+    let base = web_graph(400, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true };
+    for engine in [EngineKind::Locking, EngineKind::Chromatic] {
+        let mut g = base.clone();
+        init_ranks(&mut g);
+        let err = GraphLab::on(&mut g)
+            .engine(engine)
+            .machines(3)
+            // Snapshots enabled but cadenced far beyond the kill point.
+            .snapshot(SnapshotConfig {
+                mode: SnapshotMode::Asynchronous,
+                every_updates: 1_000_000,
+                max_snapshots: 8,
+            })
+            .faults(FaultPlan::seeded(3).kill_and_restart(
+                1,
+                FaultTrigger::Deliveries(200),
+                FaultTrigger::Elapsed(std::time::Duration::from_millis(10)),
+            ))
+            .try_run(pr.clone())
+            .map(|out| out.metrics.recoveries)
+            .expect_err("a kill with no checkpoint must fail the run");
+        assert!(
+            err.contains("no complete checkpoint"),
+            "{engine:?}: unexpected failure message: {err}"
+        );
+    }
+}
+
+/// A permanent kill (no restart scheduled) is unrecoverable by design —
+/// the victim's owned partition is gone. Every machine, including the
+/// victim's own thread, must fail fast with the clean error rather than
+/// sitting out the recovery deadline.
+#[test]
+fn permanent_kill_fails_fast_on_both_engines() {
+    let base = web_graph(300, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true };
+    for engine in [EngineKind::Locking, EngineKind::Chromatic] {
+        let start = std::time::Instant::now();
+        let mut g = base.clone();
+        init_ranks(&mut g);
+        let err = GraphLab::on(&mut g)
+            .engine(engine)
+            .machines(3)
+            .snapshot(SnapshotConfig {
+                mode: SnapshotMode::Synchronous,
+                every_updates: 200,
+                max_snapshots: 64,
+            })
+            .faults(FaultPlan::seeded(5).kill(1, FaultTrigger::Deliveries(500)))
+            .try_run(pr.clone())
+            .map(|out| out.metrics.recoveries)
+            .expect_err("a permanent kill must fail the run");
+        assert!(err.contains("no restart scheduled"), "{engine:?}: {err}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(20),
+            "{engine:?}: permanent kill must fail fast, took {:?}",
+            start.elapsed()
         );
     }
 }
