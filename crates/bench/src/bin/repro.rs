@@ -1219,6 +1219,43 @@ fn abl_partition() {
     t.print();
 }
 
+// ---------------------------------------------------------------- phases
+
+fn phases() {
+    banner(
+        "phases",
+        "wall-clock phase split per machine: setup / compute / net-wait",
+        "network wait dominates as latency rises (§7 discussion)",
+    );
+    let mut base = web_graph(20_000, 4, 7);
+    init_ranks(&mut base);
+    for (label, model) in
+        [("zero latency", LatencyModel::ZERO), ("EC2-like latency", LatencyModel::ec2_like())]
+    {
+        let mut g = base.clone();
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Chromatic)
+            .machines(4)
+            .latency(model)
+            .seed(7)
+            .run(PageRank { alpha: 0.15, epsilon: 1e-10, dynamic: true });
+        println!("  {label}:");
+        let mut t = Table::new(&["machine", "setup", "compute", "net wait", "total"]);
+        for (m, p) in out.metrics.phases.iter().enumerate() {
+            t.row(vec![
+                format!("{m}"),
+                format!("{:.2?}", p.setup),
+                format!("{:.2?}", p.compute),
+                format!("{:.2?}", p.net_wait),
+                format!("{:.2?}", p.total()),
+            ]);
+        }
+        t.print();
+    }
+    println!("  (real-socket numbers: `cargo run -p graphlab-node --release -- spawn \\");
+    println!("   --machines 4 --engine both --check` writes BENCH_tcp_smoke.json)");
+}
+
 // ---------------------------------------------------------------- driver
 
 fn main() {
@@ -1252,6 +1289,7 @@ fn main() {
         ("abl-recovery", abl_recovery),
         ("abl-priority", abl_priority),
         ("abl-partition", abl_partition),
+        ("phases", phases),
     ];
     match exp {
         "all" => {

@@ -92,6 +92,11 @@ pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     recv_buckets: HashMap<(u16, u64, u8), u64>,
     /// Flush promises bucketed by (src, step, phase).
     flush_promises: HashMap<(u16, u64, u8), FlushMsg>,
+    /// Sync partials that raced ahead of the master's own cycle end: a
+    /// fast peer can finish the cycle's last flush round and send its
+    /// partial while we are still collecting flushes from a slower peer.
+    /// `handle_msg` stashes them here; `cycle_end_round` drains first.
+    sync_stash: VecDeque<Envelope>,
     /// Forward sends per destination accumulated during the current phase-A
     /// wait (write-back propagation).
     fwd_counts: Vec<u64>,
@@ -141,6 +146,7 @@ where
             step: 0,
             recv_buckets: HashMap::new(),
             flush_promises: HashMap::new(),
+            sync_stash: VecDeque::new(),
             fwd_counts: vec![0; m],
             updates_local: 0,
             cycle_updates: 0,
@@ -600,6 +606,7 @@ where
                 let f: FlushMsg = dec(env.payload);
                 self.flush_promises.insert((env.src.0, f.step, 1), f);
             }
+            K_CHROM_SYNC_PART => self.sync_stash.push_back(env),
             other => panic!("unexpected message kind {other} in chromatic engine"),
         }
     }
@@ -630,7 +637,10 @@ where
             }
             let mut received = 1usize;
             while received < m {
-                let env = self.recv_env(RECV_TIMEOUT)?;
+                let env = match self.sync_stash.pop_front() {
+                    Some(env) => env,
+                    None => self.recv_env(RECV_TIMEOUT)?,
+                };
                 if env.kind == K_CHROM_SYNC_PART {
                     let p: SyncPartialMsg = dec(env.payload);
                     assert_eq!(p.cycle, cycle, "sync round out of step");
@@ -1114,6 +1124,7 @@ where
             snapshots,
             recoveries,
             failed,
+            phase: crate::metrics::PhaseTimes::default(),
         }
     }
 }

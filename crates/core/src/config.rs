@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use graphlab_graph::ConsistencyModel;
-use graphlab_net::{BatchPolicy, FaultPlan, LatencyModel};
+use graphlab_net::{BatchPolicy, FaultPlan, Transport};
 
 use crate::scheduler::SchedulerKind;
 
@@ -57,8 +57,11 @@ pub struct EngineConfig {
     /// Scheduler flavour (locking engine; the chromatic engine is
     /// inherently sweep-within-colour).
     pub scheduler: SchedulerKind,
-    /// Network latency model.
-    pub latency: LatencyModel,
+    /// Transport backend: the deterministic in-process simulator with its
+    /// latency model ([`Transport::Sim`], the default), or real TCP between
+    /// OS processes ([`Transport::Tcp`]). TCP runs execute only this
+    /// process's machine and do not support fault plans.
+    pub transport: Transport,
     /// Message batching/coalescing policy: small control messages (lock
     /// hops, grants, schedule requests, write-backs) bound for the same
     /// machine ride one envelope. Flushed by size/count thresholds and
@@ -110,7 +113,7 @@ impl EngineConfig {
             num_atoms: (8 * num_machines).max(1),
             consistency: ConsistencyModel::Edge,
             scheduler: SchedulerKind::Fifo,
-            latency: LatencyModel::ZERO,
+            transport: Transport::default(),
             batch: BatchPolicy::default(),
             max_pipeline: 64,
             sync_interval_updates: 0,

@@ -7,11 +7,17 @@
 //! graph is over-partitioned into atoms and written to the DFS
 //! (initialisation phase), atoms are placed onto machines via the atom
 //! index, each machine loads its part in parallel, the engine executes,
-//! and final data is collected. Machines are OS threads communicating
-//! exclusively through the [`SimNet`] fabric; results return through
-//! thread join (standing in for the final gather the real system performs
-//! through the DFS).
+//! and final data is collected. The machine topology depends on the
+//! configured [`Transport`]: under [`Transport::Sim`] machines are OS
+//! threads communicating through the deterministic [`SimNet`] fabric and
+//! results return through thread join; under [`Transport::Tcp`] this
+//! process *is* one machine of a multi-process cluster wired by
+//! [`TcpNet`], runs only its own machine loop, and writes back only the
+//! vertices it owns (the cross-process gather is the spawn harness's job,
+//! standing in for the final gather the real system performs through the
+//! DFS).
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,13 +25,13 @@ use graphlab_atoms::{build_atoms, load_machine_part, write_atoms, SimDfs, Vertex
 use graphlab_atoms::placement::Placement;
 use graphlab_graph::{Coloring, DataGraph, EdgeId, MachineId, VertexId};
 use graphlab_net::codec::Codec;
-use graphlab_net::SimNet;
+use graphlab_net::{Endpoint, SimNet, TcpNet, Transport};
 
 use crate::chromatic::ChromaticMachine;
 use crate::config::EngineConfig;
 use crate::globals::GlobalRegistry;
 use crate::locking::LockingMachine;
-use crate::metrics::{sample_timeline, EngineMetrics, LiveCounters};
+use crate::metrics::{sample_timeline, EngineMetrics, LiveCounters, PhaseTimes};
 use crate::reference::InitialSchedule;
 use crate::sync::SyncList;
 use crate::update::UpdateFunction;
@@ -89,11 +95,17 @@ pub struct EngineOutput {
     pub dfs: Arc<SimDfs>,
     /// `Some(reason)` when the run could not complete — an injected
     /// machine failure proved unrecoverable (no complete checkpoint, a
-    /// permanent kill, or a stalled recovery round). The graph then holds
-    /// whatever state the machines had; do not trust it.
+    /// permanent kill, or a stalled recovery round), or a TCP run failed
+    /// to establish its mesh. The graph then holds whatever state the
+    /// machines had; do not trust it.
     /// [`crate::GraphLab::run`] panics on this; [`crate::GraphLab::try_run`]
     /// surfaces it as an `Err`.
     pub failure: Option<String>,
+    /// `Some(ids)` for a [`Transport::Tcp`] run: the vertices this
+    /// process's machine owns — the only ones written back into the
+    /// caller's graph. `None` for sim/sequential runs, where the whole
+    /// graph is written back.
+    pub owned: Option<Vec<VertexId>>,
 }
 
 /// What one machine thread hands back at join time.
@@ -107,6 +119,7 @@ pub(crate) struct MachineResult<V, E> {
     pub snapshots: u64,
     pub recoveries: u64,
     pub failed: Option<String>,
+    pub phase: PhaseTimes,
 }
 
 /// Everything a machine thread needs at spawn (endpoint travels
@@ -180,23 +193,8 @@ where
     let initial = Arc::new(initial);
     let counters = LiveCounters::new();
 
-    let (net, endpoints) = match &config.faults {
-        Some(plan) if !plan.is_empty() => {
-            SimNet::with_faults(config.num_machines, config.latency, config.seed, plan.clone())
-        }
-        _ => SimNet::with_seed(config.num_machines, config.latency, config.seed),
-    };
-
-    let sampler = if config.trace {
-        Some(sample_timeline(&counters, Duration::from_millis(5)))
-    } else {
-        None
-    };
-
-    let start = Instant::now();
-    let mut handles = Vec::with_capacity(config.num_machines);
-    for endpoint in endpoints {
-        let setup: MachineSetup<V, E, U> = MachineSetup {
+    let make_setup = |counters: &Arc<LiveCounters>| -> MachineSetup<V, E, U> {
+        MachineSetup {
             dfs: Arc::clone(&dfs),
             index: Arc::clone(&index),
             placement: Arc::clone(&placement),
@@ -206,14 +204,116 @@ where
             stop: stop.clone(),
             initial: Arc::clone(&initial),
             config: config.clone(),
-            counters: Arc::clone(&counters),
+            counters: Arc::clone(counters),
             snap_prefix: "ckpt".to_string(),
+        }
+    };
+
+    let sampler = if config.trace {
+        Some(sample_timeline(&counters, Duration::from_millis(5)))
+    } else {
+        None
+    };
+
+    // Real-socket runs: this process is exactly one machine of the mesh.
+    if let Transport::Tcp(tcp) = &config.transport {
+        assert!(
+            config.faults.as_ref().is_none_or(|p| p.is_empty()),
+            "fault plans are SimNet-only; TCP runs take real faults instead"
+        );
+        assert_eq!(
+            tcp.peers.len(),
+            config.num_machines,
+            "TCP peer list must name every machine"
+        );
+        let machine = tcp.machine;
+        let start = Instant::now();
+        let result = match TcpNet::connect(tcp) {
+            Ok((net, ep)) => {
+                let r = run_machine(engine, ep.into(), make_setup(&counters));
+                // Graceful close: FIN after any queued bytes, so slower
+                // peers drain our final protocol messages; full teardown
+                // happens when `net` drops below.
+                net.shutdown();
+                Ok((net, r))
+            }
+            Err(e) => Err(format!("machine {machine}: tcp mesh setup failed: {e}")),
         };
+        let runtime = start.elapsed();
+        counters.done.store(true, Ordering::Relaxed);
+        let updates_timeline = sampler.map(|s| s.join().expect("sampler")).unwrap_or_default();
+
+        let (net, r) = match result {
+            Ok(x) => x,
+            Err(failure) => {
+                return EngineOutput {
+                    metrics: EngineMetrics::default(),
+                    globals: GlobalRegistry::new(),
+                    dfs,
+                    failure: Some(failure),
+                    owned: Some(Vec::new()),
+                }
+            }
+        };
+
+        // Write back only what this machine owns; the spawn harness merges
+        // the per-process results.
+        let mut owned = Vec::with_capacity(r.vrows.len());
+        for (v, d) in r.vrows {
+            *graph.vertex_data_mut(v) = d;
+            owned.push(v);
+        }
+        for (e, d) in r.erows {
+            *graph.edge_data_mut(e) = d;
+        }
+        let mut update_counts =
+            if config.trace { vec![0u64; graph.num_vertices()] } else { Vec::new() };
+        for (v, c) in r.update_counts {
+            update_counts[v.index()] += c;
+        }
+        let mut phases = vec![PhaseTimes::default(); config.num_machines];
+        phases[machine.index()] = r.phase;
+
+        let stats = net.stats();
+        let metrics = EngineMetrics {
+            updates: r.updates,
+            runtime,
+            update_counts,
+            updates_timeline,
+            bytes_sent_per_machine: stats.all().iter().map(|t| t.bytes_sent).collect(),
+            total_messages: stats.total_msgs(),
+            bytes_by_kind: stats.by_kind(),
+            steps: r.steps,
+            snapshots: r.snapshots,
+            recoveries: r.recoveries,
+            phases,
+        };
+        return EngineOutput {
+            metrics,
+            globals: r.globals,
+            dfs,
+            failure: r.failed,
+            owned: Some(owned),
+        };
+    }
+
+    let Transport::Sim(latency) = &config.transport else { unreachable!("tcp handled above") };
+    let (net, endpoints) = match &config.faults {
+        Some(plan) if !plan.is_empty() => {
+            SimNet::with_faults(config.num_machines, *latency, config.seed, plan.clone())
+        }
+        _ => SimNet::with_seed(config.num_machines, *latency, config.seed),
+    };
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.num_machines);
+    for endpoint in endpoints {
+        let setup = make_setup(&counters);
         let kind = engine;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("machine-{}", endpoint.id()))
-                .spawn(move || run_machine(kind, endpoint, setup))
+                .spawn(move || run_machine(kind, endpoint.into(), setup))
                 .expect("spawn machine thread"),
         );
     }
@@ -223,7 +323,7 @@ where
         results.push(h.join().expect("machine thread panicked"));
     }
     let runtime = start.elapsed();
-    counters.done.store(true, std::sync::atomic::Ordering::Relaxed);
+    counters.done.store(true, Ordering::Relaxed);
     let updates_timeline = sampler.map(|s| s.join().expect("sampler")).unwrap_or_default();
 
     // Write final data back into the caller's graph.
@@ -235,6 +335,7 @@ where
     let mut recoveries = 0u64;
     let mut failure: Option<String> = None;
     let mut globals = GlobalRegistry::new();
+    let mut phases = vec![PhaseTimes::default(); config.num_machines];
     for (i, r) in results.into_iter().enumerate() {
         for (v, d) in r.vrows {
             *graph.vertex_data_mut(v) = d;
@@ -255,6 +356,7 @@ where
         if i == 0 {
             globals = r.globals;
         }
+        phases[i] = r.phase;
     }
 
     let stats = net.stats();
@@ -269,13 +371,17 @@ where
         steps,
         snapshots,
         recoveries,
+        phases,
     };
-    EngineOutput { metrics, globals, dfs, failure }
+    EngineOutput { metrics, globals, dfs, failure, owned: None }
 }
 
+/// Runs one machine's engine loop on the given (already-connected)
+/// endpoint, splitting its wall clock into setup / compute / net-wait at
+/// the transport seam.
 fn run_machine<V, E, U>(
     kind: EngineKind,
-    endpoint: graphlab_net::Endpoint,
+    endpoint: Endpoint,
     setup: MachineSetup<V, E, U>,
 ) -> MachineResult<V, E>
 where
@@ -283,104 +389,26 @@ where
     E: Codec + Clone + Send + Sync + 'static,
     U: UpdateFunction<V, E>,
 {
+    let t0 = Instant::now();
     let machine = endpoint.id();
+    let wait = endpoint.net_wait_counter();
     let init = load_machine_part::<V, E>(&setup.dfs, &setup.index, &setup.placement, machine)
         .expect("ingress");
-    match kind {
+    let setup_time = t0.elapsed();
+    let mut r = match kind {
         EngineKind::Chromatic => ChromaticMachine::new(endpoint, setup, init).run(),
         EngineKind::Locking => LockingMachine::new(endpoint, setup, init).run(),
         EngineKind::Sequential => unreachable!("sequential runs bypass the machine loop"),
-    }
+    };
+    let total = t0.elapsed();
+    let net_wait = Duration::from_nanos(wait.load(Ordering::Relaxed));
+    r.phase = PhaseTimes {
+        setup: setup_time,
+        compute: total.saturating_sub(setup_time).saturating_sub(net_wait),
+        net_wait,
+    };
+    r
 }
-
-// ---------------------------------------------------------------------
-// Deprecated pre-builder entry points
-// ---------------------------------------------------------------------
-
-#[allow(deprecated)]
-mod shims {
-    use super::*;
-    use crate::program::{GraphLab, SyncCadence};
-    use crate::sync::{SyncOp, SyncOpAt};
-
-    fn legacy_syncs<'g, V, E>(
-        mut b: GraphLab<'g, V, E>,
-        syncs: &Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-    ) -> GraphLab<'g, V, E>
-    where
-        V: Codec + Clone + Send + Sync + 'static,
-        E: Codec + Clone + Send + Sync + 'static,
-    {
-        for i in 0..syncs.len() {
-            b = b.sync(
-                crate::globals::GlobalHandle::<Vec<f64>>::new(i as u32),
-                SyncOpAt { list: Arc::clone(syncs), index: i },
-                SyncCadence::Final,
-            );
-        }
-        b
-    }
-
-    /// Runs the **chromatic engine** (§4.2.1) on `graph`, mutating its
-    /// data in place.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `GraphLab::on(graph).engine(EngineKind::Chromatic)` — the builder \
-                auto-computes and verifies the colouring from the consistency model"
-    )]
-    pub fn run_chromatic<V, E, U>(
-        graph: &mut DataGraph<V, E>,
-        coloring: Coloring,
-        update: Arc<U>,
-        initial: InitialSchedule,
-        syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-        config: &EngineConfig,
-        strategy: &PartitionStrategy,
-    ) -> EngineOutput
-    where
-        V: Codec + Clone + Send + Sync + 'static,
-        E: Codec + Clone + Send + Sync + 'static,
-        U: UpdateFunction<V, E>,
-    {
-        let b = GraphLab::on(graph)
-            .engine(EngineKind::Chromatic)
-            .with_config(config.clone())
-            .coloring(coloring)
-            .initial(initial)
-            .partition(strategy.clone());
-        legacy_syncs(b, &syncs).run(update)
-    }
-
-    /// Runs the **distributed locking engine** (§4.2.2) on `graph`,
-    /// mutating its data in place.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `GraphLab::on(graph).engine(EngineKind::Locking)`"
-    )]
-    pub fn run_locking<V, E, U>(
-        graph: &mut DataGraph<V, E>,
-        update: Arc<U>,
-        initial: InitialSchedule,
-        syncs: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-        config: &EngineConfig,
-        strategy: &PartitionStrategy,
-    ) -> EngineOutput
-    where
-        V: Codec + Clone + Send + Sync + 'static,
-        E: Codec + Clone + Send + Sync + 'static,
-        U: UpdateFunction<V, E>,
-    {
-        let b = GraphLab::on(graph)
-            .engine(EngineKind::Locking)
-            .with_config(config.clone())
-            .initial(initial)
-            .partition(strategy.clone());
-        legacy_syncs(b, &syncs).run(update)
-    }
-}
-
-#[allow(deprecated)]
-pub use shims::{run_chromatic, run_locking};
 
 /// Convenience: a [`DistributedGraph`] bundles the persisted atom
 /// representation for callers that want to reuse one ingress across runs

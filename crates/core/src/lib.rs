@@ -43,14 +43,14 @@ pub mod sync;
 pub mod update;
 
 pub use config::{EngineConfig, SnapshotConfig, SnapshotMode, StragglerConfig};
-pub use graphlab_net::{BatchPolicy, FaultPlan, FaultTrigger};
+pub use graphlab_net::{BatchPolicy, FaultPlan, FaultTrigger, TcpConfig, Transport};
 pub use driver::{DistributedGraph, EngineKind, EngineOutput, PartitionStrategy};
 /// `Engine` is an alias for [`EngineKind`], matching the builder-chain
 /// spelling `GraphLab::on(..).engine(Engine::Locking)`.
 pub use driver::EngineKind as Engine;
 pub use globals::{GlobalHandle, GlobalRegistry};
 pub use local::{LocalAdjEntry, LocalGraph, RemoteCacheTable};
-pub use metrics::EngineMetrics;
+pub use metrics::{EngineMetrics, PhaseTimes};
 pub use program::{GraphLab, SyncCadence};
 pub use reference::InitialSchedule;
 pub use scheduler::{Scheduler, SchedulerKind};
@@ -60,11 +60,3 @@ pub use snapshot::{
 };
 pub use sync::{local_partial, Aggregate, FnSync, SyncScope};
 pub use update::{UpdateContext, UpdateEffects, UpdateFunction};
-
-// Deprecated pre-builder surface, kept as thin shims.
-#[allow(deprecated)]
-pub use driver::{run_chromatic, run_locking};
-#[allow(deprecated)]
-pub use reference::{run_sequential, SequentialConfig};
-#[allow(deprecated)]
-pub use sync::SyncOp;

@@ -1805,6 +1805,7 @@ where
             snapshots,
             recoveries,
             failed,
+            phase: crate::metrics::PhaseTimes::default(),
         }
     }
 }

@@ -45,6 +45,29 @@ pub fn sample_timeline(
     })
 }
 
+/// Wall-clock breakdown of one machine's run: where its time actually
+/// went. Measured at the transport seam and the driver, not inside the
+/// engines — `net_wait` is time blocked in `recv`/`recv_timeout`, `setup`
+/// is graph partitioning/loading, and `compute` is the remainder of the
+/// machine's wall clock. Meaningful for both backends, but only TCP runs
+/// put real network latency in `net_wait`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Ingress: building this machine's part of the graph.
+    pub setup: Duration,
+    /// Engine time not spent blocked on the network.
+    pub compute: Duration,
+    /// Time blocked in `recv`/`recv_timeout` at the transport seam.
+    pub net_wait: Duration,
+}
+
+impl PhaseTimes {
+    /// Total wall clock of the machine's run.
+    pub fn total(&self) -> Duration {
+        self.setup + self.compute + self.net_wait
+    }
+}
+
 /// Final metrics of an engine run.
 #[derive(Clone, Debug, Default)]
 pub struct EngineMetrics {
@@ -75,6 +98,10 @@ pub struct EngineMetrics {
     /// (§4.3 recovery). Updates executed before a rollback re-execute, so
     /// `updates` includes the recomputation cost a failure causes.
     pub recoveries: u64,
+    /// Per-machine wall-clock phase breakdown (setup/compute/net-wait),
+    /// indexed by machine id. In a TCP run each process fills only its own
+    /// row; the spawn harness merges them.
+    pub phases: Vec<PhaseTimes>,
 }
 
 impl EngineMetrics {

@@ -38,7 +38,7 @@ use graphlab_graph::{
     DataGraph,
 };
 use graphlab_net::codec::Codec;
-use graphlab_net::{FaultPlan, LatencyModel};
+use graphlab_net::{FaultPlan, LatencyModel, Transport};
 
 use crate::config::{EngineConfig, SnapshotConfig};
 use crate::driver::{run_distributed, EngineKind, EngineOutput, PartitionStrategy, StopFn};
@@ -167,10 +167,20 @@ where
         self
     }
 
-    /// Network latency model for the simulated fabric.
-    pub fn latency(mut self, model: LatencyModel) -> Self {
-        self.config.latency = model;
+    /// Transport backend for the distributed engines (default:
+    /// [`Transport::Sim`] with zero latency). [`Transport::Tcp`] makes this
+    /// process one machine of a real multi-process cluster: it runs only
+    /// its own machine loop over sockets and writes back only the vertices
+    /// it owns (see [`EngineOutput::owned`]).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.config.transport = transport;
         self
+    }
+
+    /// Network latency model for the simulated fabric — shorthand for
+    /// `.transport(Transport::Sim(model))`.
+    pub fn latency(self, model: LatencyModel) -> Self {
+        self.transport(Transport::Sim(model))
     }
 
     /// Snapshot policy (§4.3).
@@ -339,6 +349,18 @@ where
                      (kill machines 1..)"
                 );
             }
+        }
+
+        if config.transport.is_tcp() {
+            assert!(
+                engine != EngineKind::Sequential,
+                "Transport::Tcp requires a distributed engine (the sequential engine \
+                 never touches the network)"
+            );
+            assert!(
+                config.faults.as_ref().is_none_or(|p| p.is_empty()),
+                "fault plans are SimNet-only: over TCP the network's faults are real"
+            );
         }
 
         if stop.is_some() {

@@ -41,8 +41,7 @@ pub enum InitialSchedule {
 }
 
 /// Runs Alg. 2 to completion on `graph`, mutating its data in place.
-/// Entered exclusively through [`crate::GraphLab::run`] (and the
-/// deprecated [`run_sequential`] shim).
+/// Entered exclusively through [`crate::GraphLab::run`].
 pub(crate) fn run_sequential_program<V, E, U>(
     graph: &mut DataGraph<V, E>,
     update: &U,
@@ -134,86 +133,13 @@ where
             steps: 0,
             snapshots: 0,
             recoveries: 0,
+            phases: Vec::new(),
         },
         globals,
         dfs: Arc::new(SimDfs::new()),
         failure: None,
+        owned: None,
     }
-}
-
-// ---------------------------------------------------------------------
-// Deprecated pre-builder entry point
-// ---------------------------------------------------------------------
-
-/// Options for a [`run_sequential`] shim run.
-#[deprecated(since = "0.1.0", note = "configure the run through `GraphLab::on(graph)` instead")]
-pub struct SequentialConfig<V, E> {
-    /// Consistency model to *enforce on scope accesses*.
-    pub consistency: graphlab_graph::ConsistencyModel,
-    /// Scheduler flavour for `RemoveNext(T)`.
-    pub scheduler: crate::scheduler::SchedulerKind,
-    /// Stop after this many updates (0 = run to empty scheduler).
-    pub max_updates: u64,
-    /// Sync operations, run every `sync_interval_updates`.
-    #[allow(deprecated)]
-    pub syncs: Vec<Box<dyn crate::sync::SyncOp<V, E>>>,
-    /// Cadence of sync operations in updates (0 = only at start/end).
-    pub sync_interval_updates: u64,
-    /// Record per-vertex update counts.
-    pub trace: bool,
-}
-
-#[allow(deprecated)]
-impl<V, E> Default for SequentialConfig<V, E> {
-    fn default() -> Self {
-        SequentialConfig {
-            consistency: graphlab_graph::ConsistencyModel::Edge,
-            scheduler: crate::scheduler::SchedulerKind::Fifo,
-            max_updates: 0,
-            syncs: Vec::new(),
-            sync_interval_updates: 0,
-            trace: false,
-        }
-    }
-}
-
-/// Runs Alg. 2 to completion on `graph`, mutating its data in place.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `GraphLab::on(graph)` — the sequential engine is the builder's default"
-)]
-#[allow(deprecated)]
-pub fn run_sequential<V, E, U>(
-    graph: &mut DataGraph<V, E>,
-    update: &U,
-    initial: InitialSchedule,
-    config: SequentialConfig<V, E>,
-) -> EngineMetrics
-where
-    V: Clone + Send + Sync + 'static,
-    E: Clone + Send + Sync + 'static,
-    U: UpdateFunction<V, E>,
-{
-    use crate::sync::{RegisteredSync, SyncOpAt};
-
-    let legacy = Arc::new(config.syncs);
-    let syncs: Vec<Box<dyn ErasedSync<V, E>>> = (0..legacy.len())
-        .map(|i| {
-            Box::new(RegisteredSync {
-                id: i as u32,
-                op: SyncOpAt { list: Arc::clone(&legacy), index: i },
-            }) as Box<dyn ErasedSync<V, E>>
-        })
-        .collect();
-    let engine_config = EngineConfig {
-        consistency: config.consistency,
-        scheduler: config.scheduler,
-        max_updates: config.max_updates,
-        sync_interval_updates: config.sync_interval_updates,
-        trace: config.trace,
-        ..EngineConfig::new(1)
-    };
-    run_sequential_program(graph, update, initial, &syncs, None, &engine_config).metrics
 }
 
 #[cfg(test)]
@@ -342,19 +268,4 @@ mod tests {
         assert_eq!(out.metrics.total_messages, 0, "no fabric traffic sequentially");
     }
 
-    /// The deprecated shim still drives the same engine (kept honest until
-    /// removal).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_sequential_shim_works() {
-        let mut g = path(10);
-        let m = run_sequential(
-            &mut g,
-            &MaxDiffusion,
-            InitialSchedule::AllVertices,
-            SequentialConfig::default(),
-        );
-        assert!(m.updates >= 10);
-        assert_eq!(*g.vertex_data(VertexId(0)), 9.0);
-    }
 }

@@ -268,54 +268,6 @@ pub(crate) fn run_local_syncs<V, E>(
     }
 }
 
-// ---------------------------------------------------------------------
-// Deprecated string-named sync op (kept for the deprecated shims)
-// ---------------------------------------------------------------------
-
-/// The pre-builder sync definition over `f64` vectors.
-#[deprecated(
-    since = "0.1.0",
-    note = "implement `Aggregate` and register it with `GraphLab::sync(handle, op, cadence)`"
-)]
-pub trait SyncOp<V, E>: Send + Sync {
-    /// Identity accumulator.
-    fn init(&self) -> Vec<f64>;
-    /// Maps one vertex's datum to an accumulator.
-    fn map(&self, vertex: VertexId, data: &V) -> Vec<f64>;
-    /// Folds `part` into `acc`.
-    fn combine(&self, acc: &mut Vec<f64>, part: &[f64]);
-    /// Finalisation; `total_vertices` is |V|.
-    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64>;
-}
-
-/// Adapter: one entry of a legacy `Arc<Vec<Box<dyn SyncOp>>>` list viewed
-/// as an [`Aggregate`] (the deprecated `run_*` shims register these under
-/// their list index as handle id).
-#[allow(deprecated)]
-pub(crate) struct SyncOpAt<V, E> {
-    pub(crate) list: Arc<Vec<Box<dyn SyncOp<V, E>>>>,
-    pub(crate) index: usize,
-}
-
-#[allow(deprecated)]
-impl<V: Send + Sync + 'static, E: Send + Sync + 'static> Aggregate<V, E> for SyncOpAt<V, E> {
-    type Acc = Vec<f64>;
-    type Out = Vec<f64>;
-
-    fn init(&self) -> Vec<f64> {
-        self.list[self.index].init()
-    }
-    fn map(&self, scope: &SyncScope<'_, V, E>) -> Vec<f64> {
-        self.list[self.index].map(scope.vertex(), scope.vertex_data())
-    }
-    fn combine(&self, acc: &mut Vec<f64>, part: Vec<f64>) {
-        self.list[self.index].combine(acc, &part);
-    }
-    fn finalize(&self, acc: Vec<f64>, total_vertices: u64) -> Vec<f64> {
-        self.list[self.index].finalize(acc, total_vertices)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

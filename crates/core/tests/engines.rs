@@ -499,38 +499,3 @@ fn stop_when_halts_locking_engine_mid_run() {
     assert!(out.metrics.updates >= 40, "ran until the stop fired");
     assert!(out.globals.get(TOTAL).is_some_and(|t| t[0] >= 40.0));
 }
-
-/// The deprecated shims still drive the builder path (kept honest until
-/// removal).
-#[test]
-#[allow(deprecated)]
-fn deprecated_distributed_shims_work() {
-    let mut seq = ring(20);
-    GraphLab::on(&mut seq).run(MaxDiffusion);
-
-    let no_syncs: Arc<Vec<Box<dyn SyncOp<f64, f64>>>> = Arc::new(Vec::new());
-    let mut chro = ring(20);
-    let coloring = graphlab_graph::greedy_coloring(&chro);
-    run_chromatic(
-        &mut chro,
-        coloring,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        Arc::clone(&no_syncs),
-        &EngineConfig::new(2),
-        &PartitionStrategy::RandomHash,
-    );
-    let mut lock = ring(20);
-    run_locking(
-        &mut lock,
-        Arc::new(MaxDiffusion),
-        InitialSchedule::AllVertices,
-        no_syncs,
-        &EngineConfig::new(2),
-        &PartitionStrategy::RandomHash,
-    );
-    for v in seq.vertices() {
-        assert_eq!(seq.vertex_data(v), chro.vertex_data(v));
-        assert_eq!(seq.vertex_data(v), lock.vertex_data(v));
-    }
-}

@@ -34,7 +34,8 @@ use std::time::Duration;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graphlab_graph::MachineId;
 
-use crate::cluster::{Endpoint, Envelope, RecvError};
+use crate::cluster::{Envelope, RecvError};
+use crate::transport::Endpoint;
 use crate::codec::{get_uvarint, put_uvarint};
 use crate::compress;
 
@@ -333,8 +334,8 @@ mod tests {
 
     fn pair(policy: BatchPolicy) -> (SimNet, Batcher, Batcher) {
         let (net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
-        let b1 = Batcher::new(eps.pop().unwrap(), policy);
-        let b0 = Batcher::new(eps.pop().unwrap(), policy);
+        let b1 = Batcher::new(eps.pop().unwrap().into(), policy);
+        let b0 = Batcher::new(eps.pop().unwrap().into(), policy);
         (net, b0, b1)
     }
 

@@ -1,7 +1,7 @@
 //! The simulated cluster fabric: machine endpoints, message envelopes,
 //! delayed delivery, and traffic accounting.
 //!
-//! A [`SimNet`] wires `n` machine [`Endpoint`]s together. Sending is
+//! A [`SimNet`] wires `n` machine [`SimEndpoint`]s together. Sending is
 //! non-blocking (channels are unbounded, like the paper's asynchronous RPC
 //! over TCP); receiving blocks with optional timeout. When the
 //! [`LatencyModel`] is non-zero a dedicated delivery thread holds messages
@@ -111,7 +111,7 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         let mk = || (0..n).map(|_| AtomicU64::new(0)).collect();
         NetStats {
             bytes_sent: mk(),
@@ -263,7 +263,7 @@ struct SendState {
 }
 
 /// One machine's handle on the fabric.
-pub struct Endpoint {
+pub struct SimEndpoint {
     id: MachineId,
     n: usize,
     direct: Vec<Sender<Envelope>>,
@@ -276,7 +276,7 @@ pub struct Endpoint {
     send_state: Mutex<SendState>,
 }
 
-impl Endpoint {
+impl SimEndpoint {
     /// This machine's id.
     pub fn id(&self) -> MachineId {
         self.id
@@ -436,12 +436,12 @@ pub struct SimNet {
 impl SimNet {
     /// Creates a fabric of `n` machines with the given latency model and
     /// returns one endpoint per machine.
-    pub fn new(n: usize, latency: LatencyModel) -> (SimNet, Vec<Endpoint>) {
+    pub fn new(n: usize, latency: LatencyModel) -> (SimNet, Vec<SimEndpoint>) {
         Self::with_seed(n, latency, 0x9E37_79B9_7F4A_7C15)
     }
 
     /// As [`SimNet::new`] with an explicit jitter seed.
-    pub fn with_seed(n: usize, latency: LatencyModel, seed: u64) -> (SimNet, Vec<Endpoint>) {
+    pub fn with_seed(n: usize, latency: LatencyModel, seed: u64) -> (SimNet, Vec<SimEndpoint>) {
         Self::build(n, latency, seed, None)
     }
 
@@ -452,7 +452,7 @@ impl SimNet {
         latency: LatencyModel,
         seed: u64,
         plan: FaultPlan,
-    ) -> (SimNet, Vec<Endpoint>) {
+    ) -> (SimNet, Vec<SimEndpoint>) {
         Self::build(n, latency, seed, Some(plan))
     }
 
@@ -461,7 +461,7 @@ impl SimNet {
         latency: LatencyModel,
         seed: u64,
         plan: Option<FaultPlan>,
-    ) -> (SimNet, Vec<Endpoint>) {
+    ) -> (SimNet, Vec<SimEndpoint>) {
         assert!(n > 0, "cluster needs at least one machine");
         let stats = Arc::new(NetStats::new(n));
         let mut txs = Vec::with_capacity(n);
@@ -494,7 +494,7 @@ impl SimNet {
         let endpoints = rxs
             .into_iter()
             .enumerate()
-            .map(|(i, rx)| Endpoint {
+            .map(|(i, rx)| SimEndpoint {
                 id: MachineId::from(i),
                 n,
                 direct: txs.clone(),
@@ -536,6 +536,24 @@ impl Drop for SimNet {
             let _ = h.join();
         }
     }
+}
+
+/// Charges one envelope to the send-side counters. Transports call this at
+/// the send point (self-sends are free and must not be charged).
+pub(crate) fn charge_send(stats: &NetStats, env: &Envelope) {
+    let src = env.src.index();
+    stats.bytes_sent[src].fetch_add(env.wire_bytes() as u64, Ordering::Relaxed);
+    stats.msgs_sent[src].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Charges one envelope to the receive-side counters (per-machine and
+/// per-kind rows). Transports call this exactly once per envelope actually
+/// handed to a destination inbox — never for messages lost in flight.
+pub(crate) fn charge_delivery(stats: &NetStats, env: &Envelope) {
+    let dst = env.dst.index();
+    stats.bytes_received[dst].fetch_add(env.wire_bytes() as u64, Ordering::Relaxed);
+    stats.msgs_received[dst].fetch_add(1, Ordering::Relaxed);
+    stats.charge_kinds(&kind_attribution(env), 1);
 }
 
 /// Hands `env` to its destination inbox and charges the receive counters.

@@ -1,22 +1,38 @@
 //! # graphlab-net
 //!
-//! The simulated cluster runtime underlying the distributed GraphLab
-//! reproduction (§4.4 "System Design").
+//! The cluster runtime underlying the distributed GraphLab reproduction
+//! (§4.4 "System Design"), behind one **transport seam**.
 //!
 //! The paper runs one symmetric GraphLab process per EC2 machine,
 //! communicating through a custom asynchronous RPC protocol over TCP/IP.
-//! Here each *machine* is an OS thread, and the RPC layer is a
-//! message-passing fabric ([`cluster::SimNet`]) with three properties that
-//! keep the simulation honest:
+//! This crate offers that fabric twice behind a single seam
+//! ([`transport::Endpoint`] / [`transport::Net`], selected by
+//! [`transport::Transport`]):
+//!
+//! - [`cluster::SimNet`] — the deterministic in-process twin: every
+//!   *machine* is an OS thread, latency is modelled, faults are injected
+//!   from a seeded plan, and whole-cluster runs replay bit-identically.
+//! - [`tcp::TcpNet`] — real length-prefixed TCP between OS processes
+//!   (one per machine, full mesh, handshake-validated), for honest
+//!   wall-clock numbers.
+//!
+//! Both backends expose identical semantics — per-channel FIFO, the same
+//! [`cluster::RecvError`] meanings, free self-sends, delivery-charged
+//! [`cluster::NetStats`] — and are pinned to each other by a shared
+//! transport-conformance suite, so engine protocols proven under chaos on
+//! `SimNet` run byte-for-byte unchanged over sockets (the
+//! FoundationDB/MadSim pattern). Three properties keep the fabric honest
+//! on either backend:
 //!
 //! 1. **Share-nothing**: every payload crossing a machine boundary must be
 //!    encoded to bytes through the [`codec::Codec`] trait. Machines never
 //!    exchange references to each other's state.
 //! 2. **Measured**: per-machine sent/received byte and message counters
 //!    ([`cluster::NetStats`]) feed the bandwidth figures (Fig. 6(b)).
-//! 3. **Latency-aware**: an optional delivery thread imposes a configurable
-//!    per-message latency (fixed + size-proportional + deterministic
-//!    jitter), which is what makes pipelining (§4.2.2) matter.
+//! 3. **Latency-aware**: on `SimNet`, an optional delivery thread imposes a
+//!    configurable per-message latency (fixed + size-proportional +
+//!    deterministic jitter), which is what makes pipelining (§4.2.2)
+//!    matter; on `TcpNet` the latency is the real network's.
 //!
 //! ## Delivery guarantees
 //!
@@ -35,7 +51,9 @@
 //! Engine protocols may (and do) rely on per-channel ordering: the
 //! locking engine's schedule-before-release invariant, the asynchronous
 //! Chandy-Lamport snapshot marker (Alg. 5), and the chromatic engine's
-//! counting flush all assume it. See [`cluster`] for details.
+//! counting flush all assume it. `SimNet` enforces this with its
+//! deliver-at clamp (see [`cluster`]); `TcpNet` gets it from TCP itself by
+//! dedicating one stream to each ordered (src, dst) pair (see [`tcp`]).
 //!
 //! ## Wire format
 //!
@@ -76,12 +94,16 @@ pub mod codec;
 pub mod compress;
 pub mod fault;
 pub mod latency;
+pub mod tcp;
 pub mod termination;
+pub mod transport;
 
 pub use barrier::BarrierMaster;
 pub use batch::{BatchCounters, BatchPolicy, Batcher, K_BATCH, K_ZIP};
-pub use cluster::{Endpoint, Envelope, KindTraffic, MachineTraffic, NetStats, RecvError, SimNet};
+pub use cluster::{Envelope, KindTraffic, MachineTraffic, NetStats, RecvError, SimEndpoint, SimNet};
 pub use codec::{decode_from, encode_to_bytes, Codec};
 pub use fault::{DownMsg, FaultEvent, FaultPlan, FaultTrigger, UpMsg, K_DOWN, K_UP};
 pub use latency::LatencyModel;
+pub use tcp::{shutdown_active, TcpConfig, TcpEndpoint, TcpNet};
 pub use termination::{Safra, SafraAction, Token};
+pub use transport::{Endpoint, Net, Transport};

@@ -1,0 +1,502 @@
+//! Real-TCP transport: the same [`Envelope`] fabric as [`SimNet`], but
+//! between OS processes over length-prefixed frames on localhost or a real
+//! network (§4.4: one symmetric GraphLab process per machine, asynchronous
+//! RPC over TCP/IP).
+//!
+//! [`TcpNet::connect`] builds a full mesh: every machine listens on its own
+//! address and dials every peer, so each ordered (src, dst) pair owns one
+//! TCP stream used in one direction. Per-channel FIFO therefore comes from
+//! TCP itself — the property [`SimNet`] has to emulate with its deliver-at
+//! clamp. The dial side opens each connection with a handshake frame
+//! carrying `(magic, version, machine id, cluster size, run id)`; the
+//! accept side validates all five and answers with a one-byte ACK before
+//! either side puts engine traffic on the wire, so a stray process from
+//! another run (or another cluster size) is rejected at the door.
+//!
+//! Failure semantics are deliberately thinner than the sim fabric's: there
+//! is no fault plan, no latency model and no delivery oracle. A send that
+//! hits a broken stream redials the peer once (reconnect-on-transient-
+//! error) and otherwise drops the message — exactly what a crashed peer
+//! looks like from the outside. Deterministic chaos testing stays on
+//! [`SimNet`]; `TcpNet` is the honest-wall-clock twin.
+//!
+//! Traffic accounting matches the sim fabric byte for byte: sends charge
+//! [`Envelope::wire_bytes`] (payload + the same [`crate::cluster::HEADER_BYTES`]
+//! framing constant) at the send point, receives are charged at actual
+//! delivery into the inbox, and per-kind rows attribute batch sub-messages
+//! to their real kinds. Each process only observes its own machine's rows —
+//! cluster-wide totals are aggregated post-hoc by the spawn harness, the
+//! way the paper's system aggregates per-machine logs.
+//!
+//! [`SimNet`]: crate::cluster::SimNet
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use graphlab_graph::MachineId;
+use parking_lot::Mutex;
+
+use crate::cluster::{charge_delivery, charge_send, Envelope, NetStats, RecvError};
+
+/// First handshake field; rejects random port scanners and cross-protocol
+/// connects before any state is allocated.
+pub const TCP_MAGIC: u32 = 0x474C_4142; // "GLAB"
+
+/// Wire-format version carried in the handshake; bump on incompatible
+/// frame-format changes.
+pub const TCP_VERSION: u16 = 1;
+
+/// Accept-side handshake reply confirming the connection was validated.
+const ACK: u8 = 0xA5;
+
+/// Upper bound on a single frame's payload; a length prefix beyond this is
+/// treated as stream corruption and the connection is dropped.
+const MAX_FRAME: usize = 256 * 1024 * 1024;
+
+/// How long a mid-run reconnect attempt may take before the message is
+/// declared lost (initial mesh setup uses [`TcpConfig::connect_timeout`]).
+const RECONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Configuration of one machine's TCP transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Which machine this process is.
+    pub machine: MachineId,
+    /// Socket address of every machine, indexed by machine id (`peers.len()`
+    /// is the cluster size). This process listens on `peers[machine]`.
+    pub peers: Vec<String>,
+    /// Cluster-unique run identifier; connections from other runs are
+    /// rejected at the handshake.
+    pub run_id: u64,
+    /// Deadline for establishing the full mesh (listeners of slow-starting
+    /// peers are re-dialled until it expires).
+    pub connect_timeout: Duration,
+}
+
+impl TcpConfig {
+    /// A config with the default 30 s mesh-setup deadline.
+    pub fn new(machine: MachineId, peers: Vec<String>, run_id: u64) -> Self {
+        TcpConfig { machine, peers, run_id, connect_timeout: Duration::from_secs(30) }
+    }
+}
+
+/// State shared by the endpoint, the owner handle and every I/O thread:
+/// the shutdown latch plus clones of all live streams so shutdown can
+/// unblock readers from the outside.
+struct TcpShared {
+    shutdown: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl TcpShared {
+    fn register(&self, s: &TcpStream) {
+        if let Ok(c) = s.try_clone() {
+            self.conns.lock().push(c);
+        }
+    }
+
+    fn close_all(&self, how: Shutdown) {
+        for c in self.conns.lock().iter() {
+            let _ = c.shutdown(how);
+        }
+    }
+}
+
+/// Registry of live transports in this process, for signal handlers
+/// (`graphlab-node` SIGTERM/Ctrl-C) that must close sockets gracefully
+/// from outside the engine's call stack.
+static ACTIVE: std::sync::Mutex<Vec<Weak<TcpShared>>> = std::sync::Mutex::new(Vec::new());
+
+/// Gracefully shuts down every live [`TcpNet`] in this process: further
+/// sends stop, write halves are closed (FIN after any queued bytes), and
+/// peers observe a clean EOF. Safe to call from a signal-watcher thread.
+pub fn shutdown_active() {
+    let mut reg = ACTIVE.lock().expect("tcp registry poisoned");
+    reg.retain(|w| {
+        let Some(shared) = w.upgrade() else { return false };
+        shared.shutdown.store(true, Ordering::SeqCst);
+        shared.close_all(Shutdown::Write);
+        true
+    });
+}
+
+/// Owner handle of one machine's TCP transport (listener, acceptor and
+/// reader threads). Dropping it closes every connection and joins the I/O
+/// threads; the paired [`TcpEndpoint`] should be dropped first.
+pub struct TcpNet {
+    shared: Arc<TcpShared>,
+    stats: Arc<NetStats>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpNet {
+    /// Builds this machine's side of the mesh: binds `peers[machine]`,
+    /// accepts and validates incoming connections in the background, and
+    /// dials every peer (retrying until `connect_timeout`) with the
+    /// handshake. Returns once all outgoing connections are established —
+    /// incoming ones complete asynchronously as peers dial in.
+    pub fn connect(cfg: &TcpConfig) -> io::Result<(TcpNet, TcpEndpoint)> {
+        let n = cfg.peers.len();
+        let me = cfg.machine;
+        assert!(n > 0, "cluster needs at least one machine");
+        assert!(me.index() < n, "machine id {me} out of range for {n} peers");
+
+        let deadline = Instant::now() + cfg.connect_timeout;
+        let listener = bind_retry(&cfg.peers[me.index()], deadline)?;
+        listener.set_nonblocking(true)?;
+
+        let stats = Arc::new(NetStats::new(n));
+        let shared = Arc::new(TcpShared { shutdown: AtomicBool::new(false), conns: Mutex::new(Vec::new()) });
+        ACTIVE.lock().expect("tcp registry poisoned").push(Arc::downgrade(&shared));
+        let (inbox_tx, rx) = channel::unbounded();
+        let threads = Mutex::new(Vec::new());
+
+        let net = TcpNet { shared: Arc::clone(&shared), stats: Arc::clone(&stats), threads };
+
+        // Acceptor: validates handshakes and spawns one reader per incoming
+        // stream, for the life of the transport (reconnects re-enter here).
+        {
+            let shared = Arc::clone(&shared);
+            let stats = Arc::clone(&stats);
+            let inbox_tx = inbox_tx.clone();
+            let run_id = cfg.run_id;
+            let acceptor = std::thread::Builder::new()
+                .name(format!("tcp-accept-{me}"))
+                .spawn(move || accept_loop(listener, me, n as u16, run_id, stats, inbox_tx, shared))
+                .expect("spawn tcp acceptor");
+            net.threads.lock().push(acceptor);
+        }
+
+        // Dial every peer. Peers start in arbitrary order, so each dial
+        // retries until the mesh deadline.
+        let mut outs: Vec<Mutex<Option<TcpStream>>> = Vec::with_capacity(n);
+        for (j, peer) in cfg.peers.iter().enumerate() {
+            if j == me.index() {
+                outs.push(Mutex::new(None));
+                continue;
+            }
+            let s = dial(peer, me, n as u16, cfg.run_id, deadline)?;
+            shared.register(&s);
+            outs.push(Mutex::new(Some(s)));
+        }
+
+        let ep = TcpEndpoint {
+            id: me,
+            n,
+            run_id: cfg.run_id,
+            peers: cfg.peers.clone(),
+            stats,
+            outs,
+            shared,
+            inbox_tx,
+            rx,
+        };
+        Ok((net, ep))
+    }
+
+    /// This machine's view of the traffic counters (own rows only; peers
+    /// account for themselves).
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Graceful shutdown: stops further sends and closes the write half of
+    /// every connection (FIN after queued bytes), so peers drain what was
+    /// sent and then observe EOF. Reads stay open until drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.close_all(Shutdown::Write);
+    }
+}
+
+impl Drop for TcpNet {
+    fn drop(&mut self) {
+        self.shutdown();
+        // Force blocked readers out of `read` and join everything.
+        self.shared.close_all(Shutdown::Both);
+        for h in self.threads.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One machine's handle on the TCP fabric; the real-socket counterpart of
+/// [`crate::cluster::SimEndpoint`] with identical send/receive semantics.
+pub struct TcpEndpoint {
+    id: MachineId,
+    n: usize,
+    run_id: u64,
+    peers: Vec<String>,
+    stats: Arc<NetStats>,
+    outs: Vec<Mutex<Option<TcpStream>>>,
+    shared: Arc<TcpShared>,
+    inbox_tx: Sender<Envelope>,
+    rx: Receiver<Envelope>,
+}
+
+impl TcpEndpoint {
+    /// This machine's id.
+    pub fn id(&self) -> MachineId {
+        self.id
+    }
+
+    /// Number of machines in the cluster.
+    pub fn num_machines(&self) -> usize {
+        self.n
+    }
+
+    /// This machine's traffic counters.
+    pub fn stats(&self) -> &Arc<NetStats> {
+        &self.stats
+    }
+
+    /// Sends `payload` to `dst`. Self-sends deliver through the inbox and
+    /// are charged zero network bytes, like the sim fabric. A broken stream
+    /// is redialled once (with a fresh handshake); if that also fails the
+    /// message is dropped — the peer is gone.
+    pub fn send(&self, dst: MachineId, kind: u16, payload: Bytes) {
+        let env = Envelope { src: self.id, dst, kind, payload };
+        if dst == self.id {
+            let _ = self.inbox_tx.send(env);
+            return;
+        }
+        charge_send(&self.stats, &env);
+        let mut out = self.outs[dst.index()].lock();
+        let sent = match out.as_mut() {
+            Some(s) => write_frame(s, &env).is_ok(),
+            None => false,
+        };
+        if sent {
+            return;
+        }
+        *out = None;
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let deadline = Instant::now() + RECONNECT_TIMEOUT;
+        if let Ok(mut s) = dial(&self.peers[dst.index()], self.id, self.n as u16, self.run_id, deadline)
+        {
+            if write_frame(&mut s, &env).is_ok() {
+                self.shared.register(&s);
+                *out = Some(s);
+            }
+        }
+    }
+
+    /// Broadcasts to every *other* machine.
+    pub fn broadcast(&self, kind: u16, payload: &Bytes) {
+        for i in 0..self.n {
+            let dst = MachineId::from(i);
+            if dst != self.id {
+                self.send(dst, kind, payload.clone());
+            }
+        }
+    }
+
+    /// Fault-plan self-inspection: always `None` — deterministic fault
+    /// injection lives on [`crate::cluster::SimNet`] only.
+    pub fn self_death(&self) -> Option<bool> {
+        None
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => RecvError::Timeout,
+            RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => RecvError::Timeout,
+            TryRecvError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Graceful shutdown of the send side: peers drain in-flight frames and
+    /// then observe EOF. Equivalent to [`TcpNet::shutdown`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.close_all(Shutdown::Write);
+    }
+}
+
+// ------------------------------------------------------------------ wire
+
+/// Writes one `[len u32 | kind u16 | payload]` frame. Small frames go out
+/// in a single write so `TCP_NODELAY` does not split them into two packets.
+fn write_frame(s: &mut TcpStream, env: &Envelope) -> io::Result<()> {
+    let len = env.payload.len();
+    let mut header = [0u8; 6];
+    header[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    header[4..].copy_from_slice(&env.kind.to_le_bytes());
+    if len <= 64 * 1024 {
+        let mut buf = Vec::with_capacity(6 + len);
+        buf.extend_from_slice(&header);
+        buf.extend_from_slice(&env.payload);
+        s.write_all(&buf)
+    } else {
+        s.write_all(&header)?;
+        s.write_all(&env.payload)
+    }
+}
+
+/// Reads frames off one incoming stream until EOF/error, charging delivery
+/// and handing envelopes to the inbox.
+fn reader_loop(
+    mut s: TcpStream,
+    src: MachineId,
+    dst: MachineId,
+    stats: Arc<NetStats>,
+    inbox_tx: Sender<Envelope>,
+) {
+    let mut header = [0u8; 6];
+    loop {
+        if s.read_exact(&mut header).is_err() {
+            return;
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+        let kind = u16::from_le_bytes(header[4..].try_into().expect("2 bytes"));
+        if len > MAX_FRAME {
+            return; // corrupt stream
+        }
+        let mut payload = vec![0u8; len];
+        if s.read_exact(&mut payload).is_err() {
+            return;
+        }
+        let env = Envelope { src, dst, kind, payload: Bytes::from(payload) };
+        charge_delivery(&stats, &env);
+        if inbox_tx.send(env).is_err() {
+            return; // endpoint gone
+        }
+    }
+}
+
+/// Accepts, validates and wires up incoming connections until shutdown.
+fn accept_loop(
+    listener: TcpListener,
+    me: MachineId,
+    n: u16,
+    run_id: u64,
+    stats: Arc<NetStats>,
+    inbox_tx: Sender<Envelope>,
+    shared: Arc<TcpShared>,
+) {
+    let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut s, _)) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                match read_handshake(&mut s, n, run_id) {
+                    Ok(src) => {
+                        if s.write_all(&[ACK]).is_err() {
+                            continue;
+                        }
+                        let _ = s.set_read_timeout(None);
+                        shared.register(&s);
+                        let stats = Arc::clone(&stats);
+                        let tx = inbox_tx.clone();
+                        let h = std::thread::Builder::new()
+                            .name(format!("tcp-read-{me}-from-{src}"))
+                            .spawn(move || reader_loop(s, src, me, stats, tx))
+                            .expect("spawn tcp reader");
+                        readers.push(h);
+                    }
+                    Err(_) => drop(s), // wrong magic/version/run/size: reject
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Readers exit on EOF or forced close; TcpNet::drop has closed every
+    // registered stream by the time the acceptor sees the latch.
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// 16-byte dial-side handshake: magic, version, src machine, cluster size,
+/// run id.
+fn handshake_bytes(src: MachineId, n: u16, run_id: u64) -> [u8; 16] {
+    let mut b = [0u8; 16];
+    b[..4].copy_from_slice(&TCP_MAGIC.to_le_bytes());
+    b[4..6].copy_from_slice(&TCP_VERSION.to_le_bytes());
+    b[6..8].copy_from_slice(&(src.index() as u16).to_le_bytes());
+    b[8..10].copy_from_slice(&n.to_le_bytes());
+    b[10..].copy_from_slice(&run_id.to_le_bytes()[..6]); // low 48 bits
+    b
+}
+
+fn read_handshake(s: &mut TcpStream, n: u16, run_id: u64) -> io::Result<MachineId> {
+    let mut b = [0u8; 16];
+    s.read_exact(&mut b)?;
+    let expect = handshake_bytes(MachineId(0), n, run_id);
+    let src = u16::from_le_bytes(b[6..8].try_into().expect("2 bytes"));
+    if b[..6] != expect[..6] || b[8..] != expect[8..] || src >= n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "handshake mismatch: wrong magic/version/cluster-size/run-id",
+        ));
+    }
+    Ok(MachineId(src))
+}
+
+/// Dials `addr` with retries until `deadline`, performing the handshake and
+/// waiting for the accept side's ACK.
+fn dial(addr: &str, src: MachineId, n: u16, run_id: u64, deadline: Instant) -> io::Result<TcpStream> {
+    let hs = handshake_bytes(src, n, run_id);
+    loop {
+        let err = match TcpStream::connect(addr) {
+            Ok(mut s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+                let ok = s.write_all(&hs).is_ok() && {
+                    let mut ack = [0u8; 1];
+                    s.read_exact(&mut ack).is_ok() && ack[0] == ACK
+                };
+                if ok {
+                    let _ = s.set_read_timeout(None);
+                    return Ok(s);
+                }
+                io::Error::new(io::ErrorKind::ConnectionRefused, format!("{addr} rejected handshake"))
+            }
+            Err(e) => e,
+        };
+        if Instant::now() >= deadline {
+            return Err(err);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Binds `addr` with retries until `deadline` — a freshly spawned worker
+/// may race a just-released port from the parent's allocation pass.
+fn bind_retry(addr: &str, deadline: Instant) -> io::Result<TcpListener> {
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}

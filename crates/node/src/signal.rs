@@ -1,0 +1,48 @@
+//! SIGTERM/Ctrl-C handling for worker processes, dependency-free.
+//!
+//! The async-signal-safe handler only records the signal number; a
+//! watcher thread notices, closes every live TCP transport gracefully
+//! ([`graphlab_net::shutdown_active`]: sends stop, write halves get FIN
+//! after queued bytes so peers drain what was already sent), logs one
+//! line, and exits `128 + signum` — the conventional killed-by-signal
+//! exit status, and in any case nonzero so the spawn parent counts the
+//! worker as failed.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::time::Duration;
+
+/// SIGINT (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// SIGTERM (polite kill).
+pub const SIGTERM: i32 = 15;
+
+static RECEIVED: AtomicI32 = AtomicI32::new(0);
+
+extern "C" fn record(sig: i32) {
+    RECEIVED.store(sig, Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the SIGINT/SIGTERM handlers and spawns the watcher thread.
+/// `context` prefixes the abort log line (e.g. `"graphlab-node[m=2]"`).
+pub fn install_watcher(context: String) {
+    unsafe {
+        signal(SIGINT, record);
+        signal(SIGTERM, record);
+    }
+    std::thread::Builder::new()
+        .name("signal-watcher".to_string())
+        .spawn(move || loop {
+            let sig = RECEIVED.load(Ordering::SeqCst);
+            if sig != 0 {
+                graphlab_net::shutdown_active();
+                eprintln!("{context}: aborting on signal {sig} — connections closed gracefully");
+                std::process::exit(128 + sig);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+        .expect("spawn signal watcher");
+}

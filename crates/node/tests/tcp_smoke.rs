@@ -1,0 +1,97 @@
+//! End-to-end smoke tests for the multi-process TCP harness: the spawn
+//! subcommand must drive both engines across 4 OS processes to the same
+//! fixpoint as the in-process SimNet twin, and a worker must die cleanly
+//! (graceful FIN, nonzero exit) on SIGTERM.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+fn node_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_graphlab-node")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("glab-smoke-{}-{tag}", std::process::id()))
+}
+
+/// 4 worker processes per engine over localhost TCP, checked against the
+/// single-process SimNet fixpoint (L1 < 1e-9 enforced by `--check`).
+#[test]
+fn four_process_pagerank_matches_simnet_for_both_engines() {
+    let bench = temp_path("bench.json");
+    let out = Command::new(node_bin())
+        .args([
+            "spawn",
+            "--machines",
+            "4",
+            "--engine",
+            "both",
+            "--check",
+            "--vertices",
+            "240",
+            "--edges-per",
+            "3",
+            "--bench",
+        ])
+        .arg(&bench)
+        .output()
+        .expect("run graphlab-node spawn");
+    assert!(
+        out.status.success(),
+        "spawn failed ({:?})\nstdout:\n{}\nstderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let json = std::fs::read_to_string(&bench).expect("bench file written");
+    for key in ["\"chromatic\"", "\"locking\"", "\"l1_vs_sim\"", "\"net_wait_s\""] {
+        assert!(json.contains(key), "bench json missing {key}:\n{json}");
+    }
+    let _ = std::fs::remove_file(&bench);
+}
+
+/// A worker stuck dialing unreachable peers must react to SIGTERM: close
+/// its transport gracefully and exit `128 + 15`.
+#[test]
+fn worker_exits_143_on_sigterm() {
+    // Reserve three ports, then release them: the worker re-binds the
+    // first as its own listener and dials the other two forever (nobody
+    // ever listens there), so it sits in mesh setup until signalled.
+    let ports: Vec<u16> = (0..3)
+        .map(|_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind :0");
+            l.local_addr().expect("local addr").port()
+        })
+        .collect();
+    let peers =
+        ports.iter().map(|p| format!("127.0.0.1:{p}")).collect::<Vec<_>>().join(",");
+    let out_file = temp_path("sigterm.out");
+    let mut child = Command::new(node_bin())
+        .args(["worker", "--machine", "0", "--peers", &peers, "--run-id", "7", "--engine"])
+        .args(["chromatic", "--vertices", "32", "--out"])
+        .arg(&out_file)
+        .spawn()
+        .expect("spawn worker");
+
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(child.try_wait().expect("try_wait").is_none(), "worker exited before SIGTERM");
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(kill.success(), "kill -TERM failed");
+
+    // The signal watcher polls every 50ms; allow generous slack.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(s) = child.try_wait().expect("try_wait") {
+            break s;
+        }
+        assert!(Instant::now() < deadline, "worker ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(128 + 15), "expected killed-by-SIGTERM exit status");
+    // Died mid-setup: no result file may claim completion.
+    assert!(!out_file.exists(), "worker wrote a result despite being killed");
+}

@@ -477,8 +477,8 @@ mod compression {
             // Mixed compressible (constant-fill) payload sizes through a
             // compressing batcher: contents and order must be preserved.
             let (_net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
-            let mut b1 = Batcher::new(eps.pop().unwrap(), BatchPolicy::default());
-            let mut b0 = Batcher::new(eps.pop().unwrap(), BatchPolicy::default());
+            let mut b1 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
+            let mut b0 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
             for (k, (fill, size)) in payloads.iter().enumerate() {
                 b0.send(MachineId(1), k as u16, Bytes::from(vec![*fill as u8; *size]));
             }
