@@ -42,6 +42,7 @@ use graphlab_workloads::{
 fn banner(id: &str, what: &str, paper: &str) {
     println!("\n=== {id}: {what} ===");
     println!("  paper: {paper}");
+    graphlab_bench::report::begin_experiment(id, what, paper);
 }
 
 // ---------------------------------------------------------------- fig 1a
@@ -1311,5 +1312,11 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+    // Persist every table printed this run (no-op for `help`).
+    match graphlab_bench::report::write_json("BENCH_repro.json") {
+        Ok(true) => println!("\ntables written to BENCH_repro.json"),
+        Ok(false) => {}
+        Err(e) => eprintln!("failed to write BENCH_repro.json: {e}"),
     }
 }

@@ -6,6 +6,7 @@
 //! EXPERIMENTS.md for recorded runs). Criterion micro-benchmarks live in
 //! `benches/`.
 
+pub mod report;
 pub mod table;
 
 pub use table::Table;

@@ -1,0 +1,174 @@
+//! Machine-readable run report: every table the harness prints is also
+//! recorded here, and `repro` persists the lot as `BENCH_repro.json`
+//! (same spirit as the node harness's `BENCH_tcp_smoke.json`), so runs
+//! can be diffed and plotted without scraping stdout.
+//!
+//! Hand-rolled JSON — the workspace builds with no external dependencies.
+
+use std::sync::Mutex;
+
+#[derive(Clone)]
+struct RecordedTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+#[derive(Clone)]
+struct Experiment {
+    id: String,
+    what: String,
+    paper: String,
+    tables: Vec<RecordedTable>,
+}
+
+static REPORT: Mutex<Vec<Experiment>> = Mutex::new(Vec::new());
+
+/// Opens a new experiment section; subsequent [`crate::Table::print`]
+/// calls are recorded under it. The harness's `banner()` calls this.
+pub fn begin_experiment(id: &str, what: &str, paper: &str) {
+    REPORT.lock().unwrap().push(Experiment {
+        id: id.to_string(),
+        what: what.to_string(),
+        paper: paper.to_string(),
+        tables: Vec::new(),
+    });
+}
+
+/// Records a printed table under the current experiment. Tables printed
+/// before any [`begin_experiment`] (e.g. from unit tests) are dropped.
+pub fn record_table(headers: &[String], rows: &[Vec<String>]) {
+    if let Some(exp) = REPORT.lock().unwrap().last_mut() {
+        exp.tables.push(RecordedTable { headers: headers.to_vec(), rows: rows.to_vec() });
+    }
+}
+
+/// Discards everything recorded so far (test isolation).
+pub fn reset() {
+    REPORT.lock().unwrap().clear();
+}
+
+/// Renders the recorded experiments as JSON, or `None` when nothing was
+/// recorded (so `repro help` writes no file).
+pub fn to_json() -> Option<String> {
+    let report = REPORT.lock().unwrap();
+    if report.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"graphlab-repro-tables-v1\",\n  \"experiments\": [");
+    for (i, exp) in report.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"id\": {},\n", json_str(&exp.id)));
+        out.push_str(&format!("      \"what\": {},\n", json_str(&exp.what)));
+        out.push_str(&format!("      \"paper\": {},\n", json_str(&exp.paper)));
+        out.push_str("      \"tables\": [");
+        for (j, t) in exp.tables.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        {\n          \"headers\": ");
+            out.push_str(&json_str_array(&t.headers));
+            out.push_str(",\n          \"rows\": [");
+            for (k, row) in t.rows.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n            ");
+                out.push_str(&json_str_array(row));
+            }
+            if !t.rows.is_empty() {
+                out.push_str("\n          ");
+            }
+            out.push_str("]\n        }");
+        }
+        if !exp.tables.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+    }
+    out.push_str("\n  ]\n}\n");
+    Some(out)
+}
+
+/// Writes the report to `path` when anything was recorded; returns whether
+/// a file was written.
+pub fn write_json(path: &str) -> std::io::Result<bool> {
+    match to_json() {
+        Some(json) => {
+            std::fs::write(path, json)?;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so the suite shares it; this lock
+    // serialises the tests that touch it.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn empty_report_writes_nothing() {
+        let _g = TEST_GUARD.lock().unwrap();
+        reset();
+        assert!(to_json().is_none());
+    }
+
+    #[test]
+    fn records_tables_under_experiments() {
+        let _g = TEST_GUARD.lock().unwrap();
+        reset();
+        begin_experiment("fig1a", "async vs sync", "shape claim");
+        crate::Table::new(&["col"]).row(vec!["v1".into()]).print();
+        begin_experiment("table2", "second", "другое");
+        let json = to_json().expect("non-empty");
+        reset();
+        assert!(json.contains("\"schema\": \"graphlab-repro-tables-v1\""));
+        assert!(json.contains("\"id\": \"fig1a\""));
+        assert!(json.contains("\"headers\": [\"col\"]"));
+        assert!(json.contains("[\"v1\"]"));
+        assert!(json.contains("\"id\": \"table2\""));
+        // Tables attach to the experiment open at print time.
+        let fig1a_pos = json.find("fig1a").unwrap();
+        let v1_pos = json.find("\"v1\"").unwrap();
+        let table2_pos = json.find("table2").unwrap();
+        assert!(fig1a_pos < v1_pos && v1_pos < table2_pos);
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_control_chars() {
+        let _g = TEST_GUARD.lock().unwrap();
+        assert_eq!(json_str("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_str("≈1.5×"), "\"≈1.5×\""); // UTF-8 passes through
+    }
+}

@@ -19,8 +19,10 @@ impl Table {
         self
     }
 
-    /// Renders to stdout.
+    /// Renders to stdout and records the table in the run report
+    /// (persisted by `repro` as `BENCH_repro.json`).
     pub fn print(&self) {
+        crate::report::record_table(&self.headers, &self.rows);
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (w, c) in widths.iter_mut().zip(row) {

@@ -20,7 +20,7 @@
 //! executed zero updates and all schedulers are empty") and snapshot
 //! triggers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -105,7 +105,9 @@ pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     updates_local: u64,
     cycle_updates: u64,
     update_counts: Vec<(VertexId, u64)>,
-    update_count_map: HashMap<VertexId, u64>,
+    // BTreeMap: drained into the run's trace output at finish — iteration
+    // order must be deterministic, not the hasher's.
+    update_count_map: BTreeMap<VertexId, u64>,
     snapshots_taken: u64,
     last_snap_updates: u64,
     straggled: bool,
@@ -151,7 +153,7 @@ where
             updates_local: 0,
             cycle_updates: 0,
             update_counts: Vec::new(),
-            update_count_map: HashMap::new(),
+            update_count_map: BTreeMap::new(),
             snapshots_taken: 0,
             last_snap_updates: 0,
             straggled: false,
@@ -459,8 +461,11 @@ where
         }
 
         // Scheduling: local tasks enqueue directly; remote tasks forward to
-        // their owner, grouped into one message per machine.
-        let mut remote: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        // their owner, grouped into one message per machine. BTreeMap so the
+        // per-destination send order is machine order, not hash order — the
+        // fabric's delivery interleavings (and with them fault traces) must
+        // be a function of the seed alone.
+        let mut remote: BTreeMap<MachineId, Vec<(VertexId, f64)>> = BTreeMap::new();
         for &(gv, prio) in &effects.scheduled {
             let lv = self.lg.local_vertex(gv).expect("scheduled vertex is in scope");
             let owner = self.lg.vertex_owner(lv);
@@ -790,6 +795,7 @@ where
                 self.me().0
             )));
         }
+        // lint: allow(determinism) -- recovery deadline timer; bounds waiting, never enters payloads or traces
         let start = Instant::now();
         loop {
             if start.elapsed() > RECOVERY_DEADLINE {
@@ -861,6 +867,7 @@ where
                 );
                 self.net.flush_all();
             }
+            // lint: allow(determinism) -- recovery deadline timer; bounds waiting, never enters payloads or traces
             let started = Instant::now();
             let mut rollback: Option<RollbackMsg> = None;
 
@@ -989,6 +996,7 @@ where
                 self.send_msg(MachineId(0), K_RECOVERED, enc(&RecoverEraMsg { era }));
                 self.net.flush_all();
             }
+            // lint: allow(determinism) -- recovery deadline timer; bounds waiting, never enters payloads or traces
             let barrier = Instant::now();
             loop {
                 if barrier.elapsed() > RECOVERY_DEADLINE {
@@ -1105,7 +1113,7 @@ where
     }
 
     fn finish(mut self) -> MachineResult<V, E> {
-        self.update_counts = self.update_count_map.drain().collect();
+        self.update_counts = std::mem::take(&mut self.update_count_map).into_iter().collect();
         let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let update_counts = std::mem::take(&mut self.update_counts);

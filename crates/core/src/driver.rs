@@ -227,6 +227,7 @@ where
             "TCP peer list must name every machine"
         );
         let machine = tcp.machine;
+        // lint: allow(determinism) -- wall-clock phase metrics (EngineMetrics); measurement only, never crosses the wire
         let start = Instant::now();
         let result = match TcpNet::connect(tcp) {
             Ok((net, ep)) => {
@@ -305,6 +306,7 @@ where
         _ => SimNet::with_seed(config.num_machines, *latency, config.seed),
     };
 
+    // lint: allow(determinism) -- wall-clock phase metrics (EngineMetrics); measurement only, never crosses the wire
     let start = Instant::now();
     let mut handles = Vec::with_capacity(config.num_machines);
     for endpoint in endpoints {
@@ -389,6 +391,7 @@ where
     E: Codec + Clone + Send + Sync + 'static,
     U: UpdateFunction<V, E>,
 {
+    // lint: allow(determinism) -- wall-clock phase metrics (EngineMetrics); measurement only, never crosses the wire
     let t0 = Instant::now();
     let machine = endpoint.id();
     let wait = endpoint.net_wait_counter();

@@ -31,7 +31,7 @@
 //! Chandy-Lamport variant expressed as a prioritised update function
 //! (Alg. 5).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::Ordering as AtomicOrdering;
 use std::time::{Duration, Instant};
 
@@ -296,7 +296,9 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     /// full row (diagnostics).
     rows_unchanged: u64,
     updates_local: u64,
-    update_count_map: HashMap<VertexId, u64>,
+    // BTreeMap: drained into the run's trace output at finish — iteration
+    // order must be deterministic, not the hasher's.
+    update_count_map: BTreeMap<VertexId, u64>,
     straggled: bool,
     effects: UpdateEffects,
 }
@@ -357,11 +359,12 @@ where
             phase: RecoveryPhase::Normal,
             rollback: None,
             resume_buffer: Vec::new(),
+            // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
             phase_since: Instant::now(),
             failure: None,
             rows_unchanged: 0,
             updates_local: 0,
-            update_count_map: HashMap::new(),
+            update_count_map: BTreeMap::new(),
             straggled: false,
             effects: UpdateEffects::default(),
             globals: GlobalRegistry::new(),
@@ -946,7 +949,9 @@ where
         // Scheduling — must happen before the scope is unlocked (snapshot
         // correctness condition, and per-channel FIFO makes "before" hold
         // remotely too).
-        let mut remote_sched: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        // BTreeMap: sends fan out in machine order so delivery interleavings
+        // are a function of the seed, not the hasher (fault-trace replay).
+        let mut remote_sched: BTreeMap<MachineId, Vec<(VertexId, f64)>> = BTreeMap::new();
         for &(gv, prio) in &effects.scheduled {
             let lv = self.lg.local_vertex(gv).expect("scheduled vertex in scope");
             let owner = self.lg.vertex_owner(lv);
@@ -1018,7 +1023,9 @@ where
         }
         // Route snapshot schedules: owned → snapshot queue, remote → owner.
         let scheduled = std::mem::take(&mut self.effects.scheduled);
-        let mut remote_sched: HashMap<MachineId, Vec<(VertexId, f64)>> = HashMap::new();
+        // BTreeMap: sends fan out in machine order so delivery interleavings
+        // are a function of the seed, not the hasher (fault-trace replay).
+        let mut remote_sched: BTreeMap<MachineId, Vec<(VertexId, f64)>> = BTreeMap::new();
         for (gv, prio) in scheduled {
             let lv = self.lg.local_vertex(gv).expect("in scope");
             let owner = self.lg.vertex_owner(lv);
@@ -1575,6 +1582,7 @@ where
         tr!("[m{}] SELF_DEATH", self.me().0);
         self.wipe_volatile();
         self.phase = RecoveryPhase::Dead;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
         self.phase_since = Instant::now();
     }
 
@@ -1592,6 +1600,7 @@ where
     /// Stops engine work and reports the drain point to the master.
     fn enter_drain(&mut self) {
         self.phase = RecoveryPhase::Drain;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
         self.phase_since = Instant::now();
         self.rollback = None;
         self.resume_buffer.clear();
@@ -1671,6 +1680,7 @@ where
         self.net.flush_all();
         self.rollback = Some(msg);
         self.phase = RecoveryPhase::FlushWait;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
         self.phase_since = Instant::now();
         // Markers may already all be here (recovery_triggers rechecks
         // after every received batch).
@@ -1700,6 +1710,7 @@ where
         }
         self.rec.after_rollback();
         self.phase = RecoveryPhase::AwaitResume;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
         self.phase_since = Instant::now();
         let era = self.rec.era;
         tr!("[m{}] ROLLED_BACK snap={} era={}", self.me().0, msg.snap, era);
@@ -1788,7 +1799,8 @@ where
     }
 
     fn finish(mut self) -> MachineResult<V, E> {
-        let update_counts: Vec<(VertexId, u64)> = self.update_count_map.drain().collect();
+        let update_counts: Vec<(VertexId, u64)> =
+            std::mem::take(&mut self.update_count_map).into_iter().collect();
         let globals = std::mem::take(&mut self.globals);
         let updates = self.updates_local;
         let snapshots = self.snapshots_written;

@@ -31,6 +31,28 @@ use graphlab_net::codec::{get_uvarint, put_uvarint, Codec};
 use graphlab_net::termination::Token;
 
 // ---- message kinds ----
+//
+// Registry map — the ground truth `graphlab-lint`'s kind-registry check
+// enforces (global uniqueness, per-crate ranges, gap reuse, dead kinds).
+// Two reservations partition the u16 kind space:
+//
+//   - `core` counts **up from 1** (engine protocol; headroom to 63),
+//   - `net` counts **down from u16::MAX** (transport-reserved control
+//     kinds the engines never see: batch/compressed envelopes and the
+//     fabric's down/up notifications, 65532..=65535).
+//
+// Gap values are *retired or deliberately skipped* and must never be
+// reassigned — a decoder for a recycled kind would silently misparse
+// snapshots/traces recorded before the reuse:
+//
+//   - 36: skipped when the background-sync request landed at 37, keeping
+//     the snapshot block `29..=35` visually closed; never shipped.
+//   - 38..=39: unassigned headroom left between the locking block
+//     (`20..=37`) and the recovery block (`40..=45`) so either side can
+//     grow without renumbering.
+//
+// lint: kind-map core = 1..=63 gaps 36, 38..=39
+// lint: kind-map net = 65532..=65535
 
 /// Chromatic: vertex ghost update (owner → mirror).
 pub const K_CHROM_VDATA: u16 = 1;

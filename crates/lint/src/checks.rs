@@ -1,0 +1,700 @@
+//! The five protocol-invariant checks.
+//!
+//! Each check walks the token streams of a [`Workspace`] and pushes
+//! [`Finding`]s; suppression handling and ordering live in
+//! [`crate::run_checks`].
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{SourceFile, Workspace};
+use crate::Finding;
+
+/// Core protocol modules covered by the determinism check: everything that
+/// builds wire payloads, orders sends, or feeds traces.
+const CORE_DETERMINISM_FILES: &[&str] = &[
+    "messages.rs",
+    "chromatic.rs",
+    "locking.rs",
+    "driver.rs",
+    "local.rs",
+    "snapshot.rs",
+    "recovery.rs",
+];
+
+/// Whether `path` is protocol-critical for the determinism check.
+pub fn determinism_scope(path: &str) -> bool {
+    if let Some(rest) = path.strip_prefix("crates/core/src/") {
+        return CORE_DETERMINISM_FILES.contains(&rest);
+    }
+    path.starts_with("crates/net/src/")
+}
+
+/// Whether `path` is in scope for the blocking-recv audit: all engine and
+/// transport sources.
+pub fn recv_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/net/src/")
+}
+
+fn finding(check: &'static str, f: &SourceFile, t: &Tok, message: String) -> Finding {
+    Finding { check, path: f.path.clone(), line: t.line, col: t.col, message }
+}
+
+// ---------------------------------------------------------------- check 1
+
+/// One `pub const K_*: u16 = ..;` definition.
+struct KindDef {
+    file: usize,
+    tok: usize,
+    name: String,
+    value: Option<u64>,
+}
+
+/// Kind-registry audit: global uniqueness, per-crate reserved ranges and
+/// gaps (ground truth: `// lint: kind-map` comments), and liveness.
+pub fn check_kind_registry(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Ground truth: collect kind-map declarations.
+    let mut maps: BTreeMap<String, (usize, crate::source::KindMap)> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for m in &f.kind_maps {
+            if let Some((prev_fi, prev)) = maps.get(&m.krate) {
+                out.push(Finding {
+                    check: "kind-registry",
+                    path: f.path.clone(),
+                    line: m.line,
+                    col: 1,
+                    message: format!(
+                        "duplicate kind-map for crate `{}` (first declared at {}:{})",
+                        m.krate, ws.files[*prev_fi].path, prev.line
+                    ),
+                });
+            } else {
+                maps.insert(m.krate.clone(), (fi, m.clone()));
+            }
+        }
+    }
+    // Declared ranges must not overlap across crates.
+    let entries: Vec<_> = maps.values().collect();
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let (a, b) = (&entries[i].1, &entries[j].1);
+            if a.lo <= b.hi && b.lo <= a.hi {
+                out.push(Finding {
+                    check: "kind-registry",
+                    path: ws.files[entries[j].0].path.clone(),
+                    line: b.line,
+                    col: 1,
+                    message: format!(
+                        "kind-map ranges overlap: `{}` {}..={} vs `{}` {}..={}",
+                        a.krate, a.lo, a.hi, b.krate, b.lo, b.hi
+                    ),
+                });
+            }
+        }
+    }
+
+    // Definitions: `pub const K_*: <ty> = <expr>;` outside test code.
+    let mut defs: Vec<KindDef> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let toks = &f.toks;
+        let src = &f.text;
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment)
+            .collect();
+        for w in 0..code.len().saturating_sub(3) {
+            let [a, b, c, d] = [code[w], code[w + 1], code[w + 2], code[w + 3]];
+            if !(toks[a].is_ident(src, "pub")
+                && toks[b].is_ident(src, "const")
+                && toks[c].kind == TokKind::Ident
+                && toks[c].text(src).starts_with("K_")
+                && toks[d].is_punct(':'))
+            {
+                continue;
+            }
+            if f.in_test_code(toks[c].start) {
+                continue;
+            }
+            let name = toks[c].text(src).to_string();
+            // Type must be u16 — kinds travel as a u16 header field.
+            let ty = code.get(w + 4).map(|&i| &toks[i]);
+            if !ty.map(|t| t.is_ident(src, "u16")).unwrap_or(false) {
+                out.push(finding(
+                    "kind-registry",
+                    f,
+                    &toks[c],
+                    format!("kind constant `{name}` must have type u16"),
+                ));
+                continue;
+            }
+            let value = eval_kind_expr(toks, src, &code[w + 5..]);
+            if value.is_none() {
+                out.push(finding(
+                    "kind-registry",
+                    f,
+                    &toks[c],
+                    format!(
+                        "kind constant `{name}` is not statically evaluable \
+                         (expected an integer literal or `u16::MAX - n`)"
+                    ),
+                ));
+            }
+            defs.push(KindDef { file: fi, tok: c, name, value });
+        }
+    }
+
+    // Range + gap membership per definition.
+    for d in &defs {
+        let f = &ws.files[d.file];
+        let t = &f.toks[d.tok];
+        let Some(v) = d.value else { continue };
+        let krate = f.crate_name();
+        match maps.get(krate) {
+            None => out.push(finding(
+                "kind-registry",
+                f,
+                t,
+                format!(
+                    "kind constant `{}` defined in crate `{krate}`, which has no \
+                     `lint: kind-map` reservation",
+                    d.name
+                ),
+            )),
+            Some((_, m)) => {
+                if v < m.lo || v > m.hi {
+                    out.push(finding(
+                        "kind-registry",
+                        f,
+                        t,
+                        format!(
+                            "kind `{}` = {v} outside crate `{krate}`'s reserved range \
+                             {}..={}",
+                            d.name, m.lo, m.hi
+                        ),
+                    ));
+                } else if m.in_gap(v) {
+                    out.push(finding(
+                        "kind-registry",
+                        f,
+                        t,
+                        format!(
+                            "kind `{}` = {v} reuses a reserved/retired gap value of crate \
+                             `{krate}`'s kind-map",
+                            d.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Global uniqueness.
+    let mut by_value: BTreeMap<u64, &KindDef> = BTreeMap::new();
+    for d in &defs {
+        let Some(v) = d.value else { continue };
+        if let Some(first) = by_value.get(&v) {
+            let ff = &ws.files[first.file];
+            let f = &ws.files[d.file];
+            out.push(finding(
+                "kind-registry",
+                f,
+                &f.toks[d.tok],
+                format!(
+                    "kind `{}` = {v} collides with `{}` ({}:{})",
+                    d.name, first.name, ff.path, ff.toks[first.tok].line
+                ),
+            ));
+        } else {
+            by_value.insert(v, d);
+        }
+    }
+
+    // Liveness: every kind needs at least one non-defining reference
+    // outside `use` declarations.
+    let mut refs: BTreeMap<&str, u64> = defs.iter().map(|d| (d.name.as_str(), 0)).collect();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let src = &f.text;
+        let mut in_use_decl = false;
+        for (ti, t) in f.toks.iter().enumerate() {
+            match t.kind {
+                TokKind::Ident if t.is_ident(src, "use") => in_use_decl = true,
+                TokKind::Punct(';') => in_use_decl = false,
+                TokKind::Ident if !in_use_decl => {
+                    let text = t.text(src);
+                    if let Some(n) = refs.get_mut(text) {
+                        let is_def_site =
+                            defs.iter().any(|d| d.file == fi && d.tok == ti);
+                        if !is_def_site {
+                            *n += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for d in &defs {
+        if refs.get(d.name.as_str()) == Some(&0) {
+            let f = &ws.files[d.file];
+            out.push(finding(
+                "kind-registry",
+                f,
+                &f.toks[d.tok],
+                format!("dead kind: `{}` is never referenced outside its definition", d.name),
+            ));
+        }
+    }
+}
+
+/// Evaluates the constant expression between `=` and `;`: an integer
+/// literal, `u16::MAX`, or `u16::MAX - n`.
+fn eval_kind_expr(toks: &[Tok], src: &str, code: &[usize]) -> Option<u64> {
+    // code[0] should be '='.
+    if code.is_empty() || !toks[code[0]].is_punct('=') {
+        return None;
+    }
+    let expr: Vec<&Tok> = code[1..]
+        .iter()
+        .map(|&i| &toks[i])
+        .take_while(|t| !t.is_punct(';'))
+        .collect();
+    match expr.as_slice() {
+        [n] if n.kind == TokKind::Num => n.value,
+        [u, c1, c2, m]
+            if u.is_ident(src, "u16")
+                && c1.is_punct(':')
+                && c2.is_punct(':')
+                && m.is_ident(src, "MAX") =>
+        {
+            Some(u16::MAX as u64)
+        }
+        [u, c1, c2, m, minus, n]
+            if u.is_ident(src, "u16")
+                && c1.is_punct(':')
+                && c2.is_punct(':')
+                && m.is_ident(src, "MAX")
+                && minus.is_punct('-')
+                && n.kind == TokKind::Num =>
+        {
+            Some(u16::MAX as u64 - n.value?)
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------- check 2
+
+/// Iteration methods whose visit order is the hasher's, not the data's.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// RNG constructors/seeders that demand a written justification in
+/// protocol paths (seeded ones included: the reason documents the seed's
+/// provenance).
+const RNG_IDENTS: &[&str] =
+    &["thread_rng", "from_entropy", "seed_from_u64", "from_seed", "StdRng", "SmallRng"];
+
+/// Determinism lint: no hash-order iteration, wall-clock reads, or RNG
+/// construction in protocol-critical modules.
+pub fn check_determinism(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !determinism_scope(&f.path) {
+            continue;
+        }
+        let src = &f.text;
+        let toks = &f.toks;
+        let code: Vec<usize> = (0..toks.len())
+            .filter(|&i| toks[i].kind != TokKind::Comment)
+            .collect();
+        let hash_names = collect_hash_names(f, &code);
+
+        for (w, &i) in code.iter().enumerate() {
+            let t = &toks[i];
+            if f.in_test_code(t.start) {
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                let text = t.text(src);
+                // `Instant::now` / `SystemTime::now`.
+                if (text == "Instant" || text == "SystemTime")
+                        && matches_path_call(toks, src, &code[w + 1..], "now")
+                {
+                    out.push(finding(
+                        "determinism",
+                        f,
+                        t,
+                        format!(
+                            "`{text}::now` in protocol-critical module — wall-clock \
+                             values must never influence wire contents or traces"
+                        ),
+                    ));
+                    continue;
+                }
+                if RNG_IDENTS.contains(&text) {
+                    out.push(finding(
+                        "determinism",
+                        f,
+                        t,
+                        format!(
+                            "RNG construction `{text}` in protocol-critical module — \
+                             randomness here must be seeded and justified"
+                        ),
+                    ));
+                    continue;
+                }
+                if hash_names.contains(&text) {
+                    // `for pat in [&[mut]] name` — hash-order loop.
+                    if is_for_loop_target(toks, src, &code[..w]) {
+                        out.push(finding(
+                            "determinism",
+                            f,
+                            t,
+                            format!(
+                                "iteration over hash container `{text}` (for-loop) — \
+                                 hash order is nondeterministic; use a BTreeMap or \
+                                 sort before iterating"
+                            ),
+                        ));
+                        continue;
+                    }
+                    if let Some(m) = hash_iter_method(toks, src, &code[w + 1..]) {
+                        out.push(finding(
+                            "determinism",
+                            f,
+                            t,
+                            format!(
+                                "`.{m}()` on hash container `{text}` — hash order is \
+                                 nondeterministic; use a BTreeMap or sort before \
+                                 iterating"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Names declared (outside test code) with a hash-container type: struct
+/// fields / params `name: ..HashMap<..>`, and `let [mut] name =
+/// HashMap::..` initialisations.
+fn collect_hash_names<'a>(f: &'a SourceFile, code: &[usize]) -> Vec<&'a str> {
+    let src = &f.text;
+    let toks = &f.toks;
+    let mut names: Vec<&str> = Vec::new();
+    for (w, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text(src);
+        if text != "HashMap" && text != "HashSet" {
+            continue;
+        }
+        if f.in_test_code(t.start) {
+            continue;
+        }
+        // Walk back over wrapper idents and type punctuation to find
+        // `name :` (field/param/let-annotation) or `name =` (let-init).
+        let mut k = w;
+        while k > 0 {
+            k -= 1;
+            let p = &toks[code[k]];
+            match p.kind {
+                TokKind::Punct('<') | TokKind::Punct('&') => continue,
+                TokKind::Ident => {
+                    let pt = p.text(src);
+                    if matches!(pt, "Mutex" | "RwLock" | "Arc" | "Rc" | "Box" | "Option" | "mut")
+                    {
+                        continue;
+                    }
+                    break; // unexpected ident — not a declaration shape
+                }
+                TokKind::Punct(':') | TokKind::Punct('=') => {
+                    // Skip a second ':' of a path `::` — that means
+                    // `HashMap` appeared as `path::HashMap`; keep walking.
+                    if p.is_punct(':') && k > 0 && toks[code[k - 1]].is_punct(':') {
+                        k -= 1;
+                        continue;
+                    }
+                    if k > 0 && toks[code[k - 1]].kind == TokKind::Ident {
+                        let name = toks[code[k - 1]].text(src);
+                        if name != "mut" && !names.contains(&name) {
+                            names.push(name);
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// Whether the code tokens right before a name form `for .. in [&[mut]]`.
+fn is_for_loop_target(toks: &[Tok], src: &str, before: &[usize]) -> bool {
+    let mut k = before.len();
+    while k > 0 {
+        k -= 1;
+        let t = &toks[before[k]];
+        if t.is_punct('&') || t.is_ident(src, "mut") {
+            continue;
+        }
+        return t.is_ident(src, "in");
+    }
+    false
+}
+
+/// Scans a method chain after a receiver name; returns the first
+/// hash-order iteration method, skipping over benign calls like `.lock()`.
+fn hash_iter_method<'a>(toks: &'a [Tok], src: &'a str, after: &[usize]) -> Option<&'a str> {
+    let mut w = 0usize;
+    for _hop in 0..4 {
+        if !(w + 2 < after.len()
+            && toks[after[w]].is_punct('.')
+            && toks[after[w + 1]].kind == TokKind::Ident
+            && toks[after[w + 2]].is_punct('('))
+        {
+            return None;
+        }
+        let method = toks[after[w + 1]].text(src);
+        if ITER_METHODS.contains(&method) {
+            return Some(method);
+        }
+        // Skip the balanced argument list, then continue the chain.
+        let mut depth = 0i32;
+        let mut k = w + 2;
+        while k < after.len() {
+            if toks[after[k]].is_punct('(') {
+                depth += 1;
+            } else if toks[after[k]].is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            k += 1;
+        }
+        w = k + 1;
+    }
+    None
+}
+
+/// Whether the next code tokens are `::<name>(`-ish: `: : name`.
+fn matches_path_call(toks: &[Tok], src: &str, after: &[usize], name: &str) -> bool {
+    after.len() >= 3
+        && toks[after[0]].is_punct(':')
+        && toks[after[1]].is_punct(':')
+        && toks[after[2]].is_ident(src, name)
+}
+
+// ---------------------------------------------------------------- check 3
+
+/// Codec cross-reference: every `impl Codec for T` in
+/// `core/src/messages.rs` must be exercised by the `wire_codec` proptest
+/// suite in `tests/properties.rs`.
+pub fn check_codec_xref(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(msgs) = ws.files.iter().find(|f| f.path.ends_with("core/src/messages.rs")) else {
+        return;
+    };
+    let src = &msgs.text;
+    let toks = &msgs.toks;
+    let code: Vec<usize> =
+        (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+    let mut impls: Vec<(String, u32, u32)> = Vec::new();
+    for w in 0..code.len().saturating_sub(2) {
+        let [a, b, c] = [code[w], code[w + 1], code[w + 2]];
+        if toks[a].is_ident(src, "Codec")
+            && toks[b].is_ident(src, "for")
+            && toks[c].kind == TokKind::Ident
+        {
+            // Require an `impl` a few tokens back (skipping generics).
+            let lo = w.saturating_sub(8);
+            if code[lo..w].iter().any(|&i| toks[i].is_ident(src, "impl")) {
+                impls.push((
+                    toks[c].text(src).to_string(),
+                    toks[c].line,
+                    toks[c].col,
+                ));
+            }
+        }
+    }
+    if impls.is_empty() {
+        return;
+    }
+
+    let props = ws.files.iter().find(|f| f.path.ends_with("tests/properties.rs"));
+    let covered: Vec<&str> = match props {
+        Some(p) => wire_codec_idents(p),
+        None => Vec::new(),
+    };
+    if props.is_none() || covered.is_empty() {
+        out.push(Finding {
+            check: "codec-xref",
+            path: msgs.path.clone(),
+            line: impls[0].1,
+            col: impls[0].2,
+            message: "no `mod wire_codec` proptest suite found in tests/properties.rs \
+                      to cross-reference Codec impls against"
+                .to_string(),
+        });
+        return;
+    }
+    for (name, line, col) in impls {
+        if !covered.contains(&name.as_str()) {
+            out.push(Finding {
+                check: "codec-xref",
+                path: msgs.path.clone(),
+                line,
+                col,
+                message: format!(
+                    "`impl Codec for {name}` has no coverage in the wire_codec proptest \
+                     suite (tests/properties.rs) — every wire type needs a roundtrip \
+                     property"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers appearing inside `mod wire_codec { .. }` of a file.
+fn wire_codec_idents(f: &SourceFile) -> Vec<&str> {
+    let src = &f.text;
+    let toks = &f.toks;
+    let code: Vec<usize> =
+        (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+    for w in 0..code.len().saturating_sub(2) {
+        if toks[code[w]].is_ident(src, "mod") && toks[code[w + 1]].is_ident(src, "wire_codec") {
+            // Find the opening brace, then brace-match.
+            let mut k = w + 2;
+            while k < code.len() && !toks[code[k]].is_punct('{') {
+                k += 1;
+            }
+            let mut depth = 0i32;
+            let mut idents = Vec::new();
+            while k < code.len() {
+                let t = &toks[code[k]];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        return idents;
+                    }
+                } else if t.kind == TokKind::Ident {
+                    idents.push(t.text(src));
+                }
+                k += 1;
+            }
+            return idents;
+        }
+    }
+    Vec::new()
+}
+
+// ---------------------------------------------------------------- check 4
+
+/// Blocking-recv audit: untimed `.recv()` outside the transport layer's
+/// blessed sites can deadlock termination/recovery (PR 5's audit replaced
+/// every engine-side one with `recv_timeout` + death checks).
+pub fn check_blocking_recv(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !recv_scope(&f.path) {
+            continue;
+        }
+        let src = &f.text;
+        let toks = &f.toks;
+        let code: Vec<usize> =
+            (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+        for w in 0..code.len().saturating_sub(3) {
+            let [a, b, c, d] = [code[w], code[w + 1], code[w + 2], code[w + 3]];
+            if toks[a].is_punct('.')
+                && toks[b].is_ident(src, "recv")
+                && toks[c].is_punct('(')
+                && toks[d].is_punct(')')
+                && !f.in_test_code(toks[b].start)
+            {
+                out.push(finding(
+                    "blocking-recv",
+                    f,
+                    &toks[b],
+                    "untimed blocking `.recv()` — engine loops must use `recv_timeout` \
+                     so termination detection and fault recovery can interrupt waits"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- check 5
+
+/// Unsafe hygiene: every `unsafe` keyword carries a `SAFETY:` comment on
+/// the same line or on the contiguous comment/attribute lines above it.
+pub fn check_unsafe_hygiene(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        let src = &f.text;
+        // Per-line classification.
+        let mut line_has_code: BTreeMap<u32, bool> = BTreeMap::new();
+        let mut line_comment_safety: BTreeMap<u32, bool> = BTreeMap::new();
+        let mut line_first_is_attr: BTreeMap<u32, bool> = BTreeMap::new();
+        for t in &f.toks {
+            let entry = line_first_is_attr.entry(t.line).or_insert(t.is_punct('#'));
+            let _ = entry;
+            match t.kind {
+                TokKind::Comment => {
+                    let has = t.text(src).to_ascii_lowercase().contains("safety");
+                    let e = line_comment_safety.entry(t.line).or_insert(false);
+                    *e |= has;
+                    // A multi-line block comment marks every line it spans.
+                    if has {
+                        let extra = t.text(src).matches('\n').count() as u32;
+                        for l in t.line..=t.line + extra {
+                            *line_comment_safety.entry(l).or_insert(false) |= true;
+                        }
+                    }
+                }
+                _ => {
+                    *line_has_code.entry(t.line).or_insert(false) |= true;
+                }
+            }
+        }
+        for t in &f.toks {
+            if !t.is_ident(src, "unsafe") {
+                continue;
+            }
+            let mut ok = line_comment_safety.get(&t.line).copied().unwrap_or(false);
+            let mut l = t.line;
+            while !ok && l > 1 {
+                l -= 1;
+                let code = line_has_code.get(&l).copied().unwrap_or(false);
+                let attr = line_first_is_attr.get(&l).copied().unwrap_or(false);
+                if code && !attr {
+                    break; // hit a real code line without finding SAFETY
+                }
+                if line_comment_safety.get(&l).copied().unwrap_or(false) {
+                    ok = true;
+                }
+            }
+            if !ok {
+                out.push(finding(
+                    "unsafe-hygiene",
+                    f,
+                    t,
+                    "`unsafe` without a `// SAFETY:` comment — state the invariant that \
+                     makes this sound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! CLI: `graphlab-lint --workspace` (CI entry point, deny-by-default) or
+//! `graphlab-lint <path>..` to lint a directory/file tree in place.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use graphlab_lint::{find_workspace_root, run_checks, Workspace, CHECKS};
+
+fn usage() -> &'static str {
+    "usage: graphlab-lint [--workspace | <path>..] [--check <name>].. [--list-checks]\n\
+     \n\
+     --workspace     lint the enclosing cargo workspace (finds the root from cwd)\n\
+     <path>          lint all .rs files under the given root(s) instead\n\
+     --check <name>  run only the named check (repeatable)\n\
+     --list-checks   print the check names and exit\n\
+     \n\
+     Exit status: 0 when clean, 1 on findings, 2 on usage/setup errors."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let mut workspace = false;
+    let mut active: Vec<&'static str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--list-checks" => {
+                for c in CHECKS {
+                    println!("{c}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--check" => match it.next().and_then(|n| CHECKS.iter().find(|c| *c == n)) {
+                Some(c) => active.push(c),
+                None => {
+                    eprintln!("--check needs one of: {}", CHECKS.join(", "));
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => roots.push(PathBuf::from(other)),
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if active.is_empty() {
+        active = CHECKS.to_vec();
+    }
+    if !workspace && roots.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    if workspace && !roots.is_empty() {
+        eprintln!("graphlab-lint: --workspace and explicit paths are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    if workspace {
+        let cwd = std::env::current_dir().expect("cwd");
+        match find_workspace_root(&cwd) {
+            Some(root) => roots = vec![root],
+            None => {
+                eprintln!("graphlab-lint: no [workspace] Cargo.toml above {}", cwd.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut total = 0usize;
+    for root in &roots {
+        let ws = match Workspace::load(root) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("graphlab-lint: failed to read {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let findings = run_checks(&ws, &active);
+        for f in &findings {
+            println!("{f}");
+        }
+        total += findings.len();
+    }
+    if total == 0 {
+        eprintln!(
+            "graphlab-lint: clean ({} check{})",
+            active.len(),
+            if active.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("graphlab-lint: {total} finding{}", if total == 1 { "" } else { "s" });
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,324 @@
+//! The lint lints itself: every check catches a seeded fixture violation,
+//! an `allow` suppression with a reason silences it, the suppression
+//! meta-audit catches rot, and the real workspace is pinned clean.
+//!
+//! Fixtures are in-memory strings (lib tests) or written to temp dirs (bin
+//! exit-code tests) — never on-disk `.rs` files inside the repo, which the
+//! workspace scan itself would flag.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use graphlab_lint::{run_checks, Workspace, CHECKS};
+
+fn findings_for(files: Vec<(&str, &str)>, active: &[&str]) -> Vec<String> {
+    let ws = Workspace::from_memory(files);
+    run_checks(&ws, active).iter().map(|f| f.to_string()).collect()
+}
+
+fn count_check(fs: &[String], check: &str) -> usize {
+    fs.iter().filter(|f| f.contains(&format!("[{check}]"))).count()
+}
+
+// ---------------------------------------------------------- check fixtures
+
+const KIND_VIOLATIONS: &str = "\
+// lint: kind-map core = 1..=10 gaps 5\n\
+pub const K_A: u16 = 1;\n\
+pub const K_DUP: u16 = 1;\n\
+pub const K_GAP: u16 = 5;\n\
+pub const K_OOR: u16 = 99;\n\
+pub const K_DEAD: u16 = 2;\n\
+pub fn touch() { let _ = (K_A, K_DUP, K_GAP, K_OOR); }\n";
+
+const KIND_CLEAN: &str = "\
+// lint: kind-map core = 1..=10 gaps 5\n\
+pub const K_A: u16 = 1;\n\
+pub fn touch() { let _ = K_A; }\n";
+
+const DET_VIOLATIONS: &str = "\
+use std::collections::HashMap;\n\
+use std::time::Instant;\n\
+pub fn f() {\n\
+    let m: HashMap<u32, u32> = HashMap::new();\n\
+    for (k, v) in &m {\n\
+        let _ = (k, v);\n\
+    }\n\
+    let _ = Instant::now();\n\
+}\n";
+
+const RECV_VIOLATION: &str = "\
+pub fn pump(rx: std::sync::mpsc::Receiver<u32>) {\n\
+    let _ = rx.recv();\n\
+}\n";
+
+const UNSAFE_VIOLATION: &str = "\
+pub fn f() {\n\
+    unsafe { std::hint::unreachable_unchecked() }\n\
+}\n";
+
+const UNSAFE_CLEAN: &str = "\
+pub fn f(b: bool) {\n\
+    if !b {\n\
+        // SAFETY: caller guarantees `b` is always true here.\n\
+        unsafe { std::hint::unreachable_unchecked() }\n\
+    }\n\
+}\n";
+
+const MSGS_WITH_CODEC: &str = "\
+pub struct FooMsg { pub x: u32 }\n\
+impl Codec for FooMsg {\n\
+    fn encode(&self, _b: &mut Vec<u8>) {}\n\
+}\n\
+pub struct BarMsg { pub y: u32 }\n\
+impl Codec for BarMsg {\n\
+    fn encode(&self, _b: &mut Vec<u8>) {}\n\
+}\n";
+
+const PROPS_COVER_FOO: &str = "\
+mod wire_codec {\n\
+    fn roundtrips() { rt(FooMsg { x: 1 }); }\n\
+}\n";
+
+// ----------------------------------------------------- each check catches
+
+#[test]
+fn kind_registry_catches_dup_gap_range_and_dead() {
+    let fs = findings_for(
+        vec![("crates/core/src/messages.rs", KIND_VIOLATIONS)],
+        &["kind-registry"],
+    );
+    assert_eq!(count_check(&fs, "kind-registry"), 4, "findings: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("K_DUP")), "duplicate value: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("K_GAP")), "retired gap: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("K_OOR")), "out of range: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("K_DEAD")), "dead kind: {fs:#?}");
+
+    let clean =
+        findings_for(vec![("crates/core/src/messages.rs", KIND_CLEAN)], &["kind-registry"]);
+    assert!(clean.is_empty(), "clean fixture flagged: {clean:#?}");
+}
+
+#[test]
+fn determinism_catches_hash_iteration_and_wall_clock() {
+    let fs = findings_for(vec![("crates/net/src/foo.rs", DET_VIOLATIONS)], &["determinism"]);
+    assert_eq!(count_check(&fs, "determinism"), 2, "findings: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("hash")), "hash-order loop: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("Instant::now")), "wall clock: {fs:#?}");
+
+    // Same code outside the protocol-critical scope is not flagged.
+    let out = findings_for(vec![("crates/bench/src/foo.rs", DET_VIOLATIONS)], &["determinism"]);
+    assert!(out.is_empty(), "out-of-scope file flagged: {out:#?}");
+}
+
+#[test]
+fn codec_xref_catches_uncovered_impl() {
+    let fs = findings_for(
+        vec![
+            ("crates/core/src/messages.rs", MSGS_WITH_CODEC),
+            ("tests/properties.rs", PROPS_COVER_FOO),
+        ],
+        &["codec-xref"],
+    );
+    assert_eq!(count_check(&fs, "codec-xref"), 1, "findings: {fs:#?}");
+    assert!(fs[0].contains("BarMsg"), "uncovered impl: {fs:#?}");
+}
+
+#[test]
+fn blocking_recv_catches_untimed_recv() {
+    let fs = findings_for(vec![("crates/core/src/driver.rs", RECV_VIOLATION)], &["blocking-recv"]);
+    assert_eq!(count_check(&fs, "blocking-recv"), 1, "findings: {fs:#?}");
+
+    // `recv_timeout` is fine.
+    let ok = findings_for(
+        vec![(
+            "crates/core/src/driver.rs",
+            "pub fn pump(rx: R) { let _ = rx.recv_timeout(T); }\n",
+        )],
+        &["blocking-recv"],
+    );
+    assert!(ok.is_empty(), "recv_timeout flagged: {ok:#?}");
+}
+
+#[test]
+fn unsafe_hygiene_requires_safety_comment() {
+    let fs = findings_for(vec![("crates/node/src/sig.rs", UNSAFE_VIOLATION)], &["unsafe-hygiene"]);
+    assert_eq!(count_check(&fs, "unsafe-hygiene"), 1, "findings: {fs:#?}");
+
+    let ok = findings_for(vec![("crates/node/src/sig.rs", UNSAFE_CLEAN)], &["unsafe-hygiene"]);
+    assert!(ok.is_empty(), "SAFETY-commented unsafe flagged: {ok:#?}");
+}
+
+#[test]
+fn test_code_is_exempt_from_protocol_checks_but_not_unsafe() {
+    let text = format!(
+        "#[cfg(test)]\nmod tests {{\n{}{}    pub fn u() {{ unsafe {{ g() }} }}\n}}\n",
+        DET_VIOLATIONS, RECV_VIOLATION
+    );
+    let fs = findings_for(
+        vec![("crates/net/src/foo.rs", text.as_str())],
+        &["determinism", "blocking-recv", "unsafe-hygiene"],
+    );
+    assert_eq!(count_check(&fs, "determinism"), 0, "{fs:#?}");
+    assert_eq!(count_check(&fs, "blocking-recv"), 0, "{fs:#?}");
+    assert_eq!(count_check(&fs, "unsafe-hygiene"), 1, "{fs:#?}");
+}
+
+// ------------------------------------------------------------ suppression
+
+#[test]
+fn allow_with_reason_suppresses_each_check() {
+    let det = "\
+use std::time::Instant;\n\
+pub fn f() {\n\
+    let _ = Instant::now(); // lint: allow(determinism) -- fixture says so\n\
+}\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", det)], &["determinism"]);
+    assert!(fs.is_empty(), "suppressed finding survived: {fs:#?}");
+
+    let recv = "\
+pub fn pump(rx: R) {\n\
+    // lint: allow(blocking-recv) -- fixture says so\n\
+    let _ = rx.recv();\n\
+}\n";
+    let fs = findings_for(vec![("crates/core/src/driver.rs", recv)], &["blocking-recv"]);
+    assert!(fs.is_empty(), "preceding-line suppression failed: {fs:#?}");
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_finding() {
+    let det = "\
+use std::time::Instant;\n\
+pub fn f() {\n\
+    let _ = Instant::now(); // lint: allow(determinism)\n\
+}\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", det)], &["determinism"]);
+    // The determinism finding is suppressed, but the reasonless allow is
+    // flagged by the meta-audit.
+    assert_eq!(count_check(&fs, "determinism"), 0, "{fs:#?}");
+    assert_eq!(count_check(&fs, "lint-allow"), 1, "{fs:#?}");
+    assert!(fs[0].contains("without a reason"), "{fs:#?}");
+}
+
+#[test]
+fn unknown_check_and_unused_suppression_are_findings() {
+    let text = "\
+pub fn f() {} // lint: allow(nonsense) -- because\n\
+pub fn g() {} // lint: allow(determinism) -- matches nothing\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", text)], &["determinism"]);
+    assert_eq!(count_check(&fs, "lint-allow"), 2, "{fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("unknown check")), "{fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("unused suppression")), "{fs:#?}");
+}
+
+#[test]
+fn unused_suppression_not_judged_when_check_inactive() {
+    let text = "pub fn g() {} // lint: allow(determinism) -- matches nothing\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", text)], &["blocking-recv"]);
+    assert!(fs.is_empty(), "inactive check judged unused: {fs:#?}");
+}
+
+#[test]
+fn malformed_directive_is_a_finding() {
+    let text = "pub fn f() {} // lint: allot(determinism) -- typo\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", text)], &["determinism"]);
+    assert_eq!(count_check(&fs, "lint-allow"), 1, "{fs:#?}");
+    assert!(fs[0].contains("unknown lint directive"), "{fs:#?}");
+}
+
+#[test]
+fn directive_marker_mid_comment_is_prose_not_a_directive() {
+    // Docs that *describe* the syntax (like the lint's own) must not be
+    // parsed as directives.
+    let text = "// write `lint: allow(determinism) -- why` at the site\npub fn f() {}\n";
+    let fs = findings_for(vec![("crates/net/src/foo.rs", text)], CHECKS);
+    assert!(fs.is_empty(), "prose parsed as directive: {fs:#?}");
+}
+
+#[test]
+fn unsafe_in_doc_comment_text_is_not_flagged() {
+    // The word "unsafe" in a doc comment (e.g. config.rs's "Deliberately
+    // unsafe (Fig. 1(d))" mode description) is comment text, not code.
+    let text = "/// **Deliberately unsafe** consistency mode.\npub struct M;\npub fn f(m: M) { let _ = m; }\n";
+    let fs = findings_for(vec![("crates/core/src/config.rs", text)], &["unsafe-hygiene"]);
+    assert!(fs.is_empty(), "doc-comment 'unsafe' flagged: {fs:#?}");
+}
+
+// -------------------------------------------------------- bin exit codes
+
+fn fixture_dir(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir()
+        .join(format!("graphlab-lint-selftest-{}-{name}", std::process::id()));
+    if root.exists() {
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+    for (rel, text) in files {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, text).unwrap();
+    }
+    root
+}
+
+fn run_bin(args: &[&str], cwd: Option<&Path>) -> (i32, String) {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_graphlab-lint"));
+    c.args(args);
+    if let Some(d) = cwd {
+        c.current_dir(d);
+    }
+    let out = c.output().expect("spawn graphlab-lint");
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// `(check, fixture name, fixture files)` for the bin exit-code matrix.
+type BinCase = (&'static str, &'static str, &'static [(&'static str, &'static str)]);
+
+#[test]
+fn bin_exits_nonzero_on_each_seeded_violation() {
+    let cases: &[BinCase] = &[
+        ("kind-registry", "kinds", &[("crates/core/src/messages.rs", KIND_VIOLATIONS)]),
+        ("determinism", "det", &[("crates/net/src/foo.rs", DET_VIOLATIONS)]),
+        (
+            "codec-xref",
+            "codec",
+            &[
+                ("crates/core/src/messages.rs", MSGS_WITH_CODEC),
+                ("tests/properties.rs", PROPS_COVER_FOO),
+            ],
+        ),
+        ("blocking-recv", "recv", &[("crates/core/src/driver.rs", RECV_VIOLATION)]),
+        ("unsafe-hygiene", "unsafe", &[("crates/node/src/sig.rs", UNSAFE_VIOLATION)]),
+    ];
+    for (check, name, files) in cases {
+        let dir = fixture_dir(name, files);
+        let (code, stdout) =
+            run_bin(&[dir.to_str().unwrap(), "--check", check], None);
+        assert_eq!(code, 1, "{check}: expected exit 1, stdout:\n{stdout}");
+        assert!(stdout.contains(&format!("[{check}]")), "{check}: stdout:\n{stdout}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn bin_exits_zero_on_clean_fixture_and_two_on_usage_errors() {
+    let dir = fixture_dir("clean", &[("crates/core/src/messages.rs", KIND_CLEAN)]);
+    let (code, _) = run_bin(&[dir.to_str().unwrap()], None);
+    assert_eq!(code, 0);
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (code, _) = run_bin(&[], None);
+    assert_eq!(code, 2, "no args must be a usage error");
+    let (code, _) = run_bin(&["--check", "not-a-check", "x"], None);
+    assert_eq!(code, 2, "bad check name must be a usage error");
+}
+
+// ------------------------------------------------------ the real workspace
+
+/// The pin that gives the CI step its teeth: the repo's own tree passes all
+/// five checks, with every surviving suppression carrying a reason.
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, stdout) = run_bin(&["--workspace"], Some(&root));
+    assert_eq!(code, 0, "workspace not lint-clean:\n{stdout}");
+}

@@ -156,6 +156,7 @@ impl NetStats {
     /// Delivered traffic broken down by message kind, sorted by kind.
     pub fn by_kind(&self) -> Vec<(u16, KindTraffic)> {
         let mut rows: Vec<(u16, KindTraffic)> =
+            // lint: allow(determinism) -- snapshot of a stats map; rows are sorted by kind on the next line
             self.by_kind.lock().iter().map(|(&k, &t)| (k, t)).collect();
         rows.sort_unstable_by_key(|&(k, _)| k);
         rows
@@ -307,6 +308,7 @@ impl SimEndpoint {
         let mut incs = (0u32, 0u32);
         if let Some(f) = &self.faults {
             let mut st = f.lock();
+            // lint: allow(determinism) -- resolves wall-clock Elapsed fault triggers; delivery-count triggers are the deterministic path
             st.poll(Instant::now());
             if !st.is_alive(self.id.index()) {
                 return;
@@ -320,6 +322,7 @@ impl SimEndpoint {
         match (&self.delay_tx, dst == self.id) {
             (Some(delay), false) => {
                 let mut st = self.send_state.lock();
+                // lint: allow(determinism) -- SimNet's clock for imposing link latency; ordering is pinned by the per-channel FIFO clamp, not by timing
                 let now = Instant::now();
                 let tx = self.latency.transmit_time(env.wire_bytes());
                 let prop = self.latency.propagation_delay(&mut st.jitter);
@@ -348,6 +351,7 @@ impl SimEndpoint {
                     // the receiver); skip the counters entirely.
                     let _ = self.direct[dst.index()].send(env);
                 } else if let Some(f) = &self.faults {
+                    // lint: allow(determinism) -- fault-gate delivery timestamp; the fault trace is keyed by delivery counts, not times
                     f.lock().on_deliver(env, incs.0, incs.1, Instant::now());
                 } else {
                     deliver(&self.direct, &self.stats, env);
@@ -372,6 +376,7 @@ impl SimEndpoint {
     fn dead_check(&self) -> Option<bool> {
         let f = self.faults.as_ref()?;
         let mut st = f.lock();
+        // lint: allow(determinism) -- resolves wall-clock Elapsed fault triggers; delivery-count triggers are the deterministic path
         st.poll(Instant::now());
         if st.is_alive(self.id.index()) {
             return None;
@@ -396,6 +401,7 @@ impl SimEndpoint {
         if self.dead_check().is_some() {
             return Err(RecvError::MachineDown);
         }
+        // lint: allow(blocking-recv) -- the transport-layer primitive itself; engines only call the seam's recv_timeout (PR 5 termination audit)
         self.rx.recv().map_err(|_| RecvError::Disconnected)
     }
 
@@ -490,6 +496,7 @@ impl SimNet {
             (Some(dtx), Some(handle))
         };
 
+        // lint: allow(determinism) -- run-start epoch for the virtual clock; never enters payloads or traces
         let epoch = Instant::now();
         let endpoints = rxs
             .into_iter()
@@ -584,6 +591,7 @@ fn delivery_loop(
     let mut heap: BinaryHeap<Delayed> = BinaryHeap::new();
     loop {
         // Deliver everything due.
+        // lint: allow(determinism) -- delay-thread due-time check; ordering is pinned by the per-channel FIFO clamp, not by timing
         let now = Instant::now();
         while let Some(top) = heap.peek() {
             if top.deliver_at <= now {
@@ -599,6 +607,7 @@ fn delivery_loop(
         // Wait for the next due time or a new message.
         let wait = heap
             .peek()
+            // lint: allow(determinism) -- delay-thread sleep sizing only; early/late wakeups cannot reorder deliveries
             .map(|d| d.deliver_at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(wait) {

@@ -29,6 +29,11 @@ extern "C" {
 /// Installs the SIGINT/SIGTERM handlers and spawns the watcher thread.
 /// `context` prefixes the abort log line (e.g. `"graphlab-node[m=2]"`).
 pub fn install_watcher(context: String) {
+    // SAFETY: libc `signal(2)` with valid signal numbers and a handler that
+    // is async-signal-safe — `record` only stores to an atomic (no
+    // allocation, locking, or formatting in signal context). Called once at
+    // process start, before any thread could be mid-syscall on these
+    // signals.
     unsafe {
         signal(SIGINT, record);
         signal(SIGTERM, record);

@@ -425,6 +425,19 @@ mod wire_codec {
         ) {
             rt(TokenMsg(Token { count, black: black == 1, round }));
         }
+
+        #[test]
+        fn recovery_msgs_roundtrip(
+            era in 0u32..u32::MAX,
+            snap in 0u64..u64::MAX,
+            reason_bytes in proptest::collection::vec(32u32..127, 0..48),
+        ) {
+            rt(RecoverReadyMsg { era });
+            rt(RollbackMsg { era, snap });
+            rt(RecoverEraMsg { era });
+            let reason: String = reason_bytes.into_iter().map(|b| b as u8 as char).collect();
+            rt(RecoverAbortMsg { era, reason });
+        }
     }
 
     #[test]
