@@ -30,17 +30,24 @@ impl std::fmt::Display for DfsError {
 
 impl std::error::Error for DfsError {}
 
-/// Cumulative I/O statistics.
+/// Cumulative I/O statistics. Creates and overwrites are tracked
+/// separately: the Fig. 4 snapshot-overhead accounting charges each
+/// checkpoint's footprint once, so re-writing an existing file must not
+/// inflate `bytes_written`/`files_written` a second time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DfsStats {
-    /// Logical bytes written (before replication).
+    /// Logical bytes written creating new files (before replication).
     pub bytes_written: u64,
-    /// Physical bytes written (logical × replication factor).
+    /// Logical bytes written over already-existing files.
+    pub bytes_overwritten: u64,
+    /// Physical creation bytes (logical × replication factor).
     pub bytes_written_replicated: u64,
     /// Bytes read.
     pub bytes_read: u64,
-    /// Number of files written (including overwrites).
+    /// Number of files created.
     pub files_written: u64,
+    /// Number of overwrites of existing files.
+    pub files_overwritten: u64,
 }
 
 /// In-memory simulated DFS.
@@ -48,8 +55,10 @@ pub struct SimDfs {
     files: RwLock<BTreeMap<String, Bytes>>,
     replication: u32,
     bytes_written: AtomicU64,
+    bytes_overwritten: AtomicU64,
     bytes_read: AtomicU64,
     files_written: AtomicU64,
+    files_overwritten: AtomicU64,
 }
 
 impl SimDfs {
@@ -65,16 +74,26 @@ impl SimDfs {
             files: RwLock::new(BTreeMap::new()),
             replication,
             bytes_written: AtomicU64::new(0),
+            bytes_overwritten: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             files_written: AtomicU64::new(0),
+            files_overwritten: AtomicU64::new(0),
         }
     }
 
-    /// Writes (or overwrites) a file.
+    /// Writes (or overwrites) a file. Creates and overwrites are charged
+    /// to separate counters — the insert itself tells the two apart — so
+    /// repeated writes of the same name never inflate the creation stats.
     pub fn write(&self, name: &str, data: Bytes) {
-        self.bytes_written.fetch_add(data.len() as u64, Ordering::Relaxed);
-        self.files_written.fetch_add(1, Ordering::Relaxed);
-        self.files.write().insert(name.to_string(), data);
+        let len = data.len() as u64;
+        let previous = self.files.write().insert(name.to_string(), data);
+        if previous.is_some() {
+            self.bytes_overwritten.fetch_add(len, Ordering::Relaxed);
+            self.files_overwritten.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.bytes_written.fetch_add(len, Ordering::Relaxed);
+            self.files_written.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Reads a file.
@@ -110,9 +129,11 @@ impl SimDfs {
         let w = self.bytes_written.load(Ordering::Relaxed);
         DfsStats {
             bytes_written: w,
+            bytes_overwritten: self.bytes_overwritten.load(Ordering::Relaxed),
             bytes_written_replicated: w * self.replication as u64,
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             files_written: self.files_written.load(Ordering::Relaxed),
+            files_overwritten: self.files_overwritten.load(Ordering::Relaxed),
         }
     }
 
@@ -187,7 +208,27 @@ mod tests {
         dfs.write("x", Bytes::from_static(b"old"));
         dfs.write("x", Bytes::from_static(b"new"));
         assert_eq!(dfs.read("x").unwrap(), Bytes::from_static(b"new"));
-        assert_eq!(dfs.stats().files_written, 2);
+        assert_eq!(dfs.stats().files_written, 1, "one file created");
+        assert_eq!(dfs.stats().files_overwritten, 1);
+    }
+
+    #[test]
+    fn overwrites_do_not_inflate_creation_stats() {
+        let dfs = SimDfs::with_replication(3);
+        dfs.write("ckpt/a", Bytes::from(vec![0u8; 100]));
+        dfs.write("ckpt/a", Bytes::from(vec![1u8; 40]));
+        dfs.write("ckpt/b", Bytes::from(vec![2u8; 7]));
+        let s = dfs.stats();
+        assert_eq!(s.files_written, 2);
+        assert_eq!(s.files_overwritten, 1);
+        assert_eq!(s.bytes_written, 107, "creation bytes charged once per file");
+        assert_eq!(s.bytes_overwritten, 40);
+        assert_eq!(s.bytes_written_replicated, 321);
+        // Deleting and re-writing is a fresh creation again.
+        dfs.delete("ckpt/a");
+        dfs.write("ckpt/a", Bytes::from(vec![3u8; 5]));
+        assert_eq!(dfs.stats().files_written, 3);
+        assert_eq!(dfs.stats().files_overwritten, 1);
     }
 
     #[test]

@@ -33,6 +33,10 @@ use crate::placement::Placement;
 pub struct InitVertex<V> {
     /// Global vertex id.
     pub gvid: VertexId,
+    /// Atom owning the vertex — the unit of checkpointing and adoption
+    /// (a vertex's checkpoint rows live in its atom's file, and adoption
+    /// reassigns whole atoms). Set for ghosts too (their owner atom).
+    pub atom: AtomId,
     /// Machine owning the vertex (may be this machine).
     pub owner: MachineId,
     /// For *owned* vertices: other machines holding a ghost of it. Empty
@@ -269,7 +273,7 @@ where
             vertex_owner_atom.insert(ov.gvid, atom.id);
             vertices.insert(
                 ov.gvid,
-                InitVertex { gvid: ov.gvid, owner: machine, mirrors, data: ov.data },
+                InitVertex { gvid: ov.gvid, atom: atom.id, owner: machine, mirrors, data: ov.data },
             );
         }
     }
@@ -282,7 +286,13 @@ where
                     owner, machine,
                     "ghost record for locally-owned vertex must have been shadowed"
                 );
-                slot.insert(InitVertex { gvid: gv.gvid, owner, mirrors: Vec::new(), data: gv.data });
+                slot.insert(InitVertex {
+                    gvid: gv.gvid,
+                    atom: gv.owner_atom,
+                    owner,
+                    mirrors: Vec::new(),
+                    data: gv.data,
+                });
             }
         }
     }

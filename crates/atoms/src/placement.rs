@@ -104,6 +104,37 @@ impl Placement {
             .collect()
     }
 
+    /// Restart-free elasticity (§3): re-balances the atoms of `dead`
+    /// machines over the survivors. Survivors keep every atom they
+    /// already hold (their loaded state stays valid); only the dead
+    /// machines' atoms move, LPT-packed by owned-vertex count onto the
+    /// currently least-loaded survivor — the k·n over-partitioning is
+    /// what makes the adopted shares even. Panics if no machine survives.
+    pub fn adopt(&self, index: &AtomIndex, dead: &[bool]) -> Placement {
+        assert_eq!(dead.len(), self.num_machines);
+        assert!(dead.iter().any(|&d| !d), "adoption needs at least one survivor");
+        let mut machine_of = self.machine_of.clone();
+        let mut load = vec![0u64; self.num_machines];
+        for (a, &m) in machine_of.iter().enumerate() {
+            if !dead[m.index()] {
+                load[m.index()] += index.entries[a].owned_vertices;
+            }
+        }
+        // Orphaned atoms, heaviest first (LPT).
+        let mut orphans: Vec<usize> =
+            (0..machine_of.len()).filter(|&a| dead[machine_of[a].index()]).collect();
+        orphans.sort_by_key(|&a| (std::cmp::Reverse(index.entries[a].owned_vertices), a));
+        for a in orphans {
+            let m = (0..self.num_machines)
+                .filter(|&m| !dead[m])
+                .min_by_key(|&m| (load[m], m))
+                .expect("at least one survivor");
+            machine_of[a] = MachineId::from(m);
+            load[m] += index.entries[a].owned_vertices;
+        }
+        Placement { machine_of, num_machines: self.num_machines }
+    }
+
     /// Owned-vertex load per machine given the index.
     pub fn loads(&self, index: &AtomIndex) -> Vec<u64> {
         let mut loads = vec![0u64; self.num_machines];
@@ -185,6 +216,47 @@ mod tests {
         assert_eq!(p.atoms_of(MachineId(0)).len(), 4);
         assert_eq!(p.atoms_of(MachineId(1)).len(), 3);
         assert_eq!(p.atoms_of(MachineId(2)).len(), 3);
+    }
+
+    #[test]
+    fn adopt_moves_only_dead_atoms_and_balances() {
+        let idx = index(&[10; 8], &[]);
+        let p = Placement::compute(&idx, 4);
+        let q = p.adopt(&idx, &[false, false, true, false]);
+        for a in 0..8 {
+            let a = AtomId(a);
+            if p.machine_of(a) != MachineId(2) {
+                assert_eq!(q.machine_of(a), p.machine_of(a), "survivor atoms stay put");
+            } else {
+                assert_ne!(q.machine_of(a), MachineId(2), "orphans leave the dead machine");
+            }
+        }
+        assert!(q.atoms_of(MachineId(2)).is_empty());
+        let loads = q.loads(&idx);
+        assert_eq!(loads[2], 0);
+        // 80 vertices over 3 survivors: within one atom of even.
+        for m in [0, 1, 3] {
+            assert!((20..=30).contains(&loads[m]), "loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn adopt_cascading_deaths_compose() {
+        let idx = index(&[7, 5, 3, 2, 2, 1], &[]);
+        let p = Placement::compute(&idx, 3);
+        let q = p.adopt(&idx, &[false, true, false]);
+        let r = q.adopt(&idx, &[false, true, true]);
+        assert!(r.atoms_of(MachineId(1)).is_empty());
+        assert!(r.atoms_of(MachineId(2)).is_empty());
+        assert_eq!(r.atoms_of(MachineId(0)).len(), 6, "sole survivor holds everything");
+    }
+
+    #[test]
+    #[should_panic(expected = "survivor")]
+    fn adopt_requires_a_survivor() {
+        let idx = index(&[1, 1], &[]);
+        let p = Placement::compute(&idx, 2);
+        let _ = p.adopt(&idx, &[true, true]);
     }
 
     #[test]

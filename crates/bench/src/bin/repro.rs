@@ -29,7 +29,8 @@ use graphlab_atoms::VertexPartition;
 use graphlab_bench::Table;
 use graphlab_core::{
     optimal_checkpoint_interval_secs, EngineConfig, EngineKind, FaultPlan, FaultTrigger, GraphLab,
-    PartitionStrategy, SchedulerKind, SnapshotConfig, SnapshotMode, StragglerConfig, SyncCadence,
+    PartitionStrategy, RecoveryMode, SchedulerKind, SnapshotConfig, SnapshotMode, StragglerConfig,
+    SyncCadence,
 };
 use graphlab_graph::Coloring;
 use graphlab_net::codec::encode_to_bytes;
@@ -1066,12 +1067,22 @@ fn abl_bytes() {
     );
 }
 
+/// How a killed machine comes back in the `abl-recovery` ablation.
+#[derive(Clone, Copy, PartialEq)]
+enum KillArm {
+    /// The machine restarts and the cluster rolls back to the checkpoint.
+    Rollback,
+    /// The machine stays dead; survivors adopt its atoms (no rollback).
+    Adopt,
+}
+
 fn abl_recovery() {
     banner(
         "abl-recovery",
         "ablation: snapshot overhead + failure recovery (Fig. 4 shape; locking engine, 4 machines)",
         "a killed machine is restored from the last complete checkpoint and the run completes \
-         with the same ranks, paying only the rolled-back recomputation",
+         with the same ranks, paying only the rolled-back recomputation; without a restart, \
+         survivors adopt the dead machine's atoms instead of rolling back",
     );
     // Note on the sync-vs-async overhead: the paper's Fig. 4 favours the
     // asynchronous snapshot because stop-the-world pauses are expensive on
@@ -1083,18 +1094,26 @@ fn abl_recovery() {
     let oracle = exact_pagerank(&base, 0.15, 150);
     let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
 
-    let run = |mode: SnapshotMode, kill_at: Option<u64>| {
+    let run = |mode: SnapshotMode, kill: Option<(u64, KillArm)>| {
         let mut g = base.clone();
         init_ranks(&mut g);
         let mut b = GraphLab::on(&mut g).engine(EngineKind::Locking).machines(4).snapshot(
             SnapshotConfig { mode, every_updates: 2_000, max_snapshots: 64 },
         );
-        if let Some(at) = kill_at {
-            b = b.faults(FaultPlan::seeded(7).kill_and_restart(
-                2,
-                FaultTrigger::Deliveries(at),
-                FaultTrigger::Elapsed(Duration::from_millis(20)),
-            ));
+        match kill {
+            Some((at, KillArm::Rollback)) => {
+                b = b.faults(FaultPlan::seeded(7).kill_and_restart(
+                    2,
+                    FaultTrigger::Deliveries(at),
+                    FaultTrigger::Elapsed(Duration::from_millis(20)),
+                ));
+            }
+            Some((at, KillArm::Adopt)) => {
+                b = b
+                    .recovery(RecoveryMode::Adopt)
+                    .faults(FaultPlan::seeded(7).kill(2, FaultTrigger::Deliveries(at)));
+            }
+            None => {}
         }
         let out = b.run(pr.clone());
         let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
@@ -1108,8 +1127,14 @@ fn abl_recovery() {
     let (async_out, async_l1) = run(SnapshotMode::Asynchronous, None);
     let sync_kill_at = (sync_out.metrics.total_messages * 2) / 5;
     let async_kill_at = (async_out.metrics.total_messages * 2) / 5;
-    let (sync_kill, sync_kill_l1) = run(SnapshotMode::Synchronous, Some(sync_kill_at));
-    let (async_kill, async_kill_l1) = run(SnapshotMode::Asynchronous, Some(async_kill_at));
+    let (sync_kill, sync_kill_l1) = run(SnapshotMode::Synchronous, Some((sync_kill_at, KillArm::Rollback)));
+    let (async_kill, async_kill_l1) =
+        run(SnapshotMode::Asynchronous, Some((async_kill_at, KillArm::Rollback)));
+    // Restart-free arms: the victim never comes back, survivors adopt its
+    // atoms from the journals + per-atom checkpoints instead of rolling
+    // the whole cluster back.
+    let (sync_adopt, sync_adopt_l1) = run(SnapshotMode::Synchronous, Some((sync_kill_at, KillArm::Adopt)));
+    let (none_adopt, none_adopt_l1) = run(SnapshotMode::None, Some((sync_kill_at, KillArm::Adopt)));
 
     let base_rt = none_out.metrics.runtime.as_secs_f64();
     let mut t = Table::new(&[
@@ -1117,6 +1142,7 @@ fn abl_recovery() {
         "updates",
         "snapshots",
         "recoveries",
+        "adoptions",
         "runtime",
         "vs no-snapshot",
         "L1 vs oracle",
@@ -1127,12 +1153,15 @@ fn abl_recovery() {
         ("async snapshots", &async_out, async_l1),
         ("sync + kill m2 mid-run", &sync_kill, sync_kill_l1),
         ("async + kill m2 mid-run", &async_kill, async_kill_l1),
+        ("sync + kill m2, adopted", &sync_adopt, sync_adopt_l1),
+        ("no snap + kill m2, adopted", &none_adopt, none_adopt_l1),
     ] {
         t.row(vec![
             name.into(),
             format!("{}", out.metrics.updates),
             format!("{}", out.metrics.snapshots),
             format!("{}", out.metrics.recoveries),
+            format!("{}", out.metrics.adoptions),
             format!("{:.2?}", out.metrics.runtime),
             format!("{:+.0}%", 100.0 * (out.metrics.runtime.as_secs_f64() / base_rt - 1.0)),
             format!("{l1:.1e}"),
@@ -1145,15 +1174,28 @@ fn abl_recovery() {
         sync_kill.metrics.runtime.saturating_sub(sync_out.metrics.runtime),
         async_kill.metrics.runtime.saturating_sub(async_out.metrics.runtime),
     );
-    println!("  (updates in the killed arms include the re-executed rolled-back work)");
+    println!(
+        "  adoption wall-clock (kill + adopt + reconvergence, no rollback): {:+.2?} \
+         over the fault-free sync arm",
+        sync_adopt.metrics.runtime.saturating_sub(sync_out.metrics.runtime),
+    );
+    println!("  (updates in the rolled-back arms include the re-executed rolled-back work)");
 
     // CI smoke assertions: both killed arms actually recovered and still
-    // converge to the oracle's ranks.
+    // converge to the oracle's ranks; the adoption arms recover without a
+    // single rollback, with or without checkpoints to overlay.
     for (name, out, l1) in
         [("sync", &sync_kill, sync_kill_l1), ("async", &async_kill, async_kill_l1)]
     {
         assert!(out.metrics.recoveries >= 1, "{name} killed arm never rolled back");
         assert!(l1 < 1e-6, "{name} killed arm diverged: L1 {l1}");
+    }
+    for (name, out, l1) in
+        [("sync", &sync_adopt, sync_adopt_l1), ("no-snap", &none_adopt, none_adopt_l1)]
+    {
+        assert!(out.metrics.adoptions >= 1, "{name} adoption arm never adopted");
+        assert_eq!(out.metrics.recoveries, 0, "{name} adoption arm rolled back");
+        assert!(l1 < 1e-6, "{name} adoption arm diverged: L1 {l1}");
     }
 }
 

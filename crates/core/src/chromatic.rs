@@ -24,19 +24,24 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use graphlab_atoms::LocalGraphInit;
+use graphlab_atoms::{load_machine_part, LocalGraphInit};
 use graphlab_graph::{MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
 use graphlab_net::fault::{DownMsg, UpMsg};
-use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
+use graphlab_net::{Batcher, Endpoint, Envelope, LeaseConfig, RecvError};
 
+use crate::config::RecoveryMode;
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
 use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
-use crate::recovery::{pick_rollback, unrecoverable_down, RecoveryTracker, RECOVERY_DEADLINE};
+use crate::recovery::{
+    pick_adoption, pick_rollback, unrecoverable_down, RecoveryTracker, RECOVERY_DEADLINE,
+};
 use crate::reference::InitialSchedule;
-use crate::snapshot::{restore_into_local, snap_file_name, SnapshotFile};
+use crate::snapshot::{
+    apply_file, restore_atoms_into_local, restore_into_local, write_snapshot_atoms, SnapshotFile,
+};
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 const RECV_TIMEOUT: Duration = Duration::from_secs(30);
@@ -51,8 +56,18 @@ enum Interrupt {
     Recover,
     /// This machine was killed — wipe volatile state and wait for rebirth.
     Die,
+    /// This machine is permanently dead under [`RecoveryMode::Adopt`]:
+    /// exit cleanly (no failure) while the survivors adopt its atoms.
+    Exit,
     /// Unrecoverable: fail the run cleanly with this reason.
     Abort(String),
+}
+
+/// The master's recovery order for one fault era: roll everyone back to a
+/// checkpoint, or have the survivors adopt the dead machines' atoms.
+enum RecoveryOrder {
+    Rollback(RollbackMsg),
+    Adopt(AdoptPlanMsg),
 }
 
 fn enc<T: Codec>(v: &T) -> Bytes {
@@ -119,6 +134,9 @@ pub(crate) struct ChromaticMachine<V, E, U: ?Sized> {
     /// reset by a rollback — the metrics source).
     steps_total: u64,
     failure: Option<String>,
+    /// Permanently dead under adoption: the run ends cleanly with no
+    /// owned data (the survivors adopted it).
+    dead: bool,
 }
 
 impl<V, E, U> ChromaticMachine<V, E, U>
@@ -137,7 +155,10 @@ where
         let nv = lg.num_local_vertices();
         let m = lg.num_machines();
         let machine = lg.machine();
-        let net = Batcher::new(ep, setup.config.batch);
+        let mut net = Batcher::new(ep, setup.config.batch);
+        if let Some(period) = setup.config.lease {
+            net.enable_lease(LeaseConfig::with_period(period));
+        }
         ChromaticMachine {
             // Edge slots unused: edges have exactly two replicas, so an
             // edge write-back never fans out.
@@ -161,6 +182,7 @@ where
             rec: RecoveryTracker::new(machine.index(), m),
             steps_total: 0,
             failure: None,
+            dead: false,
             globals: GlobalRegistry::new(),
             num_colors,
             lg,
@@ -212,13 +234,16 @@ where
         loop {
             match self.run_cycles() {
                 Ok(()) => break,
-                Err(int) => {
-                    if let Err(reason) = self.handle_interrupt(int) {
+                Err(int) => match self.handle_interrupt(int) {
+                    // Recovered: the BSP machinery restarts at cycle 0.
+                    Ok(true) => {}
+                    // Permanently dead under adoption: clean exit.
+                    Ok(false) => break,
+                    Err(reason) => {
                         self.failure = Some(reason);
                         break;
                     }
-                    // Recovered: the BSP machinery restarts at cycle 0.
-                }
+                },
             }
         }
         // The master's final globals/halt broadcast may still sit in the
@@ -279,8 +304,8 @@ where
                             // recv when the kill fired: we are the dead one.
                             return Err(Interrupt::Die);
                         }
-                        if !d.restart {
-                            return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                        if let Some(i) = self.on_peer_down(&d) {
+                            return Err(i);
                         }
                         if self.rec.observe_era(d.era) {
                             return Err(Interrupt::Recover);
@@ -298,7 +323,8 @@ where
                         let a: RecoverAbortMsg = dec(env.payload);
                         return Err(Interrupt::Abort(a.reason));
                     }
-                    K_RECOVER_READY | K_ROLLBACK | K_RECOVERED | K_RESUME | K_FLUSH_MARK => {
+                    K_RECOVER_READY | K_ROLLBACK | K_RECOVERED | K_RESUME | K_FLUSH_MARK
+                    | K_ADOPT_PLAN | K_ADOPT_DATA => {
                         // Stale control from a superseded recovery round.
                     }
                     _ => return Ok(env),
@@ -491,7 +517,7 @@ where
         let me = self.me().index();
         let step = self.step;
         for (j, &count) in counts.iter().enumerate().take(m) {
-            if j != me {
+            if j != me && !self.rec.is_dead(j) {
                 let msg = FlushMsg {
                     step,
                     count,
@@ -503,7 +529,9 @@ where
             }
         }
         loop {
-            let complete = (0..m).filter(|&j| j != me).all(|j| {
+            // Dead machines owe nothing: their atoms were adopted and the
+            // fabric drops their in-flight traffic.
+            let complete = (0..m).filter(|&j| j != me && !self.rec.is_dead(j)).all(|j| {
                 match self.flush_promises.get(&(j as u16, step, phase)) {
                     None => false,
                     Some(f) => {
@@ -641,7 +669,7 @@ where
                 self.setup.syncs[i].combine(accs[i].as_mut(), part);
             }
             let mut received = 1usize;
-            while received < m {
+            while received < self.rec.survivors() {
                 let env = match self.sync_stash.pop_front() {
                     Some(env) => env,
                     None => self.recv_env(RECV_TIMEOUT)?,
@@ -692,7 +720,9 @@ where
             let out = SyncGlobalsMsg { cycle, globals: globals_rows, halt, snapshot };
             let payload = enc(&out);
             for j in 1..m {
-                self.send_msg(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
+                if !self.rec.is_dead(j) {
+                    self.send_msg(MachineId::from(j), K_CHROM_SYNC_GLOB, payload.clone());
+                }
             }
             Ok((halt, snapshot))
         } else {
@@ -724,15 +754,20 @@ where
 
     fn write_snapshot(&mut self, snap: u64) -> Result<(), Interrupt> {
         let file = SnapshotFile::capture(&self.lg);
-        self.setup.dfs.write(
-            &snap_file_name(&self.setup.snap_prefix, snap, self.me()),
-            enc(&file),
+        let my_atoms = self.setup.placement.atoms_of(self.me());
+        write_snapshot_atoms(
+            &self.setup.dfs,
+            &self.setup.snap_prefix,
+            snap,
+            file,
+            &self.lg,
+            &my_atoms,
         );
         self.snapshots_taken = self.snapshots_taken.max(snap + 1);
         let m = self.num_machines();
         if self.me() == MachineId(0) {
             let mut done = 1usize;
-            while done < m {
+            while done < self.rec.survivors() {
                 let env = self.recv_env(RECV_TIMEOUT)?;
                 if env.kind == K_CHROM_SNAP_DONE {
                     done += 1;
@@ -744,7 +779,9 @@ where
                 }
             }
             for j in 1..m {
-                self.send_msg(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
+                if !self.rec.is_dead(j) {
+                    self.send_msg(MachineId::from(j), K_CHROM_SNAP_RESUME, Bytes::new());
+                }
             }
         } else {
             self.send_msg(MachineId(0), K_CHROM_SNAP_DONE, Bytes::new());
@@ -764,22 +801,45 @@ where
 
     /// Drives interrupts to quiescence: a death wait chains into a
     /// recovery round, overlapping failures restart the round, and only
-    /// a successful resume returns `Ok`.
-    fn handle_interrupt(&mut self, int: Interrupt) -> Result<(), String> {
+    /// a successful resume returns `Ok(true)`. `Ok(false)` is the clean
+    /// permanent-death exit under adoption (no failure: the survivors
+    /// carry the run to completion without this machine).
+    fn handle_interrupt(&mut self, int: Interrupt) -> Result<bool, String> {
         let mut int = int;
         loop {
             int = match int {
                 Interrupt::Abort(reason) => return Err(reason),
+                Interrupt::Exit => {
+                    self.dead = true;
+                    return Ok(false);
+                }
                 Interrupt::Die => match self.dead_wait() {
                     Ok(()) => Interrupt::Recover,
                     Err(i) => i,
                 },
                 Interrupt::Recover => match self.recover() {
-                    Ok(()) => return Ok(()),
+                    Ok(()) => return Ok(true),
                     Err(i) => i,
                 },
             };
         }
+    }
+
+    /// Shared handling of a peer's `K_DOWN` (any receive site): fence the
+    /// lease table, and classify a restart-less death — an abort under
+    /// [`RecoveryMode::Rollback`], a permanent-death record (the machine
+    /// drops out of every barrier; its atoms will be adopted) under
+    /// [`RecoveryMode::Adopt`]. The caller still observes the era.
+    fn on_peer_down(&mut self, d: &DownMsg) -> Option<Interrupt> {
+        self.net.lease_note_death(d.machine, d.era);
+        if !d.restart {
+            if self.setup.config.recovery != RecoveryMode::Adopt {
+                return Some(Interrupt::Abort(unrecoverable_down(d)));
+            }
+            self.rec.note_death(d.machine as usize);
+            self.net.fence(d.machine);
+        }
+        None
     }
 
     /// This machine was killed: discard all volatile state and poll until
@@ -787,6 +847,11 @@ where
     fn dead_wait(&mut self) -> Result<(), Interrupt> {
         self.wipe_volatile();
         if self.net.self_death() == Some(false) {
+            if self.setup.config.recovery == RecoveryMode::Adopt {
+                // The survivors adopt our atoms; this machine's run is
+                // over, cleanly.
+                return Err(Interrupt::Exit);
+            }
             // No restart scheduled: fail fast instead of stalling the
             // join for the full recovery deadline (survivors abort on
             // their K_DOWN{restart: false} in parallel).
@@ -824,7 +889,15 @@ where
     fn wipe_volatile(&mut self) {
         self.net.clear();
         self.reset_engine_state();
+        // Permanent deaths are cluster-durable facts: a reborn machine
+        // that forgot them would wait forever on a dead peer's barriers.
+        let dead = self.rec.dead_mask().to_vec();
         self.rec = RecoveryTracker::new(self.me().index(), self.num_machines());
+        for (j, d) in dead.into_iter().enumerate() {
+            if d {
+                self.rec.note_death(j);
+            }
+        }
     }
 
     /// Resets all volatile BSP state: colour queues, step/flush
@@ -869,28 +942,44 @@ where
             }
             // lint: allow(determinism) -- recovery deadline timer; bounds waiting, never enters payloads or traces
             let started = Instant::now();
-            let mut rollback: Option<RollbackMsg> = None;
+            let mut order: Option<RecoveryOrder> = None;
+            // Ghost-round data pulled off the wire while still waiting for
+            // a slower peer's flush marker (a fast peer may finish its
+            // surgery first); replayed into the adoption below.
+            let mut adopt_early: Vec<Envelope> = Vec::new();
 
-            // ---- collect/flush until the rollback can be applied ----
+            // ---- collect/flush until the order can be applied ----
             // `Some(order)` = channels flushed, apply it; `None` = the era
             // was superseded by a further failure, re-drain.
-            let flushed: Option<RollbackMsg> = loop {
+            let flushed: Option<RecoveryOrder> = loop {
                 if self.rec.era > ready_era {
                     break None;
                 }
                 if started.elapsed() > RECOVERY_DEADLINE {
                     return Err(Interrupt::Abort(format!(
-                        "recovery stalled at fault era {} (machine {})",
-                        self.rec.era, me
+                        "recovery stalled at fault era {} (machine {}, order in: {}, {:?})",
+                        self.rec.era,
+                        me,
+                        order.is_some(),
+                        self.rec
                     )));
                 }
-                if me == 0 && rollback.is_none() && self.rec.all_ready() {
-                    let order = self.master_order_rollback()?;
-                    self.broadcast_flush_mark(order.era);
-                    rollback = Some(order);
+                if me == 0 && order.is_none() && self.rec.all_ready() {
+                    let survivors = self.rec.survivors();
+                    order = if survivors < self.num_machines() {
+                        // Permanent deaths under Adopt mode (Rollback
+                        // aborts on them long before READY collection).
+                        let plan = self.master_order_adoption();
+                        self.broadcast_flush_mark(plan.era);
+                        Some(RecoveryOrder::Adopt(plan))
+                    } else {
+                        let msg = self.master_order_rollback()?;
+                        self.broadcast_flush_mark(msg.era);
+                        Some(RecoveryOrder::Rollback(msg))
+                    };
                 }
-                if rollback.is_some() && self.rec.marks_complete() {
-                    break rollback.take();
+                if order.is_some() && self.rec.marks_complete() {
+                    break order.take();
                 }
                 match self.net.recv_timeout(RECOVERY_POLL) {
                     Ok(env) => match env.kind {
@@ -899,8 +988,8 @@ where
                             if d.machine == self.me().0 {
                                 return Err(Interrupt::Die);
                             }
-                            if !d.restart {
-                                return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                            if let Some(i) = self.on_peer_down(&d) {
+                                return Err(i);
                             }
                             // A newer era is caught at the top of the loop.
                             self.rec.observe_era(d.era);
@@ -915,6 +1004,9 @@ where
                             let msg: RecoverReadyMsg = dec(env.payload);
                             if me == 0 {
                                 self.rec.note_ready(env.src.index(), msg.era);
+                                // A READY proves the sender alive: un-fence
+                                // its lease (a reborn machine re-leases).
+                                self.net.lease_note_up(env.src.0, msg.era);
                             }
                         }
                         K_ROLLBACK => {
@@ -923,8 +1015,28 @@ where
                                 // Reborn machines adopt the rollback era.
                                 self.rec.observe_era(msg.era);
                                 self.broadcast_flush_mark(msg.era);
-                                rollback = Some(msg);
+                                order = Some(RecoveryOrder::Rollback(msg));
                             }
+                        }
+                        K_ADOPT_PLAN => {
+                            let msg: AdoptPlanMsg = dec(env.payload);
+                            if msg.era >= self.rec.era {
+                                self.rec.observe_era(msg.era);
+                                // The plan is authoritative about who died
+                                // (a worker may have missed a K_DOWN).
+                                for &dm in &msg.dead {
+                                    self.rec.note_death(dm as usize);
+                                    self.net.lease_note_death(dm, msg.era);
+                                    self.net.fence(dm);
+                                }
+                                self.broadcast_flush_mark(msg.era);
+                                order = Some(RecoveryOrder::Adopt(msg));
+                            }
+                        }
+                        K_ADOPT_DATA => {
+                            // A fast peer already finished its surgery;
+                            // keep its ghost data for our own.
+                            adopt_early.push(env);
                         }
                         K_FLUSH_MARK => {
                             let msg: RecoverEraMsg = dec(env.payload);
@@ -959,26 +1071,33 @@ where
                 continue; // re-drain for the newer era
             };
 
-            // ---- restore + reset ----
-            if let Err(e) = restore_into_local(
-                &self.setup.dfs,
-                &self.setup.snap_prefix,
-                flushed.snap,
-                &mut self.lg,
-            ) {
-                return Err(Interrupt::Abort(format!(
-                    "checkpoint {} unreadable during rollback: {e}",
-                    flushed.snap
-                )));
+            match flushed {
+                RecoveryOrder::Rollback(flushed) => {
+                    // ---- restore + reset ----
+                    if let Err(e) = restore_into_local(
+                        &self.setup.dfs,
+                        &self.setup.snap_prefix,
+                        flushed.snap,
+                        &mut self.lg,
+                    ) {
+                        return Err(Interrupt::Abort(format!(
+                            "checkpoint {} unreadable during rollback: {e}",
+                            flushed.snap
+                        )));
+                    }
+                    self.reset_engine_state();
+                    self.snapshots_taken = flushed.snap + 1;
+                    // Conservative re-seeding: schedule every owned vertex.
+                    for i in 0..self.lg.owned_vertices().len() {
+                        let l = self.lg.owned_vertices()[i];
+                        self.enqueue_local(l);
+                    }
+                    self.rec.after_rollback();
+                }
+                RecoveryOrder::Adopt(plan) => {
+                    self.apply_adoption(plan, adopt_early)?;
+                }
             }
-            self.reset_engine_state();
-            self.snapshots_taken = flushed.snap + 1;
-            // Conservative re-seeding: schedule every owned vertex.
-            for i in 0..self.lg.owned_vertices().len() {
-                let l = self.lg.owned_vertices()[i];
-                self.enqueue_local(l);
-            }
-            self.rec.after_rollback();
 
             // ---- resume barrier ----
             let era = self.rec.era;
@@ -987,7 +1106,9 @@ where
                 if self.rec.note_recovered(era) {
                     let payload = enc(&RecoverEraMsg { era });
                     for j in 1..self.num_machines() {
-                        self.send_msg(MachineId::from(j), K_RESUME, payload.clone());
+                        if !self.rec.is_dead(j) {
+                            self.send_msg(MachineId::from(j), K_RESUME, payload.clone());
+                        }
                     }
                     self.net.flush_all();
                     return Ok(());
@@ -1022,7 +1143,13 @@ where
                             if me == 0 && self.rec.note_recovered(msg.era) {
                                 let payload = enc(&RecoverEraMsg { era });
                                 for j in 1..self.num_machines() {
-                                    self.send_msg(MachineId::from(j), K_RESUME, payload.clone());
+                                    if !self.rec.is_dead(j) {
+                                        self.send_msg(
+                                            MachineId::from(j),
+                                            K_RESUME,
+                                            payload.clone(),
+                                        );
+                                    }
                                 }
                                 self.net.flush_all();
                                 for env in buffered {
@@ -1036,8 +1163,8 @@ where
                             if d.machine == self.me().0 {
                                 return Err(Interrupt::Die);
                             }
-                            if !d.restart {
-                                return Err(Interrupt::Abort(unrecoverable_down(&d)));
+                            if let Some(i) = self.on_peer_down(&d) {
+                                return Err(i);
                             }
                             if self.rec.observe_era(d.era) {
                                 return Err(Interrupt::Recover);
@@ -1047,7 +1174,8 @@ where
                             let a: RecoverAbortMsg = dec(env.payload);
                             return Err(Interrupt::Abort(a.reason));
                         }
-                        K_RECOVER_READY | K_ROLLBACK | K_FLUSH_MARK | graphlab_net::K_UP => {}
+                        K_RECOVER_READY | K_ROLLBACK | K_FLUSH_MARK | K_ADOPT_PLAN
+                        | K_ADOPT_DATA | graphlab_net::K_UP => {}
                         _ => buffered.push(env),
                     },
                     Err(RecvError::Timeout) => {}
@@ -1065,7 +1193,8 @@ where
     /// rollback order, and return our own.
     fn master_order_rollback(&mut self) -> Result<RollbackMsg, Interrupt> {
         let n = self.num_machines();
-        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, n, self.rec.era) {
+        let parts = self.setup.config.num_atoms;
+        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, parts, self.rec.era) {
             Ok(msg) => {
                 let payload = enc(&msg);
                 for i in 1..n {
@@ -1085,6 +1214,29 @@ where
         }
     }
 
+    /// Master, every surviving READY in under [`RecoveryMode::Adopt`]:
+    /// computes the adoption plan (shared policy: [`pick_adoption`]) and
+    /// broadcasts it to the survivors.
+    fn master_order_adoption(&mut self) -> AdoptPlanMsg {
+        let plan = pick_adoption(
+            &self.setup.dfs,
+            &self.setup.snap_prefix,
+            self.setup.config.num_atoms,
+            self.rec.era,
+            &self.setup.index,
+            &self.setup.placement,
+            self.rec.dead_mask(),
+        );
+        let payload = enc(&plan);
+        for j in 1..self.num_machines() {
+            if !self.rec.is_dead(j) {
+                self.send_msg(MachineId::from(j), K_ADOPT_PLAN, payload.clone());
+            }
+        }
+        self.net.flush_all();
+        plan
+    }
+
     /// Broadcasts this era's flush marker to every peer (see
     /// [`K_FLUSH_MARK`]): everything this machine sent before it is
     /// pre-drain engine traffic, delivered ahead of it by per-channel
@@ -1092,11 +1244,239 @@ where
     fn broadcast_flush_mark(&mut self, era: u32) {
         let payload = enc(&RecoverEraMsg { era });
         for j in 0..self.num_machines() {
-            if j != self.me().index() {
+            if j != self.me().index() && !self.rec.is_dead(j) {
                 self.send_msg(MachineId::from(j), K_FLUSH_MARK, payload.clone());
             }
         }
         self.net.flush_all();
+    }
+
+    /// Restart-free recovery (the §3 elasticity claim made concrete):
+    /// rebuild this machine under the adopted placement without rolling
+    /// the cluster back. Own atoms keep their *live* data; adopted atoms
+    /// come from the latest complete per-atom checkpoint when one exists
+    /// (journal-only otherwise — ingress-initial data reconverges through
+    /// re-scheduling); ghosts are refreshed by one [`K_ADOPT_DATA`] round
+    /// between every surviving pair, which doubles as the FIFO barrier
+    /// before the resume handshake.
+    fn apply_adoption(
+        &mut self,
+        plan: AdoptPlanMsg,
+        early: Vec<Envelope>,
+    ) -> Result<(), Interrupt> {
+        let me = self.me();
+        // Diff against what this machine *currently* holds — the plan's
+        // placement is absolute, so adoptions interrupted by overlapping
+        // failures compose.
+        let old_atoms: std::collections::BTreeSet<graphlab_graph::AtomId> =
+            self.setup.placement.atoms_of(me).into_iter().collect();
+        let adopted: Vec<graphlab_graph::AtomId> = plan
+            .placement
+            .atoms_of(me)
+            .into_iter()
+            .filter(|a| !old_atoms.contains(a))
+            .collect();
+
+        // Keep the live values of everything currently owned, then reload
+        // the journals under the adopted placement (new ghost structure,
+        // mirror lists and atom spans).
+        let live = SnapshotFile::capture(&self.lg);
+        let init = match load_machine_part::<V, E>(
+            &self.setup.dfs,
+            &self.setup.index,
+            &plan.placement,
+            me,
+        ) {
+            Ok(init) => init,
+            Err(e) => {
+                return Err(Interrupt::Abort(format!(
+                    "adoption reload failed on machine {}: {e}",
+                    me.0
+                )))
+            }
+        };
+        self.lg = LocalGraph::from_init(init, Some(&self.setup.coloring));
+        self.setup.placement = std::sync::Arc::new(plan.placement.clone());
+
+        // Volatile engine state anew, at the new local sizes.
+        let nv = self.lg.num_local_vertices();
+        let m = self.num_machines();
+        self.cache = RemoteCacheTable::new(m, nv, 0);
+        self.queues = (0..self.num_colors).map(|_| VecDeque::new()).collect();
+        self.queued = vec![false; nv];
+        self.pending_total = 0;
+        self.step = 0;
+        self.recv_buckets.clear();
+        self.flush_promises.clear();
+        self.sync_stash.clear();
+        self.fwd_counts = vec![0; m];
+        self.cycle_updates = 0;
+        self.effects.clear();
+        self.last_snap_updates =
+            self.setup.counters.updates.load(std::sync::atomic::Ordering::Relaxed);
+
+        // Own rows keep their live values...
+        if let Err(e) = apply_file(live, &mut self.lg) {
+            return Err(Interrupt::Abort(format!(
+                "live data re-apply failed during adoption: {e}"
+            )));
+        }
+        // ...and adopted rows overlay from the checkpoint, when one exists.
+        if let Some(snap) = plan.snap {
+            if !adopted.is_empty() {
+                if let Err(e) = restore_atoms_into_local(
+                    &self.setup.dfs,
+                    &self.setup.snap_prefix,
+                    snap,
+                    &adopted,
+                    &mut self.lg,
+                ) {
+                    return Err(Interrupt::Abort(format!(
+                        "checkpoint {snap} unreadable during adoption: {e}"
+                    )));
+                }
+            }
+        }
+        self.snapshots_taken = plan.snap.map_or(0, |s| s + 1);
+
+        // Ghost round: push our owned rows to every surviving peer that
+        // replicates them, then wait for every peer's round in turn.
+        self.send_adopt_data(plan.era);
+        self.collect_adopt_data(plan.era, early)?;
+
+        // Conservative re-seeding: schedule every owned vertex (adopted
+        // data may lag surviving live data; re-execution reconverges).
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            self.enqueue_local(l);
+        }
+        self.rec.after_adoption();
+        Ok(())
+    }
+
+    /// Sends exactly one [`K_ADOPT_DATA`] to every surviving peer — even
+    /// when empty, so receipt of the round is a per-channel barrier —
+    /// carrying the owned vertex rows mirrored on that peer and the owned
+    /// edge rows replicated there.
+    fn send_adopt_data(&mut self, era: u32) {
+        let m = self.num_machines();
+        let me = self.me();
+        let mut out: Vec<AdoptDataMsg> = (0..m)
+            .map(|_| AdoptDataMsg { era, vrows: Vec::new(), erows: Vec::new() })
+            .collect();
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            let mirrors = self.lg.vertex_mirrors(l).to_vec();
+            if mirrors.is_empty() {
+                continue;
+            }
+            let row = (self.lg.vertex_gvid(l), enc(self.lg.vertex_data(l)));
+            for mm in mirrors {
+                out[mm.index()].vrows.push(row.clone());
+            }
+        }
+        for l in 0..self.lg.num_local_edges() as u32 {
+            if !self.lg.owns_edge(l) {
+                continue;
+            }
+            let (s, d) = self.lg.edge_endpoints_local(l);
+            let ms = self.lg.vertex_owner(s);
+            let md = self.lg.vertex_owner(d);
+            let other = if ms == me { md } else { ms };
+            if other != me {
+                out[other.index()]
+                    .erows
+                    .push((self.lg.edge_geid(l), enc(self.lg.edge_data(l))));
+            }
+        }
+        for (j, msg) in out.into_iter().enumerate() {
+            if j != me.index() && !self.rec.is_dead(j) {
+                self.send_msg(MachineId::from(j), K_ADOPT_DATA, enc(&msg));
+            }
+        }
+        self.net.flush_all();
+    }
+
+    /// Blocks until this era's ghost round arrived from every surviving
+    /// peer, applying the rows as they land. `early` replays envelopes
+    /// already pulled off the wire during the marker wait.
+    fn collect_adopt_data(&mut self, era: u32, early: Vec<Envelope>) -> Result<(), Interrupt> {
+        let me = self.me().index();
+        let m = self.num_machines();
+        let mut got = vec![false; m];
+        // lint: allow(determinism) -- recovery deadline timer; bounds waiting, never enters payloads or traces
+        let started = Instant::now();
+        let mut queue: VecDeque<Envelope> = early.into();
+        loop {
+            if (0..m).all(|j| j == me || self.rec.is_dead(j) || got[j]) {
+                return Ok(());
+            }
+            if started.elapsed() > RECOVERY_DEADLINE {
+                return Err(Interrupt::Abort(format!(
+                    "adoption ghost round stalled at fault era {era} (machine {me})"
+                )));
+            }
+            let env = match queue.pop_front() {
+                Some(env) => env,
+                None => match self.net.recv_timeout(RECOVERY_POLL) {
+                    Ok(env) => env,
+                    Err(RecvError::Timeout) => continue,
+                    Err(RecvError::MachineDown) => return Err(Interrupt::Die),
+                    Err(RecvError::Disconnected) => {
+                        return Err(Interrupt::Abort("fabric disconnected".into()));
+                    }
+                },
+            };
+            match env.kind {
+                K_ADOPT_DATA => {
+                    let d: AdoptDataMsg = dec(env.payload);
+                    if d.era != era {
+                        continue; // superseded round
+                    }
+                    for (v, blob) in d.vrows {
+                        if let Some(l) = self.lg.local_vertex(v) {
+                            *self.lg.vertex_data_mut(l) = dec(blob);
+                        }
+                    }
+                    for (e, blob) in d.erows {
+                        if let Some(l) = self.lg.local_edge(e) {
+                            *self.lg.edge_data_mut(l) = dec(blob);
+                        }
+                    }
+                    got[env.src.index()] = true;
+                }
+                graphlab_net::K_DOWN => {
+                    let d: DownMsg = dec(env.payload);
+                    if d.machine == self.me().0 {
+                        return Err(Interrupt::Die);
+                    }
+                    if let Some(i) = self.on_peer_down(&d) {
+                        return Err(i);
+                    }
+                    if self.rec.observe_era(d.era) {
+                        return Err(Interrupt::Recover);
+                    }
+                }
+                graphlab_net::K_UP => {
+                    let u: UpMsg = dec(env.payload);
+                    self.wipe_volatile();
+                    self.rec.observe_era(u.era);
+                    return Err(Interrupt::Recover);
+                }
+                K_RECOVERED => {
+                    // Fast peers racing ahead to the resume barrier.
+                    let msg: RecoverEraMsg = dec(env.payload);
+                    if me == 0 {
+                        self.rec.note_recovered(msg.era);
+                    }
+                }
+                K_RECOVER_ABORT => {
+                    let a: RecoverAbortMsg = dec(env.payload);
+                    return Err(Interrupt::Abort(a.reason));
+                }
+                _ => {} // stale control from superseded rounds
+            }
+        }
     }
 
     fn maybe_straggle(&mut self) {
@@ -1119,9 +1499,14 @@ where
         let update_counts = std::mem::take(&mut self.update_counts);
         let snapshots = self.snapshots_taken;
         let recoveries = self.rec.recoveries;
+        let adoptions = self.rec.adoptions;
         let failed = self.failure.take();
         let steps = self.steps_total;
-        let (vrows, erows) = self.lg.into_owned_data();
+        let dead = self.dead;
+        // A dead machine's rows are stale by definition (survivors adopted
+        // its atoms): it must contribute nothing to the write-back.
+        let (vrows, erows) =
+            if dead { (Vec::new(), Vec::new()) } else { self.lg.into_owned_data() };
         MachineResult {
             vrows,
             erows,
@@ -1131,6 +1516,8 @@ where
             steps,
             snapshots,
             recoveries,
+            adoptions,
+            dead,
             failed,
             phase: crate::metrics::PhaseTimes::default(),
         }

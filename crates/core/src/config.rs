@@ -32,6 +32,25 @@ pub struct SnapshotConfig {
     pub max_snapshots: u64,
 }
 
+/// What the cluster does when a machine dies with no restart scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// Classic checkpoint recovery only: a permanent death fails the run
+    /// cleanly ("no restart scheduled"), a death with a scheduled restart
+    /// rolls the whole cluster back to the latest complete checkpoint.
+    #[default]
+    Rollback,
+    /// Restart-free elasticity (§3 atom graph): on a permanent death the
+    /// master re-balances the dead machine's atoms over the survivors
+    /// (k·n over-partitioning makes the shares even), survivors reload
+    /// the adopted atoms' journals from the DFS — overlaying the latest
+    /// complete per-atom checkpoint when one exists — rebuild ghosts and
+    /// re-schedule only the adopted vertices. Surviving machines' own
+    /// state is untouched; no cluster-wide rollback. Deaths *with* a
+    /// scheduled restart still roll back as in [`RecoveryMode::Rollback`].
+    Adopt,
+}
+
 /// Fault injection: delays one machine mid-run (Fig. 4(b) halts one
 /// process for 15 s after the snapshot begins).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -87,6 +106,16 @@ pub struct EngineConfig {
     /// the clean "no complete checkpoint" failure path is the point).
     /// Machine 0 (the coordination master) must not be a kill target.
     pub faults: Option<FaultPlan>,
+    /// Response to a permanent machine death (no restart scheduled):
+    /// fail/rollback classically, or adopt the dead machine's atoms.
+    pub recovery: RecoveryMode,
+    /// Lease-based failure detection: when set, every machine piggybacks
+    /// a lease refresh on traffic towards machine 0 (explicit heartbeats
+    /// only when idle past half the period) and the master declares a
+    /// machine dead when its lease expires — the detector that works on
+    /// real TCP, where there is no fault-fabric oracle. `None` disables
+    /// the detector on SimNet; TCP runs default it on (2 s period).
+    pub lease: Option<Duration>,
     /// Collect per-vertex update counts and the updates-vs-time series.
     pub trace: bool,
     /// Safety cap on total updates (0 = unlimited). The engine halts once
@@ -120,6 +149,8 @@ impl EngineConfig {
             snapshot: SnapshotConfig::default(),
             straggler: None,
             faults: None,
+            recovery: RecoveryMode::default(),
+            lease: None,
             trace: false,
             max_updates: 0,
             racing: false,

@@ -118,6 +118,11 @@ pub(crate) struct MachineResult<V, E> {
     pub steps: u64,
     pub snapshots: u64,
     pub recoveries: u64,
+    pub adoptions: u64,
+    /// Permanently dead under [`crate::RecoveryMode::Adopt`]: this machine
+    /// exited cleanly mid-run and its rows (empty by contract) must not
+    /// overwrite the survivors' adopted results.
+    pub dead: bool,
     pub failed: Option<String>,
     pub phase: PhaseTimes,
 }
@@ -179,6 +184,19 @@ where
         config.num_atoms >= config.num_machines,
         "need at least one atom per machine"
     );
+
+    // Over real sockets a crashed peer never announces itself — lease
+    // expiry is the only failure detector, so it defaults on. The period
+    // is clamped to the transport's floor: below it, a peer blocked in one
+    // reconnect stall looks dead and the master adopts live machines.
+    let config = &{
+        let mut c = config.clone();
+        if matches!(c.transport, Transport::Tcp(_)) {
+            let period = c.lease.unwrap_or(graphlab_net::MIN_TCP_LEASE);
+            c.lease = Some(period.max(graphlab_net::MIN_TCP_LEASE));
+        }
+        c
+    };
 
     // Initialisation phase (Fig. 5(a)): atoms onto the DFS.
     let prefix = "graph";
@@ -287,6 +305,7 @@ where
             steps: r.steps,
             snapshots: r.snapshots,
             recoveries: r.recoveries,
+            adoptions: r.adoptions,
             phases,
         };
         return EngineOutput {
@@ -335,15 +354,22 @@ where
     let mut steps = 0u64;
     let mut snapshots = 0u64;
     let mut recoveries = 0u64;
+    let mut adoptions = 0u64;
     let mut failure: Option<String> = None;
     let mut globals = GlobalRegistry::new();
     let mut phases = vec![PhaseTimes::default(); config.num_machines];
     for (i, r) in results.into_iter().enumerate() {
-        for (v, d) in r.vrows {
-            *graph.vertex_data_mut(v) = d;
-        }
-        for (e, d) in r.erows {
-            *graph.edge_data_mut(e) = d;
+        // A dead machine's rows are stale (the survivors adopted its
+        // atoms and carry the authoritative values); write back nothing
+        // from it. Its rows are empty by contract — this guards the
+        // contract rather than trusting it.
+        if !r.dead {
+            for (v, d) in r.vrows {
+                *graph.vertex_data_mut(v) = d;
+            }
+            for (e, d) in r.erows {
+                *graph.edge_data_mut(e) = d;
+            }
         }
         for (v, c) in r.update_counts {
             update_counts[v.index()] += c;
@@ -352,6 +378,7 @@ where
         steps = steps.max(r.steps);
         snapshots = snapshots.max(r.snapshots);
         recoveries = recoveries.max(r.recoveries);
+        adoptions = adoptions.max(r.adoptions);
         if failure.is_none() {
             failure = r.failed;
         }
@@ -373,6 +400,7 @@ where
         steps,
         snapshots,
         recoveries,
+        adoptions,
         phases,
     };
     EngineOutput { metrics, globals, dfs, failure, owned: None }

@@ -14,7 +14,7 @@
 use std::collections::HashMap;
 
 use graphlab_graph::{
-    Coloring, ConsistencyModel, DataGraph, EdgeDir, EdgeId, LockType, MachineId, VertexId,
+    AtomId, Coloring, ConsistencyModel, DataGraph, EdgeDir, EdgeId, LockType, MachineId, VertexId,
 };
 use graphlab_atoms::{InitEdge, InitVertex, LocalGraphInit};
 
@@ -42,6 +42,9 @@ pub struct LocalGraph<V, E> {
     vdata: Vec<V>,
     vversion: Vec<u64>,
     vcolor: Vec<u32>,
+    /// Owner atom of each local vertex (ghosts included) — the unit of
+    /// per-atom checkpointing and adoption.
+    vatom: Vec<AtomId>,
     /// For owned vertices: machines holding a ghost copy.
     vmirrors: Vec<Vec<MachineId>>,
 
@@ -80,13 +83,17 @@ impl<V, E> LocalGraph<V, E> {
         let mut vdata = Vec::with_capacity(nv);
         let mut vmirrors = Vec::with_capacity(nv);
         let mut vcolor = Vec::with_capacity(nv);
-        for (i, InitVertex { gvid: g, owner, mirrors, data }) in vertices.into_iter().enumerate() {
+        let mut vatom = Vec::with_capacity(nv);
+        for (i, InitVertex { gvid: g, atom, owner, mirrors, data }) in
+            vertices.into_iter().enumerate()
+        {
             vmap.insert(g, i as u32);
             gvid.push(g);
             vowner.push(owner);
             vdata.push(data);
             vmirrors.push(mirrors);
             vcolor.push(coloring.map_or(0, |c| c.color(g)));
+            vatom.push(atom);
         }
 
         let mut emap = HashMap::with_capacity(ne);
@@ -143,6 +150,7 @@ impl<V, E> LocalGraph<V, E> {
             vdata,
             vversion: vec![0; nv],
             vcolor,
+            vatom,
             vmirrors,
             geid,
             esrc,
@@ -172,6 +180,7 @@ impl<V, E> LocalGraph<V, E> {
                 .vertices()
                 .map(|v| InitVertex {
                     gvid: v,
+                    atom: AtomId(0),
                     owner: MachineId(0),
                     mirrors: Vec::new(),
                     data: graph.vertex_data(v).clone(),
@@ -289,6 +298,20 @@ impl<V, E> LocalGraph<V, E> {
     #[inline]
     pub fn vertex_mirrors(&self, l: u32) -> &[MachineId] {
         &self.vmirrors[l as usize]
+    }
+
+    /// Owner atom of a local vertex (ghosts included). Edges belong to
+    /// the atom of their **target** vertex (the atom-construction edge
+    /// ownership rule), so this also keys per-atom edge grouping.
+    #[inline]
+    pub fn vertex_atom(&self, l: u32) -> AtomId {
+        self.vatom[l as usize]
+    }
+
+    /// Owner atom of a local edge: the atom of its target vertex.
+    #[inline]
+    pub fn edge_atom(&self, l: u32) -> AtomId {
+        self.vatom[self.edst[l as usize] as usize]
     }
 
     /// Current version of a vertex datum (authoritative on the owner,

@@ -36,24 +36,27 @@ use std::sync::atomic::Ordering as AtomicOrdering;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use graphlab_atoms::LocalGraphInit;
+use graphlab_atoms::{load_machine_part, LocalGraphInit};
 use graphlab_graph::{ConsistencyModel, LockType, MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
 use graphlab_net::fault::{DownMsg, UpMsg};
 use graphlab_net::termination::{Safra, SafraAction};
-use graphlab_net::{Batcher, Endpoint, Envelope, RecvError};
+use graphlab_net::{Batcher, Endpoint, Envelope, LeaseConfig, RecvError};
 
-use crate::config::SnapshotMode;
+use crate::config::{RecoveryMode, SnapshotMode};
 use crate::driver::{MachineResult, MachineSetup};
 use crate::globals::GlobalRegistry;
 use crate::local::{LocalGraph, RemoteCacheTable};
 use crate::messages::*;
 use crate::recovery::{
-    pick_rollback, unrecoverable_down, RecoveryPhase, RecoveryTracker, RECOVERY_DEADLINE,
+    pick_adoption, pick_rollback, unrecoverable_down, RecoveryPhase, RecoveryTracker,
+    RECOVERY_DEADLINE,
 };
 use crate::reference::InitialSchedule;
 use crate::scheduler::Scheduler;
-use crate::snapshot::{restore_into_local, snap_file_name, SnapshotFile};
+use crate::snapshot::{
+    apply_file, restore_atoms_into_local, restore_into_local, write_snapshot_atoms, SnapshotFile,
+};
 use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 
 /// Priority marking a schedule request as a snapshot task (Alg. 5:
@@ -284,6 +287,16 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     phase: RecoveryPhase,
     /// Rollback order being flushed towards (FlushWait).
     rollback: Option<RollbackMsg>,
+    /// Adoption order being flushed towards (FlushWait, Adopt mode).
+    adopt_plan: Option<AdoptPlanMsg>,
+    /// Surviving peers whose ghost-data round arrived (AdoptData).
+    adopt_got: Vec<bool>,
+    /// K_ADOPT_DATA that raced ahead of a slower peer's flush marker —
+    /// replayed once our own adoption is applied.
+    adopt_early: Vec<Envelope>,
+    /// Clean permanent-death exit under [`RecoveryMode::Adopt`]: the
+    /// survivors absorbed this machine's atoms; it reports empty rows.
+    dead: bool,
     /// Post-rollback traffic from machines that resumed before us
     /// (AwaitResume) — replayed after K_RESUME, never dropped.
     resume_buffer: Vec<Envelope>,
@@ -319,7 +332,10 @@ where
         let ne = lg.num_local_edges();
         let m = lg.num_machines();
         let machine = lg.machine();
-        let net = Batcher::new(ep, setup.config.batch);
+        let mut net = Batcher::new(ep, setup.config.batch);
+        if let Some(period) = setup.config.lease {
+            net.enable_lease(LeaseConfig::with_period(period));
+        }
         LockingMachine {
             scheduler: Scheduler::new(setup.config.scheduler, nv),
             locks: LockTable::new(nv),
@@ -358,6 +374,10 @@ where
             rec: RecoveryTracker::new(machine.index(), m),
             phase: RecoveryPhase::Normal,
             rollback: None,
+            adopt_plan: None,
+            adopt_got: Vec::new(),
+            adopt_early: Vec::new(),
+            dead: false,
             resume_buffer: Vec::new(),
             // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
             phase_since: Instant::now(),
@@ -386,6 +406,14 @@ where
         self.lg.num_machines()
     }
 
+    /// Machines not recorded permanently dead. Every master-side
+    /// coordination barrier (halt acks, snapshot READY/DONE collection,
+    /// sync partials) counts against this, not `num_machines`, so the
+    /// cluster keeps converging after an adoption.
+    fn live_machines(&self) -> usize {
+        self.rec.survivors()
+    }
+
     fn global_updates(&self) -> u64 {
         self.setup.counters.updates.load(AtomicOrdering::Relaxed)
     }
@@ -407,7 +435,7 @@ where
     fn broadcast_msg(&mut self, kind: u16, payload: &Bytes) {
         for i in 0..self.num_machines() {
             let dst = MachineId::from(i);
-            if dst != self.me() {
+            if dst != self.me() && !self.rec.is_dead(i) {
                 self.send_msg(dst, kind, payload.clone());
             }
         }
@@ -524,12 +552,23 @@ where
             K_RECOVER_READY => {
                 let msg: RecoverReadyMsg = dec(env.payload);
                 if self.is_master() {
+                    // The fabric delivers K_UP to the reborn machine only;
+                    // its READY is the master's cue to lease it afresh (and
+                    // to lift the expiry fence a restartable kill raised).
+                    self.net.lease_note_up(env.src.0, msg.era);
                     self.rec.note_ready(env.src.index(), msg.era);
                 }
             }
             K_ROLLBACK => {
                 let msg: RollbackMsg = dec(env.payload);
                 self.on_rollback(msg);
+            }
+            K_ADOPT_PLAN => {
+                let msg: AdoptPlanMsg = dec(env.payload);
+                self.on_adopt_plan(msg);
+            }
+            K_ADOPT_DATA => {
+                self.on_adopt_data(env);
             }
             K_RECOVERED => {
                 let msg: RecoverEraMsg = dec(env.payload);
@@ -558,6 +597,10 @@ where
                 // Post-rollback work from machines that resumed before
                 // us: replay after K_RESUME, never drop.
                 RecoveryPhase::AwaitResume => self.resume_buffer.push(env),
+                // No peer has resumed while any machine still collects
+                // ghost data, so engine traffic here can only be from a
+                // *future* resume racing ahead: buffer like AwaitResume.
+                RecoveryPhase::AdoptData => self.resume_buffer.push(env),
                 RecoveryPhase::Dead => {}
             },
         }
@@ -1240,7 +1283,39 @@ where
         match action {
             SafraAction::None => {}
             SafraAction::SendToken { to, token } => {
-                self.send_msg(to, K_TOKEN, enc(&TokenMsg(token)));
+                // Route around permanently-dead ring members: a dead
+                // machine is indistinguishable from an idle white peer
+                // with zero counters, so skipping it preserves Safra's
+                // invariant. When every other member is dead the token is
+                // self-delivered (sole-survivor decision); bounded because
+                // a self-delivered round whitens us, so the retry decides.
+                let n = self.num_machines();
+                let mut to = to;
+                let mut token = token;
+                for _ in 0..4 {
+                    while self.rec.is_dead(to.index()) {
+                        to = MachineId::from((to.index() + 1) % n);
+                    }
+                    if to != self.me() {
+                        self.send_msg(to, K_TOKEN, enc(&TokenMsg(token)));
+                        return;
+                    }
+                    match self.safra.on_token(token) {
+                        SafraAction::SendToken { to: t, token: k } => {
+                            to = t;
+                            token = k;
+                        }
+                        other => {
+                            self.apply_safra(other);
+                            return;
+                        }
+                    }
+                }
+                self.failure = Some(
+                    "termination probe cannot complete: sole survivor with a nonzero \
+                     message balance"
+                        .into(),
+                );
             }
             SafraAction::Terminated => {
                 debug_assert!(self.is_master());
@@ -1311,7 +1386,7 @@ where
         // Async snapshot completion.
         if self.m_snap_in_progress
             && self.setup.config.snapshot.mode == SnapshotMode::Asynchronous
-            && self.m_async_done == self.num_machines()
+            && self.m_async_done >= self.live_machines()
         {
             self.m_snap_in_progress = false;
         }
@@ -1328,7 +1403,7 @@ where
                 self.broadcast_msg(K_HALT, &Bytes::new());
             }
         }
-        if self.m_halt_sent && self.m_halt_acks >= self.num_machines() {
+        if self.m_halt_sent && self.m_halt_acks >= self.live_machines() {
             self.halted = true;
         }
     }
@@ -1345,12 +1420,13 @@ where
             op.combine(accs[i].as_mut(), &part);
         }
         self.m_sync_outstanding = Some((epoch, accs, 1));
-        if self.num_machines() == 1 {
+        if self.live_machines() == 1 {
             self.finish_sync_epoch();
         }
     }
 
     fn master_collect_sync(&mut self, msg: LockSyncPartialMsg) {
+        let need = self.live_machines();
         let Some((epoch, accs, got)) = self.m_sync_outstanding.as_mut() else {
             return; // stale partial from an abandoned epoch
         };
@@ -1362,7 +1438,7 @@ where
             self.setup.syncs[i].combine(accs[i].as_mut(), part);
         }
         *got += 1;
-        if *got == self.num_machines() {
+        if *got >= need {
             self.finish_sync_epoch();
         }
     }
@@ -1422,9 +1498,13 @@ where
 
     fn finish_async_snapshot(&mut self) {
         let file = std::mem::take(&mut self.snap_buffer);
-        self.setup.dfs.write(
-            &snap_file_name(&self.setup.snap_prefix, self.current_snap as u64 - 1, self.me()),
-            enc(&file),
+        write_snapshot_atoms(
+            &self.setup.dfs,
+            &self.setup.snap_prefix,
+            self.current_snap as u64 - 1,
+            file,
+            &self.lg,
+            &self.setup.placement.atoms_of(self.me()),
         );
         self.snapshots_written += 1;
         if self.is_master() {
@@ -1454,14 +1534,19 @@ where
         }
         if self.snap_paused && !self.snap_written {
             if let Some(target) = &self.snap_flush_target {
-                let flushed = (0..self.num_machines())
-                    .all(|j| j == self.me().index() || self.recv_counts[j] >= target[j]);
+                let flushed = (0..self.num_machines()).all(|j| {
+                    j == self.me().index() || self.rec.is_dead(j) || self.recv_counts[j] >= target[j]
+                });
                 if flushed {
                     self.snap_written = true;
                     let file = SnapshotFile::capture(&self.lg);
-                    self.setup.dfs.write(
-                        &snap_file_name(&self.setup.snap_prefix, self.snapshots_written, self.me()),
-                        enc(&file),
+                    write_snapshot_atoms(
+                        &self.setup.dfs,
+                        &self.setup.snap_prefix,
+                        self.snapshots_written,
+                        file,
+                        &self.lg,
+                        &self.setup.placement.atoms_of(self.me()),
                     );
                     self.snapshots_written += 1;
                     if self.is_master() {
@@ -1491,17 +1576,23 @@ where
             return;
         }
         self.m_snap_ready[src.index()] = Some(msg.sent_to);
-        if self.m_snap_ready.iter().all(|r| r.is_some()) {
-            // All drained: broadcast per-machine flush targets.
+        let all_ready = self
+            .m_snap_ready
+            .iter()
+            .enumerate()
+            .all(|(j, r)| self.rec.is_dead(j) || r.is_some());
+        if all_ready {
+            // All survivors drained: broadcast per-machine flush targets
+            // (dead machines contribute no counted work: expect zero).
             let m = self.num_machines();
             for i in 0..m {
                 let expect_from: Vec<u64> = (0..m)
-                    .map(|j| self.m_snap_ready[j].as_ref().expect("ready")[i])
+                    .map(|j| self.m_snap_ready[j].as_ref().map_or(0, |sent| sent[i]))
                     .collect();
                 let msg = SnapFlushMsg { snap: self.snapshots_written, expect_from };
                 if i == self.me().index() {
                     self.snap_flush_target = Some(msg.expect_from);
-                } else {
+                } else if !self.rec.is_dead(i) {
                     self.send_msg(MachineId::from(i), K_SNAP_SYNC_FLUSH, enc(&msg));
                 }
             }
@@ -1512,7 +1603,7 @@ where
     fn master_check_snap_done(&mut self) {
         if self.m_snap_in_progress
             && self.setup.config.snapshot.mode == SnapshotMode::Synchronous
-            && self.m_snap_done == self.num_machines()
+            && self.m_snap_done >= self.live_machines()
         {
             self.m_snap_in_progress = false;
             self.m_snap_done = 0;
@@ -1541,11 +1632,19 @@ where
             self.on_self_death();
             return;
         }
+        // Fence the victim's lease for every kind of death: a restartable
+        // victim is silent through its dead window and must not be
+        // re-declared by expiry (its READY after rebirth lifts the fence).
+        self.net.lease_note_death(d.machine, d.era);
         if !d.restart {
-            self.failure = Some(unrecoverable_down(&d));
-            return;
+            if self.setup.config.recovery != RecoveryMode::Adopt {
+                self.failure = Some(unrecoverable_down(&d));
+                return;
+            }
+            self.rec.note_death(d.machine as usize);
+            self.net.fence(d.machine);
         }
-        tr!("[m{}] PEER_DOWN m{} era={}", self.me().0, d.machine, d.era);
+        tr!("[m{}] PEER_DOWN m{} era={} restart={}", self.me().0, d.machine, d.era, d.restart);
         if self.rec.observe_era(d.era) {
             self.enter_drain();
         }
@@ -1575,6 +1674,16 @@ where
             return; // still dead; keep polling for rebirth
         }
         if self.net.self_death() == Some(false) {
+            if self.setup.config.recovery == RecoveryMode::Adopt {
+                // Restart-free mode: the survivors adopt our atoms; exit
+                // cleanly with nothing to report (rows empty by contract).
+                tr!("[m{}] SELF_DEATH permanent — clean exit", self.me().0);
+                self.wipe_volatile();
+                self.dead = true;
+                self.halted = true;
+                self.phase = RecoveryPhase::Dead;
+                return;
+            }
             self.failure =
                 Some(format!("machine {} killed with no restart scheduled", self.me().0));
             return;
@@ -1592,8 +1701,20 @@ where
     fn wipe_volatile(&mut self) {
         self.net.clear();
         self.reset_engine_state();
+        // Permanent deaths survive the wipe: they are cluster-durable
+        // facts (a real deployment relearns them from the master), and a
+        // reborn machine that forgot them would wait forever for a dead
+        // peer's flush marker.
+        let dead = self.rec.dead_mask().to_vec();
         self.rec = RecoveryTracker::new(self.me().index(), self.num_machines());
+        for (m, was_dead) in dead.into_iter().enumerate() {
+            if was_dead {
+                self.rec.note_death(m);
+            }
+        }
         self.rollback = None;
+        self.adopt_plan = None;
+        self.adopt_early.clear();
         self.resume_buffer.clear();
     }
 
@@ -1603,6 +1724,8 @@ where
         // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
         self.phase_since = Instant::now();
         self.rollback = None;
+        self.adopt_plan = None;
+        self.adopt_early.clear();
         self.resume_buffer.clear();
         // Abort in-progress coordination; recovery rebuilds it.
         self.m_sync_outstanding = None;
@@ -1626,21 +1749,30 @@ where
     fn recovery_triggers(&mut self) {
         if self.phase_since.elapsed() > RECOVERY_DEADLINE {
             self.failure = Some(format!(
-                "recovery stalled in {:?} at fault era {} (machine {})",
+                "recovery stalled in {:?} at fault era {} (machine {}, {:?})",
                 self.phase,
                 self.rec.era,
-                self.me().0
+                self.me().0,
+                self.rec
             ));
             return;
         }
-        if self.phase == RecoveryPhase::FlushWait
-            && self.rollback.is_some()
-            && self.rec.marks_complete()
-        {
-            self.do_rollback();
+        if self.phase == RecoveryPhase::FlushWait && self.rec.marks_complete() {
+            if self.rollback.is_some() {
+                self.do_rollback();
+            } else if self.adopt_plan.is_some() {
+                self.do_adoption();
+            }
         }
         if self.is_master() && self.phase == RecoveryPhase::Drain && self.rec.all_ready() {
-            self.master_order_rollback();
+            // A non-empty dead set (possible only under Adopt mode — any
+            // other mode aborts on the K_DOWN) means restart-free
+            // adoption; a full cluster rolls back to the checkpoint.
+            if self.rec.survivors() < self.num_machines() {
+                self.master_order_adoption();
+            } else {
+                self.master_order_rollback();
+            }
         }
     }
 
@@ -1648,8 +1780,8 @@ where
     /// complete one, and order the cluster-wide rollback — or abort the
     /// run cleanly when there is nothing to roll back to.
     fn master_order_rollback(&mut self) {
-        let n = self.num_machines();
-        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, n, self.rec.era) {
+        let parts = self.setup.config.num_atoms;
+        match pick_rollback(&self.setup.dfs, &self.setup.snap_prefix, parts, self.rec.era) {
             Ok(msg) => {
                 tr!("[m{}] ROLLBACK_ORDER snap={} era={}", self.me().0, msg.snap, msg.era);
                 let payload = enc(&msg);
@@ -1684,6 +1816,58 @@ where
         self.phase_since = Instant::now();
         // Markers may already all be here (recovery_triggers rechecks
         // after every received batch).
+        self.recovery_triggers();
+    }
+
+    /// Master, all surviving READYs in with at least one permanent death:
+    /// compute the adoption plan (re-balanced absolute placement + the
+    /// newest complete per-atom checkpoint to overlay, if any) and order
+    /// the restart-free round.
+    fn master_order_adoption(&mut self) {
+        let plan = pick_adoption(
+            &self.setup.dfs,
+            &self.setup.snap_prefix,
+            self.setup.config.num_atoms,
+            self.rec.era,
+            &self.setup.index,
+            &self.setup.placement,
+            self.rec.dead_mask(),
+        );
+        tr!(
+            "[m{}] ADOPT_ORDER snap={:?} era={} dead={:?}",
+            self.me().0,
+            plan.snap,
+            plan.era,
+            plan.dead
+        );
+        let payload = enc(&plan);
+        self.broadcast_msg(K_ADOPT_PLAN, &payload);
+        self.net.flush_all();
+        self.on_adopt_plan(plan);
+    }
+
+    /// Adoption order received: record the deaths it carries (a machine
+    /// deep in its inbox may see the plan before the K_DOWN), broadcast
+    /// this era's flush marker, then drain inbound channels until every
+    /// survivor's marker arrived.
+    fn on_adopt_plan(&mut self, msg: AdoptPlanMsg) {
+        if msg.era < self.rec.era {
+            return; // superseded round
+        }
+        self.rec.observe_era(msg.era);
+        for &dm in &msg.dead {
+            self.rec.note_death(dm as usize);
+            self.net.lease_note_death(dm, msg.era);
+            self.net.fence(dm);
+        }
+        let payload = enc(&RecoverEraMsg { era: msg.era });
+        self.broadcast_msg(K_FLUSH_MARK, &payload);
+        self.net.flush_all();
+        self.rollback = None;
+        self.adopt_plan = Some(msg);
+        self.phase = RecoveryPhase::FlushWait;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
+        self.phase_since = Instant::now();
         self.recovery_triggers();
     }
 
@@ -1724,15 +1908,207 @@ where
         }
     }
 
-    /// Resets every piece of volatile engine state (shared by crash wipe
-    /// and rollback). Does not touch graph data, metrics, or the recovery
-    /// tracker.
+    /// Channels flushed under an adoption order: rebuild this machine
+    /// under the adopted placement without rolling the cluster back (the
+    /// restart-free §3 elasticity path). Own atoms keep their *live*
+    /// data; adopted atoms overlay the latest complete per-atom
+    /// checkpoint when one exists (journal-only otherwise — ingress
+    /// -initial data reconverges through re-scheduling); then one
+    /// [`K_ADOPT_DATA`] ghost round between every surviving pair
+    /// refreshes replicas and doubles as the FIFO barrier before the
+    /// resume handshake.
+    fn do_adoption(&mut self) {
+        let plan = self.adopt_plan.take().expect("adoption order");
+        let me = self.me();
+        // Diff against what this machine *currently* holds — the plan's
+        // placement is absolute, so adoptions interrupted by overlapping
+        // failures compose.
+        let old_atoms: std::collections::BTreeSet<graphlab_graph::AtomId> =
+            self.setup.placement.atoms_of(me).into_iter().collect();
+        let adopted: Vec<graphlab_graph::AtomId> = plan
+            .placement
+            .atoms_of(me)
+            .into_iter()
+            .filter(|a| !old_atoms.contains(a))
+            .collect();
+
+        // Keep the live values of everything currently owned, then reload
+        // the journals under the adopted placement (new ghost structure,
+        // mirror lists and atom spans).
+        let live = SnapshotFile::capture(&self.lg);
+        let init =
+            match load_machine_part::<V, E>(&self.setup.dfs, &self.setup.index, &plan.placement, me)
+            {
+                Ok(init) => init,
+                Err(e) => {
+                    self.failure =
+                        Some(format!("adoption reload failed on machine {}: {e}", me.0));
+                    return;
+                }
+            };
+        self.lg = LocalGraph::from_init(init, None);
+        self.setup.placement = std::sync::Arc::new(plan.placement.clone());
+        // All volatile engine state anew, at the new local sizes.
+        self.reset_engine_state();
+
+        // Own rows keep their live values...
+        if let Err(e) = apply_file(live, &mut self.lg) {
+            self.failure = Some(format!("live data re-apply failed during adoption: {e}"));
+            return;
+        }
+        // ...and adopted rows overlay from the checkpoint, when one exists.
+        if let Some(snap) = plan.snap {
+            if !adopted.is_empty() {
+                if let Err(e) = restore_atoms_into_local(
+                    &self.setup.dfs,
+                    &self.setup.snap_prefix,
+                    snap,
+                    &adopted,
+                    &mut self.lg,
+                ) {
+                    self.failure =
+                        Some(format!("checkpoint {snap} unreadable during adoption: {e}"));
+                    return;
+                }
+            }
+        }
+        // New snapshots continue after the overlaid checkpoint (pruning
+        // already removed anything newer); journal-only restarts from 0.
+        self.snapshots_written = plan.snap.map_or(0, |s| s + 1);
+        tr!("[m{}] ADOPTED atoms={:?} era={}", me.0, adopted, plan.era);
+
+        self.send_adopt_data(plan.era);
+        self.adopt_got = vec![false; self.num_machines()];
+        self.phase = RecoveryPhase::AdoptData;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
+        self.phase_since = Instant::now();
+        for env in std::mem::take(&mut self.adopt_early) {
+            self.on_adopt_data(env);
+        }
+        self.check_adopt_done();
+    }
+
+    /// Sends exactly one [`K_ADOPT_DATA`] to every surviving peer — even
+    /// when empty, so receipt of the round is a per-channel barrier —
+    /// carrying the owned vertex rows mirrored on that peer and the owned
+    /// edge rows replicated there.
+    fn send_adopt_data(&mut self, era: u32) {
+        let m = self.num_machines();
+        let me = self.me();
+        let mut out: Vec<AdoptDataMsg> =
+            (0..m).map(|_| AdoptDataMsg { era, vrows: Vec::new(), erows: Vec::new() }).collect();
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            let mirrors = self.lg.vertex_mirrors(l).to_vec();
+            if mirrors.is_empty() {
+                continue;
+            }
+            let row = (self.lg.vertex_gvid(l), enc(self.lg.vertex_data(l)));
+            for mm in mirrors {
+                out[mm.index()].vrows.push(row.clone());
+            }
+        }
+        for l in 0..self.lg.num_local_edges() as u32 {
+            if !self.lg.owns_edge(l) {
+                continue;
+            }
+            let (s, d) = self.lg.edge_endpoints_local(l);
+            let ms = self.lg.vertex_owner(s);
+            let md = self.lg.vertex_owner(d);
+            let other = if ms == me { md } else { ms };
+            if other != me {
+                out[other.index()].erows.push((self.lg.edge_geid(l), enc(self.lg.edge_data(l))));
+            }
+        }
+        for (j, msg) in out.into_iter().enumerate() {
+            if j != me.index() && !self.rec.is_dead(j) {
+                self.send_msg(MachineId::from(j), K_ADOPT_DATA, enc(&msg));
+            }
+        }
+        self.net.flush_all();
+    }
+
+    /// One surviving peer's ghost-data round. Arrivals ahead of our own
+    /// marker completion (fast peers) are buffered and replayed once our
+    /// adoption is applied; rounds from superseded eras are dropped.
+    fn on_adopt_data(&mut self, env: Envelope) {
+        match self.phase {
+            // Our own adoption has not applied yet: hold the rows until
+            // the local graph exists under the new placement.
+            RecoveryPhase::Drain | RecoveryPhase::FlushWait => {
+                self.adopt_early.push(env);
+                return;
+            }
+            RecoveryPhase::AdoptData => {}
+            // Normal/AwaitResume/Dead: any round arriving here is from an
+            // era we already completed (a peer cannot start a newer round
+            // before our own flush marker, which we have not sent).
+            _ => return,
+        }
+        let msg: AdoptDataMsg = dec(env.payload);
+        if msg.era != self.rec.era {
+            return; // superseded round
+        }
+        for (v, blob) in msg.vrows {
+            if let Some(l) = self.lg.local_vertex(v) {
+                *self.lg.vertex_data_mut(l) = dec(blob);
+            }
+        }
+        for (e, blob) in msg.erows {
+            if let Some(l) = self.lg.local_edge(e) {
+                *self.lg.edge_data_mut(l) = dec(blob);
+            }
+        }
+        self.adopt_got[env.src.index()] = true;
+        self.check_adopt_done();
+    }
+
+    /// Every surviving peer's ghost round arrived: re-seed work and join
+    /// the resume barrier.
+    fn check_adopt_done(&mut self) {
+        if self.phase != RecoveryPhase::AdoptData {
+            return;
+        }
+        let me = self.me().index();
+        let done = (0..self.num_machines())
+            .all(|j| j == me || self.rec.is_dead(j) || self.adopt_got[j]);
+        if !done {
+            return;
+        }
+        // Conservative re-seeding: schedule every owned vertex (adopted
+        // data may lag surviving live data; re-execution reconverges).
+        for i in 0..self.lg.owned_vertices().len() {
+            let l = self.lg.owned_vertices()[i];
+            self.scheduler.add(l, 1.0);
+        }
+        self.rec.after_adoption();
+        self.phase = RecoveryPhase::AwaitResume;
+        // lint: allow(determinism) -- recovery-phase stall timer; bounds waiting, never enters payloads or traces
+        self.phase_since = Instant::now();
+        let era = self.rec.era;
+        tr!("[m{}] ADOPT_DONE era={}", self.me().0, era);
+        if self.is_master() {
+            if self.rec.note_recovered(era) {
+                self.master_release_resume();
+            }
+        } else {
+            self.send_msg(MachineId(0), K_RECOVERED, enc(&RecoverEraMsg { era }));
+            self.net.flush_all();
+        }
+    }
+
+    /// Resets every piece of volatile engine state (shared by crash wipe,
+    /// rollback, and adoption). Reallocates everything sized by the local
+    /// graph — adoption changes the local vertex/edge space, so the
+    /// tables' dimensions must follow the graph. Does not touch graph
+    /// data, metrics, or the recovery tracker.
     fn reset_engine_state(&mut self) {
         let n = self.num_machines();
         let nv = self.lg.num_local_vertices();
+        let ne = self.lg.num_local_edges();
         self.scheduler = Scheduler::new(self.setup.config.scheduler, nv);
         self.locks = LockTable::new(nv);
-        self.cache.invalidate_all();
+        self.cache = RemoteCacheTable::new(n, nv, ne);
         self.hop_chains.clear();
         self.out_scopes.clear();
         self.ready.clear();
@@ -1743,7 +2119,7 @@ where
         self.cap_reached = false;
         self.sent_counts = vec![0; n];
         self.recv_counts = vec![0; n];
-        self.snap_epoch.fill(0);
+        self.snap_epoch = vec![0; nv];
         self.current_snap = 0;
         self.snap_queue.clear();
         self.snap_buffer = SnapshotFile::default();
@@ -1805,8 +2181,11 @@ where
         let updates = self.updates_local;
         let snapshots = self.snapshots_written;
         let recoveries = self.rec.recoveries;
+        let adoptions = self.rec.adoptions;
         let failed = self.failure.take();
-        let (vrows, erows) = self.lg.into_owned_data();
+        let dead = self.dead;
+        let (vrows, erows) =
+            if dead { (Vec::new(), Vec::new()) } else { self.lg.into_owned_data() };
         MachineResult {
             vrows,
             erows,
@@ -1816,6 +2195,8 @@ where
             steps: 0,
             snapshots,
             recoveries,
+            adoptions,
+            dead,
             failed,
             phase: crate::metrics::PhaseTimes::default(),
         }

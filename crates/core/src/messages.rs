@@ -48,11 +48,11 @@ use graphlab_net::termination::Token;
 //   - 36: skipped when the background-sync request landed at 37, keeping
 //     the snapshot block `29..=35` visually closed; never shipped.
 //   - 38..=39: unassigned headroom left between the locking block
-//     (`20..=37`) and the recovery block (`40..=45`) so either side can
+//     (`20..=37`) and the recovery block (`40..=47`) so either side can
 //     grow without renumbering.
 //
 // lint: kind-map core = 1..=63 gaps 36, 38..=39
-// lint: kind-map net = 65532..=65535
+// lint: kind-map net = 65531..=65535
 
 /// Chromatic: vertex ghost update (owner → mirror).
 pub const K_CHROM_VDATA: u16 = 1;
@@ -131,6 +131,15 @@ pub const K_RECOVER_ABORT: u16 = 44;
 /// holds the current era's marker from every peer, no pre-rollback
 /// message can ever surface on any channel.
 pub const K_FLUSH_MARK: u16 = 45;
+/// Recovery/adoption: the master's adoption plan (master → survivors).
+/// Carries the re-balanced atom placement survivors rebuild from; dead
+/// machines' atoms have been reassigned, survivors' own atoms stay put.
+pub const K_ADOPT_PLAN: u16 = 46;
+/// Recovery/adoption: ghost-rebuild data round (survivor → survivor,
+/// exactly one per ordered pair even when empty). Carries the sender's
+/// authoritative rows for vertices/edges the receiver mirrors; doubling
+/// as a FIFO barrier that flushes pre-adoption traffic off each channel.
+pub const K_ADOPT_DATA: u16 = 47;
 
 /// Returns whether a message kind carries engine *work* and therefore
 /// participates in termination detection counters (Safra).
@@ -146,9 +155,17 @@ pub fn is_counted_work(kind: u16) -> bool {
 pub fn is_recovery_control(kind: u16) -> bool {
     matches!(
         kind,
-        K_RECOVER_READY | K_ROLLBACK | K_RECOVERED | K_RESUME | K_RECOVER_ABORT | K_FLUSH_MARK
+        K_RECOVER_READY
+            | K_ROLLBACK
+            | K_RECOVERED
+            | K_RESUME
+            | K_RECOVER_ABORT
+            | K_FLUSH_MARK
+            | K_ADOPT_PLAN
+            | K_ADOPT_DATA
     ) || kind == graphlab_net::K_DOWN
         || kind == graphlab_net::K_UP
+        || kind == graphlab_net::K_LEASE
 }
 
 /// Human-readable name of a message kind, for traffic tables
@@ -189,10 +206,13 @@ pub fn kind_name(kind: u16) -> &'static str {
         K_RESUME => "recover/resume",
         K_RECOVER_ABORT => "recover/abort",
         K_FLUSH_MARK => "recover/flush-mark",
+        K_ADOPT_PLAN => "recover/adopt-plan",
+        K_ADOPT_DATA => "recover/adopt-data",
         graphlab_net::K_BATCH => "net/batch",
         graphlab_net::K_ZIP => "net/zip",
         graphlab_net::K_DOWN => "fault/down",
         graphlab_net::K_UP => "fault/up",
+        graphlab_net::K_LEASE => "net/lease",
         _ => "unknown",
     }
 }
@@ -758,6 +778,71 @@ impl Codec for RecoverAbortMsg {
     }
 }
 
+/// Master's adoption order (master → survivors, [`K_ADOPT_PLAN`]): the
+/// re-balanced atom placement after reassigning every dead machine's atoms
+/// over the survivors. Survivors rebuild their local graph from this
+/// placement's journals, then overlay checkpoint `snap` for the adopted
+/// atoms when one is complete (`None` = journal-only adoption: adopted
+/// vertices restart from their ingress-initial data and are re-scheduled).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdoptPlanMsg {
+    /// Fault era the adoption resolves.
+    pub era: u32,
+    /// Machines being adopted away (dead, no restart scheduled).
+    pub dead: Vec<u16>,
+    /// The new atom → machine assignment.
+    pub placement: graphlab_atoms::Placement,
+    /// Complete per-atom checkpoint to overlay for adopted atoms, if any.
+    pub snap: Option<u64>,
+}
+
+impl Codec for AdoptPlanMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+        self.dead.encode(buf);
+        self.placement.encode(buf);
+        self.snap.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(AdoptPlanMsg {
+            era: u32::decode(buf)?,
+            dead: Vec::<u16>::decode(buf)?,
+            placement: graphlab_atoms::Placement::decode(buf)?,
+            snap: Option::<u64>::decode(buf)?,
+        })
+    }
+}
+
+/// Ghost-rebuild round ([`K_ADOPT_DATA`], survivor → survivor): the
+/// sender's authoritative current data for vertices it owns that the
+/// receiver mirrors, and for edges whose replica lives on the receiver.
+/// Sent exactly once per ordered survivor pair — an empty one still
+/// travels, so the round doubles as a FIFO flush barrier.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdoptDataMsg {
+    /// Fault era the adoption resolves.
+    pub era: u32,
+    /// `(vertex, encoded V)` rows owned by the sender.
+    pub vrows: Vec<(VertexId, Bytes)>,
+    /// `(edge, encoded E)` rows owned by the sender.
+    pub erows: Vec<(EdgeId, Bytes)>,
+}
+
+impl Codec for AdoptDataMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.era.encode(buf);
+        self.vrows.encode(buf);
+        self.erows.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(AdoptDataMsg {
+            era: u32::decode(buf)?,
+            vrows: Vec::<(VertexId, Bytes)>::decode(buf)?,
+            erows: Vec::<(EdgeId, Bytes)>::decode(buf)?,
+        })
+    }
+}
+
 /// Wraps a Safra token for the wire.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TokenMsg(pub Token);
@@ -843,19 +928,44 @@ mod tests {
         rt(RollbackMsg { era: 2, snap: 1 });
         rt(RecoverEraMsg { era: 3 });
         rt(RecoverAbortMsg { era: 1, reason: "no complete checkpoint".into() });
+        rt(AdoptPlanMsg {
+            era: 4,
+            dead: vec![2],
+            placement: graphlab_atoms::Placement::round_robin(8, 3),
+            snap: Some(5),
+        });
+        rt(AdoptPlanMsg {
+            era: 1,
+            dead: vec![1, 3],
+            placement: graphlab_atoms::Placement::round_robin(4, 2),
+            snap: None,
+        });
+        rt(AdoptDataMsg {
+            era: 4,
+            vrows: vec![(VertexId(3), Bytes::from_static(b"v"))],
+            erows: vec![(EdgeId(9), Bytes::new())],
+        });
     }
 
     #[test]
     fn recovery_control_classification() {
-        for k in
-            [K_RECOVER_READY, K_ROLLBACK, K_RECOVERED, K_RESUME, K_RECOVER_ABORT, K_FLUSH_MARK]
-        {
+        for k in [
+            K_RECOVER_READY,
+            K_ROLLBACK,
+            K_RECOVERED,
+            K_RESUME,
+            K_RECOVER_ABORT,
+            K_FLUSH_MARK,
+            K_ADOPT_PLAN,
+            K_ADOPT_DATA,
+        ] {
             assert!(is_recovery_control(k));
             assert!(!is_counted_work(k));
             assert_ne!(kind_name(k), "unknown");
         }
         assert!(is_recovery_control(graphlab_net::K_DOWN));
         assert!(is_recovery_control(graphlab_net::K_UP));
+        assert!(is_recovery_control(graphlab_net::K_LEASE));
         assert!(!is_recovery_control(K_LOCK_REQ));
         assert!(!is_recovery_control(K_TOKEN));
         assert!(!is_recovery_control(K_CHROM_VDATA));

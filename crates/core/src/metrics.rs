@@ -98,6 +98,11 @@ pub struct EngineMetrics {
     /// (§4.3 recovery). Updates executed before a rollback re-execute, so
     /// `updates` includes the recomputation cost a failure causes.
     pub recoveries: u64,
+    /// Restart-free adoption rounds completed (a permanent machine death
+    /// under [`crate::RecoveryMode::Adopt`]: the survivors absorbed the
+    /// dead machine's atoms without rolling the cluster back). Counted
+    /// per round, not per machine.
+    pub adoptions: u64,
     /// Per-machine wall-clock phase breakdown (setup/compute/net-wait),
     /// indexed by machine id. In a TCP run each process fills only its own
     /// row; the spawn harness merges them.

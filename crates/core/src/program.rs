@@ -40,7 +40,7 @@ use graphlab_graph::{
 use graphlab_net::codec::Codec;
 use graphlab_net::{FaultPlan, LatencyModel, Transport};
 
-use crate::config::{EngineConfig, SnapshotConfig};
+use crate::config::{EngineConfig, RecoveryMode, SnapshotConfig};
 use crate::driver::{run_distributed, EngineKind, EngineOutput, PartitionStrategy, StopFn};
 use crate::globals::{GlobalHandle, GlobalRegistry};
 use crate::reference::{run_sequential_program, InitialSchedule};
@@ -199,6 +199,30 @@ where
     /// "no complete checkpoint" error ([`GraphLab::try_run`]).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.config.faults = Some(plan);
+        self
+    }
+
+    /// What a permanent (restart-less) machine death does to the run
+    /// (default: [`RecoveryMode::Rollback`], which aborts — the lost
+    /// partition cannot be rebuilt). [`RecoveryMode::Adopt`] turns it
+    /// into restart-free recovery: the survivors adopt the dead machine's
+    /// atoms from the DFS journals (plus the latest complete per-atom
+    /// checkpoint, when one exists) and the run continues without a
+    /// cluster rollback.
+    pub fn recovery(mut self, mode: RecoveryMode) -> Self {
+        self.config.recovery = mode;
+        self
+    }
+
+    /// Enables lease-based failure detection with the given lease period:
+    /// machines refresh their lease by traffic towards the master
+    /// (explicit heartbeats when idle), and the master declares a machine
+    /// dead — broadcasting the same `K_DOWN` the fault fabric's oracle
+    /// would — when its lease expires. This is how real deployments (and
+    /// TCP runs, where it defaults on) detect silent peer loss without a
+    /// ground-truth oracle.
+    pub fn lease(mut self, period: std::time::Duration) -> Self {
+        self.config.lease = Some(period);
         self
     }
 

@@ -52,17 +52,18 @@ pub(crate) fn unrecoverable_down(d: &DownMsg) -> String {
 }
 
 /// Master, all READYs in: prunes torn checkpoints and picks the rollback
-/// target. `Ok` is the order to broadcast; `Err` is the abort to
-/// broadcast (no complete checkpoint — nothing to roll back to). Shared
-/// by both engines so the selection policy and the failure wording cannot
-/// diverge.
+/// target. `parts` is the number of distinct parts a complete checkpoint
+/// holds (one per atom in the engines' per-atom layout). `Ok` is the
+/// order to broadcast; `Err` is the abort to broadcast (no complete
+/// checkpoint — nothing to roll back to). Shared by both engines so the
+/// selection policy and the failure wording cannot diverge.
 pub(crate) fn pick_rollback(
     dfs: &SimDfs,
     prefix: &str,
-    machines: usize,
+    parts: usize,
     era: u32,
 ) -> Result<RollbackMsg, RecoverAbortMsg> {
-    let latest = latest_complete_snapshot(dfs, prefix, machines);
+    let latest = latest_complete_snapshot(dfs, prefix, parts);
     prune_snapshots_after(dfs, prefix, latest);
     match latest {
         Some(snap) => Ok(RollbackMsg { era, snap }),
@@ -73,6 +74,32 @@ pub(crate) fn pick_rollback(
                  to — configure snapshots (SnapshotConfig) to make runs recoverable"
             ),
         }),
+    }
+}
+
+/// Master, all surviving READYs in under [`crate::RecoveryMode::Adopt`]:
+/// computes the adoption order — the re-balanced placement (dead
+/// machines' atoms LPT-spread over survivors) plus the latest complete
+/// per-atom checkpoint to overlay, if any (`None` degrades to
+/// journal-only adoption: adopted vertices restart from ingress-initial
+/// data and reconverge through re-scheduling — adoption never *requires*
+/// checkpoints the way rollback does).
+pub(crate) fn pick_adoption(
+    dfs: &SimDfs,
+    prefix: &str,
+    parts: usize,
+    era: u32,
+    index: &graphlab_atoms::AtomIndex,
+    placement: &graphlab_atoms::Placement,
+    dead: &[bool],
+) -> crate::messages::AdoptPlanMsg {
+    let snap = latest_complete_snapshot(dfs, prefix, parts);
+    prune_snapshots_after(dfs, prefix, snap);
+    crate::messages::AdoptPlanMsg {
+        era,
+        dead: (0..dead.len()).filter(|&m| dead[m]).map(|m| m as u16).collect(),
+        placement: placement.adopt(index, dead),
+        snap,
     }
 }
 
@@ -88,6 +115,10 @@ pub(crate) enum RecoveryPhase {
     /// Rollback received and own marker broadcast; discarding stale
     /// traffic until every peer's flush marker arrived.
     FlushWait,
+    /// Adoption applied locally; waiting for every surviving peer's
+    /// `K_ADOPT_DATA` ghost round (locking engine only — the chromatic
+    /// engine collects the round inside its nested recovery loop).
+    AdoptData,
     /// Rolled back; waiting for the cluster-wide resume barrier.
     AwaitResume,
 }
@@ -101,6 +132,13 @@ pub(crate) struct RecoveryTracker {
     pub era: u32,
     /// Completed rollbacks on this machine.
     pub recoveries: u64,
+    /// Completed adoption rounds on this machine (restart-free recovery).
+    pub adoptions: u64,
+    /// Machines known permanently dead (no restart scheduled). Every
+    /// collection below counts survivors only; deaths persist across
+    /// eras. Restartable kills are *not* recorded here — the rollback
+    /// round must wait for the reborn machine's READY.
+    dead: Vec<bool>,
     /// Master: machines whose READY arrived for the current era.
     ready: Vec<bool>,
     /// Peers whose flush marker arrived for the current era.
@@ -116,10 +154,33 @@ impl RecoveryTracker {
             n,
             era: 0,
             recoveries: 0,
+            adoptions: 0,
+            dead: vec![false; n],
             ready: vec![false; n],
             marks: vec![false; n],
             recovered: 0,
         }
+    }
+
+    /// Records a permanent (restart-less) death: `machine` drops out of
+    /// every barrier from here on. Idempotent.
+    pub(crate) fn note_death(&mut self, machine: usize) {
+        self.dead[machine] = true;
+    }
+
+    /// Whether `machine` is recorded permanently dead.
+    pub(crate) fn is_dead(&self, machine: usize) -> bool {
+        self.dead[machine]
+    }
+
+    /// The permanent-death mask (index = machine).
+    pub(crate) fn dead_mask(&self) -> &[bool] {
+        &self.dead
+    }
+
+    /// Number of machines still alive.
+    pub(crate) fn survivors(&self) -> usize {
+        self.dead.iter().filter(|&&d| !d).count()
     }
 
     /// Observes a fault era (from `K_DOWN`, `K_UP`, or — on a reborn
@@ -144,10 +205,11 @@ impl RecoveryTracker {
         }
     }
 
-    /// Master: whether every machine (reborn included) reported READY for
-    /// the current era.
+    /// Master: whether every *surviving* machine (reborn included — a
+    /// restartable kill never enters the dead set) reported READY for the
+    /// current era.
     pub(crate) fn all_ready(&self) -> bool {
-        self.ready.iter().all(|&r| r)
+        (0..self.n).all(|j| self.dead[j] || self.ready[j])
     }
 
     /// Records peer `src`'s flush marker for `era` (stale ignored).
@@ -157,10 +219,12 @@ impl RecoveryTracker {
         }
     }
 
-    /// Whether the current era's marker arrived from every peer — the
-    /// FIFO barrier after which no pre-drain engine message can surface.
+    /// Whether the current era's marker arrived from every surviving peer
+    /// — the FIFO barrier after which no pre-drain engine message can
+    /// surface (dead machines' channels need no flushing: the fabric
+    /// drops dead incarnations' traffic).
     pub(crate) fn marks_complete(&self) -> bool {
-        (0..self.n).all(|j| j == self.me || self.marks[j])
+        (0..self.n).all(|j| j == self.me || self.dead[j] || self.marks[j])
     }
 
     /// Called when this machine's rollback is applied.
@@ -168,13 +232,18 @@ impl RecoveryTracker {
         self.recoveries += 1;
     }
 
-    /// Master: counts a K_RECOVERED for `era`; returns whether the whole
-    /// cluster has rolled back and the resume barrier can release.
+    /// Called when this machine's adoption round completes.
+    pub(crate) fn after_adoption(&mut self) {
+        self.adoptions += 1;
+    }
+
+    /// Master: counts a K_RECOVERED for `era`; returns whether every
+    /// survivor has recovered and the resume barrier can release.
     pub(crate) fn note_recovered(&mut self, era: u32) -> bool {
         if era == self.era {
             self.recovered += 1;
         }
-        self.recovered >= self.n
+        self.recovered >= self.survivors()
     }
 }
 
@@ -211,6 +280,33 @@ mod tests {
         assert!(!t.marks_complete());
         t.note_mark(0, 3);
         assert!(t.marks_complete(), "own channel needs no marker");
+    }
+
+    #[test]
+    fn dead_machines_drop_out_of_every_barrier() {
+        let mut t = RecoveryTracker::new(0, 4);
+        t.observe_era(1);
+        t.note_death(2);
+        assert!(t.is_dead(2));
+        assert_eq!(t.survivors(), 3);
+        t.note_ready(0, 1);
+        t.note_ready(1, 1);
+        assert!(!t.all_ready(), "machine 3 still owes a READY");
+        t.note_ready(3, 1);
+        assert!(t.all_ready(), "the dead machine owes nothing");
+        t.note_mark(1, 1);
+        t.note_mark(3, 1);
+        assert!(t.marks_complete(), "no marker expected from the dead");
+        assert!(!t.note_recovered(1));
+        assert!(!t.note_recovered(1));
+        assert!(t.note_recovered(1), "resume releases at 3 survivors");
+        // Deaths persist across eras; collection state does not.
+        assert!(t.observe_era(2));
+        assert!(t.is_dead(2));
+        assert!(!t.all_ready());
+        t.after_adoption();
+        assert_eq!(t.adoptions, 1);
+        assert_eq!(t.recoveries, 0);
     }
 
     #[test]

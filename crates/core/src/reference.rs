@@ -133,6 +133,7 @@ where
             steps: 0,
             snapshots: 0,
             recoveries: 0,
+            adoptions: 0,
             phases: Vec::new(),
         },
         globals,

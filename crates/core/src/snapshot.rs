@@ -67,7 +67,7 @@
 //! first-order optimal checkpoint interval (Eq. 3).
 
 use bytes::{Bytes, BytesMut};
-use graphlab_graph::{DataGraph, EdgeId, MachineId, VertexId};
+use graphlab_graph::{AtomId, DataGraph, EdgeId, MachineId, VertexId};
 use graphlab_net::codec::{decode_from, encode_to_bytes, Codec};
 use graphlab_atoms::SimDfs;
 
@@ -131,34 +131,104 @@ impl SnapshotFile {
     }
 }
 
-/// DFS file name of machine `m`'s part of snapshot `id`.
+/// DFS directory of snapshot `id`. Padding is cosmetic only: every
+/// comparison parses ids numerically, so names written at different
+/// padding widths (or past the width, e.g. id 10000 under the historical
+/// 4-digit scheme) still order correctly.
+fn snap_dir(prefix: &str, id: u64) -> String {
+    format!("{prefix}/snap_{id:06}")
+}
+
+/// DFS file name of machine `m`'s part of snapshot `id` (whole-machine
+/// checkpoint files: the single-machine/reference paths and
+/// [`restore_snapshot`] tests; distributed engines write per-atom files,
+/// [`atom_snap_file_name`]).
 pub fn snap_file_name(prefix: &str, id: u64, machine: MachineId) -> String {
-    format!("{prefix}/snap_{id:04}/machine_{:04}", machine.0)
+    format!("{}/machine_{:06}", snap_dir(prefix, id), machine.0)
 }
 
-/// Lists the machines that contributed to snapshot `id`.
+/// DFS file name of `machine`'s rows for `atom` in snapshot `id` — the
+/// per-atom checkpoint layout adoption restores from. Written only by the
+/// atom's **owner**; these are the files completeness counting demands.
+pub fn atom_snap_file_name(prefix: &str, id: u64, atom: AtomId, machine: MachineId) -> String {
+    format!("{}/atom_{:06}_m{:06}", snap_dir(prefix, id), atom.0, machine.0)
+}
+
+/// DFS file name for rows of a **foreign** atom saved by `machine` — the
+/// asynchronous snapshot saves ghost-edge data on whichever side reaches
+/// the marker first, which may not be the owner. Ghost files are restored
+/// like owner files but never count toward snapshot completeness: a
+/// machine that died mid-snapshot must not have its atoms "completed" by
+/// surviving neighbours' ghost rows, leaving a torn cut that passes the
+/// completeness check.
+fn ghost_snap_file_name(prefix: &str, id: u64, atom: AtomId, machine: MachineId) -> String {
+    format!("{}/ghost_{:06}_m{:06}", snap_dir(prefix, id), atom.0, machine.0)
+}
+
+/// Whether any file of snapshot `id` exists.
 pub fn snapshot_exists(dfs: &SimDfs, prefix: &str, id: u64) -> bool {
-    !dfs.list_prefix(&format!("{prefix}/snap_{id:04}/")).is_empty()
+    let dir = format!("{}/", snap_dir(prefix, id));
+    !dfs.list_prefix(&dir).is_empty()
 }
 
-/// Parses `"<prefix>/snap_XXXX/machine_YYYY"` into its snapshot id.
+/// Parses `"<prefix>/snap_<ID>/<part>"` into its **numeric** snapshot id,
+/// whatever the padding width the name was written at.
 fn parse_snap_id(prefix: &str, name: &str) -> Option<u64> {
     let rest = name.strip_prefix(prefix)?.strip_prefix("/snap_")?;
-    let (id, _machine) = rest.split_once('/')?;
+    let (id, _part) = rest.split_once('/')?;
     id.parse().ok()
 }
 
-/// The newest snapshot id for which **every** machine's file exists — the
-/// only kind of checkpoint recovery may restore (a partial set is a torn
-/// cut: some machine died mid-write).
-pub fn latest_complete_snapshot(dfs: &SimDfs, prefix: &str, machines: usize) -> Option<u64> {
-    let mut counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+/// The distinct *part* a snapshot file contributes: an owner-written atom
+/// file (per-atom layout), a ghost contribution (foreign-atom rows — real
+/// data, but `counted: false`), or a whole machine (legacy layout).
+/// Kind-namespaced so atom 3 and machine 3 never collide.
+struct SnapPart {
+    id: u64,
+    /// `(kind, index)`: `(0, machine)` legacy, `(1, atom)` owner file,
+    /// `(2, atom)` ghost contribution.
+    part: (u8, u64),
+    /// Whether this part counts toward snapshot completeness. Ghost files
+    /// don't: only the owner's write proves the atom finished its cut.
+    counted: bool,
+}
+
+fn parse_snap_part(prefix: &str, name: &str) -> Option<SnapPart> {
+    let rest = name.strip_prefix(prefix)?.strip_prefix("/snap_")?;
+    let (id, part) = rest.split_once('/')?;
+    let id: u64 = id.parse().ok()?;
+    let atom_of = |s: &str| -> Option<u64> {
+        let s = s.split_once("_m").map_or(s, |(a, _)| a);
+        s.parse().ok()
+    };
+    if let Some(atom) = part.strip_prefix("atom_") {
+        return Some(SnapPart { id, part: (1, atom_of(atom)?), counted: true });
+    }
+    if let Some(atom) = part.strip_prefix("ghost_") {
+        return Some(SnapPart { id, part: (2, atom_of(atom)?), counted: false });
+    }
+    let machine = part.strip_prefix("machine_")?;
+    Some(SnapPart { id, part: (0, machine.parse().ok()?), counted: true })
+}
+
+/// The newest snapshot id for which all `parts` distinct counted parts
+/// exist — every atom written *by its owner* in the distributed per-atom
+/// layout, every machine in the whole-machine layout — the only kind of
+/// checkpoint recovery may restore (a partial set is a torn cut: some
+/// machine died mid-write). Ghost contributions never count: they would
+/// mark a dead machine's atoms complete without its data. Ids compare
+/// numerically, never lexicographically.
+pub fn latest_complete_snapshot(dfs: &SimDfs, prefix: &str, parts: usize) -> Option<u64> {
+    let mut seen: std::collections::BTreeMap<u64, std::collections::BTreeSet<(u8, u64)>> =
+        std::collections::BTreeMap::new();
     for name in dfs.list_prefix(&format!("{prefix}/snap_")) {
-        if let Some(id) = parse_snap_id(prefix, &name) {
-            *counts.entry(id).or_default() += 1;
+        if let Some(p) = parse_snap_part(prefix, &name) {
+            if p.counted {
+                seen.entry(p.id).or_default().insert(p.part);
+            }
         }
     }
-    counts.into_iter().rev().find(|&(_, c)| c >= machines).map(|(id, _)| id)
+    seen.into_iter().rev().find(|(_, s)| s.len() >= parts).map(|(id, _)| id)
 }
 
 /// Deletes every snapshot file newer than `keep_through` (all files when
@@ -193,7 +263,7 @@ where
     V: Codec,
     E: Codec,
 {
-    let files = dfs.list_prefix(&format!("{prefix}/snap_{id:04}/"));
+    let files = dfs.list_prefix(&format!("{}/", snap_dir(prefix, id)));
     if files.is_empty() {
         return Err(format!("snapshot {id} not found under {prefix}"));
     }
@@ -202,20 +272,112 @@ where
     for name in files {
         let bytes = dfs.read(&name).map_err(|e| e.to_string())?;
         let file: SnapshotFile = decode_from(bytes).ok_or("corrupt snapshot file")?;
-        for (v, blob) in file.vrows {
-            if let Some(l) = lg.local_vertex(v) {
-                *lg.vertex_data_mut(l) = decode_from(blob).ok_or("corrupt vertex blob")?;
-                nv += 1;
-            }
-        }
-        for (e, blob) in file.erows {
-            if let Some(l) = lg.local_edge(e) {
-                *lg.edge_data_mut(l) = decode_from(blob).ok_or("corrupt edge blob")?;
-                ne += 1;
-            }
-        }
+        let (av, ae) = apply_file(file, lg)?;
+        nv += av;
+        ne += ae;
     }
     lg.reset_versions();
+    Ok((nv, ne))
+}
+
+/// Applies one checkpoint file's locally-present rows; returns the counts.
+/// Also used by adoption to re-apply a survivor's own live rows after the
+/// local graph is rebuilt under the adopted placement.
+pub(crate) fn apply_file<V: Codec, E: Codec>(
+    file: SnapshotFile,
+    lg: &mut LocalGraph<V, E>,
+) -> Result<(usize, usize), String> {
+    let mut nv = 0;
+    let mut ne = 0;
+    for (v, blob) in file.vrows {
+        if let Some(l) = lg.local_vertex(v) {
+            *lg.vertex_data_mut(l) = decode_from(blob).ok_or("corrupt vertex blob")?;
+            nv += 1;
+        }
+    }
+    for (e, blob) in file.erows {
+        if let Some(l) = lg.local_edge(e) {
+            *lg.edge_data_mut(l) = decode_from(blob).ok_or("corrupt edge blob")?;
+            ne += 1;
+        }
+    }
+    Ok((nv, ne))
+}
+
+/// Writes one machine's checkpoint rows as **per-atom** files: `rows`
+/// (typically [`SnapshotFile::capture`] of the whole machine, or the
+/// asynchronous snapshot's accumulated buffer) is split by owner atom —
+/// vertices by their atom, edges by their target's atom — and one file is
+/// written per atom in `my_atoms` *even when empty*, so completeness
+/// counting ([`latest_complete_snapshot`] with `parts = num_atoms`) can
+/// demand every atom without special-casing atoms that own nothing. Rows
+/// of foreign atoms (the asynchronous snapshot saves ghost-edge data on
+/// whichever side snapshots first) are written as *ghost* files
+/// ([`ghost_snap_file_name`]): restored like any other, but invisible to
+/// completeness counting, so they can never mark a dead owner's atom as
+/// checkpointed.
+pub fn write_snapshot_atoms<V, E>(
+    dfs: &SimDfs,
+    prefix: &str,
+    id: u64,
+    rows: SnapshotFile,
+    lg: &LocalGraph<V, E>,
+    my_atoms: &[AtomId],
+) {
+    let mine: std::collections::BTreeSet<AtomId> = my_atoms.iter().copied().collect();
+    let mut by_atom: std::collections::BTreeMap<AtomId, SnapshotFile> =
+        my_atoms.iter().map(|&a| (a, SnapshotFile::default())).collect();
+    for (v, blob) in rows.vrows {
+        let atom = lg.vertex_atom(lg.local_vertex(v).expect("saved vertex is local"));
+        by_atom.entry(atom).or_default().vrows.push((v, blob));
+    }
+    for (e, blob) in rows.erows {
+        let atom = lg.edge_atom(lg.local_edge(e).expect("saved edge is local"));
+        by_atom.entry(atom).or_default().erows.push((e, blob));
+    }
+    for (atom, file) in by_atom {
+        let name = if mine.contains(&atom) {
+            atom_snap_file_name(prefix, id, atom, lg.machine())
+        } else {
+            ghost_snap_file_name(prefix, id, atom, lg.machine())
+        };
+        dfs.write(&name, encode_to_bytes(&file));
+    }
+}
+
+/// Adoption overlay: applies snapshot `id`'s rows of exactly the given
+/// `atoms` (every contributing machine's owner *and* ghost files) into
+/// `lg`. Used by a
+/// survivor after it reloaded an adopted atom's journal — the checkpoint
+/// rows advance the adopted vertices from their ingress-initial data to
+/// the last checkpointed cut without touching any other atom's state.
+/// Versions are *not* reset; adoption runs against a freshly rebuilt
+/// (all-zero-version) local graph.
+pub fn restore_atoms_into_local<V, E>(
+    dfs: &SimDfs,
+    prefix: &str,
+    id: u64,
+    atoms: &[AtomId],
+    lg: &mut LocalGraph<V, E>,
+) -> Result<(usize, usize), String>
+where
+    V: Codec,
+    E: Codec,
+{
+    let wanted: std::collections::BTreeSet<u64> = atoms.iter().map(|a| a.0 as u64).collect();
+    let mut nv = 0;
+    let mut ne = 0;
+    for name in dfs.list_prefix(&format!("{}/", snap_dir(prefix, id))) {
+        match parse_snap_part(prefix, &name) {
+            Some(SnapPart { part: (1 | 2, atom), .. }) if wanted.contains(&atom) => {}
+            _ => continue,
+        }
+        let bytes = dfs.read(&name).map_err(|e| e.to_string())?;
+        let file: SnapshotFile = decode_from(bytes).ok_or("corrupt snapshot file")?;
+        let (av, ae) = apply_file(file, lg)?;
+        nv += av;
+        ne += ae;
+    }
     Ok((nv, ne))
 }
 
@@ -236,7 +398,7 @@ where
     V: Codec,
     E: Codec,
 {
-    let files = dfs.list_prefix(&format!("{prefix}/snap_{id:04}/"));
+    let files = dfs.list_prefix(&format!("{}/", snap_dir(prefix, id)));
     if files.is_empty() {
         return Err(format!("snapshot {id} not found under {prefix}"));
     }
@@ -417,6 +579,127 @@ mod tests {
         assert!(!snapshot_exists(&dfs, "ckpt", 2));
         assert_eq!(prune_snapshots_after(&dfs, "ckpt", None), 2);
         assert!(!snapshot_exists(&dfs, "ckpt", 0));
+    }
+
+    #[test]
+    fn snapshot_ids_compare_numerically_across_padding_widths() {
+        // Regression (9999 → 10000): the historical 4-digit padding emits
+        // id 10000 unpadded, and lexicographically "snap_10000" sorts
+        // *before* "snap_9999" — a string-ordered latest/prune would pick
+        // the wrong snapshot. Hand-written mixed-width names pin that every
+        // comparison is numeric, whatever width a file was written at.
+        let dfs = SimDfs::new();
+        let blob = || encode_to_bytes(&SnapshotFile::default());
+        dfs.write("ckpt/snap_9999/machine_0000", blob());
+        dfs.write("ckpt/snap_10000/machine_0000", blob());
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 1), Some(10000));
+        assert_eq!(prune_snapshots_after(&dfs, "ckpt", Some(9999)), 1);
+        assert!(dfs.exists("ckpt/snap_9999/machine_0000"), "9999 kept");
+        assert!(!dfs.exists("ckpt/snap_10000/machine_0000"), "10000 pruned");
+    }
+
+    #[test]
+    fn snapshot_naming_survives_the_padding_boundary() {
+        // Same property through the real naming fns, crossing the current
+        // 6-digit width at 999999 → 1000000.
+        let dfs = SimDfs::new();
+        let blob = || encode_to_bytes(&SnapshotFile::default());
+        for id in [999_999, 1_000_000] {
+            dfs.write(&snap_file_name("ckpt", id, MachineId(0)), blob());
+        }
+        assert!(snapshot_exists(&dfs, "ckpt", 1_000_000));
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 1), Some(1_000_000));
+        assert_eq!(prune_snapshots_after(&dfs, "ckpt", Some(999_999)), 1);
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 1), Some(999_999));
+    }
+
+    #[test]
+    fn per_atom_completeness_counts_distinct_atoms() {
+        let dfs = SimDfs::new();
+        let blob = || encode_to_bytes(&SnapshotFile::default());
+        // 4 atoms over 2 machines; machine ids never alias atom ids.
+        for (atom, m) in [(0u32, 0u16), (1, 0), (2, 1)] {
+            dfs.write(&atom_snap_file_name("ckpt", 0, AtomId(atom), MachineId(m)), blob());
+        }
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 4), None, "atom 3 missing");
+        // A ghost contribution for the missing atom (async ghost-edge
+        // saves from a non-owner) must NOT complete the snapshot: the
+        // owner may have died mid-cut, and restoring would tear the cut.
+        dfs.write(&ghost_snap_file_name("ckpt", 0, AtomId(3), MachineId(0)), blob());
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 4), None, "ghost file spoofed an atom");
+        dfs.write(&atom_snap_file_name("ckpt", 0, AtomId(3), MachineId(1)), blob());
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 4), Some(0));
+        // A snapshot covering only one atom (owner file + a duplicate
+        // owner-side write) is still incomplete.
+        dfs.write(&atom_snap_file_name("ckpt", 1, AtomId(3), MachineId(0)), blob());
+        dfs.write(&atom_snap_file_name("ckpt", 1, AtomId(3), MachineId(1)), blob());
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 4), Some(0), "id 1 covers one atom");
+    }
+
+    #[test]
+    fn write_and_adopt_per_atom_checkpoints() {
+        use graphlab_atoms::{build_atoms, load_machine_part, write_atoms, VertexPartition};
+
+        // A 12-ring cut into 4 atoms on 2 machines.
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..12).map(|i| b.add_vertex(i as f64)).collect();
+        for i in 0..12 {
+            b.add_edge(vs[i], vs[(i + 1) % 12], i as u32).unwrap();
+        }
+        let g = b.build();
+        let part = VertexPartition::random_hash(12, 4, 7);
+        let dfs = SimDfs::new();
+        let (atoms, index) = build_atoms(&g, &part, "ring");
+        write_atoms(&dfs, "ring", &atoms, &index);
+        let placement = graphlab_atoms::Placement::compute(&index, 2);
+
+        // Both machines mutate their owned vertices, then checkpoint
+        // per-atom.
+        let mut lgs: Vec<LocalGraph<f64, u32>> = (0..2)
+            .map(|m| {
+                let init =
+                    load_machine_part(&dfs, &index, &placement, MachineId(m)).unwrap();
+                LocalGraph::from_init(init, None)
+            })
+            .collect();
+        for lg in &mut lgs {
+            for &l in &lg.owned_vertices().to_vec() {
+                *lg.vertex_data_mut(l) += 100.0;
+            }
+        }
+        for lg in &lgs {
+            write_snapshot_atoms(
+                &dfs,
+                "ckpt",
+                0,
+                SnapshotFile::capture(lg),
+                lg,
+                &placement.atoms_of(lg.machine()),
+            );
+        }
+        assert_eq!(latest_complete_snapshot(&dfs, "ckpt", 4), Some(0));
+
+        // Machine 1 dies; machine 0 adopts its atoms: rebuild from the
+        // adopted placement's journals, then overlay only the adopted
+        // atoms' checkpoint rows.
+        let adopted_placement = placement.adopt(&index, &[false, true]);
+        let adopted_atoms = placement.atoms_of(MachineId(1));
+        let init = load_machine_part(&dfs, &index, &adopted_placement, MachineId(0)).unwrap();
+        let mut lg: LocalGraph<f64, u32> = LocalGraph::from_init(init, None);
+        // Survivor re-applies its own live state (untouched by adoption).
+        for &l in &lg.owned_vertices().to_vec() {
+            if placement.machine_of(lg.vertex_atom(l)) == MachineId(0) {
+                *lg.vertex_data_mut(l) += 100.0;
+            }
+        }
+        let (nv, _) = restore_atoms_into_local(&dfs, "ckpt", 0, &adopted_atoms, &mut lg).unwrap();
+        assert!(nv > 0, "adopted atoms had checkpoint rows");
+        // Every vertex now carries the checkpointed value, whichever side
+        // it was adopted from.
+        for &l in lg.owned_vertices() {
+            let want = lg.vertex_gvid(l).0 as f64 + 100.0;
+            assert_eq!(*lg.vertex_data(l), want, "vertex {}", lg.vertex_gvid(l));
+        }
     }
 
     #[test]

@@ -29,14 +29,16 @@
 //! so cannot reorder anything either.
 
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use graphlab_graph::MachineId;
 
 use crate::cluster::{Envelope, RecvError};
+use crate::fault::{DownMsg, K_DOWN};
+use crate::lease::{LeaseConfig, LeaseState, K_LEASE, LEASE_MASTER};
 use crate::transport::Endpoint;
-use crate::codec::{get_uvarint, put_uvarint};
+use crate::codec::{encode_to_bytes, get_uvarint, put_uvarint};
 use crate::compress;
 
 /// Reserved message kind for a batch envelope. Application tag spaces must
@@ -129,6 +131,18 @@ pub struct Batcher {
     /// Messages unpacked from a received batch, drained before the socket.
     pending: VecDeque<Envelope>,
     counters: BatchCounters,
+    /// Lease-based failure detection ([`crate::lease`]), when enabled:
+    /// received envelopes refresh the sender's lease, blocking waits are
+    /// sliced so heartbeats go out and the master's expiry scan runs, and
+    /// an expired lease synthesizes the same `K_DOWN` the fault fabric's
+    /// oracle would have delivered.
+    lease: Option<LeaseState>,
+    /// Machines known *permanently* dead: traffic to them is dropped at
+    /// the wire hop. On the sim fabric the drop merely mirrors what the
+    /// fabric does anyway; on TCP it is what keeps a survivor from
+    /// stalling in 2-second redials towards a vanished process. Survives
+    /// [`Batcher::clear`] — permanent deaths are cluster-durable facts.
+    fenced: Vec<bool>,
 }
 
 impl Batcher {
@@ -141,6 +155,71 @@ impl Batcher {
             queues: (0..n).map(|_| Queue { buf: BytesMut::new(), count: 0 }).collect(),
             pending: VecDeque::new(),
             counters: BatchCounters::default(),
+            lease: None,
+            fenced: vec![false; n],
+        }
+    }
+
+    /// Engine hook: `machine` is *permanently* dead — drop all further
+    /// traffic to it at the wire hop (restartable kills must NOT be
+    /// fenced: the reborn machine needs the post-rollback traffic).
+    pub fn fence(&mut self, machine: u16) {
+        self.fenced[machine as usize] = true;
+    }
+
+    /// Turns on lease-based failure detection with the given policy. The
+    /// master (machine 0) starts tracking every machine's lease; workers
+    /// start heartbeating when idle. See [`crate::lease`].
+    pub fn enable_lease(&mut self, cfg: LeaseConfig) {
+        let me = self.ep.id().index() as u16;
+        self.lease = Some(LeaseState::new(me, self.ep.num_machines(), cfg));
+    }
+
+    /// Whether lease detection is on.
+    pub fn lease_enabled(&self) -> bool {
+        self.lease.is_some()
+    }
+
+    /// Engine hook: a death was observed (any detector). Fences the dead
+    /// machine out of the lease table so the detector never re-declares
+    /// it, and keeps the era monotone.
+    pub fn lease_note_death(&mut self, machine: u16, era: u32) {
+        if let Some(l) = &mut self.lease {
+            l.observe_death(machine as usize, era);
+        }
+    }
+
+    /// Engine hook: a restart was observed — the machine leases afresh.
+    pub fn lease_note_up(&mut self, machine: u16, era: u32) {
+        if let Some(l) = &mut self.lease {
+            l.observe_up(machine as usize, era);
+        }
+    }
+
+    /// Lease bookkeeping, run between wait slices: workers send an
+    /// explicit heartbeat when idle towards the master past half the
+    /// period; the master declares expired leases dead and broadcasts the
+    /// fabric-shaped `K_DOWN` (restart = false, next era) to everyone it
+    /// still believes alive — itself included, so its own engine takes
+    /// the same path as the survivors.
+    fn lease_tick(&mut self) {
+        let Batcher { ep, lease, fenced, .. } = self;
+        let Some(l) = lease else { return };
+        if l.is_master() {
+            while let Some((victim, era)) = l.expired() {
+                // A lease expiry is always a permanent declaration.
+                fenced[victim as usize] = true;
+                let down = DownMsg { machine: victim, restart: false, era };
+                let payload = encode_to_bytes(&down);
+                for j in 0..ep.num_machines() {
+                    if j != victim as usize && !l.is_dead(j) {
+                        ep.send(MachineId::from(j), K_DOWN, payload.clone());
+                    }
+                }
+            }
+        } else if l.heartbeat_due() {
+            ep.send(MachineId::from(LEASE_MASTER), K_LEASE, encode_to_bytes(&l.heartbeat()));
+            l.note_sent_to_master();
         }
     }
 
@@ -230,6 +309,16 @@ impl Batcher {
     /// and it pays off, otherwise ships it raw. Self-sends never compress
     /// (they are free and never touch the wire).
     fn put_wire(&mut self, dst: MachineId, kind: u16, payload: Bytes) {
+        if self.fenced[dst.index()] && dst != self.ep.id() {
+            return;
+        }
+        if let Some(l) = &mut self.lease {
+            // Piggybacked lease refresh: any traffic towards the master
+            // resets the heartbeat clock.
+            if dst.index() == LEASE_MASTER && !l.is_master() {
+                l.note_sent_to_master();
+            }
+        }
         if self.policy.compress && dst != self.ep.id() && payload.len() >= self.policy.compress_min
         {
             let packed = compress::compress(&payload);
@@ -278,6 +367,31 @@ impl Batcher {
     /// flush, so replies generated across a burst keep coalescing; the
     /// size/count thresholds bound how long they can sit.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Envelope, RecvError> {
+        if self.lease.is_none() {
+            return self.recv_inner(timeout);
+        }
+        // Lease detection slices the wait so heartbeats go out and the
+        // master's expiry scan runs even while this machine is blocked.
+        // lint: allow(determinism) -- lease pacing is wall-clock by contract; it times heartbeats, never wire contents
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.lease_tick();
+            let slice = self.lease.as_ref().expect("lease checked above").config().slice();
+            // lint: allow(determinism) -- remaining-wait computation for the lease-sliced block
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.recv_inner(slice.min(remaining)) {
+                // Heartbeats refreshed the sender's lease on receipt; the
+                // engines never see them.
+                Ok(env) if env.kind == K_LEASE => continue,
+                Ok(env) => return Ok(env),
+                Err(RecvError::Timeout) if remaining > slice => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The actual single-wait receive `recv_timeout` is built on.
+    fn recv_inner(&mut self, timeout: Duration) -> Result<Envelope, RecvError> {
         if let Some(env) = self.pending.pop_front() {
             return Ok(env);
         }
@@ -294,14 +408,31 @@ impl Batcher {
     /// Non-blocking receive (does not flush: callers drain bursts between
     /// blocking receives, which do).
     pub fn try_recv(&mut self) -> Result<Envelope, RecvError> {
-        if let Some(env) = self.pending.pop_front() {
+        loop {
+            let env = match self.pending.pop_front() {
+                Some(env) => env,
+                None => {
+                    let env = self.ep.try_recv()?;
+                    self.unpack_first(env)
+                }
+            };
+            if self.lease.is_some() && env.kind == K_LEASE {
+                continue;
+            }
             return Ok(env);
         }
-        let env = self.ep.try_recv()?;
-        Ok(self.unpack_first(env))
     }
 
     fn unpack_first(&mut self, env: Envelope) -> Envelope {
+        if let Some(l) = &mut self.lease {
+            // Piggybacked refresh: any envelope from a machine proves it
+            // alive. `K_DOWN` is exempt — the fabric stamps the *victim*
+            // as its source, and a death notice must not refresh the
+            // victim's own lease.
+            if env.kind != K_DOWN {
+                l.refresh(env.src.index());
+            }
+        }
         let env = if env.kind == K_ZIP {
             let mut buf = env.payload;
             let kind = buf.get_u16_le();
@@ -486,6 +617,50 @@ mod tests {
         assert_eq!(b0.counters().compressed, 0);
         let sent = net.stats().machine(MachineId(0)).bytes_sent as usize;
         assert!(sent > 40 * 64, "raw envelope must carry full payload bytes");
+    }
+
+    #[test]
+    fn lease_master_declares_silent_worker_dead() {
+        // Worker 1 never services its batcher: no traffic, no heartbeats.
+        // The master's sliced wait must synthesize a fabric-shaped K_DOWN
+        // (restart = false, era 1) within a bounded number of periods.
+        let (_net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
+        let _b1 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
+        let mut b0 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
+        b0.enable_lease(crate::lease::LeaseConfig::with_period(Duration::from_millis(40)));
+        let t0 = std::time::Instant::now();
+        let env = b0.recv_timeout(Duration::from_secs(5)).expect("death notice");
+        assert_eq!(env.kind, crate::fault::K_DOWN);
+        let d: crate::fault::DownMsg =
+            crate::codec::decode_from(env.payload).expect("decode DownMsg");
+        assert_eq!((d.machine, d.restart, d.era), (1, false, 1));
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "detection latency unbounded: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn lease_heartbeats_prevent_false_positives_when_idle() {
+        // Both machines idle in their receive loops; the worker's
+        // heartbeats must keep its lease alive for many periods.
+        let (_net, mut eps) = SimNet::new(2, LatencyModel::ZERO);
+        let mut b1 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
+        let mut b0 = Batcher::new(eps.pop().unwrap().into(), BatchPolicy::default());
+        let cfg = crate::lease::LeaseConfig::with_period(Duration::from_millis(40));
+        b0.enable_lease(cfg);
+        b1.enable_lease(cfg);
+        let h = std::thread::spawn(move || {
+            // Idle worker: ~10 lease periods of nothing but heartbeats.
+            let _ = b1.recv_timeout(Duration::from_millis(400));
+        });
+        let got = b0.recv_timeout(Duration::from_millis(400));
+        assert!(
+            matches!(got, Err(RecvError::Timeout)),
+            "idle worker was declared dead: {got:?}"
+        );
+        h.join().unwrap();
     }
 
     #[test]

@@ -150,6 +150,12 @@ pub struct FaultPlan {
     /// Record every fault-layer decision in an event log
     /// ([`crate::SimNet::fault_trace`]).
     pub record_trace: bool,
+    /// Suppress the fabric's oracle `K_DOWN` notification to survivors on
+    /// a kill. The victim itself is still notified (a dead thread blocked
+    /// in a long receive must wake), but the *survivors* only learn of the
+    /// death through lease expiry ([`crate::lease`]) — this demotes the
+    /// oracle to a test-only ground truth the detector is checked against.
+    pub no_oracle: bool,
 }
 
 impl FaultPlan {
@@ -189,6 +195,13 @@ impl FaultPlan {
     /// Enables event-log recording.
     pub fn trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Disables the oracle `K_DOWN` notification to survivors — deaths
+    /// must then be detected by lease expiry (see [`FaultPlan::no_oracle`]).
+    pub fn without_oracle(mut self) -> Self {
+        self.no_oracle = true;
         self
     }
 
@@ -451,9 +464,16 @@ impl FaultState {
         // sleep the full timeout (nothing else ever lands in a dead
         // inbox). Receiving a K_DOWN about yourself means "you are dead";
         // any recv the victim makes while dead drains it harmlessly.
+        //
+        // Under `no_oracle` the survivor notifications are suppressed —
+        // only the victim's own wake-up stays — so survivors must detect
+        // the death by lease expiry, exactly as they would over TCP.
         let msg = DownMsg { machine: k.machine, restart: k.restart_at.is_some(), era: self.era };
         let payload = crate::codec::encode_to_bytes(&msg);
         for j in 0..self.inboxes.len() {
+            if self.plan.no_oracle && j != m {
+                continue;
+            }
             if j == m || self.alive[j] {
                 let _ = self.inboxes[j].send(crate::cluster::Envelope {
                     src: graphlab_graph::MachineId::from(m),

@@ -94,6 +94,7 @@ pub mod codec;
 pub mod compress;
 pub mod fault;
 pub mod latency;
+pub mod lease;
 pub mod tcp;
 pub mod termination;
 pub mod transport;
@@ -104,6 +105,7 @@ pub use cluster::{Envelope, KindTraffic, MachineTraffic, NetStats, RecvError, Si
 pub use codec::{decode_from, encode_to_bytes, Codec};
 pub use fault::{DownMsg, FaultEvent, FaultPlan, FaultTrigger, UpMsg, K_DOWN, K_UP};
 pub use latency::LatencyModel;
-pub use tcp::{shutdown_active, TcpConfig, TcpEndpoint, TcpNet};
+pub use lease::{LeaseConfig, LeaseMsg, LeaseState, K_LEASE};
+pub use tcp::{mesh_established, shutdown_active, TcpConfig, TcpEndpoint, TcpNet, MIN_TCP_LEASE};
 pub use termination::{Safra, SafraAction, Token};
 pub use transport::{Endpoint, Net, Transport};

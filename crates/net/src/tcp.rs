@@ -62,6 +62,15 @@ const MAX_FRAME: usize = 256 * 1024 * 1024;
 /// declared lost (initial mesh setup uses [`TcpConfig::connect_timeout`]).
 const RECONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Smallest safe lease period over this transport. A send to an
+/// unresponsive peer can block the engine thread for a full
+/// [`RECONNECT_TIMEOUT`] before the link's fail-fast probation kicks in,
+/// and during that stall the machine cannot refresh its own lease. A lease
+/// shorter than a couple of those windows turns ordinary redial stalls
+/// into false-positive deaths — the master then "adopts" machines that
+/// are still alive. The driver clamps any configured period up to this.
+pub const MIN_TCP_LEASE: Duration = Duration::from_secs(5);
+
 /// Configuration of one machine's TCP transport.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TcpConfig {
@@ -111,6 +120,20 @@ impl TcpShared {
 /// (`graphlab-node` SIGTERM/Ctrl-C) that must close sockets gracefully
 /// from outside the engine's call stack.
 static ACTIVE: std::sync::Mutex<Vec<Weak<TcpShared>>> = std::sync::Mutex::new(Vec::new());
+
+/// Set once this process's first [`TcpNet::connect`] finishes dialing
+/// every peer. Chaos hooks (`graphlab-node --die-after-ms`) key their
+/// delay off this instead of process start, so a slow (debug-profile)
+/// setup can't turn a kill-mid-run scenario into a kill-during-dial one
+/// that strands the peers in mesh setup.
+static MESH_UP: AtomicBool = AtomicBool::new(false);
+
+/// True once any [`TcpNet::connect`] in this process has completed its
+/// outgoing dials (the mesh is usable; incoming sides may still be
+/// completing asynchronously).
+pub fn mesh_established() -> bool {
+    MESH_UP.load(Ordering::SeqCst)
+}
 
 /// Gracefully shuts down every live [`TcpNet`] in this process: further
 /// sends stop, write halves are closed (FIN after any queued bytes), and
@@ -175,15 +198,15 @@ impl TcpNet {
 
         // Dial every peer. Peers start in arbitrary order, so each dial
         // retries until the mesh deadline.
-        let mut outs: Vec<Mutex<Option<TcpStream>>> = Vec::with_capacity(n);
+        let mut outs: Vec<Mutex<OutLink>> = Vec::with_capacity(n);
         for (j, peer) in cfg.peers.iter().enumerate() {
             if j == me.index() {
-                outs.push(Mutex::new(None));
+                outs.push(Mutex::new(OutLink { stream: None, retry_after: None }));
                 continue;
             }
             let s = dial(peer, me, n as u16, cfg.run_id, deadline)?;
             shared.register(&s);
-            outs.push(Mutex::new(Some(s)));
+            outs.push(Mutex::new(OutLink { stream: Some(s), retry_after: None }));
         }
 
         let ep = TcpEndpoint {
@@ -197,6 +220,7 @@ impl TcpNet {
             inbox_tx,
             rx,
         };
+        MESH_UP.store(true, Ordering::SeqCst);
         Ok((net, ep))
     }
 
@@ -226,6 +250,18 @@ impl Drop for TcpNet {
     }
 }
 
+/// Outgoing link to one peer: the live stream (if any) plus the fail-fast
+/// probation marker set when a redial burns its full deadline.
+struct OutLink {
+    stream: Option<TcpStream>,
+    /// After a failed redial, sends to this peer drop immediately until
+    /// this instant instead of dialling again. Without the probation a
+    /// dead peer costs every send a full [`RECONNECT_TIMEOUT`] stall,
+    /// which blocks the engine thread long enough to starve its own lease
+    /// heartbeats — the master then declares *live* machines dead.
+    retry_after: Option<Instant>,
+}
+
 /// One machine's handle on the TCP fabric; the real-socket counterpart of
 /// [`crate::cluster::SimEndpoint`] with identical send/receive semantics.
 pub struct TcpEndpoint {
@@ -234,7 +270,7 @@ pub struct TcpEndpoint {
     run_id: u64,
     peers: Vec<String>,
     stats: Arc<NetStats>,
-    outs: Vec<Mutex<Option<TcpStream>>>,
+    outs: Vec<Mutex<OutLink>>,
     shared: Arc<TcpShared>,
     inbox_tx: Sender<Envelope>,
     rx: Receiver<Envelope>,
@@ -259,7 +295,10 @@ impl TcpEndpoint {
     /// Sends `payload` to `dst`. Self-sends deliver through the inbox and
     /// are charged zero network bytes, like the sim fabric. A broken stream
     /// is redialled once (with a fresh handshake); if that also fails the
-    /// message is dropped — the peer is gone.
+    /// message is dropped — the peer is gone — and the link enters a
+    /// fail-fast probation: further sends drop immediately (no dial, no
+    /// stall) until [`RECONNECT_TIMEOUT`] has passed, so a dead peer costs
+    /// the caller at most one redial deadline per probation window.
     pub fn send(&self, dst: MachineId, kind: u16, payload: Bytes) {
         let env = Envelope { src: self.id, dst, kind, payload };
         if dst == self.id {
@@ -268,26 +307,34 @@ impl TcpEndpoint {
         }
         charge_send(&self.stats, &env);
         let mut out = self.outs[dst.index()].lock();
-        let sent = match out.as_mut() {
+        let sent = match out.stream.as_mut() {
             Some(s) => write_frame(s, &env).is_ok(),
             None => false,
         };
         if sent {
             return;
         }
-        *out = None;
+        out.stream = None;
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // lint: allow(determinism) -- reconnect deadline; the real-socket backend is wall-clock by nature
-        let deadline = Instant::now() + RECONNECT_TIMEOUT;
+        // lint: allow(determinism) -- probation clock; the real-socket backend is wall-clock by nature
+        let now = Instant::now();
+        if out.retry_after.is_some_and(|t| now < t) {
+            return; // peer recently unreachable: fail fast, drop the message
+        }
+        let deadline = now + RECONNECT_TIMEOUT;
         if let Ok(mut s) = dial(&self.peers[dst.index()], self.id, self.n as u16, self.run_id, deadline)
         {
             if write_frame(&mut s, &env).is_ok() {
                 self.shared.register(&s);
-                *out = Some(s);
+                out.stream = Some(s);
+                out.retry_after = None;
+                return;
             }
         }
+        // lint: allow(determinism) -- probation clock; the real-socket backend is wall-clock by nature
+        out.retry_after = Some(Instant::now() + RECONNECT_TIMEOUT);
     }
 
     /// Broadcasts to every *other* machine.

@@ -30,7 +30,9 @@ use std::process::Command;
 use std::time::{Duration, Instant, SystemTime};
 
 use graphlab_apps::pagerank::{init_ranks, l1_error, PageRank};
-use graphlab_core::{EngineKind, EngineOutput, GraphLab, PhaseTimes, TcpConfig, Transport};
+use graphlab_core::{
+    EngineKind, EngineOutput, GraphLab, PhaseTimes, RecoveryMode, TcpConfig, Transport,
+};
 use graphlab_graph::{DataGraph, MachineId, VertexId};
 use graphlab_workloads::webgraph::web_graph;
 
@@ -89,6 +91,18 @@ pub struct WorkerOpts {
     pub workload: Workload,
     /// Where to write this machine's result file.
     pub out: PathBuf,
+    /// Restart-free recovery: survivors adopt a dead machine's atoms
+    /// instead of failing the run (ISSUE 8). Every worker of a mesh must
+    /// agree on this.
+    pub adopt: bool,
+    /// Lease period override for the failure detector (TCP defaults to
+    /// 2 s when unset).
+    pub lease: Option<Duration>,
+    /// Chaos hook for the kill smoke test: this process exits abruptly
+    /// (no FIN handshake with the engine, exactly like a machine loss)
+    /// after the given delay, measured from the moment the TCP mesh is
+    /// established (so the kill always lands mid-run, not mid-dial).
+    pub die_after: Option<Duration>,
 }
 
 /// What one worker reports back through its result file.
@@ -108,6 +122,8 @@ pub struct WorkerReport {
     pub bytes_sent: u64,
     /// Messages this machine sent.
     pub msgs_sent: u64,
+    /// Completed adoption rounds (restart-free recovery) on this machine.
+    pub adoptions: u64,
 }
 
 /// Runs one machine's worth of the workload over TCP and writes the
@@ -116,11 +132,35 @@ pub fn run_worker(opts: &WorkerOpts) -> Result<String, String> {
     let n = opts.peers.len();
     let mut graph = opts.workload.build_graph();
     let tcp = TcpConfig::new(MachineId(opts.machine), opts.peers.clone(), opts.run_id);
-    let out: EngineOutput = GraphLab::on(&mut graph)
+    if let Some(delay) = opts.die_after {
+        let tag = opts.machine;
+        std::thread::spawn(move || {
+            // Dying before the mesh is up would strand the peers in
+            // setup rather than exercising recovery — wait for it first
+            // (slow debug builds can take longer than the delay just to
+            // build the graph and dial).
+            while !graphlab_net::mesh_established() {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            std::thread::sleep(delay);
+            eprintln!("graphlab-node[m={tag}]: chaos exit after {delay:?}");
+            // Abrupt exit: the OS tears the sockets down mid-stream, the
+            // peers' survivors must detect the silence by lease expiry.
+            std::process::exit(9);
+        });
+    }
+    let mut builder = GraphLab::on(&mut graph)
         .engine(opts.engine)
         .machines(n)
         .transport(Transport::Tcp(tcp))
-        .seed(opts.workload.seed)
+        .seed(opts.workload.seed);
+    if opts.adopt {
+        builder = builder.recovery(RecoveryMode::Adopt);
+    }
+    if let Some(period) = opts.lease {
+        builder = builder.lease(period);
+    }
+    let out: EngineOutput = builder
         .try_run(opts.workload.update_fn())
         .map_err(|e| format!("machine {}: {e}", opts.machine))?;
 
@@ -136,6 +176,7 @@ pub fn run_worker(opts: &WorkerOpts) -> Result<String, String> {
         updates: out.metrics.updates,
         bytes_sent: traffic,
         msgs_sent: out.metrics.total_messages,
+        adoptions: out.metrics.adoptions,
     };
     write_report(&opts.out, &report)
         .map_err(|e| format!("machine {}: writing {}: {e}", opts.machine, opts.out.display()))?;
@@ -156,14 +197,14 @@ pub fn summary_line(r: &WorkerReport, engine: EngineKind) -> String {
         r.bytes_sent,
         r.msgs_sent,
         r.ranks.len(),
-    )
+    ) + &if r.adoptions > 0 { format!(" adoptions={}", r.adoptions) } else { String::new() }
 }
 
 // Result files are plain text, one record per line, with f64s as exact
 // bit patterns (hex) so the merge is byte-faithful:
 //   machine <m>
 //   phase <setup_hexbits> <compute_hexbits> <net_wait_hexbits> <runtime_hexbits>
-//   stats <updates> <bytes_sent> <msgs_sent>
+//   stats <updates> <bytes_sent> <msgs_sent> <adoptions>
 //   v <vertex_id> <rank_hexbits>   (one per owned vertex)
 //   ok                             (completeness marker)
 
@@ -177,7 +218,10 @@ fn write_report(path: &Path, r: &WorkerReport) -> std::io::Result<()> {
         r.phase.net_wait.as_secs_f64().to_bits(),
         r.runtime.as_secs_f64().to_bits(),
     ));
-    buf.push_str(&format!("stats {} {} {}\n", r.updates, r.bytes_sent, r.msgs_sent));
+    buf.push_str(&format!(
+        "stats {} {} {} {}\n",
+        r.updates, r.bytes_sent, r.msgs_sent, r.adoptions
+    ));
     for &(v, rank) in &r.ranks {
         buf.push_str(&format!("v {} {:016x}\n", v, rank.to_bits()));
     }
@@ -202,6 +246,7 @@ pub fn read_report(path: &Path) -> Result<WorkerReport, String> {
         updates: 0,
         bytes_sent: 0,
         msgs_sent: 0,
+        adoptions: 0,
     };
     let mut complete = false;
     for line in text.lines() {
@@ -222,6 +267,7 @@ pub fn read_report(path: &Path) -> Result<WorkerReport, String> {
                 r.updates = next()?.parse().map_err(|e| format!("bad updates: {e}"))?;
                 r.bytes_sent = next()?.parse().map_err(|e| format!("bad bytes: {e}"))?;
                 r.msgs_sent = next()?.parse().map_err(|e| format!("bad msgs: {e}"))?;
+                r.adoptions = next()?.parse().map_err(|e| format!("bad adoptions: {e}"))?;
             }
             Some("v") => {
                 let id: u32 = it

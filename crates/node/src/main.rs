@@ -8,6 +8,7 @@
 //!                      [--seed S] [--epsilon E] [--check] [--bench FILE]
 //! graphlab-node worker --machine M --peers HOST:PORT,... --run-id R
 //!                      --engine chromatic|locking --out FILE [workload flags]
+//!                      [--adopt] [--lease-ms T] [--die-after-ms T]
 //! ```
 
 use std::path::PathBuf;
@@ -43,7 +44,8 @@ const USAGE: &str = "usage:
                        [--check] [--bench FILE]
   graphlab-node worker --machine M --peers HOST:PORT,... --run-id R
                        --engine chromatic|locking --out FILE
-                       [--vertices N] [--edges-per K] [--seed S] [--epsilon E]";
+                       [--vertices N] [--edges-per K] [--seed S] [--epsilon E]
+                       [--adopt] [--lease-ms T] [--die-after-ms T]";
 
 /// Pulls `--flag value` pairs out of `args`; unknown flags error.
 struct Flags<'a> {
@@ -59,7 +61,7 @@ impl<'a> Flags<'a> {
             if !known.contains(&flag) {
                 return Err(format!("unknown flag {flag:?}\n{USAGE}"));
             }
-            if flag == "--check" {
+            if flag == "--check" || flag == "--adopt" {
                 pairs.push((flag, "true"));
                 i += 1;
                 continue;
@@ -107,12 +109,20 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
         args,
         &[
             "--machine", "--peers", "--run-id", "--engine", "--out", "--vertices", "--edges-per",
-            "--seed", "--epsilon",
+            "--seed", "--epsilon", "--adopt", "--lease-ms", "--die-after-ms",
         ],
     )?;
     let machine: u16 = flags.require("--machine")?.parse().map_err(|e| format!("--machine: {e}"))?;
     let peers: Vec<String> =
         flags.require("--peers")?.split(',').map(str::to_string).collect();
+    let opt_ms = |flag: &str| -> Result<Option<std::time::Duration>, String> {
+        Ok(match flags.get(flag) {
+            Some(v) => Some(std::time::Duration::from_millis(
+                v.parse().map_err(|e| format!("{flag} {v:?}: {e}"))?,
+            )),
+            None => None,
+        })
+    };
     let opts = WorkerOpts {
         machine,
         peers,
@@ -120,6 +130,9 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
         engine: parse_engine(flags.require("--engine")?)?,
         workload: workload_from(&flags)?,
         out: PathBuf::from(flags.require("--out")?),
+        adopt: flags.get("--adopt").is_some(),
+        lease: opt_ms("--lease-ms")?,
+        die_after: opt_ms("--die-after-ms")?,
     };
     // From here the worker may block in mesh setup or the engine loop for
     // a while — SIGTERM/Ctrl-C must still tear it down cleanly.

@@ -16,7 +16,7 @@ use graphlab::baselines::mapreduce::{coem_mapreduce, pagerank_mapreduce, MapRedu
 use graphlab::baselines::mpi::coem_mpi;
 use graphlab::baselines::pregel::{PregelConfig, PregelEngine, PregelPageRank};
 use graphlab::core::{
-    EngineKind, FaultPlan, FaultTrigger, GraphLab, PartitionStrategy, SchedulerKind,
+    EngineKind, FaultPlan, FaultTrigger, GraphLab, PartitionStrategy, RecoveryMode, SchedulerKind,
     SnapshotConfig, SnapshotMode, SyncCadence,
 };
 use graphlab::graph::Coloring;
@@ -575,6 +575,103 @@ fn permanent_kill_fails_fast_on_both_engines() {
             start.elapsed() < std::time::Duration::from_secs(20),
             "{engine:?}: permanent kill must fail fast, took {:?}",
             start.elapsed()
+        );
+    }
+}
+
+/// ISSUE 8 acceptance: under [`RecoveryMode::Adopt`] a permanent kill is
+/// no longer fatal — the survivors adopt the dead machine's atoms
+/// (reloading them from the DFS ingress journals, overlaying the latest
+/// complete per-atom checkpoint) and reconverge to the undisturbed
+/// fixpoint with zero cluster rollbacks.
+#[test]
+fn permanent_kill_adopts_and_reconverges_on_both_engines() {
+    let base = web_graph(500, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+    let oracle = exact_pagerank(&base, 0.15, 200);
+
+    for (engine, kill_at) in [(EngineKind::Locking, 4_000u64), (EngineKind::Chromatic, 1_000)] {
+        let snapshot =
+            SnapshotConfig { mode: SnapshotMode::Synchronous, every_updates: 400, max_snapshots: 64 };
+
+        let mut undisturbed = base.clone();
+        init_ranks(&mut undisturbed);
+        GraphLab::on(&mut undisturbed)
+            .engine(engine)
+            .machines(8)
+            .latency(LatencyModel::ec2_like())
+            .snapshot(snapshot)
+            .run(pr.clone());
+        let base_ranks: Vec<f64> =
+            undisturbed.vertices().map(|v| *undisturbed.vertex_data(v)).collect();
+
+        let mut killed = base.clone();
+        init_ranks(&mut killed);
+        let out = GraphLab::on(&mut killed)
+            .engine(engine)
+            .machines(8)
+            .latency(LatencyModel::ec2_like())
+            .snapshot(snapshot)
+            .recovery(RecoveryMode::Adopt)
+            .faults(FaultPlan::seeded(1).kill(5, FaultTrigger::Deliveries(kill_at)))
+            .run(pr.clone());
+        assert!(
+            out.metrics.adoptions >= 1,
+            "{engine:?}: the permanent kill at delivery {kill_at} must trigger an adoption"
+        );
+        assert_eq!(
+            out.metrics.recoveries, 0,
+            "{engine:?}: adoption is restart-free — no rollback may run"
+        );
+        let killed_ranks: Vec<f64> = killed.vertices().map(|v| *killed.vertex_data(v)).collect();
+        let vs_base = l1_error(&killed_ranks, &base_ranks);
+        assert!(
+            vs_base < 1e-9,
+            "{engine:?}: adopted fixpoint drifted from the undisturbed run (L1 {vs_base})"
+        );
+        assert!(
+            l1_error(&killed_ranks, &oracle) < 1e-6,
+            "{engine:?}: adopted run diverged from the oracle"
+        );
+    }
+}
+
+/// ISSUE 8 acceptance: with the fabric's oracle `K_DOWN` suppressed,
+/// survivors learn of the same kill purely through lease expiry — the
+/// master declares the death when the victim's lease runs out and
+/// broadcasts the fabric-shaped notification itself — and recover through
+/// the identical adoption path.
+#[test]
+fn lease_expiry_detects_death_without_oracle() {
+    let base = web_graph(400, 4, 17);
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+    let oracle = exact_pagerank(&base, 0.15, 200);
+    for (engine, kill_at) in [(EngineKind::Locking, 3_000u64), (EngineKind::Chromatic, 800)] {
+        let mut g = base.clone();
+        init_ranks(&mut g);
+        let out = GraphLab::on(&mut g)
+            .engine(engine)
+            .machines(4)
+            .snapshot(SnapshotConfig {
+                mode: SnapshotMode::Synchronous,
+                every_updates: 400,
+                max_snapshots: 64,
+            })
+            .recovery(RecoveryMode::Adopt)
+            .lease(std::time::Duration::from_millis(200))
+            .faults(
+                FaultPlan::seeded(7).kill(2, FaultTrigger::Deliveries(kill_at)).without_oracle(),
+            )
+            .run(pr.clone());
+        assert!(
+            out.metrics.adoptions >= 1,
+            "{engine:?}: lease expiry must detect the silent death and trigger adoption"
+        );
+        assert_eq!(out.metrics.recoveries, 0, "{engine:?}: no rollback under adoption");
+        let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+        assert!(
+            l1_error(&ranks, &oracle) < 1e-6,
+            "{engine:?}: lease-recovered run diverged from the oracle"
         );
     }
 }

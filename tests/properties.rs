@@ -438,6 +438,32 @@ mod wire_codec {
             let reason: String = reason_bytes.into_iter().map(|b| b as u8 as char).collect();
             rt(RecoverAbortMsg { era, reason });
         }
+
+        /// ISSUE 8: the adoption order (`AdoptPlanMsg`) and ghost round
+        /// (`AdoptDataMsg`) roundtrip for arbitrary placements and rows.
+        #[test]
+        fn adoption_msgs_roundtrip(
+            era in 0u32..u32::MAX,
+            dead in proptest::collection::vec(0u32..u32::MAX, 0..6),
+            atoms in 1usize..64,
+            machines in 1usize..12,
+            snap in 0u64..u64::MAX,
+            has_snap in 0u32..2,
+            vrows in proptest::collection::vec((0u32..u32::MAX, arb_bytes()), 0..8),
+            erows in proptest::collection::vec((0u32..u32::MAX, arb_bytes()), 0..8),
+        ) {
+            rt(AdoptPlanMsg {
+                era,
+                dead: dead.into_iter().map(|d| d as u16).collect(),
+                placement: graphlab::atoms::placement::Placement::round_robin(atoms, machines),
+                snap: if has_snap == 1 { Some(snap) } else { None },
+            });
+            rt(AdoptDataMsg {
+                era,
+                vrows: vrows.into_iter().map(|(v, b)| (VertexId(v), b)).collect(),
+                erows: erows.into_iter().map(|(e, b)| (EdgeId(e), b)).collect(),
+            });
+        }
     }
 
     #[test]
@@ -678,7 +704,7 @@ mod recovery {
     use super::*;
     use graphlab::apps::pagerank::{exact_pagerank, init_ranks, l1_error, PageRank};
     use graphlab::core::{
-        EngineKind, FaultPlan, FaultTrigger, GraphLab, SnapshotConfig, SnapshotMode,
+        EngineKind, FaultPlan, FaultTrigger, GraphLab, RecoveryMode, SnapshotConfig, SnapshotMode,
     };
     use graphlab::workloads::web_graph;
     use std::time::Duration;
@@ -755,6 +781,114 @@ mod recovery {
                     );
                 }
             }
+        }
+
+        /// ISSUE 8: under [`RecoveryMode::Adopt`] a permanent kill (no
+        /// restart ever) reconverges through atom adoption — never a
+        /// rollback, never a failure — regardless of whether the kill
+        /// beat the first checkpoint (adoption degrades to journal-only).
+        #[test]
+        fn permanent_kills_adopt_and_reconverge(
+            graph_seed in 0u64..1_000,
+            plan_seed in 0u64..1_000,
+            engine_pick in 0u8..2,
+            victim in 1u16..3,
+            kill_frac in 0.05f64..0.45,
+            snap_every in 100u64..400,
+        ) {
+            let engine = if engine_pick == 0 { EngineKind::Locking } else { EngineKind::Chromatic };
+            let base = web_graph(120, 3, graph_seed);
+            let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+            let snapshot = SnapshotConfig {
+                mode: SnapshotMode::Synchronous,
+                every_updates: snap_every,
+                max_snapshots: 1_000,
+            };
+
+            let mut clean = base.clone();
+            init_ranks(&mut clean);
+            let clean_out = GraphLab::on(&mut clean)
+                .engine(engine)
+                .machines(3)
+                .snapshot(snapshot)
+                .run(pr.clone());
+            let clean_ranks: Vec<f64> = clean.vertices().map(|v| *clean.vertex_data(v)).collect();
+
+            let kill_at = ((clean_out.metrics.total_messages as f64 * kill_frac) as u64).max(10);
+            let mut chaos = base.clone();
+            init_ranks(&mut chaos);
+            let result = GraphLab::on(&mut chaos)
+                .engine(engine)
+                .machines(3)
+                .snapshot(snapshot)
+                .recovery(RecoveryMode::Adopt)
+                .faults(
+                    FaultPlan::seeded(plan_seed).kill(victim, FaultTrigger::Deliveries(kill_at)),
+                )
+                .try_run(pr.clone());
+            prop_assert!(
+                result.is_ok(),
+                "adoption must never fail the run: {:?}", result.as_ref().err()
+            );
+            let out = result.unwrap();
+            prop_assert!(
+                out.metrics.adoptions >= 1,
+                "kill at delivery {} of ~{} fired mid-run but no adoption happened",
+                kill_at, clean_out.metrics.total_messages
+            );
+            prop_assert_eq!(out.metrics.recoveries, 0, "adoption is restart-free");
+            let ranks: Vec<f64> = chaos.vertices().map(|v| *chaos.vertex_data(v)).collect();
+            let l1 = l1_error(&ranks, &clean_ranks);
+            prop_assert!(l1 < 1e-6, "adopted run diverged from the fault-free ranks (L1 {l1})");
+        }
+
+        /// ISSUE 8: a network partition that heals *within* the lease
+        /// period must cause zero false-positive deaths — no adoptions,
+        /// no rollbacks, same fixpoint — even with the fabric's oracle
+        /// disabled (lease expiry is the only death detector).
+        #[test]
+        fn partitions_healing_within_lease_cause_no_deaths(
+            graph_seed in 0u64..1_000,
+            plan_seed in 0u64..1_000,
+            engine_pick in 0u8..2,
+            cut_member in 1u16..3,
+            cut_at in 50u64..500,
+            cut_ms in 5u64..40,
+        ) {
+            let engine = if engine_pick == 0 { EngineKind::Locking } else { EngineKind::Chromatic };
+            let base = web_graph(120, 3, graph_seed);
+            let oracle = exact_pagerank(&base, 0.15, 200);
+            let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+
+            let mut g = base.clone();
+            init_ranks(&mut g);
+            let result = GraphLab::on(&mut g)
+                .engine(engine)
+                .machines(3)
+                .recovery(RecoveryMode::Adopt)
+                // Lease period 10–80× the stall: expiry would be a
+                // detector false positive, not a real death.
+                .lease(Duration::from_millis(400))
+                .faults(
+                    FaultPlan::seeded(plan_seed)
+                        .partition(
+                            &[cut_member],
+                            FaultTrigger::Deliveries(cut_at),
+                            FaultTrigger::Elapsed(Duration::from_millis(cut_ms)),
+                        )
+                        .without_oracle(),
+                )
+                .try_run(pr.clone());
+            prop_assert!(
+                result.is_ok(),
+                "a healed partition must not fail the run: {:?}", result.as_ref().err()
+            );
+            let out = result.unwrap();
+            prop_assert_eq!(out.metrics.adoptions, 0, "false-positive death adopted");
+            prop_assert_eq!(out.metrics.recoveries, 0, "false-positive death rolled back");
+            let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+            let l1 = l1_error(&ranks, &oracle);
+            prop_assert!(l1 < 1e-6, "partitioned run diverged from the oracle (L1 {l1})");
         }
     }
 }
