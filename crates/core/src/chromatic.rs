@@ -524,8 +524,11 @@ where
                     updates: self.cycle_updates,
                     pending: self.pending_total,
                 };
-                let kind = if phase == 0 { K_CHROM_FLUSH_A } else { K_CHROM_FLUSH_B };
-                self.send_msg(MachineId::from(j), kind, enc(&msg));
+                self.send_msg(
+                    MachineId::from(j),
+                    if phase == 0 { K_CHROM_FLUSH_A } else { K_CHROM_FLUSH_B },
+                    enc(&msg),
+                );
             }
         }
         loop {
@@ -966,6 +969,7 @@ where
                 }
                 if me == 0 && order.is_none() && self.rec.all_ready() {
                     let survivors = self.rec.survivors();
+                    // lint: allow(survivor-barrier) -- not a barrier: comparing the live count to the full roster is how permanent deaths are detected (adopt vs rollback)
                     order = if survivors < self.num_machines() {
                         // Permanent deaths under Adopt mode (Rollback
                         // aborts on them long before READY collection).

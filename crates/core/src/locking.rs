@@ -1768,6 +1768,7 @@ where
             // A non-empty dead set (possible only under Adopt mode — any
             // other mode aborts on the K_DOWN) means restart-free
             // adoption; a full cluster rolls back to the checkpoint.
+            // lint: allow(survivor-barrier) -- not a barrier: comparing the live count to the full roster is how permanent deaths are detected (adopt vs rollback)
             if self.rec.survivors() < self.num_machines() {
                 self.master_order_adoption();
             } else {

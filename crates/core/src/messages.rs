@@ -53,6 +53,57 @@ use graphlab_net::termination::Token;
 //
 // lint: kind-map core = 1..=63 gaps 36, 38..=39
 // lint: kind-map net = 65531..=65535
+//
+// Per-kind handler provenance — ground truth for `graphlab-lint`'s
+// msg-flow check. Each `kind` line declares the file(s) that legitimately
+// *receive* that kind; the check then proves every declared file still
+// contains a live handler site (match arm, guard, or kind comparison) and
+// that the kind has at least one non-test send site. Deleting a handler
+// arm — or adding a kind without declaring who handles it — turns CI red.
+// The net crate's transport kinds are declared here too so the whole wire
+// protocol reads from one table.
+//
+// lint: kind K_CHROM_VDATA handlers: chromatic.rs
+// lint: kind K_CHROM_EDATA handlers: chromatic.rs
+// lint: kind K_CHROM_WB_V handlers: chromatic.rs
+// lint: kind K_CHROM_WB_E handlers: chromatic.rs
+// lint: kind K_CHROM_SCHED handlers: chromatic.rs
+// lint: kind K_CHROM_FLUSH_A handlers: chromatic.rs
+// lint: kind K_CHROM_FLUSH_B handlers: chromatic.rs
+// lint: kind K_CHROM_SYNC_PART handlers: chromatic.rs
+// lint: kind K_CHROM_SYNC_GLOB handlers: chromatic.rs
+// lint: kind K_CHROM_SNAP_DONE handlers: chromatic.rs
+// lint: kind K_CHROM_SNAP_RESUME handlers: chromatic.rs
+// lint: kind K_LOCK_REQ handlers: locking.rs
+// lint: kind K_SCOPE_DATA handlers: locking.rs
+// lint: kind K_RELEASE handlers: locking.rs
+// lint: kind K_LOCK_SCHED handlers: locking.rs
+// lint: kind K_TOKEN handlers: locking.rs
+// lint: kind K_HALT handlers: locking.rs
+// lint: kind K_HALT_ACK handlers: locking.rs
+// lint: kind K_LSYNC_PART handlers: locking.rs
+// lint: kind K_LSYNC_GLOB handlers: locking.rs
+// lint: kind K_LSYNC_REQ handlers: locking.rs
+// lint: kind K_SNAP_SYNC_START handlers: locking.rs
+// lint: kind K_SNAP_SYNC_READY handlers: locking.rs
+// lint: kind K_SNAP_SYNC_FLUSH handlers: locking.rs
+// lint: kind K_SNAP_DONE handlers: locking.rs
+// lint: kind K_SNAP_RESUME handlers: locking.rs
+// lint: kind K_SNAP_ASYNC_START handlers: locking.rs
+// lint: kind K_SNAP_ASYNC_MDONE handlers: locking.rs
+// lint: kind K_RECOVER_READY handlers: chromatic.rs, locking.rs
+// lint: kind K_ROLLBACK handlers: chromatic.rs, locking.rs
+// lint: kind K_RECOVERED handlers: chromatic.rs, locking.rs
+// lint: kind K_RESUME handlers: chromatic.rs, locking.rs
+// lint: kind K_RECOVER_ABORT handlers: chromatic.rs, locking.rs
+// lint: kind K_FLUSH_MARK handlers: chromatic.rs, locking.rs
+// lint: kind K_ADOPT_PLAN handlers: chromatic.rs, locking.rs
+// lint: kind K_ADOPT_DATA handlers: chromatic.rs, locking.rs
+// lint: kind K_BATCH handlers: batch.rs
+// lint: kind K_ZIP handlers: batch.rs
+// lint: kind K_DOWN handlers: chromatic.rs, locking.rs, batch.rs
+// lint: kind K_UP handlers: chromatic.rs, locking.rs
+// lint: kind K_LEASE handlers: batch.rs
 
 /// Chromatic: vertex ghost update (owner → mirror).
 pub const K_CHROM_VDATA: u16 = 1;

@@ -313,7 +313,7 @@ pub(crate) fn apply_file<V: Codec, E: Codec>(
 /// demand every atom without special-casing atoms that own nothing. Rows
 /// of foreign atoms (the asynchronous snapshot saves ghost-edge data on
 /// whichever side snapshots first) are written as *ghost* files
-/// ([`ghost_snap_file_name`]): restored like any other, but invisible to
+/// (`ghost_snap_file_name`): restored like any other, but invisible to
 /// completeness counting, so they can never mark a dead owner's atom as
 /// checkpointed.
 pub fn write_snapshot_atoms<V, E>(

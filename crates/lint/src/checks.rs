@@ -1,12 +1,16 @@
-//! The five protocol-invariant checks.
+//! The protocol-invariant checks.
 //!
 //! Each check walks the token streams of a [`Workspace`] and pushes
 //! [`Finding`]s; suppression handling and ordering live in
-//! [`crate::run_checks`].
+//! [`crate::run_checks`]. Checks 1–5 are token-level scans; checks 6–9
+//! (msg-flow, era-fencing, survivor-barrier, fenced-send) are
+//! protocol-flow analyses over the [`crate::parser::ItemMap`] item
+//! structure.
 
 use std::collections::BTreeMap;
 
 use crate::lexer::{Tok, TokKind};
+use crate::parser::{close_delim, ItemMap};
 use crate::source::{SourceFile, Workspace};
 use crate::Finding;
 
@@ -692,6 +696,558 @@ pub fn check_unsafe_hygiene(ws: &Workspace, out: &mut Vec<Finding>) {
                     t,
                     "`unsafe` without a `// SAFETY:` comment — state the invariant that \
                      makes this sound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- checks 6-9 shared
+
+/// The punct char of the code token at `w`, if in range and a punct.
+fn punct_at(toks: &[Tok], code: &[usize], w: isize) -> Option<char> {
+    if w < 0 || w as usize >= code.len() {
+        return None;
+    }
+    match toks[code[w as usize]].kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Whether the code token at `w` is immediately preceded by a comparison
+/// operator (`<`, `>`, `<=`, `>=`, `==`, `!=`). Multi-char operators
+/// arrive as consecutive single puncts; the match-arm arrow `=>` is not a
+/// comparison.
+fn cmp_before(toks: &[Tok], code: &[usize], w: usize) -> bool {
+    let p1 = punct_at(toks, code, w as isize - 1);
+    let p2 = punct_at(toks, code, w as isize - 2);
+    match p1 {
+        Some('<') => true,
+        Some('>') => p2 != Some('='), // `=>` arrow
+        Some('=') => matches!(p2, Some('=') | Some('!') | Some('<') | Some('>')),
+        _ => false,
+    }
+}
+
+/// Whether the code token at `w` is immediately followed by a comparison
+/// operator.
+fn cmp_after(toks: &[Tok], code: &[usize], w: usize) -> bool {
+    let n1 = punct_at(toks, code, w as isize + 1);
+    let n2 = punct_at(toks, code, w as isize + 2);
+    match n1 {
+        Some('<') | Some('>') => true,
+        Some('=') | Some('!') => n2 == Some('='),
+        _ => false,
+    }
+}
+
+/// Whether the span `lo..=hi` of code tokens has `==`/`!=` immediately on
+/// either side (equality tests only — used for kind-comparison handler
+/// sites).
+fn eq_adjacent(toks: &[Tok], code: &[usize], lo: usize, hi: usize) -> bool {
+    let p1 = punct_at(toks, code, lo as isize - 1);
+    let p2 = punct_at(toks, code, lo as isize - 2);
+    let n1 = punct_at(toks, code, hi as isize + 1);
+    let n2 = punct_at(toks, code, hi as isize + 2);
+    (p1 == Some('=') && matches!(p2, Some('=') | Some('!')))
+        || (matches!(n1, Some('=') | Some('!')) && n2 == Some('='))
+}
+
+/// Walks back over a `seg :: seg ::` path prefix from the code token at
+/// `w`; returns the code index of the path's first segment.
+fn path_start(toks: &[Tok], code: &[usize], w: usize) -> usize {
+    let mut s = w;
+    while s >= 3
+        && toks[code[s - 1]].is_punct(':')
+        && toks[code[s - 2]].is_punct(':')
+        && toks[code[s - 3]].kind == TokKind::Ident
+    {
+        s -= 3;
+    }
+    s
+}
+
+// ---------------------------------------------------------------- check 6
+
+/// Whether a callee name is a send-shaped call for the msg-flow check: a
+/// kind constant in its argument list is a send site.
+fn is_sendish(name: &str) -> bool {
+    name.contains("send") || name.contains("broadcast") || name == "put" || name == "put_wire"
+}
+
+/// Message send/handler cross-reference. Ground truth is the per-kind
+/// `// lint: kind K_X handlers: <file.rs>[, ..]` declarations next to the
+/// kind registry: every registered kind must carry one, every declared
+/// handler file must actually contain a handler site (match arm, guard, or
+/// `==`/`!=` kind comparison) for that kind, and every kind must have at
+/// least one non-test send site (a `*send*`/`*broadcast*`/`put`/`put_wire`
+/// call carrying it, or a `kind: K_X` struct-literal field). Removing a
+/// handler arm for a declared kind turns this check red.
+pub fn check_msg_flow(ws: &Workspace, out: &mut Vec<Finding>) {
+    // Kind definitions (non-test `pub const K_*: u16`).
+    struct Def {
+        file: usize,
+        tok: usize,
+        name: String,
+    }
+    let mut defs: Vec<Def> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let (src, toks) = (&f.text, &f.toks);
+        let code: Vec<usize> =
+            (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+        for w in 0..code.len().saturating_sub(3) {
+            let [a, b, c, d] = [code[w], code[w + 1], code[w + 2], code[w + 3]];
+            if toks[a].is_ident(src, "pub")
+                && toks[b].is_ident(src, "const")
+                && toks[c].kind == TokKind::Ident
+                && toks[c].text(src).starts_with("K_")
+                && toks[d].is_punct(':')
+                && !f.in_test_code(toks[c].start)
+            {
+                defs.push(Def { file: fi, tok: c, name: toks[c].text(src).to_string() });
+            }
+        }
+    }
+
+    // Handler-provenance declarations; duplicates and unknown kinds are
+    // findings themselves.
+    let mut decls: BTreeMap<String, (usize, crate::source::KindFlow)> = BTreeMap::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for d in &f.kind_flows {
+            if let Some((pfi, prev)) = decls.get(&d.kind) {
+                out.push(Finding {
+                    check: "msg-flow",
+                    path: f.path.clone(),
+                    line: d.line,
+                    col: 1,
+                    message: format!(
+                        "duplicate `kind {}` declaration (first at {}:{})",
+                        d.kind, ws.files[*pfi].path, prev.line
+                    ),
+                });
+            } else {
+                decls.insert(d.kind.clone(), (fi, d.clone()));
+            }
+        }
+    }
+    for (name, (fi, d)) in &decls {
+        if !defs.iter().any(|k| &k.name == name) {
+            out.push(Finding {
+                check: "msg-flow",
+                path: ws.files[*fi].path.clone(),
+                line: d.line,
+                col: 1,
+                message: format!(
+                    "`kind {name}` declaration names a kind constant that is not defined \
+                     anywhere in the workspace"
+                ),
+            });
+        }
+    }
+
+    // Site scan: handler evidence per (file, kind) and global send evidence.
+    let known = |name: &str| defs.iter().any(|d| d.name == name);
+    let mut handled: std::collections::BTreeSet<(usize, String)> = Default::default();
+    let mut sent: std::collections::BTreeSet<String> = Default::default();
+    for (fi, f) in ws.files.iter().enumerate() {
+        let (src, toks) = (&f.text, &f.toks);
+        let im = ItemMap::build(toks, src);
+        let code = &im.code;
+        for w in 0..code.len() {
+            let t = &toks[code[w]];
+            if t.kind != TokKind::Ident || f.in_test_code(t.start) {
+                continue;
+            }
+            let text = t.text(src);
+            if text.starts_with("K_") && known(text) {
+                let lo = path_start(toks, code, w);
+                // Handler site: match-arm pattern/guard, or kind equality.
+                if im.in_arm_pattern(w) || eq_adjacent(toks, code, lo, w) {
+                    handled.insert((fi, text.to_string()));
+                    continue;
+                }
+                // Send site: `kind: K_X` struct-literal field.
+                if punct_at(toks, code, lo as isize - 1) == Some(':')
+                    && punct_at(toks, code, lo as isize - 2) != Some(':')
+                    && lo >= 2
+                    && toks[code[lo - 2]].is_ident(src, "kind")
+                {
+                    sent.insert(text.to_string());
+                }
+            } else if is_sendish(text) && punct_at(toks, code, w as isize + 1) == Some('(') {
+                // Send site: kind constants in a send-shaped call's args.
+                let close = close_delim(toks, code, w + 1, '(', ')');
+                for k in w + 2..close {
+                    let a = &toks[code[k]];
+                    if a.kind == TokKind::Ident {
+                        let at = a.text(src);
+                        if at.starts_with("K_") && known(at) {
+                            sent.insert(at.to_string());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Every registered kind needs a declaration, live handler files, and a
+    // send site.
+    for d in &defs {
+        let f = &ws.files[d.file];
+        let t = &f.toks[d.tok];
+        let Some((dfi, decl)) = decls.get(&d.name) else {
+            out.push(finding(
+                "msg-flow",
+                f,
+                t,
+                format!(
+                    "kind `{}` has no handler declaration — add \
+                     `// lint: kind {} handlers: <file.rs>[, ..]` naming where it is \
+                     legitimately received",
+                    d.name, d.name
+                ),
+            ));
+            continue;
+        };
+        let decl_path = ws.files[*dfi].path.clone();
+        for h in &decl.handlers {
+            let suffix = format!("/{h}");
+            match ws.files.iter().position(|f| f.path.ends_with(&suffix) || &f.path == h) {
+                None => out.push(Finding {
+                    check: "msg-flow",
+                    path: decl_path.clone(),
+                    line: decl.line,
+                    col: 1,
+                    message: format!(
+                        "kind `{}` declares handler file `{h}`, which is not in the workspace",
+                        d.name
+                    ),
+                }),
+                Some(hfi) => {
+                    if !handled.contains(&(hfi, d.name.clone())) {
+                        out.push(Finding {
+                            check: "msg-flow",
+                            path: decl_path.clone(),
+                            line: decl.line,
+                            col: 1,
+                            message: format!(
+                                "kind `{}` is declared handled in `{h}` but no match arm, \
+                                 guard, or kind comparison references it there — dropped \
+                                 handler or stale declaration",
+                                d.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if !sent.contains(&d.name) {
+            out.push(finding(
+                "msg-flow",
+                f,
+                t,
+                format!(
+                    "kind `{}` is handled but never sent: no non-test \
+                     send/broadcast/put/put_wire call or `kind:` struct field carries it",
+                    d.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------- check 7
+
+/// Wire messages that carry a fault-era field: stale copies from a
+/// previous era must be fenced before they mutate engine state.
+const ERA_MSG_TYPES: &[&str] = &[
+    "RecoverReadyMsg",
+    "RollbackMsg",
+    "RecoverEraMsg",
+    "AdoptPlanMsg",
+    "AdoptDataMsg",
+    "DownMsg",
+    "UpMsg",
+];
+
+/// RecoveryTracker entry points that perform the era comparison
+/// internally — calling one counts as fencing.
+const ERA_FENCE_CALLS: &[&str] = &["observe_era", "note_ready", "note_mark", "note_recovered"];
+
+/// Era-fencing: any non-test code that decodes an era-carrying
+/// recovery/adoption message must compare its era against the current
+/// fault era (or call a RecoveryTracker fence) before acting — either
+/// directly in the surrounding arm/fn body, or one delegation hop away in
+/// a same-file fn the decoded value is passed to.
+pub fn check_era_fencing(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !f.path.contains("/src/") {
+            continue;
+        }
+        let (src, toks) = (&f.text, &f.toks);
+        let im = ItemMap::build(toks, src);
+        let code = &im.code;
+        for w in 0..code.len() {
+            let t = &toks[code[w]];
+            if t.kind != TokKind::Ident || f.in_test_code(t.start) {
+                continue;
+            }
+            let name = t.text(src);
+            if name != "dec" && name != "decode_from" {
+                continue;
+            }
+            let Some((ty, binding)) = decode_type(toks, src, code, w) else { continue };
+            if !ERA_MSG_TYPES.contains(&ty) {
+                continue;
+            }
+            let region = im
+                .innermost_arm(w)
+                .map(|a| a.body)
+                .or_else(|| im.enclosing_fn(w).map(|x| x.body));
+            let Some(region) = region else { continue };
+            if has_era_evidence(toks, src, code, region)
+                || delegated_fence(&im, toks, src, binding, region)
+            {
+                continue;
+            }
+            out.push(finding(
+                "era-fencing",
+                f,
+                t,
+                format!(
+                    "decodes era-carrying `{ty}` without comparing its era against the \
+                     current fault era (or calling a RecoveryTracker fence such as \
+                     `observe_era`) before acting on it — a stale pre-rollback copy \
+                     would corrupt engine state"
+                ),
+            ));
+        }
+    }
+}
+
+/// For a decode callee at code index `w`, resolves the decoded type and
+/// (when let-bound) the binding name. Handles `let [mut] b: T =
+/// [path::]dec(..)`, `T::decode_from(..)`, and `dec::<T>(..)`. Returns
+/// `None` when no call follows or no type is recoverable.
+fn decode_type<'a>(
+    toks: &'a [Tok],
+    src: &'a str,
+    code: &[usize],
+    w: usize,
+) -> Option<(&'a str, Option<&'a str>)> {
+    let mut ty: Option<&str> = None;
+    if punct_at(toks, code, w as isize + 1) == Some(':')
+        && punct_at(toks, code, w as isize + 2) == Some(':')
+        && punct_at(toks, code, w as isize + 3) == Some('<')
+        && w + 4 < code.len()
+        && toks[code[w + 4]].kind == TokKind::Ident
+    {
+        ty = Some(toks[code[w + 4]].text(src)); // turbofish
+    } else if punct_at(toks, code, w as isize + 1) != Some('(') {
+        return None; // not a call
+    }
+    let start = path_start(toks, code, w);
+    if ty.is_none() && start < w {
+        // `T::decode_from(..)` — the path's first segment is the type.
+        ty = Some(toks[code[start]].text(src));
+    }
+    let mut binding: Option<&str> = None;
+    if punct_at(toks, code, start as isize - 1) == Some('=') && start >= 2 {
+        let annotated = start >= 4
+            && toks[code[start - 2]].kind == TokKind::Ident
+            && punct_at(toks, code, start as isize - 3) == Some(':')
+            && punct_at(toks, code, start as isize - 4) != Some(':');
+        if annotated {
+            if ty.is_none() {
+                ty = Some(toks[code[start - 2]].text(src));
+            }
+            if toks[code[start - 4]].kind == TokKind::Ident {
+                binding = Some(toks[code[start - 4]].text(src));
+            }
+        } else if toks[code[start - 2]].kind == TokKind::Ident {
+            binding = Some(toks[code[start - 2]].text(src));
+        }
+    }
+    ty.map(|t| (t, binding))
+}
+
+/// Direct fencing evidence in a code-token span: an `era` ident adjacent
+/// to a comparison, or a call to a RecoveryTracker fence method.
+fn has_era_evidence(toks: &[Tok], src: &str, code: &[usize], span: (usize, usize)) -> bool {
+    let hi = span.1.min(code.len().saturating_sub(1));
+    for j in span.0..=hi {
+        let t = &toks[code[j]];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let x = t.text(src);
+        if x == "era" && (cmp_before(toks, code, j) || cmp_after(toks, code, j)) {
+            return true;
+        }
+        if ERA_FENCE_CALLS.contains(&x) && punct_at(toks, code, j as isize + 1) == Some('(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// One-hop delegation: a call inside `span` that receives the decoded
+/// binding and resolves to a same-file fn whose body has direct fencing
+/// evidence.
+fn delegated_fence(
+    im: &ItemMap,
+    toks: &[Tok],
+    src: &str,
+    binding: Option<&str>,
+    span: (usize, usize),
+) -> bool {
+    let Some(b) = binding else { return false };
+    let code = &im.code;
+    let hi = span.1.min(code.len().saturating_sub(1));
+    for j in span.0..=hi {
+        let t = &toks[code[j]];
+        if t.kind != TokKind::Ident || punct_at(toks, code, j as isize + 1) != Some('(') {
+            continue;
+        }
+        let callee = t.text(src);
+        if callee == "dec" || callee == "decode_from" {
+            continue;
+        }
+        let close = close_delim(toks, code, j + 1, '(', ')');
+        if !(j + 2..close).any(|k| toks[code[k]].is_ident(src, b)) {
+            continue;
+        }
+        if let Some(fs) = im.fns.iter().find(|f| f.name == callee) {
+            if has_era_evidence(toks, src, code, fs.body) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- check 8
+
+/// Files whose barrier/quorum logic must count live membership.
+const BARRIER_FILES: &[&str] = &[
+    "crates/core/src/chromatic.rs",
+    "crates/core/src/locking.rs",
+    "crates/core/src/recovery.rs",
+];
+
+/// Survivor-aware barriers: in recovery-bearing engine files, comparing a
+/// counter against the static machine count `num_machines()` (directly or
+/// through a `let n = self.num_machines();` alias) is a barrier that dead
+/// machines can never satisfy — count `survivors()`/live membership
+/// instead. Ranges (`0..n`) and arithmetic uses are fine.
+pub fn check_survivor_barrier(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !BARRIER_FILES.iter().any(|p| f.path.ends_with(p)) {
+            continue;
+        }
+        let (src, toks) = (&f.text, &f.toks);
+        let im = ItemMap::build(toks, src);
+        let code = &im.code;
+        for w in 0..code.len() {
+            let t = &toks[code[w]];
+            if !t.is_ident(src, "num_machines") || f.in_test_code(t.start) {
+                continue;
+            }
+            if punct_at(toks, code, w as isize + 1) != Some('(')
+                || punct_at(toks, code, w as isize + 2) != Some(')')
+            {
+                continue;
+            }
+            // Receiver chain start (`self . rec . num_machines` etc.).
+            let mut rs = w;
+            while rs >= 2
+                && punct_at(toks, code, rs as isize - 1) == Some('.')
+                && toks[code[rs - 2]].kind == TokKind::Ident
+            {
+                rs -= 2;
+            }
+            // Rule A: the call itself sits next to a comparison.
+            if cmp_before(toks, code, rs) || cmp_after(toks, code, w + 2) {
+                out.push(finding(
+                    "survivor-barrier",
+                    f,
+                    t,
+                    "barrier/quorum comparison against static `num_machines()` — dead \
+                     machines never vote, so this can hang after a failure; count \
+                     `survivors()`/live membership instead"
+                        .to_string(),
+                ));
+                continue;
+            }
+            // Rule B: `let [mut] n = self.num_machines();` then a
+            // comparator-adjacent use of `n` in the same fn.
+            if punct_at(toks, code, rs as isize - 1) == Some('=')
+                && punct_at(toks, code, w as isize + 3) == Some(';')
+                && rs >= 2
+                && toks[code[rs - 2]].kind == TokKind::Ident
+            {
+                let alias = toks[code[rs - 2]].text(src);
+                let Some(fs) = im.enclosing_fn(w) else { continue };
+                let hi = fs.body.1.min(code.len().saturating_sub(1));
+                for j in fs.body.0..=hi {
+                    let u = &toks[code[j]];
+                    if u.is_ident(src, alias)
+                        && (cmp_before(toks, code, j) || cmp_after(toks, code, j))
+                    {
+                        out.push(finding(
+                            "survivor-barrier",
+                            f,
+                            u,
+                            format!(
+                                "barrier/quorum comparison against `{alias}` (aliased from \
+                                 `num_machines()`) — dead machines never vote, so this can \
+                                 hang after a failure; count `survivors()`/live membership \
+                                 instead"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- check 9
+
+/// Fenced sends: engine/transport code must not call `Endpoint::send`
+/// directly — the Batcher's `put`/`put_wire` path applies the fenced-mask
+/// that drops traffic to dead destinations. Direct `ep.send(..)` outside
+/// that path can resurrect a fenced machine's state.
+pub fn check_fenced_send(ws: &Workspace, out: &mut Vec<Finding>) {
+    for f in &ws.files {
+        if !(f.path.starts_with("crates/net/src/") || f.path.starts_with("crates/core/src/")) {
+            continue;
+        }
+        let (src, toks) = (&f.text, &f.toks);
+        let code: Vec<usize> =
+            (0..toks.len()).filter(|&i| toks[i].kind != TokKind::Comment).collect();
+        for w in 0..code.len() {
+            let t = &toks[code[w]];
+            if !t.is_ident(src, "send") || f.in_test_code(t.start) {
+                continue;
+            }
+            if punct_at(toks, &code, w as isize + 1) != Some('(')
+                || punct_at(toks, &code, w as isize - 1) != Some('.')
+                || w < 2
+            {
+                continue;
+            }
+            let recv = toks[code[w - 2]].text(src);
+            if recv == "ep" || recv == "endpoint" {
+                out.push(finding(
+                    "fenced-send",
+                    f,
+                    t,
+                    "direct `Endpoint::send` bypasses the Batcher's fenced-mask path — \
+                     dead destinations must stay fenced; route through `put`/`put_wire` \
+                     or annotate why this site is fence-exempt"
                         .to_string(),
                 ));
             }

@@ -25,6 +25,37 @@
 //!    `recv_timeout` so recovery can interrupt waits.
 //! 5. **`unsafe-hygiene`** — every `unsafe` carries a `SAFETY:` comment.
 //!
+//! Four further checks are protocol-*flow* analyses, built on a
+//! lightweight item-structure layer ([`parser`]: fn/match-arm spans, call
+//! sites — no full Rust grammar):
+//!
+//! 6. **`msg-flow`** — per-kind send/handler cross-reference. Next to the
+//!    kind registry, each kind declares where it is received:
+//!
+//!    ```text
+//!    // lint: kind K_ROLLBACK handlers: chromatic.rs, locking.rs
+//!    ```
+//!
+//!    Every registered kind must carry such a declaration; every declared
+//!    handler file must contain a live handler site for the kind (a
+//!    match-arm pattern, guard, or `==`/`!=` kind comparison); and every
+//!    kind must have at least one non-test send site (a
+//!    send/broadcast/`put`/`put_wire` call carrying it, or a `kind: K_X`
+//!    struct-literal field). Deleting a handler arm turns CI red.
+//! 7. **`era-fencing`** — any non-test code that decodes an era-carrying
+//!    recovery/adoption message (`RollbackMsg`, `AdoptPlanMsg`, `DownMsg`,
+//!    ...) must compare its era against the current fault era — or call a
+//!    `RecoveryTracker` fence (`observe_era`, `note_ready`, ...) — before
+//!    acting, either in the surrounding arm/fn body or one delegation hop
+//!    away in a same-file fn that receives the decoded value.
+//! 8. **`survivor-barrier`** — in `core/src/{chromatic,locking,recovery}.rs`,
+//!    barrier/quorum comparisons must count `survivors()`/live membership,
+//!    never the static `num_machines()` (directly or via a `let n =`
+//!    alias). Ranges and arithmetic uses of `n` are fine.
+//! 9. **`fenced-send`** — engine/transport code never calls
+//!    `Endpoint::send` directly; the Batcher's `put`/`put_wire` path owns
+//!    the fenced-mask that keeps dead destinations dark.
+//!
 //! Legitimate sites are annotated in place:
 //!
 //! ```text
@@ -42,14 +73,24 @@
 
 pub mod checks;
 pub mod lexer;
+pub mod parser;
 pub mod source;
 
 pub use source::{SourceFile, Workspace};
 
-/// The five enforced checks (suppressible); the `lint-allow` meta-check
+/// The nine enforced checks (suppressible); the `lint-allow` meta-check
 /// guards the suppressions themselves and is always on.
-pub const CHECKS: &[&str] =
-    &["kind-registry", "determinism", "codec-xref", "blocking-recv", "unsafe-hygiene"];
+pub const CHECKS: &[&str] = &[
+    "kind-registry",
+    "determinism",
+    "codec-xref",
+    "blocking-recv",
+    "unsafe-hygiene",
+    "msg-flow",
+    "era-fencing",
+    "survivor-barrier",
+    "fenced-send",
+];
 
 /// One diagnostic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -84,6 +125,10 @@ pub fn run_checks(ws: &Workspace, active: &[&str]) -> Vec<Finding> {
             "codec-xref" => checks::check_codec_xref(ws, &mut raw),
             "blocking-recv" => checks::check_blocking_recv(ws, &mut raw),
             "unsafe-hygiene" => checks::check_unsafe_hygiene(ws, &mut raw),
+            "msg-flow" => checks::check_msg_flow(ws, &mut raw),
+            "era-fencing" => checks::check_era_fencing(ws, &mut raw),
+            "survivor-barrier" => checks::check_survivor_barrier(ws, &mut raw),
+            "fenced-send" => checks::check_fenced_send(ws, &mut raw),
             other => panic!("unknown check {other:?}"),
         }
     }

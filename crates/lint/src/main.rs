@@ -7,11 +7,12 @@ use std::process::ExitCode;
 use graphlab_lint::{find_workspace_root, run_checks, Workspace, CHECKS};
 
 fn usage() -> &'static str {
-    "usage: graphlab-lint [--workspace | <path>..] [--check <name>].. [--list-checks]\n\
+    "usage: graphlab-lint [--workspace | <path>..] [--check <name>].. [--json <file>] [--list-checks]\n\
      \n\
      --workspace     lint the enclosing cargo workspace (finds the root from cwd)\n\
      <path>          lint all .rs files under the given root(s) instead\n\
      --check <name>  run only the named check (repeatable)\n\
+     --json <file>   also write per-check finding counts as JSON (BENCH_lint style)\n\
      --list-checks   print the check names and exit\n\
      \n\
      Exit status: 0 when clean, 1 on findings, 2 on usage/setup errors."
@@ -22,10 +23,18 @@ fn main() -> ExitCode {
     let mut roots: Vec<PathBuf> = Vec::new();
     let mut workspace = false;
     let mut active: Vec<&'static str> = Vec::new();
+    let mut json_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json needs a file path");
+                    return ExitCode::from(2);
+                }
+            },
             "--list-checks" => {
                 for c in CHECKS {
                     println!("{c}");
@@ -74,6 +83,8 @@ fn main() -> ExitCode {
     }
 
     let mut total = 0usize;
+    let mut per_check: Vec<(&'static str, usize)> =
+        active.iter().map(|&c| (c, 0usize)).chain([("lint-allow", 0usize)]).collect();
     for root in &roots {
         let ws = match Workspace::load(root) {
             Ok(ws) => ws,
@@ -85,8 +96,26 @@ fn main() -> ExitCode {
         let findings = run_checks(&ws, &active);
         for f in &findings {
             println!("{f}");
+            if let Some(e) = per_check.iter_mut().find(|(c, _)| *c == f.check) {
+                e.1 += 1;
+            }
         }
         total += findings.len();
+    }
+    if let Some(path) = &json_path {
+        // Hand-rolled JSON (the crate is dependency-free); check names are
+        // plain ASCII identifiers, no escaping needed.
+        let checks: Vec<String> =
+            per_check.iter().map(|(c, n)| format!("\"{c}\": {n}")).collect();
+        let doc = format!(
+            "{{\n  \"schema\": \"graphlab-lint-v1\",\n  \"checks\": {{ {} }},\n  \
+             \"total\": {total}\n}}\n",
+            checks.join(", ")
+        );
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("graphlab-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
     if total == 0 {
         eprintln!(

@@ -45,6 +45,20 @@ impl KindMap {
     }
 }
 
+/// A parsed `// lint: kind K_NAME handlers: <file.rs>[, <file.rs>..]`
+/// declaration — the per-kind handler provenance the msg-flow check
+/// cross-references send sites and handler arms against.
+#[derive(Clone, Debug)]
+pub struct KindFlow {
+    /// The kind constant's name (`K_*`).
+    pub kind: String,
+    /// Basenames of the files that legitimately receive this kind (e.g.
+    /// `chromatic.rs`); matched against workspace paths by suffix.
+    pub handlers: Vec<String>,
+    /// Declaration site.
+    pub line: u32,
+}
+
 /// A malformed `// lint:` comment (bad directives must not pass silently).
 #[derive(Clone, Debug)]
 pub struct BadDirective {
@@ -66,6 +80,8 @@ pub struct SourceFile {
     pub suppressions: Vec<Suppression>,
     /// Kind-map declarations in this file.
     pub kind_maps: Vec<KindMap>,
+    /// Per-kind handler declarations in this file.
+    pub kind_flows: Vec<KindFlow>,
     /// Unparseable `lint:` directives.
     pub bad_directives: Vec<BadDirective>,
     /// Byte ranges covered by `#[cfg(test)]` items.
@@ -84,6 +100,7 @@ impl SourceFile {
             toks,
             suppressions: Vec::new(),
             kind_maps: Vec::new(),
+            kind_flows: Vec::new(),
             bad_directives: Vec::new(),
             test_ranges: Vec::new(),
         };
@@ -144,11 +161,20 @@ impl SourceFile {
                     }
                     Err(message) => self.bad_directives.push(BadDirective { message, line }),
                 }
+            } else if let Some(rest) = body.strip_prefix("kind") {
+                // Checked after `kind-map`, whose prefix this overlaps.
+                match parse_kind_flow(rest) {
+                    Ok((kind, handlers)) => {
+                        self.kind_flows.push(KindFlow { kind, handlers, line })
+                    }
+                    Err(message) => self.bad_directives.push(BadDirective { message, line }),
+                }
             } else {
                 self.bad_directives.push(BadDirective {
                     message: format!(
-                        "unknown lint directive {body:?} (expected `allow(<check>) -- <reason>` \
-                         or `kind-map <crate> = <lo>..=<hi> [gaps ..]`)"
+                        "unknown lint directive {body:?} (expected `allow(<check>) -- <reason>`, \
+                         `kind-map <crate> = <lo>..=<hi> [gaps ..]`, or \
+                         `kind K_NAME handlers: <file.rs>, ..`)"
                     ),
                     line,
                 });
@@ -309,6 +335,36 @@ fn parse_range(s: &str) -> Option<(u64, u64)> {
     Some((a.trim().parse().ok()?, b.trim().parse().ok()?))
 }
 
+/// Parses `K_NAME handlers: <file.rs>[, <file.rs>..]` (the tail of
+/// `kind`).
+fn parse_kind_flow(rest: &str) -> Result<(String, Vec<String>), String> {
+    let rest = rest.trim();
+    let (kind, files) = rest
+        .split_once("handlers:")
+        .ok_or_else(|| "kind declaration missing `handlers:`".to_string())?;
+    let kind = kind.trim().to_string();
+    if !kind.starts_with("K_")
+        || !kind.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(format!("bad kind name {kind:?} in kind declaration (expected `K_*`)"));
+    }
+    let mut handlers = Vec::new();
+    for part in files.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.ends_with(".rs") || part.contains(char::is_whitespace) {
+            return Err(format!("bad handler file {part:?} (expected a `.rs` basename)"));
+        }
+        handlers.push(part.to_string());
+    }
+    if handlers.is_empty() {
+        return Err(format!("kind `{kind}` declares no handler files"));
+    }
+    Ok((kind, handlers))
+}
+
 /// The set of files under analysis.
 pub struct Workspace {
     /// Parsed files, sorted by path (analysis must itself be deterministic).
@@ -394,6 +450,30 @@ mod tests {
         assert_eq!((m.lo, m.hi), (1, 63));
         assert!(m.in_gap(36) && m.in_gap(38) && m.in_gap(39));
         assert!(!m.in_gap(37) && !m.in_gap(40));
+    }
+
+    #[test]
+    fn kind_flow_parses_handler_lists() {
+        let f = SourceFile::parse(
+            "m.rs",
+            "// lint: kind K_ROLLBACK handlers: chromatic.rs, locking.rs\n".to_string(),
+        );
+        assert_eq!(f.kind_flows.len(), 1);
+        let d = &f.kind_flows[0];
+        assert_eq!(d.kind, "K_ROLLBACK");
+        assert_eq!(d.handlers, vec!["chromatic.rs", "locking.rs"]);
+        assert_eq!(d.line, 1);
+    }
+
+    #[test]
+    fn kind_flow_rejects_bad_shapes() {
+        let bad = "// lint: kind ROLLBACK handlers: a.rs\n\
+                   // lint: kind K_A handlers:\n\
+                   // lint: kind K_A a.rs\n\
+                   // lint: kind K_A handlers: a.txt\n";
+        let f = SourceFile::parse("m.rs", bad.to_string());
+        assert!(f.kind_flows.is_empty());
+        assert_eq!(f.bad_directives.len(), 4, "{:#?}", f.bad_directives);
     }
 
     #[test]

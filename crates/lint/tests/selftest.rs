@@ -33,8 +33,20 @@ pub fn touch() { let _ = (K_A, K_DUP, K_GAP, K_OOR); }\n";
 
 const KIND_CLEAN: &str = "\
 // lint: kind-map core = 1..=10 gaps 5\n\
+// lint: kind K_A handlers: engine.rs\n\
 pub const K_A: u16 = 1;\n\
 pub fn touch() { let _ = K_A; }\n";
+
+/// Companion to [`KIND_CLEAN`]: a handler arm and a send site, so the
+/// all-checks clean run stays clean under msg-flow too.
+const KIND_CLEAN_ENGINE: &str = "\
+pub fn handle(kind: u16) {\n\
+    match kind {\n\
+        K_A => work(),\n\
+        _ => {}\n\
+    }\n\
+}\n\
+pub fn emit(net: &mut Net) { net.send(0, K_A, vec![]); }\n";
 
 const DET_VIOLATIONS: &str = "\
 use std::collections::HashMap;\n\
@@ -78,6 +90,129 @@ impl Codec for BarMsg {\n\
 const PROPS_COVER_FOO: &str = "\
 mod wire_codec {\n\
     fn roundtrips() { rt(FooMsg { x: 1 }); }\n\
+}\n";
+
+// Six msg-flow violations: duplicate declaration, declaration for an
+// undefined kind, declared-but-unhandled, undeclared kind, declared
+// handler file missing from the workspace, handled-but-never-sent.
+const FLOW_MSGS: &str = "\
+// lint: kind K_GOOD handlers: engine.rs\n\
+// lint: kind K_GOOD handlers: engine.rs\n\
+// lint: kind K_GHOST handlers: engine.rs\n\
+// lint: kind K_GONE handlers: engine.rs\n\
+// lint: kind K_MISSFILE handlers: nowhere.rs\n\
+// lint: kind K_NOSEND handlers: engine.rs\n\
+pub const K_GOOD: u16 = 1;\n\
+pub const K_GONE: u16 = 2;\n\
+pub const K_NODECL: u16 = 3;\n\
+pub const K_MISSFILE: u16 = 4;\n\
+pub const K_NOSEND: u16 = 5;\n";
+
+const FLOW_ENGINE: &str = "\
+pub fn handle(env: Env) {\n\
+    match env.kind {\n\
+        K_GOOD => on_good(env),\n\
+        k if k == K_NOSEND => on_nosend(env),\n\
+        _ => {}\n\
+    }\n\
+}\n\
+pub fn emit(net: &mut Net) {\n\
+    net.send(0, K_GOOD, vec![]);\n\
+    net.broadcast(K_GONE, vec![]);\n\
+    net.put_wire(1, K_MISSFILE, vec![]);\n\
+    let _ = Env { kind: K_NODECL, payload: vec![] };\n\
+}\n";
+
+const FLOW_CLEAN_MSGS: &str = "\
+// lint: kind K_GOOD handlers: engine.rs\n\
+pub const K_GOOD: u16 = 1;\n";
+
+// Era-fencing violation: an arm decodes an era-carrying message and acts
+// without any fence.
+const ERA_VIOLATION: &str = "\
+pub fn handle(env: Env) {\n\
+    match env.kind {\n\
+        K_ROLLBACK => {\n\
+            let msg: RollbackMsg = dec(env.payload);\n\
+            apply(msg);\n\
+        }\n\
+        _ => {}\n\
+    }\n\
+}\n";
+
+// Clean twin: all three accepted fencing shapes — direct era comparison,
+// RecoveryTracker fence call, and one-hop delegation into a same-file fn
+// that fences.
+const ERA_CLEAN: &str = "\
+pub fn direct(env: Env, cur: u64) {\n\
+    let msg: RollbackMsg = dec(env.payload);\n\
+    if msg.era < cur {\n\
+        return;\n\
+    }\n\
+    apply(msg);\n\
+}\n\
+pub fn fence(env: Env, rec: &mut Tracker) {\n\
+    let msg: AdoptPlanMsg = dec(env.payload);\n\
+    rec.observe_era(msg.era);\n\
+    apply(msg);\n\
+}\n\
+pub fn dispatch(env: Env) {\n\
+    let msg: DownMsg = dec(env.payload);\n\
+    on_down(msg);\n\
+}\n\
+fn on_down(msg: DownMsg) {\n\
+    if msg.era != current_era() {\n\
+        return;\n\
+    }\n\
+    act(msg);\n\
+}\n";
+
+// Survivor-barrier violations: a direct `num_machines()` quorum compare
+// (rule A) and a `let n = ...` alias compare (rule B).
+const BARRIER_VIOLATION: &str = "\
+impl R {\n\
+    fn barrier(&self) -> bool {\n\
+        self.acks >= self.num_machines()\n\
+    }\n\
+    fn barrier2(&self) -> bool {\n\
+        let n = self.num_machines();\n\
+        self.done == n\n\
+    }\n\
+}\n";
+
+// Clean twin: quorums count survivors; ranges/sizing uses of the static
+// count are fine.
+const BARRIER_CLEAN: &str = "\
+impl R {\n\
+    fn barrier(&self) -> bool {\n\
+        self.acks >= self.survivors()\n\
+    }\n\
+    fn sizing(&self) -> Vec<u64> {\n\
+        let n = self.num_machines();\n\
+        let mut v = vec![0u64; n];\n\
+        for i in 0..n {\n\
+            v[i] = i as u64;\n\
+        }\n\
+        v\n\
+    }\n\
+}\n";
+
+// Fenced-send violation: a raw `ep.send` outside the Batcher.
+const FENCED_VIOLATION: &str = "\
+impl B {\n\
+    pub fn leak(&mut self, dst: M, k: u16, p: Bytes) {\n\
+        self.ep.send(dst, k, p);\n\
+    }\n\
+}\n";
+
+// Clean twin: the `put`/`put_wire` path, and non-endpoint `.send()`
+// receivers (channels) stay out of the pattern.
+const FENCED_CLEAN: &str = "\
+impl B {\n\
+    pub fn ok(&mut self, dst: M, k: u16, p: Bytes) {\n\
+        self.put_wire(dst, k, p);\n\
+        self.tx.send(p).unwrap();\n\
+    }\n\
 }\n";
 
 // ----------------------------------------------------- each check catches
@@ -147,6 +282,91 @@ fn unsafe_hygiene_requires_safety_comment() {
 
     let ok = findings_for(vec![("crates/node/src/sig.rs", UNSAFE_CLEAN)], &["unsafe-hygiene"]);
     assert!(ok.is_empty(), "SAFETY-commented unsafe flagged: {ok:#?}");
+}
+
+#[test]
+fn msg_flow_catches_all_six_violation_shapes() {
+    let fs = findings_for(
+        vec![
+            ("crates/core/src/messages.rs", FLOW_MSGS),
+            ("crates/core/src/engine.rs", FLOW_ENGINE),
+        ],
+        &["msg-flow"],
+    );
+    assert_eq!(count_check(&fs, "msg-flow"), 6, "findings: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("duplicate `kind K_GOOD`")), "dup decl: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("K_GHOST")), "unknown kind: {fs:#?}");
+    assert!(
+        fs.iter().any(|f| f.contains("K_GONE") && f.contains("no match arm")),
+        "dropped handler: {fs:#?}"
+    );
+    assert!(fs.iter().any(|f| f.contains("`nowhere.rs`")), "missing file: {fs:#?}");
+    assert!(
+        fs.iter().any(|f| f.contains("K_NODECL") && f.contains("no handler declaration")),
+        "undeclared: {fs:#?}"
+    );
+    assert!(
+        fs.iter().any(|f| f.contains("K_NOSEND") && f.contains("never sent")),
+        "never sent: {fs:#?}"
+    );
+
+    // Clean twin: one kind, declared, handled, sent.
+    let clean = findings_for(
+        vec![
+            ("crates/core/src/messages.rs", FLOW_CLEAN_MSGS),
+            ("crates/core/src/engine.rs", FLOW_ENGINE),
+        ],
+        &["msg-flow"],
+    );
+    assert!(clean.is_empty(), "clean twin flagged: {clean:#?}");
+}
+
+#[test]
+fn era_fencing_catches_unfenced_decode_and_accepts_all_fence_shapes() {
+    let fs = findings_for(vec![("crates/core/src/engine.rs", ERA_VIOLATION)], &["era-fencing"]);
+    assert_eq!(count_check(&fs, "era-fencing"), 1, "findings: {fs:#?}");
+    assert!(fs[0].contains("RollbackMsg"), "{fs:#?}");
+
+    let clean = findings_for(vec![("crates/core/src/engine.rs", ERA_CLEAN)], &["era-fencing"]);
+    assert!(clean.is_empty(), "fenced twin flagged: {clean:#?}");
+
+    // Decodes of non-era types are out of scope entirely.
+    let other = "pub fn f(env: Env) { let m: ScheduleMsg = dec(env.payload); use_it(m); }\n";
+    let out = findings_for(vec![("crates/core/src/engine.rs", other)], &["era-fencing"]);
+    assert!(out.is_empty(), "non-era decode flagged: {out:#?}");
+}
+
+#[test]
+fn survivor_barrier_catches_direct_and_aliased_compares() {
+    let fs = findings_for(
+        vec![("crates/core/src/recovery.rs", BARRIER_VIOLATION)],
+        &["survivor-barrier"],
+    );
+    assert_eq!(count_check(&fs, "survivor-barrier"), 2, "findings: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("num_machines()` —")), "rule A: {fs:#?}");
+    assert!(fs.iter().any(|f| f.contains("aliased")), "rule B: {fs:#?}");
+
+    let clean = findings_for(
+        vec![("crates/core/src/recovery.rs", BARRIER_CLEAN)],
+        &["survivor-barrier"],
+    );
+    assert!(clean.is_empty(), "survivors()/range twin flagged: {clean:#?}");
+
+    // The same code outside the recovery-bearing files is not in scope.
+    let out = findings_for(
+        vec![("crates/core/src/driver.rs", BARRIER_VIOLATION)],
+        &["survivor-barrier"],
+    );
+    assert!(out.is_empty(), "out-of-scope file flagged: {out:#?}");
+}
+
+#[test]
+fn fenced_send_catches_raw_endpoint_send() {
+    let fs = findings_for(vec![("crates/net/src/batch.rs", FENCED_VIOLATION)], &["fenced-send"]);
+    assert_eq!(count_check(&fs, "fenced-send"), 1, "findings: {fs:#?}");
+
+    let clean = findings_for(vec![("crates/net/src/batch.rs", FENCED_CLEAN)], &["fenced-send"]);
+    assert!(clean.is_empty(), "put_wire/channel twin flagged: {clean:#?}");
 }
 
 #[test]
@@ -288,6 +508,21 @@ fn bin_exits_nonzero_on_each_seeded_violation() {
         ),
         ("blocking-recv", "recv", &[("crates/core/src/driver.rs", RECV_VIOLATION)]),
         ("unsafe-hygiene", "unsafe", &[("crates/node/src/sig.rs", UNSAFE_VIOLATION)]),
+        (
+            "msg-flow",
+            "flow",
+            &[
+                ("crates/core/src/messages.rs", FLOW_MSGS),
+                ("crates/core/src/engine.rs", FLOW_ENGINE),
+            ],
+        ),
+        ("era-fencing", "era", &[("crates/core/src/engine.rs", ERA_VIOLATION)]),
+        (
+            "survivor-barrier",
+            "barrier",
+            &[("crates/core/src/recovery.rs", BARRIER_VIOLATION)],
+        ),
+        ("fenced-send", "fenced", &[("crates/net/src/batch.rs", FENCED_VIOLATION)]),
     ];
     for (check, name, files) in cases {
         let dir = fixture_dir(name, files);
@@ -301,7 +536,13 @@ fn bin_exits_nonzero_on_each_seeded_violation() {
 
 #[test]
 fn bin_exits_zero_on_clean_fixture_and_two_on_usage_errors() {
-    let dir = fixture_dir("clean", &[("crates/core/src/messages.rs", KIND_CLEAN)]);
+    let dir = fixture_dir(
+        "clean",
+        &[
+            ("crates/core/src/messages.rs", KIND_CLEAN),
+            ("crates/core/src/engine.rs", KIND_CLEAN_ENGINE),
+        ],
+    );
     let (code, _) = run_bin(&[dir.to_str().unwrap()], None);
     assert_eq!(code, 0);
     std::fs::remove_dir_all(&dir).ok();
@@ -315,10 +556,42 @@ fn bin_exits_zero_on_clean_fixture_and_two_on_usage_errors() {
 // ------------------------------------------------------ the real workspace
 
 /// The pin that gives the CI step its teeth: the repo's own tree passes all
-/// five checks, with every surviving suppression carrying a reason.
+/// nine checks, with every surviving suppression carrying a reason.
 #[test]
 fn real_workspace_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let (code, stdout) = run_bin(&["--workspace"], Some(&root));
     assert_eq!(code, 0, "workspace not lint-clean:\n{stdout}");
+}
+
+/// `--json` emits per-check counts in the BENCH_lint schema.
+#[test]
+fn json_emission_counts_findings_per_check() {
+    let dir = fixture_dir(
+        "json",
+        &[
+            ("crates/core/src/recovery.rs", BARRIER_VIOLATION),
+            ("crates/net/src/batch.rs", FENCED_VIOLATION),
+        ],
+    );
+    let json = dir.join("out.json");
+    let (code, _) = run_bin(
+        &[
+            dir.to_str().unwrap(),
+            "--check",
+            "survivor-barrier",
+            "--check",
+            "fenced-send",
+            "--json",
+            json.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert_eq!(code, 1);
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"schema\": \"graphlab-lint-v1\""), "{doc}");
+    assert!(doc.contains("\"survivor-barrier\": 2"), "{doc}");
+    assert!(doc.contains("\"fenced-send\": 1"), "{doc}");
+    assert!(doc.contains("\"total\": 3"), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
 }

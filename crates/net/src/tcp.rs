@@ -64,7 +64,7 @@ const RECONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Smallest safe lease period over this transport. A send to an
 /// unresponsive peer can block the engine thread for a full
-/// [`RECONNECT_TIMEOUT`] before the link's fail-fast probation kicks in,
+/// `RECONNECT_TIMEOUT` before the link's fail-fast probation kicks in,
 /// and during that stall the machine cannot refresh its own lease. A lease
 /// shorter than a couple of those windows turns ordinary redial stalls
 /// into false-positive deaths — the master then "adopts" machines that
@@ -256,7 +256,7 @@ struct OutLink {
     stream: Option<TcpStream>,
     /// After a failed redial, sends to this peer drop immediately until
     /// this instant instead of dialling again. Without the probation a
-    /// dead peer costs every send a full [`RECONNECT_TIMEOUT`] stall,
+    /// dead peer costs every send a full `RECONNECT_TIMEOUT` stall,
     /// which blocks the engine thread long enough to starve its own lease
     /// heartbeats — the master then declares *live* machines dead.
     retry_after: Option<Instant>,
@@ -297,7 +297,7 @@ impl TcpEndpoint {
     /// is redialled once (with a fresh handshake); if that also fails the
     /// message is dropped — the peer is gone — and the link enters a
     /// fail-fast probation: further sends drop immediately (no dial, no
-    /// stall) until [`RECONNECT_TIMEOUT`] has passed, so a dead peer costs
+    /// stall) until `RECONNECT_TIMEOUT` has passed, so a dead peer costs
     /// the caller at most one redial deadline per probation window.
     pub fn send(&self, dst: MachineId, kind: u16, payload: Bytes) {
         let env = Envelope { src: self.id, dst, kind, payload };
