@@ -34,4 +34,4 @@ pub use index::{AtomIndex, AtomIndexEntry};
 pub use ingress::{build_atoms, load_machine_part, write_atoms, InitEdge, InitVertex, LocalGraphInit};
 pub use journal::{JournalError, JournalReader, JournalWriter};
 pub use partition::VertexPartition;
-pub use placement::Placement;
+pub use placement::{Placement, PlacementStrategy};

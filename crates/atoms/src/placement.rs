@@ -2,16 +2,46 @@
 //! of the meta-graph over the number of physical machines* (§4.1).
 //!
 //! The same `k` atoms can therefore be re-balanced onto any cluster size
-//! without repartitioning the data graph. We use LPT (longest-processing-
-//! time-first) bin packing by owned-vertex count with a connectivity
-//! affinity bonus: among machines within the balance envelope, prefer the
-//! one already holding the most meta-graph neighbours of the atom.
+//! without repartitioning the data graph. Three strategies
+//! ([`PlacementStrategy`]):
+//!
+//! - **Affinity** (default): LPT (longest-processing-time-first) bin
+//!   packing by owned-vertex count with a connectivity affinity bonus —
+//!   among machines within the balance envelope, prefer the one already
+//!   holding the most meta-graph neighbours of the atom.
+//! - **ReplicationAware**: greedy region growing over the meta-graph.
+//!   Each machine's share is grown one atom at a time, always absorbing
+//!   the unplaced atom with the largest cross-edge weight into the
+//!   region so far, up to an even load target. Connected neighborhoods
+//!   land on one machine, so a vertex's scope — and therefore its lock
+//!   chain — spans fewer machines (ROADMAP item 4a).
+//! - **RoundRobin**: atom `a` → machine `a mod m`; the degenerate
+//!   scatter baseline the ablations compare against.
+//!
+//! All strategies are deterministic pure functions of the index — no RNG,
+//! no hash-order iteration — per the graphlab-lint determinism contract
+//! (placement runs inside adoption plans, which must replay identically
+//! on every survivor).
 
 use bytes::{Bytes, BytesMut};
 use graphlab_graph::{AtomId, MachineId};
 use graphlab_net::codec::Codec;
 
 use crate::index::AtomIndex;
+
+/// How atoms are packed onto machines (see the [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// Atom `a` on machine `a mod m` — ignores the meta-graph entirely.
+    RoundRobin,
+    /// LPT by owned-vertex count with an affinity tie-break (the
+    /// default; what [`Placement::compute`] runs).
+    #[default]
+    Affinity,
+    /// Region growing by cross-edge weight: co-locates hot
+    /// neighborhoods so lock chains span fewer machines.
+    ReplicationAware,
+}
 
 /// Assignment of atoms to machines.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,7 +52,21 @@ pub struct Placement {
 
 impl Placement {
     /// Computes a placement of `index`'s atoms onto `num_machines`
-    /// machines.
+    /// machines with the given strategy.
+    pub fn with_strategy(
+        index: &AtomIndex,
+        num_machines: usize,
+        strategy: PlacementStrategy,
+    ) -> Placement {
+        match strategy {
+            PlacementStrategy::RoundRobin => Placement::round_robin(index.num_atoms(), num_machines),
+            PlacementStrategy::Affinity => Placement::compute(index, num_machines),
+            PlacementStrategy::ReplicationAware => Placement::replication_aware(index, num_machines),
+        }
+    }
+
+    /// Computes a placement of `index`'s atoms onto `num_machines`
+    /// machines ([`PlacementStrategy::Affinity`]).
     pub fn compute(index: &AtomIndex, num_machines: usize) -> Placement {
         assert!(num_machines > 0);
         let k = index.num_atoms();
@@ -70,6 +114,114 @@ impl Placement {
             machine_of[a] = MachineId::from(m);
             placed[a] = true;
             load[m] += entry.owned_vertices;
+        }
+        Placement { machine_of, num_machines }
+    }
+
+    /// Replication-aware placement ([`PlacementStrategy::ReplicationAware`]).
+    ///
+    /// Machines are filled in order. Each one grows a connected region:
+    /// starting from the heaviest unplaced atom, it repeatedly absorbs
+    /// the unplaced atom with the largest total cross-edge weight into
+    /// the region so far (ties broken by owned-vertex count, then by
+    /// atom id — a full deterministic order), stopping once the region
+    /// reaches the even-load target `⌈total/m⌉`. The last machine takes
+    /// whatever remains, so every atom is placed exactly once.
+    ///
+    /// Greedy growth strands fragments on late machines (the first
+    /// regions consume the densest neighborhoods), so a bounded number
+    /// of deterministic refinement passes follow: each atom moves to
+    /// the machine holding the largest share of its cross-edge weight
+    /// whenever that strictly improves co-location and stays under a
+    /// 10%-headroom balance cap.
+    fn replication_aware(index: &AtomIndex, num_machines: usize) -> Placement {
+        assert!(num_machines > 0);
+        let k = index.num_atoms();
+        let total: u64 = index.entries.iter().map(|e| e.owned_vertices).sum();
+        let target = total.div_ceil(num_machines as u64);
+
+        let mut machine_of = vec![MachineId(0); k];
+        let mut placed = vec![false; k];
+        let mut remaining = k;
+        for m in 0..num_machines {
+            if remaining == 0 {
+                break;
+            }
+            let last = m + 1 == num_machines;
+            let mut load = 0u64;
+            // gain[a] = cross-edge weight from unplaced atom a into this
+            // machine's region so far.
+            let mut gain = vec![0u64; k];
+            while remaining > 0 && (load < target || last) {
+                let mut best: Option<usize> = None;
+                for a in 0..k {
+                    if placed[a] {
+                        continue;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            (gain[a], index.entries[a].owned_vertices)
+                                > (gain[b], index.entries[b].owned_vertices)
+                        }
+                    };
+                    if better {
+                        best = Some(a);
+                    }
+                }
+                let a = best.expect("remaining > 0");
+                // Keep regions within the target: a non-empty region
+                // stops before overshooting (the last machine sweeps up).
+                if load > 0 && !last && load + index.entries[a].owned_vertices > target {
+                    break;
+                }
+                machine_of[a] = MachineId::from(m);
+                placed[a] = true;
+                remaining -= 1;
+                load += index.entries[a].owned_vertices;
+                for &(nbr, w) in &index.entries[a].neighbors {
+                    if !placed[nbr.index()] {
+                        gain[nbr.index()] += w;
+                    }
+                }
+            }
+        }
+
+        // Refinement: best-fit moves, fixed atom order, at most 3 passes
+        // (every step strictly increases co-located weight, so this
+        // terminates regardless; 3 passes capture nearly all of it).
+        let cap = (total as f64 / num_machines as f64 * 1.1).ceil() as u64 + 1;
+        let mut load = vec![0u64; num_machines];
+        for a in 0..k {
+            load[machine_of[a].index()] += index.entries[a].owned_vertices;
+        }
+        for _ in 0..3 {
+            let mut moved = false;
+            for a in 0..k {
+                let cur = machine_of[a].index();
+                let mut weight = vec![0u64; num_machines];
+                for &(nbr, w) in &index.entries[a].neighbors {
+                    weight[machine_of[nbr.index()].index()] += w;
+                }
+                let mut best = cur;
+                for (m, &w) in weight.iter().enumerate() {
+                    if m != cur
+                        && w > weight[best]
+                        && load[m] + index.entries[a].owned_vertices <= cap
+                    {
+                        best = m;
+                    }
+                }
+                if best != cur {
+                    load[cur] -= index.entries[a].owned_vertices;
+                    load[best] += index.entries[a].owned_vertices;
+                    machine_of[a] = MachineId::from(best);
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
         }
         Placement { machine_of, num_machines }
     }
@@ -272,5 +424,63 @@ mod tests {
         let p = Placement::compute(&idx, 8);
         let loads = p.loads(&idx);
         assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 2);
+    }
+
+    #[test]
+    fn replication_aware_groups_connected_regions() {
+        // Two chains of atoms {0-1-2-3} and {4-5-6-7} connected inside,
+        // one weak bridge between them: region growing must keep each
+        // chain whole.
+        let idx = index(
+            &[10; 8],
+            &[(0, 1, 50), (1, 2, 50), (2, 3, 50), (4, 5, 50), (5, 6, 50), (6, 7, 50), (3, 4, 1)],
+        );
+        let p = Placement::with_strategy(&idx, 2, PlacementStrategy::ReplicationAware);
+        for pair in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+            assert_eq!(
+                p.machine_of(AtomId(pair.0)),
+                p.machine_of(AtomId(pair.1)),
+                "chain edge {pair:?} cut"
+            );
+        }
+        assert_ne!(p.machine_of(AtomId(0)), p.machine_of(AtomId(7)));
+        assert_eq!(p.loads(&idx), vec![40, 40]);
+    }
+
+    #[test]
+    fn replication_aware_covers_every_atom_and_balances() {
+        let idx = index(&[9, 7, 5, 3, 3, 2, 1, 1], &[(0, 2, 4), (1, 3, 4), (5, 6, 2)]);
+        let p = Placement::with_strategy(&idx, 3, PlacementStrategy::ReplicationAware);
+        let loads = p.loads(&idx);
+        assert_eq!(loads.iter().sum::<u64>(), 31, "every atom placed exactly once");
+        assert!(p.atoms_of(MachineId(0)).len() + p.atoms_of(MachineId(1)).len()
+            + p.atoms_of(MachineId(2)).len() == 8);
+        for m in 0..3 {
+            assert!((0..3).contains(&m) && loads[m] > 0, "no empty machine: {loads:?}");
+        }
+    }
+
+    #[test]
+    fn replication_aware_more_machines_than_atoms() {
+        let idx = index(&[5, 5], &[(0, 1, 1)]);
+        let p = Placement::with_strategy(&idx, 8, PlacementStrategy::ReplicationAware);
+        let loads = p.loads(&idx);
+        assert_eq!(loads.iter().sum::<u64>(), 10);
+        // Target ⌈10/8⌉ = 2: each atom already exceeds it alone, so
+        // balance wins over the weak bridge and the atoms spread out.
+        assert_eq!(loads.iter().filter(|&&l| l > 0).count(), 2, "one atom per machine");
+    }
+
+    #[test]
+    fn strategy_dispatch_matches_direct_calls() {
+        let idx = index(&[10; 6], &[(0, 1, 5), (2, 3, 5)]);
+        assert_eq!(
+            Placement::with_strategy(&idx, 3, PlacementStrategy::Affinity),
+            Placement::compute(&idx, 3)
+        );
+        assert_eq!(
+            Placement::with_strategy(&idx, 3, PlacementStrategy::RoundRobin),
+            Placement::round_robin(6, 3)
+        );
     }
 }

@@ -29,15 +29,15 @@ use graphlab_atoms::VertexPartition;
 use graphlab_bench::Table;
 use graphlab_core::{
     optimal_checkpoint_interval_secs, EngineConfig, EngineKind, FaultPlan, FaultTrigger, GraphLab,
-    PartitionStrategy, RecoveryMode, SchedulerKind, SnapshotConfig, SnapshotMode, StragglerConfig,
-    SyncCadence,
+    PartitionStrategy, PlacementStrategy, RecoveryMode, SchedulerKind, SnapshotConfig,
+    SnapshotMode, StragglerConfig, SyncCadence,
 };
 use graphlab_graph::Coloring;
 use graphlab_net::codec::encode_to_bytes;
 use graphlab_net::LatencyModel;
 use graphlab_workloads::{
     coseg_video, frame_partition, mesh3d_mrf, nell_graph, ratings_graph, striped_partition,
-    web_graph, webspam_mrf,
+    web_graph, web_graph_hosts, webspam_mrf,
 };
 
 fn banner(id: &str, what: &str, paper: &str) {
@@ -1067,6 +1067,172 @@ fn abl_bytes() {
     );
 }
 
+fn abl_control() {
+    banner(
+        "abl-control",
+        "ablation: replication-aware placement vs round-robin scatter (8 machines, PageRank, locking)",
+        "co-locating hot neighborhoods cuts mean lock-chain span and lock/release control bytes (ROADMAP item 4a)",
+    );
+    // Host-structured crawl: placement is a *structural* lever, so it needs
+    // replication structure to exploit. Pure preferential attachment
+    // (`web_graph`) has none — its atom meta-graph is near-uniform and we
+    // measured every placement within noise of round-robin on it — whereas
+    // real crawls are ~85% intra-host links, which is what this generator
+    // models (see `web_graph_hosts`).
+    let base = web_graph_hosts(8_000, 4, 32, 33);
+    let oracle = exact_pagerank(&base, 0.15, 150);
+
+    let arms: [(&str, PlacementStrategy); 2] = [
+        ("round-robin scatter", PlacementStrategy::RoundRobin),
+        ("replication-aware", PlacementStrategy::ReplicationAware),
+    ];
+    let mut spans: Vec<Vec<u64>> = Vec::new();
+    let mut means = [0f64; 2];
+    let mut control = [0u64; 2];
+    let mut kind_rows: Vec<Vec<(u16, graphlab_net::KindTraffic)>> = Vec::new();
+    let mut rank_sets: Vec<Vec<f64>> = Vec::new();
+    let mut t = Table::new(&[
+        "placement",
+        "mean chain span",
+        "1-machine chains",
+        "lock+release KB",
+        "total MB",
+        "runtime",
+        "L1 vs oracle",
+    ]);
+    for (i, (name, strategy)) in arms.iter().enumerate() {
+        let mut g = base.clone();
+        init_ranks(&mut g);
+        let out = GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .partition(PartitionStrategy::BfsGrow)
+            .placement(*strategy)
+            // Finer atoms (16/machine) give placement real freedom: the
+            // round-robin scatter baseline degrades while region growing
+            // keeps neighborhoods together. ε is tight enough that both
+            // arms land within 1e-9 of the unique fixpoint.
+            .configure(|c| c.num_atoms = 128)
+            .run(PageRank { alpha: 0.15, epsilon: 1e-14, dynamic: true });
+        let lookup = |k: u16| {
+            out.metrics.bytes_by_kind.iter().find(|&&(kk, _)| kk == k).map(|&(_, t)| t.bytes)
+        };
+        control[i] = lookup(graphlab_core::messages::K_LOCK_REQ).unwrap_or(0)
+            + lookup(graphlab_core::messages::K_RELEASE).unwrap_or(0);
+        means[i] = out.metrics.mean_chain_span();
+        let chains: u64 = out.metrics.chain_spans.iter().sum();
+        let local = out.metrics.chain_spans.first().copied().unwrap_or(0)
+            + out.metrics.chain_spans.get(1).copied().unwrap_or(0);
+        let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
+        let l1 = l1_error(&ranks, &oracle);
+        assert!(l1 < 1e-6, "{name}: L1 vs oracle {l1}");
+        t.row(vec![
+            (*name).into(),
+            format!("{:.3}", means[i]),
+            format!("{:.1}%", 100.0 * local as f64 / chains as f64),
+            format!("{:.1}", control[i] as f64 / 1e3),
+            format!(
+                "{:.2}",
+                out.metrics.bytes_sent_per_machine.iter().sum::<u64>() as f64 / 1e6
+            ),
+            format!("{:.2?}", out.metrics.runtime),
+            format!("{l1:.1e}"),
+        ]);
+        spans.push(out.metrics.chain_spans.clone());
+        kind_rows.push(out.metrics.bytes_by_kind.clone());
+        rank_sets.push(ranks);
+    }
+    t.print();
+
+    // The span histogram itself: how many machines each distributed lock
+    // chain touched under either placement.
+    let widest = spans.iter().map(Vec::len).max().unwrap_or(0);
+    let mut ht = Table::new(&["chain span (machines)", "round-robin", "replication-aware"]);
+    for s in 1..widest {
+        ht.row(vec![
+            format!("{s}"),
+            format!("{}", spans[0].get(s).copied().unwrap_or(0)),
+            format!("{}", spans[1].get(s).copied().unwrap_or(0)),
+        ]);
+    }
+    ht.print();
+
+    // Control traffic attribution (the chain protocol kinds).
+    let lookup = |rows: &[(u16, graphlab_net::KindTraffic)], k: u16| {
+        rows.iter().find(|&&(kk, _)| kk == k).map(|&(_, t)| t.bytes).unwrap_or(0)
+    };
+    let mut kt = Table::new(&["kind", "round-robin KB", "replication-aware KB", "reduction"]);
+    for k in [
+        graphlab_core::messages::K_LOCK_REQ,
+        graphlab_core::messages::K_SCOPE_DATA,
+        graphlab_core::messages::K_RELEASE,
+        graphlab_core::messages::K_UPD_NOTE,
+    ] {
+        let (a, b) = (lookup(&kind_rows[0], k), lookup(&kind_rows[1], k));
+        kt.row(vec![
+            graphlab_core::messages::kind_name(k).into(),
+            format!("{:.1}", a as f64 / 1e3),
+            format!("{:.1}", b as f64 / 1e3),
+            if a == 0 { "-".into() } else { format!("{:.1}%", 100.0 * (1.0 - b as f64 / a as f64)) },
+        ]);
+    }
+    kt.print();
+
+    // Placement must not change the answer. PageRank's dynamic fixpoint
+    // is ε-unique, so bound the pairwise gap tightly...
+    let pair = l1_error(&rank_sets[1], &rank_sets[0]);
+    assert!(pair < 1e-9, "placement changed the fixpoint: pairwise L1 {pair}");
+    // ...and assert *bit-identical* results on the confluent max-diffusion
+    // update, whose fixpoint is exact regardless of execution order.
+    let mut seeded = web_graph_hosts(4_000, 4, 32, 77);
+    let vs: Vec<_> = seeded.vertices().collect();
+    for v in vs {
+        *seeded.vertex_data_mut(v) = (v.index() as u64).wrapping_mul(2_654_435_761) as f64;
+    }
+    let mut fixpoints: Vec<Vec<f64>> = Vec::new();
+    for (_, strategy) in &arms {
+        let mut g = seeded.clone();
+        GraphLab::on(&mut g)
+            .engine(EngineKind::Locking)
+            .machines(8)
+            .partition(PartitionStrategy::BfsGrow)
+            .placement(*strategy)
+            .run(MaxDiffusion);
+        fixpoints.push(g.vertices().map(|v| *g.vertex_data(v)).collect());
+    }
+    assert!(
+        fixpoints[1].iter().zip(&fixpoints[0]).all(|(a, b)| a.to_bits() == b.to_bits()),
+        "confluent fixpoint not bit-identical across placements"
+    );
+    println!("  confluent max-diffusion fixpoint: bit-identical across both placements");
+
+    let span_cut = 1.0 - means[1] / means[0];
+    let bytes_cut = 1.0 - control[1] as f64 / control[0] as f64;
+    println!(
+        "  mean chain span: {:.3} -> {:.3} ({:.1}% lower); lock/release control bytes: {:.1} KB -> {:.1} KB ({:.1}% lower)",
+        means[0],
+        means[1],
+        100.0 * span_cut,
+        control[0] as f64 / 1e3,
+        control[1] as f64 / 1e3,
+        100.0 * bytes_cut,
+    );
+    // Acceptance gates (CI runs this ablation): measured 13.6% span and
+    // 12.3% byte reduction; thresholds leave ~4 points of headroom for
+    // dynamic-scheduling path dependence (the replication-aware arm runs
+    // more — cheaper — chains, which dilutes the absolute byte cut).
+    assert!(
+        span_cut >= 0.10,
+        "mean chain-span reduction {:.1}% below the 10% acceptance threshold",
+        100.0 * span_cut
+    );
+    assert!(
+        bytes_cut >= 0.08,
+        "lock/release byte reduction {:.1}% below the 8% acceptance threshold",
+        100.0 * bytes_cut
+    );
+}
+
 /// How a killed machine comes back in the `abl-recovery` ablation.
 #[derive(Clone, Copy, PartialEq)]
 enum KillArm {
@@ -1329,6 +1495,7 @@ fn main() {
         ("abl-versioning", abl_versioning),
         ("abl-batching", abl_batching),
         ("abl-bytes", abl_bytes),
+        ("abl-control", abl_control),
         ("abl-recovery", abl_recovery),
         ("abl-priority", abl_priority),
         ("abl-partition", abl_partition),

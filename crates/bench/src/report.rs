@@ -54,6 +54,10 @@ pub fn to_json() -> Option<String> {
     if report.is_empty() {
         return None;
     }
+    Some(render(&report))
+}
+
+fn render(report: &[Experiment]) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"schema\": \"graphlab-repro-tables-v1\",\n  \"experiments\": [");
     for (i, exp) in report.iter().enumerate() {
@@ -90,18 +94,225 @@ pub fn to_json() -> Option<String> {
         out.push_str("]\n    }");
     }
     out.push_str("\n  ]\n}\n");
-    Some(out)
+    out
 }
 
 /// Writes the report to `path` when anything was recorded; returns whether
 /// a file was written.
+///
+/// An existing report at `path` is **merged by experiment id**, not
+/// overwritten: `repro -- <one-experiment>` refreshes that experiment's
+/// tables and leaves every other experiment's recorded numbers in place
+/// (previously a partial run silently dropped them). Experiments keep the
+/// file's order; new ids append in run order. A file that does not parse
+/// as our own schema is replaced wholesale.
 pub fn write_json(path: &str) -> std::io::Result<bool> {
-    match to_json() {
-        Some(json) => {
-            std::fs::write(path, json)?;
-            Ok(true)
+    let fresh = REPORT.lock().unwrap().clone();
+    if fresh.is_empty() {
+        return Ok(false);
+    }
+    let mut merged: Vec<Experiment> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| parse_experiments(&old))
+        .unwrap_or_default();
+    for exp in fresh {
+        match merged.iter_mut().find(|e| e.id == exp.id) {
+            Some(slot) => *slot = exp,
+            None => merged.push(exp),
         }
-        None => Ok(false),
+    }
+    std::fs::write(path, render(&merged))?;
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Reader for the report's own schema (merge support)
+// ---------------------------------------------------------------------
+
+/// Minimal JSON value — only the shapes [`render`] emits (strings, arrays,
+/// objects). Anything else fails the parse and the merge degrades to a
+/// plain overwrite.
+enum Json {
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn parse_experiments(text: &str) -> Option<Vec<Experiment>> {
+    let root = JsonParser { s: text.as_bytes(), i: 0 }.document()?;
+    if root.get("schema")?.as_str()? != "graphlab-repro-tables-v1" {
+        return None;
+    }
+    let mut out = Vec::new();
+    for exp in root.get("experiments")?.as_arr()? {
+        let strings = |arr: &[Json]| -> Option<Vec<String>> {
+            arr.iter().map(|c| c.as_str().map(str::to_string)).collect()
+        };
+        let mut tables = Vec::new();
+        for t in exp.get("tables")?.as_arr()? {
+            let headers = strings(t.get("headers")?.as_arr()?)?;
+            let rows = t
+                .get("rows")?
+                .as_arr()?
+                .iter()
+                .map(|r| strings(r.as_arr()?))
+                .collect::<Option<Vec<_>>>()?;
+            tables.push(RecordedTable { headers, rows });
+        }
+        out.push(Experiment {
+            id: exp.get("id")?.as_str()?.to_string(),
+            what: exp.get("what")?.as_str()?.to_string(),
+            paper: exp.get("paper")?.as_str()?.to_string(),
+            tables,
+        });
+    }
+    Some(out)
+}
+
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn document(mut self) -> Option<Json> {
+        let v = self.value()?;
+        self.ws();
+        if self.i == self.s.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Option<()> {
+        self.ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.ws();
+        match self.s.get(self.i)? {
+            b'"' => self.string().map(Json::Str),
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.s.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.s.get(self.i)? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'{' => {
+                self.i += 1;
+                let mut fields = Vec::new();
+                self.ws();
+                if self.s.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Some(Json::Obj(fields));
+                }
+                loop {
+                    self.ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    fields.push((key, self.value()?));
+                    self.ws();
+                    match self.s.get(self.i)? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Some(Json::Obj(fields));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.s.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.s.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = std::str::from_utf8(&self.s[self.i..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
     }
 }
 
@@ -162,6 +373,81 @@ mod tests {
         let v1_pos = json.find("\"v1\"").unwrap();
         let table2_pos = json.find("table2").unwrap();
         assert!(fig1a_pos < v1_pos && v1_pos < table2_pos);
+    }
+
+    #[test]
+    fn parse_roundtrips_own_output() {
+        let _g = TEST_GUARD.lock().unwrap();
+        reset();
+        begin_experiment("fig1a", "async vs \"sync\"", "claim\nwith newline");
+        crate::Table::new(&["col", "≈"]).row(vec!["v1".into(), "1.5×".into()]).print();
+        let json = to_json().expect("non-empty");
+        reset();
+        let back = parse_experiments(&json).expect("own output parses");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, "fig1a");
+        assert_eq!(back[0].what, "async vs \"sync\"");
+        assert_eq!(back[0].paper, "claim\nwith newline");
+        assert_eq!(back[0].tables.len(), 1);
+        assert_eq!(back[0].tables[0].headers, vec!["col", "≈"]);
+        assert_eq!(back[0].tables[0].rows, vec![vec!["v1".to_string(), "1.5×".to_string()]]);
+        assert_eq!(render(&back), json, "parse → render is the identity");
+    }
+
+    #[test]
+    fn write_json_merges_by_experiment_id() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let dir = std::env::temp_dir().join("graphlab_report_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_repro.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        // First run records two experiments.
+        reset();
+        begin_experiment("fig1a", "first", "p1");
+        crate::Table::new(&["a"]).row(vec!["old".into()]).print();
+        begin_experiment("abl-bytes", "second", "p2");
+        crate::Table::new(&["b"]).row(vec!["kept".into()]).print();
+        assert!(write_json(path).unwrap());
+
+        // Second (partial) run re-records only one id plus a new one: the
+        // shared id is refreshed, the untouched one survives, the new one
+        // appends.
+        reset();
+        begin_experiment("fig1a", "first again", "p1");
+        crate::Table::new(&["a"]).row(vec!["new".into()]).print();
+        begin_experiment("abl-control", "third", "p3");
+        assert!(write_json(path).unwrap());
+        reset();
+
+        let merged = parse_experiments(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let ids: Vec<&str> = merged.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, vec!["fig1a", "abl-bytes", "abl-control"]);
+        assert_eq!(merged[0].what, "first again");
+        assert_eq!(merged[0].tables[0].rows, vec![vec!["new".to_string()]]);
+        assert_eq!(merged[1].tables[0].rows, vec![vec!["kept".to_string()]]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn write_json_replaces_unparseable_files() {
+        let _g = TEST_GUARD.lock().unwrap();
+        let dir = std::env::temp_dir().join("graphlab_report_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_corrupt.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, "{ not json ]").unwrap();
+
+        reset();
+        begin_experiment("fig1a", "fresh", "p");
+        assert!(write_json(path).unwrap());
+        reset();
+
+        let back = parse_experiments(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, "fig1a");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1524,6 +1524,8 @@ where
             dead,
             failed,
             phase: crate::metrics::PhaseTimes::default(),
+            chain_spans: Vec::new(),
+            idle_wakeups: 0,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use graphlab_atoms::PlacementStrategy;
 use graphlab_graph::ConsistencyModel;
 use graphlab_net::{BatchPolicy, FaultPlan, Transport};
 
@@ -71,6 +72,11 @@ pub struct EngineConfig {
     /// Number of atoms for the two-phase partitioning (defaults to
     /// `8 × num_machines`; must be ≥ `num_machines`).
     pub num_atoms: usize,
+    /// Second-phase placement: how the atoms pack onto machines.
+    /// [`PlacementStrategy::ReplicationAware`] co-locates connected
+    /// meta-graph neighborhoods so lock chains span fewer machines
+    /// (`repro -- abl-control` measures the span/byte deltas).
+    pub placement: PlacementStrategy,
     /// Consistency model to enforce.
     pub consistency: ConsistencyModel,
     /// Scheduler flavour (locking engine; the chromatic engine is
@@ -140,6 +146,7 @@ impl EngineConfig {
         EngineConfig {
             num_machines,
             num_atoms: (8 * num_machines).max(1),
+            placement: PlacementStrategy::default(),
             consistency: ConsistencyModel::Edge,
             scheduler: SchedulerKind::Fifo,
             transport: Transport::default(),
@@ -176,6 +183,7 @@ mod tests {
         assert_eq!(c.num_machines, 4);
         assert_eq!(c.num_atoms, 32);
         assert_eq!(c.consistency, ConsistencyModel::Edge);
+        assert_eq!(c.placement, PlacementStrategy::Affinity);
         assert!(c.num_atoms >= c.num_machines);
     }
 

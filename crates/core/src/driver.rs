@@ -125,6 +125,12 @@ pub(crate) struct MachineResult<V, E> {
     pub dead: bool,
     pub failed: Option<String>,
     pub phase: PhaseTimes,
+    /// Lock-chain span histogram for chains this machine initiated
+    /// (`chain_spans[s]` = chains touching `s` machines; empty for the
+    /// chromatic engine).
+    pub chain_spans: Vec<u64>,
+    /// Normal-phase receive deadlines that expired with nothing to do.
+    pub idle_wakeups: u64,
 }
 
 /// Everything a machine thread needs at spawn (endpoint travels
@@ -205,7 +211,8 @@ where
     let (atoms, index) = build_atoms(graph, &partition, prefix);
     write_atoms(&dfs, prefix, &atoms, &index);
     drop(atoms);
-    let placement = Arc::new(Placement::compute(&index, config.num_machines));
+    let placement =
+        Arc::new(Placement::with_strategy(&index, config.num_machines, config.placement));
     let index = Arc::new(index);
     let coloring = Arc::new(coloring);
     let initial = Arc::new(initial);
@@ -292,6 +299,8 @@ where
         }
         let mut phases = vec![PhaseTimes::default(); config.num_machines];
         phases[machine.index()] = r.phase;
+        let mut idle_wakeups = vec![0u64; config.num_machines];
+        idle_wakeups[machine.index()] = r.idle_wakeups;
 
         let stats = net.stats();
         let metrics = EngineMetrics {
@@ -307,6 +316,8 @@ where
             recoveries: r.recoveries,
             adoptions: r.adoptions,
             phases,
+            chain_spans: r.chain_spans,
+            idle_wakeups,
         };
         return EngineOutput {
             metrics,
@@ -358,6 +369,8 @@ where
     let mut failure: Option<String> = None;
     let mut globals = GlobalRegistry::new();
     let mut phases = vec![PhaseTimes::default(); config.num_machines];
+    let mut chain_spans: Vec<u64> = Vec::new();
+    let mut idle_wakeups = vec![0u64; config.num_machines];
     for (i, r) in results.into_iter().enumerate() {
         // A dead machine's rows are stale (the survivors adopted its
         // atoms and carry the authoritative values); write back nothing
@@ -386,6 +399,13 @@ where
             globals = r.globals;
         }
         phases[i] = r.phase;
+        if chain_spans.len() < r.chain_spans.len() {
+            chain_spans.resize(r.chain_spans.len(), 0);
+        }
+        for (s, &n) in r.chain_spans.iter().enumerate() {
+            chain_spans[s] += n;
+        }
+        idle_wakeups[i] = r.idle_wakeups;
     }
 
     let stats = net.stats();
@@ -402,6 +422,8 @@ where
         recoveries,
         adoptions,
         phases,
+        chain_spans,
+        idle_wakeups,
     };
     EngineOutput { metrics, globals, dfs, failure, owned: None }
 }

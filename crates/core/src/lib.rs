@@ -43,6 +43,7 @@ pub mod sync;
 pub mod update;
 
 pub use config::{EngineConfig, RecoveryMode, SnapshotConfig, SnapshotMode, StragglerConfig};
+pub use graphlab_atoms::PlacementStrategy;
 pub use graphlab_net::{BatchPolicy, FaultPlan, FaultTrigger, TcpConfig, Transport};
 pub use driver::{DistributedGraph, EngineKind, EngineOutput, PartitionStrategy};
 /// `Engine` is an alias for [`EngineKind`], matching the builder-chain

@@ -63,15 +63,23 @@ use crate::update::{UpdateContext, UpdateEffects, UpdateFunction};
 /// "the Snapshot Update is prioritized over other update functions").
 pub const SNAPSHOT_PRIORITY: f64 = f64::INFINITY;
 
-/// Receive deadline while the master is idle: it must still poll the
-/// global update counter for sync/snapshot triggers and halt sequencing.
-const MASTER_POLL: Duration = Duration::from_millis(2);
-
-/// Receive deadline for an idle (or pipeline-full) non-master machine.
-/// Every state change it can act on arrives as a message — which wakes the
-/// blocked `recv_timeout` immediately — so this is a liveness backstop,
-/// not a polling interval (previously a 2 ms busy-poll).
+/// Receive deadline while the machine is in a recovery phase: recovery
+/// stall detection is timer-based, so the loop must tick.
 const IDLE_BLOCK: Duration = Duration::from_millis(25);
+
+/// Receive deadline for an idle (or pipeline-full) machine in the normal
+/// phase — master included, now that [`K_UPD_NOTE`] announces worker
+/// update counts and sync/snapshot/halt triggers are message-driven.
+/// Purely a liveness backstop: every state change arrives as a message,
+/// which wakes the blocked `recv_timeout` immediately, so a healthy
+/// cluster never lets this expire (the idle-cluster regression pins the
+/// master's expiry count at zero).
+const IDLE_BACKSTOP: Duration = Duration::from_millis(500);
+
+/// Receive deadline for an injected straggler's host machine until its
+/// stall fires: the trigger reads the shared update counter, which no
+/// message announces, so that one diagnostic path still polls.
+const STRAGGLER_POLL: Duration = Duration::from_millis(2);
 
 /// Identifies a lock chain cluster-wide: `(requester machine, reqid)`.
 type ChainKey = (u16, u64);
@@ -314,6 +322,26 @@ pub(crate) struct LockingMachine<V, E, U: ?Sized> {
     update_count_map: BTreeMap<VertexId, u64>,
     straggled: bool,
     effects: UpdateEffects,
+
+    // Control-plane accounting (`repro -- abl-control`).
+    /// Lock-chain span histogram: `chain_spans[s]` counts chains that
+    /// touched exactly `s` machines.
+    chain_spans: Vec<u64>,
+    /// Normal-phase receive deadlines that expired with no message and no
+    /// runnable work. Message-driven triggers keep this at zero on an
+    /// idle healthy cluster.
+    idle_wakeups: u64,
+    /// [`K_UPD_NOTE`] granule: a worker notifies the master every
+    /// `note_every` local updates. 0 = no counter-driven triggers are
+    /// configured, so no notes are ever sent.
+    note_every: u64,
+    /// Local update count as of the last note sent (workers only).
+    last_noted: u64,
+    /// Master: highest cumulative update count each peer has announced
+    /// via [`K_UPD_NOTE`]. Own slot unused — `updates_local` is
+    /// authoritative. Monotonic, so notes are idempotent and survive
+    /// rollbacks (local counts never reset).
+    m_peer_updates: Vec<u64>,
 }
 
 impl<V, E, U> LockingMachine<V, E, U>
@@ -336,6 +364,24 @@ where
         if let Some(period) = setup.config.lease {
             net.enable_lease(LeaseConfig::with_period(period));
         }
+        // K_UPD_NOTE granule: fine enough that the master observes a
+        // counter-driven trigger at most ~1/8 interval late across the
+        // whole cluster (m-1 peers, each up to a granule behind), coarse
+        // enough that notes stay a negligible traffic fraction. No
+        // counter-driven triggers configured → no notes, ever.
+        let mut finest = u64::MAX;
+        if setup.config.sync_interval_updates > 0 && !setup.syncs.is_empty() {
+            finest = finest.min(setup.config.sync_interval_updates);
+        }
+        let snap_cfg = setup.config.snapshot;
+        if snap_cfg.mode != SnapshotMode::None
+            && snap_cfg.every_updates > 0
+            && snap_cfg.max_snapshots > 0
+        {
+            finest = finest.min(snap_cfg.every_updates);
+        }
+        let note_every =
+            if finest == u64::MAX { 0 } else { (finest / (8 * m as u64)).max(1) };
         LockingMachine {
             scheduler: Scheduler::new(setup.config.scheduler, nv),
             locks: LockTable::new(nv),
@@ -387,6 +433,11 @@ where
             update_count_map: BTreeMap::new(),
             straggled: false,
             effects: UpdateEffects::default(),
+            chain_spans: Vec::new(),
+            idle_wakeups: 0,
+            note_every,
+            last_noted: 0,
+            m_peer_updates: vec![0; m],
             globals: GlobalRegistry::new(),
             lg,
             net,
@@ -416,6 +467,36 @@ where
 
     fn global_updates(&self) -> u64 {
         self.setup.counters.updates.load(AtomicOrdering::Relaxed)
+    }
+
+    /// The master's message-driven view of the cluster-wide update count:
+    /// its own local count plus the highest count each peer announced via
+    /// [`K_UPD_NOTE`]. Drives sync/snapshot triggers instead of polling
+    /// the shared counter — a lower bound on the true total, at most
+    /// ~`finest_interval / 8` behind by the note granule. On non-masters
+    /// (all note slots zero) this degenerates to the local count.
+    fn observed_updates(&self) -> u64 {
+        self.updates_local + self.m_peer_updates.iter().sum::<u64>()
+    }
+
+    /// Worker-side half of the message-driven master: announce the local
+    /// cumulative update count when it crosses a granule boundary, or
+    /// (`flush`) with its exact value on the idle transition, so the
+    /// master's last trigger window closes without a timer.
+    fn maybe_send_upd_note(&mut self, flush: bool) {
+        if self.note_every == 0 || self.is_master() {
+            return;
+        }
+        let due = if flush {
+            self.updates_local > self.last_noted
+        } else {
+            self.updates_local - self.last_noted >= self.note_every
+        };
+        if due {
+            self.last_noted = self.updates_local;
+            let msg = UpdNoteMsg { from: self.me(), updates: self.updates_local };
+            self.send_msg(MachineId(0), K_UPD_NOTE, enc(&msg));
+        }
     }
 
     /// Single send point for all engine traffic. Recovery correctness
@@ -500,6 +581,15 @@ where
                 self.execute_ready();
                 self.check_snapshot_progress();
                 self.update_idle();
+                if self.is_master() {
+                    // update_idle may have completed Safra termination
+                    // (m_halt_pending) — sequence the halt now rather than
+                    // after a full idle deadline.
+                    self.master_triggers();
+                    if self.halted {
+                        break;
+                    }
+                }
             } else {
                 self.recovery_triggers();
                 if self.halted || self.failure.is_some() {
@@ -523,7 +613,11 @@ where
                         }
                     }
                 }
-                Err(RecvError::Timeout) => {}
+                Err(RecvError::Timeout) => {
+                    if self.phase == RecoveryPhase::Normal && deadline > Duration::ZERO {
+                        self.idle_wakeups += 1;
+                    }
+                }
                 Err(RecvError::MachineDown) => self.on_self_death(),
                 Err(RecvError::Disconnected) => break,
             }
@@ -610,19 +704,22 @@ where
     ///
     /// With runnable local work the loop must not block at all; otherwise
     /// progress is message-driven (lock grants, scope data, releases,
-    /// tokens all wake the blocked receive), so idle and pipeline-full
-    /// machines sleep on a real deadline instead of the old 2 ms busy-poll.
-    /// The master keeps a short deadline: its sync/snapshot/halt triggers
-    /// poll the shared update counter, which no message announces.
+    /// tokens — and, for the master's sync/snapshot/halt triggers,
+    /// [`K_UPD_NOTE`] counter announcements — all wake the blocked
+    /// receive), so idle and pipeline-full machines sleep on a pure
+    /// liveness backstop. The one timed path left is an injected
+    /// straggler that has not fired yet: its trigger reads the shared
+    /// update counter, which no message announces.
     fn next_recv_deadline(&self) -> Duration {
         if self.has_runnable_work() {
             return Duration::ZERO;
         }
-        if self.is_master() {
-            MASTER_POLL
-        } else {
-            IDLE_BLOCK
+        if let Some(s) = self.setup.config.straggler {
+            if s.machine == self.me().0 && !self.straggled {
+                return STRAGGLER_POLL;
+            }
         }
+        IDLE_BACKSTOP
     }
 
     /// Whether `pump`/`execute_ready` could make progress right now
@@ -700,6 +797,12 @@ where
             }
         }
         debug_assert!(machines.windows(2).all(|w| w[0] < w[1]), "plan sorted by owner");
+
+        let span = machines.len();
+        if self.chain_spans.len() <= span {
+            self.chain_spans.resize(span + 1, 0);
+        }
+        self.chain_spans[span] += 1;
 
         let reqid = self.next_reqid;
         self.next_reqid += 1;
@@ -938,6 +1041,7 @@ where
                 self.effects.scheduled.iter().map(|(v, _)| v.0).collect::<Vec<_>>(), nbrs);
         }
         self.setup.counters.updates.fetch_add(1, AtomicOrdering::Relaxed);
+        self.maybe_send_upd_note(false);
         if self.setup.config.trace {
             *self.update_count_map.entry(self.lg.vertex_gvid(center)).or_insert(0) += 1;
         }
@@ -1275,6 +1379,13 @@ where
             K_SNAP_ASYNC_MDONE => {
                 self.m_async_done += 1;
             }
+            K_UPD_NOTE => {
+                let msg: UpdNoteMsg = dec(env.payload);
+                if self.is_master() {
+                    let slot = &mut self.m_peer_updates[msg.from.index()];
+                    *slot = (*slot).max(msg.updates);
+                }
+            }
             other => panic!("unexpected message kind {other} in locking engine"),
         }
     }
@@ -1330,6 +1441,12 @@ where
             && self.snap_queue.is_empty()
             && self.out_scopes.is_empty()
             && self.ready.is_empty();
+        if idle {
+            // Close the master's last trigger window with an exact count
+            // before going quiet (notes are not counted work, so Safra's
+            // balance is untouched).
+            self.maybe_send_upd_note(true);
+        }
         let action = self.safra.set_idle(idle);
         self.apply_safra(action);
     }
@@ -1338,7 +1455,7 @@ where
 
     fn master_triggers(&mut self) {
         debug_assert!(self.is_master());
-        let g_updates = self.global_updates();
+        let g_updates = self.observed_updates();
 
         // Background sync epochs.
         let interval = self.setup.config.sync_interval_updates;
@@ -2133,12 +2250,15 @@ where
         self.m_snap_ready = vec![None; n];
         self.m_snap_done = 0;
         self.m_async_done = 0;
-        self.m_last_snap_updates = self.global_updates();
+        // `updates_local` and the K_UPD_NOTE state (`last_noted`,
+        // `m_peer_updates`) deliberately survive: counts are cumulative
+        // and never reset, which is what makes stale notes idempotent.
+        self.m_last_snap_updates = self.observed_updates();
         self.m_halt_pending = false;
         self.m_halt_sent = false;
         self.m_halt_acks = 0;
         self.m_sync_outstanding = None;
-        self.m_sync_next_at = self.global_updates() + self.setup.config.sync_interval_updates;
+        self.m_sync_next_at = self.observed_updates() + self.setup.config.sync_interval_updates;
         self.m_final_sync_done = false;
         self.effects.clear();
     }
@@ -2200,6 +2320,8 @@ where
             dead,
             failed,
             phase: crate::metrics::PhaseTimes::default(),
+            chain_spans: std::mem::take(&mut self.chain_spans),
+            idle_wakeups: self.idle_wakeups,
         }
     }
 }

@@ -47,11 +47,11 @@ use graphlab_net::termination::Token;
 //
 //   - 36: skipped when the background-sync request landed at 37, keeping
 //     the snapshot block `29..=35` visually closed; never shipped.
-//   - 38..=39: unassigned headroom left between the locking block
-//     (`20..=37`) and the recovery block (`40..=47`) so either side can
-//     grow without renumbering.
+//   - 39: unassigned headroom left between the locking block (`20..=38` —
+//     38 became the counter-threshold note `K_UPD_NOTE`) and the recovery
+//     block (`40..=47`) so either side can grow without renumbering.
 //
-// lint: kind-map core = 1..=63 gaps 36, 38..=39
+// lint: kind-map core = 1..=63 gaps 36, 39
 // lint: kind-map net = 65531..=65535
 //
 // Per-kind handler provenance — ground truth for `graphlab-lint`'s
@@ -84,6 +84,7 @@ use graphlab_net::termination::Token;
 // lint: kind K_LSYNC_PART handlers: locking.rs
 // lint: kind K_LSYNC_GLOB handlers: locking.rs
 // lint: kind K_LSYNC_REQ handlers: locking.rs
+// lint: kind K_UPD_NOTE handlers: locking.rs
 // lint: kind K_SNAP_SYNC_START handlers: locking.rs
 // lint: kind K_SNAP_SYNC_READY handlers: locking.rs
 // lint: kind K_SNAP_SYNC_FLUSH handlers: locking.rs
@@ -163,6 +164,15 @@ pub const K_SNAP_ASYNC_START: u16 = 34;
 pub const K_SNAP_ASYNC_MDONE: u16 = 35;
 /// Locking: background sync request (master → all); payload is the epoch.
 pub const K_LSYNC_REQ: u16 = 37;
+/// Locking: counter-threshold update note (machine → master). Sent when a
+/// machine's cumulative local update count crosses a granule of the
+/// finest configured trigger interval (background sync / snapshot
+/// cadence), and once more with the exact count when it goes idle. This
+/// replaces the master's timed counter poll: all sync/snapshot/halt
+/// triggers are driven by these notes, so an idle cluster exchanges no
+/// control traffic at all. Never sent when no trigger is configured. Not
+/// counted work (it must not disturb Safra's termination invariant).
+pub const K_UPD_NOTE: u16 = 38;
 
 /// Recovery (both engines, `40..=45`): machine has stopped sending engine
 /// traffic for the current fault era (machine → master).
@@ -244,6 +254,7 @@ pub fn kind_name(kind: u16) -> &'static str {
         K_LSYNC_PART => "lock/sync-part",
         K_LSYNC_GLOB => "lock/sync-glob",
         K_LSYNC_REQ => "lock/sync-req",
+        K_UPD_NOTE => "lock/upd-note",
         K_SNAP_SYNC_START => "snap/sync-start",
         K_SNAP_SYNC_READY => "snap/sync-ready",
         K_SNAP_SYNC_FLUSH => "snap/sync-flush",
@@ -706,6 +717,30 @@ impl Codec for LockSyncPartialMsg {
     }
 }
 
+/// Counter-threshold update note ([`K_UPD_NOTE`], machine → master): the
+/// sender has executed `updates` update functions in total since engine
+/// start. Cumulative and therefore idempotent — the master keeps the max
+/// per peer, so duplicates, reordering across rollbacks (counters never
+/// reset; re-executed work keeps counting) and a dead peer's last value
+/// are all harmless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdNoteMsg {
+    /// Sending machine.
+    pub from: MachineId,
+    /// Sender's cumulative local update count.
+    pub updates: u64,
+}
+
+impl Codec for UpdNoteMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.from.encode(buf);
+        self.updates.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Option<Self> {
+        Some(UpdNoteMsg { from: MachineId::decode(buf)?, updates: u64::decode(buf)? })
+    }
+}
+
 /// Synchronous-snapshot drain acknowledgement with cumulative engine
 /// message send counts per destination (for channel flushing).
 #[derive(Clone, Debug, PartialEq)]
@@ -968,6 +1003,7 @@ mod tests {
             ewrites: vec![(EdgeId(9), Bytes::from_static(b"z"))],
         });
         rt(LockSyncPartialMsg { epoch: 1, partials: vec![(2, Bytes::from_static(b"p"))] });
+        rt(UpdNoteMsg { from: MachineId(3), updates: 12345 });
         rt(SnapReadyMsg { snap: 1, sent_to: vec![10, 0, 5] });
         rt(SnapFlushMsg { snap: 1, expect_from: vec![2, 2, 2] });
         rt(TokenMsg(Token { count: -2, black: false, round: 4 }));
@@ -1039,11 +1075,15 @@ mod tests {
         assert!(!is_counted_work(K_HALT));
         assert!(!is_counted_work(K_CHROM_VDATA));
         assert!(!is_counted_work(K_LSYNC_PART));
+        // An update note must disturb neither Safra's work counters nor
+        // the recovery drain barrier.
+        assert!(!is_counted_work(K_UPD_NOTE));
+        assert!(!is_recovery_control(K_UPD_NOTE));
     }
 
     #[test]
     fn every_engine_kind_has_a_name() {
-        for k in (1..=11).chain(20..=35).chain([37]) {
+        for k in (1..=11).chain(20..=35).chain([37, 38]) {
             assert_ne!(kind_name(k), "unknown", "kind {k} unnamed");
         }
         assert_eq!(kind_name(graphlab_net::K_BATCH), "net/batch");

@@ -107,6 +107,16 @@ pub struct EngineMetrics {
     /// indexed by machine id. In a TCP run each process fills only its own
     /// row; the spawn harness merges them.
     pub phases: Vec<PhaseTimes>,
+    /// Lock-chain span histogram (locking engine): `chain_spans[s]` counts
+    /// distributed lock chains that touched exactly `s` machines. Span 1
+    /// is a chain resolved entirely on the initiator; placement quality
+    /// shows up directly here (`repro -- abl-control`).
+    pub chain_spans: Vec<u64>,
+    /// Per-machine count of timed receive deadlines that expired with no
+    /// message and no runnable work (locking engine, normal phase only),
+    /// indexed by machine id. With message-driven master triggers an idle
+    /// cluster takes zero — pinned by the idle-cluster regression.
+    pub idle_wakeups: Vec<u64>,
 }
 
 impl EngineMetrics {
@@ -117,6 +127,18 @@ impl EngineMetrics {
             return 0.0;
         }
         self.updates as f64 / secs
+    }
+
+    /// Mean number of machines a distributed lock chain touched (0.0 when
+    /// no chains were recorded — e.g. chromatic runs).
+    pub fn mean_chain_span(&self) -> f64 {
+        let chains: u64 = self.chain_spans.iter().sum();
+        if chains == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.chain_spans.iter().enumerate().map(|(s, &n)| s as u64 * n).sum();
+        weighted as f64 / chains as f64
     }
 
     /// Mean per-machine bandwidth in MB/s (Fig. 6(b)'s y-axis).
@@ -151,6 +173,14 @@ mod tests {
         let m = EngineMetrics::default();
         assert_eq!(m.updates_per_second(), 0.0);
         assert_eq!(m.mbps_per_machine(), 0.0);
+        assert_eq!(m.mean_chain_span(), 0.0);
+    }
+
+    #[test]
+    fn mean_chain_span_weights_by_count() {
+        // 3 chains of span 1, 1 chain of span 3 → mean (3·1 + 1·3)/4 = 1.5.
+        let m = EngineMetrics { chain_spans: vec![0, 3, 0, 1], ..Default::default() };
+        assert!((m.mean_chain_span() - 1.5).abs() < 1e-12);
     }
 
     #[test]

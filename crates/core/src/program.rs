@@ -33,6 +33,7 @@
 
 use std::sync::Arc;
 
+use graphlab_atoms::PlacementStrategy;
 use graphlab_graph::{
     greedy_coloring, second_order_coloring, verify_coloring, Coloring, ConsistencyModel,
     DataGraph,
@@ -142,6 +143,16 @@ where
     /// Atom partitioning strategy (default: random hash).
     pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Atom-to-machine placement strategy (default:
+    /// [`PlacementStrategy::Affinity`]).
+    /// [`PlacementStrategy::ReplicationAware`] co-locates connected
+    /// meta-graph neighborhoods so the locking engine's lock chains span
+    /// fewer machines.
+    pub fn placement(mut self, strategy: PlacementStrategy) -> Self {
+        self.config.placement = strategy;
         self
     }
 

@@ -135,6 +135,8 @@ where
             recoveries: 0,
             adoptions: 0,
             phases: Vec::new(),
+            chain_spans: Vec::new(),
+            idle_wakeups: Vec::new(),
         },
         globals,
         dfs: Arc::new(SimDfs::new()),

@@ -321,6 +321,45 @@ fn msg_flow_catches_all_six_violation_shapes() {
     assert!(clean.is_empty(), "clean twin flagged: {clean:#?}");
 }
 
+/// The counter-threshold notification kind (K_UPD_NOTE, the
+/// message-driven-master protocol) is guarded by msg-flow for real:
+/// deleting its `lint: kind` declaration from the actual messages.rs
+/// makes the check flag it, so the registry comment can't silently rot.
+#[test]
+fn upd_note_handler_declaration_has_teeth() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let msgs =
+        std::fs::read_to_string(root.join("crates/core/src/messages.rs")).expect("messages.rs");
+    let locking =
+        std::fs::read_to_string(root.join("crates/core/src/locking.rs")).expect("locking.rs");
+    let stripped: String = msgs
+        .lines()
+        .filter(|l| !(l.contains("lint: kind K_UPD_NOTE")))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(stripped.len() < msgs.len(), "declaration line not found to strip");
+
+    let with_decl = findings_for(
+        vec![
+            ("crates/core/src/messages.rs", &msgs),
+            ("crates/core/src/locking.rs", &locking),
+        ],
+        &["msg-flow"],
+    );
+    let without_decl = findings_for(
+        vec![
+            ("crates/core/src/messages.rs", &stripped),
+            ("crates/core/src/locking.rs", &locking),
+        ],
+        &["msg-flow"],
+    );
+    let undeclared = |fs: &[String]| {
+        fs.iter().any(|f| f.contains("K_UPD_NOTE") && f.contains("no handler declaration"))
+    };
+    assert!(!undeclared(&with_decl), "real declaration not recognised: {with_decl:#?}");
+    assert!(undeclared(&without_decl), "stripped declaration not flagged: {without_decl:#?}");
+}
+
 #[test]
 fn era_fencing_catches_unfenced_decode_and_accepts_all_fence_shapes() {
     let fs = findings_for(vec![("crates/core/src/engine.rs", ERA_VIOLATION)], &["era-fencing"]);

@@ -20,5 +20,5 @@ pub use mesh3d::{coseg_video, frame_partition, mesh3d_mrf, striped_partition};
 pub use nell::nell_graph;
 pub use ratings::ratings_graph;
 pub use spam::webspam_mrf;
-pub use webgraph::web_graph;
+pub use webgraph::{web_graph, web_graph_hosts};
 pub use zipf::Zipf;

@@ -690,3 +690,46 @@ fn ingress_pipeline_is_usable_standalone() {
         assert_eq!(owned, 500, "{m} machines");
     }
 }
+
+/// ISSUE 10 (satellite): message-driven masters mean an idle cluster does
+/// zero control work. With no counter-driven triggers configured the
+/// counter-threshold note (`K_UPD_NOTE`) is never sent and no machine
+/// ever expires an idle receive deadline; with a sync cadence the notes
+/// appear — that is the mechanism that replaced the master's 2 ms
+/// counter poll — and the master still takes zero scheduled wakeups.
+#[test]
+fn idle_cluster_does_zero_control_work() {
+    use graphlab::core::messages::K_UPD_NOTE;
+
+    let base = web_graph(400, 4, 21);
+    let n = base.num_vertices() as u64;
+    let pr = PageRank { alpha: 0.15, epsilon: 1e-12, dynamic: true };
+
+    // Arm 1: no sync, no snapshots → nothing for the master to time.
+    let mut g = base.clone();
+    init_ranks(&mut g);
+    let out = GraphLab::on(&mut g).engine(EngineKind::Locking).machines(8).run(pr.clone());
+    assert_eq!(
+        out.metrics.idle_wakeups,
+        vec![0u64; 8],
+        "an idle cluster between work must take zero scheduled wakeups"
+    );
+    assert!(
+        !out.metrics.bytes_by_kind.iter().any(|(k, _)| *k == K_UPD_NOTE),
+        "K_UPD_NOTE sent although no counter-driven trigger is configured"
+    );
+
+    // Arm 2: a sync cadence makes workers announce their counters.
+    let mut g = base.clone();
+    init_ranks(&mut g);
+    let out = GraphLab::on(&mut g)
+        .engine(EngineKind::Locking)
+        .machines(8)
+        .sync(PAGERANK_RESIDUAL, RankResidual { alpha: 0.15 }, SyncCadence::Updates(n))
+        .run(pr);
+    assert_eq!(out.metrics.idle_wakeups[0], 0, "master fell back to a timed wakeup");
+    assert!(
+        out.metrics.bytes_by_kind.iter().any(|(k, t)| *k == K_UPD_NOTE && t.msgs > 0),
+        "counter notes must drive the master's sync triggers"
+    );
+}

@@ -426,6 +426,16 @@ mod wire_codec {
             rt(TokenMsg(Token { count, black: black == 1, round }));
         }
 
+        /// ISSUE 10: the counter-threshold note (`UpdNoteMsg`) behind the
+        /// message-driven master roundtrips for any sender and count.
+        #[test]
+        fn upd_note_msgs_roundtrip(
+            from in 0u32..u32::MAX,
+            updates in 0u64..u64::MAX,
+        ) {
+            rt(UpdNoteMsg { from: MachineId(from as u16), updates });
+        }
+
         #[test]
         fn recovery_msgs_roundtrip(
             era in 0u32..u32::MAX,
@@ -889,6 +899,84 @@ mod recovery {
             let ranks: Vec<f64> = g.vertices().map(|v| *g.vertex_data(v)).collect();
             let l1 = l1_error(&ranks, &oracle);
             prop_assert!(l1 < 1e-6, "partitioned run diverged from the oracle (L1 {l1})");
+        }
+    }
+}
+
+/// ISSUE 10: replication-aware placement invariants. Placement runs
+/// inside adoption plans, which must replay identically on every
+/// survivor, so it has to be a deterministic pure function of the index
+/// (byte-identical across calls), place every atom exactly once, and —
+/// composed with the restart-free adoption path behind
+/// `RecoveryMode::Adopt` — never leave an atom on a fenced machine.
+mod placement_props {
+    use super::*;
+    use graphlab::atoms::PlacementStrategy;
+    use graphlab::graph::AtomId;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn replication_aware_is_deterministic_and_total(
+            g in arb_graph(),
+            k in 1usize..10,
+            machines in 1usize..9,
+            seed in 0u64..1_000,
+        ) {
+            let p = VertexPartition::random_hash(g.num_vertices(), k, seed);
+            let (_, index) = build_atoms(&g, &p, "t");
+            let a = Placement::with_strategy(&index, machines, PlacementStrategy::ReplicationAware);
+            let b = Placement::with_strategy(&index, machines, PlacementStrategy::ReplicationAware);
+            prop_assert_eq!(
+                encode_to_bytes(&a),
+                encode_to_bytes(&b),
+                "same index, same machine count: byte-identical assignment"
+            );
+            let mut covered = 0usize;
+            for m in 0..machines {
+                covered += a.atoms_of(MachineId::from(m)).len();
+            }
+            prop_assert_eq!(covered, index.num_atoms(), "every atom placed exactly once");
+            let loads = a.loads(&index);
+            prop_assert_eq!(
+                loads.iter().sum::<u64>(),
+                g.num_vertices() as u64,
+                "every owned vertex accounted for"
+            );
+        }
+
+        #[test]
+        fn adoption_never_leaves_atoms_on_fenced_machines(
+            g in arb_graph(),
+            k in 1usize..10,
+            machines in 2usize..9,
+            seed in 0u64..1_000,
+            dead_bits in 1u32..256,
+        ) {
+            let p = VertexPartition::random_hash(g.num_vertices(), k, seed);
+            let (_, index) = build_atoms(&g, &p, "t");
+            let placed =
+                Placement::with_strategy(&index, machines, PlacementStrategy::ReplicationAware);
+            let mut dead: Vec<bool> = (0..machines).map(|m| dead_bits >> m & 1 == 1).collect();
+            if dead.iter().all(|&d| d) {
+                dead[0] = false; // adoption needs a survivor
+            }
+            let q = placed.adopt(&index, &dead);
+            for a in 0..index.num_atoms() {
+                let atom = AtomId(a as u32);
+                prop_assert!(
+                    !dead[q.machine_of(atom).index()],
+                    "atom {} left on fenced machine {}", a, q.machine_of(atom).0
+                );
+                if !dead[placed.machine_of(atom).index()] {
+                    prop_assert_eq!(
+                        q.machine_of(atom),
+                        placed.machine_of(atom),
+                        "survivor atoms stay put"
+                    );
+                }
+            }
         }
     }
 }
